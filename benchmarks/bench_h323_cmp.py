@@ -1,0 +1,85 @@
+"""Extension: the second call-management protocol class (H.323).
+
+The paper's abstract claims SCIDIVE "can operate with both classes of
+protocols that compose VoIP systems — call management protocols (CMP),
+e.g., SIP, and media delivery protocols (MDP), e.g., RTP" and can be
+extended "without substantial system customization".  This bench runs
+the same forged-teardown attack against an H.323 deployment (gatekeeper
++ fast-connect terminals) and shows one unchanged engine detecting it —
+plus the side-by-side with the SIP BYE attack.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.attacks import ForgedReleaseAttack
+from repro.core.engine import ScidiveEngine
+from repro.core.rules_library import RULE_BYE_ATTACK, RULE_H323_RELEASE
+from repro.experiments.harness import run_bye_attack
+from repro.experiments.report import format_table
+from repro.h323.endpoint import H323CallState
+from repro.h323.testbed import H323Testbed, H323TestbedConfig, TERMINAL_A_IP
+
+
+def _h323_attack_run():
+    testbed = H323Testbed(H323TestbedConfig(seed=7))
+    ids = ScidiveEngine(vantage_ip=TERMINAL_A_IP)
+    ids.attach(testbed.ids_tap)
+    attack = ForgedReleaseAttack(testbed)
+    testbed.register_all()
+    call = testbed.terminal_a.call("bob")
+    testbed.run_for(1.5)
+    injection = testbed.now()
+    attack.launch_now()
+    testbed.run_for(1.5)
+    alerts = [a for a in ids.alerts_for_rule(RULE_H323_RELEASE) if a.time >= injection]
+    b_call = list(testbed.terminal_b.calls.values())[0]
+    return {
+        "victim_released": call.state == H323CallState.RELEASED,
+        "peer_still_talking": b_call.state == H323CallState.ACTIVE,
+        "delay_ms": (alerts[0].time - injection) * 1000 if alerts else None,
+        "alerts": sorted({a.rule_id for a in ids.alerts}),
+    }
+
+
+def _h323_benign_run():
+    testbed = H323Testbed(H323TestbedConfig(seed=9))
+    ids = ScidiveEngine(vantage_ip=TERMINAL_A_IP)
+    ids.attach(testbed.ids_tap)
+    testbed.register_all()
+    call = testbed.terminal_a.call("bob")
+    testbed.run_for(1.5)
+    b_call = list(testbed.terminal_b.calls.values())[0]
+    testbed.terminal_b.release(b_call)
+    testbed.run_for(1.5)
+    return {"alerts": len(ids.alerts)}
+
+
+def _measure():
+    h323_attack = _h323_attack_run()
+    h323_benign = _h323_benign_run()
+    sip = run_bye_attack(seed=7)
+    sip_delay = sip.detection_delay(RULE_BYE_ATTACK)
+    return h323_attack, h323_benign, sip_delay
+
+
+def test_h323_cmp_parity(benchmark, emit):
+    h323, benign, sip_delay = once(benchmark, _measure)
+    rows = [
+        ["SIP: forged BYE", "BYE-001",
+         f"{sip_delay * 1000:.1f} ms" if sip_delay else "MISSED"],
+        ["H.323: forged RELEASE COMPLETE", "H323-001",
+         f"{h323['delay_ms']:.1f} ms" if h323["delay_ms"] else "MISSED"],
+        ["H.323: legitimate release (control)", f"{benign['alerts']} alerts", "-"],
+    ]
+    emit(format_table(
+        ["scenario", "rule / verdict", "detection delay"],
+        rows,
+        title="Extension — CMP parity: the same forged-teardown rule on SIP and H.323",
+    ))
+    assert h323["victim_released"] and h323["peer_still_talking"]
+    assert h323["delay_ms"] is not None and h323["delay_ms"] < 100
+    assert h323["alerts"] == ["H323-001"]
+    assert benign["alerts"] == 0
+    assert sip_delay is not None

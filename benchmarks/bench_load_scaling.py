@@ -1,0 +1,85 @@
+"""Ablation: detection accuracy and engine cost under traffic load.
+
+The paper (§6) anticipates that "the efficiency of the algorithm for
+creating events from footprints and matching events against the rule
+set will affect the detection latency".  This bench scales the number
+of concurrent calls sharing the segment and verifies that
+
+* the BYE attack on one call is still detected, exactly once, with
+  millisecond-class delay;
+* no false alarms appear on the other (benign) calls;
+* engine state (trails/sessions) grows linearly, not worse.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.attacks import ByeAttack
+from repro.core.engine import ScidiveEngine
+from repro.core.rules_library import RULE_BYE_ATTACK
+from repro.experiments.report import format_table
+from repro.voip.testbed import CLIENT_A_IP, Testbed, TestbedConfig
+
+LOADS = [1, 4, 8]
+
+
+def _run_with_load(concurrent_calls: int):
+    testbed = Testbed(TestbedConfig(seed=91))
+    engine = ScidiveEngine(vantage_ip=CLIENT_A_IP)
+    engine.attach(testbed.ids_tap)
+    attack = ByeAttack(testbed)
+    testbed.register_all()
+    calls = []
+    for __ in range(concurrent_calls):
+        calls.append(testbed.phone_a.call(f"sip:bob@{testbed.proxy.domain}"))
+        testbed.run_for(0.4)
+    testbed.run_for(1.0)  # everything talking concurrently
+    injection = testbed.now()
+    attack.launch_now()  # hits the newest live dialog
+    testbed.run_for(1.5)
+    delays = [
+        a.time - injection
+        for a in engine.alerts_for_rule(RULE_BYE_ATTACK)
+        if a.time >= injection
+    ]
+    return {
+        "calls": concurrent_calls,
+        "frames": engine.stats.frames,
+        "footprints": engine.stats.footprints,
+        "sessions": engine.trails.session_count,
+        "trails": engine.trails.trail_count,
+        "alerts": len(engine.alerts),
+        "bye_alerts": len(engine.alerts_for_rule(RULE_BYE_ATTACK)),
+        "delay_ms": min(delays) * 1000 if delays else None,
+        "fps": engine.stats.frames_per_cpu_second,
+    }
+
+
+def _measure():
+    return [_run_with_load(n) for n in LOADS]
+
+
+def test_accuracy_under_load(benchmark, emit):
+    results = once(benchmark, _measure)
+    rows = [
+        [r["calls"], r["frames"], r["sessions"], r["trails"],
+         r["bye_alerts"], f"{r['delay_ms']:.1f}" if r["delay_ms"] else "-",
+         f"{r['fps']:,.0f}"]
+        for r in results
+    ]
+    emit(format_table(
+        ["concurrent calls", "frames", "sessions", "trails",
+         "BYE-001 alerts", "delay (ms)", "frames/cpu-s"],
+        rows,
+        title="Ablation — detection accuracy and cost vs concurrent load",
+    ))
+    for r in results:
+        assert r["bye_alerts"] == 1, "exactly one detection regardless of load"
+        assert r["alerts"] == r["bye_alerts"], "no collateral false alarms"
+        assert r["delay_ms"] is not None and r["delay_ms"] < 100
+    # Linear-ish state growth: sessions track calls (+2 registrations).
+    light, heavy = results[0], results[-1]
+    assert heavy["sessions"] <= light["sessions"] + (LOADS[-1] - LOADS[0]) + 1
+    # Trails per call bounded (SIP + RTP×2 + RTCP×2 per call, roughly).
+    assert heavy["trails"] <= heavy["sessions"] * 6

@@ -1,0 +1,102 @@
+"""Extension bench: the §2.2 media-plane impersonation vectors.
+
+The paper's background section names two RTP-layer vulnerabilities its
+four demos don't exercise: forged RTCP (no authentication) and SSRC
+impersonation ("fake the SSRC field ... to impersonate another
+participant").  This bench runs both attacks, verifies real victim
+impact, and shows the RTCP-001 / SSRC-001 rules catching them — the
+SIP→RTP→RTCP chaining §3.1 advertises.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.attacks import RtcpByeAttack, SsrcSpoofAttack
+from repro.core.engine import ScidiveEngine
+from repro.core.rules_library import (
+    RULE_RTCP_BYE_ORPHAN,
+    RULE_RTP_SOURCE,
+    RULE_SSRC_COLLISION,
+)
+from repro.experiments.report import format_table
+from repro.voip.scenarios import normal_call
+from repro.voip.testbed import CLIENT_A_IP, Testbed, TestbedConfig
+
+
+def _run_rtcp_bye():
+    testbed = Testbed(TestbedConfig(seed=7))
+    engine = ScidiveEngine(vantage_ip=CLIENT_A_IP)
+    engine.attach(testbed.ids_tap)
+    attack = RtcpByeAttack(testbed)
+    testbed.register_all()
+    call = testbed.phone_a.call(f"sip:bob@{testbed.proxy.domain}")
+    testbed.run_for(1.5)
+    injection = testbed.now()
+    attack.launch_now()
+    testbed.run_for(1.0)
+    alerts = [a for a in engine.alerts_for_rule(RULE_RTCP_BYE_ORPHAN) if a.time >= injection]
+    return {
+        "impact": attack.report.details["silenced_ssrc"] in call.rtp.terminated_ssrcs,
+        "delay_ms": (alerts[0].time - injection) * 1000 if alerts else None,
+        "collateral": sorted({a.rule_id for a in engine.alerts} - {RULE_RTCP_BYE_ORPHAN}),
+    }
+
+
+def _run_ssrc_spoof():
+    testbed = Testbed(TestbedConfig(seed=7))
+    engine = ScidiveEngine(vantage_ip=CLIENT_A_IP)
+    engine.attach(testbed.ids_tap)
+    attack = SsrcSpoofAttack(testbed)
+    testbed.register_all()
+    call = testbed.phone_a.call(f"sip:bob@{testbed.proxy.domain}")
+    testbed.run_for(1.5)
+    injection = testbed.now()
+    attack.launch_now()
+    testbed.run_for(1.5)
+    stream = call.rtp.primary_stream()
+    collision = [a for a in engine.alerts_for_rule(RULE_SSRC_COLLISION) if a.time >= injection]
+    return {
+        "impact": stream.duplicates + stream.reordered,
+        "delay_ms": (collision[0].time - injection) * 1000 if collision else None,
+        "also_rtp002": bool(engine.alerts_for_rule(RULE_RTP_SOURCE)),
+    }
+
+
+def _benign_control():
+    testbed = Testbed(TestbedConfig(seed=7))
+    engine = ScidiveEngine(vantage_ip=CLIENT_A_IP)
+    engine.attach(testbed.ids_tap)
+    testbed.register_all()
+    normal_call(testbed, talk_seconds=2.0)
+    return {
+        "rtcp_byes_seen": len(engine.events_named("RtcpBye")),
+        "alerts": len(engine.alerts),
+    }
+
+
+def _measure():
+    return _run_rtcp_bye(), _run_ssrc_spoof(), _benign_control()
+
+
+def test_media_extension_attacks(benchmark, emit):
+    rtcp, ssrc, benign = once(benchmark, _measure)
+    rows = [
+        ["forged RTCP BYE", "talker silenced at victim" if rtcp["impact"] else "no impact",
+         f"{rtcp['delay_ms']:.1f} ms" if rtcp["delay_ms"] else "MISSED", "RTCP-001"],
+        ["SSRC impersonation", f"{ssrc['impact']} seq collisions at victim",
+         f"{ssrc['delay_ms']:.1f} ms" if ssrc["delay_ms"] else "MISSED",
+         "SSRC-001" + (" + RTP-002" if ssrc["also_rtp002"] else "")],
+        ["benign call (control)",
+         f"{benign['rtcp_byes_seen']} legit RTCP BYEs observed",
+         "-", f"{benign['alerts']} alerts"],
+    ]
+    emit(format_table(
+        ["scenario", "victim impact", "detection delay", "rules"],
+        rows,
+        title="Extension — §2.2 media impersonation (forged RTCP BYE, SSRC spoof)",
+    ))
+    assert rtcp["impact"] and rtcp["delay_ms"] is not None
+    assert ssrc["impact"] > 0 and ssrc["delay_ms"] is not None
+    assert benign["rtcp_byes_seen"] >= 1  # goodbyes happen benignly...
+    assert benign["alerts"] == 0  # ...without alarms

@@ -1,0 +1,109 @@
+"""§3.3 — IDS placement study: which vantage catches which attacks.
+
+"The SCIDIVE architecture has flexibility in terms of the placement of
+its components ... A more aggressive approach would be to deploy the
+SCIDIVE IDS on all the components – Clients, SIP Proxy, and Registrar
+server."  This bench runs every attack against three deployments —
+client A's endpoint IDS, client B's endpoint IDS, and a network-wide
+IDS (the proxy-side tap) — and prints the coverage matrix, the data a
+deployment engineer needs for the paper's placement question.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.attacks import (
+    BillingFraudAttack,
+    ByeAttack,
+    CallHijackAttack,
+    FakeImAttack,
+    PasswordGuessAttack,
+    RegisterDosAttack,
+    RtpAttack,
+)
+from repro.core.engine import ScidiveEngine
+from repro.experiments.report import format_table
+from repro.voip.scenarios import im_exchange, normal_call
+from repro.voip.testbed import CLIENT_A_IP, CLIENT_B_IP, Testbed, TestbedConfig
+
+VANTAGES = [("IDS@clientA", CLIENT_A_IP), ("IDS@clientB", CLIENT_B_IP), ("IDS@network", None)]
+
+ATTACKS = [
+    ("BYE attack", ByeAttack, {}, dict(needs_call=True)),
+    ("Fake IM", FakeImAttack, {}, dict(needs_im=True)),
+    ("Call hijack", CallHijackAttack, {}, dict(needs_call=True)),
+    ("RTP attack", RtpAttack, dict(packets=30), dict(needs_call=True)),
+    ("REGISTER DoS", RegisterDosAttack, dict(requests=10, interval=0.1), dict(auth=True)),
+    ("Password guess", PasswordGuessAttack, {}, dict(auth=True)),
+    ("Billing fraud", BillingFraudAttack, {}, dict(billing=True)),
+]
+
+
+def _run_attack_with_vantages(name, attack_cls, kwargs, needs):
+    testbed = Testbed(TestbedConfig(
+        seed=7,
+        require_auth=needs.get("auth", False),
+        with_billing=needs.get("billing", False),
+    ))
+    engines = {
+        label: ScidiveEngine(vantage_ip=ip, name=label) for label, ip in VANTAGES
+    }
+    for engine in engines.values():
+        engine.attach(testbed.ids_tap)
+    attack = attack_cls(testbed, **kwargs)
+    testbed.register_all()
+    if needs.get("needs_call"):
+        testbed.phone_a.call(f"sip:bob@{testbed.proxy.domain}")
+        testbed.run_for(1.5)
+    if needs.get("needs_im"):
+        im_exchange(testbed, ["one", "two"])
+    if needs.get("billing"):
+        normal_call(testbed, talk_seconds=0.5)
+    injection = testbed.now()
+    attack.launch_now()
+    testbed.run_for(3.0)
+    return {
+        label: sorted(
+            {a.rule_id for a in engine.alerts if a.time >= injection}
+        )
+        for label, engine in engines.items()
+    }
+
+
+def _measure():
+    return {
+        name: _run_attack_with_vantages(name, cls, kwargs, needs)
+        for name, cls, kwargs, needs in ATTACKS
+    }
+
+
+def test_placement_coverage_matrix(benchmark, emit):
+    coverage = once(benchmark, _measure)
+    rows = []
+    for name, per_vantage in coverage.items():
+        rows.append([
+            name,
+            ", ".join(per_vantage["IDS@clientA"]) or "-",
+            ", ".join(per_vantage["IDS@clientB"]) or "-",
+            ", ".join(per_vantage["IDS@network"]) or "-",
+        ])
+    emit(format_table(
+        ["attack", "IDS@clientA", "IDS@clientB", "IDS@network"],
+        rows,
+        title="§3.3 — placement study: rules fired per vantage point",
+    ))
+    # Endpoint attacks against A are caught at A and by the network IDS.
+    assert coverage["BYE attack"]["IDS@clientA"]
+    assert coverage["BYE attack"]["IDS@network"]
+    # ...but NOT by B's endpoint IDS (its vantage excludes A's inbound
+    # traffic): placement matters.
+    assert not coverage["BYE attack"]["IDS@clientB"]
+    assert coverage["Fake IM"]["IDS@clientA"] and not coverage["Fake IM"]["IDS@clientB"]
+    # Infrastructure attacks are caught regardless of endpoint vantage
+    # (registration state is not endpoint-filtered).
+    for vantage in ("IDS@clientA", "IDS@clientB", "IDS@network"):
+        assert coverage["REGISTER DoS"][vantage]
+        assert coverage["Password guess"][vantage]
+    # Billing fraud needs the network/proxy vantage for its RTP facet.
+    assert "FRAUD-001" in coverage["Billing fraud"]["IDS@network"]

@@ -1,0 +1,60 @@
+"""§3.3 — the two stateful-detection scenarios: REGISTER DoS and
+password guessing, against benign churn.
+
+Shape expectation: both attacks flagged with the correct (distinct)
+rule, benign challenge/response churn silent, and the DoS detection
+threshold behaving as a dial (flood intensity sweep).
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.core.rules_library import RULE_PASSWORD_GUESS, RULE_REGISTER_DOS
+from repro.experiments.harness import run_benign, run_password_guess, run_register_dos
+from repro.experiments.report import format_table
+
+FLOOD_SIZES = [3, 5, 10, 20]
+
+
+def _measure():
+    floods = {n: run_register_dos(seed=7, requests=n) for n in FLOOD_SIZES}
+    guessing = run_password_guess(seed=7)
+    churn = run_benign("registration-churn", seed=7)
+    return floods, guessing, churn
+
+
+def test_stateful_dos_and_guessing(benchmark, emit):
+    floods, guessing, churn = once(benchmark, _measure)
+    rows = []
+    for n in FLOOD_SIZES:
+        result = floods[n]
+        dos_alerts = result.alerts_for(RULE_REGISTER_DOS)
+        rows.append([
+            f"REGISTER flood x{n}",
+            "DOS-001" if dos_alerts else "-",
+            f"{(dos_alerts[0].time - result.injection_time):.2f} s" if dos_alerts else "-",
+        ])
+    pwd_alerts = guessing.alerts_for(RULE_PASSWORD_GUESS)
+    rows.append([
+        f"password guessing ({guessing.extras['attempts']} attempts)",
+        "PWD-001" if pwd_alerts else "-",
+        f"{(pwd_alerts[0].time - guessing.injection_time):.2f} s" if pwd_alerts else "-",
+    ])
+    rows.append([
+        "benign auth churn (4 rounds x 2 users)",
+        "clean" if not churn.alerts else "FALSE ALARM",
+        "-",
+    ])
+    emit(format_table(
+        ["scenario", "verdict", "time to alarm"],
+        rows,
+        title="§3.3 — stateful detection: DoS vs guessing vs benign churn (threshold: 5 in 10 s)",
+    ))
+    # Threshold semantics: small floods stay under it, larger ones alarm.
+    assert not floods[3].alerts_for(RULE_REGISTER_DOS)
+    assert floods[10].alerts_for(RULE_REGISTER_DOS)
+    assert floods[20].alerts_for(RULE_REGISTER_DOS)
+    # Distinct classification.
+    assert pwd_alerts and not guessing.alerts_for(RULE_REGISTER_DOS)
+    assert not churn.alerts

@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one of the paper's tables/figures and prints the
+rows with ``emit`` (visible even under pytest's output capture), while
+pytest-benchmark records the timing of the underlying simulation or
+engine operation.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print through pytest's capture so tables always reach the console."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print(text)
+
+    return _emit
+
+
+def once(benchmark, func, *args, **kwargs):
+    """Run a heavyweight scenario exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

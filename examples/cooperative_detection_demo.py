@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Cooperative two-endpoint detection (paper §3.3 + §4.2.2's admission).
+
+The paper concedes that the Fake-IM source-IP rule "will not work" if
+the attacker spoofs the IP address, and motivates "deploying IDS on both
+client ends".  This demo builds exactly that: one SCIDIVE instance per
+endpoint, a correlation hub exchanging event objects, and an IP-spoofed
+forged instant message that
+
+* evades the single-endpoint FAKEIM-001 rule (the source IP looks right),
+* is caught by the cooperative rule: Alice's IDS saw the message arrive
+  "from Bob", but Bob's IDS never saw Bob's host send it.
+
+Run:  python examples/cooperative_detection_demo.py
+"""
+
+from repro.attacks import FakeImAttack
+from repro.core import ScidiveEngine
+from repro.core.correlation import CorrelationHub
+from repro.core.rules_library import RULE_FAKE_IM
+from repro.voip import Testbed, im_exchange
+from repro.voip.testbed import CLIENT_A_IP, CLIENT_B_IP
+
+
+def main() -> None:
+    testbed = Testbed()
+    ids_a = ScidiveEngine(
+        vantage_ip=CLIENT_A_IP, name="ids-a", vantage_mac=testbed.stack_a.iface.mac
+    )
+    ids_b = ScidiveEngine(
+        vantage_ip=CLIENT_B_IP, name="ids-b", vantage_mac=testbed.stack_b.iface.mac
+    )
+    ids_a.attach(testbed.ids_tap)
+    ids_b.attach(testbed.ids_tap)
+
+    hub = CorrelationHub(
+        home_of={"bob@example.com": "ids-b", "alice@example.com": "ids-a"}
+    )
+    hub.register(ids_a)
+    hub.register(ids_b)
+
+    attack = FakeImAttack(testbed, spoof_source=True)
+    testbed.register_all()
+
+    print("=== benign IM exchange ===")
+    im_exchange(testbed, ["hey alice", "9am works"])
+    testbed.run_for(2.5)
+    hub.finalize(testbed.now())
+    print(f"  cooperative alerts so far: {len(hub.alerts)} (must be 0)")
+    assert not hub.alerts
+
+    print("\n=== IP-spoofed forged IM ===")
+    attack.launch_now()
+    print(f"  attacker forged '{attack.report.details['text']}' claiming "
+          f"{attack.report.details['claimed_from']}, spoofing source IP "
+          f"{attack.report.details['actual_source']}")
+    testbed.run_for(3.0)
+
+    single = ids_a.alerts_for_rule(RULE_FAKE_IM)
+    print(f"  single-endpoint FAKEIM-001 alerts: {len(single)} "
+          f"(source-IP spoofing can defeat the local rule)")
+
+    verdicts = hub.finalize(testbed.now())
+    assert verdicts, "the cooperative rule must catch the spoof"
+    print(f"  COOPERATIVE ALERT {verdicts[0].rule_id}: {verdicts[0].message}")
+
+    print(f"\n  events exchanged through the hub: {len(hub.events)} "
+          f"from detectors {sorted({e.detector for e in hub.events})}")
+
+
+if __name__ == "__main__":
+    main()
+    print("\ncooperative_detection_demo OK")

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""H.323 demo: the same IDS, a different call-management protocol.
+
+The paper's abstract promises SCIDIVE works with any CMP, not just SIP.
+This demo builds an H.323 deployment — gatekeeper (RAS registration +
+admission), two fast-connect terminals — runs a call, injects the
+forged RELEASE COMPLETE attack (the H.323 twin of the BYE attack), and
+shows the *unchanged* SCIDIVE engine raising H323-001.
+
+Run:  python examples/h323_demo.py
+"""
+
+from repro.attacks import ForgedReleaseAttack
+from repro.core import ScidiveEngine
+from repro.core.rules_library import RULE_H323_RELEASE
+from repro.h323.endpoint import H323CallState
+from repro.h323.testbed import H323Testbed, TERMINAL_A_IP
+
+
+def main() -> None:
+    testbed = H323Testbed()
+    ids = ScidiveEngine(vantage_ip=TERMINAL_A_IP)  # same engine as for SIP
+    ids.attach(testbed.ids_tap)
+    attack = ForgedReleaseAttack(testbed)
+
+    testbed.register_all()
+    print(f"RAS registration: alice={testbed.terminal_a.registered}, "
+          f"bob={testbed.terminal_b.registered}")
+
+    call = testbed.terminal_a.call("bob")
+    testbed.run_for(1.5)
+    print(f"H.225 fast-connect call up (CRV {call.call_reference:#x}): "
+          f"{call.state.name}, media -> {call.remote_media}")
+
+    t_attack = testbed.now()
+    attack.launch_now()
+    testbed.run_for(2.0)
+    print(f"forged RELEASE COMPLETE sent to {attack.report.details['victim']} "
+          f"(CRV {attack.report.details['crv']:#x})")
+
+    b_call = list(testbed.terminal_b.calls.values())[0]
+    print(f"alice's terminal: {call.state.name} (believes bob hung up); "
+          f"bob's terminal: {b_call.state.name}, still sending "
+          f"{b_call.rtp.sender.packets_sent} packets")
+
+    alerts = ids.alerts_for_rule(RULE_H323_RELEASE)
+    assert alerts, "expected H323-001"
+    for alert in alerts:
+        print(f"ALERT {alert.rule_id} (+{(alert.time - t_attack) * 1000:.1f} ms): "
+              f"{alert.message}")
+
+    assert call.state == H323CallState.RELEASED
+    assert b_call.state == H323CallState.ACTIVE
+
+
+if __name__ == "__main__":
+    main()
+    print("\nh323_demo OK")

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: detect a forged-BYE attack with SCIDIVE.
+
+Builds the paper's Figure 4 testbed (two SIP clients, a proxy, an
+attacker, and an IDS tap on a shared hub), places a call, injects the
+BYE attack from §4.2.1, and shows the alert the stateful cross-protocol
+rule raises — plus the silence of a benign control run.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.attacks import ByeAttack
+from repro.core import ScidiveEngine
+from repro.core.rules_library import RULE_BYE_ATTACK
+from repro.voip import Testbed, normal_call
+from repro.voip.testbed import CLIENT_A_IP
+
+
+def attack_run() -> None:
+    print("=== Attack run: forged BYE mid-call ===")
+    testbed = Testbed()
+
+    # The IDS: a SCIDIVE engine at client A's vantage, fed live by the tap.
+    ids = ScidiveEngine(vantage_ip=CLIENT_A_IP)
+    ids.attach(testbed.ids_tap)
+
+    # The attacker's tools are online from the start (SIP is cleartext,
+    # so the spy learns Call-IDs, tags and media ports off the hub).
+    attack = ByeAttack(testbed)
+
+    testbed.register_all()
+    call = testbed.phone_a.call("sip:bob@example.com")
+    testbed.run_for(1.5)
+    print(f"  t={testbed.now():.3f}s  call established: {call.state.name}")
+
+    t_attack = testbed.now()
+    attack.launch_now()
+    print(f"  t={t_attack:.3f}s  attacker sends forged BYE impersonating "
+          f"{attack.report.details['impersonated']}")
+    testbed.run_for(2.0)
+
+    print(f"  victim's view: call {call.state.name}, "
+          f"'hung up by peer' = {call.ended_by_peer}")
+    for alert in ids.alerts:
+        print(f"  ALERT {alert.rule_id} (+{(alert.time - t_attack) * 1000:.1f} ms): "
+              f"{alert.message}")
+    assert ids.alerts_for_rule(RULE_BYE_ATTACK), "expected a BYE-001 alert"
+
+
+def benign_run() -> None:
+    print("\n=== Control run: normal call, B hangs up ===")
+    testbed = Testbed()
+    ids = ScidiveEngine(vantage_ip=CLIENT_A_IP)
+    ids.attach(testbed.ids_tap)
+    testbed.register_all()
+    normal_call(testbed, talk_seconds=1.5, caller_hangs_up=False)
+    print(f"  frames inspected: {ids.stats.frames}, footprints: {ids.stats.footprints}, "
+          f"events: {ids.stats.events}")
+    print(f"  alerts: {len(ids.alerts)} (a legitimate teardown must not alarm)")
+    assert not ids.alerts
+
+
+if __name__ == "__main__":
+    attack_run()
+    benign_run()
+    print("\nquickstart OK")

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Offline environments without the ``wheel`` package cannot run the PEP 517
+editable build; with this shim, ``pip install -e . --no-build-isolation``
+falls back to the classic setuptools develop path.
+"""
+
+from setuptools import setup
+
+setup()

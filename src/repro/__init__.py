@@ -1,0 +1,33 @@
+"""SCIDIVE reproduction: a stateful, cross-protocol intrusion detection
+architecture for VoIP environments (Wu et al., DSN 2004).
+
+Quick start::
+
+    from repro.voip import Testbed
+    from repro.core import ScidiveEngine
+    from repro.attacks import ByeAttack
+    from repro.voip.testbed import CLIENT_A_IP
+
+    tb = Testbed()
+    ids = ScidiveEngine(vantage_ip=CLIENT_A_IP)
+    ids.attach(tb.ids_tap)
+    attack = ByeAttack(tb)           # attacker watches from the start
+    tb.register_all()
+    tb.phone_a.call("sip:bob@example.com")
+    tb.run_for(1.5)
+    attack.launch_now()
+    tb.run_for(2.0)
+    print(ids.alerts)
+
+Subpackages: ``sim`` (event-driven network), ``net`` (wire formats),
+``sip``/``rtp`` (protocol stacks), ``voip`` (soft-phones + testbed),
+``attacks`` (injectors), ``accounting`` (billing substrate), ``core``
+(the IDS), ``baseline`` (Snort-like comparison), ``experiments``
+(harness for every table/figure).
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.engine import ScidiveEngine
+
+__all__ = ["ScidiveEngine", "__version__"]

@@ -1,0 +1,8 @@
+"""Accounting substrate: billing agent (with its deliberate parser-
+differential vulnerability), call records, and the billing database."""
+
+from repro.accounting.billing import BillingAgent
+from repro.accounting.database import BillingDatabase
+from repro.accounting.records import ACCOUNTING_PORT, CallRecord
+
+__all__ = ["ACCOUNTING_PORT", "BillingAgent", "BillingDatabase", "CallRecord"]

@@ -1,0 +1,85 @@
+"""The billing agent running on the proxy — including its vulnerability.
+
+The paper's §3.2 synthetic billing-fraud scenario needs a proxy whose
+accounting can be fooled "into believing the call is initiated by
+someone else".  The modelled bug is a classic parser differential: the
+billing code attributes the call to the **last** ``From`` header in the
+message, while RFC 3261 allows only one.  A well-formed call has one
+``From`` and is billed correctly; the attacker's crafted INVITE carries
+a second ``From`` naming the victim, which strict parsers (the IDS)
+reject as malformed but the lenient proxy happily processes.
+"""
+
+from __future__ import annotations
+
+from repro.accounting.records import CallRecord
+from repro.net.addr import Endpoint
+from repro.net.stack import HostStack
+from repro.sim.eventloop import EventLoop
+from repro.sip.headers import NameAddr
+from repro.sip.message import SipRequest
+
+
+class BillingAgent:
+    """Accounting software co-located with the proxy."""
+
+    def __init__(
+        self,
+        stack: HostStack,
+        loop: EventLoop,
+        database: Endpoint,
+        source_port: int = 9091,
+    ) -> None:
+        self.stack = stack
+        self.loop = loop
+        self.database = database
+        self.socket = stack.bind(source_port, lambda payload, src, now: None)
+        self.transactions: list[CallRecord] = []
+        self._open_calls: set[str] = set()
+
+    # -- the vulnerable attribution --------------------------------------------
+
+    @staticmethod
+    def billed_party(request: SipRequest) -> str:
+        """Who pays for this call.
+
+        THE BUG (intentional, modelling the paper's vulnerable proxy):
+        attribution uses the *last* From header.  With the RFC-mandated
+        single From this is correct; with a smuggled duplicate it bills
+        the victim named in the second header.
+        """
+        from_values = request.headers.get_all("From")
+        if not from_values:
+            return ""
+        try:
+            return NameAddr.parse(from_values[-1]).uri.address_of_record
+        except Exception:
+            return ""
+
+    # -- call lifecycle hooks (invoked by the proxy) ------------------------------
+
+    def on_invite(self, request: SipRequest, now: float) -> None:
+        try:
+            call_id = request.call_id
+            to_aor = request.to_addr.uri.address_of_record
+        except Exception:
+            return
+        if call_id in self._open_calls:
+            return  # re-INVITE or retransmission: already billed
+        self._open_calls.add(call_id)
+        self._emit(CallRecord(call_id, self.billed_party(request), to_aor, "start", now))
+
+    def on_bye(self, request: SipRequest, now: float) -> None:
+        try:
+            call_id = request.call_id
+            to_aor = request.to_addr.uri.address_of_record
+        except Exception:
+            return
+        if call_id not in self._open_calls:
+            return
+        self._open_calls.discard(call_id)
+        self._emit(CallRecord(call_id, self.billed_party(request), to_aor, "stop", now))
+
+    def _emit(self, record: CallRecord) -> None:
+        self.transactions.append(record)
+        self.socket.send_to(self.database, record.encode())

@@ -1,0 +1,52 @@
+"""The billing database host: receives and stores call records."""
+
+from __future__ import annotations
+
+from repro.accounting.records import ACCOUNTING_PORT, CallRecord
+from repro.net.addr import Endpoint
+from repro.net.stack import HostStack
+
+
+class BillingDatabase:
+    """A trivially simple transactional store listening on UDP.
+
+    Supports the queries the billing-fraud experiment needs: records per
+    user, and total billed seconds (start/stop pairing by Call-ID).
+    """
+
+    def __init__(self, stack: HostStack, port: int = ACCOUNTING_PORT) -> None:
+        self.stack = stack
+        self.port = port
+        self.socket = stack.bind(port, self._on_datagram)
+        self.records: list[CallRecord] = []
+        self.decode_errors = 0
+
+    def _on_datagram(self, payload: bytes, src: Endpoint, now: float) -> None:
+        try:
+            record = CallRecord.decode(payload, default_time=now)
+        except ValueError:
+            self.decode_errors += 1
+            return
+        self.records.append(record)
+
+    # -- queries ------------------------------------------------------------
+
+    def records_for(self, aor: str) -> list[CallRecord]:
+        return [r for r in self.records if r.from_aor == aor]
+
+    def billed_seconds(self, aor: str) -> float:
+        """Sum of (stop - start) per call billed to ``aor``."""
+        starts: dict[str, float] = {}
+        total = 0.0
+        for record in self.records:
+            if record.from_aor != aor:
+                continue
+            if record.action == "start":
+                starts[record.call_id] = record.time
+            elif record.action == "stop" and record.call_id in starts:
+                total += record.time - starts.pop(record.call_id)
+        return total
+
+    @property
+    def endpoint(self) -> Endpoint:
+        return Endpoint(self.stack.ip, self.port)

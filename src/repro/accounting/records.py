@@ -1,0 +1,52 @@
+"""Call detail records and the accounting wire protocol.
+
+The billing software announces call events to its database over a simple
+line protocol (``TXN action=start call_id=... from=... to=...``), which
+the SCIDIVE tap observes on the hub — the "transaction messages between
+the accounting software and the database" of the paper's §3.2 scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+ACCOUNTING_PORT = 9090
+
+
+@dataclass(frozen=True, slots=True)
+class CallRecord:
+    """One billing transaction."""
+
+    call_id: str
+    from_aor: str
+    to_aor: str
+    action: str  # "start" | "stop"
+    time: float
+
+    def encode(self) -> bytes:
+        return (
+            f"TXN action={self.action} call_id={self.call_id} "
+            f"from={self.from_aor} to={self.to_aor} ts={self.time:.6f}"
+        ).encode("utf-8")
+
+    @classmethod
+    def decode(cls, payload: bytes, default_time: float = 0.0) -> "CallRecord":
+        text = payload.decode("utf-8").strip()
+        if not text.startswith("TXN "):
+            raise ValueError(f"not a TXN line: {text!r}")
+        fields: dict[str, str] = {}
+        for chunk in text[4:].split():
+            key, eq, value = chunk.partition("=")
+            if not eq:
+                raise ValueError(f"bad TXN field: {chunk!r}")
+            fields[key] = value
+        missing = {"action", "call_id", "from", "to"} - fields.keys()
+        if missing:
+            raise ValueError(f"TXN missing fields {sorted(missing)}: {text!r}")
+        return cls(
+            call_id=fields["call_id"],
+            from_aor=fields["from"],
+            to_aor=fields["to"],
+            action=fields["action"],
+            time=float(fields.get("ts", default_time)),
+        )

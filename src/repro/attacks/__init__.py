@@ -1,0 +1,32 @@
+"""Attack injectors: the paper's four demonstrated attacks (BYE, Fake IM,
+Call Hijack, RTP) plus the Section 3 motivating scenarios (REGISTER DoS,
+password guessing, billing fraud)."""
+
+from repro.attacks.base import AttackerAgent, AttackReport, DialogSpy, SpiedDialog
+from repro.attacks.billing_fraud import BillingFraudAttack
+from repro.attacks.bye_attack import ByeAttack
+from repro.attacks.call_hijack import CallHijackAttack
+from repro.attacks.fake_im import FakeImAttack
+from repro.attacks.h323_attacks import ForgedReleaseAttack, H225Spy
+from repro.attacks.media_attacks import RtcpByeAttack, SsrcSpoofAttack
+from repro.attacks.password_guess import PasswordGuessAttack
+from repro.attacks.register_dos import RegisterDosAttack
+from repro.attacks.rtp_attack import RtpAttack
+
+__all__ = [
+    "AttackerAgent",
+    "AttackReport",
+    "BillingFraudAttack",
+    "ByeAttack",
+    "CallHijackAttack",
+    "DialogSpy",
+    "FakeImAttack",
+    "ForgedReleaseAttack",
+    "H225Spy",
+    "RtcpByeAttack",
+    "SsrcSpoofAttack",
+    "PasswordGuessAttack",
+    "RegisterDosAttack",
+    "RtpAttack",
+    "SpiedDialog",
+]

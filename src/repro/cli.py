@@ -1,0 +1,157 @@
+"""Command-line interface: run scenarios, replay captures, print Table 1.
+
+Usage::
+
+    python -m repro scenario bye-attack [--seed 7] [--pcap out.pcap] [--json alerts.jsonl]
+    python -m repro replay capture.pcap [--vantage 10.0.0.10] [--json alerts.jsonl]
+    python -m repro table1 [--seed 7]
+    python -m repro list
+
+``scenario`` drives the full simulated testbed (attack or benign),
+``replay`` runs the IDS offline over a standard pcap, ``table1``
+regenerates the paper's attack matrix.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.core.export import write_alerts_jsonl
+from repro.experiments.harness import (
+    BENIGN_KINDS,
+    ExperimentResult,
+    run_benign,
+    run_billing_fraud,
+    run_bye_attack,
+    run_call_hijack,
+    run_fake_im,
+    run_password_guess,
+    run_register_dos,
+    run_rtcp_bye_attack,
+    run_rtp_attack,
+    run_ssrc_spoof,
+)
+from repro.experiments.report import format_table
+
+ATTACK_SCENARIOS: dict[str, Callable[..., ExperimentResult]] = {
+    "bye-attack": run_bye_attack,
+    "call-hijack": run_call_hijack,
+    "fake-im": run_fake_im,
+    "rtp-attack": run_rtp_attack,
+    "register-dos": run_register_dos,
+    "password-guess": run_password_guess,
+    "billing-fraud": run_billing_fraud,
+    "rtcp-bye": run_rtcp_bye_attack,
+    "ssrc-spoof": run_ssrc_spoof,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SCIDIVE reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scenario = sub.add_parser("scenario", help="run an attack or benign scenario")
+    scenario.add_argument("name", help="scenario name (see `repro list`)")
+    scenario.add_argument("--seed", type=int, default=7)
+    scenario.add_argument("--pcap", help="write the tap capture to this pcap file")
+    scenario.add_argument("--json", help="write alerts to this JSON-lines file")
+
+    replay = sub.add_parser("replay", help="replay a pcap through the IDS")
+    replay.add_argument("pcap", help="pcap file (LINKTYPE_ETHERNET)")
+    replay.add_argument("--vantage", default=None,
+                        help="protected endpoint IP (default: network-wide)")
+    replay.add_argument("--json", help="write alerts to this JSON-lines file")
+
+    table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
+    table1.add_argument("--seed", type=int, default=7)
+
+    sub.add_parser("list", help="list available scenarios")
+    return parser
+
+
+def _print_alerts(result_alerts) -> None:
+    if not result_alerts:
+        print("no alerts")
+        return
+    rows = [
+        [f"{a.time:9.4f}", a.rule_id, a.severity.name, a.session or "-", a.message]
+        for a in result_alerts
+    ]
+    print(format_table(["t (s)", "rule", "severity", "session", "message"], rows))
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    name = args.name
+    if name in ATTACK_SCENARIOS:
+        result = ATTACK_SCENARIOS[name](seed=args.seed)
+    elif name.removeprefix("benign-") in BENIGN_KINDS:
+        result = run_benign(name.removeprefix("benign-"), seed=args.seed)
+    else:
+        print(f"unknown scenario {name!r}; try `repro list`", file=sys.stderr)
+        return 2
+    print(f"scenario {name}: {result.engine.stats.frames} frames, "
+          f"{result.engine.stats.footprints} footprints, "
+          f"{result.engine.stats.events} events")
+    _print_alerts(result.alerts)
+    if args.pcap:
+        from repro.net.pcap import write_pcap
+
+        write_pcap(args.pcap, result.testbed.ids_tap.trace)
+        print(f"capture written to {args.pcap}")
+    if args.json:
+        count = write_alerts_jsonl(args.json, result.alerts)
+        print(f"{count} alerts written to {args.json}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.core.engine import ScidiveEngine
+    from repro.net.pcap import read_pcap
+
+    trace = read_pcap(args.pcap)
+    engine = ScidiveEngine(vantage_ip=args.vantage)
+    engine.process_trace(trace)
+    print(f"replayed {len(trace)} frames: {engine.stats.footprints} footprints, "
+          f"{engine.stats.events} events, {len(engine.alerts)} alerts")
+    _print_alerts(engine.alerts)
+    if args.json:
+        count = write_alerts_jsonl(args.json, engine.alerts)
+        print(f"{count} alerts written to {args.json}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments.table1 import TABLE1_HEADERS, build_table1
+
+    rows = build_table1(seed=args.seed)
+    print(format_table(TABLE1_HEADERS, [r.cells() for r in rows], title="Table 1"))
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("attack scenarios:")
+    for name in ATTACK_SCENARIOS:
+        print(f"  {name}")
+    print("benign scenarios:")
+    for kind in BENIGN_KINDS:
+        print(f"  benign-{kind}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "scenario": _cmd_scenario,
+        "replay": _cmd_replay,
+        "table1": _cmd_table1,
+        "list": _cmd_list,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

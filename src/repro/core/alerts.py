@@ -1,0 +1,61 @@
+"""Alerts: what the rule matching engine raises."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.events import Event
+
+
+class Severity(enum.IntEnum):
+    INFO = 0
+    LOW = 1
+    MEDIUM = 2
+    HIGH = 3
+    CRITICAL = 4
+
+
+@dataclass(frozen=True, slots=True)
+class Alert:
+    """One intrusion verdict."""
+
+    rule_id: str
+    rule_name: str
+    time: float
+    session: str
+    severity: Severity
+    attack_class: str  # "dos", "masquerading", "media", "toll-fraud", ...
+    message: str
+    events: tuple[Event, ...] = field(default=(), hash=False, compare=False)
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.time:9.4f}] ALERT {self.rule_id} ({self.severity.name}) "
+            f"session={self.session or '-'}: {self.message}"
+        )
+
+
+class AlertLog:
+    """Collects alerts; the default sink."""
+
+    def __init__(self) -> None:
+        self.alerts: list[Alert] = []
+
+    def emit(self, alert: Alert) -> None:
+        self.alerts.append(alert)
+
+    def by_rule(self, rule_id: str) -> list[Alert]:
+        return [a for a in self.alerts if a.rule_id == rule_id]
+
+    def sessions(self) -> set[str]:
+        return {a.session for a in self.alerts}
+
+    def clear(self) -> None:
+        self.alerts.clear()
+
+    def __len__(self) -> int:
+        return len(self.alerts)
+
+    def __iter__(self):
+        return iter(self.alerts)

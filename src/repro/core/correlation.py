@@ -1,0 +1,137 @@
+"""Cooperative multi-detector correlation (paper §3.3 / future work).
+
+"We can use a similar idea by deploying SCIDIVE-enabled IDS on both
+end-points of the VoIP system.  In such an installation, the two IDSs
+could exchange event objects and portions of trails to enhance the
+overall detection accuracy."
+
+:class:`CorrelationHub` subscribes to several engines' event streams and
+runs *cross-detector* rules over the merged, labelled stream.  The
+flagship rule reproduces the paper's own motivating gap: a Fake IM with
+a **spoofed source IP** defeats the single-endpoint source-consistency
+rule (§4.2.2 admits this), but cannot defeat two cooperating detectors —
+the receiver's IDS sees an ``ImReceived`` claiming to be from B while
+B's own IDS never saw a matching ``ImSent``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.alerts import Alert, AlertLog, Severity
+from repro.core.engine import ScidiveEngine
+from repro.core.events import EVENT_IM_RECEIVED, EVENT_IM_SENT, Event
+
+RULE_SPOOFED_IM = "COOP-IM-001"
+
+
+@dataclass(slots=True)
+class LabelledEvent:
+    detector: str
+    event: Event
+
+
+@dataclass(slots=True)
+class _PendingReceipt:
+    detector: str
+    event: Event
+    deadline: float
+
+
+class CorrelationHub:
+    """Merges event streams from cooperating SCIDIVE instances.
+
+    ``home_of`` maps an address-of-record to the detector that guards
+    that user's endpoint (e.g. ``{"bob@example.com": "ids-b"}``); an IM
+    claiming to be *from* a guarded user must have a matching ``ImSent``
+    at that user's detector.
+    """
+
+    def __init__(self, home_of: dict[str, str], window: float = 2.0) -> None:
+        self.home_of = dict(home_of)
+        self.window = window
+        self.alert_log = AlertLog()
+        self.events: list[LabelledEvent] = []
+        self._sent_index: dict[tuple[str, str, str], Event] = {}
+        self._pending: list[_PendingReceipt] = []
+        self.engines: dict[str, ScidiveEngine] = {}
+
+    # -- wiring ----------------------------------------------------------
+
+    def register(self, engine: ScidiveEngine) -> None:
+        if engine.name in self.engines:
+            raise ValueError(f"duplicate detector name: {engine.name}")
+        self.engines[engine.name] = engine
+        engine.event_subscribers.append(self.on_event)
+
+    # -- event intake ---------------------------------------------------------
+
+    def on_event(self, detector: str, event: Event) -> None:
+        self.events.append(LabelledEvent(detector, event))
+        if event.name == EVENT_IM_SENT:
+            key = (detector, event.attrs.get("from", ""), event.attrs.get("digest", ""))
+            self._sent_index[key] = event
+            self._resolve_pending(event.time)
+        elif event.name == EVENT_IM_RECEIVED:
+            sender = event.attrs.get("from", "")
+            home = self.home_of.get(sender)
+            if home is None:
+                return  # sender not guarded by any cooperating detector
+            if self._matching_sent(home, event) is not None:
+                return  # authentic: the home detector saw it leave
+            self._pending.append(
+                _PendingReceipt(
+                    detector=detector, event=event, deadline=event.time + self.window
+                )
+            )
+
+    def _matching_sent(self, home: str, received: Event) -> Event | None:
+        key = (home, received.attrs.get("from", ""), received.attrs.get("digest", ""))
+        return self._sent_index.get(key)
+
+    def _resolve_pending(self, now: float) -> None:
+        still: list[_PendingReceipt] = []
+        for pending in self._pending:
+            home = self.home_of.get(pending.event.attrs.get("from", ""), "")
+            if self._matching_sent(home, pending.event) is not None:
+                continue  # matched late (sent event arrived after receipt)
+            still.append(pending)
+        self._pending = still
+
+    # -- verdicts -----------------------------------------------------------------
+
+    def finalize(self, now: float) -> list[Alert]:
+        """Raise alerts for receipts whose window has expired unmatched.
+
+        Call at (or after) the end of a run with the final simulation
+        time; in a live deployment this would run periodically.
+        """
+        self._resolve_pending(now)
+        raised: list[Alert] = []
+        remaining: list[_PendingReceipt] = []
+        for pending in self._pending:
+            if pending.deadline > now:
+                remaining.append(pending)
+                continue
+            sender = pending.event.attrs.get("from", "")
+            alert = Alert(
+                rule_id=RULE_SPOOFED_IM,
+                rule_name="Spoofed instant message (cooperative)",
+                time=pending.event.time,
+                session=pending.event.session,
+                severity=Severity.HIGH,
+                attack_class="masquerading",
+                message=(
+                    f"IM claiming to be from {sender} observed at {pending.detector} "
+                    f"but {self.home_of.get(sender)} never saw it sent"
+                ),
+                events=(pending.event,),
+            )
+            self.alert_log.emit(alert)
+            raised.append(alert)
+        self._pending = remaining
+        return raised
+
+    @property
+    def alerts(self) -> list[Alert]:
+        return self.alert_log.alerts

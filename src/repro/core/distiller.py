@@ -1,0 +1,216 @@
+"""The Distiller: raw frames → Footprints (paper §3.1, Figure 2).
+
+"Incoming network flows first pass through the Distiller, which
+translates packets into protocol dependent information units called
+Footprints.  The Distiller is responsible for doing IP fragmentation,
+reassembly, decoding protocols, and finally generating the corresponding
+Footprints."
+
+Classification order matters: SIP is text with a recognisable start
+line; RTCP must be sniffed before RTP (both carry version 2 in the top
+bits, RTCP is distinguished by its payload-type range); the accounting
+line protocol rides a dedicated port.  Anything on a VoIP-relevant port
+that fails to decode becomes a :class:`MalformedFootprint` tagged with
+the protocol it pretended to be.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.footprint import (
+    AccountingFootprint,
+    AnyFootprint,
+    H225Footprint,
+    MalformedFootprint,
+    Protocol,
+    RtcpFootprint,
+    RtpFootprint,
+    SipFootprint,
+)
+from repro.h323.h225 import H225_PORT, H225Error, H225Message, looks_like_h225
+from repro.h323.ras import RAS_PORT
+from repro.net.addr import Endpoint, MacAddress
+from repro.net.fragmentation import Reassembler
+from repro.net.packet import (
+    ETHERTYPE_IPV4,
+    IPPROTO_UDP,
+    EthernetFrame,
+    PacketError,
+    IPv4Packet,
+    UdpDatagram,
+)
+from repro.rtp.packet import RtpError, RtpPacket, looks_like_rtp
+from repro.rtp.rtcp import RtcpError, decode_compound, looks_like_rtcp
+from repro.sip.message import SipParseError, looks_like_sip, parse_message
+
+ACCOUNTING_PORT = 9090
+
+
+@dataclass(slots=True)
+class DistillerStats:
+    frames: int = 0
+    footprints: int = 0
+    non_ip: int = 0
+    non_udp: int = 0
+    fragments_held: int = 0
+    malformed: int = 0
+    ignored: int = 0
+
+
+@dataclass(slots=True)
+class Distiller:
+    """Stateful frame decoder.
+
+    ``sip_ports`` / ``rtp_port_range`` steer classification for payloads
+    whose content sniffing is ambiguous; content checks still win.
+    """
+
+    sip_ports: frozenset[int] = frozenset({5060})
+    rtp_port_min: int = 10000
+    rtp_port_max: int = 65534
+    accounting_port: int = ACCOUNTING_PORT
+    stats: DistillerStats = field(default_factory=DistillerStats)
+    _reassembler: Reassembler = field(default_factory=Reassembler)
+
+    def distill(self, frame: bytes, timestamp: float) -> AnyFootprint | None:
+        """Decode one captured frame into a Footprint (or None for non-VoIP)."""
+        self.stats.frames += 1
+        try:
+            eth = EthernetFrame.decode(frame)
+        except PacketError:
+            self.stats.ignored += 1
+            return None
+        if eth.ethertype != ETHERTYPE_IPV4:
+            self.stats.non_ip += 1
+            return None
+        try:
+            packet = IPv4Packet.decode(eth.payload)
+        except PacketError:
+            self.stats.ignored += 1
+            return None
+        whole = self._reassembler.push(packet, timestamp)
+        if whole is None:
+            self.stats.fragments_held += 1
+            return None
+        if whole.protocol != IPPROTO_UDP:
+            self.stats.non_udp += 1
+            return None
+        try:
+            udp = UdpDatagram.decode(whole.payload, whole.src, whole.dst)
+        except PacketError:
+            self.stats.ignored += 1
+            return None
+        footprint = self._classify(
+            udp.payload,
+            timestamp=timestamp,
+            src=Endpoint(whole.src, udp.src_port),
+            dst=Endpoint(whole.dst, udp.dst_port),
+            src_mac=eth.src,
+            dst_mac=eth.dst,
+            wire_bytes=len(frame),
+        )
+        if footprint is None:
+            self.stats.ignored += 1
+            return None
+        if isinstance(footprint, MalformedFootprint):
+            self.stats.malformed += 1
+        self.stats.footprints += 1
+        return footprint
+
+    # -- classification -----------------------------------------------------
+
+    def _classify(
+        self,
+        payload: bytes,
+        timestamp: float,
+        src: Endpoint,
+        dst: Endpoint,
+        src_mac: MacAddress,
+        dst_mac: MacAddress,
+        wire_bytes: int,
+    ) -> AnyFootprint | None:
+        common = dict(
+            timestamp=timestamp,
+            src=src,
+            dst=dst,
+            src_mac=src_mac,
+            dst_mac=dst_mac,
+            wire_bytes=wire_bytes,
+        )
+        on_sip_port = src.port in self.sip_ports or dst.port in self.sip_ports
+        if looks_like_sip(payload) or on_sip_port:
+            try:
+                return SipFootprint(message=parse_message(payload), **common)
+            except SipParseError as exc:
+                return MalformedFootprint(
+                    claimed_protocol=Protocol.SIP, reason=str(exc), **common
+                )
+        on_h225_port = src.port == H225_PORT or dst.port == H225_PORT
+        if looks_like_h225(payload) or on_h225_port:
+            try:
+                return H225Footprint(message=H225Message.decode(payload), **common)
+            except H225Error as exc:
+                return MalformedFootprint(
+                    claimed_protocol=Protocol.H225, reason=str(exc), **common
+                )
+        if src.port == RAS_PORT or dst.port == RAS_PORT:
+            # H.225 RAS (gatekeeper registration/admission).  Not used by
+            # any rule; classified here so its ephemeral-port replies are
+            # not mistaken for garbage on a media port.
+            return None
+        if src.port == self.accounting_port or dst.port == self.accounting_port:
+            parsed = _parse_accounting(payload)
+            if parsed is None:
+                return MalformedFootprint(
+                    claimed_protocol=Protocol.ACCOUNTING, reason="bad TXN line", **common
+                )
+            call_id, from_aor, to_aor, action = parsed
+            return AccountingFootprint(
+                call_id=call_id, from_aor=from_aor, to_aor=to_aor, action=action, **common
+            )
+        in_rtp_range = (
+            self.rtp_port_min <= dst.port <= self.rtp_port_max
+            or self.rtp_port_min <= src.port <= self.rtp_port_max
+        )
+        if looks_like_rtcp(payload):
+            try:
+                return RtcpFootprint(packets=tuple(decode_compound(payload)), **common)
+            except RtcpError as exc:
+                return MalformedFootprint(
+                    claimed_protocol=Protocol.RTCP, reason=str(exc), **common
+                )
+        if looks_like_rtp(payload):
+            try:
+                packet = RtpPacket.decode(payload)
+            except RtpError as exc:
+                return MalformedFootprint(claimed_protocol=Protocol.RTP, reason=str(exc), **common)
+            return RtpFootprint.from_packet(
+                packet, timestamp, src, dst, src_mac, dst_mac, wire_bytes
+            )
+        if in_rtp_range:
+            # On a media port but not valid RTP/RTCP: the garbage packets
+            # of the RTP attack land here.
+            return MalformedFootprint(
+                claimed_protocol=Protocol.RTP, reason="not RTP/RTCP on media port", **common
+            )
+        return None
+
+
+def _parse_accounting(payload: bytes) -> tuple[str, str, str, str] | None:
+    """Parse the billing line protocol: ``TXN action=.. call_id=.. from=.. to=..``."""
+    try:
+        text = payload.decode("utf-8").strip()
+    except UnicodeDecodeError:
+        return None
+    if not text.startswith("TXN "):
+        return None
+    fields: dict[str, str] = {}
+    for chunk in text[4:].split():
+        key, eq, value = chunk.partition("=")
+        if not eq:
+            return None
+        fields[key] = value
+    if not {"action", "call_id", "from", "to"} <= fields.keys():
+        return None
+    return fields["call_id"], fields["from"], fields["to"], fields["action"]

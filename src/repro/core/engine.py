@@ -1,0 +1,171 @@
+"""The SCIDIVE engine: Distiller → Trails → Events → Rules → Alerts.
+
+One :class:`ScidiveEngine` instance corresponds to one IDS box in the
+paper's Figure 3 — typically associated with a protected client
+endpoint (``vantage_ip``).  It consumes frames either *online*
+(subscribed to a live sniffer) or *offline* (replaying a recorded
+:class:`~repro.sim.trace.Trace`), which mirrors the paper's
+hub-tap deployment.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+
+from repro.core.alerts import Alert, AlertLog
+from repro.core.distiller import Distiller
+from repro.core.event_generators import default_generators
+from repro.core.events import Event, EventGenerator, GeneratorContext
+from repro.core.footprint import AnyFootprint, SipFootprint
+from repro.core.rules import RuleSet
+from repro.core.rules_library import paper_ruleset
+from repro.core.state import RegistrationTracker, SipStateTracker
+from repro.core.trail import TrailManager
+from repro.net.capture import Sniffer
+from repro.sim.trace import Trace
+
+
+@dataclass(slots=True)
+class EngineStats:
+    frames: int = 0
+    footprints: int = 0
+    events: int = 0
+    alerts: int = 0
+    cpu_seconds: float = 0.0
+
+    @property
+    def frames_per_cpu_second(self) -> float:
+        return self.frames / self.cpu_seconds if self.cpu_seconds > 0 else float("inf")
+
+
+class ScidiveEngine:
+    """A complete SCIDIVE IDS instance."""
+
+    def __init__(
+        self,
+        vantage_ip: str | None = None,
+        ruleset: RuleSet | None = None,
+        generators: list[EventGenerator] | None = None,
+        distiller: Distiller | None = None,
+        name: str = "scidive",
+        vantage_mac: str | None = None,
+    ) -> None:
+        self.name = name
+        self.distiller = distiller if distiller is not None else Distiller()
+        self.trails = TrailManager()
+        self.sip_state = SipStateTracker()
+        self.registrations = RegistrationTracker()
+        self.generators = generators if generators is not None else default_generators()
+        self.ruleset = ruleset if ruleset is not None else paper_ruleset()
+        self.alert_log = AlertLog()
+        self.stats = EngineStats()
+        self.vantage_ip = vantage_ip
+        self.vantage_mac = vantage_mac
+        self._ctx = GeneratorContext(
+            trails=self.trails,
+            sip_state=self.sip_state,
+            registrations=self.registrations,
+            vantage_ip=vantage_ip,
+            vantage_mac=vantage_mac,
+        )
+        self.event_log: list[Event] = []
+        # Optional peers for cooperative detection (see core.correlation).
+        self.event_subscribers: list = []
+        # Optional active-response hooks (see core.response).
+        self.alert_subscribers: list = []
+        # Housekeeping: expire idle state every N footprints (0 = never).
+        self.housekeeping_every: int = 10_000
+        self.state_idle_timeout: float = 600.0
+        self._since_housekeeping = 0
+        self.expired_trails = 0
+
+    # -- ingestion ------------------------------------------------------------
+
+    def process_frame(self, frame: bytes, timestamp: float) -> list[Alert]:
+        """The online entry point: one captured frame in, alerts out."""
+        started = _time.perf_counter()
+        self.stats.frames += 1
+        alerts: list[Alert] = []
+        footprint = self.distiller.distill(frame, timestamp)
+        if footprint is not None:
+            alerts = self._process_footprint(footprint)
+        self.stats.cpu_seconds += _time.perf_counter() - started
+        return alerts
+
+    def _process_footprint(self, footprint: AnyFootprint) -> list[Alert]:
+        self.stats.footprints += 1
+        self._since_housekeeping += 1
+        if self.housekeeping_every and self._since_housekeeping >= self.housekeeping_every:
+            self.housekeep(footprint.timestamp)
+        # Shared state first, so every generator sees the post-update world.
+        if isinstance(footprint, SipFootprint):
+            self.sip_state.observe(footprint)
+            self.registrations.observe(footprint)
+        trail = self.trails.push(footprint)
+        alerts: list[Alert] = []
+        for generator in self.generators:
+            for event in generator.on_footprint(footprint, trail, self._ctx):
+                self.stats.events += 1
+                self.event_log.append(event)
+                for subscriber in self.event_subscribers:
+                    subscriber(self.name, event)
+                alerts.extend(self.ruleset.match(event, self.trails, self.alert_log))
+        self.stats.alerts += len(alerts)
+        for alert in alerts:
+            for subscriber in self.alert_subscribers:
+                subscriber(alert)
+        return alerts
+
+    def inject_event(self, event: Event) -> list[Alert]:
+        """Feed an externally produced event (cooperative detection)."""
+        self.stats.events += 1
+        self.event_log.append(event)
+        alerts = self.ruleset.match(event, self.trails, self.alert_log)
+        self.stats.alerts += len(alerts)
+        return alerts
+
+    # -- deployment helpers -----------------------------------------------------
+
+    def attach(self, sniffer: Sniffer) -> None:
+        """Subscribe to a live tap (online IDS)."""
+        sniffer.subscribe(self.process_frame)
+
+    def process_trace(self, trace: Trace) -> list[Alert]:
+        """Replay a recorded capture (offline IDS)."""
+        before = len(self.alert_log)
+        for record in trace:
+            self.process_frame(record.frame, record.timestamp)
+        return self.alert_log.alerts[before:]
+
+    # -- queries --------------------------------------------------------------------
+
+    @property
+    def alerts(self) -> list[Alert]:
+        return self.alert_log.alerts
+
+    def alerts_for_rule(self, rule_id: str) -> list[Alert]:
+        return self.alert_log.by_rule(rule_id)
+
+    def events_named(self, name: str) -> list[Event]:
+        return [e for e in self.event_log if e.name == name]
+
+    def reset_detection_state(self) -> None:
+        """Clear alerts/events but keep protocol state (between phases)."""
+        self.alert_log.clear()
+        self.event_log.clear()
+
+    def housekeep(self, now: float) -> int:
+        """Expire idle trails/sessions and stale tracker state.
+
+        Runs automatically every ``housekeeping_every`` footprints;
+        callable explicitly by long-running deployments.  Returns the
+        number of trails reclaimed.
+        """
+        self._since_housekeeping = 0
+        timeout = self.state_idle_timeout
+        reclaimed = self.trails.expire_idle(now, timeout)
+        self.expired_trails += reclaimed
+        self.sip_state.expire_torn_down(now, timeout)
+        self.registrations.expire_succeeded(now, timeout)
+        return reclaimed

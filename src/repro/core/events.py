@@ -1,0 +1,101 @@
+"""Events and the Event Generator framework (paper §3.1, Figure 2).
+
+"The Event Generator maps footprints into a single event ... it is just
+a layer of abstraction, which correlates the information in footprints
+and concentrates the information into a single event.  It helps
+performance by hiding some computationally expensive matching."
+
+An :class:`Event` names something semantically interesting that one or
+more footprints imply (``OrphanRtpAfterBye``, ``ImSourceMismatch``, …).
+Generators are stateful objects fed every footprint in arrival order;
+they return zero or more events.  The engine fans footprints out to all
+registered generators and forwards the produced events to the rule
+matching engine.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.footprint import AnyFootprint
+from repro.core.state import RegistrationTracker, SipStateTracker
+from repro.core.trail import Trail, TrailManager
+
+
+# Canonical event names, so rules and generators cannot drift apart.
+EVENT_CALL_ESTABLISHED = "CallEstablished"
+EVENT_CALL_TORN_DOWN = "CallTornDown"
+EVENT_MEDIA_REDIRECTED = "MediaRedirected"
+EVENT_ORPHAN_RTP_AFTER_BYE = "OrphanRtpAfterBye"
+EVENT_ORPHAN_RTP_AFTER_REINVITE = "OrphanRtpAfterReinvite"
+EVENT_RTP_SEQ_ANOMALY = "RtpSeqAnomaly"
+EVENT_RTP_SOURCE_MISMATCH = "RtpSourceMismatch"
+EVENT_RTP_JITTER = "RtpJitter"
+EVENT_MALFORMED_RTP = "MalformedRtp"
+EVENT_MALFORMED_SIP = "MalformedSip"
+EVENT_IM_RECEIVED = "ImReceived"
+EVENT_IM_SENT = "ImSent"
+EVENT_IM_SOURCE_MISMATCH = "ImSourceMismatch"
+EVENT_REPEATED_UNAUTH_REGISTER = "RepeatedUnauthRegister"
+EVENT_AUTH_FAILURE = "AuthFailure"
+EVENT_ACCOUNTING_MISMATCH = "AccountingMismatch"
+EVENT_ACCOUNTING_TXN = "AccountingTxn"
+EVENT_RTCP_BYE = "RtcpBye"
+EVENT_RTP_AFTER_RTCP_BYE = "RtpAfterRtcpBye"
+EVENT_SSRC_COLLISION = "SsrcCollision"
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One semantic occurrence derived from footprints."""
+
+    name: str
+    time: float
+    session: str  # Call-ID or another session discriminator ("" = global)
+    attrs: dict[str, Any] = field(default_factory=dict, hash=False, compare=False)
+    # The footprints that caused this event (evidence for the analyst).
+    evidence: tuple[AnyFootprint, ...] = field(default=(), hash=False, compare=False)
+
+    def __str__(self) -> str:
+        return f"[{self.time:9.4f}] {self.name} session={self.session or '-'} {self.attrs}"
+
+
+@dataclass(slots=True)
+class GeneratorContext:
+    """Shared state every generator may consult."""
+
+    trails: TrailManager
+    sip_state: SipStateTracker
+    registrations: RegistrationTracker
+    vantage_ip: str | None = None  # IP of the protected endpoint (client A)
+    # MAC of the protected endpoint's NIC.  A host-based IDS knows which
+    # frames its own host actually transmitted; an IP-spoofed frame from
+    # elsewhere on the segment carries a foreign source MAC and must not
+    # count as outbound.  None = trust the IP (network-tap deployment).
+    vantage_mac: str | None = None
+
+    def is_inbound(self, footprint: AnyFootprint) -> bool:
+        """Does this footprint arrive at the protected endpoint?"""
+        return self.vantage_ip is None or str(footprint.dst.ip) == self.vantage_ip
+
+    def is_outbound(self, footprint: AnyFootprint) -> bool:
+        if self.vantage_ip is None or str(footprint.src.ip) != self.vantage_ip:
+            return False
+        return self.vantage_mac is None or str(footprint.src_mac) == self.vantage_mac
+
+
+class EventGenerator(ABC):
+    """Base class for all generators."""
+
+    name: str = "generator"
+
+    @abstractmethod
+    def on_footprint(
+        self, footprint: AnyFootprint, trail: Trail, ctx: GeneratorContext
+    ) -> list[Event]:
+        """Consume one footprint, emit zero or more events."""
+
+    def reset(self) -> None:
+        """Drop accumulated state (between experiment runs)."""

@@ -1,0 +1,72 @@
+"""Serialisation of alerts and events for downstream consumers.
+
+Alerts export as JSON-lines, the lingua franca of SIEM pipelines; the
+schema is flat and stable so the output of a replay can be diffed across
+ruleset versions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.core.alerts import Alert
+from repro.core.events import Event
+
+
+def event_to_dict(event: Event) -> dict[str, Any]:
+    return {
+        "type": "event",
+        "name": event.name,
+        "time": round(event.time, 6),
+        "session": event.session,
+        "attrs": _plain(event.attrs),
+        "evidence_count": len(event.evidence),
+    }
+
+
+def alert_to_dict(alert: Alert) -> dict[str, Any]:
+    return {
+        "type": "alert",
+        "rule_id": alert.rule_id,
+        "rule_name": alert.rule_name,
+        "time": round(alert.time, 6),
+        "session": alert.session,
+        "severity": alert.severity.name,
+        "attack_class": alert.attack_class,
+        "message": alert.message,
+        "events": [event_to_dict(e) for e in alert.events],
+    }
+
+
+def _plain(value: Any) -> Any:
+    """Coerce attribute values to JSON-safe types."""
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_plain(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def write_alerts_jsonl(path: str | Path, alerts: Iterable[Alert]) -> int:
+    """Write alerts as JSON lines; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for alert in alerts:
+            fh.write(json.dumps(alert_to_dict(alert), sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def read_alerts_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Read back exported alerts (as dicts — the export format is the API)."""
+    out: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

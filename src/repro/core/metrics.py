@@ -1,0 +1,138 @@
+"""Empirical IDS quality metrics: D, P_f, P_m (paper §4.3).
+
+"(1) the detection delay, D ... (2) the probability of false alarm,
+P_f ... (3) the probability of missed alarm, P_m."
+
+These helpers turn repeated simulation trials into those three numbers:
+each trial reports whether an attack was injected, when, and which
+alerts the engine raised; :class:`MetricsAccumulator` folds trials into
+detection-delay statistics and alarm probabilities with Wilson
+confidence intervals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.alerts import Alert
+
+
+@dataclass(slots=True)
+class Trial:
+    """One experiment run."""
+
+    attack_injected: bool
+    injection_time: float | None
+    alerts: list[Alert]
+    rule_id: str | None = None  # restrict relevance to one rule
+
+    def relevant_alerts(self) -> list[Alert]:
+        if self.rule_id is None:
+            return self.alerts
+        return [a for a in self.alerts if a.rule_id == self.rule_id]
+
+    @property
+    def detected(self) -> bool:
+        if not self.attack_injected:
+            return False
+        if self.injection_time is None:
+            return bool(self.relevant_alerts())
+        return any(a.time >= self.injection_time for a in self.relevant_alerts())
+
+    @property
+    def false_alarmed(self) -> bool:
+        return not self.attack_injected and bool(self.relevant_alerts())
+
+    @property
+    def detection_delay(self) -> float | None:
+        if not self.attack_injected or self.injection_time is None:
+            return None
+        times = [a.time for a in self.relevant_alerts() if a.time >= self.injection_time]
+        if not times:
+            return None
+        return min(times) - self.injection_time
+
+
+@dataclass(slots=True)
+class MetricsSummary:
+    attack_trials: int
+    benign_trials: int
+    detected: int
+    missed: int
+    false_alarms: int
+    delays: list[float]
+
+    @property
+    def p_missed(self) -> float:
+        return self.missed / self.attack_trials if self.attack_trials else 0.0
+
+    @property
+    def p_false(self) -> float:
+        return self.false_alarms / self.benign_trials if self.benign_trials else 0.0
+
+    @property
+    def mean_delay(self) -> float | None:
+        return sum(self.delays) / len(self.delays) if self.delays else None
+
+    @property
+    def median_delay(self) -> float | None:
+        if not self.delays:
+            return None
+        ordered = sorted(self.delays)
+        n = len(ordered)
+        mid = n // 2
+        return ordered[mid] if n % 2 else (ordered[mid - 1] + ordered[mid]) / 2.0
+
+    def delay_percentile(self, q: float) -> float | None:
+        """q in [0, 100]."""
+        if not self.delays:
+            return None
+        ordered = sorted(self.delays)
+        k = (len(ordered) - 1) * q / 100.0
+        lo = math.floor(k)
+        hi = math.ceil(k)
+        if lo == hi:
+            return ordered[int(k)]
+        return ordered[lo] * (hi - k) + ordered[hi] * (k - lo)
+
+    def p_missed_ci(self, z: float = 1.96) -> tuple[float, float]:
+        return wilson_interval(self.missed, self.attack_trials, z)
+
+    def p_false_ci(self, z: float = 1.96) -> tuple[float, float]:
+        return wilson_interval(self.false_alarms, self.benign_trials, z)
+
+
+class MetricsAccumulator:
+    """Folds trials into a :class:`MetricsSummary`."""
+
+    def __init__(self) -> None:
+        self.trials: list[Trial] = []
+
+    def add(self, trial: Trial) -> None:
+        self.trials.append(trial)
+
+    def summary(self) -> MetricsSummary:
+        attack = [t for t in self.trials if t.attack_injected]
+        benign = [t for t in self.trials if not t.attack_injected]
+        detected = sum(1 for t in attack if t.detected)
+        delays = [d for t in attack if (d := t.detection_delay) is not None]
+        return MetricsSummary(
+            attack_trials=len(attack),
+            benign_trials=len(benign),
+            detected=detected,
+            missed=len(attack) - detected,
+            false_alarms=sum(1 for t in benign if t.false_alarmed),
+            delays=delays,
+        )
+
+
+def wilson_interval(successes: int, n: int, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if n == 0:
+        return (0.0, 1.0)
+    p = successes / n
+    denom = 1.0 + z * z / n
+    centre = (p + z * z / (2 * n)) / denom
+    margin = (z / denom) * math.sqrt(p * (1 - p) / n + z * z / (4 * n * n))
+    return (max(0.0, centre - margin), min(1.0, centre + margin))

@@ -1,0 +1,140 @@
+"""Active response: from alerts to enforcement (paper §3.3's hint).
+
+"Flagging of the two events indicates two different kinds of attacks
+that may have different responses."  The paper's prototype only
+detects; this extension closes the loop: a :class:`ResponseEngine`
+subscribes to a SCIDIVE engine's alerts, consults a per-rule policy,
+and drives a :class:`Firewall` installed inline at the hub — turning
+the passive IDS into an IPS.
+
+Actions are deliberately conservative: only ``BLOCK_SOURCE`` exists,
+it requires the triggering alert to carry evidence naming a concrete
+network source, and the protected infrastructure (proxy, clients) can
+be whitelisted so a spoofed alert can never block legitimate parties —
+the classic active-response self-DoS hazard.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.alerts import Alert
+from repro.core.engine import ScidiveEngine
+from repro.net.addr import IPv4Address
+from repro.net.packet import ETHERTYPE_IPV4
+from repro.sim.hub import Hub
+
+
+class Action(enum.Enum):
+    LOG_ONLY = "log-only"
+    BLOCK_SOURCE = "block-source"
+
+
+class Firewall:
+    """Inline IP-source filter installed at the hub."""
+
+    def __init__(self, hub: Hub) -> None:
+        self.hub = hub
+        self.blocked: set[int] = set()  # packed IPv4 addresses
+        hub.install_filter(self._allow)
+
+    def block(self, ip: IPv4Address | str) -> None:
+        addr = ip if isinstance(ip, IPv4Address) else IPv4Address.parse(ip)
+        self.blocked.add(addr.packed)
+
+    def unblock(self, ip: IPv4Address | str) -> None:
+        addr = ip if isinstance(ip, IPv4Address) else IPv4Address.parse(ip)
+        self.blocked.discard(addr.packed)
+
+    def is_blocked(self, ip: IPv4Address | str) -> bool:
+        addr = ip if isinstance(ip, IPv4Address) else IPv4Address.parse(ip)
+        return addr.packed in self.blocked
+
+    def _allow(self, frame: bytes) -> bool:
+        if not self.blocked:
+            return True
+        # Ethernet(14) + IPv4 source at offset 26..30.
+        if len(frame) < 30 or frame[12:14] != ETHERTYPE_IPV4.to_bytes(2, "big"):
+            return True
+        return int.from_bytes(frame[26:30], "big") not in self.blocked
+
+
+@dataclass(slots=True)
+class ResponseRecord:
+    time: float
+    rule_id: str
+    action: Action
+    target_ip: str | None
+    applied: bool
+    reason: str = ""
+
+
+@dataclass(slots=True)
+class ResponsePolicy:
+    """Which rules trigger which actions, and who is untouchable."""
+
+    actions: dict[str, Action] = field(default_factory=dict)
+    # Infrastructure that must never be blocked, even if an alert's
+    # evidence names it (anti-self-DoS guard).
+    protected_ips: frozenset[str] = frozenset()
+    default: Action = Action.LOG_ONLY
+
+
+class ResponseEngine:
+    """Subscribes to alerts; applies policy through the firewall."""
+
+    def __init__(self, engine: ScidiveEngine, firewall: Firewall, policy: ResponsePolicy) -> None:
+        self.engine = engine
+        self.firewall = firewall
+        self.policy = policy
+        self.records: list[ResponseRecord] = []
+        engine.alert_subscribers.append(self.on_alert)
+
+    def on_alert(self, alert: Alert) -> None:
+        action = self.policy.actions.get(alert.rule_id, self.policy.default)
+        if action == Action.LOG_ONLY:
+            self.records.append(
+                ResponseRecord(alert.time, alert.rule_id, action, None, applied=True)
+            )
+            return
+        target = self._attacker_ip(alert)
+        if target is None:
+            self.records.append(
+                ResponseRecord(alert.time, alert.rule_id, action, None,
+                               applied=False, reason="no source evidence")
+            )
+            return
+        if target in self.policy.protected_ips:
+            self.records.append(
+                ResponseRecord(alert.time, alert.rule_id, action, target,
+                               applied=False, reason="protected address")
+            )
+            return
+        self.firewall.block(target)
+        self.records.append(
+            ResponseRecord(alert.time, alert.rule_id, action, target, applied=True)
+        )
+
+    @staticmethod
+    def _attacker_ip(alert: Alert) -> str | None:
+        """The network source the alert's evidence points at.
+
+        Uses the *observed* packet source of the triggering footprints —
+        not claimed identities in protocol headers.
+        """
+        for event in alert.events:
+            # Prefer explicit source attributes produced by generators.
+            for key in ("source", "src", "intruder", "actual_ip"):
+                value = event.attrs.get(key)
+                if isinstance(value, str) and value:
+                    return value.rsplit(":", 1)[0]
+            for footprint in event.evidence:
+                return str(footprint.src.ip)
+        return None
+
+    @property
+    def blocks_applied(self) -> int:
+        return sum(
+            1 for r in self.records if r.action == Action.BLOCK_SOURCE and r.applied
+        )

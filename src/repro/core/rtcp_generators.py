@@ -1,0 +1,167 @@
+"""RTCP-aware event generators — the §3.1 three-protocol chain.
+
+The paper's motivating sentence for cross-protocol detection chains
+"a pattern in a SIP packet followed by one in a succeeding RTP packet
+followed by one in an RTCP packet".  Two generators realise the
+RTCP-side of that chain:
+
+* :class:`RtcpByeGenerator` — after an RTCP BYE announces that SSRC X
+  stopped sending, RTP packets carrying SSRC X are orphans
+  (``RtpAfterRtcpBye``).  A forged RTCP BYE — trivial to craft, since
+  RTCP is unauthenticated — silences a participant in real clients;
+  the continuing genuine stream exposes the forgery.
+* :class:`SsrcTrackGenerator` — the §2.2 impersonation vector: "An
+  attack can also fake the SSRC field ... to impersonate another
+  participant".  The generator remembers which network source owns each
+  SSRC per destination flow; a second source producing the same SSRC is
+  an ``SsrcCollision``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.events import (
+    EVENT_RTCP_BYE,
+    EVENT_RTP_AFTER_RTCP_BYE,
+    EVENT_SSRC_COLLISION,
+    Event,
+    EventGenerator,
+    GeneratorContext,
+)
+from repro.core.footprint import AnyFootprint, RtcpFootprint, RtpFootprint
+from repro.core.trail import Trail
+from repro.net.addr import Endpoint
+from repro.rtp.rtcp import Bye
+
+
+@dataclass(slots=True)
+class _ByeWatch:
+    ssrc: int
+    session: str
+    armed_at: float
+    expires_at: float
+    fired: int = 0
+
+
+class RtcpByeGenerator(EventGenerator):
+    """RTP continuing after its own SSRC said goodbye via RTCP."""
+
+    name = "rtcp-bye"
+
+    def __init__(self, monitoring_window: float = 0.5, max_events_per_watch: int = 3) -> None:
+        self.monitoring_window = monitoring_window
+        self.max_events_per_watch = max_events_per_watch
+        self._watches: dict[int, _ByeWatch] = {}
+
+    def reset(self) -> None:
+        self._watches.clear()
+
+    def on_footprint(
+        self, footprint: AnyFootprint, trail: Trail, ctx: GeneratorContext
+    ) -> list[Event]:
+        if isinstance(footprint, RtcpFootprint):
+            return self._on_rtcp(footprint, trail)
+        if isinstance(footprint, RtpFootprint):
+            return self._on_rtp(footprint)
+        return []
+
+    def _on_rtcp(self, footprint: RtcpFootprint, trail: Trail) -> list[Event]:
+        events: list[Event] = []
+        for packet in footprint.packets:
+            if not isinstance(packet, Bye):
+                continue
+            for ssrc in packet.ssrcs:
+                self._watches[ssrc] = _ByeWatch(
+                    ssrc=ssrc,
+                    session=trail.call_id or "",
+                    armed_at=footprint.timestamp,
+                    expires_at=footprint.timestamp + self.monitoring_window,
+                )
+                events.append(
+                    Event(
+                        name=EVENT_RTCP_BYE,
+                        time=footprint.timestamp,
+                        session=trail.call_id or "",
+                        attrs={"ssrc": ssrc, "reason": packet.reason,
+                               "src": str(footprint.src)},
+                        evidence=(footprint,),
+                    )
+                )
+        return events
+
+    def _on_rtp(self, footprint: RtpFootprint) -> list[Event]:
+        watch = self._watches.get(footprint.ssrc)
+        if watch is None:
+            return []
+        if footprint.timestamp > watch.expires_at:
+            del self._watches[footprint.ssrc]
+            return []
+        if watch.fired >= self.max_events_per_watch:
+            return []
+        watch.fired += 1
+        return [
+            Event(
+                name=EVENT_RTP_AFTER_RTCP_BYE,
+                time=footprint.timestamp,
+                session=watch.session,
+                attrs={
+                    "ssrc": footprint.ssrc,
+                    "src": str(footprint.src),
+                    "delay": footprint.timestamp - watch.armed_at,
+                },
+                evidence=(footprint,),
+            )
+        ]
+
+
+@dataclass(slots=True)
+class _SsrcOwner:
+    source: Endpoint
+    last_seen: float
+    packets: int = 1
+
+
+class SsrcTrackGenerator(EventGenerator):
+    """Same SSRC, different network source: participant impersonation."""
+
+    name = "ssrc-track"
+
+    def __init__(self, forget_after: float = 30.0) -> None:
+        self.forget_after = forget_after
+        # Keyed per destination flow so independent sessions that happen
+        # to pick the same random SSRC don't cross-talk.
+        self._owners: dict[tuple[Endpoint, int], _SsrcOwner] = {}
+
+    def reset(self) -> None:
+        self._owners.clear()
+
+    def on_footprint(
+        self, footprint: AnyFootprint, trail: Trail, ctx: GeneratorContext
+    ) -> list[Event]:
+        if not isinstance(footprint, RtpFootprint) or not ctx.is_inbound(footprint):
+            return []
+        key = (footprint.dst, footprint.ssrc)
+        owner = self._owners.get(key)
+        now = footprint.timestamp
+        if owner is None or now - owner.last_seen > self.forget_after:
+            self._owners[key] = _SsrcOwner(source=footprint.src, last_seen=now)
+            return []
+        if owner.source == footprint.src:
+            owner.last_seen = now
+            owner.packets += 1
+            return []
+        # Collision: do NOT re-anchor — keep trusting the incumbent.
+        event = Event(
+            name=EVENT_SSRC_COLLISION,
+            time=now,
+            session=trail.call_id or "",
+            attrs={
+                "ssrc": footprint.ssrc,
+                "owner": str(owner.source),
+                "intruder": str(footprint.src),
+                "owner_packets": owner.packets,
+            },
+            evidence=(footprint,),
+        )
+        return [event]

@@ -1,0 +1,360 @@
+"""The Rule Matching Engine (paper §3.1).
+
+"Ruleset is triggered by a sequence of Events ... The matching in the
+Ruleset is based on Events that can potentially encapsulate information
+from multiple packets and can bear state information."
+
+Three rule shapes cover every rule in the paper:
+
+* :class:`SingleEventRule` — alarm on one event (optionally filtered by
+  a predicate).  The orphan-RTP and RTP-anomaly rules are these: the
+  heavy correlation already happened in the event generator, so the rule
+  itself is cheap — the paper's stated efficiency argument for events.
+* :class:`ThresholdRule` — ≥ N events of a kind within a sliding window,
+  grouped by a key (session, user, source...).  The DoS and password-
+  guessing rules are these.
+* :class:`ConjunctionRule` — all of several event kinds observed for the
+  same session within a window.  The billing-fraud rule is this: three
+  conditions spanning SIP, accounting and RTP must concur.
+
+Rules may also reach past events and into raw trails via
+:class:`RuleContext` ("the Ruleset can also perform the matching based on
+crude information directly from the Trails"), at a cost — the
+engine-throughput benchmark quantifies the difference.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.alerts import Alert, AlertLog, Severity
+from repro.core.events import Event
+from repro.core.trail import TrailManager
+
+Predicate = Callable[[Event], bool]
+GroupKey = Callable[[Event], str]
+
+# Upper bound on per-rule tracking groups.  An attacker who churns group
+# keys (e.g. spraying spoofed source addresses at a ThresholdRule grouped
+# by source) must not be able to exhaust the IDS's memory; once the cap
+# is hit the least-recently-touched group is evicted (dicts preserve
+# insertion order, and touching re-inserts).
+MAX_RULE_GROUPS = 10_000
+
+
+def _touch_lru(table: dict, key: str, max_groups: int):
+    """Move ``key`` to the MRU position, evicting LRU entries over the cap."""
+    value = table.pop(key, None)
+    if value is not None:
+        table[key] = value
+    while len(table) >= max_groups:
+        table.pop(next(iter(table)))
+    return value
+
+
+@dataclass(slots=True)
+class RuleContext:
+    """What a rule may consult besides the triggering event."""
+
+    trails: TrailManager
+    history: "EventHistory"
+
+
+class Rule(ABC):
+    """Base rule: consumes events, produces alerts."""
+
+    def __init__(
+        self,
+        rule_id: str,
+        name: str,
+        severity: Severity,
+        attack_class: str,
+        cooldown: float = 0.0,
+    ) -> None:
+        self.rule_id = rule_id
+        self.name = name
+        self.severity = severity
+        self.attack_class = attack_class
+        # Suppress duplicate alerts for the same group within cooldown.
+        self.cooldown = cooldown
+        self._last_alert: dict[str, float] = {}
+        self.matches_attempted = 0
+        self.alerts_raised = 0
+
+    @abstractmethod
+    def on_event(self, event: Event, ctx: RuleContext) -> Alert | None:
+        """Inspect one event; return an alert or None."""
+
+    def reset(self) -> None:
+        self._last_alert.clear()
+
+    def _make_alert(self, event: Event, message: str, evidence: tuple[Event, ...]) -> Alert | None:
+        group = event.session or "global"
+        last = self._last_alert.get(group)
+        if last is not None and self.cooldown > 0 and event.time - last < self.cooldown:
+            return None
+        self._last_alert[group] = event.time
+        self.alerts_raised += 1
+        return Alert(
+            rule_id=self.rule_id,
+            rule_name=self.name,
+            time=event.time,
+            session=event.session,
+            severity=self.severity,
+            attack_class=self.attack_class,
+            message=message,
+            events=evidence,
+        )
+
+
+class SingleEventRule(Rule):
+    """Alarm whenever a matching event occurs."""
+
+    def __init__(
+        self,
+        rule_id: str,
+        name: str,
+        event_name: str,
+        severity: Severity = Severity.HIGH,
+        attack_class: str = "generic",
+        predicate: Predicate | None = None,
+        message: str | None = None,
+        cooldown: float = 0.0,
+    ) -> None:
+        super().__init__(rule_id, name, severity, attack_class, cooldown)
+        self.event_name = event_name
+        self.predicate = predicate
+        self.message_template = message or f"{name}: triggered by {event_name}"
+
+    def on_event(self, event: Event, ctx: RuleContext) -> Alert | None:
+        if event.name != self.event_name:
+            return None
+        self.matches_attempted += 1
+        if self.predicate is not None and not self.predicate(event):
+            return None
+        message = self.message_template.format(**{"session": event.session, **event.attrs})
+        return self._make_alert(event, message, (event,))
+
+
+class ThresholdRule(Rule):
+    """Alarm when ≥ ``threshold`` matching events land in ``window`` seconds."""
+
+    def __init__(
+        self,
+        rule_id: str,
+        name: str,
+        event_name: str,
+        threshold: int,
+        window: float,
+        severity: Severity = Severity.MEDIUM,
+        attack_class: str = "dos",
+        group_by: GroupKey | None = None,
+        predicate: Predicate | None = None,
+        message: str | None = None,
+        cooldown: float = 5.0,
+    ) -> None:
+        super().__init__(rule_id, name, severity, attack_class, cooldown)
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1: {threshold}")
+        self.event_name = event_name
+        self.threshold = threshold
+        self.window = window
+        self.group_by = group_by if group_by is not None else (lambda e: e.session)
+        self.predicate = predicate
+        self.message_template = (
+            message or f"{name}: {threshold}+ {event_name} events within {window}s"
+        )
+        self.max_groups = MAX_RULE_GROUPS
+        self._buckets: dict[str, deque[Event]] = {}
+
+    def reset(self) -> None:
+        super().reset()
+        self._buckets.clear()
+
+    def on_event(self, event: Event, ctx: RuleContext) -> Alert | None:
+        if event.name != self.event_name:
+            return None
+        self.matches_attempted += 1
+        if self.predicate is not None and not self.predicate(event):
+            return None
+        group = self.group_by(event)
+        bucket = _touch_lru(self._buckets, group, self.max_groups)
+        if bucket is None:
+            bucket = deque()
+        self._buckets[group] = bucket
+        bucket.append(event)
+        horizon = event.time - self.window
+        while bucket and bucket[0].time < horizon:
+            bucket.popleft()
+        if len(bucket) < self.threshold:
+            return None
+        message = self.message_template.format(
+            count=len(bucket), **{"session": event.session, **event.attrs}
+        )
+        return self._make_alert(event, message, tuple(bucket))
+
+
+class SequenceRule(Rule):
+    """Alarm when the named events occur in order within ``window`` seconds.
+
+    The paper's generic shape: "we can define a rule for detecting RTP
+    flow [event 1] after a session is torn down [event 2]".
+    """
+
+    def __init__(
+        self,
+        rule_id: str,
+        name: str,
+        sequence: tuple[str, ...],
+        window: float,
+        severity: Severity = Severity.HIGH,
+        attack_class: str = "generic",
+        message: str | None = None,
+        cooldown: float = 0.0,
+    ) -> None:
+        super().__init__(rule_id, name, severity, attack_class, cooldown)
+        if len(sequence) < 2:
+            raise ValueError("sequence rules need at least two steps")
+        self.sequence = sequence
+        self.window = window
+        self.message_template = message or f"{name}: sequence {' -> '.join(sequence)}"
+        # Per session: (next step index, matched events so far).
+        self._progress: dict[str, tuple[int, list[Event]]] = {}
+
+    def reset(self) -> None:
+        super().reset()
+        self._progress.clear()
+
+    def on_event(self, event: Event, ctx: RuleContext) -> Alert | None:
+        progress = _touch_lru(self._progress, event.session, MAX_RULE_GROUPS)
+        step, matched = progress if progress is not None else (0, [])
+        if matched and event.time - matched[0].time > self.window:
+            step, matched = 0, []
+        if event.name != self.sequence[step]:
+            # A fresh start is still possible if this event begins the sequence.
+            if event.name == self.sequence[0]:
+                self._progress[event.session] = (1, [event])
+            return None
+        self.matches_attempted += 1
+        matched = matched + [event]
+        step += 1
+        if step < len(self.sequence):
+            self._progress[event.session] = (step, matched)
+            return None
+        self._progress.pop(event.session, None)
+        message = self.message_template.format(**{"session": event.session, **event.attrs})
+        return self._make_alert(event, message, tuple(matched))
+
+
+class ConjunctionRule(Rule):
+    """Alarm when *all* named events are seen for a session within a window.
+
+    Order-insensitive — the billing-fraud rule's three facets can land in
+    any order depending on network timing.
+    """
+
+    def __init__(
+        self,
+        rule_id: str,
+        name: str,
+        required: tuple[str, ...],
+        window: float,
+        severity: Severity = Severity.CRITICAL,
+        attack_class: str = "toll-fraud",
+        correlate: Callable[[Event], str] | None = None,
+        message: str | None = None,
+        cooldown: float = 10.0,
+    ) -> None:
+        super().__init__(rule_id, name, severity, attack_class, cooldown)
+        if len(required) < 2:
+            raise ValueError("conjunction rules need at least two event kinds")
+        self.required = frozenset(required)
+        self.window = window
+        self.correlate = correlate if correlate is not None else (lambda e: e.session)
+        self.message_template = message or f"{name}: all of {sorted(required)} observed"
+        self.max_groups = MAX_RULE_GROUPS
+        self._seen: dict[str, dict[str, Event]] = {}
+
+    def reset(self) -> None:
+        super().reset()
+        self._seen.clear()
+
+    def on_event(self, event: Event, ctx: RuleContext) -> Alert | None:
+        if event.name not in self.required:
+            return None
+        self.matches_attempted += 1
+        group = self.correlate(event)
+        seen = _touch_lru(self._seen, group, self.max_groups)
+        if seen is None:
+            seen = {}
+        self._seen[group] = seen
+        seen[event.name] = event
+        # Age out stale members.
+        horizon = event.time - self.window
+        for name in [n for n, e in seen.items() if e.time < horizon]:
+            del seen[name]
+        if set(seen) != self.required:
+            return None
+        evidence = tuple(sorted(seen.values(), key=lambda e: e.time))
+        self._seen.pop(group, None)
+        message = self.message_template.format(**{"session": event.session, **event.attrs})
+        alert = self._make_alert(event, message, evidence)
+        return alert
+
+
+class EventHistory:
+    """Bounded record of recent events, queryable by rules and benches."""
+
+    def __init__(self, max_events: int = 100_000) -> None:
+        self.max_events = max_events
+        self.events: deque[Event] = deque(maxlen=max_events)
+        self.counts: dict[str, int] = defaultdict(int)
+
+    def record(self, event: Event) -> None:
+        self.events.append(event)
+        self.counts[event.name] += 1
+
+    def recent(self, name: str, since: float) -> list[Event]:
+        return [e for e in self.events if e.name == name and e.time >= since]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class RuleSet:
+    """All active rules plus the dispatch loop."""
+
+    def __init__(self, rules: list[Rule] | None = None) -> None:
+        self.rules: list[Rule] = list(rules) if rules else []
+        self.history = EventHistory()
+
+    def add(self, rule: Rule) -> None:
+        if any(r.rule_id == rule.rule_id for r in self.rules):
+            raise ValueError(f"duplicate rule id: {rule.rule_id}")
+        self.rules.append(rule)
+
+    def remove(self, rule_id: str) -> None:
+        self.rules = [r for r in self.rules if r.rule_id != rule_id]
+
+    def match(self, event: Event, trails: TrailManager, log: AlertLog) -> list[Alert]:
+        """Run one event through every rule; emit and return alerts."""
+        self.history.record(event)
+        ctx = RuleContext(trails=trails, history=self.history)
+        alerts: list[Alert] = []
+        for rule in self.rules:
+            alert = rule.on_event(event, ctx)
+            if alert is not None:
+                log.emit(alert)
+                alerts.append(alert)
+        return alerts
+
+    def reset(self) -> None:
+        for rule in self.rules:
+            rule.reset()
+        self.history = EventHistory()
+
+    def __len__(self) -> int:
+        return len(self.rules)

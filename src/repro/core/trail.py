@@ -1,0 +1,258 @@
+"""Trails: per-session, per-protocol footprint groupings (paper §3.1).
+
+"Footprints that belong to the same session are typically grouped into a
+Trail ... Footprints from the same session may be split into and stored
+in multiple Trails."  Cross-protocol detection (§3.2) "is achieved
+through keeping multiple trails for each session, one for each protocol".
+
+The :class:`TrailManager` implements that: SIP footprints key by
+Call-ID, RTP/RTCP footprints key by flow, accounting footprints key by
+the billed Call-ID — and a :class:`Session` object ties together all
+trails belonging to one logical call.  The SIP↔RTP linkage is learned
+passively from SDP bodies: whenever an INVITE or 200 carries an SDP, its
+audio endpoint is indexed so that the RTP flow arriving there is
+annotated with the owning Call-ID.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.footprint import (
+    AccountingFootprint,
+    AnyFootprint,
+    H225Footprint,
+    MalformedFootprint,
+    Protocol,
+    RtcpFootprint,
+    RtpFootprint,
+    SipFootprint,
+)
+from repro.net.addr import Endpoint
+from repro.sip.message import SipRequest, SipResponse
+from repro.sip.sdp import SdpError, SessionDescription
+
+TrailKey = tuple[str, str]  # (protocol tag, session discriminator)
+
+DEFAULT_MAX_TRAIL_LENGTH = 4096
+
+
+@dataclass(slots=True)
+class Trail:
+    """An ordered sequence of footprints belonging to one (sub)session."""
+
+    key: TrailKey
+    protocol: Protocol
+    footprints: list[AnyFootprint] = field(default_factory=list)
+    call_id: str | None = None  # cross-protocol linkage, once known
+    evicted: int = 0
+    max_length: int = DEFAULT_MAX_TRAIL_LENGTH
+
+    def append(self, footprint: AnyFootprint) -> None:
+        self.footprints.append(footprint)
+        if len(self.footprints) > self.max_length:
+            # Bounded memory (the paper: "constrained in practice by the
+            # amount of memory available"): drop the oldest half.
+            keep = self.max_length // 2
+            self.evicted += len(self.footprints) - keep
+            self.footprints = self.footprints[-keep:]
+
+    def __len__(self) -> int:
+        return len(self.footprints)
+
+    @property
+    def last(self) -> AnyFootprint | None:
+        return self.footprints[-1] if self.footprints else None
+
+    @property
+    def first_seen(self) -> float | None:
+        return self.footprints[0].timestamp if self.footprints else None
+
+    @property
+    def last_seen(self) -> float | None:
+        return self.footprints[-1].timestamp if self.footprints else None
+
+
+@dataclass(slots=True)
+class Session:
+    """All trails of one logical call, keyed by Call-ID."""
+
+    call_id: str
+    trails: list[Trail] = field(default_factory=list)
+    # Media endpoints negotiated over SDP, keyed by the advertising
+    # party's address-of-record ("" when the AoR is unknown).
+    media_endpoints: dict[str, Endpoint] = field(default_factory=dict)
+
+    def trail_for(self, protocol: Protocol) -> Trail | None:
+        for trail in self.trails:
+            if trail.protocol == protocol:
+                return trail
+        return None
+
+    def trails_for(self, protocol: Protocol) -> list[Trail]:
+        return [t for t in self.trails if t.protocol == protocol]
+
+    def attach(self, trail: Trail) -> None:
+        if trail not in self.trails:
+            self.trails.append(trail)
+            trail.call_id = self.call_id
+
+
+class TrailManager:
+    """Groups footprints into trails and links trails into sessions."""
+
+    def __init__(self, max_trail_length: int = DEFAULT_MAX_TRAIL_LENGTH) -> None:
+        self.max_trail_length = max_trail_length
+        self.trails: dict[TrailKey, Trail] = {}
+        self.sessions: dict[str, Session] = {}
+        # SDP-learned media endpoint -> call id.
+        self._media_index: dict[Endpoint, str] = {}
+
+    # -- public API ---------------------------------------------------------
+
+    def push(self, footprint: AnyFootprint) -> Trail:
+        """File one footprint; returns the trail it landed in."""
+        key = self._key_for(footprint)
+        trail = self.trails.get(key)
+        if trail is None:
+            trail = Trail(
+                key=key, protocol=footprint.protocol, max_length=self.max_trail_length
+            )
+            self.trails[key] = trail
+        trail.append(footprint)
+        self._link(footprint, trail)
+        return trail
+
+    def session_for(self, call_id: str) -> Session | None:
+        return self.sessions.get(call_id)
+
+    def media_owner(self, endpoint: Endpoint) -> str | None:
+        """Which call (if any) negotiated this media endpoint via SDP."""
+        return self._media_index.get(endpoint)
+
+    def expire_idle(self, now: float, idle_timeout: float) -> int:
+        """Drop trails (and empty sessions) idle for ``idle_timeout``.
+
+        The paper notes state is "constrained in practice by the amount
+        of memory available"; a long-running IDS must garbage-collect
+        dead sessions.  Returns the number of trails removed.
+        """
+        stale_keys = [
+            key
+            for key, trail in self.trails.items()
+            if trail.last_seen is not None and now - trail.last_seen > idle_timeout
+        ]
+        for key in stale_keys:
+            trail = self.trails.pop(key)
+            if trail.call_id is not None:
+                session = self.sessions.get(trail.call_id)
+                if session is not None and trail in session.trails:
+                    session.trails.remove(trail)
+        # Sessions with no trails left die too, along with their media index.
+        dead_sessions = [cid for cid, s in self.sessions.items() if not s.trails]
+        for call_id in dead_sessions:
+            session = self.sessions.pop(call_id)
+            for endpoint in session.media_endpoints.values():
+                if self._media_index.get(endpoint) == call_id:
+                    del self._media_index[endpoint]
+        return len(stale_keys)
+
+    @property
+    def trail_count(self) -> int:
+        return len(self.trails)
+
+    @property
+    def session_count(self) -> int:
+        return len(self.sessions)
+
+    # -- keying ------------------------------------------------------------------
+
+    def _key_for(self, footprint: AnyFootprint) -> TrailKey:
+        if isinstance(footprint, SipFootprint):
+            call_id = footprint.call_id() or f"?:{footprint.src}"
+            return ("sip", call_id)
+        if isinstance(footprint, RtpFootprint):
+            return ("rtp", f"{footprint.src}->{footprint.dst}")
+        if isinstance(footprint, RtcpFootprint):
+            return ("rtcp", f"{footprint.src}->{footprint.dst}")
+        if isinstance(footprint, AccountingFootprint):
+            return ("acct", footprint.call_id)
+        if isinstance(footprint, H225Footprint):
+            return ("h225", f"crv-{footprint.call_reference}")
+        assert isinstance(footprint, MalformedFootprint)
+        return (f"malformed-{footprint.claimed_protocol.value}", str(footprint.src))
+
+    # -- session linking -------------------------------------------------------------
+
+    def _ensure_session(self, call_id: str) -> Session:
+        session = self.sessions.get(call_id)
+        if session is None:
+            session = Session(call_id=call_id)
+            self.sessions[call_id] = session
+        return session
+
+    def _link(self, footprint: AnyFootprint, trail: Trail) -> None:
+        if isinstance(footprint, SipFootprint):
+            call_id = footprint.call_id()
+            if call_id is not None:
+                session = self._ensure_session(call_id)
+                session.attach(trail)
+                self._learn_sdp(footprint, session)
+        elif isinstance(footprint, AccountingFootprint):
+            if footprint.call_id:
+                self._ensure_session(footprint.call_id).attach(trail)
+        elif isinstance(footprint, H225Footprint):
+            # H.323 calls use the CRV as the session discriminator; the
+            # fast-connect media IE plays SDP's role for linkage.
+            session_id = f"h323-crv-{footprint.call_reference}"
+            session = self._ensure_session(session_id)
+            session.attach(trail)
+            message = footprint.message
+            if message.media is not None:
+                party = message.calling_party or message.called_party or ""
+                session.media_endpoints[party] = message.media
+                self._media_index[message.media] = session_id
+        elif isinstance(footprint, (RtpFootprint, RtcpFootprint)):
+            if trail.call_id is None:
+                owner = self._media_index.get(self._media_key(footprint.dst)) or (
+                    self._media_index.get(self._media_key(footprint.src))
+                )
+                if owner is not None:
+                    self._ensure_session(owner).attach(trail)
+
+    @staticmethod
+    def _media_key(endpoint: Endpoint) -> Endpoint:
+        """Normalise RTCP's odd port down to its RTP session port."""
+        port = endpoint.port - 1 if endpoint.port % 2 else endpoint.port
+        return Endpoint(endpoint.ip, port)
+
+    def _learn_sdp(self, footprint: SipFootprint, session: Session) -> None:
+        message = footprint.message
+        content_type = message.headers.get("Content-Type") or ""
+        if "application/sdp" not in content_type.lower() or not message.body:
+            return
+        try:
+            sdp = SessionDescription.parse(message.body)
+            endpoint = sdp.audio_endpoint()
+        except SdpError:
+            return
+        # Who advertised this endpoint?  Requests advertise the sender
+        # (From); responses advertise the answerer (To).
+        try:
+            if isinstance(message, SipRequest):
+                party = message.from_addr.uri.address_of_record
+            else:
+                party = message.to_addr.uri.address_of_record
+        except Exception:
+            party = ""
+        session.media_endpoints[party] = endpoint
+        self._media_index[endpoint] = session.call_id
+        # Retroactively adopt any flow trail already touching the endpoint.
+        for key, trail in self.trails.items():
+            if trail.protocol in (Protocol.RTP, Protocol.RTCP) and trail.call_id is None:
+                if any(
+                    self._media_key(e) == endpoint
+                    for fp in trail.footprints[-1:]
+                    for e in (fp.src, fp.dst)
+                ):
+                    session.attach(trail)

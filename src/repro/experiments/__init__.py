@@ -1,0 +1,44 @@
+"""Experiment harness: canned scenario runs, workload capture, Table 1
+matrix construction, §4.3 analytic-vs-simulated sweeps, and table
+formatting for benchmark output."""
+
+from repro.experiments.harness import (
+    BENIGN_KINDS,
+    ExperimentResult,
+    run_benign,
+    run_billing_fraud,
+    run_bye_attack,
+    run_call_hijack,
+    run_fake_im,
+    run_password_guess,
+    run_register_dos,
+    run_rtcp_bye_attack,
+    run_rtp_attack,
+    run_ssrc_spoof,
+)
+from repro.experiments.report import format_table, print_table
+from repro.experiments.table1 import TABLE1_HEADERS, Table1Row, build_table1
+from repro.experiments.workloads import WorkloadSpec, capture_attack_workload, capture_workload
+
+__all__ = [
+    "BENIGN_KINDS",
+    "ExperimentResult",
+    "TABLE1_HEADERS",
+    "Table1Row",
+    "WorkloadSpec",
+    "build_table1",
+    "capture_attack_workload",
+    "capture_workload",
+    "format_table",
+    "print_table",
+    "run_benign",
+    "run_billing_fraud",
+    "run_bye_attack",
+    "run_call_hijack",
+    "run_fake_im",
+    "run_password_guess",
+    "run_register_dos",
+    "run_rtcp_bye_attack",
+    "run_ssrc_spoof",
+    "run_rtp_attack",
+]

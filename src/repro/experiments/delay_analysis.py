@@ -1,0 +1,166 @@
+"""§4.3 sweeps: detection delay, missed alarm and false alarm curves.
+
+Three layers are compared for each quantity:
+
+1. **analytic** — scipy quadrature over the delay distributions
+   (:mod:`repro.core.analysis`);
+2. **model Monte-Carlo** — sampling the same closed-form model;
+3. **full simulation** — running the actual testbed + attack + IDS over
+   links whose delay follows the same distributions.
+
+Agreement of (1) and (2) validates the math; agreement with (3)
+validates that the *system* implements the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import analysis
+from repro.core.rules_library import RULE_BYE_ATTACK
+from repro.experiments.harness import run_benign, run_bye_attack
+from repro.sim.distributions import Distribution, Exponential, Uniform
+from repro.sim.link import LinkModel
+
+
+@dataclass(slots=True)
+class DelayComparison:
+    label: str
+    analytic_ms: float
+    model_mc_ms: float
+    simulated_ms: float | None
+    trials: int
+
+
+def paper_model(mean_delay: float = 0.002) -> tuple[Distribution, Distribution, Distribution]:
+    """(N_rtp, G_sip, N_sip) under the paper's simplest assumptions."""
+    return (
+        Exponential(scale=mean_delay),
+        Uniform(0.0, analysis.RTP_PERIOD),
+        Exponential(scale=mean_delay),
+    )
+
+
+def simulated_bye_delays(
+    trials: int,
+    mean_delay: float = 0.002,
+    monitoring_window: float = 0.5,
+    seed0: int = 100,
+) -> list[float]:
+    """Detection delays from full testbed runs over jittery links."""
+    delays: list[float] = []
+    for i in range(trials):
+        link = LinkModel(delay=Exponential(scale=mean_delay))
+        result = run_bye_attack(
+            seed=seed0 + i,
+            monitoring_window=monitoring_window,
+            link=link,
+            # Vary the attack phase relative to the RTP cadence so the
+            # G_sip ~ Uniform(0, 20 ms) assumption is exercised: each run
+            # talks a slightly different time before injection.
+            talk_before=1.5 + (i % 20) * 0.001,
+        )
+        delay = result.detection_delay(RULE_BYE_ATTACK)
+        if delay is not None:
+            delays.append(delay)
+    return delays
+
+
+def compare_detection_delay(
+    trials: int = 30, mean_delay: float = 0.002, mc_samples: int = 50_000
+) -> DelayComparison:
+    n_rtp, g_sip, n_sip = paper_model(mean_delay)
+    analytic = analysis.expected_detection_delay(n_rtp, g_sip, n_sip)
+    samples = analysis.detection_delay_samples(n_rtp, g_sip, n_sip, mc_samples, seed=1)
+    model_mc = sum(samples) / len(samples)
+    simulated = simulated_bye_delays(trials, mean_delay)
+    sim_mean = sum(simulated) / len(simulated) if simulated else None
+    return DelayComparison(
+        label=f"E[D], exp delays mean={mean_delay * 1000:.1f}ms",
+        analytic_ms=analytic * 1000,
+        model_mc_ms=model_mc * 1000,
+        simulated_ms=sim_mean * 1000 if sim_mean is not None else None,
+        trials=len(simulated),
+    )
+
+
+@dataclass(slots=True)
+class MissedAlarmPoint:
+    m_ms: float
+    analytic: float
+    model_mc: float
+    simulated: float | None
+
+
+def missed_alarm_curve(
+    windows_ms: list[float],
+    mean_delay: float = 0.002,
+    sim_trials: int = 0,
+    seed0: int = 300,
+) -> list[MissedAlarmPoint]:
+    """P_m as a function of the monitoring window m."""
+    n_rtp, g_sip, n_sip = paper_model(mean_delay)
+    points: list[MissedAlarmPoint] = []
+    for m_ms in windows_ms:
+        m = m_ms / 1000.0
+        analytic = analysis.missed_alarm_probability(n_rtp, g_sip, n_sip, m)
+        model_mc = analysis.missed_alarm_probability_mc(n_rtp, g_sip, n_sip, m, seed=int(m_ms))
+        simulated = None
+        if sim_trials:
+            missed = 0
+            for i in range(sim_trials):
+                link = LinkModel(delay=Exponential(scale=mean_delay))
+                result = run_bye_attack(
+                    seed=seed0 + i,
+                    monitoring_window=m,
+                    link=link,
+                    talk_before=1.5 + (i % 20) * 0.001,
+                    observe_after=max(0.5, 3 * m),
+                )
+                if result.detection_delay(RULE_BYE_ATTACK) is None:
+                    missed += 1
+            simulated = missed / sim_trials
+        points.append(MissedAlarmPoint(m_ms, analytic, model_mc, simulated))
+    return points
+
+
+@dataclass(slots=True)
+class FalseAlarmPoint:
+    label: str
+    analytic: float
+    model_mc: float
+    simulated: float | None
+
+
+def false_alarm_comparison(
+    mean_delay: float = 0.002,
+    m: float = 0.5,
+    sim_trials: int = 0,
+    seed0: int = 600,
+) -> FalseAlarmPoint:
+    """P_f for the BYE race under i.i.d. exponential delays.
+
+    The analytic value for identical independent distributions is 1/2
+    (the paper's integral); the simulation measures how often a benign
+    callee hang-up raises the orphan-RTP alarm on jittery links.
+    """
+    n_rtp, g_sip, n_sip = paper_model(mean_delay)
+    analytic = analysis.false_alarm_probability(n_rtp, n_sip, m)
+    model_mc = analysis.false_alarm_probability_mc(n_rtp, n_sip, m, seed=3)
+    simulated = None
+    if sim_trials:
+        false_alarms = 0
+        for i in range(sim_trials):
+            link = LinkModel(delay=Exponential(scale=mean_delay))
+            result = run_benign(
+                "callee-hangup", seed=seed0 + i, monitoring_window=m, link=link
+            )
+            if result.alerts_for(RULE_BYE_ATTACK):
+                false_alarms += 1
+        simulated = false_alarms / sim_trials
+    return FalseAlarmPoint(
+        label=f"P_f, iid exp mean={mean_delay * 1000:.1f}ms, m={m * 1000:.0f}ms",
+        analytic=analytic,
+        model_mc=model_mc,
+        simulated=simulated,
+    )

@@ -1,0 +1,45 @@
+"""Plain-text table formatting for benchmark output.
+
+The benchmarks print the same rows the paper's tables/figures report;
+this module keeps the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str | None = None) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def print_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str | None = None) -> None:
+    print()
+    print(format_table(headers, rows, title))
+    print()

@@ -1,0 +1,141 @@
+"""Table 1 regeneration: the attack matrix with detection verdicts.
+
+The paper's Table 1 lists, per attack: protocols involved, whether the
+detection is cross-protocol, whether it is stateful, and the rule.  Our
+extended matrix adds what the paper reports in prose: detection verdict,
+detection delay, and the false-alarm check on the matching benign run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.rules_library import (
+    RULE_BYE_ATTACK,
+    RULE_CALL_HIJACK,
+    RULE_FAKE_IM,
+    RULE_RTP_MALFORMED,
+    RULE_RTP_SEQ,
+    RULE_RTP_SOURCE,
+)
+from repro.experiments.harness import (
+    ExperimentResult,
+    run_benign,
+    run_bye_attack,
+    run_call_hijack,
+    run_fake_im,
+    run_rtp_attack,
+)
+
+
+@dataclass(slots=True)
+class Table1Row:
+    attack: str
+    protocols: str
+    cross_protocol: str
+    stateful: str
+    rule: str
+    detected: bool
+    detection_delay: float | None
+    benign_false_alarms: int
+
+    def cells(self) -> list:
+        return [
+            self.attack,
+            self.protocols,
+            self.cross_protocol,
+            self.stateful,
+            self.rule,
+            "DETECTED" if self.detected else "MISSED",
+            f"{self.detection_delay * 1000:.1f} ms" if self.detection_delay is not None else "-",
+            self.benign_false_alarms,
+        ]
+
+
+TABLE1_HEADERS = [
+    "Attack",
+    "Protocols",
+    "Cross-protocol?",
+    "Stateful?",
+    "Rule",
+    "Verdict",
+    "Delay",
+    "FP (benign)",
+]
+
+
+def _rtp_detected(result: ExperimentResult) -> tuple[bool, float | None]:
+    """The RTP attack trips any of the three media rules; take the earliest."""
+    delays = [
+        d
+        for rule in (RULE_RTP_SEQ, RULE_RTP_SOURCE, RULE_RTP_MALFORMED)
+        if (d := result.detection_delay(rule)) is not None
+    ]
+    return (bool(delays), min(delays) if delays else None)
+
+
+def build_table1(seed: int = 7) -> list[Table1Row]:
+    """Run all four attacks + paired benign runs; build the matrix."""
+    rows: list[Table1Row] = []
+
+    bye = run_bye_attack(seed=seed)
+    benign_call = run_benign("callee-hangup", seed=seed)
+    rows.append(
+        Table1Row(
+            attack="BYE attack",
+            protocols="SIP, RTP",
+            cross_protocol="yes: no RTP after BYE",
+            stateful="yes: session teardown state",
+            rule=RULE_BYE_ATTACK,
+            detected=bye.detection_delay(RULE_BYE_ATTACK) is not None,
+            detection_delay=bye.detection_delay(RULE_BYE_ATTACK),
+            benign_false_alarms=len(benign_call.alerts),
+        )
+    )
+
+    im = run_fake_im(seed=seed)
+    benign_im = run_benign("im", seed=seed)
+    rows.append(
+        Table1Row(
+            attack="Fake Instant Messaging",
+            protocols="SIP, IP",
+            cross_protocol="yes: source IP of SIP MESSAGE",
+            stateful="yes: per-sender IP history",
+            rule=RULE_FAKE_IM,
+            detected=im.detection_delay(RULE_FAKE_IM) is not None,
+            detection_delay=im.detection_delay(RULE_FAKE_IM),
+            benign_false_alarms=len(benign_im.alerts),
+        )
+    )
+
+    hijack = run_call_hijack(seed=seed)
+    benign_mobility = run_benign("mobility", seed=seed)
+    rows.append(
+        Table1Row(
+            attack="Call Hijacking",
+            protocols="SIP, RTP",
+            cross_protocol="yes: no RTP after REINVITE",
+            stateful="yes: session redirect state",
+            rule=RULE_CALL_HIJACK,
+            detected=hijack.detection_delay(RULE_CALL_HIJACK) is not None,
+            detection_delay=hijack.detection_delay(RULE_CALL_HIJACK),
+            benign_false_alarms=len(benign_mobility.alerts),
+        )
+    )
+
+    rtp = run_rtp_attack(seed=seed)
+    benign_call2 = run_benign("call", seed=seed)
+    detected, delay = _rtp_detected(rtp)
+    rows.append(
+        Table1Row(
+            attack="RTP attack",
+            protocols="RTP, IP",
+            cross_protocol="yes: RTP source vs SDP",
+            stateful="yes: sequence continuity",
+            rule=f"{RULE_RTP_SEQ}/{RULE_RTP_SOURCE}/{RULE_RTP_MALFORMED}",
+            detected=detected,
+            detection_delay=delay,
+            benign_false_alarms=len(benign_call2.alerts),
+        )
+    )
+    return rows

@@ -1,0 +1,63 @@
+"""Workload generation: traffic traces for throughput/accuracy benches.
+
+The engine-throughput and baseline-comparison benchmarks need sizeable,
+realistic captures.  :func:`capture_workload` drives the testbed through
+a configurable mix of calls, IMs and registration churn and returns the
+IDS tap's trace, which can then be replayed through any engine
+configuration (or written to a pcap) without re-simulating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.trace import Trace
+from repro.voip.scenarios import im_exchange, normal_call, registration_churn
+from repro.voip.testbed import Testbed, TestbedConfig
+
+
+@dataclass(slots=True)
+class WorkloadSpec:
+    """Shape of a benign workload."""
+
+    calls: int = 3
+    call_seconds: float = 2.0
+    ims: int = 4
+    churn_rounds: int = 2
+    require_auth: bool = True
+    seed: int = 11
+
+
+def capture_workload(spec: WorkloadSpec | None = None) -> Trace:
+    """Run the workload and return the captured trace."""
+    spec = spec if spec is not None else WorkloadSpec()
+    testbed = Testbed(TestbedConfig(seed=spec.seed, require_auth=spec.require_auth))
+    testbed.register_all()
+    for i in range(spec.calls):
+        normal_call(
+            testbed,
+            talk_seconds=spec.call_seconds,
+            caller_hangs_up=(i % 2 == 0),
+        )
+    if spec.ims:
+        im_exchange(testbed, [f"workload message {i}" for i in range(spec.ims)])
+    if spec.churn_rounds:
+        registration_churn(testbed, rounds=spec.churn_rounds)
+    testbed.run_for(1.0)
+    return testbed.ids_tap.trace
+
+
+def capture_attack_workload(seed: int = 13) -> tuple[Trace, float]:
+    """A workload with a BYE attack embedded; returns (trace, t_attack)."""
+    from repro.attacks import ByeAttack
+
+    testbed = Testbed(TestbedConfig(seed=seed))
+    attack = ByeAttack(testbed)
+    testbed.register_all()
+    normal_call(testbed, talk_seconds=1.0)
+    testbed.phone_a.call(f"sip:bob@{testbed.proxy.domain}")
+    testbed.run_for(1.5)
+    t_attack = testbed.now()
+    attack.launch_now()
+    testbed.run_for(2.0)
+    return testbed.ids_tap.trace, t_attack

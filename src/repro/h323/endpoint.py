@@ -1,0 +1,253 @@
+"""H.323 terminals: fast-connect calls with RTP media.
+
+An :class:`H323Endpoint` registers its alias with the gatekeeper,
+resolves callees via ARQ/ACF, and runs the basic-call ladder
+SETUP → CALL PROCEEDING → ALERTING → CONNECT, carrying media addresses
+in the fast-connect IE so RTP starts right after CONNECT.  RELEASE
+COMPLETE tears the call down — and, exactly like the SIP UAs, the
+terminal honours any RELEASE COMPLETE whose CRV matches, which is the
+vulnerability the forged-release attack (the H.323 analogue of the BYE
+attack) exploits.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.h323.h225 import H225_PORT, H225Error, H225Message, MessageType, looks_like_h225
+from repro.h323.ras import RAS_PORT, RasMessage, RasType
+from repro.net.addr import Endpoint
+from repro.net.stack import HostStack
+from repro.rtp.session import RtpSession
+from repro.rtp.codec import ToneSource
+from repro.sim.eventloop import EventLoop
+
+
+class H323CallState(enum.Enum):
+    DIALING = "dialing"
+    RINGING = "ringing"
+    ACTIVE = "active"
+    RELEASED = "released"
+    FAILED = "failed"
+
+
+@dataclass(slots=True)
+class H323Call:
+    """One terminal's view of one H.323 call."""
+
+    call_reference: int
+    peer_alias: str
+    outgoing: bool
+    state: H323CallState = H323CallState.DIALING
+    peer_signaling: Endpoint | None = None
+    remote_media: Endpoint | None = None
+    rtp: RtpSession | None = None
+    established_at: float | None = None
+    released_at: float | None = None
+    released_by_peer: bool = False
+
+
+class H323Endpoint:
+    """A hardphone/terminal speaking H.225 fast connect."""
+
+    def __init__(
+        self,
+        stack: HostStack,
+        loop: EventLoop,
+        alias: str,
+        gatekeeper: Endpoint | None = None,
+        port: int = H225_PORT,
+        rtp_base: int = 38000,
+        answer_delay: float = 0.2,
+        tone_hz: float = 520.0,
+    ) -> None:
+        self.stack = stack
+        self.loop = loop
+        self.alias = alias
+        self.gatekeeper = gatekeeper
+        self.port = port
+        self.answer_delay = answer_delay
+        self.tone_hz = tone_hz
+        self.socket = stack.bind(port, self._on_signaling)
+        self.ras_socket = stack.bind_ephemeral(self._on_ras)
+        self.calls: dict[int, H323Call] = {}  # keyed by CRV
+        self.registered = False
+        self._crv = itertools.count(random.Random(sum(alias.encode())).randrange(1, 1000))
+        self._ras_seq = itertools.count(1)
+        self._rtp_ports = itertools.count(rtp_base, 2)
+        self._pending_admissions: dict[int, Callable[[Endpoint | None], None]] = {}
+        self.decode_errors = 0
+
+    # -- RAS --------------------------------------------------------------
+
+    def register(self) -> None:
+        if self.gatekeeper is None:
+            raise RuntimeError(f"{self.alias}: no gatekeeper configured")
+        rrq = RasMessage(
+            RasType.RRQ,
+            next(self._ras_seq),
+            alias=self.alias,
+            address=Endpoint(self.stack.ip, self.port),
+        )
+        self.ras_socket.send_to(self.gatekeeper, rrq.encode())
+
+    def _resolve(self, alias: str, done: Callable[[Endpoint | None], None]) -> None:
+        if self.gatekeeper is None:
+            done(None)
+            return
+        sequence = next(self._ras_seq)
+        self._pending_admissions[sequence] = done
+        arq = RasMessage(RasType.ARQ, sequence, alias=alias)
+        self.ras_socket.send_to(self.gatekeeper, arq.encode())
+
+    def _on_ras(self, payload: bytes, src: Endpoint, now: float) -> None:
+        try:
+            message = RasMessage.decode(payload)
+        except H225Error:
+            self.decode_errors += 1
+            return
+        if message.ras_type == RasType.RCF:
+            self.registered = True
+        elif message.ras_type in (RasType.ACF, RasType.ARJ):
+            done = self._pending_admissions.pop(message.sequence, None)
+            if done is not None:
+                done(message.address if message.ras_type == RasType.ACF else None)
+
+    # -- placing calls --------------------------------------------------------
+
+    def call(self, callee_alias: str) -> H323Call:
+        crv = next(self._crv) & 0xFFFF
+        rtp = self._new_rtp()
+        call = H323Call(call_reference=crv, peer_alias=callee_alias, outgoing=True, rtp=rtp)
+        self.calls[crv] = call
+
+        def admitted(address: Endpoint | None) -> None:
+            if address is None:
+                call.state = H323CallState.FAILED
+                rtp.close()
+                return
+            call.peer_signaling = address
+            setup = H225Message(
+                message_type=MessageType.SETUP,
+                call_reference=crv,
+                calling_party=self.alias,
+                called_party=callee_alias,
+                media=Endpoint(self.stack.ip, rtp.local_port),
+            )
+            self.socket.send_to(address, setup.encode())
+
+        self._resolve(callee_alias, admitted)
+        return call
+
+    def release(self, call: H323Call, cause: int = 16) -> None:
+        """Send RELEASE COMPLETE (cause 16 = normal clearing)."""
+        if call.peer_signaling is None:
+            raise RuntimeError("call has no signalling peer")
+        message = H225Message(
+            message_type=MessageType.RELEASE_COMPLETE,
+            call_reference=call.call_reference,
+            calling_party=self.alias,
+            cause=cause,
+        )
+        self.socket.send_to(call.peer_signaling, message.encode())
+        self._conclude(call, by_peer=False)
+
+    def _new_rtp(self) -> RtpSession:
+        port = next(self._rtp_ports)
+        return RtpSession(
+            self.stack, self.loop, port, source=ToneSource(frequency=self.tone_hz)
+        )
+
+    # -- signalling receive ------------------------------------------------------
+
+    def _on_signaling(self, payload: bytes, src: Endpoint, now: float) -> None:
+        try:
+            message = H225Message.decode(payload)
+        except H225Error:
+            self.decode_errors += 1
+            return
+        handlers = {
+            MessageType.SETUP: self._on_setup,
+            MessageType.ALERTING: self._on_alerting,
+            MessageType.CALL_PROCEEDING: self._on_alerting,
+            MessageType.CONNECT: self._on_connect,
+            MessageType.RELEASE_COMPLETE: self._on_release,
+        }
+        handlers[message.message_type](message, src, now)
+
+    def _on_setup(self, message: H225Message, src: Endpoint, now: float) -> None:
+        if message.call_reference in self.calls:
+            return  # retransmission
+        rtp = self._new_rtp()
+        call = H323Call(
+            call_reference=message.call_reference,
+            peer_alias=message.calling_party,
+            outgoing=False,
+            state=H323CallState.RINGING,
+            peer_signaling=src,
+            remote_media=message.media,
+            rtp=rtp,
+        )
+        self.calls[message.call_reference] = call
+        alerting = H225Message(
+            message_type=MessageType.ALERTING, call_reference=message.call_reference
+        )
+        self.socket.send_to(src, alerting.encode())
+
+        def answer() -> None:
+            if call.state != H323CallState.RINGING:
+                return
+            connect = H225Message(
+                message_type=MessageType.CONNECT,
+                call_reference=message.call_reference,
+                called_party=self.alias,
+                media=Endpoint(self.stack.ip, rtp.local_port),
+            )
+            self.socket.send_to(src, connect.encode())
+            call.state = H323CallState.ACTIVE
+            call.established_at = self.loop.now()
+            if call.remote_media is not None:
+                rtp.start_sending(call.remote_media)
+
+        self.loop.call_later(self.answer_delay, answer)
+
+    def _on_alerting(self, message: H225Message, src: Endpoint, now: float) -> None:
+        call = self.calls.get(message.call_reference)
+        if call is not None and call.state == H323CallState.DIALING:
+            call.state = H323CallState.RINGING
+
+    def _on_connect(self, message: H225Message, src: Endpoint, now: float) -> None:
+        call = self.calls.get(message.call_reference)
+        if call is None or call.state not in (H323CallState.DIALING, H323CallState.RINGING):
+            return
+        call.state = H323CallState.ACTIVE
+        call.established_at = now
+        call.remote_media = message.media
+        if call.rtp is not None and message.media is not None:
+            call.rtp.start_sending(message.media)
+
+    def _on_release(self, message: H225Message, src: Endpoint, now: float) -> None:
+        call = self.calls.get(message.call_reference)
+        if call is None:
+            return
+        # THE VULNERABILITY (mirroring SIP): any RELEASE COMPLETE with a
+        # matching CRV is honoured, wherever it came from.
+        self._conclude(call, by_peer=True)
+
+    def _conclude(self, call: H323Call, by_peer: bool) -> None:
+        if call.state == H323CallState.RELEASED:
+            return
+        call.state = H323CallState.RELEASED
+        call.released_at = self.loop.now()
+        call.released_by_peer = by_peer
+        if call.rtp is not None:
+            call.rtp.stop_sending()
+
+    # -- introspection --------------------------------------------------------------
+
+    def active_calls(self) -> list[H323Call]:
+        return [c for c in self.calls.values() if c.state == H323CallState.ACTIVE]

@@ -1,0 +1,157 @@
+"""H.225.0 call signalling — the Q.931-flavoured compact subset.
+
+The paper's §2.1 describes H.323 as the then-dominant VoIP standard,
+with H.225.0 handling call setup.  To demonstrate SCIDIVE's claim of
+operating "with both classes of protocols" (any CMP, not just SIP),
+this module implements a faithful-in-shape H.225 subset:
+
+* Q.931 framing: protocol discriminator 0x08, a 16-bit call reference
+  value (CRV), a message type octet, then information elements (IEs)
+  as type/length/value triples;
+* the five message types a basic call uses — SETUP, CALL PROCEEDING,
+  ALERTING, CONNECT, RELEASE COMPLETE — with their real Q.931 codes;
+* calling/called party number IEs and a Fast-Connect-style media
+  address IE (stand-in for the PER-encoded ``fastStart`` H.245
+  elements), so media negotiation happens in the signalling exactly as
+  H.323 fast connect does.
+
+Substitution note (documented in DESIGN.md): real H.225 runs over TCP;
+this testbed's transport is UDP end to end.  Nothing the IDS reasons
+about (message sequence, CRV matching, media addresses) depends on the
+transport framing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.net.addr import Endpoint, IPv4Address
+
+H225_PORT = 1720
+Q931_PROTOCOL_DISCRIMINATOR = 0x08
+
+
+class H225Error(ValueError):
+    """Raised when bytes cannot be decoded as H.225."""
+
+
+class MessageType(enum.IntEnum):
+    """Q.931 message type codes used by H.225 basic call."""
+
+    ALERTING = 0x01
+    CALL_PROCEEDING = 0x02
+    CONNECT = 0x07
+    SETUP = 0x05
+    RELEASE_COMPLETE = 0x5A
+
+
+class IE(enum.IntEnum):
+    """Information element identifiers (Q.931 where they exist)."""
+
+    CAUSE = 0x08
+    CALLING_PARTY = 0x6C
+    CALLED_PARTY = 0x70
+    FAST_START_MEDIA = 0x7E  # user-user IE, carrying our media address
+
+
+@dataclass(frozen=True, slots=True)
+class H225Message:
+    """One H.225 call-signalling message."""
+
+    message_type: MessageType
+    call_reference: int  # 16-bit CRV; the call's on-the-wire identity
+    calling_party: str = ""
+    called_party: str = ""
+    media: Endpoint | None = None  # fast-connect media address
+    cause: int | None = None  # for RELEASE COMPLETE
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.call_reference <= 0xFFFF:
+            raise H225Error(f"CRV out of range: {self.call_reference}")
+
+    # -- codec ----------------------------------------------------------
+
+    def encode(self) -> bytes:
+        out = bytearray()
+        out.append(Q931_PROTOCOL_DISCRIMINATOR)
+        out.append(2)  # call reference length
+        out += self.call_reference.to_bytes(2, "big")
+        out.append(int(self.message_type))
+        for ie_id, data in self._ies():
+            if len(data) > 255:
+                raise H225Error(f"IE {ie_id} too long: {len(data)}")
+            out.append(int(ie_id))
+            out.append(len(data))
+            out += data
+        return bytes(out)
+
+    def _ies(self) -> list[tuple[IE, bytes]]:
+        ies: list[tuple[IE, bytes]] = []
+        if self.calling_party:
+            ies.append((IE.CALLING_PARTY, self.calling_party.encode("ascii")))
+        if self.called_party:
+            ies.append((IE.CALLED_PARTY, self.called_party.encode("ascii")))
+        if self.media is not None:
+            ies.append(
+                (IE.FAST_START_MEDIA, self.media.ip.to_bytes() + self.media.port.to_bytes(2, "big"))
+            )
+        if self.cause is not None:
+            ies.append((IE.CAUSE, bytes([self.cause & 0x7F])))
+        return ies
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "H225Message":
+        if len(raw) < 5:
+            raise H225Error(f"too short for H.225: {len(raw)} bytes")
+        if raw[0] != Q931_PROTOCOL_DISCRIMINATOR:
+            raise H225Error(f"bad protocol discriminator: {raw[0]:#x}")
+        if raw[1] != 2:
+            raise H225Error(f"unsupported call reference length: {raw[1]}")
+        crv = int.from_bytes(raw[2:4], "big")
+        try:
+            message_type = MessageType(raw[4])
+        except ValueError as exc:
+            raise H225Error(f"unknown message type: {raw[4]:#x}") from exc
+        calling = called = ""
+        media: Endpoint | None = None
+        cause: int | None = None
+        offset = 5
+        while offset < len(raw):
+            if offset + 2 > len(raw):
+                raise H225Error("truncated IE header")
+            ie_id, length = raw[offset], raw[offset + 1]
+            offset += 2
+            data = raw[offset : offset + length]
+            if len(data) != length:
+                raise H225Error("truncated IE body")
+            offset += length
+            if ie_id == IE.CALLING_PARTY:
+                calling = data.decode("ascii", errors="replace")
+            elif ie_id == IE.CALLED_PARTY:
+                called = data.decode("ascii", errors="replace")
+            elif ie_id == IE.FAST_START_MEDIA:
+                if length != 6:
+                    raise H225Error(f"bad media IE length: {length}")
+                media = Endpoint(IPv4Address.from_bytes(data[:4]), int.from_bytes(data[4:], "big"))
+            elif ie_id == IE.CAUSE:
+                cause = data[0] if data else None
+            # Unknown IEs are skipped, per Q.931 comprehension rules.
+        return cls(
+            message_type=message_type,
+            call_reference=crv,
+            calling_party=calling,
+            called_party=called,
+            media=media,
+            cause=cause,
+        )
+
+
+def looks_like_h225(payload: bytes) -> bool:
+    """Cheap sniff: Q.931 discriminator + CRV length + known type."""
+    return (
+        len(payload) >= 5
+        and payload[0] == Q931_PROTOCOL_DISCRIMINATOR
+        and payload[1] == 2
+        and payload[4] in MessageType._value2member_map_
+    )

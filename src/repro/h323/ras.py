@@ -1,0 +1,129 @@
+"""H.225.0 RAS — registration, admission and status (compact subset).
+
+The paper: "Within an H.323 network, an optional gatekeeper may be
+present.  The gatekeeper performs several functions including
+authorizing network access ... and providing address-translation
+services."  This module provides exactly that: endpoints register their
+alias (RRQ→RCF), and callers resolve a callee's transport address
+before dialling (ARQ→ACF/ARJ).
+
+Wire format: one type octet, a 16-bit sequence number, then the same
+TLV information elements H.225 uses (alias = called party IE, transport
+address = media IE).  Runs on the conventional RAS port 1719.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.h323.h225 import IE, H225Error
+from repro.net.addr import Endpoint, IPv4Address
+from repro.net.stack import HostStack
+
+RAS_PORT = 1719
+
+
+class RasType(enum.IntEnum):
+    RRQ = 0x01  # registration request
+    RCF = 0x02  # registration confirm
+    RRJ = 0x03  # registration reject
+    ARQ = 0x0A  # admission request (address resolution)
+    ACF = 0x0B  # admission confirm
+    ARJ = 0x0C  # admission reject
+    URQ = 0x10  # unregistration request
+    UCF = 0x11  # unregistration confirm
+
+
+@dataclass(frozen=True, slots=True)
+class RasMessage:
+    ras_type: RasType
+    sequence: int
+    alias: str = ""
+    address: Endpoint | None = None
+
+    def encode(self) -> bytes:
+        out = bytearray([int(self.ras_type)])
+        out += (self.sequence & 0xFFFF).to_bytes(2, "big")
+        if self.alias:
+            data = self.alias.encode("ascii")
+            out += bytes([int(IE.CALLED_PARTY), len(data)]) + data
+        if self.address is not None:
+            data = self.address.ip.to_bytes() + self.address.port.to_bytes(2, "big")
+            out += bytes([int(IE.FAST_START_MEDIA), len(data)]) + data
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "RasMessage":
+        if len(raw) < 3:
+            raise H225Error(f"too short for RAS: {len(raw)}")
+        try:
+            ras_type = RasType(raw[0])
+        except ValueError as exc:
+            raise H225Error(f"unknown RAS type: {raw[0]:#x}") from exc
+        sequence = int.from_bytes(raw[1:3], "big")
+        alias = ""
+        address: Endpoint | None = None
+        offset = 3
+        while offset < len(raw):
+            if offset + 2 > len(raw):
+                raise H225Error("truncated RAS IE")
+            ie_id, length = raw[offset], raw[offset + 1]
+            offset += 2
+            data = raw[offset : offset + length]
+            if len(data) != length:
+                raise H225Error("truncated RAS IE body")
+            offset += length
+            if ie_id == IE.CALLED_PARTY:
+                alias = data.decode("ascii", errors="replace")
+            elif ie_id == IE.FAST_START_MEDIA:
+                if length != 6:
+                    raise H225Error(f"bad RAS address IE: {length}")
+                address = Endpoint(
+                    IPv4Address.from_bytes(data[:4]), int.from_bytes(data[4:], "big")
+                )
+        return cls(ras_type=ras_type, sequence=sequence, alias=alias, address=address)
+
+
+class Gatekeeper:
+    """Alias → call-signalling-address registry (direct-routed mode)."""
+
+    def __init__(self, stack: HostStack, port: int = RAS_PORT) -> None:
+        self.stack = stack
+        self.port = port
+        self.socket = stack.bind(port, self._on_datagram)
+        self.registrations: dict[str, Endpoint] = {}
+        self.admissions_granted = 0
+        self.admissions_rejected = 0
+
+    def _on_datagram(self, payload: bytes, src: Endpoint, now: float) -> None:
+        try:
+            message = RasMessage.decode(payload)
+        except H225Error:
+            return
+        if message.ras_type == RasType.RRQ:
+            if message.alias and message.address is not None:
+                self.registrations[message.alias] = message.address
+                reply = RasMessage(RasType.RCF, message.sequence, alias=message.alias)
+            else:
+                reply = RasMessage(RasType.RRJ, message.sequence, alias=message.alias)
+        elif message.ras_type == RasType.URQ:
+            self.registrations.pop(message.alias, None)
+            reply = RasMessage(RasType.UCF, message.sequence, alias=message.alias)
+        elif message.ras_type == RasType.ARQ:
+            address = self.registrations.get(message.alias)
+            if address is not None:
+                self.admissions_granted += 1
+                reply = RasMessage(
+                    RasType.ACF, message.sequence, alias=message.alias, address=address
+                )
+            else:
+                self.admissions_rejected += 1
+                reply = RasMessage(RasType.ARJ, message.sequence, alias=message.alias)
+        else:
+            return  # confirmations are for endpoints, not us
+        self.socket.send_to(src, reply.encode())
+
+    @property
+    def endpoint(self) -> Endpoint:
+        return Endpoint(self.stack.ip, self.port)

@@ -1,0 +1,89 @@
+"""The H.323 flavour of the Figure-4 testbed.
+
+Same shape as :class:`repro.voip.testbed.Testbed`, with H.323 pieces:
+a gatekeeper (paper §2.1: address translation + admission), two
+terminals, the attacker with its promiscuous eye, and the SCIDIVE tap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.h323.endpoint import H323Endpoint
+from repro.h323.ras import Gatekeeper
+from repro.net.addr import Endpoint
+from repro.net.capture import Sniffer
+from repro.net.stack import HostStack
+from repro.sim.link import LinkModel
+from repro.sim.network import Network
+
+GATEKEEPER_IP = "10.1.0.1"
+TERMINAL_A_IP = "10.1.0.10"
+TERMINAL_B_IP = "10.1.0.20"
+ATTACKER_IP = "10.1.0.66"
+
+
+@dataclass(slots=True)
+class H323TestbedConfig:
+    seed: int = 7
+    answer_delay: float = 0.2
+    link: LinkModel | None = None
+
+
+class H323Testbed:
+    """Two H.323 terminals, a gatekeeper, an attacker, and the IDS tap."""
+
+    def __init__(self, config: H323TestbedConfig | None = None) -> None:
+        self.config = config if config is not None else H323TestbedConfig()
+        self.network = Network(seed=self.config.seed)
+        self.loop = self.network.loop
+        self.hub = self.network.add_hub("h323-hub")
+
+        self.gk_stack = self._host("gatekeeper", GATEKEEPER_IP)
+        self.gatekeeper = Gatekeeper(self.gk_stack)
+
+        self.stack_a = self._host("terminalA", TERMINAL_A_IP)
+        self.stack_b = self._host("terminalB", TERMINAL_B_IP)
+        self.terminal_a = H323Endpoint(
+            self.stack_a, self.loop, alias="alice",
+            gatekeeper=self.gatekeeper.endpoint,
+            answer_delay=self.config.answer_delay, tone_hz=440.0,
+        )
+        self.terminal_b = H323Endpoint(
+            self.stack_b, self.loop, alias="bob",
+            gatekeeper=self.gatekeeper.endpoint,
+            answer_delay=self.config.answer_delay, tone_hz=880.0,
+        )
+
+        self.attacker_stack = self._host("attacker", ATTACKER_IP)
+        self.attacker_eye = Sniffer("attacker-eye", self.loop, mac="02:0f:0f:0f:0f:12")
+        self.hub.attach(self.attacker_eye.iface, self.config.link)
+
+        self.ids_tap = Sniffer("scidive-tap", self.loop, mac="02:0f:0f:0f:0f:11")
+        self.hub.attach(self.ids_tap.iface, self.config.link)
+
+        self._populate_arp()
+
+    def _host(self, name: str, ip: str) -> HostStack:
+        stack = HostStack(name, self.loop, ip=ip, mac=self.network.next_mac())
+        self.network.register(stack)
+        self.hub.attach(stack.iface, self.config.link)
+        return stack
+
+    def _populate_arp(self) -> None:
+        stacks = [node for node in self.network.nodes if isinstance(node, HostStack)]
+        for stack in stacks:
+            for other in stacks:
+                if other is not stack:
+                    stack.add_arp_entry(other.ip, other.iface.mac)
+
+    def register_all(self, settle: float = 0.5) -> None:
+        self.terminal_a.register()
+        self.terminal_b.register()
+        self.network.run_for(settle)
+
+    def run_for(self, seconds: float) -> None:
+        self.network.run_for(seconds)
+
+    def now(self) -> float:
+        return self.loop.now()

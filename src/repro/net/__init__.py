@@ -1,0 +1,43 @@
+"""Wire formats and host networking: addresses, Ethernet/IPv4/UDP codecs,
+IP fragmentation/reassembly, pcap I/O, a UDP host stack, and the passive
+sniffer tap that feeds the IDS."""
+
+from repro.net.addr import BROADCAST_MAC, Endpoint, IPv4Address, MacAddress
+from repro.net.capture import Sniffer
+from repro.net.checksum import internet_checksum, verify_checksum
+from repro.net.fragmentation import Reassembler, fragment
+from repro.net.packet import (
+    ETHERTYPE_IPV4,
+    IPPROTO_UDP,
+    EthernetFrame,
+    IPv4Packet,
+    PacketError,
+    UdpDatagram,
+    build_udp_frame,
+)
+from repro.net.pcap import PcapError, read_pcap, write_pcap
+from repro.net.stack import HostStack, UdpSocket
+
+__all__ = [
+    "BROADCAST_MAC",
+    "ETHERTYPE_IPV4",
+    "Endpoint",
+    "EthernetFrame",
+    "HostStack",
+    "IPPROTO_UDP",
+    "IPv4Address",
+    "IPv4Packet",
+    "MacAddress",
+    "PacketError",
+    "PcapError",
+    "Reassembler",
+    "Sniffer",
+    "UdpDatagram",
+    "UdpSocket",
+    "build_udp_frame",
+    "fragment",
+    "internet_checksum",
+    "read_pcap",
+    "verify_checksum",
+    "write_pcap",
+]

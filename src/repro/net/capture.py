@@ -1,0 +1,41 @@
+"""Passive capture: the sniffer tap feeding the IDS.
+
+In the paper's Figure 4 the IDS hangs off a hub and sees client A's
+traffic promiscuously.  :class:`Sniffer` reproduces that: a node whose
+single promiscuous interface appends every frame to a
+:class:`~repro.sim.trace.Trace` and optionally forwards it to live
+subscribers (the online SCIDIVE engine subscribes this way).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.eventloop import EventLoop
+from repro.sim.node import NetworkInterface, Node
+from repro.sim.trace import Trace
+
+LiveHandler = Callable[[bytes, float], None]
+
+
+class Sniffer(Node):
+    """A promiscuous capture node."""
+
+    def __init__(self, name: str, loop: EventLoop, mac: str = "02:0f:0f:0f:0f:01") -> None:
+        super().__init__(name, loop)
+        self.iface: NetworkInterface = self.add_interface(mac, promiscuous=True)
+        self.trace = Trace(name=name)
+        self._subscribers: list[LiveHandler] = []
+
+    def subscribe(self, handler: LiveHandler) -> None:
+        """Register a live per-frame callback (e.g. the online IDS)."""
+        self._subscribers.append(handler)
+
+    def on_frame(self, iface: NetworkInterface, frame: bytes, now: float) -> None:
+        self.trace.append(now, frame)
+        for handler in self._subscribers:
+            handler(frame, now)
+
+    @property
+    def frames_captured(self) -> int:
+        return len(self.trace)

@@ -1,0 +1,32 @@
+"""The Internet checksum (RFC 1071) used by IPv4 and UDP headers."""
+
+from __future__ import annotations
+
+
+def internet_checksum(data: bytes) -> int:
+    """One's-complement 16-bit checksum over ``data``.
+
+    Odd-length inputs are zero-padded on the right, per RFC 1071.
+    Returns the checksum as an int in ``[0, 0xFFFF]``.
+    """
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    # Summing 16-bit big-endian words; fold carries at the end.
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def verify_checksum(data: bytes) -> bool:
+    """True when ``data`` (including its embedded checksum field) sums to 0."""
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total == 0xFFFF

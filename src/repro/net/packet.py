@@ -1,0 +1,211 @@
+"""Byte-accurate Ethernet II, IPv4 and UDP codecs.
+
+The Distiller consumes real wire bytes, so the simulator produces real
+wire bytes: 14-byte Ethernet headers, 20-byte IPv4 headers with correct
+checksums and fragmentation fields, and 8-byte UDP headers with the
+pseudo-header checksum.  Parsing raises :class:`PacketError` on malformed
+input — the IDS treats undecodable packets as an event in itself.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.net.addr import IPv4Address, MacAddress
+from repro.net.checksum import internet_checksum
+
+ETHERTYPE_IPV4 = 0x0800
+IPPROTO_UDP = 17
+IPPROTO_ICMP = 1
+
+_ETH_HEADER = struct.Struct("!6s6sH")
+_IPV4_HEADER = struct.Struct("!BBHHHBBH4s4s")
+_UDP_HEADER = struct.Struct("!HHHH")
+
+
+class PacketError(ValueError):
+    """Raised when bytes cannot be decoded as the expected protocol."""
+
+
+@dataclass(frozen=True, slots=True)
+class EthernetFrame:
+    """An Ethernet II frame."""
+
+    dst: MacAddress
+    src: MacAddress
+    ethertype: int
+    payload: bytes
+
+    def encode(self) -> bytes:
+        return _ETH_HEADER.pack(self.dst.to_bytes(), self.src.to_bytes(), self.ethertype) + self.payload
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "EthernetFrame":
+        if len(raw) < _ETH_HEADER.size:
+            raise PacketError(f"frame too short for Ethernet: {len(raw)} bytes")
+        dst, src, ethertype = _ETH_HEADER.unpack_from(raw)
+        return cls(
+            dst=MacAddress.from_bytes(dst),
+            src=MacAddress.from_bytes(src),
+            ethertype=ethertype,
+            payload=raw[_ETH_HEADER.size :],
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class IPv4Packet:
+    """An IPv4 packet (no options support — header is always 20 bytes)."""
+
+    src: IPv4Address
+    dst: IPv4Address
+    protocol: int
+    payload: bytes
+    identification: int = 0
+    ttl: int = 64
+    flags_df: bool = False
+    flags_mf: bool = False
+    fragment_offset: int = 0  # in 8-byte units
+    tos: int = 0
+
+    def encode(self) -> bytes:
+        total_length = 20 + len(self.payload)
+        if total_length > 0xFFFF:
+            raise PacketError(f"IPv4 packet too large: {total_length} bytes")
+        flags_frag = (int(self.flags_df) << 14) | (int(self.flags_mf) << 13) | self.fragment_offset
+        header = _IPV4_HEADER.pack(
+            0x45,  # version 4, IHL 5
+            self.tos,
+            total_length,
+            self.identification,
+            flags_frag,
+            self.ttl,
+            self.protocol,
+            0,  # checksum placeholder
+            self.src.to_bytes(),
+            self.dst.to_bytes(),
+        )
+        checksum = internet_checksum(header)
+        header = header[:10] + checksum.to_bytes(2, "big") + header[12:]
+        return header + self.payload
+
+    @classmethod
+    def decode(cls, raw: bytes, verify: bool = True) -> "IPv4Packet":
+        if len(raw) < 20:
+            raise PacketError(f"packet too short for IPv4: {len(raw)} bytes")
+        (
+            ver_ihl,
+            tos,
+            total_length,
+            identification,
+            flags_frag,
+            ttl,
+            protocol,
+            checksum,
+            src,
+            dst,
+        ) = _IPV4_HEADER.unpack_from(raw)
+        version = ver_ihl >> 4
+        ihl = (ver_ihl & 0x0F) * 4
+        if version != 4:
+            raise PacketError(f"not IPv4: version={version}")
+        if ihl < 20 or len(raw) < ihl:
+            raise PacketError(f"bad IPv4 header length: {ihl}")
+        if total_length < ihl or total_length > len(raw):
+            raise PacketError(
+                f"bad IPv4 total length: {total_length} (frame payload {len(raw)})"
+            )
+        if verify and internet_checksum(raw[:ihl]) != 0:
+            raise PacketError("IPv4 header checksum mismatch")
+        return cls(
+            src=IPv4Address.from_bytes(src),
+            dst=IPv4Address.from_bytes(dst),
+            protocol=protocol,
+            payload=raw[ihl:total_length],
+            identification=identification,
+            ttl=ttl,
+            flags_df=bool(flags_frag & 0x4000),
+            flags_mf=bool(flags_frag & 0x2000),
+            fragment_offset=flags_frag & 0x1FFF,
+            tos=tos,
+        )
+
+    @property
+    def is_fragment(self) -> bool:
+        return self.flags_mf or self.fragment_offset > 0
+
+
+@dataclass(frozen=True, slots=True)
+class UdpDatagram:
+    """A UDP datagram.  Checksums use the IPv4 pseudo-header."""
+
+    src_port: int
+    dst_port: int
+    payload: bytes
+    checksum: int = field(default=0)
+
+    def encode(self, src_ip: IPv4Address, dst_ip: IPv4Address) -> bytes:
+        length = 8 + len(self.payload)
+        if length > 0xFFFF:
+            raise PacketError(f"UDP datagram too large: {length} bytes")
+        header = _UDP_HEADER.pack(self.src_port, self.dst_port, length, 0)
+        pseudo = (
+            src_ip.to_bytes()
+            + dst_ip.to_bytes()
+            + bytes([0, IPPROTO_UDP])
+            + length.to_bytes(2, "big")
+        )
+        checksum = internet_checksum(pseudo + header + self.payload)
+        if checksum == 0:
+            checksum = 0xFFFF  # RFC 768: transmitted zero means "no checksum"
+        header = header[:6] + checksum.to_bytes(2, "big")
+        return header + self.payload
+
+    @classmethod
+    def decode(
+        cls,
+        raw: bytes,
+        src_ip: IPv4Address | None = None,
+        dst_ip: IPv4Address | None = None,
+        verify: bool = True,
+    ) -> "UdpDatagram":
+        if len(raw) < 8:
+            raise PacketError(f"datagram too short for UDP: {len(raw)} bytes")
+        src_port, dst_port, length, checksum = _UDP_HEADER.unpack_from(raw)
+        if length < 8 or length > len(raw):
+            raise PacketError(f"bad UDP length: {length} (buffer {len(raw)})")
+        payload = raw[8:length]
+        if verify and checksum != 0 and src_ip is not None and dst_ip is not None:
+            pseudo = (
+                src_ip.to_bytes()
+                + dst_ip.to_bytes()
+                + bytes([0, IPPROTO_UDP])
+                + length.to_bytes(2, "big")
+            )
+            if internet_checksum(pseudo + raw[:length]) not in (0, 0xFFFF):
+                raise PacketError("UDP checksum mismatch")
+        return cls(src_port=src_port, dst_port=dst_port, payload=payload, checksum=checksum)
+
+
+def build_udp_frame(
+    src_mac: MacAddress,
+    dst_mac: MacAddress,
+    src_ip: IPv4Address,
+    dst_ip: IPv4Address,
+    src_port: int,
+    dst_port: int,
+    payload: bytes,
+    identification: int = 0,
+    ttl: int = 64,
+) -> bytes:
+    """Convenience: wrap an application payload into Ethernet/IPv4/UDP bytes."""
+    udp = UdpDatagram(src_port, dst_port, payload).encode(src_ip, dst_ip)
+    ip = IPv4Packet(
+        src=src_ip,
+        dst=dst_ip,
+        protocol=IPPROTO_UDP,
+        payload=udp,
+        identification=identification,
+        ttl=ttl,
+    ).encode()
+    return EthernetFrame(dst=dst_mac, src=src_mac, ethertype=ETHERTYPE_IPV4, payload=ip).encode()

@@ -1,0 +1,177 @@
+"""Host network stack: UDP sockets over the simulated wire.
+
+:class:`HostStack` is the kernel of every simulated machine (clients,
+proxy, attacker).  It owns one interface, a static ARP table (the testbed
+is a single broadcast segment so dynamic ARP adds nothing but noise), an
+IPv4 send path with fragmentation, a receive path with reassembly, and a
+UDP port demultiplexer.
+
+Attackers get one extra capability a normal host lacks:
+:meth:`send_raw_udp` accepts arbitrary source addresses, which is how the
+forged-BYE / fake-IM / hijack scenarios spoof other principals.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable
+
+from repro.net.addr import BROADCAST_MAC, Endpoint, IPv4Address, MacAddress
+from repro.net.fragmentation import Reassembler, fragment
+from repro.net.packet import (
+    ETHERTYPE_IPV4,
+    IPPROTO_UDP,
+    EthernetFrame,
+    IPv4Packet,
+    PacketError,
+    UdpDatagram,
+)
+from repro.sim.eventloop import EventLoop
+from repro.sim.node import NetworkInterface, Node
+
+UdpHandler = Callable[[bytes, Endpoint, float], None]
+
+DEFAULT_MTU = 1500
+
+
+class UdpSocket:
+    """A bound UDP port.  Incoming datagrams invoke ``handler``."""
+
+    def __init__(self, stack: "HostStack", port: int, handler: UdpHandler) -> None:
+        self.stack = stack
+        self.port = port
+        self.handler = handler
+        self.datagrams_in = 0
+        self.datagrams_out = 0
+
+    def send_to(self, dst: Endpoint, payload: bytes) -> None:
+        self.datagrams_out += 1
+        self.stack.send_udp(self.port, dst, payload)
+
+    def close(self) -> None:
+        self.stack.unbind(self.port)
+
+
+class HostStack(Node):
+    """A single-homed IPv4/UDP host."""
+
+    def __init__(
+        self,
+        name: str,
+        loop: EventLoop,
+        ip: IPv4Address | str,
+        mac: MacAddress | str,
+        mtu: int = DEFAULT_MTU,
+    ) -> None:
+        super().__init__(name, loop)
+        self.ip = ip if isinstance(ip, IPv4Address) else IPv4Address.parse(ip)
+        mac_obj = mac if isinstance(mac, MacAddress) else MacAddress(mac)
+        self.mac = mac_obj
+        self.iface: NetworkInterface = self.add_interface(mac_obj.value)
+        self.mtu = mtu
+        self.arp: dict[IPv4Address, MacAddress] = {}
+        self._sockets: dict[int, UdpSocket] = {}
+        self._reassembler = Reassembler()
+        self._ip_id = itertools.count(1)
+        self._ephemeral = itertools.count(49152)
+        self.decode_errors = 0
+
+    # -- configuration -------------------------------------------------
+
+    def add_arp_entry(self, ip: IPv4Address | str, mac: MacAddress | str) -> None:
+        ip_obj = ip if isinstance(ip, IPv4Address) else IPv4Address.parse(ip)
+        mac_obj = mac if isinstance(mac, MacAddress) else MacAddress(mac)
+        self.arp[ip_obj] = mac_obj
+
+    def bind(self, port: int, handler: UdpHandler) -> UdpSocket:
+        if port in self._sockets:
+            raise OSError(f"{self.name}: UDP port {port} already bound")
+        sock = UdpSocket(self, port, handler)
+        self._sockets[port] = sock
+        return sock
+
+    def bind_ephemeral(self, handler: UdpHandler) -> UdpSocket:
+        while True:
+            port = next(self._ephemeral)
+            if port > 0xFFFF:
+                raise OSError(f"{self.name}: ephemeral port space exhausted")
+            if port not in self._sockets:
+                return self.bind(port, handler)
+
+    def unbind(self, port: int) -> None:
+        self._sockets.pop(port, None)
+
+    @property
+    def endpoint_for(self) -> Callable[[int], Endpoint]:
+        return lambda port: Endpoint(self.ip, port)
+
+    # -- send path -------------------------------------------------------
+
+    def send_udp(self, src_port: int, dst: Endpoint, payload: bytes) -> None:
+        """Send a datagram with this host's own addresses."""
+        self._emit_udp(self.ip, self.mac, src_port, dst, payload)
+
+    def send_raw_udp(
+        self,
+        src: Endpoint,
+        dst: Endpoint,
+        payload: bytes,
+        src_mac: MacAddress | None = None,
+    ) -> None:
+        """Send a datagram with a *forged* source — the attacker's raw socket.
+
+        The frame still leaves through this host's interface, so a
+        link-layer observer could notice the MAC/IP mismatch unless the
+        attacker also forges ``src_mac``.
+        """
+        self._emit_udp(src.ip, src_mac if src_mac is not None else self.mac, src.port, dst, payload)
+
+    def _emit_udp(
+        self,
+        src_ip: IPv4Address,
+        src_mac: MacAddress,
+        src_port: int,
+        dst: Endpoint,
+        payload: bytes,
+    ) -> None:
+        dst_mac = self.arp.get(dst.ip, BROADCAST_MAC)
+        udp = UdpDatagram(src_port, dst.port, payload).encode(src_ip, dst.ip)
+        packet = IPv4Packet(
+            src=src_ip,
+            dst=dst.ip,
+            protocol=IPPROTO_UDP,
+            payload=udp,
+            identification=next(self._ip_id) & 0xFFFF,
+        )
+        for frag in fragment(packet, self.mtu):
+            frame = EthernetFrame(
+                dst=dst_mac, src=src_mac, ethertype=ETHERTYPE_IPV4, payload=frag.encode()
+            )
+            self.iface.send(frame.encode())
+
+    # -- receive path ------------------------------------------------------
+
+    def on_frame(self, iface: NetworkInterface, frame: bytes, now: float) -> None:
+        try:
+            eth = EthernetFrame.decode(frame)
+            if eth.ethertype != ETHERTYPE_IPV4:
+                return
+            packet = IPv4Packet.decode(eth.payload)
+        except PacketError:
+            self.decode_errors += 1
+            return
+        if packet.dst != self.ip:
+            return
+        whole = self._reassembler.push(packet, now)
+        if whole is None or whole.protocol != IPPROTO_UDP:
+            return
+        try:
+            udp = UdpDatagram.decode(whole.payload, whole.src, whole.dst)
+        except PacketError:
+            self.decode_errors += 1
+            return
+        sock = self._sockets.get(udp.dst_port)
+        if sock is None:
+            return  # port unreachable; a real host would send ICMP
+        sock.datagrams_in += 1
+        sock.handler(udp.payload, Endpoint(whole.src, udp.src_port), now)

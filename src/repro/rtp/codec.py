@@ -1,0 +1,86 @@
+"""G.711 mu-law codec and voice frame synthesis.
+
+The soft-phones send 20 ms PCMU frames (160 samples at 8 kHz) exactly
+like the clients in the paper's testbed.  The mu-law transcoding here is
+the real ITU-T G.711 algorithm, so payloads are realistic byte streams
+rather than placeholder zeros — which matters for the RTP-attack
+experiments, where garbage payloads must be *different* from real ones.
+"""
+
+from __future__ import annotations
+
+import math
+
+SAMPLE_RATE = 8000
+FRAME_DURATION = 0.020  # the 20 ms period the Section 4.3 analysis uses
+SAMPLES_PER_FRAME = int(SAMPLE_RATE * FRAME_DURATION)  # 160
+
+_MU = 255
+_BIAS = 0x84
+_CLIP = 32635
+
+
+def mulaw_encode_sample(pcm: int) -> int:
+    """Encode one signed 16-bit PCM sample to 8-bit mu-law (G.711)."""
+    sign = 0x80 if pcm < 0 else 0
+    magnitude = min(-pcm if pcm < 0 else pcm, _CLIP) + _BIAS
+    exponent = 7
+    mask = 0x4000
+    while exponent > 0 and not magnitude & mask:
+        exponent -= 1
+        mask >>= 1
+    mantissa = (magnitude >> (exponent + 3)) & 0x0F
+    return ~(sign | (exponent << 4) | mantissa) & 0xFF
+
+
+def mulaw_decode_sample(byte: int) -> int:
+    """Decode one 8-bit mu-law byte back to signed 16-bit PCM."""
+    byte = ~byte & 0xFF
+    sign = byte & 0x80
+    exponent = (byte >> 4) & 0x07
+    mantissa = byte & 0x0F
+    magnitude = ((mantissa << 3) + _BIAS) << exponent
+    magnitude -= _BIAS
+    return -magnitude if sign else magnitude
+
+
+def mulaw_encode(samples: list[int]) -> bytes:
+    return bytes(mulaw_encode_sample(s) for s in samples)
+
+
+def mulaw_decode(data: bytes) -> list[int]:
+    return [mulaw_decode_sample(b) for b in data]
+
+
+class ToneSource:
+    """A deterministic audio source: a sine tone at ``frequency`` Hz.
+
+    Produces successive 20 ms PCMU frames; phase is carried across frames
+    so the decoded waveform is continuous.  Deterministic audio lets the
+    tests assert bit-exact payloads end to end.
+    """
+
+    def __init__(self, frequency: float = 440.0, amplitude: float = 0.5) -> None:
+        if not 0.0 < amplitude <= 1.0:
+            raise ValueError(f"amplitude must be in (0, 1]: {amplitude}")
+        self.frequency = frequency
+        self.amplitude = amplitude
+        self._sample_index = 0
+
+    def next_frame(self) -> bytes:
+        """The next 160-sample PCMU frame."""
+        scale = self.amplitude * 32767.0
+        omega = 2.0 * math.pi * self.frequency / SAMPLE_RATE
+        samples = [
+            int(scale * math.sin(omega * (self._sample_index + i)))
+            for i in range(SAMPLES_PER_FRAME)
+        ]
+        self._sample_index += SAMPLES_PER_FRAME
+        return mulaw_encode(samples)
+
+
+class SilenceSource:
+    """All-silence frames (mu-law 0xFF encodes PCM 0)."""
+
+    def next_frame(self) -> bytes:
+        return bytes([mulaw_encode_sample(0)]) * SAMPLES_PER_FRAME

@@ -1,0 +1,120 @@
+"""Jitter estimation and the receiver playout buffer.
+
+Two pieces the RTP-attack experiment exercises:
+
+* :class:`JitterEstimator` — the RFC 3550 §6.4.1 interarrival jitter
+  filter (``J += (|D| - J) / 16``), in RTP timestamp units, the number
+  reported in RTCP RRs.  The paper notes the RTP attack "leads to
+  degradation in QoS (jitter)", which this estimator makes measurable.
+* :class:`PlayoutBuffer` — the jitter buffer that real clients corrupt
+  when garbage packets arrive: it reorders by sequence number within a
+  bounded window, so an injected packet with a far-higher sequence number
+  displaces real audio (X-Lite crashed; Messenger got intermittent
+  audio).  Our buffer quantifies that displacement instead of crashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rtp.codec import SAMPLE_RATE
+from repro.rtp.packet import RtpPacket, seq_delta
+
+
+class JitterEstimator:
+    """RFC 3550 interarrival jitter, in timestamp units."""
+
+    def __init__(self, clock_rate: int = SAMPLE_RATE) -> None:
+        self.clock_rate = clock_rate
+        self.jitter = 0.0
+        self._last_transit: float | None = None
+
+    def update(self, arrival_time: float, rtp_timestamp: int) -> float:
+        """Feed one packet; returns the updated jitter estimate."""
+        transit = arrival_time * self.clock_rate - rtp_timestamp
+        if self._last_transit is not None:
+            d = abs(transit - self._last_transit)
+            self.jitter += (d - self.jitter) / 16.0
+        self._last_transit = transit
+        return self.jitter
+
+    @property
+    def jitter_seconds(self) -> float:
+        return self.jitter / self.clock_rate
+
+
+@dataclass(slots=True)
+class PlayoutStats:
+    played: int = 0
+    late_dropped: int = 0
+    displaced: int = 0  # real packets evicted/shadowed by a sequence jump
+    gaps: int = 0  # playout intervals with no packet (audible dropouts)
+
+
+@dataclass(slots=True)
+class PlayoutBuffer:
+    """A sequence-ordered jitter buffer of bounded depth.
+
+    Packets are held until :meth:`pop_ready` is called at each playout
+    tick.  A packet far ahead in sequence space fast-forwards the
+    playout point — exactly the corruption mode of the paper's RTP
+    attack — and every real packet subsequently discarded as "late" is
+    counted in :attr:`PlayoutStats.displaced`.
+    """
+
+    capacity: int = 10
+    stats: PlayoutStats = field(default_factory=PlayoutStats)
+    _buffer: dict[int, RtpPacket] = field(default_factory=dict)
+    _next_seq: int | None = None
+
+    def push(self, packet: RtpPacket) -> None:
+        if self._next_seq is not None and seq_delta(packet.sequence, self._next_seq) < 0:
+            # Arrived behind the playout point.
+            self.stats.late_dropped += 1
+            if self._was_displaced(packet.sequence):
+                self.stats.displaced += 1
+            return
+        self._buffer[packet.sequence] = packet
+        if len(self._buffer) > self.capacity:
+            # Evict the oldest (lowest sequence, unwrapped) packet.
+            oldest = min(self._buffer, key=lambda s: self._unwrapped(s))
+            del self._buffer[oldest]
+            self.stats.displaced += 1
+
+    def _unwrapped(self, seq: int) -> int:
+        anchor = self._next_seq if self._next_seq is not None else seq
+        return seq_delta(seq, anchor)
+
+    def _was_displaced(self, seq: int) -> bool:
+        """Late packet that would have been playable but for a jump."""
+        assert self._next_seq is not None
+        return seq_delta(self._next_seq, seq) <= self.capacity
+
+    def pop_ready(self) -> RtpPacket | None:
+        """Advance one playout tick; return the packet played (or None)."""
+        if not self._buffer:
+            if self._next_seq is not None:
+                self.stats.gaps += 1
+                self._next_seq = (self._next_seq + 1) & 0xFFFF
+            return None
+        if self._next_seq is None:
+            self._next_seq = min(self._buffer, key=lambda s: self._unwrapped(s))
+        packet = self._buffer.pop(self._next_seq, None)
+        if packet is None:
+            # Hole at the playout point: skip ahead if the buffer has run
+            # far in front (sequence jump), else record a dropout.
+            lowest = min(self._buffer, key=lambda s: self._unwrapped(s))
+            if seq_delta(lowest, self._next_seq) > self.capacity:
+                self._next_seq = lowest
+                packet = self._buffer.pop(lowest)
+            else:
+                self.stats.gaps += 1
+                self._next_seq = (self._next_seq + 1) & 0xFFFF
+                return None
+        self._next_seq = (self._next_seq + 1) & 0xFFFF
+        self.stats.played += 1
+        return packet
+
+    @property
+    def depth(self) -> int:
+        return len(self._buffer)

@@ -1,0 +1,114 @@
+"""RTP packet codec (RFC 3550 §5.1).
+
+The RTP attack in the paper injects packets whose "header and payload are
+filled with random bytes"; detection keys off the sequence-number field.
+The codec therefore validates the version bits strictly (garbage usually
+fails them) while still exposing the raw header fields the IDS inspects.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+RTP_VERSION = 2
+_RTP_HEADER = struct.Struct("!BBHII")
+
+PT_PCMU = 0  # G.711 mu-law
+PT_PCMA = 8  # G.711 A-law
+
+
+class RtpError(ValueError):
+    """Raised when bytes cannot be decoded as RTP."""
+
+
+@dataclass(frozen=True, slots=True)
+class RtpPacket:
+    """One RTP packet."""
+
+    payload_type: int
+    sequence: int
+    timestamp: int
+    ssrc: int
+    payload: bytes
+    marker: bool = False
+    csrcs: tuple[int, ...] = field(default=())
+    padding: bool = False
+    extension: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.payload_type <= 0x7F:
+            raise RtpError(f"payload type out of range: {self.payload_type}")
+        if not 0 <= self.sequence <= 0xFFFF:
+            raise RtpError(f"sequence out of range: {self.sequence}")
+        if not 0 <= self.timestamp <= 0xFFFFFFFF:
+            raise RtpError(f"timestamp out of range: {self.timestamp}")
+        if not 0 <= self.ssrc <= 0xFFFFFFFF:
+            raise RtpError(f"SSRC out of range: {self.ssrc}")
+        if len(self.csrcs) > 15:
+            raise RtpError(f"too many CSRCs: {len(self.csrcs)}")
+
+    def encode(self) -> bytes:
+        b0 = (RTP_VERSION << 6) | (int(self.padding) << 5) | (int(self.extension) << 4) | len(self.csrcs)
+        b1 = (int(self.marker) << 7) | self.payload_type
+        header = _RTP_HEADER.pack(b0, b1, self.sequence, self.timestamp, self.ssrc)
+        csrcs = b"".join(c.to_bytes(4, "big") for c in self.csrcs)
+        return header + csrcs + self.payload
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "RtpPacket":
+        if len(raw) < _RTP_HEADER.size:
+            raise RtpError(f"packet too short for RTP: {len(raw)} bytes")
+        b0, b1, sequence, timestamp, ssrc = _RTP_HEADER.unpack_from(raw)
+        version = b0 >> 6
+        if version != RTP_VERSION:
+            raise RtpError(f"not RTP version 2: version={version}")
+        cc = b0 & 0x0F
+        offset = _RTP_HEADER.size + 4 * cc
+        if len(raw) < offset:
+            raise RtpError(f"truncated CSRC list: {len(raw)} bytes, cc={cc}")
+        csrcs = tuple(
+            int.from_bytes(raw[_RTP_HEADER.size + 4 * i : _RTP_HEADER.size + 4 * i + 4], "big")
+            for i in range(cc)
+        )
+        extension = bool(b0 & 0x10)
+        if extension:
+            if len(raw) < offset + 4:
+                raise RtpError("truncated extension header")
+            ext_len_words = int.from_bytes(raw[offset + 2 : offset + 4], "big")
+            offset += 4 + 4 * ext_len_words
+            if len(raw) < offset:
+                raise RtpError("truncated extension body")
+        payload = raw[offset:]
+        padding = bool(b0 & 0x20)
+        if padding and payload:
+            pad_len = payload[-1]
+            if pad_len == 0 or pad_len > len(payload):
+                raise RtpError(f"bad padding length: {pad_len}")
+            payload = payload[:-pad_len]
+        return cls(
+            payload_type=b1 & 0x7F,
+            sequence=sequence,
+            timestamp=timestamp,
+            ssrc=ssrc,
+            payload=payload,
+            marker=bool(b1 & 0x80),
+            csrcs=csrcs,
+            padding=padding,
+            extension=extension,
+        )
+
+
+def looks_like_rtp(payload: bytes) -> bool:
+    """Cheap sniff used by the Distiller: version bits + sane length."""
+    return len(payload) >= _RTP_HEADER.size and (payload[0] >> 6) == RTP_VERSION
+
+
+def seq_delta(later: int, earlier: int) -> int:
+    """Signed distance ``later - earlier`` in 16-bit sequence space.
+
+    Returns a value in ``[-32768, 32767]``; positive means ``later`` is
+    ahead of ``earlier`` after unwrapping.  The paper's RTP rule alarms
+    when consecutive packets differ by more than 100.
+    """
+    return ((later - earlier + 0x8000) & 0xFFFF) - 0x8000

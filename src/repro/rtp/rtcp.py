@@ -1,0 +1,201 @@
+"""RTCP codec (RFC 3550 §6): SR, RR, SDES and BYE packets.
+
+The paper lists RTCP among the protocols a cross-protocol rule may chain
+over ("a pattern in a SIP packet followed by one in a succeeding RTP
+packet followed by one in an RTCP packet"), so the substrate speaks real
+RTCP: senders emit SR+SDES compounds, receivers emit RR, and stream ends
+emit BYE.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+RTCP_VERSION = 2
+
+PT_SR = 200
+PT_RR = 201
+PT_SDES = 202
+PT_BYE = 203
+
+SDES_CNAME = 1
+
+
+class RtcpError(ValueError):
+    """Raised when bytes cannot be decoded as RTCP."""
+
+
+@dataclass(frozen=True, slots=True)
+class ReportBlock:
+    """One reception report block inside an SR/RR."""
+
+    ssrc: int
+    fraction_lost: int  # 0..255
+    cumulative_lost: int
+    highest_seq: int
+    jitter: int
+    last_sr: int = 0
+    delay_since_last_sr: int = 0
+
+    _STRUCT = struct.Struct("!IIIIII")
+
+    def encode(self) -> bytes:
+        lost24 = self.cumulative_lost & 0xFFFFFF
+        word1 = (self.fraction_lost << 24) | lost24
+        return self._STRUCT.pack(
+            self.ssrc, word1, self.highest_seq, self.jitter, self.last_sr, self.delay_since_last_sr
+        )
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "ReportBlock":
+        if len(raw) < 24:
+            raise RtcpError(f"report block too short: {len(raw)}")
+        ssrc, word1, highest_seq, jitter, last_sr, dlsr = cls._STRUCT.unpack_from(raw)
+        return cls(
+            ssrc=ssrc,
+            fraction_lost=word1 >> 24,
+            cumulative_lost=word1 & 0xFFFFFF,
+            highest_seq=highest_seq,
+            jitter=jitter,
+            last_sr=last_sr,
+            delay_since_last_sr=dlsr,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class SenderReport:
+    ssrc: int
+    ntp_timestamp: int  # 64-bit NTP
+    rtp_timestamp: int
+    packet_count: int
+    octet_count: int
+    reports: tuple[ReportBlock, ...] = field(default=())
+
+    def encode(self) -> bytes:
+        body = struct.pack(
+            "!IQIII",
+            self.ssrc,
+            self.ntp_timestamp,
+            self.rtp_timestamp,
+            self.packet_count,
+            self.octet_count,
+        )
+        body += b"".join(r.encode() for r in self.reports)
+        return _pack_header(PT_SR, len(self.reports), body) + body
+
+
+@dataclass(frozen=True, slots=True)
+class ReceiverReport:
+    ssrc: int
+    reports: tuple[ReportBlock, ...] = field(default=())
+
+    def encode(self) -> bytes:
+        body = struct.pack("!I", self.ssrc) + b"".join(r.encode() for r in self.reports)
+        return _pack_header(PT_RR, len(self.reports), body) + body
+
+
+@dataclass(frozen=True, slots=True)
+class SourceDescription:
+    """SDES with a single chunk carrying CNAME (the common case)."""
+
+    ssrc: int
+    cname: str
+
+    def encode(self) -> bytes:
+        cname_bytes = self.cname.encode("utf-8")
+        if len(cname_bytes) > 255:
+            raise RtcpError(f"CNAME too long: {len(cname_bytes)}")
+        chunk = struct.pack("!I", self.ssrc) + bytes([SDES_CNAME, len(cname_bytes)]) + cname_bytes
+        chunk += b"\x00"  # end of items
+        while len(chunk) % 4:
+            chunk += b"\x00"
+        return _pack_header(PT_SDES, 1, chunk) + chunk
+
+
+@dataclass(frozen=True, slots=True)
+class Bye:
+    ssrcs: tuple[int, ...]
+    reason: str = ""
+
+    def encode(self) -> bytes:
+        body = b"".join(s.to_bytes(4, "big") for s in self.ssrcs)
+        if self.reason:
+            reason_bytes = self.reason.encode("utf-8")
+            body += bytes([len(reason_bytes)]) + reason_bytes
+            while len(body) % 4:
+                body += b"\x00"
+        return _pack_header(PT_BYE, len(self.ssrcs), body) + body
+
+
+RtcpPacket = SenderReport | ReceiverReport | SourceDescription | Bye
+
+
+def _pack_header(pt: int, count: int, body: bytes) -> bytes:
+    if len(body) % 4:
+        raise RtcpError(f"RTCP body not 32-bit aligned: {len(body)}")
+    length_words = len(body) // 4  # header itself excluded, per RFC: (total/4)-1
+    return struct.pack("!BBH", (RTCP_VERSION << 6) | count, pt, length_words)
+
+
+def decode_compound(raw: bytes) -> list[RtcpPacket]:
+    """Decode a compound RTCP datagram into its constituent packets."""
+    packets: list[RtcpPacket] = []
+    offset = 0
+    while offset < len(raw):
+        if len(raw) - offset < 4:
+            raise RtcpError(f"trailing bytes too short for RTCP header: {len(raw) - offset}")
+        b0, pt, length_words = struct.unpack_from("!BBH", raw, offset)
+        if b0 >> 6 != RTCP_VERSION:
+            raise RtcpError(f"not RTCP version 2: {b0 >> 6}")
+        count = b0 & 0x1F
+        total = 4 + 4 * length_words
+        body = raw[offset + 4 : offset + total]
+        if len(body) != 4 * length_words:
+            raise RtcpError("truncated RTCP packet")
+        packets.append(_decode_one(pt, count, body))
+        offset += total
+    return packets
+
+
+def _decode_one(pt: int, count: int, body: bytes) -> RtcpPacket:
+    if pt == PT_SR:
+        if len(body) < 24:
+            raise RtcpError(f"SR too short: {len(body)}")
+        ssrc, ntp, rtp_ts, pkts, octets = struct.unpack_from("!IQIII", body)
+        reports = tuple(
+            ReportBlock.decode(body[24 + 24 * i : 48 + 24 * i]) for i in range(count)
+        )
+        return SenderReport(ssrc, ntp, rtp_ts, pkts, octets, reports)
+    if pt == PT_RR:
+        if len(body) < 4:
+            raise RtcpError(f"RR too short: {len(body)}")
+        (ssrc,) = struct.unpack_from("!I", body)
+        reports = tuple(ReportBlock.decode(body[4 + 24 * i : 28 + 24 * i]) for i in range(count))
+        return ReceiverReport(ssrc, reports)
+    if pt == PT_SDES:
+        if len(body) < 6:
+            raise RtcpError(f"SDES too short: {len(body)}")
+        (ssrc,) = struct.unpack_from("!I", body)
+        item_type = body[4]
+        if item_type != SDES_CNAME:
+            return SourceDescription(ssrc, "")
+        length = body[5]
+        cname = body[6 : 6 + length].decode("utf-8", errors="replace")
+        return SourceDescription(ssrc, cname)
+    if pt == PT_BYE:
+        ssrcs = tuple(
+            int.from_bytes(body[4 * i : 4 * i + 4], "big") for i in range(count)
+        )
+        reason = ""
+        tail = body[4 * count :]
+        if tail:
+            rlen = tail[0]
+            reason = tail[1 : 1 + rlen].decode("utf-8", errors="replace")
+        return Bye(ssrcs, reason)
+    raise RtcpError(f"unknown RTCP packet type: {pt}")
+
+
+def looks_like_rtcp(payload: bytes) -> bool:
+    """Distinguish RTCP from RTP: version 2 + PT in the RTCP range."""
+    return len(payload) >= 4 and (payload[0] >> 6) == RTCP_VERSION and 200 <= payload[1] <= 204

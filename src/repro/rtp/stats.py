@@ -1,0 +1,81 @@
+"""Receiver-side RTP stream statistics (RFC 3550 appendix A.1 style).
+
+Tracks the extended highest sequence number, cumulative loss, and the
+jitter estimate — the inputs for RTCP receiver reports and for the IDS's
+media-quality events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rtp.jitter import JitterEstimator
+from repro.rtp.packet import RtpPacket, seq_delta
+
+
+@dataclass(slots=True)
+class StreamStats:
+    """Statistics for one incoming SSRC."""
+
+    ssrc: int
+    packets_received: int = 0
+    octets_received: int = 0
+    base_seq: int | None = None
+    max_seq: int = 0
+    cycles: int = 0  # sequence wraparounds, in units of 65536
+    jitter: JitterEstimator = field(default_factory=JitterEstimator)
+    reordered: int = 0
+    duplicates: int = 0
+    _seen_recent: set[int] = field(default_factory=set)
+
+    def update(self, packet: RtpPacket, arrival_time: float) -> None:
+        if packet.ssrc != self.ssrc:
+            raise ValueError(f"packet SSRC {packet.ssrc:#x} != stream {self.ssrc:#x}")
+        self.packets_received += 1
+        self.octets_received += len(packet.payload)
+        self.jitter.update(arrival_time, packet.timestamp)
+        if self.base_seq is None:
+            self.base_seq = packet.sequence
+            self.max_seq = packet.sequence
+            self._remember(packet.sequence)
+            return
+        delta = seq_delta(packet.sequence, self.max_seq)
+        if delta > 0:
+            if packet.sequence < self.max_seq:
+                self.cycles += 1  # wrapped
+            self.max_seq = packet.sequence
+        elif delta < 0:
+            if packet.sequence in self._seen_recent:
+                self.duplicates += 1
+            else:
+                self.reordered += 1
+        else:
+            self.duplicates += 1
+        self._remember(packet.sequence)
+
+    def _remember(self, seq: int) -> None:
+        self._seen_recent.add(seq)
+        if len(self._seen_recent) > 512:
+            self._seen_recent.clear()
+            self._seen_recent.add(seq)
+
+    @property
+    def extended_max_seq(self) -> int:
+        return (self.cycles << 16) | self.max_seq
+
+    @property
+    def expected(self) -> int:
+        if self.base_seq is None:
+            return 0
+        return self.extended_max_seq - self.base_seq + 1
+
+    @property
+    def lost(self) -> int:
+        """Cumulative loss estimate (can be negative with duplicates)."""
+        return self.expected - self.packets_received
+
+    @property
+    def fraction_lost(self) -> float:
+        if self.expected <= 0:
+            return 0.0
+        return max(0.0, min(1.0, self.lost / self.expected))

@@ -1,0 +1,38 @@
+"""Discrete-event network simulation kernel.
+
+This package replaces the paper's physical testbed: a deterministic event
+loop (:mod:`~repro.sim.eventloop`), stochastic link models
+(:mod:`~repro.sim.link`, :mod:`~repro.sim.distributions`), a broadcast hub
+(:mod:`~repro.sim.hub`) and frame-level nodes (:mod:`~repro.sim.node`).
+"""
+
+from repro.sim.clock import Clock
+from repro.sim.distributions import Constant, Distribution, Exponential, Normal, Pareto, Uniform
+from repro.sim.eventloop import EventHandle, EventLoop
+from repro.sim.hub import Hub
+from repro.sim.link import LinkModel, lan_link, wan_link
+from repro.sim.network import Network
+from repro.sim.node import CallbackNode, NetworkInterface, Node
+from repro.sim.trace import Trace, TraceRecord
+
+__all__ = [
+    "CallbackNode",
+    "Clock",
+    "Constant",
+    "Distribution",
+    "EventHandle",
+    "EventLoop",
+    "Exponential",
+    "Hub",
+    "LinkModel",
+    "Network",
+    "NetworkInterface",
+    "Node",
+    "Normal",
+    "Pareto",
+    "Trace",
+    "TraceRecord",
+    "Uniform",
+    "lan_link",
+    "wan_link",
+]

@@ -1,0 +1,236 @@
+"""Delay distributions used by the network model and the Section 4.3 analysis.
+
+The paper's detection-delay model treats per-packet network delays
+(``N_rtp``, ``N_sip``) and the attacker's message-generation offset
+(``G_sip``) as random variables.  Each distribution here exposes:
+
+* :meth:`sample` — draw a value (uses an injected :class:`random.Random`
+  so simulations are reproducible),
+* :meth:`pdf` / :meth:`cdf` — densities for the analytic models in
+  :mod:`repro.core.analysis`,
+* :attr:`mean` — closed-form expectation.
+
+Distributions are value objects: immutable and hashable so they can key
+caches in the analysis code.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+
+class Distribution(ABC):
+    """A one-dimensional random variable over seconds."""
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> float:
+        """Draw one value."""
+
+    @abstractmethod
+    def pdf(self, t: float) -> float:
+        """Probability density at ``t``."""
+
+    @abstractmethod
+    def cdf(self, t: float) -> float:
+        """Cumulative probability ``P(X <= t)``."""
+
+    @property
+    @abstractmethod
+    def mean(self) -> float:
+        """Closed-form expectation."""
+
+    @property
+    @abstractmethod
+    def support(self) -> tuple[float, float]:
+        """(lo, hi) bounds outside which the pdf is zero (hi may be inf)."""
+
+
+@dataclass(frozen=True, slots=True)
+class Constant(Distribution):
+    """Degenerate distribution — every sample equals ``value``."""
+
+    value: float
+
+    def sample(self, rng: random.Random) -> float:
+        return self.value
+
+    def pdf(self, t: float) -> float:
+        # Dirac delta: represented as 0 everywhere for numeric purposes;
+        # the analysis code special-cases Constant via `support`.
+        return math.inf if t == self.value else 0.0
+
+    def cdf(self, t: float) -> float:
+        return 1.0 if t >= self.value else 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.value
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (self.value, self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class Uniform(Distribution):
+    """Uniform on ``[lo, hi]`` — the paper's model for ``G_sip`` on (0, 20 ms)."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.hi < self.lo:
+            raise ValueError(f"uniform needs lo <= hi, got [{self.lo}, {self.hi}]")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.lo, self.hi)
+
+    def pdf(self, t: float) -> float:
+        if self.lo <= t <= self.hi and self.hi > self.lo:
+            return 1.0 / (self.hi - self.lo)
+        return 0.0
+
+    def cdf(self, t: float) -> float:
+        if t < self.lo:
+            return 0.0
+        if t >= self.hi:
+            return 1.0
+        return (t - self.lo) / (self.hi - self.lo)
+
+    @property
+    def mean(self) -> float:
+        return (self.lo + self.hi) / 2.0
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (self.lo, self.hi)
+
+
+@dataclass(frozen=True, slots=True)
+class Exponential(Distribution):
+    """Exponential with mean ``scale`` — a common one-way-delay model."""
+
+    scale: float
+    shift: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError(f"exponential scale must be positive: {self.scale}")
+
+    def sample(self, rng: random.Random) -> float:
+        return self.shift + rng.expovariate(1.0 / self.scale)
+
+    def pdf(self, t: float) -> float:
+        x = t - self.shift
+        if x < 0:
+            return 0.0
+        return math.exp(-x / self.scale) / self.scale
+
+    def cdf(self, t: float) -> float:
+        x = t - self.shift
+        if x < 0:
+            return 0.0
+        return 1.0 - math.exp(-x / self.scale)
+
+    @property
+    def mean(self) -> float:
+        return self.shift + self.scale
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (self.shift, math.inf)
+
+
+@dataclass(frozen=True, slots=True)
+class Normal(Distribution):
+    """Gaussian truncated at zero (delays cannot be negative).
+
+    The truncation is handled by resampling in :meth:`sample` and by
+    renormalising the density; for the ``mu >> sigma`` regimes used in the
+    benchmarks the correction is negligible but we keep it exact.
+    """
+
+    mu: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0:
+            raise ValueError(f"normal sigma must be positive: {self.sigma}")
+
+    def _z(self) -> float:
+        """P(X >= 0) for the untruncated Gaussian."""
+        return 1.0 - self._phi_cdf(-self.mu / self.sigma)
+
+    @staticmethod
+    def _phi_cdf(z: float) -> float:
+        return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+    def sample(self, rng: random.Random) -> float:
+        while True:
+            x = rng.gauss(self.mu, self.sigma)
+            if x >= 0:
+                return x
+
+    def pdf(self, t: float) -> float:
+        if t < 0:
+            return 0.0
+        z = (t - self.mu) / self.sigma
+        base = math.exp(-0.5 * z * z) / (self.sigma * math.sqrt(2.0 * math.pi))
+        return base / self._z()
+
+    def cdf(self, t: float) -> float:
+        if t < 0:
+            return 0.0
+        num = self._phi_cdf((t - self.mu) / self.sigma) - self._phi_cdf(-self.mu / self.sigma)
+        return num / self._z()
+
+    @property
+    def mean(self) -> float:
+        # Mean of the zero-truncated Gaussian.
+        alpha = -self.mu / self.sigma
+        phi = math.exp(-0.5 * alpha * alpha) / math.sqrt(2.0 * math.pi)
+        return self.mu + self.sigma * phi / self._z()
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (0.0, math.inf)
+
+
+@dataclass(frozen=True, slots=True)
+class Pareto(Distribution):
+    """Shifted Pareto — heavy-tailed delays for stress scenarios."""
+
+    xm: float
+    alpha: float
+
+    def __post_init__(self) -> None:
+        if self.xm <= 0 or self.alpha <= 0:
+            raise ValueError(f"pareto needs positive xm and alpha: {self.xm}, {self.alpha}")
+
+    def sample(self, rng: random.Random) -> float:
+        # Inverse-CDF sampling.
+        u = rng.random()
+        return self.xm / ((1.0 - u) ** (1.0 / self.alpha))
+
+    def pdf(self, t: float) -> float:
+        if t < self.xm:
+            return 0.0
+        return self.alpha * (self.xm**self.alpha) / (t ** (self.alpha + 1.0))
+
+    def cdf(self, t: float) -> float:
+        if t < self.xm:
+            return 0.0
+        return 1.0 - (self.xm / t) ** self.alpha
+
+    @property
+    def mean(self) -> float:
+        if self.alpha <= 1.0:
+            return math.inf
+        return self.alpha * self.xm / (self.alpha - 1.0)
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (self.xm, math.inf)

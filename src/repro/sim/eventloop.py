@@ -1,0 +1,141 @@
+"""Discrete-event scheduler.
+
+The kernel is a classic calendar queue built on :mod:`heapq`.  Events are
+``(time, sequence, callback)`` triples; the sequence number breaks ties so
+that events scheduled for the same instant run in FIFO order, which keeps
+runs deterministic — a property the reproduction leans on heavily (every
+benchmark seeds its RNG and expects identical packet interleavings).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.sim.clock import Clock
+
+
+@dataclass(order=True, slots=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`EventLoop.call_at`; supports cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def when(self) -> float:
+        return self._event.time
+
+
+class EventLoop:
+    """A deterministic discrete-event loop.
+
+    Usage::
+
+        loop = EventLoop()
+        loop.call_at(1.5, lambda: print("hello at t=1.5"))
+        loop.run_until(10.0)
+    """
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self.clock = clock if clock is not None else Clock()
+        self._queue: list[_ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._events_run = 0
+
+    # -- scheduling ---------------------------------------------------
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run at absolute time ``when``."""
+        if when < self.clock.now():
+            raise ValueError(
+                f"cannot schedule into the past: {when} < {self.clock.now()}"
+            )
+        event = _ScheduledEvent(time=float(when), seq=next(self._seq), callback=callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.call_at(self.clock.now() + delay, callback)
+
+    # -- execution ----------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the single earliest pending event.
+
+        Returns ``False`` when the queue is empty (nothing ran).
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            self._events_run += 1
+            event.callback()
+            return True
+        return False
+
+    def run_until(self, t_end: float) -> None:
+        """Run all events with timestamps ``<= t_end``, then advance to it.
+
+        Events scheduled by callbacks during the run are honoured if they
+        also fall inside the horizon.
+        """
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > t_end:
+                break
+            self.step()
+        self.clock.advance_to(max(t_end, self.clock.now()))
+
+    def run(self, max_events: int | None = None) -> int:
+        """Drain the queue completely (or until ``max_events``).
+
+        Returns the number of events executed.  ``max_events`` is a guard
+        against runaway self-rescheduling sources.
+        """
+        ran = 0
+        while self.step():
+            ran += 1
+            if max_events is not None and ran >= max_events:
+                break
+        return ran
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def events_run(self) -> int:
+        return self._events_run
+
+    def now(self) -> float:
+        return self.clock.now()

@@ -1,0 +1,77 @@
+"""Link models: per-hop delay, jitter and loss.
+
+A :class:`LinkModel` decides, for each frame, whether it is delivered and
+after how long.  The testbed in the paper is a shared 100 Mb/s hub; delays
+there are sub-millisecond, but the Section 4.3 analysis explicitly reasons
+about wide-area delay distributions, so the model is pluggable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.sim.distributions import Constant, Distribution
+
+
+@dataclass(slots=True)
+class LinkModel:
+    """Stochastic delivery model for one hop.
+
+    Parameters
+    ----------
+    delay:
+        Distribution of one-way delay in seconds.
+    loss_rate:
+        Independent per-frame drop probability in ``[0, 1]``.
+    bandwidth_bps:
+        Optional serialisation-rate limit.  When set, each frame adds
+        ``8 * len(frame) / bandwidth_bps`` of transmission time and frames
+        queue behind each other (FIFO per link).
+    """
+
+    delay: Distribution = field(default_factory=lambda: Constant(0.0005))
+    loss_rate: float = 0.0
+    bandwidth_bps: float | None = None
+    # Internal: virtual time at which the link's transmitter frees up.
+    _tx_free_at: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError(f"loss_rate must be in [0,1]: {self.loss_rate}")
+        if self.bandwidth_bps is not None and self.bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive: {self.bandwidth_bps}")
+
+    def delivery_delay(self, frame_len: int, now: float, rng: random.Random) -> float | None:
+        """Return the total delay for a frame sent at ``now``.
+
+        ``None`` means the frame is lost.  The returned value already
+        includes queueing behind earlier frames when a bandwidth limit is
+        configured.
+        """
+        if self.loss_rate > 0.0 and rng.random() < self.loss_rate:
+            return None
+        queueing = 0.0
+        if self.bandwidth_bps is not None:
+            tx_time = 8.0 * frame_len / self.bandwidth_bps
+            start = max(now, self._tx_free_at)
+            self._tx_free_at = start + tx_time
+            queueing = (start - now) + tx_time
+        prop = self.delay.sample(rng)
+        if prop < 0:
+            prop = 0.0
+        return queueing + prop
+
+
+def lan_link() -> LinkModel:
+    """A hub-segment link: ~0.5 ms fixed delay, lossless (paper testbed)."""
+    return LinkModel(delay=Constant(0.0005), loss_rate=0.0)
+
+
+def wan_link(mean_delay: float = 0.040, loss_rate: float = 0.0) -> LinkModel:
+    """A wide-area link with exponential jitter around ``mean_delay``."""
+    from repro.sim.distributions import Exponential
+
+    # 5 ms floor plus exponential tail adding up to the requested mean.
+    floor = min(0.005, mean_delay / 2.0)
+    return LinkModel(delay=Exponential(scale=mean_delay - floor, shift=floor), loss_rate=loss_rate)

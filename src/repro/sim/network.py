@@ -1,0 +1,70 @@
+"""Topology builder: wires loops, hubs and nodes together.
+
+:class:`Network` owns the event loop, a shared RNG and any number of
+hubs.  It is the root object every scenario and benchmark starts from::
+
+    net = Network(seed=7)
+    hub = net.add_hub()
+    alice = SomeNode("alice", net.loop)
+    net.attach(hub, alice.add_interface("02:00:00:00:00:01"))
+    net.run_for(5.0)
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sim.eventloop import EventLoop
+from repro.sim.hub import Hub
+from repro.sim.link import LinkModel
+from repro.sim.node import NetworkInterface, Node
+
+
+class Network:
+    """A complete simulated network: loop + media + nodes."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.loop = EventLoop()
+        self.rng = random.Random(seed)
+        self.hubs: list[Hub] = []
+        self.nodes: list[Node] = []
+        self._mac_counter = 0
+
+    # -- construction ---------------------------------------------------
+
+    def add_hub(self, name: str | None = None) -> Hub:
+        hub = Hub(self.loop, rng=self.rng, name=name or f"hub{len(self.hubs)}")
+        self.hubs.append(hub)
+        return hub
+
+    def register(self, node: Node) -> Node:
+        """Track a node so topology introspection can find it."""
+        self.nodes.append(node)
+        return node
+
+    def attach(self, hub: Hub, iface: NetworkInterface, link: LinkModel | None = None) -> None:
+        hub.attach(iface, link)
+
+    def next_mac(self) -> str:
+        """Allocate a locally-administered MAC address."""
+        self._mac_counter += 1
+        c = self._mac_counter
+        return f"02:00:00:{(c >> 16) & 0xFF:02x}:{(c >> 8) & 0xFF:02x}:{c & 0xFF:02x}"
+
+    # -- execution --------------------------------------------------------
+
+    def run_for(self, seconds: float) -> None:
+        """Advance the simulation by ``seconds`` of virtual time."""
+        self.loop.run_until(self.loop.now() + seconds)
+
+    def run_until(self, t: float) -> None:
+        self.loop.run_until(t)
+
+    def now(self) -> float:
+        return self.loop.now()
+
+    def find_node(self, name: str) -> Node:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise KeyError(f"no node named {name!r}")

@@ -1,0 +1,102 @@
+"""Nodes and network interfaces.
+
+A :class:`Node` is anything attached to the simulated medium: a VoIP
+client, the SIP proxy, the attacker, or the IDS sniffer.  Nodes exchange
+raw Ethernet frames (``bytes``); all higher-layer behaviour lives in
+:mod:`repro.net.stack` and above, mirroring a real host where the NIC
+driver hands frames to the kernel.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.hub import Hub
+    from repro.sim.eventloop import EventLoop
+
+FrameHandler = Callable[[bytes, float], None]
+
+
+class Medium(Protocol):
+    """Anything an interface can transmit onto (hub, point-to-point link)."""
+
+    def transmit(self, sender: "NetworkInterface", frame: bytes) -> None: ...
+
+
+class NetworkInterface:
+    """One attachment point between a node and a medium.
+
+    ``promiscuous`` interfaces receive every frame on the segment — this is
+    how the SCIDIVE sniffer tap observes client A's traffic in the paper's
+    Figure 4 topology.
+    """
+
+    def __init__(self, node: "Node", mac: str, promiscuous: bool = False) -> None:
+        self.node = node
+        self.mac = mac
+        self.promiscuous = promiscuous
+        self.medium: Medium | None = None
+        self.frames_sent = 0
+        self.frames_received = 0
+
+    def attach(self, medium: Medium) -> None:
+        if self.medium is not None:
+            raise RuntimeError(f"interface {self.mac} already attached")
+        self.medium = medium
+
+    def send(self, frame: bytes) -> None:
+        """Transmit a frame onto the attached medium."""
+        if self.medium is None:
+            raise RuntimeError(f"interface {self.mac} not attached to a medium")
+        self.frames_sent += 1
+        self.medium.transmit(self, frame)
+
+    def deliver(self, frame: bytes, now: float) -> None:
+        """Called by the medium when a frame arrives at this interface."""
+        self.frames_received += 1
+        self.node.on_frame(self, frame, now)
+
+
+class Node:
+    """Base class for all simulated hosts.
+
+    Subclasses override :meth:`on_frame`.  A node may own several
+    interfaces (e.g. a gateway); the single-homed helper
+    :meth:`default_interface` covers the common case.
+    """
+
+    def __init__(self, name: str, loop: "EventLoop") -> None:
+        self.name = name
+        self.loop = loop
+        self.interfaces: list[NetworkInterface] = []
+
+    def add_interface(self, mac: str, promiscuous: bool = False) -> NetworkInterface:
+        iface = NetworkInterface(self, mac, promiscuous=promiscuous)
+        self.interfaces.append(iface)
+        return iface
+
+    def default_interface(self) -> NetworkInterface:
+        if not self.interfaces:
+            raise RuntimeError(f"node {self.name} has no interfaces")
+        return self.interfaces[0]
+
+    def on_frame(self, iface: NetworkInterface, frame: bytes, now: float) -> None:
+        """Handle an arriving frame.  Default: drop silently."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class CallbackNode(Node):
+    """A node that forwards every frame to a user-supplied callback.
+
+    Used for taps and for tests that only need to observe traffic.
+    """
+
+    def __init__(self, name: str, loop: "EventLoop", handler: FrameHandler) -> None:
+        super().__init__(name, loop)
+        self._handler = handler
+
+    def on_frame(self, iface: NetworkInterface, frame: bytes, now: float) -> None:
+        self._handler(frame, now)

@@ -1,0 +1,63 @@
+"""Packet traces: timestamped frame sequences.
+
+A :class:`Trace` is the interchange format between the simulated network
+and the IDS: the sniffer tap appends ``(timestamp, frame)`` records, and
+the SCIDIVE engine (or the Snort-like baseline) consumes them either
+online or after the fact.  Traces also round-trip through pcap files via
+:mod:`repro.net.pcap`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One captured frame."""
+
+    timestamp: float
+    frame: bytes
+
+    def __len__(self) -> int:
+        return len(self.frame)
+
+
+@dataclass(slots=True)
+class Trace:
+    """An append-only ordered sequence of captured frames."""
+
+    name: str = "capture"
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def append(self, timestamp: float, frame: bytes) -> None:
+        if self.records and timestamp < self.records[-1].timestamp:
+            raise ValueError(
+                f"trace timestamps must be non-decreasing: "
+                f"{timestamp} < {self.records[-1].timestamp}"
+            )
+        self.records.append(TraceRecord(timestamp, frame))
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def duration(self) -> float:
+        """Seconds between the first and last captured frame."""
+        if len(self.records) < 2:
+            return 0.0
+        return self.records[-1].timestamp - self.records[0].timestamp
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(len(r.frame) for r in self.records)
+
+    def between(self, t_start: float, t_end: float) -> "Trace":
+        """Return a sub-trace with records in ``[t_start, t_end]``."""
+        sub = Trace(name=f"{self.name}[{t_start:.3f},{t_end:.3f}]")
+        sub.records = [r for r in self.records if t_start <= r.timestamp <= t_end]
+        return sub

@@ -1,0 +1,163 @@
+"""HTTP Digest authentication as used by SIP (RFC 3261 §22 / RFC 2617).
+
+The registrar challenges REGISTER requests with ``WWW-Authenticate:
+Digest``; clients answer with an ``Authorization`` header.  The password
+guessing attack of Section 3.3 replays REGISTER with varying (wrong)
+responses — the stateful IDS event watches exactly this exchange, so the
+substrate implements real MD5 digests rather than placeholder strings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+
+class AuthError(ValueError):
+    """Raised on malformed credentials or challenges."""
+
+
+def _md5_hex(text: str) -> str:
+    return hashlib.md5(text.encode("utf-8")).hexdigest()
+
+
+def _parse_kv_list(text: str) -> dict[str, str]:
+    """Parse ``key="value", key2=value2`` comma lists (quoted-string aware)."""
+    out: dict[str, str] = {}
+    i = 0
+    n = len(text)
+    while i < n:
+        while i < n and text[i] in " ,\t":
+            i += 1
+        if i >= n:
+            break
+        eq = text.find("=", i)
+        if eq < 0:
+            raise AuthError(f"malformed auth parameter list: {text!r}")
+        key = text[i:eq].strip().lower()
+        i = eq + 1
+        if i < n and text[i] == '"':
+            end = text.find('"', i + 1)
+            if end < 0:
+                raise AuthError(f"unterminated quoted string: {text!r}")
+            out[key] = text[i + 1 : end]
+            i = end + 1
+        else:
+            end = text.find(",", i)
+            if end < 0:
+                end = n
+            out[key] = text[i:end].strip()
+            i = end
+    return out
+
+
+@dataclass(frozen=True, slots=True)
+class DigestChallenge:
+    """A ``WWW-Authenticate: Digest`` challenge."""
+
+    realm: str
+    nonce: str
+    algorithm: str = "MD5"
+    opaque: str | None = None
+
+    @classmethod
+    def parse(cls, header_value: str) -> "DigestChallenge":
+        scheme, _, rest = header_value.partition(" ")
+        if scheme.strip().lower() != "digest":
+            raise AuthError(f"not a Digest challenge: {header_value!r}")
+        kv = _parse_kv_list(rest)
+        if "realm" not in kv or "nonce" not in kv:
+            raise AuthError(f"challenge missing realm/nonce: {header_value!r}")
+        return cls(
+            realm=kv["realm"],
+            nonce=kv["nonce"],
+            algorithm=kv.get("algorithm", "MD5"),
+            opaque=kv.get("opaque"),
+        )
+
+    def encode(self) -> str:
+        out = f'Digest realm="{self.realm}", nonce="{self.nonce}", algorithm={self.algorithm}'
+        if self.opaque:
+            out += f', opaque="{self.opaque}"'
+        return out
+
+
+@dataclass(frozen=True, slots=True)
+class DigestCredentials:
+    """An ``Authorization: Digest`` response."""
+
+    username: str
+    realm: str
+    nonce: str
+    uri: str
+    response: str
+    algorithm: str = "MD5"
+
+    @classmethod
+    def parse(cls, header_value: str) -> "DigestCredentials":
+        scheme, _, rest = header_value.partition(" ")
+        if scheme.strip().lower() != "digest":
+            raise AuthError(f"not Digest credentials: {header_value!r}")
+        kv = _parse_kv_list(rest)
+        missing = {"username", "realm", "nonce", "uri", "response"} - kv.keys()
+        if missing:
+            raise AuthError(f"credentials missing {sorted(missing)}: {header_value!r}")
+        return cls(
+            username=kv["username"],
+            realm=kv["realm"],
+            nonce=kv["nonce"],
+            uri=kv["uri"],
+            response=kv["response"],
+            algorithm=kv.get("algorithm", "MD5"),
+        )
+
+    def encode(self) -> str:
+        return (
+            f'Digest username="{self.username}", realm="{self.realm}", '
+            f'nonce="{self.nonce}", uri="{self.uri}", response="{self.response}", '
+            f"algorithm={self.algorithm}"
+        )
+
+
+def compute_response(
+    username: str, realm: str, password: str, method: str, uri: str, nonce: str
+) -> str:
+    """RFC 2617 request-digest (no qop, matching classic SIP deployments)."""
+    ha1 = _md5_hex(f"{username}:{realm}:{password}")
+    ha2 = _md5_hex(f"{method}:{uri}")
+    return _md5_hex(f"{ha1}:{nonce}:{ha2}")
+
+
+def answer_challenge(
+    challenge: DigestChallenge,
+    username: str,
+    password: str,
+    method: str,
+    uri: str,
+) -> DigestCredentials:
+    """Produce credentials answering ``challenge``."""
+    return DigestCredentials(
+        username=username,
+        realm=challenge.realm,
+        nonce=challenge.nonce,
+        uri=uri,
+        response=compute_response(username, challenge.realm, password, method, uri, challenge.nonce),
+    )
+
+
+def verify_credentials(
+    creds: DigestCredentials, password: str, method: str, expected_nonce: str | None = None
+) -> bool:
+    """Check a digest response against the stored password."""
+    if expected_nonce is not None and creds.nonce != expected_nonce:
+        return False
+    expected = compute_response(
+        creds.username, creds.realm, password, method, creds.uri, creds.nonce
+    )
+    return creds.response == expected
+
+
+def generate_nonce(rng: random.Random) -> str:
+    """A fresh 128-bit nonce from the injected RNG (deterministic in sims)."""
+    return f"{rng.getrandbits(128):032x}"

@@ -1,0 +1,108 @@
+"""SIP protocol constants (RFC 3261 plus the MESSAGE extension, RFC 3428).
+
+The paper's scenarios use: INVITE / ACK / BYE / CANCEL / REGISTER /
+OPTIONS (core methods), re-INVITE (an INVITE inside an existing dialog,
+used both for legitimate mobility and for the Call Hijack attack), and
+MESSAGE (SIP instant messaging, target of the Fake IM attack).
+"""
+
+from __future__ import annotations
+
+SIP_VERSION = "SIP/2.0"
+DEFAULT_SIP_PORT = 5060
+
+# Core methods (RFC 3261) + MESSAGE (RFC 3428).
+METHOD_INVITE = "INVITE"
+METHOD_ACK = "ACK"
+METHOD_BYE = "BYE"
+METHOD_CANCEL = "CANCEL"
+METHOD_REGISTER = "REGISTER"
+METHOD_OPTIONS = "OPTIONS"
+METHOD_MESSAGE = "MESSAGE"
+
+ALL_METHODS = frozenset(
+    {
+        METHOD_INVITE,
+        METHOD_ACK,
+        METHOD_BYE,
+        METHOD_CANCEL,
+        METHOD_REGISTER,
+        METHOD_OPTIONS,
+        METHOD_MESSAGE,
+    }
+)
+
+# Status codes used by the stack and the rules.
+STATUS_TRYING = 100
+STATUS_RINGING = 180
+STATUS_OK = 200
+STATUS_BAD_REQUEST = 400
+STATUS_UNAUTHORIZED = 401
+STATUS_FORBIDDEN = 403
+STATUS_NOT_FOUND = 404
+STATUS_PROXY_AUTH_REQUIRED = 407
+STATUS_REQUEST_TIMEOUT = 408
+STATUS_BUSY_HERE = 486
+STATUS_REQUEST_TERMINATED = 487
+STATUS_SERVER_ERROR = 500
+STATUS_NOT_IMPLEMENTED = 501
+
+REASON_PHRASES: dict[int, str] = {
+    100: "Trying",
+    180: "Ringing",
+    181: "Call Is Being Forwarded",
+    183: "Session Progress",
+    200: "OK",
+    202: "Accepted",
+    300: "Multiple Choices",
+    301: "Moved Permanently",
+    302: "Moved Temporarily",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    407: "Proxy Authentication Required",
+    408: "Request Timeout",
+    415: "Unsupported Media Type",
+    480: "Temporarily Unavailable",
+    481: "Call/Transaction Does Not Exist",
+    482: "Loop Detected",
+    483: "Too Many Hops",
+    486: "Busy Here",
+    487: "Request Terminated",
+    488: "Not Acceptable Here",
+    500: "Server Internal Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    600: "Busy Everywhere",
+    603: "Decline",
+    604: "Does Not Exist Anywhere",
+}
+
+
+def reason_phrase(code: int) -> str:
+    """Best-effort reason phrase for a status code."""
+    if code in REASON_PHRASES:
+        return REASON_PHRASES[code]
+    generic = {1: "Provisional", 2: "Success", 3: "Redirection",
+               4: "Client Error", 5: "Server Error", 6: "Global Failure"}
+    return generic.get(code // 100, "Unknown")
+
+
+# RFC 3261 magic cookie that must prefix every Via branch parameter.
+BRANCH_MAGIC_COOKIE = "z9hG4bK"
+
+# Compact header forms (RFC 3261 section 7.3.3).
+COMPACT_HEADERS: dict[str, str] = {
+    "v": "Via",
+    "f": "From",
+    "t": "To",
+    "i": "Call-ID",
+    "m": "Contact",
+    "e": "Content-Encoding",
+    "l": "Content-Length",
+    "c": "Content-Type",
+    "s": "Subject",
+    "k": "Supported",
+}

@@ -1,0 +1,138 @@
+"""SIP dialogs (RFC 3261 §12) from the user agent's point of view.
+
+A dialog is the long-lived peer-to-peer SIP relationship created by a
+successful INVITE: it carries the tags, CSeq counters and remote target
+needed to route in-dialog requests (BYE, re-INVITE).  The BYE and Call
+Hijack attacks work because a UA honours any in-dialog request whose
+identifiers match, regardless of where the packet really came from —
+the dialog layer deliberately reproduces that (standard) behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.net.addr import Endpoint
+from repro.sip.headers import NameAddr
+from repro.sip.message import SipRequest, SipResponse
+from repro.sip.uri import SipUri
+
+
+class DialogState(enum.Enum):
+    EARLY = "early"
+    CONFIRMED = "confirmed"
+    TERMINATED = "terminated"
+
+
+DialogKey = tuple[str, str, str]  # (call-id, local-tag, remote-tag)
+
+
+@dataclass(slots=True)
+class Dialog:
+    """One end's view of a SIP dialog."""
+
+    call_id: str
+    local_tag: str
+    remote_tag: str
+    local_uri: SipUri
+    remote_uri: SipUri
+    remote_target: SipUri  # from the peer's Contact
+    is_uac: bool  # whether we initiated the dialog
+    state: DialogState = DialogState.EARLY
+    local_seq: int = 0
+    remote_seq: int = 0
+    local_media: Endpoint | None = None
+    remote_media: Endpoint | None = None
+    route_set: tuple[str, ...] = field(default=())
+
+    @property
+    def key(self) -> DialogKey:
+        return (self.call_id, self.local_tag, self.remote_tag)
+
+    def confirm(self) -> None:
+        self.state = DialogState.CONFIRMED
+
+    def terminate(self) -> None:
+        self.state = DialogState.TERMINATED
+
+    def next_local_seq(self) -> int:
+        self.local_seq += 1
+        return self.local_seq
+
+    def accepts_remote_seq(self, number: int) -> bool:
+        """RFC 3261 §12.2.2: in-dialog requests must advance the CSeq."""
+        if number <= self.remote_seq:
+            return False
+        self.remote_seq = number
+        return True
+
+    def matches_request(self, request: SipRequest) -> bool:
+        """Does an incoming in-dialog request belong to this dialog?
+
+        For a request arriving at us, the *remote* party is in From and
+        we are in To, so the From tag must equal our remote tag.
+        """
+        try:
+            return (
+                request.call_id == self.call_id
+                and (request.from_addr.tag or "") == self.remote_tag
+                and (request.to_addr.tag or "") == self.local_tag
+            )
+        except Exception:
+            return False
+
+    def local_addr(self) -> NameAddr:
+        return NameAddr(uri=self.local_uri).with_tag(self.local_tag)
+
+    def remote_addr(self) -> NameAddr:
+        return NameAddr(uri=self.remote_uri).with_tag(self.remote_tag)
+
+
+class DialogStore:
+    """All dialogs owned by one user agent."""
+
+    def __init__(self) -> None:
+        self._dialogs: dict[DialogKey, Dialog] = {}
+
+    def add(self, dialog: Dialog) -> None:
+        self._dialogs[dialog.key] = dialog
+
+    def remove(self, dialog: Dialog) -> None:
+        self._dialogs.pop(dialog.key, None)
+
+    def find_for_request(self, request: SipRequest) -> Dialog | None:
+        """Match an incoming request to a dialog by Call-ID + tags."""
+        try:
+            key = (
+                request.call_id,
+                request.to_addr.tag or "",
+                request.from_addr.tag or "",
+            )
+        except Exception:
+            return None
+        return self._dialogs.get(key)
+
+    def find_for_response(self, response: SipResponse) -> Dialog | None:
+        """Match a response to the dialog we created as UAC."""
+        try:
+            key = (
+                response.call_id,
+                response.from_addr.tag or "",
+                response.to_addr.tag or "",
+            )
+        except Exception:
+            return None
+        return self._dialogs.get(key)
+
+    def by_call_id(self, call_id: str) -> list[Dialog]:
+        return [d for d in self._dialogs.values() if d.call_id == call_id]
+
+    def active(self) -> list[Dialog]:
+        return [d for d in self._dialogs.values() if d.state != DialogState.TERMINATED]
+
+    def __len__(self) -> int:
+        return len(self._dialogs)
+
+    def __iter__(self):
+        return iter(list(self._dialogs.values()))

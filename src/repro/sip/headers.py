@@ -1,0 +1,249 @@
+"""SIP headers: an order-preserving multi-map plus typed header values.
+
+SIP allows repeated headers (Via, Route, ...) whose relative order is
+semantically significant, and compact forms (``v:`` for ``Via:``).
+:class:`HeaderTable` models that.  The typed values — :class:`Via`,
+:class:`NameAddr`, :class:`CSeq` — parse the fields the stack and the
+IDS rules actually reason about (branch, tags, sequence numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sip.constants import COMPACT_HEADERS
+from repro.sip.uri import SipUri
+
+
+class HeaderError(ValueError):
+    """Raised when a header value cannot be parsed."""
+
+
+def canonical_name(name: str) -> str:
+    """Expand compact forms and normalise capitalisation.
+
+    ``v`` → ``Via``; ``content-length`` → ``Content-Length``; unknown
+    names are title-cased per token (``x-foo`` → ``X-Foo``).
+    """
+    lowered = name.strip().lower()
+    if lowered in COMPACT_HEADERS:
+        return COMPACT_HEADERS[lowered]
+    specials = {
+        "call-id": "Call-ID",
+        "cseq": "CSeq",
+        "www-authenticate": "WWW-Authenticate",
+        "mime-version": "MIME-Version",
+        "sip-etag": "SIP-ETag",
+    }
+    if lowered in specials:
+        return specials[lowered]
+    return "-".join(part.capitalize() for part in lowered.split("-"))
+
+
+class HeaderTable:
+    """Order-preserving, case-insensitive multi-map of SIP headers."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: list[tuple[str, str]] | None = None) -> None:
+        self._items: list[tuple[str, str]] = []
+        if items:
+            for name, value in items:
+                self.add(name, value)
+
+    def add(self, name: str, value: str) -> None:
+        self._items.append((canonical_name(name), value.strip()))
+
+    def set(self, name: str, value: str) -> None:
+        """Replace all instances of ``name`` with a single value."""
+        canon = canonical_name(name)
+        self._items = [(n, v) for n, v in self._items if n != canon]
+        self._items.append((canon, value.strip()))
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        canon = canonical_name(name)
+        for n, v in self._items:
+            if n == canon:
+                return v
+        return default
+
+    def get_all(self, name: str) -> list[str]:
+        canon = canonical_name(name)
+        return [v for n, v in self._items if n == canon]
+
+    def remove(self, name: str) -> None:
+        canon = canonical_name(name)
+        self._items = [(n, v) for n, v in self._items if n != canon]
+
+    def remove_first(self, name: str) -> None:
+        canon = canonical_name(name)
+        for i, (n, _) in enumerate(self._items):
+            if n == canon:
+                del self._items[i]
+                return
+
+    def insert_first(self, name: str, value: str) -> None:
+        """Prepend — used for Via stacking at proxies."""
+        self._items.insert(0, (canonical_name(name), value.strip()))
+
+    def __contains__(self, name: str) -> bool:
+        return self.get(name) is not None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def items(self) -> list[tuple[str, str]]:
+        return list(self._items)
+
+    def copy(self) -> "HeaderTable":
+        table = HeaderTable()
+        table._items = list(self._items)
+        return table
+
+
+def _parse_params(text: str) -> tuple[tuple[str, str | None], ...]:
+    """Parse ``;name=value;flag`` parameter tails."""
+    params: list[tuple[str, str | None]] = []
+    for chunk in text.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        name, eq, value = chunk.partition("=")
+        params.append((name.strip().lower(), value.strip().strip('"') if eq else None))
+    return tuple(params)
+
+
+def _format_params(params: tuple[tuple[str, str | None], ...]) -> str:
+    out = ""
+    for name, value in params:
+        out += f";{name}" if value is None else f";{name}={value}"
+    return out
+
+
+@dataclass(frozen=True, slots=True)
+class Via:
+    """A Via header value: ``SIP/2.0/UDP host:port;branch=...``."""
+
+    transport: str
+    host: str
+    port: int | None = None
+    params: tuple[tuple[str, str | None], ...] = field(default=())
+
+    @classmethod
+    def parse(cls, text: str) -> "Via":
+        head, _, param_text = text.partition(";")
+        parts = head.split()
+        if len(parts) != 2:
+            raise HeaderError(f"malformed Via: {text!r}")
+        protocol, sent_by = parts
+        proto_parts = protocol.split("/")
+        if len(proto_parts) != 3 or proto_parts[0].upper() != "SIP":
+            raise HeaderError(f"malformed Via protocol: {text!r}")
+        transport = proto_parts[2].upper()
+        host = sent_by
+        port: int | None = None
+        if ":" in sent_by:
+            host, _, port_text = sent_by.rpartition(":")
+            if not port_text.isdigit():
+                raise HeaderError(f"bad Via port: {text!r}")
+            port = int(port_text)
+        return cls(
+            transport=transport,
+            host=host,
+            port=port,
+            params=_parse_params(param_text),
+        )
+
+    def __str__(self) -> str:
+        sent_by = self.host if self.port is None else f"{self.host}:{self.port}"
+        return f"SIP/2.0/{self.transport} {sent_by}{_format_params(self.params)}"
+
+    def param(self, name: str) -> str | None:
+        for key, value in self.params:
+            if key == name.lower():
+                return value
+        return None
+
+    @property
+    def branch(self) -> str | None:
+        return self.param("branch")
+
+    def with_param(self, name: str, value: str | None) -> "Via":
+        params = tuple(p for p in self.params if p[0] != name.lower()) + ((name.lower(), value),)
+        return Via(self.transport, self.host, self.port, params)
+
+
+@dataclass(frozen=True, slots=True)
+class NameAddr:
+    """From/To/Contact value: ``"Display" <sip:user@host>;tag=...``."""
+
+    uri: SipUri
+    display_name: str = ""
+    params: tuple[tuple[str, str | None], ...] = field(default=())
+
+    @classmethod
+    def parse(cls, text: str) -> "NameAddr":
+        text = text.strip()
+        display = ""
+        if text.startswith('"'):
+            end = text.find('"', 1)
+            if end < 0:
+                raise HeaderError(f"unterminated display name: {text!r}")
+            display = text[1:end]
+            text = text[end + 1 :].strip()
+        if "<" in text:
+            pre, _, rest = text.partition("<")
+            if pre.strip() and not display:
+                display = pre.strip()
+            uri_text, sep, param_text = rest.partition(">")
+            if not sep:
+                raise HeaderError(f"unterminated angle bracket: {text!r}")
+            uri = SipUri.parse(uri_text)
+            params = _parse_params(param_text.lstrip(";"))
+        else:
+            # addr-spec form: params after the first ';' belong to the header.
+            uri_text, _, param_text = text.partition(";")
+            uri = SipUri.parse(uri_text)
+            params = _parse_params(param_text)
+        return cls(uri=uri, display_name=display, params=params)
+
+    def __str__(self) -> str:
+        out = f'"{self.display_name}" ' if self.display_name else ""
+        out += f"<{self.uri}>"
+        out += _format_params(self.params)
+        return out
+
+    def param(self, name: str) -> str | None:
+        for key, value in self.params:
+            if key == name.lower():
+                return value
+        return None
+
+    @property
+    def tag(self) -> str | None:
+        return self.param("tag")
+
+    def with_tag(self, tag: str) -> "NameAddr":
+        params = tuple(p for p in self.params if p[0] != "tag") + (("tag", tag),)
+        return NameAddr(self.uri, self.display_name, params)
+
+
+@dataclass(frozen=True, slots=True)
+class CSeq:
+    """CSeq value: sequence number + method."""
+
+    number: int
+    method: str
+
+    @classmethod
+    def parse(cls, text: str) -> "CSeq":
+        parts = text.split()
+        if len(parts) != 2 or not parts[0].isdigit():
+            raise HeaderError(f"malformed CSeq: {text!r}")
+        return cls(number=int(parts[0]), method=parts[1].upper())
+
+    def __str__(self) -> str:
+        return f"{self.number} {self.method}"
+
+    def next_for(self, method: str) -> "CSeq":
+        return CSeq(self.number + 1, method.upper())

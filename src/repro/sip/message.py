@@ -1,0 +1,256 @@
+"""SIP message model: requests, responses, parsing and serialisation.
+
+The parser follows RFC 3261 framing: a start line, CRLF-separated header
+lines with continuation-line folding, a blank line, then exactly
+``Content-Length`` bytes of body.  It is intentionally strict — the
+Distiller counts parse failures, and the paper's billing-fraud rule keys
+off "an incorrectly formatted SIP message", so malformedness must be
+*detected*, not silently repaired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sip.constants import ALL_METHODS, SIP_VERSION, reason_phrase
+from repro.sip.headers import CSeq, HeaderError, HeaderTable, NameAddr, Via
+from repro.sip.uri import SipUri, UriError
+
+CRLF = "\r\n"
+
+
+class SipParseError(ValueError):
+    """Raised when bytes cannot be parsed as a SIP message."""
+
+
+@dataclass(slots=True)
+class SipMessage:
+    """Common state of requests and responses."""
+
+    headers: HeaderTable = field(default_factory=HeaderTable)
+    body: bytes = b""
+
+    # -- typed header accessors -----------------------------------------
+
+    @property
+    def call_id(self) -> str:
+        value = self.headers.get("Call-ID")
+        if value is None:
+            raise HeaderError("message has no Call-ID")
+        return value
+
+    @property
+    def from_addr(self) -> NameAddr:
+        value = self.headers.get("From")
+        if value is None:
+            raise HeaderError("message has no From header")
+        return NameAddr.parse(value)
+
+    @property
+    def to_addr(self) -> NameAddr:
+        value = self.headers.get("To")
+        if value is None:
+            raise HeaderError("message has no To header")
+        return NameAddr.parse(value)
+
+    @property
+    def cseq(self) -> CSeq:
+        value = self.headers.get("CSeq")
+        if value is None:
+            raise HeaderError("message has no CSeq header")
+        return CSeq.parse(value)
+
+    @property
+    def vias(self) -> list[Via]:
+        return [Via.parse(v) for v in self.headers.get_all("Via")]
+
+    @property
+    def top_via(self) -> Via:
+        vias = self.headers.get_all("Via")
+        if not vias:
+            raise HeaderError("message has no Via header")
+        return Via.parse(vias[0])
+
+    @property
+    def contact(self) -> NameAddr | None:
+        value = self.headers.get("Contact")
+        return NameAddr.parse(value) if value is not None else None
+
+    def dialog_id(self) -> tuple[str, str | None, str | None]:
+        """(Call-ID, from-tag, to-tag) — the RFC 3261 dialog key.
+
+        Note this is *directional*: the UAS sees from/to swapped relative
+        to the UAC.  :mod:`repro.core.trail` normalises direction when
+        correlating both halves of a dialog.
+        """
+        return (self.call_id, self.from_addr.tag, self.to_addr.tag)
+
+    def _set_body(self, body: bytes, content_type: str | None) -> None:
+        self.body = body
+        self.headers.set("Content-Length", str(len(body)))
+        if content_type:
+            self.headers.set("Content-Type", content_type)
+
+
+@dataclass(slots=True)
+class SipRequest(SipMessage):
+    """A SIP request."""
+
+    method: str = "OPTIONS"
+    uri: SipUri = field(default_factory=lambda: SipUri.parse("sip:invalid@invalid"))
+
+    def start_line(self) -> str:
+        return f"{self.method} {self.uri} {SIP_VERSION}"
+
+    def encode(self) -> bytes:
+        if "Content-Length" not in self.headers:
+            self.headers.set("Content-Length", str(len(self.body)))
+        lines = [self.start_line()]
+        lines.extend(f"{name}: {value}" for name, value in self.headers.items())
+        return (CRLF.join(lines) + CRLF + CRLF).encode("utf-8") + self.body
+
+    @property
+    def is_request(self) -> bool:
+        return True
+
+
+@dataclass(slots=True)
+class SipResponse(SipMessage):
+    """A SIP response."""
+
+    status: int = 200
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.reason:
+            self.reason = reason_phrase(self.status)
+
+    def start_line(self) -> str:
+        return f"{SIP_VERSION} {self.status} {self.reason}"
+
+    def encode(self) -> bytes:
+        if "Content-Length" not in self.headers:
+            self.headers.set("Content-Length", str(len(self.body)))
+        lines = [self.start_line()]
+        lines.extend(f"{name}: {value}" for name, value in self.headers.items())
+        return (CRLF.join(lines) + CRLF + CRLF).encode("utf-8") + self.body
+
+    @property
+    def is_request(self) -> bool:
+        return False
+
+    @property
+    def status_class(self) -> int:
+        """1 for 1xx, 2 for 2xx, ... — rules match on classes like '4XX'."""
+        return self.status // 100
+
+
+# Headers that must appear at most once (RFC 3261 §20); duplicating them
+# is the classic parser-differential exploit the billing-fraud scenario
+# uses, so the strict parser rejects them outright.
+_SINGLETON_HEADERS = frozenset({"From", "To", "Call-ID", "CSeq", "Max-Forwards", "Content-Length"})
+
+
+def parse_message(raw: bytes, strict: bool = True) -> SipRequest | SipResponse:
+    """Parse wire bytes into a request or response.
+
+    Raises :class:`SipParseError` on any framing or start-line problem.
+    Header *values* are kept as raw strings; typed accessors parse them
+    lazily so one bad header does not poison the whole message (the IDS
+    wants to look at the rest).
+
+    ``strict=True`` (the IDS posture) additionally rejects duplicated
+    singleton headers and space-before-colon header names.  Vulnerable
+    software — the testbed's billing-enabled proxy — parses with
+    ``strict=False`` and silently accepts such messages, creating the
+    parser differential the billing-fraud attack exploits.
+    """
+    try:
+        head, sep, body = raw.partition(b"\r\n\r\n")
+        if not sep:
+            # Tolerate bare-LF framing (some ancient clients) but only
+            # when the whole head uses it consistently.
+            head, sep, body = raw.partition(b"\n\n")
+            if not sep:
+                raise SipParseError("no end-of-headers marker")
+        text = head.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise SipParseError(f"non-UTF8 header block: {exc}") from exc
+
+    lines = text.replace("\r\n", "\n").split("\n")
+    if not lines or not lines[0].strip():
+        raise SipParseError("empty start line")
+
+    # Unfold continuation lines (whitespace-prefixed lines join previous).
+    unfolded: list[str] = [lines[0]]
+    for line in lines[1:]:
+        if line[:1] in (" ", "\t"):
+            if len(unfolded) == 1:
+                raise SipParseError("continuation line before any header")
+            unfolded[-1] += " " + line.strip()
+        else:
+            unfolded.append(line)
+
+    message = _parse_start_line(unfolded[0])
+    for line in unfolded[1:]:
+        if not line.strip():
+            continue
+        name, colon, value = line.partition(":")
+        if not colon or not name.strip():
+            raise SipParseError(f"malformed header line: {line!r}")
+        if strict and name != name.rstrip():
+            # Space before the colon is illegal per RFC 3261 7.3.1.
+            raise SipParseError(f"whitespace before colon: {line!r}")
+        message.headers.add(name.strip(), value)
+
+    if strict:
+        for singleton in _SINGLETON_HEADERS:
+            if len(message.headers.get_all(singleton)) > 1:
+                raise SipParseError(f"duplicated singleton header: {singleton}")
+
+    declared = message.headers.get("Content-Length")
+    if declared is not None:
+        if not declared.strip().isdigit():
+            raise SipParseError(f"bad Content-Length: {declared!r}")
+        length = int(declared)
+        if length > len(body):
+            raise SipParseError(
+                f"Content-Length {length} exceeds available body {len(body)}"
+            )
+        message.body = body[:length]
+    else:
+        message.body = body
+    return message
+
+
+def _parse_start_line(line: str) -> SipRequest | SipResponse:
+    parts = line.split(" ", 2)
+    if len(parts) != 3:
+        raise SipParseError(f"malformed start line: {line!r}")
+    if parts[0] == SIP_VERSION:
+        status_text, reason = parts[1], parts[2]
+        if not status_text.isdigit() or len(status_text) != 3:
+            raise SipParseError(f"bad status code: {line!r}")
+        return SipResponse(status=int(status_text), reason=reason)
+    method, uri_text, version = parts
+    if version != SIP_VERSION:
+        raise SipParseError(f"unsupported SIP version: {version!r}")
+    if not method.isupper() or not method.isalpha():
+        raise SipParseError(f"malformed method: {method!r}")
+    try:
+        uri = SipUri.parse(uri_text)
+    except UriError as exc:
+        raise SipParseError(f"bad request URI: {uri_text!r}") from exc
+    request = SipRequest(method=method, uri=uri)
+    if method not in ALL_METHODS:
+        # Unknown-but-well-formed methods parse fine; the stack replies 501.
+        pass
+    return request
+
+
+def looks_like_sip(payload: bytes) -> bool:
+    """Cheap sniff used by the Distiller's protocol classifier."""
+    if payload.startswith(b"SIP/2.0 "):
+        return True
+    head = payload.split(b"\r\n", 1)[0].split(b"\n", 1)[0]
+    return head.endswith(b" SIP/2.0")

@@ -1,0 +1,190 @@
+"""SIP proxy: the routing core of the testbed (SIP Express Router stand-in).
+
+A stateless forwarding proxy combined with a :class:`Registrar`:
+
+* REGISTER is consumed locally (binding table + optional digest auth);
+* other out-of-dialog requests for the proxy's domain are retargeted to
+  the registered contact of the request-URI's AoR and forwarded with the
+  proxy's Via pushed on top;
+* responses pop the proxy Via and follow the next one down.
+
+In-dialog requests in this testbed flow directly between the clients'
+Contact addresses, matching the paper's attack figures where the forged
+BYE/REINVITE arrives at the victim without touching the proxy.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.net.addr import Endpoint, IPv4Address
+from repro.net.stack import HostStack
+from repro.sim.eventloop import EventLoop
+from repro.sip.constants import (
+    BRANCH_MAGIC_COOKIE,
+    DEFAULT_SIP_PORT,
+    METHOD_REGISTER,
+    STATUS_NOT_FOUND,
+    reason_phrase,
+)
+from repro.sip.headers import HeaderError, NameAddr, Via
+from repro.sip.message import SipParseError, SipRequest, SipResponse, parse_message
+from repro.sip.registrar import Registrar
+from repro.sip.uri import SipUri, UriError
+
+
+class Proxy:
+    """Stateless SIP proxy + registrar for one domain."""
+
+    def __init__(
+        self,
+        stack: HostStack,
+        loop: EventLoop,
+        domain: str,
+        registrar: Registrar | None = None,
+        port: int = DEFAULT_SIP_PORT,
+        billing=None,  # accounting.billing.BillingAgent, optional
+        strict_parsing: bool = True,
+    ) -> None:
+        self.stack = stack
+        self.loop = loop
+        self.domain = domain.lower()
+        self.port = port
+        self.registrar = registrar if registrar is not None else Registrar(realm=domain)
+        self.billing = billing
+        # A billing-enabled proxy models the paper's vulnerable SER build,
+        # which tolerates malformed messages a strict parser rejects.
+        self.strict_parsing = strict_parsing
+        self.socket = stack.bind(port, self._on_datagram)
+        self._branch_counter = itertools.count(1)
+        self.requests_forwarded = 0
+        self.responses_forwarded = 0
+        self.requests_rejected = 0
+        self.parse_errors = 0
+
+    # -- datagram entry ----------------------------------------------------
+
+    def _on_datagram(self, payload: bytes, src: Endpoint, now: float) -> None:
+        try:
+            message = parse_message(payload, strict=self.strict_parsing)
+        except SipParseError:
+            self.parse_errors += 1
+            return
+        if isinstance(message, SipRequest):
+            self._handle_request(message, src, now)
+        else:
+            self._handle_response(message)
+
+    # -- requests --------------------------------------------------------------
+
+    def _handle_request(self, request: SipRequest, src: Endpoint, now: float) -> None:
+        if request.method == METHOD_REGISTER:
+            self._handle_register(request, src, now)
+            return
+        # Loop protection.
+        max_forwards = request.headers.get("Max-Forwards", "70")
+        hops = int(max_forwards) if max_forwards and max_forwards.isdigit() else 70
+        if hops <= 0:
+            self._reject(request, src, 483)
+            return
+        target = self._route(request, now)
+        if target is None:
+            self._reject(request, src, STATUS_NOT_FOUND)
+            return
+        if self.billing is not None:
+            if request.method == "INVITE":
+                try:
+                    has_to_tag = request.to_addr.tag is not None
+                except Exception:
+                    has_to_tag = False
+                if not has_to_tag:
+                    self.billing.on_invite(request, now)
+            elif request.method == "BYE":
+                self.billing.on_bye(request, now)
+        forwarded = self._clone_request(request)
+        forwarded.headers.set("Max-Forwards", str(hops - 1))
+        via = Via(
+            transport="UDP",
+            host=str(self.stack.ip),
+            port=self.port,
+            params=(("branch", f"{BRANCH_MAGIC_COOKIE}-pxy-{next(self._branch_counter)}"),),
+        )
+        forwarded.headers.insert_first("Via", str(via))
+        self.requests_forwarded += 1
+        self.socket.send_to(target, forwarded.encode())
+
+    def _route(self, request: SipRequest, now: float) -> Endpoint | None:
+        """Pick the next hop for an out-of-dialog request."""
+        uri = request.uri
+        if uri.host == self.domain or uri.host == str(self.stack.ip):
+            contact = self.registrar.lookup(uri.address_of_record, now)
+            if contact is None:
+                # Fall back to the To header AoR (retargeted requests).
+                try:
+                    contact = self.registrar.lookup(request.to_addr.uri.address_of_record, now)
+                except HeaderError:
+                    contact = None
+            if contact is None:
+                return None
+            uri = contact
+        try:
+            return Endpoint(IPv4Address.parse(uri.host), uri.port or DEFAULT_SIP_PORT)
+        except ValueError:
+            return None
+
+    def _clone_request(self, request: SipRequest) -> SipRequest:
+        clone = SipRequest(method=request.method, uri=request.uri)
+        clone.headers = request.headers.copy()
+        clone.body = request.body
+        return clone
+
+    def _handle_register(self, request: SipRequest, src: Endpoint, now: float) -> None:
+        outcome = self.registrar.process(request, now)
+        response = self._response_for(request, outcome.status)
+        if outcome.challenge is not None:
+            response.headers.add("WWW-Authenticate", outcome.challenge.encode())
+        if outcome.status != 200:
+            self.requests_rejected += 1
+        self.socket.send_to(src, response.encode())
+
+    def _reject(self, request: SipRequest, src: Endpoint, status: int) -> None:
+        self.requests_rejected += 1
+        self.socket.send_to(src, self._response_for(request, status).encode())
+
+    def _response_for(self, request: SipRequest, status: int) -> SipResponse:
+        response = SipResponse(status=status, reason=reason_phrase(status))
+        for via in request.headers.get_all("Via"):
+            response.headers.add("Via", via)
+        response.headers.add("From", request.headers.get("From") or "")
+        to_value = request.headers.get("To") or ""
+        response.headers.add("To", to_value)
+        response.headers.add("Call-ID", request.headers.get("Call-ID") or "")
+        response.headers.add("CSeq", request.headers.get("CSeq") or "")
+        response.headers.set("Content-Length", "0")
+        return response
+
+    # -- responses ----------------------------------------------------------------
+
+    def _handle_response(self, response: SipResponse) -> None:
+        vias = response.headers.get_all("Via")
+        if not vias:
+            return
+        try:
+            top = Via.parse(vias[0])
+        except HeaderError:
+            return
+        if top.host != str(self.stack.ip):
+            return  # not ours; a stateless proxy drops strays
+        response.headers.remove_first("Via")
+        remaining = response.headers.get_all("Via")
+        if not remaining:
+            return
+        try:
+            next_via = Via.parse(remaining[0])
+            target = Endpoint(
+                IPv4Address.parse(next_via.host), next_via.port or DEFAULT_SIP_PORT
+            )
+        except (HeaderError, ValueError):
+            return
+        self.responses_forwarded += 1
+        self.socket.send_to(target, response.encode())

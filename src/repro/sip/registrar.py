@@ -1,0 +1,142 @@
+"""SIP registrar: the location service behind the proxy.
+
+Maintains the AoR → Contact binding table that the proxy consults when
+routing out-of-dialog requests, and (optionally) enforces digest
+authentication — the substrate the Section 3.3 REGISTER-DoS and
+password-guessing scenarios run against.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.sip import auth as sip_auth
+from repro.sip.constants import METHOD_REGISTER, STATUS_OK, STATUS_UNAUTHORIZED
+from repro.sip.headers import HeaderError
+from repro.sip.message import SipRequest
+from repro.sip.uri import SipUri
+
+DEFAULT_EXPIRES = 3600.0
+
+
+@dataclass(slots=True)
+class Binding:
+    """One registered contact for an address of record."""
+
+    contact: SipUri
+    expires_at: float
+    registered_at: float
+
+
+@dataclass(frozen=True, slots=True)
+class RegisterOutcome:
+    """What the registrar decided about one REGISTER request."""
+
+    status: int
+    challenge: sip_auth.DigestChallenge | None = None
+    aor: str | None = None
+    auth_failed: bool = False
+
+
+class Registrar:
+    """Binding table + authentication policy."""
+
+    def __init__(
+        self,
+        realm: str,
+        require_auth: bool = False,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.realm = realm
+        self.require_auth = require_auth
+        self.rng = rng if rng is not None else random.Random(0)
+        self._bindings: dict[str, Binding] = {}  # keyed by AoR "user@host"
+        self._passwords: dict[str, str] = {}  # username -> password
+        self._nonces: dict[str, str] = {}  # username -> outstanding nonce
+        self.registrations = 0
+        self.auth_failures = 0
+        self.challenges_issued = 0
+
+    def add_user(self, username: str, password: str) -> None:
+        self._passwords[username] = password
+
+    # -- request processing ------------------------------------------------
+
+    def process(self, request: SipRequest, now: float) -> RegisterOutcome:
+        """Apply one REGISTER; returns what response the proxy should send."""
+        if request.method != METHOD_REGISTER:
+            raise ValueError(f"registrar got non-REGISTER: {request.method}")
+        try:
+            aor = request.to_addr.uri.address_of_record
+            username = request.to_addr.uri.user
+        except HeaderError:
+            return RegisterOutcome(status=400)
+
+        if self.require_auth:
+            verdict = self._check_auth(request, username)
+            if verdict is not None:
+                return verdict
+
+        contact = request.contact
+        expires_text = request.headers.get("Expires", str(int(DEFAULT_EXPIRES)))
+        expires = float(expires_text) if expires_text and expires_text.isdigit() else DEFAULT_EXPIRES
+        if expires <= 0:
+            self._bindings.pop(aor, None)
+            return RegisterOutcome(status=STATUS_OK, aor=aor)
+        if contact is None:
+            return RegisterOutcome(status=400)
+        self._bindings[aor] = Binding(
+            contact=contact.uri, expires_at=now + expires, registered_at=now
+        )
+        self.registrations += 1
+        return RegisterOutcome(status=STATUS_OK, aor=aor)
+
+    def _check_auth(self, request: SipRequest, username: str) -> RegisterOutcome | None:
+        """Returns a 401 outcome when auth fails, None when it passes."""
+        header = request.headers.get("Authorization")
+        if header is None:
+            return self._challenge(username)
+        try:
+            creds = sip_auth.DigestCredentials.parse(header)
+        except sip_auth.AuthError:
+            self.auth_failures += 1
+            return self._challenge(username, failed=True)
+        password = self._passwords.get(creds.username)
+        expected_nonce = self._nonces.get(creds.username)
+        if password is None or not sip_auth.verify_credentials(
+            creds, password, METHOD_REGISTER, expected_nonce
+        ):
+            self.auth_failures += 1
+            return self._challenge(username, failed=True)
+        self._nonces.pop(creds.username, None)  # nonce is single-use
+        return None
+
+    def _challenge(self, username: str, failed: bool = False) -> RegisterOutcome:
+        nonce = sip_auth.generate_nonce(self.rng)
+        self._nonces[username] = nonce
+        self.challenges_issued += 1
+        return RegisterOutcome(
+            status=STATUS_UNAUTHORIZED,
+            challenge=sip_auth.DigestChallenge(realm=self.realm, nonce=nonce),
+            auth_failed=failed,
+        )
+
+    # -- lookups --------------------------------------------------------------
+
+    def lookup(self, aor: str, now: float) -> SipUri | None:
+        """Resolve an AoR to its current contact, expiring stale bindings."""
+        binding = self._bindings.get(aor)
+        if binding is None:
+            return None
+        if binding.expires_at <= now:
+            del self._bindings[aor]
+            return None
+        return binding.contact
+
+    @property
+    def binding_count(self) -> int:
+        return len(self._bindings)
+
+    def bindings(self) -> dict[str, Binding]:
+        return dict(self._bindings)

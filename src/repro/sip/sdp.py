@@ -1,0 +1,187 @@
+"""SDP (RFC 4566) — the session descriptions carried in INVITE/200 bodies.
+
+The IDS depends on SDP for cross-protocol correlation: the ``c=`` line
+and ``m=audio`` port in an INVITE/200 exchange tell the Distiller which
+(IP, port) pair the upcoming RTP trail will use, letting it link the RTP
+trail to the SIP trail of the same call.  The Call Hijack attack works
+precisely by shipping a forged SDP with a new connection address in a
+re-INVITE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.addr import Endpoint, IPv4Address
+
+
+class SdpError(ValueError):
+    """Raised on malformed SDP."""
+
+
+@dataclass(frozen=True, slots=True)
+class MediaDescription:
+    """One ``m=`` section."""
+
+    media: str  # "audio", "video", ...
+    port: int
+    protocol: str  # "RTP/AVP"
+    formats: tuple[str, ...]  # payload type numbers as strings
+    connection: IPv4Address | None = None  # per-media c= override
+    attributes: tuple[str, ...] = ()
+
+    def endpoint(self, session_connection: IPv4Address | None) -> Endpoint:
+        addr = self.connection if self.connection is not None else session_connection
+        if addr is None:
+            raise SdpError(f"media {self.media!r} has no connection address")
+        return Endpoint(addr, self.port)
+
+
+@dataclass(frozen=True, slots=True)
+class SessionDescription:
+    """A parsed SDP body."""
+
+    origin_user: str
+    session_id: str
+    session_version: str
+    origin_address: IPv4Address
+    session_name: str = "-"
+    connection: IPv4Address | None = None
+    media: tuple[MediaDescription, ...] = ()
+    attributes: tuple[str, ...] = ()
+
+    @classmethod
+    def parse(cls, body: bytes | str) -> "SessionDescription":
+        text = body.decode("utf-8") if isinstance(body, bytes) else body
+        lines = [ln for ln in text.replace("\r\n", "\n").split("\n") if ln.strip()]
+        origin_user = session_id = session_version = ""
+        origin_address: IPv4Address | None = None
+        session_name = "-"
+        connection: IPv4Address | None = None
+        session_attrs: list[str] = []
+        media: list[MediaDescription] = []
+        current: dict | None = None  # builder for the open m= section
+
+        def close_media() -> None:
+            nonlocal current
+            if current is not None:
+                media.append(
+                    MediaDescription(
+                        media=current["media"],
+                        port=current["port"],
+                        protocol=current["protocol"],
+                        formats=tuple(current["formats"]),
+                        connection=current["connection"],
+                        attributes=tuple(current["attributes"]),
+                    )
+                )
+                current = None
+
+        for line in lines:
+            if len(line) < 2 or line[1] != "=":
+                raise SdpError(f"malformed SDP line: {line!r}")
+            key, value = line[0], line[2:].strip()
+            if key == "o":
+                parts = value.split()
+                if len(parts) != 6:
+                    raise SdpError(f"malformed o= line: {line!r}")
+                origin_user, session_id, session_version = parts[0], parts[1], parts[2]
+                if parts[3] != "IN" or parts[4] != "IP4":
+                    raise SdpError(f"unsupported origin network type: {line!r}")
+                origin_address = IPv4Address.parse(parts[5])
+            elif key == "s":
+                session_name = value
+            elif key == "c":
+                parts = value.split()
+                if len(parts) != 3 or parts[0] != "IN" or parts[1] != "IP4":
+                    raise SdpError(f"unsupported c= line: {line!r}")
+                addr = IPv4Address.parse(parts[2].split("/")[0])
+                if current is None:
+                    connection = addr
+                else:
+                    current["connection"] = addr
+            elif key == "m":
+                close_media()
+                parts = value.split()
+                if len(parts) < 4 or not parts[1].isdigit():
+                    raise SdpError(f"malformed m= line: {line!r}")
+                current = {
+                    "media": parts[0],
+                    "port": int(parts[1]),
+                    "protocol": parts[2],
+                    "formats": parts[3:],
+                    "connection": None,
+                    "attributes": [],
+                }
+            elif key == "a":
+                if current is None:
+                    session_attrs.append(value)
+                else:
+                    current["attributes"].append(value)
+            # v=, t=, b=, etc. are accepted and ignored.
+        close_media()
+        if origin_address is None:
+            raise SdpError("SDP missing o= line")
+        return cls(
+            origin_user=origin_user,
+            session_id=session_id,
+            session_version=session_version,
+            origin_address=origin_address,
+            session_name=session_name,
+            connection=connection,
+            media=tuple(media),
+            attributes=tuple(session_attrs),
+        )
+
+    def encode(self) -> bytes:
+        lines = ["v=0"]
+        lines.append(
+            f"o={self.origin_user or '-'} {self.session_id} {self.session_version} "
+            f"IN IP4 {self.origin_address}"
+        )
+        lines.append(f"s={self.session_name}")
+        if self.connection is not None:
+            lines.append(f"c=IN IP4 {self.connection}")
+        lines.append("t=0 0")
+        lines.extend(f"a={attr}" for attr in self.attributes)
+        for m in self.media:
+            lines.append(f"m={m.media} {m.port} {m.protocol} {' '.join(m.formats)}")
+            if m.connection is not None:
+                lines.append(f"c=IN IP4 {m.connection}")
+            lines.extend(f"a={attr}" for attr in m.attributes)
+        return ("\r\n".join(lines) + "\r\n").encode("utf-8")
+
+    def audio_endpoint(self) -> Endpoint:
+        """The (IP, port) where this party wants to receive audio RTP."""
+        for m in self.media:
+            if m.media == "audio":
+                return m.endpoint(self.connection)
+        raise SdpError("SDP has no audio media section")
+
+
+def audio_offer(
+    address: IPv4Address | str,
+    port: int,
+    session_id: str = "1",
+    version: str = "1",
+    user: str = "-",
+    payload_types: tuple[str, ...] = ("0",),  # 0 = PCMU/G.711u
+) -> SessionDescription:
+    """Build the canonical one-stream audio offer used by the soft-phones."""
+    addr = address if isinstance(address, IPv4Address) else IPv4Address.parse(address)
+    return SessionDescription(
+        origin_user=user,
+        session_id=session_id,
+        session_version=version,
+        origin_address=addr,
+        connection=addr,
+        media=(
+            MediaDescription(
+                media="audio",
+                port=port,
+                protocol="RTP/AVP",
+                formats=payload_types,
+                attributes=("rtpmap:0 PCMU/8000",),
+            ),
+        ),
+    )

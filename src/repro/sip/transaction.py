@@ -1,0 +1,364 @@
+"""SIP transport and transaction layer (RFC 3261 §17, UDP flavour).
+
+:class:`SipTransport` frames SIP messages over a UDP socket and hands
+them to the :class:`TransactionLayer`, which implements the four RFC
+state machines with the UDP (unreliable-transport) timer set:
+
+* client non-INVITE — Trying → Proceeding → Completed, timer E
+  retransmits (T1 doubling, capped at T2), timer F timeout at 64·T1;
+* client INVITE — Calling → Proceeding → Completed, timer A retransmits,
+  timer B timeout, ACK generated for non-2xx finals;
+* server non-INVITE — retransmission absorption + final-response replay;
+* server INVITE — response retransmission (timer G) until ACK.
+
+Timer values are scaled-down by default (T1 = 50 ms) so simulations of
+many calls stay fast; pass ``t1=0.5`` for RFC-faithful timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.net.addr import Endpoint
+from repro.net.stack import HostStack, UdpSocket
+from repro.sim.eventloop import EventHandle, EventLoop
+from repro.sip.constants import METHOD_ACK, METHOD_INVITE
+from repro.sip.headers import Via
+from repro.sip.message import SipParseError, SipRequest, SipResponse, parse_message
+
+RequestHandler = Callable[[SipRequest, Endpoint, float], None]
+ResponseHandler = Callable[[SipResponse, float], None]
+TimeoutHandler = Callable[[], None]
+
+
+class SipTransport:
+    """UDP framing for SIP: parse in, serialise out, count garbage."""
+
+    def __init__(self, stack: HostStack, port: int = 5060) -> None:
+        self.stack = stack
+        self.port = port
+        self.socket: UdpSocket = stack.bind(port, self._on_datagram)
+        self._receivers: list[Callable[[SipRequest | SipResponse, Endpoint, float], None]] = []
+        self.parse_errors = 0
+        self.messages_in = 0
+        self.messages_out = 0
+
+    def subscribe(self, handler: Callable[[SipRequest | SipResponse, Endpoint, float], None]) -> None:
+        self._receivers.append(handler)
+
+    def send(self, message: SipRequest | SipResponse, dst: Endpoint) -> None:
+        self.messages_out += 1
+        self.socket.send_to(dst, message.encode())
+
+    def _on_datagram(self, payload: bytes, src: Endpoint, now: float) -> None:
+        try:
+            # Endpoints parse leniently, like the commercial soft-phones in
+            # the paper's testbed; only the IDS applies strict grammar.
+            # This parser differential is what the billing-fraud exploit
+            # (duplicate From header) rides on.
+            message = parse_message(payload, strict=False)
+        except SipParseError:
+            self.parse_errors += 1
+            return
+        self.messages_in += 1
+        for handler in self._receivers:
+            handler(message, src, now)
+
+    @property
+    def local_endpoint(self) -> Endpoint:
+        return Endpoint(self.stack.ip, self.port)
+
+
+@dataclass(slots=True)
+class _Timers:
+    t1: float
+    t2: float
+
+    @property
+    def timeout(self) -> float:  # timer B / F
+        return 64.0 * self.t1
+
+
+class ClientTransaction:
+    """One outstanding client transaction."""
+
+    def __init__(
+        self,
+        layer: "TransactionLayer",
+        request: SipRequest,
+        dst: Endpoint,
+        on_response: ResponseHandler,
+        on_timeout: TimeoutHandler | None,
+    ) -> None:
+        self.layer = layer
+        self.request = request
+        self.dst = dst
+        self.on_response = on_response
+        self.on_timeout = on_timeout
+        self.branch = request.top_via.branch or ""
+        self.method = request.method
+        self.state = "calling" if request.method == METHOD_INVITE else "trying"
+        self._retransmit_interval = layer.timers.t1
+        self._retransmit_handle: EventHandle | None = None
+        self._timeout_handle: EventHandle | None = None
+        self.retransmissions = 0
+
+    def start(self) -> None:
+        self.layer.transport.send(self.request, self.dst)
+        self._retransmit_handle = self.layer.loop.call_later(
+            self._retransmit_interval, self._retransmit
+        )
+        self._timeout_handle = self.layer.loop.call_later(
+            self.layer.timers.timeout, self._timed_out
+        )
+
+    def _retransmit(self) -> None:
+        if self.state not in ("calling", "trying"):
+            return
+        self.retransmissions += 1
+        self.layer.transport.send(self.request, self.dst)
+        if self.method == METHOD_INVITE:
+            self._retransmit_interval *= 2  # timer A doubles unboundedly
+        else:
+            self._retransmit_interval = min(self._retransmit_interval * 2, self.layer.timers.t2)
+        self._retransmit_handle = self.layer.loop.call_later(
+            self._retransmit_interval, self._retransmit
+        )
+
+    def _timed_out(self) -> None:
+        if self.state in ("completed", "terminated"):
+            return
+        self.state = "terminated"
+        self._cancel_timers()
+        self.layer._remove_client(self)
+        if self.on_timeout is not None:
+            self.on_timeout()
+
+    def handle_response(self, response: SipResponse, now: float) -> None:
+        if self.state == "terminated":
+            return
+        if response.status_class == 1:
+            self.state = "proceeding"
+            if self._retransmit_handle is not None:
+                self._retransmit_handle.cancel()
+            self.on_response(response, now)
+            return
+        # Final response.
+        first_final = self.state != "completed"
+        self.state = "completed"
+        self._cancel_timers()
+        if self.method == METHOD_INVITE and response.status_class >= 3:
+            self._send_ack(response)
+        if first_final:
+            self.on_response(response, now)
+            # Linger to absorb (and, for 2xx INVITE, re-answer)
+            # retransmitted finals, then die.
+            self.layer.loop.call_later(
+                self.layer.timers.timeout, lambda: self.layer._remove_client(self)
+            )
+        elif self.method == METHOD_INVITE and response.status_class == 2:
+            # Retransmitted 2xx means our ACK was lost: the TU must
+            # re-ACK (RFC 3261 §13.2.2.4); completion is idempotent there.
+            self.on_response(response, now)
+
+    def _send_ack(self, response: SipResponse) -> None:
+        """ACK for a non-2xx final: same branch, same transaction (17.1.1.3)."""
+        ack = SipRequest(method=METHOD_ACK, uri=self.request.uri)
+        ack.headers.add("Via", str(self.request.top_via))
+        ack.headers.add("From", self.request.headers.get("From") or "")
+        ack.headers.add("To", response.headers.get("To") or self.request.headers.get("To") or "")
+        ack.headers.add("Call-ID", self.request.call_id)
+        ack.headers.add("CSeq", f"{self.request.cseq.number} ACK")
+        ack.headers.add("Max-Forwards", "70")
+        ack.headers.set("Content-Length", "0")
+        self.layer.transport.send(ack, self.dst)
+
+    def _cancel_timers(self) -> None:
+        if self._retransmit_handle is not None:
+            self._retransmit_handle.cancel()
+        if self._timeout_handle is not None:
+            self._timeout_handle.cancel()
+
+
+class ServerTransaction:
+    """One server transaction: absorbs retransmits, replays the final.
+
+    For INVITE, the final response is retransmitted on a doubling timer
+    until an ACK arrives (RFC 3261 timer G, and the UAS-core equivalent
+    for 2xx) — without this, one lost 200 OK on a lossy link kills the
+    call setup.
+    """
+
+    def __init__(self, layer: "TransactionLayer", request: SipRequest, src: Endpoint) -> None:
+        self.layer = layer
+        self.request = request
+        self.src = src
+        self.branch = request.top_via.branch or ""
+        self.method = request.method
+        self.state = "proceeding"
+        self.last_response: SipResponse | None = None
+        self.requests_absorbed = 0
+        self.final_retransmissions = 0
+        self._retransmit_handle: EventHandle | None = None
+        self._retransmit_interval = 0.0
+
+    def key(self) -> tuple[str, str]:
+        return (self.branch, self.method)
+
+    def respond(self, response: SipResponse) -> None:
+        self.last_response = response
+        self.layer.transport.send(response, self.src)
+        if response.status_class >= 2 and self.state == "proceeding":
+            self.state = "completed"
+            if self.method == METHOD_INVITE:
+                # Retransmit the final until ACKed, then give up at 64·T1.
+                self._retransmit_interval = self.layer.timers.t1
+                self._retransmit_handle = self.layer.loop.call_later(
+                    self._retransmit_interval, self._retransmit_final
+                )
+                self.layer.loop.call_later(
+                    self.layer.timers.timeout, lambda: self._give_up()
+                )
+            else:
+                # Non-INVITE: linger to absorb request retransmissions.
+                self.layer.loop.call_later(
+                    self.layer.timers.timeout, lambda: self.layer._remove_server(self)
+                )
+
+    def _retransmit_final(self) -> None:
+        if self.state != "completed" or self.last_response is None:
+            return
+        self.final_retransmissions += 1
+        self.layer.transport.send(self.last_response, self.src)
+        self._retransmit_interval = min(self._retransmit_interval * 2, self.layer.timers.t2)
+        self._retransmit_handle = self.layer.loop.call_later(
+            self._retransmit_interval, self._retransmit_final
+        )
+
+    def _give_up(self) -> None:
+        if self.state == "completed":
+            self.state = "terminated"
+            if self._retransmit_handle is not None:
+                self._retransmit_handle.cancel()
+            self.layer._remove_server(self)
+
+    def handle_retransmission(self) -> None:
+        self.requests_absorbed += 1
+        if self.last_response is not None:
+            self.layer.transport.send(self.last_response, self.src)
+
+    def handle_ack(self) -> None:
+        if self.method == METHOD_INVITE and self.state == "completed":
+            self.state = "confirmed"
+            if self._retransmit_handle is not None:
+                self._retransmit_handle.cancel()
+            self.layer._remove_server(self)
+
+
+class TransactionLayer:
+    """Demultiplexes messages to transactions; creates new ones on demand."""
+
+    def __init__(
+        self,
+        transport: SipTransport,
+        loop: EventLoop,
+        t1: float = 0.05,
+        t2: float = 0.4,
+    ) -> None:
+        self.transport = transport
+        self.loop = loop
+        self.timers = _Timers(t1=t1, t2=t2)
+        self._clients: dict[tuple[str, str], ClientTransaction] = {}
+        self._servers: dict[tuple[str, str], ServerTransaction] = {}
+        self.on_request: RequestHandler | None = None
+        self._branch_counter = 0
+        transport.subscribe(self._on_message)
+
+    # -- client side ------------------------------------------------------
+
+    def new_branch(self) -> str:
+        from repro.sip.constants import BRANCH_MAGIC_COOKIE
+
+        self._branch_counter += 1
+        return f"{BRANCH_MAGIC_COOKIE}-{self.transport.stack.name}-{self._branch_counter}"
+
+    def send_request(
+        self,
+        request: SipRequest,
+        dst: Endpoint,
+        on_response: ResponseHandler,
+        on_timeout: TimeoutHandler | None = None,
+    ) -> ClientTransaction:
+        """Send ``request`` inside a new client transaction.
+
+        The request must already carry its Via (with branch); use
+        :meth:`new_branch` when constructing it.  ACK to 2xx is not a
+        transaction and must be sent via :meth:`send_stateless`.
+        """
+        txn = ClientTransaction(self, request, dst, on_response, on_timeout)
+        key = (txn.branch, txn.method)
+        self._clients[key] = txn
+        txn.start()
+        return txn
+
+    def send_stateless(self, message: SipRequest | SipResponse, dst: Endpoint) -> None:
+        self.transport.send(message, dst)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _on_message(self, message: SipRequest | SipResponse, src: Endpoint, now: float) -> None:
+        if isinstance(message, SipResponse):
+            self._dispatch_response(message, now)
+        else:
+            self._dispatch_request(message, src, now)
+
+    def _dispatch_response(self, response: SipResponse, now: float) -> None:
+        try:
+            branch = response.top_via.branch or ""
+            method = response.cseq.method
+        except Exception:
+            return  # undecodable response: drop (transport counted it)
+        txn = self._clients.get((branch, method))
+        if txn is not None:
+            txn.handle_response(response, now)
+        # Responses with no matching transaction are dropped, per RFC.
+
+    def _dispatch_request(self, request: SipRequest, src: Endpoint, now: float) -> None:
+        try:
+            branch = request.top_via.branch or ""
+        except Exception:
+            return
+        if request.method == METHOD_ACK:
+            txn = self._servers.get((branch, METHOD_INVITE))
+            if txn is not None:
+                txn.handle_ack()
+                return
+            # ACK to 2xx: passes to the TU (dialog layer).
+            if self.on_request is not None:
+                self.on_request(request, src, now)
+            return
+        key = (branch, request.method)
+        existing = self._servers.get(key)
+        if existing is not None:
+            existing.handle_retransmission()
+            return
+        txn = ServerTransaction(self, request, src)
+        self._servers[key] = txn
+        if self.on_request is not None:
+            self.on_request(request, src, now)
+
+    def server_transaction_for(self, request: SipRequest) -> ServerTransaction | None:
+        return self._servers.get((request.top_via.branch or "", request.method))
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _remove_client(self, txn: ClientTransaction) -> None:
+        self._clients.pop((txn.branch, txn.method), None)
+
+    def _remove_server(self, txn: ServerTransaction) -> None:
+        self._servers.pop(txn.key(), None)
+
+    @property
+    def active_transactions(self) -> int:
+        return len(self._clients) + len(self._servers)

@@ -1,0 +1,610 @@
+"""SIP User Agent: registration, calls, instant messages.
+
+The UA composes the transport/transaction layers into the behaviour the
+paper's clients (Kphone, Windows Messenger, X-Lite) exhibit on the wire:
+
+* REGISTER with automatic digest-auth retry after ``401 Unauthorized``;
+* outgoing INVITE with SDP offer → ACK on 200, dialog creation;
+* incoming INVITE → 180 Ringing, then 200 with an SDP answer after a
+  configurable answer delay, dialog creation on ACK;
+* in-dialog BYE and re-INVITE, sent **directly to the peer's Contact**
+  (and accepted from anywhere, as long as Call-ID + tags + CSeq match —
+  the standard-compliant behaviour the BYE/Hijack attacks exploit);
+* out-of-dialog MESSAGE (RFC 3428 instant messaging, the Fake IM target).
+
+Out-of-dialog requests are routed via the configured proxy; in-dialog
+requests go straight to the remote target learned from Contact.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.net.addr import Endpoint, IPv4Address
+from repro.net.stack import HostStack
+from repro.sim.eventloop import EventLoop
+from repro.sip import auth as sip_auth
+from repro.sip.constants import (
+    DEFAULT_SIP_PORT,
+    METHOD_ACK,
+    METHOD_BYE,
+    METHOD_CANCEL,
+    METHOD_INVITE,
+    METHOD_MESSAGE,
+    METHOD_REGISTER,
+    STATUS_OK,
+    STATUS_REQUEST_TERMINATED,
+    STATUS_RINGING,
+    STATUS_TRYING,
+    STATUS_UNAUTHORIZED,
+)
+from repro.sip.dialog import Dialog, DialogState, DialogStore
+from repro.sip.headers import NameAddr, Via
+from repro.sip.message import SipRequest, SipResponse
+from repro.sip.sdp import SdpError, SessionDescription
+from repro.sip.transaction import SipTransport, TransactionLayer
+from repro.sip.uri import SipUri
+
+
+def resolve_uri(uri: SipUri, default_port: int = DEFAULT_SIP_PORT) -> Endpoint:
+    """Resolve a SIP URI whose host is a literal IPv4 address."""
+    return Endpoint(IPv4Address.parse(uri.host), uri.port or default_port)
+
+
+@dataclass(slots=True)
+class RegistrationResult:
+    success: bool
+    status: int
+    attempts: int
+
+
+@dataclass(slots=True)
+class UaConfig:
+    """Identity and environment for one user agent."""
+
+    aor: SipUri  # address of record, e.g. sip:alice@example.com
+    display_name: str = ""
+    password: str = ""
+    proxy: Endpoint | None = None  # outbound proxy / registrar
+    port: int = DEFAULT_SIP_PORT
+    answer_delay: float = 0.2  # seconds of simulated "ringing" before 200
+    auto_answer: bool = True
+
+
+class UserAgent:
+    """A complete SIP UA bound to a :class:`~repro.net.stack.HostStack`."""
+
+    def __init__(self, stack: HostStack, loop: EventLoop, config: UaConfig) -> None:
+        self.stack = stack
+        self.loop = loop
+        self.config = config
+        self.transport = SipTransport(stack, config.port)
+        self.txn = TransactionLayer(self.transport, loop)
+        self.txn.on_request = self._on_request
+        self.dialogs = DialogStore()
+        self._tag_counter = itertools.count(1)
+        self._call_id_counter = itertools.count(1)
+        self._cseq_out = itertools.count(1)
+        self.registered = False
+        # INVITE server transactions whose 2xx awaits an ACK (keyed by
+        # dialog key) — the UAS core stops 200-retransmission on ACK.
+        self._pending_acks: dict = {}
+        # Outgoing INVITEs not yet finally answered, keyed by Call-ID —
+        # what CANCEL operates on.
+        self._pending_invites_out: dict[str, tuple[SipRequest, Endpoint]] = {}
+        # Incoming INVITEs still ringing, keyed by Call-ID.
+        self._pending_invites_in: dict[str, tuple[SipRequest, object, Dialog]] = {}
+
+        # Application hooks (set by the soft-phone layer).
+        self.on_call_established: Callable[[Dialog, SessionDescription | None], None] | None = None
+        self.on_call_ended: Callable[[Dialog, bool], None] | None = None
+        self.on_reinvite: Callable[[Dialog, SessionDescription | None], None] | None = None
+        self.on_message: Callable[[NameAddr, str, Endpoint, float], None] | None = None
+        self.on_incoming_call: Callable[[Dialog, SessionDescription | None], None] | None = None
+        # Supplies the SDP answer for incoming (re-)INVITEs; must be set
+        # when auto_answer is enabled and media is expected.
+        self.answer_sdp_factory: Callable[
+            [Dialog, SessionDescription | None], SessionDescription | None
+        ] = lambda dialog, offer: None
+
+    # -- identity helpers ---------------------------------------------------
+
+    @property
+    def contact_uri(self) -> SipUri:
+        """Where this UA can be reached directly (IP-literal Contact)."""
+        return SipUri(user=self.config.aor.user, host=str(self.stack.ip), port=self.config.port)
+
+    def _new_tag(self) -> str:
+        return f"{self.stack.name}-tag-{next(self._tag_counter)}"
+
+    def _new_call_id(self) -> str:
+        return f"{next(self._call_id_counter)}-{self.stack.name}@{self.stack.ip}"
+
+    def _base_request(
+        self,
+        method: str,
+        uri: SipUri,
+        to_addr: NameAddr,
+        from_tag: str,
+        call_id: str,
+        cseq_number: int,
+    ) -> SipRequest:
+        request = SipRequest(method=method, uri=uri)
+        via = Via(
+            transport="UDP",
+            host=str(self.stack.ip),
+            port=self.config.port,
+            params=(("branch", self.txn.new_branch()),),
+        )
+        request.headers.add("Via", str(via))
+        request.headers.add("Max-Forwards", "70")
+        from_addr = NameAddr(uri=self.config.aor, display_name=self.config.display_name)
+        request.headers.add("From", str(from_addr.with_tag(from_tag)))
+        request.headers.add("To", str(to_addr))
+        request.headers.add("Call-ID", call_id)
+        request.headers.add("CSeq", f"{cseq_number} {method}")
+        request.headers.add("Contact", f"<{self.contact_uri}>")
+        request.headers.set("Content-Length", "0")
+        return request
+
+    def _route_out_of_dialog(self, uri: SipUri) -> Endpoint:
+        if self.config.proxy is not None:
+            return self.config.proxy
+        return resolve_uri(uri)
+
+    # -- registration ---------------------------------------------------------
+
+    def register(
+        self,
+        expires: int = 3600,
+        on_result: Callable[[RegistrationResult], None] | None = None,
+    ) -> None:
+        """REGISTER with the configured registrar, answering one 401 challenge."""
+        self._send_register(
+            expires, on_result, challenge=None, attempt=1, call_id=self._new_call_id()
+        )
+
+    def unregister(self, on_result: Callable[[RegistrationResult], None] | None = None) -> None:
+        self.register(expires=0, on_result=on_result)
+
+    def _send_register(
+        self,
+        expires: int,
+        on_result: Callable[[RegistrationResult], None] | None,
+        challenge: sip_auth.DigestChallenge | None,
+        attempt: int,
+        call_id: str,
+    ) -> None:
+        registrar_uri = SipUri(user="", host=self.config.aor.host)
+        request = self._base_request(
+            METHOD_REGISTER,
+            registrar_uri,
+            to_addr=NameAddr(uri=self.config.aor),
+            from_tag=self._new_tag(),
+            call_id=call_id,  # the auth retry stays in the same session
+            cseq_number=next(self._cseq_out),
+        )
+        request.headers.add("Expires", str(expires))
+        if challenge is not None:
+            creds = sip_auth.answer_challenge(
+                challenge,
+                username=self.config.aor.user,
+                password=self.config.password,
+                method=METHOD_REGISTER,
+                uri=str(registrar_uri),
+            )
+            request.headers.add("Authorization", creds.encode())
+
+        def handle(response: SipResponse, now: float) -> None:
+            if response.status == STATUS_UNAUTHORIZED and challenge is None:
+                www = response.headers.get("WWW-Authenticate")
+                if www is not None:
+                    try:
+                        parsed = sip_auth.DigestChallenge.parse(www)
+                    except sip_auth.AuthError:
+                        parsed = None
+                    if parsed is not None:
+                        self._send_register(expires, on_result, parsed, attempt + 1, call_id)
+                        return
+            self.registered = response.status == STATUS_OK and expires > 0
+            if on_result is not None:
+                on_result(RegistrationResult(response.status == STATUS_OK, response.status, attempt))
+
+        def timeout() -> None:
+            if on_result is not None:
+                on_result(RegistrationResult(False, 0, attempt))
+
+        self.txn.send_request(request, self._route_out_of_dialog(registrar_uri), handle, timeout)
+
+    # -- outgoing calls --------------------------------------------------------
+
+    def invite(
+        self,
+        target: SipUri,
+        offer: SessionDescription | None,
+        on_established: Callable[[Dialog, SessionDescription | None], None] | None = None,
+        on_failed: Callable[[int], None] | None = None,
+    ) -> str:
+        """Start a call; returns the Call-ID (the session's stable name)."""
+        call_id = self._new_call_id()
+        from_tag = self._new_tag()
+        request = self._base_request(
+            METHOD_INVITE,
+            target,
+            to_addr=NameAddr(uri=target),
+            from_tag=from_tag,
+            call_id=call_id,
+            cseq_number=next(self._cseq_out),
+        )
+        if offer is not None:
+            request._set_body(offer.encode(), "application/sdp")
+
+        def handle(response: SipResponse, now: float) -> None:
+            if response.status_class == 1:
+                return  # ringing; nothing to do yet
+            self._pending_invites_out.pop(call_id, None)
+            if response.status == STATUS_OK:
+                self._complete_outgoing_call(request, response, offer, on_established)
+            elif on_failed is not None:
+                on_failed(response.status)
+
+        def timeout() -> None:
+            self._pending_invites_out.pop(call_id, None)
+            if on_failed is not None:
+                on_failed(0)
+
+        destination = self._route_out_of_dialog(target)
+        self._pending_invites_out[call_id] = (request, destination)
+        self.txn.send_request(request, destination, handle, timeout)
+        return call_id
+
+    def cancel(self, call_id: str, on_done: Callable[[int], None] | None = None) -> bool:
+        """CANCEL a not-yet-answered outgoing INVITE (RFC 3261 §9).
+
+        Returns False when there is nothing to cancel (already answered).
+        The call itself concludes with the 487 the callee then sends.
+        """
+        pending = self._pending_invites_out.get(call_id)
+        if pending is None:
+            return False
+        invite, destination = pending
+        cancel = SipRequest(method=METHOD_CANCEL, uri=invite.uri)
+        via = Via(
+            transport="UDP",
+            host=str(self.stack.ip),
+            port=self.config.port,
+            params=(("branch", self.txn.new_branch()),),
+        )
+        cancel.headers.add("Via", str(via))
+        cancel.headers.add("Max-Forwards", "70")
+        cancel.headers.add("From", invite.headers.get("From") or "")
+        cancel.headers.add("To", invite.headers.get("To") or "")
+        cancel.headers.add("Call-ID", call_id)
+        cancel.headers.add("CSeq", f"{invite.cseq.number} {METHOD_CANCEL}")
+        cancel.headers.set("Content-Length", "0")
+
+        def handle(response: SipResponse, now: float) -> None:
+            if on_done is not None:
+                on_done(response.status)
+
+        self.txn.send_request(cancel, destination, handle)
+        return True
+
+    def _complete_outgoing_call(
+        self,
+        invite: SipRequest,
+        response: SipResponse,
+        offer: SessionDescription | None,
+        on_established: Callable[[Dialog, SessionDescription | None], None] | None,
+    ) -> None:
+        remote_tag = response.to_addr.tag or ""
+        existing_key = (invite.call_id, invite.from_addr.tag or "", remote_tag)
+        existing = self.dialogs._dialogs.get(existing_key)
+        if existing is not None:
+            # Retransmitted 200: our ACK was lost — just re-ACK.
+            self._send_ack(existing)
+            return
+        contact = response.contact
+        remote_target = contact.uri if contact is not None else invite.uri
+        answer = _parse_sdp_body(response)
+        dialog = Dialog(
+            call_id=invite.call_id,
+            local_tag=invite.from_addr.tag or "",
+            remote_tag=remote_tag,
+            local_uri=self.config.aor,
+            remote_uri=invite.to_addr.uri,
+            remote_target=remote_target,
+            is_uac=True,
+            local_seq=invite.cseq.number,
+        )
+        if offer is not None:
+            dialog.local_media = offer.audio_endpoint()
+        if answer is not None:
+            try:
+                dialog.remote_media = answer.audio_endpoint()
+            except SdpError:
+                pass
+        dialog.confirm()
+        self.dialogs.add(dialog)
+        self._send_ack(dialog)
+        if on_established is not None:
+            on_established(dialog, answer)
+        if self.on_call_established is not None:
+            self.on_call_established(dialog, answer)
+
+    def _send_ack(self, dialog: Dialog) -> None:
+        """ACK for a 2xx: a standalone in-dialog request to the remote target."""
+        ack = SipRequest(method=METHOD_ACK, uri=dialog.remote_target)
+        via = Via(
+            transport="UDP",
+            host=str(self.stack.ip),
+            port=self.config.port,
+            params=(("branch", self.txn.new_branch()),),
+        )
+        ack.headers.add("Via", str(via))
+        ack.headers.add("Max-Forwards", "70")
+        ack.headers.add("From", str(dialog.local_addr()))
+        ack.headers.add("To", str(dialog.remote_addr()))
+        ack.headers.add("Call-ID", dialog.call_id)
+        ack.headers.add("CSeq", f"{dialog.local_seq} ACK")
+        ack.headers.set("Content-Length", "0")
+        self.txn.send_stateless(ack, resolve_uri(dialog.remote_target))
+
+    # -- in-dialog requests ------------------------------------------------------
+
+    def _in_dialog_request(self, dialog: Dialog, method: str) -> SipRequest:
+        request = SipRequest(method=method, uri=dialog.remote_target)
+        via = Via(
+            transport="UDP",
+            host=str(self.stack.ip),
+            port=self.config.port,
+            params=(("branch", self.txn.new_branch()),),
+        )
+        request.headers.add("Via", str(via))
+        request.headers.add("Max-Forwards", "70")
+        request.headers.add("From", str(dialog.local_addr()))
+        request.headers.add("To", str(dialog.remote_addr()))
+        request.headers.add("Call-ID", dialog.call_id)
+        request.headers.add("CSeq", f"{dialog.next_local_seq()} {method}")
+        request.headers.add("Contact", f"<{self.contact_uri}>")
+        request.headers.set("Content-Length", "0")
+        return request
+
+    def bye(self, dialog: Dialog, on_done: Callable[[int], None] | None = None) -> None:
+        """Tear down a confirmed dialog."""
+        request = self._in_dialog_request(dialog, METHOD_BYE)
+        dialog.terminate()
+        self.dialogs.remove(dialog)
+
+        def handle(response: SipResponse, now: float) -> None:
+            if on_done is not None:
+                on_done(response.status)
+
+        self.txn.send_request(request, resolve_uri(dialog.remote_target), handle)
+        if self.on_call_ended is not None:
+            self.on_call_ended(dialog, False)
+
+    def reinvite(
+        self,
+        dialog: Dialog,
+        new_offer: SessionDescription,
+        on_done: Callable[[int], None] | None = None,
+    ) -> None:
+        """Send a re-INVITE (e.g. after moving to a new IP — mobility)."""
+        request = self._in_dialog_request(dialog, METHOD_INVITE)
+        request._set_body(new_offer.encode(), "application/sdp")
+        dialog.local_media = new_offer.audio_endpoint()
+
+        def handle(response: SipResponse, now: float) -> None:
+            if response.status == STATUS_OK:
+                answer = _parse_sdp_body(response)
+                if answer is not None:
+                    try:
+                        dialog.remote_media = answer.audio_endpoint()
+                    except SdpError:
+                        pass
+                self._send_ack(dialog)
+            if on_done is not None:
+                on_done(response.status)
+
+        self.txn.send_request(request, resolve_uri(dialog.remote_target), handle)
+
+    # -- instant messaging ---------------------------------------------------------
+
+    def message(
+        self,
+        target: SipUri,
+        text: str,
+        on_result: Callable[[int], None] | None = None,
+    ) -> None:
+        """Send a SIP MESSAGE (instant message) out of dialog."""
+        request = self._base_request(
+            METHOD_MESSAGE,
+            target,
+            to_addr=NameAddr(uri=target),
+            from_tag=self._new_tag(),
+            call_id=self._new_call_id(),
+            cseq_number=next(self._cseq_out),
+        )
+        request.headers.remove("Contact")  # MESSAGE carries no Contact
+        request._set_body(text.encode("utf-8"), "text/plain")
+
+        def handle(response: SipResponse, now: float) -> None:
+            if on_result is not None:
+                on_result(response.status)
+
+        self.txn.send_request(request, self._route_out_of_dialog(target), handle)
+
+    # -- server side -------------------------------------------------------------------
+
+    def _on_request(self, request: SipRequest, src: Endpoint, now: float) -> None:
+        if request.method == METHOD_ACK:
+            self._handle_ack(request)
+            return
+        txn = self.txn.server_transaction_for(request)
+        if txn is None:  # pragma: no cover - dispatch guarantees otherwise
+            return
+        handlers = {
+            METHOD_INVITE: self._handle_invite,
+            METHOD_BYE: self._handle_bye,
+            METHOD_MESSAGE: self._handle_message,
+            METHOD_CANCEL: self._handle_cancel,
+            "OPTIONS": self._handle_options,
+        }
+        handler = handlers.get(request.method)
+        if handler is None:
+            txn.respond(self._response_for(request, 501))
+            return
+        handler(request, src, now, txn)
+
+    def _response_for(self, request: SipRequest, status: int, to_tag: str | None = None) -> SipResponse:
+        response = SipResponse(status=status)
+        for via in request.headers.get_all("Via"):
+            response.headers.add("Via", via)
+        response.headers.add("From", request.headers.get("From") or "")
+        to_value = request.headers.get("To") or ""
+        if to_tag and "tag=" not in to_value:
+            to_value = str(NameAddr.parse(to_value).with_tag(to_tag))
+        response.headers.add("To", to_value)
+        response.headers.add("Call-ID", request.headers.get("Call-ID") or "")
+        response.headers.add("CSeq", request.headers.get("CSeq") or "")
+        response.headers.set("Content-Length", "0")
+        return response
+
+    def _handle_invite(self, request: SipRequest, src: Endpoint, now: float, txn) -> None:
+        existing = self.dialogs.find_for_request(request)
+        if existing is not None:
+            self._handle_reinvite(existing, request, txn)
+            return
+        local_tag = self._new_tag()
+        offer = _parse_sdp_body(request)
+        contact = request.contact
+        dialog = Dialog(
+            call_id=request.call_id,
+            local_tag=local_tag,
+            remote_tag=request.from_addr.tag or "",
+            local_uri=self.config.aor,
+            remote_uri=request.from_addr.uri,
+            remote_target=contact.uri if contact is not None else request.from_addr.uri,
+            is_uac=False,
+            remote_seq=request.cseq.number,
+        )
+        if offer is not None:
+            try:
+                dialog.remote_media = offer.audio_endpoint()
+            except SdpError:
+                pass
+        self.dialogs.add(dialog)
+        self._pending_invites_in[request.call_id] = (request, txn, dialog)
+        if self.on_incoming_call is not None:
+            self.on_incoming_call(dialog, offer)
+        if not self.config.auto_answer:
+            txn.respond(self._response_for(request, STATUS_RINGING, to_tag=local_tag))
+            return
+        txn.respond(self._response_for(request, STATUS_RINGING, to_tag=local_tag))
+
+        def answer() -> None:
+            if dialog.state == DialogState.TERMINATED:
+                return
+            answer_sdp = self.answer_sdp_factory(dialog, offer)
+            ok = self._response_for(request, STATUS_OK, to_tag=local_tag)
+            ok.headers.add("Contact", f"<{self.contact_uri}>")
+            if answer_sdp is not None:
+                ok._set_body(answer_sdp.encode(), "application/sdp")
+                dialog.local_media = answer_sdp.audio_endpoint()
+            self._pending_acks[dialog.key] = txn
+            self._pending_invites_in.pop(dialog.call_id, None)
+            txn.respond(ok)
+
+        self.loop.call_later(self.config.answer_delay, answer)
+
+    def _handle_reinvite(self, dialog: Dialog, request: SipRequest, txn) -> None:
+        if not dialog.accepts_remote_seq(request.cseq.number):
+            txn.respond(self._response_for(request, 500))
+            return
+        offer = _parse_sdp_body(request)
+        if offer is not None:
+            try:
+                dialog.remote_media = offer.audio_endpoint()
+            except SdpError:
+                pass
+        contact = request.contact
+        if contact is not None:
+            dialog.remote_target = contact.uri
+        answer_sdp = self.answer_sdp_factory(dialog, offer)
+        ok = self._response_for(request, STATUS_OK)
+        ok.headers.add("Contact", f"<{self.contact_uri}>")
+        if answer_sdp is not None:
+            ok._set_body(answer_sdp.encode(), "application/sdp")
+        txn.respond(ok)
+        if self.on_reinvite is not None:
+            self.on_reinvite(dialog, offer)
+
+    def _handle_ack(self, request: SipRequest) -> None:
+        dialog = self.dialogs.find_for_request(request)
+        if dialog is None:
+            return
+        # Stop any 200-retransmission loop awaiting this ACK.
+        txn = self._pending_acks.pop(dialog.key, None)
+        if txn is not None:
+            txn.handle_ack()
+        if dialog.state == DialogState.EARLY:
+            dialog.confirm()
+            if self.on_call_established is not None:
+                self.on_call_established(dialog, None)
+
+    def _handle_bye(self, request: SipRequest, src: Endpoint, now: float, txn) -> None:
+        dialog = self.dialogs.find_for_request(request)
+        if dialog is None:
+            txn.respond(self._response_for(request, 481))
+            return
+        if not dialog.accepts_remote_seq(request.cseq.number):
+            txn.respond(self._response_for(request, 500))
+            return
+        txn.respond(self._response_for(request, STATUS_OK))
+        dialog.terminate()
+        self.dialogs.remove(dialog)
+        if self.on_call_ended is not None:
+            self.on_call_ended(dialog, True)
+
+    def _handle_cancel(self, request: SipRequest, src: Endpoint, now: float, txn) -> None:
+        txn.respond(self._response_for(request, STATUS_OK))
+        pending = self._pending_invites_in.pop(request.call_id, None)
+        if pending is None:
+            return  # nothing ringing: CANCEL after the fact is a no-op
+        invite, invite_txn, dialog = pending
+        dialog.terminate()
+        self.dialogs.remove(dialog)
+        terminated = self._response_for(
+            invite, STATUS_REQUEST_TERMINATED, to_tag=dialog.local_tag
+        )
+        invite_txn.respond(terminated)
+        if self.on_call_ended is not None:
+            self.on_call_ended(dialog, True)
+
+    def _handle_options(self, request: SipRequest, src: Endpoint, now: float, txn) -> None:
+        """OPTIONS capability query (RFC 3261 §11): advertise our methods."""
+        response = self._response_for(request, STATUS_OK, to_tag=self._new_tag())
+        response.headers.add(
+            "Allow", "INVITE, ACK, BYE, CANCEL, OPTIONS, MESSAGE, REGISTER"
+        )
+        response.headers.add("Accept", "application/sdp, text/plain")
+        txn.respond(response)
+
+    def _handle_message(self, request: SipRequest, src: Endpoint, now: float, txn) -> None:
+        txn.respond(self._response_for(request, STATUS_OK, to_tag=self._new_tag()))
+        if self.on_message is not None:
+            text = request.body.decode("utf-8", errors="replace")
+            self.on_message(request.from_addr, text, src, now)
+
+
+def _parse_sdp_body(message: SipRequest | SipResponse) -> SessionDescription | None:
+    content_type = message.headers.get("Content-Type") or ""
+    if "application/sdp" not in content_type.lower() or not message.body:
+        return None
+    try:
+        return SessionDescription.parse(message.body)
+    except SdpError:
+        return None

@@ -1,0 +1,45 @@
+"""VoIP endpoint layer: soft-phones, calls, the Figure-4 testbed and
+benign traffic scenarios."""
+
+from repro.voip.call import Call, CallEvent, CallState
+from repro.voip.phone import InstantMessage, Softphone
+from repro.voip.scenarios import (
+    CallOutcome,
+    RegistrationChurn,
+    im_exchange,
+    mobility_call,
+    normal_call,
+    registration_churn,
+)
+from repro.voip.testbed import (
+    ATTACKER_IP,
+    CLIENT_A_IP,
+    CLIENT_B_IP,
+    CLIENT_C_IP,
+    DOMAIN,
+    PROXY_IP,
+    Testbed,
+    TestbedConfig,
+)
+
+__all__ = [
+    "ATTACKER_IP",
+    "CLIENT_A_IP",
+    "CLIENT_B_IP",
+    "CLIENT_C_IP",
+    "Call",
+    "CallEvent",
+    "CallOutcome",
+    "CallState",
+    "DOMAIN",
+    "InstantMessage",
+    "PROXY_IP",
+    "RegistrationChurn",
+    "Softphone",
+    "Testbed",
+    "TestbedConfig",
+    "im_exchange",
+    "mobility_call",
+    "normal_call",
+    "registration_churn",
+]

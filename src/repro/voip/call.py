@@ -1,0 +1,57 @@
+"""Call objects: one phone's view of one voice call."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.net.addr import Endpoint
+from repro.rtp.session import RtpSession
+from repro.sip.dialog import Dialog
+
+
+class CallState(enum.Enum):
+    DIALING = "dialing"  # INVITE sent, no final answer yet
+    RINGING = "ringing"  # incoming INVITE, not yet answered
+    ACTIVE = "active"  # media flowing
+    ENDED = "ended"  # BYE completed (either side)
+    FAILED = "failed"  # non-2xx final or timeout
+
+
+@dataclass(slots=True)
+class CallEvent:
+    """Timeline entry for post-hoc assertions in tests and benches."""
+
+    time: float
+    what: str
+
+
+@dataclass(slots=True)
+class Call:
+    """One leg of a voice call (each phone holds its own Call object)."""
+
+    call_id: str
+    peer: str  # peer's address of record, e.g. "bob@example.com"
+    outgoing: bool
+    state: CallState = CallState.DIALING
+    dialog: Dialog | None = None
+    rtp: RtpSession | None = None
+    remote_media: Endpoint | None = None
+    established_at: float | None = None
+    ended_at: float | None = None
+    ended_by_peer: bool = False
+    failure_status: int | None = None
+    timeline: list[CallEvent] = field(default_factory=list)
+
+    def note(self, time: float, what: str) -> None:
+        self.timeline.append(CallEvent(time, what))
+
+    @property
+    def duration(self) -> float | None:
+        if self.established_at is None or self.ended_at is None:
+            return None
+        return self.ended_at - self.established_at
+
+    @property
+    def is_active(self) -> bool:
+        return self.state == CallState.ACTIVE

@@ -1,0 +1,242 @@
+"""Softphone: a SIP user agent glued to RTP media sessions.
+
+This is the stand-in for Kphone / Windows Messenger / X-Lite: it
+registers, places and answers calls, streams 20 ms G.711 frames while a
+call is up, obeys BYE immediately (stops its outward RTP — the behaviour
+that makes the BYE attack effective), follows re-INVITEs to wherever the
+new SDP points (the hijack vector), and receives SIP instant messages.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.net.addr import Endpoint
+from repro.net.stack import HostStack
+from repro.rtp.session import FrameSource, RtpSession
+from repro.rtp.codec import ToneSource
+from repro.sim.eventloop import EventLoop
+from repro.sip.dialog import Dialog
+from repro.sip.headers import NameAddr
+from repro.sip.sdp import SdpError, SessionDescription, audio_offer
+from repro.sip.ua import RegistrationResult, UaConfig, UserAgent
+from repro.sip.uri import SipUri
+from repro.voip.call import Call, CallState
+
+DEFAULT_RTP_BASE = 40000
+
+
+@dataclass(slots=True)
+class InstantMessage:
+    """A received SIP MESSAGE, as the phone's user would see it."""
+
+    time: float
+    from_aor: str
+    display_name: str
+    text: str
+    source: Endpoint  # actual network origin — what the Fake IM rule checks
+
+
+class Softphone:
+    """A complete VoIP endpoint."""
+
+    def __init__(
+        self,
+        stack: HostStack,
+        loop: EventLoop,
+        aor: str,
+        password: str = "",
+        proxy: Endpoint | None = None,
+        display_name: str = "",
+        answer_delay: float = 0.2,
+        rtp_base: int = DEFAULT_RTP_BASE,
+        tone_hz: float = 440.0,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.stack = stack
+        self.loop = loop
+        self.rng = rng if rng is not None else random.Random(sum(stack.name.encode()))
+        config = UaConfig(
+            aor=SipUri.parse(aor),
+            display_name=display_name or stack.name,
+            password=password,
+            proxy=proxy,
+            answer_delay=answer_delay,
+        )
+        self.ua = UserAgent(stack, loop, config)
+        self.ua.on_incoming_call = self._on_incoming_call
+        self.ua.on_call_established = self._on_call_established
+        self.ua.on_call_ended = self._on_call_ended
+        self.ua.on_reinvite = self._on_reinvite
+        self.ua.on_message = self._on_message
+        self.ua.answer_sdp_factory = self._answer_sdp
+        self.tone_hz = tone_hz
+        self._rtp_ports = itertools.count(rtp_base, 2)
+        self.calls: dict[str, Call] = {}  # keyed by Call-ID
+        self.messages: list[InstantMessage] = []
+        self.on_incoming_message: Callable[[InstantMessage], None] | None = None
+        self._sdp_session_ids = itertools.count(1)
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, on_result: Callable[[RegistrationResult], None] | None = None) -> None:
+        self.ua.register(on_result=on_result)
+
+    @property
+    def aor(self) -> str:
+        return self.ua.config.aor.address_of_record
+
+    # -- media plumbing -------------------------------------------------------
+
+    def _new_rtp_session(self) -> RtpSession:
+        port = next(self._rtp_ports)
+        source: FrameSource = ToneSource(frequency=self.tone_hz)
+        return RtpSession(self.stack, self.loop, port, rng=self.rng, source=source)
+
+    def _local_sdp(self, rtp: RtpSession) -> SessionDescription:
+        return audio_offer(
+            address=self.stack.ip,
+            port=rtp.local_port,
+            session_id=str(next(self._sdp_session_ids)),
+            user=self.ua.config.aor.user,
+        )
+
+    # -- placing calls -----------------------------------------------------------
+
+    def call(self, peer_aor: str) -> Call:
+        """Place a call to ``peer_aor`` (e.g. ``"sip:bob@example.com"``)."""
+        target = SipUri.parse(peer_aor if peer_aor.startswith("sip") else f"sip:{peer_aor}")
+        rtp = self._new_rtp_session()
+        offer = self._local_sdp(rtp)
+        call = Call(call_id="", peer=target.address_of_record, outgoing=True)
+        call.rtp = rtp
+        call.note(self.loop.now(), "INVITE sent")
+
+        def failed(status: int) -> None:
+            call.state = CallState.FAILED
+            call.failure_status = status
+            call.note(self.loop.now(), f"call failed ({status})")
+            rtp.close()
+
+        call_id = self.ua.invite(target, offer, on_failed=failed)
+        call.call_id = call_id
+        self.calls[call_id] = call
+        return call
+
+    def hangup(self, call: Call) -> None:
+        """Send BYE and stop media."""
+        if call.dialog is None or call.state != CallState.ACTIVE:
+            raise RuntimeError(f"cannot hang up call in state {call.state}")
+        self.ua.bye(call.dialog)
+
+    def cancel(self, call: Call) -> bool:
+        """Abandon an outgoing call before it is answered (CANCEL).
+
+        Returns False if the call was already answered (hang up instead).
+        The call moves to FAILED(487) when the callee confirms.
+        """
+        if not call.outgoing or call.state != CallState.DIALING:
+            return False
+        call.note(self.loop.now(), "CANCEL sent")
+        return self.ua.cancel(call.call_id)
+
+    def migrate_media(self, call: Call, new_media: Endpoint) -> None:
+        """Legitimate mobility: re-INVITE the peer to send audio to
+        ``new_media`` (e.g. this user's cell phone)."""
+        if call.dialog is None:
+            raise RuntimeError("call has no dialog yet")
+        new_offer = audio_offer(
+            address=new_media.ip,
+            port=new_media.port,
+            session_id=str(next(self._sdp_session_ids)),
+            version="2",
+            user=self.ua.config.aor.user,
+        )
+        call.note(self.loop.now(), f"re-INVITE to move media to {new_media}")
+        self.ua.reinvite(call.dialog, new_offer)
+
+    # -- instant messaging ----------------------------------------------------------
+
+    def send_message(self, peer_aor: str, text: str) -> None:
+        target = SipUri.parse(peer_aor if peer_aor.startswith("sip") else f"sip:{peer_aor}")
+        self.ua.message(target, text)
+
+    # -- UA hooks ----------------------------------------------------------------------
+
+    def _on_incoming_call(self, dialog: Dialog, offer: SessionDescription | None) -> None:
+        call = Call(call_id=dialog.call_id, peer=dialog.remote_uri.address_of_record, outgoing=False)
+        call.state = CallState.RINGING
+        call.dialog = dialog
+        call.rtp = self._new_rtp_session()
+        call.note(self.loop.now(), "INVITE received")
+        self.calls[dialog.call_id] = call
+
+    def _answer_sdp(
+        self, dialog: Dialog, offer: SessionDescription | None
+    ) -> SessionDescription | None:
+        call = self.calls.get(dialog.call_id)
+        if call is None or call.rtp is None:
+            return None
+        return self._local_sdp(call.rtp)
+
+    def _on_call_established(self, dialog: Dialog, answer: SessionDescription | None) -> None:
+        call = self.calls.get(dialog.call_id)
+        if call is None or call.rtp is None:
+            return
+        call.dialog = dialog
+        call.state = CallState.ACTIVE
+        call.established_at = self.loop.now()
+        call.remote_media = dialog.remote_media
+        call.note(self.loop.now(), "call established")
+        if dialog.remote_media is not None:
+            call.rtp.start_sending(dialog.remote_media)
+
+    def _on_call_ended(self, dialog: Dialog, by_peer: bool) -> None:
+        call = self.calls.get(dialog.call_id)
+        if call is None:
+            return
+        call.state = CallState.ENDED
+        call.ended_at = self.loop.now()
+        call.ended_by_peer = by_peer
+        call.note(self.loop.now(), "BYE received" if by_peer else "BYE sent")
+        if call.rtp is not None:
+            # The victim behaviour in the BYE attack: outward RTP stops
+            # the moment the (possibly forged) BYE is accepted.
+            call.rtp.stop_sending()
+
+    def _on_reinvite(self, dialog: Dialog, offer: SessionDescription | None) -> None:
+        call = self.calls.get(dialog.call_id)
+        if call is None or call.rtp is None:
+            return
+        call.note(self.loop.now(), "re-INVITE received")
+        if dialog.remote_media is not None:
+            call.remote_media = dialog.remote_media
+            # Follow the new SDP wherever it points — mobility feature,
+            # hijack vulnerability.
+            call.rtp.redirect(dialog.remote_media)
+
+    def _on_message(self, from_addr: NameAddr, text: str, src: Endpoint, now: float) -> None:
+        message = InstantMessage(
+            time=now,
+            from_aor=from_addr.uri.address_of_record,
+            display_name=from_addr.display_name,
+            text=text,
+            source=src,
+        )
+        self.messages.append(message)
+        if self.on_incoming_message is not None:
+            self.on_incoming_message(message)
+
+    # -- introspection ---------------------------------------------------------------------
+
+    def active_calls(self) -> list[Call]:
+        return [c for c in self.calls.values() if c.state == CallState.ACTIVE]
+
+    def find_call(self, peer_aor: str) -> Call | None:
+        for call in self.calls.values():
+            if call.peer == peer_aor.removeprefix("sip:"):
+                return call
+        return None

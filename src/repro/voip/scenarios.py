@@ -1,0 +1,130 @@
+"""Canonical benign scenarios run on the testbed.
+
+These produce the *normal* traffic against which the IDS must stay
+silent: complete calls (Figure 1's message ladder), instant-message
+exchanges, legitimate mobility re-INVITEs, and registration churn
+including the benign 401-challenge dance that fools stateless IDSs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.addr import Endpoint
+from repro.voip.call import Call, CallState
+from repro.voip.testbed import Testbed
+
+
+@dataclass(slots=True)
+class CallOutcome:
+    """Both legs of a completed call, for assertions."""
+
+    caller_leg: Call
+    callee_leg: Call | None
+
+    @property
+    def both_active_seen(self) -> bool:
+        return (
+            self.caller_leg.established_at is not None
+            and self.callee_leg is not None
+            and self.callee_leg.established_at is not None
+        )
+
+
+def normal_call(
+    testbed: Testbed,
+    talk_seconds: float = 2.0,
+    caller_hangs_up: bool = True,
+    settle: float = 1.0,
+) -> CallOutcome:
+    """A calls B, they talk, one side hangs up; returns both call legs."""
+    call_a = testbed.phone_a.call(f"sip:bob@{_domain(testbed)}")
+    testbed.run_for(1.0)  # setup: INVITE → 180 → 200 → ACK
+    # Lossy links may need retransmission rounds; allow extra settling.
+    for __ in range(4):
+        if call_a.state == CallState.ACTIVE:
+            break
+        testbed.run_for(0.5)
+    if call_a.state != CallState.ACTIVE:
+        raise RuntimeError(f"call setup failed: {call_a.state}, {call_a.timeline}")
+    testbed.run_for(talk_seconds)
+    call_b = testbed.phone_b.calls.get(call_a.call_id)
+    if caller_hangs_up:
+        testbed.phone_a.hangup(call_a)
+    else:
+        assert call_b is not None
+        testbed.phone_b.hangup(call_b)
+    testbed.run_for(settle)
+    return CallOutcome(caller_leg=call_a, callee_leg=call_b)
+
+
+def im_exchange(testbed: Testbed, texts_from_b: list[str], gap: float = 0.5) -> None:
+    """B sends a series of instant messages to A."""
+    for text in texts_from_b:
+        testbed.phone_b.send_message(f"sip:alice@{_domain(testbed)}", text)
+        testbed.run_for(gap)
+
+
+def mobility_call(
+    testbed: Testbed,
+    talk_before: float = 1.0,
+    talk_after: float = 1.0,
+) -> CallOutcome:
+    """A calls B; mid-call B legitimately migrates its media to client C.
+
+    Requires a testbed built with ``with_cell_phone=True``.  After the
+    re-INVITE, B's old device stops sending RTP (it moved), so no orphan
+    flow exists and the IDS must not alarm.
+    """
+    if testbed.stack_c is None:
+        raise RuntimeError("mobility_call needs TestbedConfig(with_cell_phone=True)")
+    call_a = testbed.phone_a.call(f"sip:bob@{_domain(testbed)}")
+    testbed.run_for(1.0)
+    if call_a.state != CallState.ACTIVE:
+        raise RuntimeError(f"call setup failed: {call_a.state}")
+    testbed.run_for(talk_before)
+    call_b = testbed.phone_b.calls.get(call_a.call_id)
+    assert call_b is not None and call_b.rtp is not None
+    # B moves: media will now terminate at client C's address. B's old
+    # device stops transmitting, mirroring a softphone being closed as
+    # the user walks out with the cell phone.
+    new_media = Endpoint(testbed.stack_c.ip, 40000)
+    testbed.phone_b.migrate_media(call_b, new_media)
+    call_b.rtp.stop_sending(send_bye=False)
+    testbed.run_for(talk_after)
+    testbed.phone_a.hangup(call_a)
+    testbed.run_for(1.0)
+    return CallOutcome(caller_leg=call_a, callee_leg=call_b)
+
+
+@dataclass(slots=True)
+class RegistrationChurn:
+    attempts: int = 0
+    successes: int = 0
+    results: list[int] = field(default_factory=list)
+
+
+def registration_churn(testbed: Testbed, rounds: int = 3, gap: float = 0.5) -> RegistrationChurn:
+    """Both phones re-register repeatedly — benign 401 traffic generator.
+
+    With ``require_auth=True`` every round produces an unauthenticated
+    REGISTER, a 401 challenge and an authenticated retry: exactly the
+    traffic the paper says tricks a stateless multiple-4XX rule.
+    """
+    churn = RegistrationChurn()
+
+    def record(result) -> None:
+        churn.results.append(result.status)
+        if result.success:
+            churn.successes += 1
+
+    for _ in range(rounds):
+        churn.attempts += 2
+        testbed.phone_a.register(on_result=record)
+        testbed.phone_b.register(on_result=record)
+        testbed.run_for(gap)
+    return churn
+
+
+def _domain(testbed: Testbed) -> str:
+    return testbed.proxy.domain

@@ -1,0 +1,175 @@
+"""The Figure 3/4 testbed: clients, proxy and IDS tap on one hub.
+
+Reproduces the paper's topology:
+
+* a SIP proxy + registrar for the domain ``example.com``
+  (SIP Express Router stand-in) at 10.0.0.1;
+* Client A (``alice``, 10.0.0.10) — the protected endpoint;
+* Client B (``bob``, 10.0.0.20) — A's conversation partner;
+* an attacker host at 10.0.0.66 with both a raw-socket stack (for
+  forging) and a promiscuous view of the hub (for learning dialog
+  parameters, since SIP travels in cleartext);
+* the SCIDIVE sniffer tap, a promiscuous node whose trace feeds the IDS
+  associated with Client A.
+
+Everything hangs off a single hub so the tap sees all of A's traffic —
+the End-point based IDS architecture of Section 4.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.net.addr import Endpoint, IPv4Address, MacAddress
+from repro.net.capture import Sniffer
+from repro.net.stack import HostStack
+from repro.sim.hub import Hub
+from repro.sim.link import LinkModel
+from repro.sim.network import Network
+from repro.sip.proxy import Proxy
+from repro.sip.registrar import Registrar
+from repro.voip.phone import Softphone
+
+DOMAIN = "example.com"
+
+PROXY_IP = "10.0.0.1"
+BILLING_DB_IP = "10.0.0.5"
+CLIENT_A_IP = "10.0.0.10"
+CLIENT_B_IP = "10.0.0.20"
+CLIENT_C_IP = "10.0.0.30"  # "B's cell phone" for legitimate mobility
+ATTACKER_IP = "10.0.0.66"
+
+
+@dataclass(slots=True)
+class TestbedConfig:
+    seed: int = 7
+    require_auth: bool = False
+    answer_delay: float = 0.2
+    link: LinkModel | None = None  # per-port model; default LAN
+    with_cell_phone: bool = False  # add client C (B's second device)
+    with_billing: bool = False  # accounting software + DB (billing fraud)
+    users: tuple[tuple[str, str], ...] = (("alice", "wonderland"), ("bob", "builder"))
+
+
+class Testbed:
+    """A ready-to-run VoIP deployment with an attacker and an IDS tap."""
+
+    def __init__(self, config: TestbedConfig | None = None) -> None:
+        self.config = config if config is not None else TestbedConfig()
+        self.network = Network(seed=self.config.seed)
+        self.loop = self.network.loop
+        self.hub: Hub = self.network.add_hub("office-hub")
+        self.rng = random.Random(self.config.seed + 1)
+
+        # -- proxy / registrar ------------------------------------------
+        self.proxy_stack = self._host("proxy", PROXY_IP)
+        self.registrar = Registrar(
+            realm=DOMAIN, require_auth=self.config.require_auth, rng=self.rng
+        )
+        for username, password in self.config.users:
+            self.registrar.add_user(username, password)
+
+        # -- optional billing substrate (the §3.2 fraud scenario) ---------
+        self.billing_db = None
+        self.billing_agent = None
+        if self.config.with_billing:
+            from repro.accounting.billing import BillingAgent
+            from repro.accounting.database import BillingDatabase
+
+            db_stack = self._host("billing-db", BILLING_DB_IP)
+            self.billing_db = BillingDatabase(db_stack)
+            self.billing_agent = BillingAgent(
+                self.proxy_stack, self.loop, database=self.billing_db.endpoint
+            )
+        self.proxy = Proxy(
+            self.proxy_stack,
+            self.loop,
+            DOMAIN,
+            self.registrar,
+            billing=self.billing_agent,
+            # The billing-enabled build is the vulnerable (lenient) one.
+            strict_parsing=not self.config.with_billing,
+        )
+        self.proxy_endpoint = Endpoint(IPv4Address.parse(PROXY_IP), 5060)
+
+        # -- clients ------------------------------------------------------
+        self.stack_a = self._host("clientA", CLIENT_A_IP)
+        self.stack_b = self._host("clientB", CLIENT_B_IP)
+        self.phone_a = Softphone(
+            self.stack_a,
+            self.loop,
+            aor=f"sip:alice@{DOMAIN}",
+            password=dict(self.config.users).get("alice", ""),
+            proxy=self.proxy_endpoint,
+            display_name="Alice",
+            answer_delay=self.config.answer_delay,
+            tone_hz=440.0,
+        )
+        self.phone_b = Softphone(
+            self.stack_b,
+            self.loop,
+            aor=f"sip:bob@{DOMAIN}",
+            password=dict(self.config.users).get("bob", ""),
+            proxy=self.proxy_endpoint,
+            display_name="Bob",
+            answer_delay=self.config.answer_delay,
+            tone_hz=880.0,
+        )
+        self.stack_c: HostStack | None = None
+        if self.config.with_cell_phone:
+            self.stack_c = self._host("clientC", CLIENT_C_IP)
+
+        # -- attacker -----------------------------------------------------
+        self.attacker_stack = self._host("attacker", ATTACKER_IP)
+        self.attacker_eye = Sniffer("attacker-eye", self.loop, mac="02:0f:0f:0f:0f:02")
+        self.hub.attach(self.attacker_eye.iface, self.config.link)
+
+        # -- IDS tap ---------------------------------------------------------
+        self.ids_tap = Sniffer("scidive-tap", self.loop)
+        self.hub.attach(self.ids_tap.iface, self.config.link)
+
+        self._populate_arp()
+
+    # -- construction helpers ---------------------------------------------
+
+    def _host(self, name: str, ip: str) -> HostStack:
+        stack = HostStack(name, self.loop, ip=ip, mac=self.network.next_mac())
+        self.network.register(stack)
+        self.hub.attach(stack.iface, self.config.link)
+        return stack
+
+    def _populate_arp(self) -> None:
+        stacks = [node for node in self.network.nodes if isinstance(node, HostStack)]
+        for stack in stacks:
+            for other in stacks:
+                if other is not stack:
+                    stack.add_arp_entry(other.ip, MacAddress(other.iface.mac))
+
+    # -- operation ---------------------------------------------------------
+
+    def register_all(self, settle: float = 1.0) -> None:
+        """Register both phones and let the signalling settle."""
+        self.phone_a.register()
+        self.phone_b.register()
+        self.network.run_for(settle)
+
+    def run_for(self, seconds: float) -> None:
+        self.network.run_for(seconds)
+
+    def now(self) -> float:
+        return self.loop.now()
+
+    # -- convenience accessors ------------------------------------------------
+
+    @property
+    def a_endpoint(self) -> Endpoint:
+        return Endpoint(self.stack_a.ip, 5060)
+
+    @property
+    def b_endpoint(self) -> Endpoint:
+        return Endpoint(self.stack_b.ip, 5060)
+
+    @property
+    def attacker_endpoint(self) -> Endpoint:
+        return Endpoint(self.attacker_stack.ip, 5060)

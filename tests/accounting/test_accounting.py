@@ -1,0 +1,88 @@
+"""Tests for the accounting substrate: records, database, billing agent."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accounting.records import CallRecord
+from repro.sip.message import parse_message
+from repro.voip.scenarios import normal_call
+from repro.voip.testbed import Testbed, TestbedConfig
+
+
+class TestCallRecord:
+    def test_roundtrip(self):
+        record = CallRecord("c1", "alice@example.com", "bob@example.com", "start", 1.5)
+        decoded = CallRecord.decode(record.encode())
+        assert decoded == record
+
+    def test_decode_rejects_garbage(self):
+        for bad in (b"not a txn", b"TXN x", b"TXN action=start"):
+            with pytest.raises(ValueError):
+                CallRecord.decode(bad)
+
+    def test_default_time(self):
+        decoded = CallRecord.decode(b"TXN action=start call_id=c from=a to=b", default_time=9.0)
+        assert decoded.time == 9.0
+
+
+@pytest.fixture
+def billing_testbed() -> Testbed:
+    return Testbed(TestbedConfig(seed=7, with_billing=True))
+
+
+class TestBillingIntegration:
+    def test_benign_call_billed_to_caller(self, billing_testbed):
+        billing_testbed.register_all()
+        normal_call(billing_testbed, talk_seconds=0.5)
+        records = billing_testbed.billing_db.records
+        starts = [r for r in records if r.action == "start"]
+        assert len(starts) == 1
+        assert starts[0].from_aor == "alice@example.com"
+        assert starts[0].to_aor == "bob@example.com"
+
+    def test_records_queryable_per_user(self, billing_testbed):
+        billing_testbed.register_all()
+        normal_call(billing_testbed, talk_seconds=0.5)
+        assert billing_testbed.billing_db.records_for("alice@example.com")
+        assert not billing_testbed.billing_db.records_for("mallory@example.com")
+
+    def test_reinvite_not_double_billed(self, billing_testbed):
+        billing_testbed.register_all()
+        call = billing_testbed.phone_a.call("sip:bob@example.com")
+        billing_testbed.run_for(1.5)
+        starts = [r for r in billing_testbed.billing_db.records if r.action == "start"]
+        assert len(starts) == 1
+
+    def test_db_counts_decode_errors(self, billing_testbed):
+        sock = billing_testbed.stack_a.bind_ephemeral(lambda *args: None)
+        sock.send_to(billing_testbed.billing_db.endpoint, b"garbage line")
+        billing_testbed.run_for(0.5)
+        assert billing_testbed.billing_db.decode_errors == 1
+
+
+class TestVulnerableAttribution:
+    def test_single_from_billed_correctly(self, billing_testbed):
+        agent = billing_testbed.billing_agent
+        request = parse_message(
+            b"INVITE sip:bob@example.com SIP/2.0\r\n"
+            b"Via: SIP/2.0/UDP 10.0.0.10:5060;branch=z9hG4bK-1\r\n"
+            b"From: <sip:alice@example.com>;tag=a\r\n"
+            b"To: <sip:bob@example.com>\r\n"
+            b"Call-ID: c\r\nCSeq: 1 INVITE\r\nContent-Length: 0\r\n\r\n"
+        )
+        assert agent.billed_party(request) == "alice@example.com"
+
+    def test_duplicate_from_bills_the_last_one(self, billing_testbed):
+        agent = billing_testbed.billing_agent
+        request = parse_message(
+            b"INVITE sip:bob@example.com SIP/2.0\r\n"
+            b"Via: SIP/2.0/UDP 10.0.0.66:5060;branch=z9hG4bK-1\r\n"
+            b"From: <sip:mallory@example.com>;tag=m\r\n"
+            b"To: <sip:bob@example.com>\r\n"
+            b"Call-ID: c\r\nCSeq: 1 INVITE\r\n"
+            b"From: <sip:alice@example.com>;tag=v\r\n"
+            b"Content-Length: 0\r\n\r\n",
+            strict=False,  # only the lenient parser accepts this
+        )
+        assert agent.billed_party(request) == "alice@example.com"

@@ -1,0 +1,122 @@
+"""Tests for the §2.2 media-plane attacks (RTCP BYE forgery, SSRC spoof)
+and their detection via the RTCP/SSRC event generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import RtcpByeAttack, SsrcSpoofAttack
+from repro.core.engine import ScidiveEngine
+from repro.core.rules_library import (
+    RULE_RTCP_BYE_ORPHAN,
+    RULE_RTP_SOURCE,
+    RULE_SSRC_COLLISION,
+)
+from repro.voip.scenarios import normal_call
+from repro.voip.testbed import CLIENT_A_IP, Testbed
+
+
+@pytest.fixture
+def armed_call():
+    """Testbed + engine + established call, with both attack tools ready."""
+    testbed = Testbed()
+    engine = ScidiveEngine(vantage_ip=CLIENT_A_IP)
+    engine.attach(testbed.ids_tap)
+    rtcp_bye = RtcpByeAttack(testbed)
+    ssrc_spoof = SsrcSpoofAttack(testbed)
+    testbed.register_all()
+    call = testbed.phone_a.call("sip:bob@example.com")
+    testbed.run_for(1.5)
+    return testbed, engine, call, rtcp_bye, ssrc_spoof
+
+
+class TestRtcpByeAttack:
+    def test_victim_client_drops_the_talker(self, armed_call):
+        testbed, engine, call, attack, __ = armed_call
+        attack.launch_now()
+        testbed.run_for(0.5)
+        assert attack.report.completed
+        silenced = attack.report.details["silenced_ssrc"]
+        # A's client now believes B left (continued silence for the user).
+        assert silenced in call.rtp.terminated_ssrcs
+
+    def test_detected_by_rtcp_orphan_rule(self, armed_call):
+        testbed, engine, call, attack, __ = armed_call
+        t_attack = testbed.now()
+        attack.launch_now()
+        testbed.run_for(1.0)
+        alerts = engine.alerts_for_rule(RULE_RTCP_BYE_ORPHAN)
+        assert alerts and alerts[0].time >= t_attack
+
+    def test_spied_parameters_are_correct(self, armed_call):
+        testbed, engine, call, attack, __ = armed_call
+        attack.launch_now()
+        b_call = testbed.phone_b.calls[call.call_id]
+        assert attack.report.details["silenced_ssrc"] == b_call.rtp.sender.ssrc
+        assert attack.report.details["victim"].endswith(":40001")  # RTCP port
+
+    def test_benign_teardown_sends_bye_without_alarm(self):
+        # A legitimate hangup also emits RTCP BYEs — but the stream stops,
+        # so RTCP-001 must not fire.
+        testbed = Testbed()
+        engine = ScidiveEngine(vantage_ip=CLIENT_A_IP)
+        engine.attach(testbed.ids_tap)
+        testbed.register_all()
+        normal_call(testbed, talk_seconds=1.0)
+        assert engine.events_named("RtcpBye")  # the goodbye was observed
+        assert not engine.alerts_for_rule(RULE_RTCP_BYE_ORPHAN)
+        assert engine.alerts == []
+
+
+class TestSsrcSpoofAttack:
+    def test_injection_reaches_the_victim_stream(self, armed_call):
+        testbed, engine, call, __, attack = armed_call
+        attack.launch_now()
+        testbed.run_for(1.5)
+        assert attack.report.details["injected"] == 30
+        stream = call.rtp.primary_stream()
+        # Forged packets collide with genuine sequence numbers.
+        assert stream.duplicates + stream.reordered > 0
+
+    def test_detected_by_collision_and_source_rules(self, armed_call):
+        testbed, engine, call, __, attack = armed_call
+        attack.launch_now()
+        testbed.run_for(1.5)
+        assert engine.alerts_for_rule(RULE_SSRC_COLLISION)
+        assert engine.alerts_for_rule(RULE_RTP_SOURCE)
+
+    def test_impersonates_the_real_peer_ssrc(self, armed_call):
+        testbed, engine, call, __, attack = armed_call
+        attack.launch_now()
+        b_call = testbed.phone_b.calls[call.call_id]
+        assert attack.report.details["impersonated_ssrc"] == b_call.rtp.sender.ssrc
+
+    def test_collision_event_names_owner_and_intruder(self, armed_call):
+        testbed, engine, call, __, attack = armed_call
+        attack.launch_now()
+        testbed.run_for(1.0)
+        events = engine.events_named("SsrcCollision")
+        assert events
+        assert events[0].attrs["owner"] == "10.0.0.20:40000"
+        assert events[0].attrs["intruder"].startswith("10.0.0.66:")
+
+    def test_benign_call_no_collisions(self):
+        testbed = Testbed()
+        engine = ScidiveEngine(vantage_ip=CLIENT_A_IP)
+        engine.attach(testbed.ids_tap)
+        testbed.register_all()
+        normal_call(testbed, talk_seconds=2.0)
+        assert not engine.events_named("SsrcCollision")
+        assert engine.alerts == []
+
+    def test_fresh_sequence_variant_also_detected(self):
+        testbed = Testbed()
+        engine = ScidiveEngine(vantage_ip=CLIENT_A_IP)
+        engine.attach(testbed.ids_tap)
+        attack = SsrcSpoofAttack(testbed, continue_sequence=False)
+        testbed.register_all()
+        testbed.phone_a.call("sip:bob@example.com")
+        testbed.run_for(1.5)
+        attack.launch_now()
+        testbed.run_for(1.0)
+        assert engine.alerts_for_rule(RULE_SSRC_COLLISION)

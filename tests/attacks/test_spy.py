@@ -1,0 +1,93 @@
+"""Tests for the attacker's passive reconnaissance (DialogSpy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.base import AttackerAgent, DialogSpy
+from repro.net.addr import Endpoint
+from repro.voip.scenarios import normal_call
+from repro.voip.testbed import Testbed
+
+
+class TestDialogSpy:
+    def test_learns_dialog_from_cleartext(self, testbed):
+        spy = DialogSpy()
+        spy.attach(testbed.attacker_eye)
+        testbed.register_all()
+        call = testbed.phone_a.call("sip:bob@example.com")
+        testbed.run_for(1.5)
+        dialog = spy.dialogs[call.call_id]
+        assert dialog.complete
+        assert dialog.caller_addr().uri.user == "alice"
+        assert dialog.callee_addr().uri.user == "bob"
+        assert dialog.callee_addr().tag is not None
+        assert dialog.media["alice@example.com"].port == 40000
+        assert dialog.media["bob@example.com"].port == 40000
+
+    def test_contacts_learned(self, testbed):
+        spy = DialogSpy()
+        spy.attach(testbed.attacker_eye)
+        testbed.register_all()
+        call = testbed.phone_a.call("sip:bob@example.com")
+        testbed.run_for(1.5)
+        dialog = spy.dialogs[call.call_id]
+        assert dialog.caller_contact().host == "10.0.0.10"
+        assert dialog.callee_contact().host == "10.0.0.20"
+
+    def test_teardown_marks_dialog_dead(self, testbed):
+        spy = DialogSpy()
+        spy.attach(testbed.attacker_eye)
+        testbed.register_all()
+        normal_call(testbed, talk_seconds=0.5)
+        assert spy.live_dialogs() == []
+
+    def test_newest_live_dialog_prefers_latest(self, testbed):
+        spy = DialogSpy()
+        spy.attach(testbed.attacker_eye)
+        testbed.register_all()
+        normal_call(testbed, talk_seconds=0.5)  # completed call
+        live_call = testbed.phone_a.call("sip:bob@example.com")
+        testbed.run_for(1.5)
+        assert spy.newest_live_dialog().call_id == live_call.call_id
+
+    def test_highest_cseq_tracked(self, testbed):
+        spy = DialogSpy()
+        spy.attach(testbed.attacker_eye)
+        testbed.register_all()
+        testbed.phone_a.call("sip:bob@example.com")
+        testbed.run_for(1.5)
+        dialog = spy.newest_live_dialog()
+        assert dialog.highest_cseq >= 1
+
+
+class TestAttackerAgent:
+    def test_forge_targets_caller_contact(self, testbed):
+        agent = AttackerAgent(testbed.attacker_stack, testbed.loop, testbed.attacker_eye)
+        testbed.register_all()
+        testbed.phone_a.call("sip:bob@example.com")
+        testbed.run_for(1.5)
+        dialog = agent.spy.newest_live_dialog()
+        request, victim = agent.forge_in_dialog_request(dialog, "BYE")
+        assert victim == Endpoint.parse("10.0.0.10:5060")
+        assert request.from_addr.uri.user == "bob"  # impersonating B
+        assert request.to_addr.uri.user == "alice"
+        assert request.cseq.number > dialog.highest_cseq - 1
+        assert request.call_id == dialog.call_id
+
+    def test_forge_other_direction(self, testbed):
+        agent = AttackerAgent(testbed.attacker_stack, testbed.loop, testbed.attacker_eye)
+        testbed.register_all()
+        testbed.phone_a.call("sip:bob@example.com")
+        testbed.run_for(1.5)
+        dialog = agent.spy.newest_live_dialog()
+        request, victim = agent.forge_in_dialog_request(dialog, "BYE", impersonate_callee=False)
+        assert victim == Endpoint.parse("10.0.0.20:5060")
+        assert request.from_addr.uri.user == "alice"
+
+    def test_forge_without_recon_raises(self, testbed):
+        agent = AttackerAgent(testbed.attacker_stack, testbed.loop, testbed.attacker_eye)
+        from repro.attacks.base import SpiedDialog
+
+        with pytest.raises(RuntimeError):
+            agent.forge_in_dialog_request(SpiedDialog(call_id="x"), "BYE")

@@ -1,0 +1,33 @@
+"""Shared fixtures for the SCIDIVE reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import ScidiveEngine
+from repro.sim.eventloop import EventLoop
+from repro.voip.testbed import CLIENT_A_IP, Testbed, TestbedConfig
+
+
+@pytest.fixture
+def loop() -> EventLoop:
+    return EventLoop()
+
+
+@pytest.fixture
+def testbed() -> Testbed:
+    """Default testbed (no auth, no billing)."""
+    return Testbed(TestbedConfig(seed=7))
+
+
+@pytest.fixture
+def auth_testbed() -> Testbed:
+    return Testbed(TestbedConfig(seed=7, require_auth=True))
+
+
+@pytest.fixture
+def engine_at_a(testbed: Testbed) -> ScidiveEngine:
+    """A SCIDIVE engine attached at client A's vantage, online."""
+    engine = ScidiveEngine(vantage_ip=CLIENT_A_IP)
+    engine.attach(testbed.ids_tap)
+    return engine

@@ -1,0 +1,93 @@
+"""Direct unit tests for alerts, severities, constants and misc helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.alerts import Alert, AlertLog, Severity
+from repro.core.events import Event
+from repro.sip.constants import reason_phrase
+
+
+def _alert(rule_id: str, session: str = "s1", t: float = 1.0) -> Alert:
+    return Alert(
+        rule_id=rule_id, rule_name=rule_id, time=t, session=session,
+        severity=Severity.MEDIUM, attack_class="x", message="m",
+    )
+
+
+class TestAlertLog:
+    def test_by_rule(self):
+        log = AlertLog()
+        log.emit(_alert("A"))
+        log.emit(_alert("B"))
+        log.emit(_alert("A", t=2.0))
+        assert [a.time for a in log.by_rule("A")] == [1.0, 2.0]
+
+    def test_sessions(self):
+        log = AlertLog()
+        log.emit(_alert("A", session="s1"))
+        log.emit(_alert("A", session="s2"))
+        assert log.sessions() == {"s1", "s2"}
+
+    def test_len_iter_clear(self):
+        log = AlertLog()
+        log.emit(_alert("A"))
+        assert len(log) == 1
+        assert list(log)[0].rule_id == "A"
+        log.clear()
+        assert len(log) == 0
+
+    def test_str_rendering(self):
+        text = str(_alert("RULE-9"))
+        assert "RULE-9" in text and "MEDIUM" in text
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.LOW < Severity.MEDIUM < Severity.HIGH < Severity.CRITICAL
+
+    def test_names_stable(self):
+        assert Severity.CRITICAL.name == "CRITICAL"
+
+
+class TestEventStr:
+    def test_renders_session_and_attrs(self):
+        event = Event(name="Thing", time=1.25, session="abc", attrs={"k": 1})
+        text = str(event)
+        assert "Thing" in text and "abc" in text and "k" in text
+
+    def test_empty_session_placeholder(self):
+        assert "-" in str(Event(name="X", time=0.0, session=""))
+
+
+class TestReasonPhrase:
+    def test_known_codes(self):
+        assert reason_phrase(200) == "OK"
+        assert reason_phrase(404) == "Not Found"
+        assert reason_phrase(487) == "Request Terminated"
+
+    def test_unknown_code_falls_back_to_class(self):
+        assert reason_phrase(299) == "Success"
+        assert reason_phrase(499) == "Client Error"
+        assert reason_phrase(699) == "Global Failure"
+
+    def test_truly_unknown(self):
+        assert reason_phrase(999) == "Unknown"
+
+
+class TestH323ReleaseWhileRinging:
+    def test_release_during_ringing_cancels_answer(self):
+        from repro.h323.endpoint import H323CallState
+        from repro.h323.testbed import H323Testbed, H323TestbedConfig
+
+        testbed = H323Testbed(H323TestbedConfig(seed=7, answer_delay=2.0))
+        testbed.register_all()
+        call = testbed.terminal_a.call("bob")
+        testbed.run_for(0.5)  # B is ringing, not yet connected
+        testbed.terminal_a.release(call)
+        testbed.run_for(3.0)  # past B's answer delay
+        b_call = list(testbed.terminal_b.calls.values())[0]
+        assert b_call.state == H323CallState.RELEASED
+        # B never started media toward a dead call.
+        assert b_call.rtp.sender.packets_sent == 0

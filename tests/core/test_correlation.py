@@ -1,0 +1,116 @@
+"""Tests for cooperative multi-detector correlation (§3.3 / future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import FakeImAttack
+from repro.core.correlation import RULE_SPOOFED_IM, CorrelationHub
+from repro.core.engine import ScidiveEngine
+from repro.core.rules_library import RULE_FAKE_IM
+from repro.voip.scenarios import im_exchange
+from repro.voip.testbed import CLIENT_A_IP, CLIENT_B_IP, Testbed
+
+
+def _cooperating_pair(testbed: Testbed) -> tuple[ScidiveEngine, ScidiveEngine, CorrelationHub]:
+    # Host-based deployment: each detector knows its own host's MAC, so
+    # IP-spoofed frames from elsewhere on the hub don't count as outbound.
+    ids_a = ScidiveEngine(
+        vantage_ip=CLIENT_A_IP, name="ids-a", vantage_mac=testbed.stack_a.iface.mac
+    )
+    ids_b = ScidiveEngine(
+        vantage_ip=CLIENT_B_IP, name="ids-b", vantage_mac=testbed.stack_b.iface.mac
+    )
+    ids_a.attach(testbed.ids_tap)
+    ids_b.attach(testbed.ids_tap)  # same hub: both see all frames
+    hub = CorrelationHub(home_of={"bob@example.com": "ids-b", "alice@example.com": "ids-a"})
+    hub.register(ids_a)
+    hub.register(ids_b)
+    return ids_a, ids_b, hub
+
+
+class TestCorrelationHub:
+    def test_legit_messages_matched_no_alert(self):
+        testbed = Testbed()
+        ids_a, ids_b, hub = _cooperating_pair(testbed)
+        testbed.register_all()
+        im_exchange(testbed, ["hello", "still there?"])
+        testbed.run_for(3.0)
+        hub.finalize(testbed.now())
+        assert hub.alerts == []
+
+    def test_spoofed_im_caught_only_by_cooperation(self):
+        """The paper's admitted gap: source-IP spoofing defeats the
+        single-endpoint rule; two cooperating detectors still catch it."""
+        testbed = Testbed()
+        ids_a, ids_b, hub = _cooperating_pair(testbed)
+        attack = FakeImAttack(testbed, spoof_source=True)
+        testbed.register_all()
+        im_exchange(testbed, ["legit one"])  # establish B's identity path
+        attack.launch_now()
+        testbed.run_for(3.0)
+        hub.finalize(testbed.now())
+        # Cooperative rule fires...
+        assert [a.rule_id for a in hub.alerts] == [RULE_SPOOFED_IM]
+        assert "ids-b never saw it sent" in hub.alerts[0].message
+
+    def test_spoofed_im_evades_single_endpoint_rule(self):
+        testbed = Testbed()
+        engine = ScidiveEngine(vantage_ip=CLIENT_A_IP)
+        engine.attach(testbed.ids_tap)
+        attack = FakeImAttack(testbed, spoof_source=True)
+        testbed.register_all()
+        # Legit messages come via the proxy; but the spoofed attack claims
+        # B's own IP as source, and B never sent directly before, so the
+        # per-sender-IP rule sees a "new" consistent... the message source
+        # differs from the proxy path => the rule *may* fire.  The paper's
+        # claim is about spoofing the *established* path; establish B's
+        # direct path knowledge first by spoofing twice.
+        attack.launch_now()
+        testbed.run_for(1.0)
+        first_alerts = len(engine.alerts_for_rule(RULE_FAKE_IM))
+        attack.launch_now()
+        testbed.run_for(1.0)
+        # Once the forged source matches the previously seen (also forged)
+        # source, the single-endpoint rule is blind.
+        assert len(engine.alerts_for_rule(RULE_FAKE_IM)) == first_alerts
+
+    def test_unknown_sender_ignored(self):
+        testbed = Testbed()
+        ids_a, ids_b, hub = _cooperating_pair(testbed)
+        hub.home_of.pop("bob@example.com")
+        attack = FakeImAttack(testbed, spoof_source=True)
+        testbed.register_all()
+        attack.launch_now()
+        testbed.run_for(3.0)
+        hub.finalize(testbed.now())
+        assert hub.alerts == []  # nobody guards bob: no cooperative verdict
+
+    def test_pending_receipt_waits_for_window(self):
+        testbed = Testbed()
+        ids_a, ids_b, hub = _cooperating_pair(testbed)
+        attack = FakeImAttack(testbed, spoof_source=True)
+        testbed.register_all()
+        attack.launch_now()
+        testbed.run_for(0.5)
+        # Window (2s) not yet expired: no verdict yet.
+        hub.finalize(testbed.now())
+        assert hub.alerts == []
+        testbed.run_for(3.0)
+        hub.finalize(testbed.now())
+        assert len(hub.alerts) == 1
+
+    def test_duplicate_detector_name_rejected(self):
+        hub = CorrelationHub(home_of={})
+        engine = ScidiveEngine(name="dup")
+        hub.register(engine)
+        with pytest.raises(ValueError):
+            hub.register(ScidiveEngine(name="dup"))
+
+    def test_event_stream_labelled(self):
+        testbed = Testbed()
+        ids_a, ids_b, hub = _cooperating_pair(testbed)
+        testbed.register_all()
+        im_exchange(testbed, ["x"])
+        detectors = {le.detector for le in hub.events}
+        assert "ids-a" in detectors and "ids-b" in detectors

@@ -1,0 +1,42 @@
+"""Tests for the detection-delay distribution quantiles (§4.3.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import analysis
+from repro.sim.distributions import Constant, Exponential, Uniform
+
+
+class TestDelayQuantiles:
+    def test_median_matches_expectation_for_symmetric_model(self):
+        g = Uniform(0.0, 0.020)
+        n = Constant(0.002)  # identical delays cancel: D = 20ms - G
+        quantiles = analysis.detection_delay_quantiles(n, g, n, samples=50_000, seed=1)
+        # D ~ Uniform(0, 20ms): median 10 ms, 5% ≈ 1 ms, 95% ≈ 19 ms.
+        assert quantiles[0.5] == pytest.approx(0.010, abs=0.0005)
+        assert quantiles[0.05] == pytest.approx(0.001, abs=0.0005)
+        assert quantiles[0.95] == pytest.approx(0.019, abs=0.0005)
+
+    def test_quantiles_monotone(self):
+        g = Uniform(0.0, 0.020)
+        n = Exponential(scale=0.004)
+        quantiles = analysis.detection_delay_quantiles(n, g, n, samples=20_000)
+        values = [quantiles[q] for q in sorted(quantiles)]
+        assert values == sorted(values)
+
+    def test_negative_tail_is_the_race_mass(self):
+        # With heavy jitter the RTP packet sometimes beats the SIP message:
+        # D < 0 with the same probability P_f reasons about.
+        g = Constant(0.0)  # SIP sent immediately after the last packet
+        n = Exponential(scale=0.040)
+        quantiles = analysis.detection_delay_quantiles(
+            n, g, n, quantiles=(0.05, 0.5), samples=30_000, seed=2
+        )
+        assert quantiles[0.05] < 0.0  # a real negative tail exists
+
+    def test_invalid_quantile_rejected(self):
+        g = Uniform(0.0, 0.020)
+        n = Constant(0.002)
+        with pytest.raises(ValueError):
+            analysis.detection_delay_quantiles(n, g, n, quantiles=(1.5,), samples=100)

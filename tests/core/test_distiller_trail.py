@@ -1,0 +1,229 @@
+"""Unit tests for the Distiller and the Trail manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.distiller import Distiller
+from repro.core.footprint import (
+    AccountingFootprint,
+    MalformedFootprint,
+    Protocol,
+    RtcpFootprint,
+    RtpFootprint,
+    SipFootprint,
+)
+from repro.core.trail import TrailManager
+from repro.net.addr import Endpoint, IPv4Address, MacAddress
+from repro.net.fragmentation import fragment
+from repro.net.packet import (
+    EthernetFrame,
+    ETHERTYPE_IPV4,
+    IPPROTO_UDP,
+    IPv4Packet,
+    UdpDatagram,
+    build_udp_frame,
+)
+from repro.rtp.packet import RtpPacket
+from repro.rtp.rtcp import Bye
+
+SRC_MAC = MacAddress("02:00:00:00:00:01")
+DST_MAC = MacAddress("02:00:00:00:00:02")
+A = IPv4Address.parse("10.0.0.10")
+B = IPv4Address.parse("10.0.0.20")
+
+SIP_INVITE = (
+    b"INVITE sip:bob@example.com SIP/2.0\r\n"
+    b"Via: SIP/2.0/UDP 10.0.0.10:5060;branch=z9hG4bK-1\r\n"
+    b"From: <sip:alice@example.com>;tag=a1\r\n"
+    b"To: <sip:bob@example.com>\r\n"
+    b"Call-ID: call-7\r\n"
+    b"CSeq: 1 INVITE\r\n"
+    b"Contact: <sip:alice@10.0.0.10:5060>\r\n"
+    b"Content-Type: application/sdp\r\n"
+    b"Content-Length: %d\r\n"
+    b"\r\n"
+)
+SDP_BODY = (
+    b"v=0\r\no=alice 1 1 IN IP4 10.0.0.10\r\ns=-\r\nc=IN IP4 10.0.0.10\r\n"
+    b"t=0 0\r\nm=audio 40000 RTP/AVP 0\r\n"
+)
+
+
+def sip_frame(payload: bytes | None = None, src_port=5060, dst_port=5060) -> bytes:
+    if payload is None:
+        payload = SIP_INVITE % len(SDP_BODY) + SDP_BODY
+    return build_udp_frame(SRC_MAC, DST_MAC, A, B, src_port, dst_port, payload)
+
+
+def rtp_frame(seq: int = 1, src=B, dst=A, src_port=40000, dst_port=40000, ssrc=5) -> bytes:
+    packet = RtpPacket(payload_type=0, sequence=seq, timestamp=seq * 160, ssrc=ssrc, payload=b"x" * 160)
+    return build_udp_frame(SRC_MAC, DST_MAC, src, dst, src_port, dst_port, packet.encode())
+
+
+class TestDistiller:
+    def test_sip_footprint(self):
+        distiller = Distiller()
+        fp = distiller.distill(sip_frame(), 1.0)
+        assert isinstance(fp, SipFootprint)
+        assert fp.method == "INVITE"
+        assert fp.call_id() == "call-7"
+        assert fp.src == Endpoint(A, 5060)
+        assert fp.timestamp == 1.0
+
+    def test_rtp_footprint(self):
+        fp = Distiller().distill(rtp_frame(seq=9), 2.0)
+        assert isinstance(fp, RtpFootprint)
+        assert fp.sequence == 9
+        assert fp.ssrc == 5
+        assert fp.payload_len == 160
+
+    def test_rtcp_footprint(self):
+        payload = Bye(ssrcs=(1,)).encode()
+        frame = build_udp_frame(SRC_MAC, DST_MAC, B, A, 40001, 40001, payload)
+        fp = Distiller().distill(frame, 0.0)
+        assert isinstance(fp, RtcpFootprint)
+        assert fp.has_bye
+
+    def test_malformed_sip(self):
+        bad = SIP_INVITE % 0 + b""
+        bad = bad.replace(b"CSeq: 1 INVITE", b"CSeq: 1 INVITE\r\nFrom: <sip:victim@example.com>;tag=v")
+        fp = Distiller().distill(sip_frame(payload=bad), 0.0)
+        assert isinstance(fp, MalformedFootprint)
+        assert fp.claimed_protocol == Protocol.SIP
+        assert "From" in fp.reason
+
+    def test_garbage_on_media_port_is_malformed_rtp(self):
+        frame = build_udp_frame(SRC_MAC, DST_MAC, B, A, 33333, 40000, b"\x00" * 50)
+        fp = Distiller().distill(frame, 0.0)
+        assert isinstance(fp, MalformedFootprint)
+        assert fp.claimed_protocol == Protocol.RTP
+
+    def test_accounting_footprint(self):
+        payload = b"TXN action=start call_id=c9 from=alice@example.com to=bob@example.com ts=1.5"
+        frame = build_udp_frame(SRC_MAC, DST_MAC, A, B, 9091, 9090, payload)
+        fp = Distiller().distill(frame, 0.0)
+        assert isinstance(fp, AccountingFootprint)
+        assert fp.call_id == "c9"
+        assert fp.from_aor == "alice@example.com"
+        assert fp.action == "start"
+
+    def test_bad_accounting_line_malformed(self):
+        frame = build_udp_frame(SRC_MAC, DST_MAC, A, B, 9091, 9090, b"TXN nonsense")
+        fp = Distiller().distill(frame, 0.0)
+        assert isinstance(fp, MalformedFootprint)
+        assert fp.claimed_protocol == Protocol.ACCOUNTING
+
+    def test_fragmented_sip_reassembled(self):
+        payload = SIP_INVITE % len(SDP_BODY) + SDP_BODY
+        udp = UdpDatagram(5060, 5060, payload).encode(A, B)
+        packet = IPv4Packet(A, B, IPPROTO_UDP, udp, identification=44)
+        distiller = Distiller()
+        footprints = []
+        for frag in fragment(packet, mtu=200):
+            frame = EthernetFrame(DST_MAC, SRC_MAC, ETHERTYPE_IPV4, frag.encode()).encode()
+            fp = distiller.distill(frame, 0.0)
+            if fp is not None:
+                footprints.append(fp)
+        assert len(footprints) == 1
+        assert isinstance(footprints[0], SipFootprint)
+        assert distiller.stats.fragments_held > 0
+
+    def test_non_voip_traffic_ignored(self):
+        frame = build_udp_frame(SRC_MAC, DST_MAC, A, B, 1111, 2222, b"dns-ish")
+        assert Distiller().distill(frame, 0.0) is None
+
+    def test_non_ip_ignored(self):
+        frame = EthernetFrame(DST_MAC, SRC_MAC, 0x0806, b"arp").encode()
+        distiller = Distiller()
+        assert distiller.distill(frame, 0.0) is None
+        assert distiller.stats.non_ip == 1
+
+    def test_stats_counted(self):
+        distiller = Distiller()
+        distiller.distill(sip_frame(), 0.0)
+        distiller.distill(rtp_frame(), 0.1)
+        assert distiller.stats.frames == 2
+        assert distiller.stats.footprints == 2
+
+
+class TestTrailManager:
+    def _distill(self, frames: list[tuple[bytes, float]]):
+        distiller = Distiller()
+        manager = TrailManager()
+        trails = []
+        for frame, t in frames:
+            fp = distiller.distill(frame, t)
+            if fp is not None:
+                trails.append(manager.push(fp))
+        return manager, trails
+
+    def test_sip_keyed_by_call_id(self):
+        manager, trails = self._distill([(sip_frame(), 0.0), (sip_frame(), 0.1)])
+        assert manager.trail_count == 1
+        assert len(trails[0]) == 2
+        assert trails[0].key == ("sip", "call-7")
+
+    def test_rtp_keyed_by_flow(self):
+        manager, __ = self._distill([
+            (rtp_frame(seq=1), 0.0),
+            (rtp_frame(seq=2), 0.02),
+            (rtp_frame(seq=1, src=A, dst=B), 0.03),  # reverse direction
+        ])
+        rtp_trails = [t for t in manager.trails.values() if t.protocol == Protocol.RTP]
+        assert len(rtp_trails) == 2
+
+    def test_sdp_links_rtp_trail_to_session(self):
+        manager, __ = self._distill([
+            (sip_frame(), 0.0),  # carries SDP: alice media = 10.0.0.10:40000
+            (rtp_frame(seq=1, src=B, dst=A, dst_port=40000), 0.1),
+        ])
+        session = manager.session_for("call-7")
+        assert session is not None
+        protocols = {t.protocol for t in session.trails}
+        assert Protocol.SIP in protocols
+        assert Protocol.RTP in protocols
+        rtp_trail = session.trail_for(Protocol.RTP)
+        assert rtp_trail.call_id == "call-7"
+
+    def test_media_owner_lookup(self):
+        manager, __ = self._distill([(sip_frame(), 0.0)])
+        assert manager.media_owner(Endpoint(A, 40000)) == "call-7"
+        assert manager.media_owner(Endpoint(A, 49998)) is None
+
+    def test_rtcp_port_normalised_to_rtp_session(self):
+        payload = Bye(ssrcs=(1,)).encode()
+        rtcp = build_udp_frame(SRC_MAC, DST_MAC, B, A, 40001, 40001, payload)
+        manager, __ = self._distill([(sip_frame(), 0.0), (rtcp, 0.1)])
+        session = manager.session_for("call-7")
+        assert session.trail_for(Protocol.RTCP) is not None
+
+    def test_accounting_attached_by_call_id(self):
+        txn = build_udp_frame(
+            SRC_MAC, DST_MAC, A, B, 9091, 9090,
+            b"TXN action=start call_id=call-7 from=alice@example.com to=bob@example.com",
+        )
+        manager, __ = self._distill([(sip_frame(), 0.0), (txn, 0.5)])
+        session = manager.session_for("call-7")
+        assert session.trail_for(Protocol.ACCOUNTING) is not None
+
+    def test_media_endpoints_recorded_per_party(self):
+        manager, __ = self._distill([(sip_frame(), 0.0)])
+        session = manager.session_for("call-7")
+        assert session.media_endpoints["alice@example.com"] == Endpoint(A, 40000)
+
+    def test_trail_eviction_bounds_memory(self):
+        manager = TrailManager(max_trail_length=10)
+        distiller = Distiller()
+        for i in range(50):
+            fp = distiller.distill(rtp_frame(seq=i), i * 0.02)
+            trail = manager.push(fp)
+        assert len(trail) <= 10
+        assert trail.evicted > 0
+
+    def test_trail_timestamps(self):
+        manager, trails = self._distill([(sip_frame(), 1.0), (sip_frame(), 2.0)])
+        trail = trails[0]
+        assert trail.first_seen == 1.0
+        assert trail.last_seen == 2.0
+        assert trail.last is trail.footprints[-1]

@@ -1,0 +1,94 @@
+"""Tests for alert export (JSON lines) and the CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.alerts import Alert, Severity
+from repro.core.events import Event
+from repro.core.export import (
+    alert_to_dict,
+    event_to_dict,
+    read_alerts_jsonl,
+    write_alerts_jsonl,
+)
+
+
+def _alert(rule_id="R1", t=1.5) -> Alert:
+    event = Event(name="Boom", time=t, session="s1",
+                  attrs={"endpoint": "10.0.0.1:40000", "count": 3, "things": ["a", "b"]})
+    return Alert(
+        rule_id=rule_id, rule_name="rule", time=t, session="s1",
+        severity=Severity.HIGH, attack_class="dos", message="msg", events=(event,),
+    )
+
+
+class TestExport:
+    def test_alert_round_trips_through_json(self, tmp_path):
+        path = tmp_path / "alerts.jsonl"
+        assert write_alerts_jsonl(path, [_alert(), _alert("R2", 2.5)]) == 2
+        loaded = read_alerts_jsonl(path)
+        assert [a["rule_id"] for a in loaded] == ["R1", "R2"]
+        assert loaded[0]["severity"] == "HIGH"
+        assert loaded[0]["events"][0]["name"] == "Boom"
+
+    def test_non_json_attrs_coerced(self):
+        from repro.net.addr import Endpoint
+
+        event = Event(name="X", time=0.0, session="",
+                      attrs={"ep": Endpoint.parse("10.0.0.1:5060")})
+        data = event_to_dict(event)
+        json.dumps(data)  # must not raise
+        assert data["attrs"]["ep"] == "10.0.0.1:5060"
+
+    def test_alert_dict_is_json_serialisable(self):
+        json.dumps(alert_to_dict(_alert()))
+
+    def test_empty_export(self, tmp_path):
+        path = tmp_path / "none.jsonl"
+        assert write_alerts_jsonl(path, []) == 0
+        assert read_alerts_jsonl(path) == []
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "bye-attack" in out
+        assert "benign-call" in out
+
+    def test_unknown_scenario(self, capsys):
+        assert main(["scenario", "nope"]) == 2
+
+    def test_benign_scenario_runs_clean(self, capsys):
+        assert main(["scenario", "benign-call"]) == 0
+        out = capsys.readouterr().out
+        assert "no alerts" in out
+
+    def test_attack_scenario_with_exports(self, tmp_path, capsys):
+        pcap = tmp_path / "run.pcap"
+        jsonl = tmp_path / "alerts.jsonl"
+        assert main([
+            "scenario", "bye-attack", "--pcap", str(pcap), "--json", str(jsonl)
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "BYE-001" in out
+        assert pcap.exists()
+        loaded = read_alerts_jsonl(jsonl)
+        assert loaded and loaded[0]["rule_id"] == "BYE-001"
+
+    def test_replay_roundtrip(self, tmp_path, capsys):
+        pcap = tmp_path / "run.pcap"
+        assert main(["scenario", "bye-attack", "--pcap", str(pcap)]) == 0
+        capsys.readouterr()
+        assert main(["replay", str(pcap), "--vantage", "10.0.0.10"]) == 0
+        out = capsys.readouterr().out
+        assert "BYE-001" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "BYE attack" in out and "DETECTED" in out

@@ -1,0 +1,119 @@
+"""Tests for registrar-aware IM mobility (§3.2's mobility specialisation).
+
+"The third event is specialized to take mobility into account, which
+will be indicated by ... an update of state at the SIP Registrar" — an
+IM source-IP change preceded by the sender's re-registration from the
+new address is legitimate; the same change without it is a forgery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import ScidiveEngine
+from repro.core.rules_library import RULE_FAKE_IM
+from repro.net.addr import Endpoint
+from repro.sip.headers import NameAddr, Via
+from repro.sip.message import SipRequest
+from repro.sip.uri import SipUri
+from repro.voip.phone import Softphone
+from repro.voip.scenarios import im_exchange
+from repro.voip.testbed import CLIENT_A_IP, CLIENT_C_IP, Testbed, TestbedConfig
+
+
+def _bob_moves_to_c(testbed: Testbed) -> Softphone:
+    """Bob's softphone comes up on client C and re-registers.
+
+    The cell phone is configured without an outbound proxy so its
+    messages reach A *directly* — the source-IP change the mobility
+    rule must reconcile with the registrar update.
+    """
+    phone = Softphone(
+        testbed.stack_c,
+        testbed.loop,
+        aor="sip:bob@example.com",
+        password="builder",
+        proxy=None,
+        display_name="Bob (cell)",
+        tone_hz=660.0,
+    )
+    # REGISTER still goes to the registrar, addressed explicitly.
+    phone.ua.config.proxy = testbed.proxy_endpoint
+    phone.register()
+    testbed.run_for(0.5)
+    phone.ua.config.proxy = None
+    return phone
+
+
+@pytest.fixture
+def mobile_testbed():
+    testbed = Testbed(TestbedConfig(seed=7, with_cell_phone=True))
+    engine = ScidiveEngine(vantage_ip=CLIENT_A_IP)
+    engine.attach(testbed.ids_tap)
+    testbed.register_all()
+    return testbed, engine
+
+
+class TestImMobility:
+    def test_reregistered_move_is_legitimate(self, mobile_testbed):
+        testbed, engine = mobile_testbed
+        im_exchange(testbed, ["from my desk"])
+        bob_cell = _bob_moves_to_c(testbed)  # registrar updated
+        # Direct to A's address: source IP = client C, not the proxy.
+        bob_cell.send_message(f"sip:alice@{testbed.stack_a.ip}:5060", "now from my cell")
+        testbed.run_for(1.0)
+        # Both messages arrived; no fake-IM alarm despite the IP change.
+        assert len(testbed.phone_a.messages) == 2
+        assert engine.alerts_for_rule(RULE_FAKE_IM) == []
+
+    def test_move_without_reregistration_still_alarms(self, mobile_testbed):
+        testbed, engine = mobile_testbed
+        im_exchange(testbed, ["from my desk"])
+        # A message claiming bob appears from client C *without* any
+        # registrar update: indistinguishable from a forgery.
+        request = SipRequest(
+            method="MESSAGE", uri=SipUri(user="alice", host=str(testbed.stack_a.ip), port=5060)
+        )
+        via = Via("UDP", CLIENT_C_IP, 5060, params=(("branch", "z9hG4bK-m1"),))
+        request.headers.add("Via", str(via))
+        request.headers.add("Max-Forwards", "70")
+        request.headers.add("From", str(NameAddr(uri=SipUri.parse("sip:bob@example.com")).with_tag("x")))
+        request.headers.add("To", "<sip:alice@example.com>")
+        request.headers.add("Call-ID", "stealth-move")
+        request.headers.add("CSeq", "1 MESSAGE")
+        request._set_body(b"hi", "text/plain")
+        sock = testbed.stack_c.bind(5061, lambda *args: None)
+        sock.send_to(Endpoint(testbed.stack_a.ip, 5060), request.encode())
+        testbed.run_for(1.0)
+        assert len(engine.alerts_for_rule(RULE_FAKE_IM)) == 1
+
+    def test_stale_reregistration_does_not_whitelist_forever(self, mobile_testbed):
+        testbed, engine = mobile_testbed
+        # The registration legitimiser has a window; a move registered
+        # long ago no longer covers a sudden source change back and forth.
+        from repro.core.event_generators import ImSourceGenerator
+
+        generators = [
+            g for g in engine.generators if not isinstance(g, ImSourceGenerator)
+        ]
+        generators.append(ImSourceGenerator(reregistration_window=0.1))
+        engine.generators = generators
+        im_exchange(testbed, ["from my desk"])
+        __ = _bob_moves_to_c(testbed)
+        testbed.run_for(5.0)  # registration now stale w.r.t. tiny window
+        # A message "from bob" at C's address after the window: the
+        # stale registration no longer legitimises the source change.
+        request = SipRequest(
+            method="MESSAGE", uri=SipUri(user="alice", host=str(testbed.stack_a.ip), port=5060)
+        )
+        request.headers.add("Via", str(Via("UDP", CLIENT_C_IP, 5063, params=(("branch", "z9hG4bK-m2"),))))
+        request.headers.add("Max-Forwards", "70")
+        request.headers.add("From", str(NameAddr(uri=SipUri.parse("sip:bob@example.com")).with_tag("y")))
+        request.headers.add("To", "<sip:alice@example.com>")
+        request.headers.add("Call-ID", "late-move")
+        request.headers.add("CSeq", "1 MESSAGE")
+        request._set_body(b"hello again", "text/plain")
+        sock = testbed.stack_c.bind(5063, lambda *args: None)
+        sock.send_to(Endpoint(testbed.stack_a.ip, 5060), request.encode())
+        testbed.run_for(1.0)
+        assert len(engine.alerts_for_rule(RULE_FAKE_IM)) == 1

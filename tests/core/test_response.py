@@ -1,0 +1,131 @@
+"""Tests for the active-response subsystem (alert → firewall block)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import RegisterDosAttack, RtpAttack
+from repro.core.engine import ScidiveEngine
+from repro.core.response import Action, Firewall, ResponseEngine, ResponsePolicy
+from repro.core.rules_library import RULE_REGISTER_DOS, RULE_RTP_MALFORMED, RULE_RTP_SOURCE
+from repro.voip.scenarios import normal_call
+from repro.voip.testbed import ATTACKER_IP, PROXY_IP, Testbed, TestbedConfig
+
+
+def _ips_testbed(policy: ResponsePolicy, require_auth=False):
+    testbed = Testbed(TestbedConfig(seed=7, require_auth=require_auth))
+    engine = ScidiveEngine()  # network-wide vantage for enforcement
+    engine.attach(testbed.ids_tap)
+    firewall = Firewall(testbed.hub)
+    responder = ResponseEngine(engine, firewall, policy)
+    return testbed, engine, firewall, responder
+
+
+class TestFirewall:
+    def test_blocks_by_source_ip(self, testbed):
+        firewall = Firewall(testbed.hub)
+        testbed.register_all()
+        firewall.block(ATTACKER_IP)
+        before = testbed.hub.frames_filtered
+        sock = testbed.attacker_stack.bind_ephemeral(lambda *args: None)
+        from repro.net.addr import Endpoint
+
+        sock.send_to(Endpoint.parse(f"{PROXY_IP}:5060"), b"anything")
+        testbed.run_for(0.5)
+        assert testbed.hub.frames_filtered == before + 1
+
+    def test_unblock_restores(self, testbed):
+        firewall = Firewall(testbed.hub)
+        firewall.block(ATTACKER_IP)
+        firewall.unblock(ATTACKER_IP)
+        assert not firewall.is_blocked(ATTACKER_IP)
+
+    def test_other_traffic_unaffected(self, testbed):
+        firewall = Firewall(testbed.hub)
+        firewall.block(ATTACKER_IP)
+        testbed.register_all()
+        outcome = normal_call(testbed, talk_seconds=0.5)
+        assert outcome.caller_leg.state.value == "ended"  # call worked fine
+
+
+class TestResponseEngine:
+    def test_dos_flood_blocked_at_source(self):
+        policy = ResponsePolicy(
+            actions={RULE_REGISTER_DOS: Action.BLOCK_SOURCE},
+            protected_ips=frozenset({PROXY_IP, "10.0.0.10", "10.0.0.20"}),
+        )
+        testbed, engine, firewall, responder = _ips_testbed(policy, require_auth=True)
+        attack = RegisterDosAttack(testbed, requests=30, interval=0.1)
+        testbed.register_all()
+        attack.launch_now()
+        testbed.run_for(5.0)
+        # The flood triggered DOS-001 and the source got blocked...
+        assert responder.blocks_applied >= 1
+        assert firewall.is_blocked(ATTACKER_IP)
+        # ...which actually stopped the flood reaching the registrar:
+        # fewer requests got through than were sent.
+        assert testbed.hub.frames_filtered > 0
+        # Legit users unharmed after the block.
+        results = []
+        testbed.phone_a.register(on_result=results.append)
+        testbed.run_for(1.0)
+        assert results and results[0].success
+
+    def test_rtp_attack_blocked(self):
+        policy = ResponsePolicy(
+            actions={
+                RULE_RTP_SOURCE: Action.BLOCK_SOURCE,
+                RULE_RTP_MALFORMED: Action.BLOCK_SOURCE,
+            },
+        )
+        testbed, engine, firewall, responder = _ips_testbed(policy)
+        attack = RtpAttack(testbed, packets=100, interval=0.02)
+        testbed.register_all()
+        testbed.phone_a.call("sip:bob@example.com")
+        testbed.run_for(1.5)
+        attack.launch_now()
+        testbed.run_for(3.0)
+        assert firewall.is_blocked(ATTACKER_IP)
+        # Most of the 100-packet barrage never reached the victim.
+        assert testbed.hub.frames_filtered > 50
+
+    def test_log_only_default(self):
+        policy = ResponsePolicy()  # everything defaults to LOG_ONLY
+        testbed, engine, firewall, responder = _ips_testbed(policy, require_auth=True)
+        attack = RegisterDosAttack(testbed, requests=10, interval=0.1)
+        testbed.register_all()
+        attack.launch_now()
+        testbed.run_for(3.0)
+        assert responder.records  # alerts were seen...
+        assert not firewall.blocked  # ...but nothing was blocked
+
+    def test_protected_ip_never_blocked(self):
+        # A policy blocking on BYE-001 whose evidence points at client B
+        # (the orphan stream's source) must be stopped by the whitelist.
+        from repro.attacks import ByeAttack
+        from repro.core.rules_library import RULE_BYE_ATTACK
+
+        policy = ResponsePolicy(
+            actions={RULE_BYE_ATTACK: Action.BLOCK_SOURCE},
+            protected_ips=frozenset({"10.0.0.10", "10.0.0.20", PROXY_IP}),
+        )
+        testbed, engine, firewall, responder = _ips_testbed(policy)
+        attack = ByeAttack(testbed)
+        testbed.register_all()
+        testbed.phone_a.call("sip:bob@example.com")
+        testbed.run_for(1.5)
+        attack.launch_now()
+        testbed.run_for(2.0)
+        refused = [r for r in responder.records if not r.applied]
+        assert refused and refused[0].reason == "protected address"
+        assert not firewall.blocked  # B was NOT blocked for B's own stream
+
+    def test_records_capture_targets(self):
+        policy = ResponsePolicy(actions={RULE_REGISTER_DOS: Action.BLOCK_SOURCE})
+        testbed, engine, firewall, responder = _ips_testbed(policy, require_auth=True)
+        attack = RegisterDosAttack(testbed, requests=15, interval=0.1)
+        testbed.register_all()
+        attack.launch_now()
+        testbed.run_for(4.0)
+        applied = [r for r in responder.records if r.applied and r.target_ip]
+        assert applied and applied[0].target_ip == ATTACKER_IP

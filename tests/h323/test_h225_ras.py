@@ -1,0 +1,141 @@
+"""Unit tests for the H.225 and RAS codecs and the gatekeeper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.h323.h225 import H225Error, H225Message, MessageType, looks_like_h225
+from repro.h323.ras import Gatekeeper, RasMessage, RasType
+from repro.net.addr import Endpoint
+from repro.net.stack import HostStack
+from repro.sim.eventloop import EventLoop
+from repro.sim.hub import Hub
+
+
+class TestH225Codec:
+    def _setup_msg(self) -> H225Message:
+        return H225Message(
+            message_type=MessageType.SETUP,
+            call_reference=0x1234,
+            calling_party="alice",
+            called_party="bob",
+            media=Endpoint.parse("10.1.0.10:38000"),
+        )
+
+    def test_setup_roundtrip(self):
+        message = self._setup_msg()
+        decoded = H225Message.decode(message.encode())
+        assert decoded == message
+
+    def test_release_roundtrip_with_cause(self):
+        message = H225Message(
+            message_type=MessageType.RELEASE_COMPLETE, call_reference=7, cause=16
+        )
+        decoded = H225Message.decode(message.encode())
+        assert decoded.cause == 16
+        assert decoded.message_type == MessageType.RELEASE_COMPLETE
+
+    def test_q931_framing(self):
+        raw = self._setup_msg().encode()
+        assert raw[0] == 0x08  # protocol discriminator
+        assert raw[1] == 2  # CRV length
+        assert int.from_bytes(raw[2:4], "big") == 0x1234
+        assert raw[4] == 0x05  # SETUP
+
+    def test_crv_range_enforced(self):
+        with pytest.raises(H225Error):
+            H225Message(message_type=MessageType.SETUP, call_reference=0x10000)
+
+    def test_decode_rejects_garbage(self):
+        for bad in (b"", b"\x08", b"\x09\x02\x00\x01\x05", b"\x08\x02\x00\x01\xEE"):
+            with pytest.raises(H225Error):
+                H225Message.decode(bad)
+
+    def test_truncated_ie_rejected(self):
+        raw = self._setup_msg().encode()
+        with pytest.raises(H225Error):
+            H225Message.decode(raw[:-2])
+
+    def test_unknown_ie_skipped(self):
+        raw = self._setup_msg().encode() + bytes([0x55, 2, 1, 2])  # unknown IE
+        decoded = H225Message.decode(raw)
+        assert decoded.calling_party == "alice"
+
+    def test_looks_like_h225(self):
+        assert looks_like_h225(self._setup_msg().encode())
+        assert not looks_like_h225(b"INVITE sip:x SIP/2.0\r\n\r\n")
+        assert not looks_like_h225(b"\x80\x00\x00\x00")  # RTP-ish
+
+
+class TestRasCodec:
+    def test_rrq_roundtrip(self):
+        message = RasMessage(
+            RasType.RRQ, 42, alias="alice", address=Endpoint.parse("10.1.0.10:1720")
+        )
+        decoded = RasMessage.decode(message.encode())
+        assert decoded == message
+
+    def test_arj_roundtrip(self):
+        message = RasMessage(RasType.ARJ, 7, alias="ghost")
+        assert RasMessage.decode(message.encode()) == message
+
+    def test_garbage_rejected(self):
+        with pytest.raises(H225Error):
+            RasMessage.decode(b"\xff\x00")
+
+
+class TestGatekeeper:
+    def _pair(self):
+        loop = EventLoop()
+        hub = Hub(loop)
+        gk_stack = HostStack("gk", loop, ip="10.1.0.1", mac="02:00:00:00:01:01")
+        client = HostStack("c", loop, ip="10.1.0.9", mac="02:00:00:00:01:02")
+        hub.attach(gk_stack.iface)
+        hub.attach(client.iface)
+        gk_stack.add_arp_entry("10.1.0.9", "02:00:00:00:01:02")
+        client.add_arp_entry("10.1.0.1", "02:00:00:00:01:01")
+        return loop, Gatekeeper(gk_stack), client
+
+    def test_register_then_resolve(self):
+        loop, gk, client = self._pair()
+        replies: list[RasMessage] = []
+        sock = client.bind_ephemeral(
+            lambda payload, src, now: replies.append(RasMessage.decode(payload))
+        )
+        sock.send_to(
+            gk.endpoint,
+            RasMessage(RasType.RRQ, 1, alias="alice",
+                       address=Endpoint.parse("10.1.0.9:1720")).encode(),
+        )
+        loop.run_until(0.5)
+        assert replies[-1].ras_type == RasType.RCF
+        sock.send_to(gk.endpoint, RasMessage(RasType.ARQ, 2, alias="alice").encode())
+        loop.run_until(1.0)
+        assert replies[-1].ras_type == RasType.ACF
+        assert replies[-1].address == Endpoint.parse("10.1.0.9:1720")
+        assert gk.admissions_granted == 1
+
+    def test_unknown_alias_rejected(self):
+        loop, gk, client = self._pair()
+        replies: list[RasMessage] = []
+        sock = client.bind_ephemeral(
+            lambda payload, src, now: replies.append(RasMessage.decode(payload))
+        )
+        sock.send_to(gk.endpoint, RasMessage(RasType.ARQ, 1, alias="nobody").encode())
+        loop.run_until(0.5)
+        assert replies[-1].ras_type == RasType.ARJ
+        assert gk.admissions_rejected == 1
+
+    def test_unregister(self):
+        loop, gk, client = self._pair()
+        sock = client.bind_ephemeral(lambda *args: None)
+        sock.send_to(
+            gk.endpoint,
+            RasMessage(RasType.RRQ, 1, alias="alice",
+                       address=Endpoint.parse("10.1.0.9:1720")).encode(),
+        )
+        loop.run_until(0.2)
+        assert "alice" in gk.registrations
+        sock.send_to(gk.endpoint, RasMessage(RasType.URQ, 2, alias="alice").encode())
+        loop.run_until(0.5)
+        assert "alice" not in gk.registrations

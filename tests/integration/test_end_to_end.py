@@ -1,0 +1,142 @@
+"""Whole-system end-to-end tests: mixed traffic, multiple attacks, replay.
+
+These exercise the full pipeline in one long simulation — the closest
+thing to the paper's live testbed session — and check global invariants:
+every injected attack detected, every benign action silent, offline
+replay of the capture bit-identical to the online verdicts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import ByeAttack, FakeImAttack, RtpAttack
+from repro.core.engine import ScidiveEngine
+from repro.core.rules_library import (
+    RULE_BYE_ATTACK,
+    RULE_FAKE_IM,
+    RULE_RTP_MALFORMED,
+    RULE_RTP_SEQ,
+    RULE_RTP_SOURCE,
+)
+from repro.net.pcap import read_pcap, write_pcap
+from repro.voip.scenarios import im_exchange, normal_call
+from repro.voip.testbed import CLIENT_A_IP, Testbed, TestbedConfig
+
+MEDIA_RULES = {RULE_RTP_SEQ, RULE_RTP_SOURCE, RULE_RTP_MALFORMED}
+
+
+@pytest.fixture
+def long_session():
+    """A session with benign traffic and three interleaved attacks."""
+    testbed = Testbed(TestbedConfig(seed=23))
+    engine = ScidiveEngine(vantage_ip=CLIENT_A_IP)
+    engine.attach(testbed.ids_tap)
+    bye = ByeAttack(testbed)
+    fake_im = FakeImAttack(testbed)
+    rtp = RtpAttack(testbed, packets=30)
+    testbed.register_all()
+
+    timeline: dict[str, float] = {}
+
+    # Benign call #1, complete.
+    normal_call(testbed, talk_seconds=1.0)
+    # Benign IM chat.
+    im_exchange(testbed, ["hi", "lunch?"])
+    # Attack 1: fake IM.
+    timeline["fake_im"] = testbed.now()
+    fake_im.launch_now()
+    testbed.run_for(1.0)
+    # Call #2 with an RTP attack against it.
+    call2 = testbed.phone_a.call("sip:bob@example.com")
+    testbed.run_for(1.5)
+    timeline["rtp"] = testbed.now()
+    rtp.launch_now()
+    testbed.run_for(1.5)
+    testbed.phone_a.hangup(call2)
+    testbed.run_for(1.0)
+    # Call #3 killed by a forged BYE.
+    testbed.phone_a.call("sip:bob@example.com")
+    testbed.run_for(1.5)
+    timeline["bye"] = testbed.now()
+    bye.launch_now()
+    testbed.run_for(2.0)
+    return testbed, engine, timeline
+
+
+class TestLongSession:
+    def test_all_attacks_detected(self, long_session):
+        testbed, engine, timeline = long_session
+        assert any(
+            a.time >= timeline["fake_im"] for a in engine.alerts_for_rule(RULE_FAKE_IM)
+        )
+        assert any(
+            a.rule_id in MEDIA_RULES and a.time >= timeline["rtp"] for a in engine.alerts
+        )
+        assert any(
+            a.time >= timeline["bye"] for a in engine.alerts_for_rule(RULE_BYE_ATTACK)
+        )
+
+    def test_no_alerts_before_first_attack(self, long_session):
+        testbed, engine, timeline = long_session
+        first_attack = min(timeline.values())
+        assert all(a.time >= first_attack for a in engine.alerts)
+
+    def test_attacks_attributed_to_correct_sessions(self, long_session):
+        testbed, engine, timeline = long_session
+        bye_alerts = engine.alerts_for_rule(RULE_BYE_ATTACK)
+        # The BYE alert names the third call's session, which is still
+        # the session the fake teardown hit.
+        assert len({a.session for a in bye_alerts}) == 1
+
+    def test_engine_saw_substantial_traffic(self, long_session):
+        testbed, engine, timeline = long_session
+        assert engine.stats.frames > 500
+        assert engine.trails.session_count >= 3
+
+    def test_offline_replay_reproduces_alerts(self, long_session):
+        testbed, engine, timeline = long_session
+        replay = ScidiveEngine(vantage_ip=CLIENT_A_IP)
+        replay.process_trace(testbed.ids_tap.trace)
+        assert [(a.rule_id, a.time) for a in replay.alerts] == [
+            (a.rule_id, a.time) for a in engine.alerts
+        ]
+
+    def test_pcap_roundtrip_preserves_verdicts(self, long_session, tmp_path):
+        testbed, engine, timeline = long_session
+        path = tmp_path / "session.pcap"
+        write_pcap(path, testbed.ids_tap.trace)
+        replay = ScidiveEngine(vantage_ip=CLIENT_A_IP)
+        replay.process_trace(read_pcap(path))
+        assert [a.rule_id for a in replay.alerts] == [a.rule_id for a in engine.alerts]
+        # pcap timestamps are microsecond-quantised, so compare coarsely.
+        for a, b in zip(replay.alerts, engine.alerts):
+            assert a.time == pytest.approx(b.time, abs=1e-5)
+
+
+class TestScale:
+    def test_many_sequential_calls_stay_clean_and_bounded(self):
+        testbed = Testbed(TestbedConfig(seed=31))
+        engine = ScidiveEngine(vantage_ip=CLIENT_A_IP)
+        engine.attach(testbed.ids_tap)
+        testbed.register_all()
+        for __ in range(8):
+            normal_call(testbed, talk_seconds=0.5, settle=0.3)
+        assert engine.alerts == []
+        assert engine.trails.session_count >= 8
+        # Distinct RTP ports per call => trails scale linearly, not worse.
+        assert engine.trails.trail_count < 200
+
+    def test_two_detectors_same_verdicts_from_same_tap(self):
+        testbed = Testbed(TestbedConfig(seed=37))
+        e1 = ScidiveEngine(vantage_ip=CLIENT_A_IP, name="one")
+        e2 = ScidiveEngine(vantage_ip=CLIENT_A_IP, name="two")
+        e1.attach(testbed.ids_tap)
+        e2.attach(testbed.ids_tap)
+        attack = ByeAttack(testbed)
+        testbed.register_all()
+        testbed.phone_a.call("sip:bob@example.com")
+        testbed.run_for(1.5)
+        attack.launch_now()
+        testbed.run_for(2.0)
+        assert [a.rule_id for a in e1.alerts] == [a.rule_id for a in e2.alerts]

@@ -1,0 +1,34 @@
+"""Every example script must run clean end to end.
+
+Examples are documentation that executes; this test keeps them honest.
+Each script asserts its own expected outcome internally and ends with an
+"<name> OK" line.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script: Path):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, f"{script.name} failed:\n{result.stdout}\n{result.stderr}"
+    assert "OK" in result.stdout.splitlines()[-1]
+
+
+def test_all_examples_discovered():
+    # Guard against the glob silently matching nothing.
+    assert len(EXAMPLES) >= 7

@@ -1,0 +1,104 @@
+"""Unit tests for addresses and the Internet checksum."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.addr import BROADCAST_MAC, Endpoint, IPv4Address, MacAddress
+from repro.net.checksum import internet_checksum, verify_checksum
+
+
+class TestMacAddress:
+    def test_parse_and_str(self):
+        mac = MacAddress("02:00:00:AB:cd:01")
+        assert str(mac) == "02:00:00:ab:cd:01"
+
+    def test_roundtrip_bytes(self):
+        mac = MacAddress("de:ad:be:ef:00:01")
+        assert MacAddress.from_bytes(mac.to_bytes()) == mac
+
+    def test_invalid_rejected(self):
+        for bad in ("02:00:00", "zz:00:00:00:00:00", "020000000001", ""):
+            with pytest.raises(ValueError):
+                MacAddress(bad)
+
+    def test_from_bytes_wrong_length(self):
+        with pytest.raises(ValueError):
+            MacAddress.from_bytes(b"\x00" * 5)
+
+    def test_broadcast_constant(self):
+        assert BROADCAST_MAC.to_bytes() == b"\xff" * 6
+
+
+class TestIPv4Address:
+    def test_parse_and_str_roundtrip(self):
+        for text in ("0.0.0.0", "10.0.0.1", "192.168.255.254", "255.255.255.255"):
+            assert str(IPv4Address.parse(text)) == text
+
+    def test_bytes_roundtrip(self):
+        addr = IPv4Address.parse("172.16.5.9")
+        assert IPv4Address.from_bytes(addr.to_bytes()) == addr
+
+    def test_invalid_rejected(self):
+        for bad in ("10.0.0", "10.0.0.256", "a.b.c.d", "10..0.1", "10.0.0.1.2"):
+            with pytest.raises(ValueError):
+                IPv4Address.parse(bad)
+
+    def test_packed_bounds(self):
+        with pytest.raises(ValueError):
+            IPv4Address(-1)
+        with pytest.raises(ValueError):
+            IPv4Address(2**32)
+
+    def test_ordering(self):
+        assert IPv4Address.parse("10.0.0.1") < IPv4Address.parse("10.0.0.2")
+
+
+class TestEndpoint:
+    def test_parse(self):
+        ep = Endpoint.parse("10.0.0.1:5060")
+        assert str(ep.ip) == "10.0.0.1"
+        assert ep.port == 5060
+
+    def test_str(self):
+        assert str(Endpoint(IPv4Address.parse("1.2.3.4"), 99)) == "1.2.3.4:99"
+
+    def test_port_bounds(self):
+        with pytest.raises(ValueError):
+            Endpoint(IPv4Address.parse("1.2.3.4"), 70000)
+
+    def test_parse_requires_port(self):
+        with pytest.raises(ValueError):
+            Endpoint.parse("10.0.0.1")
+
+    def test_hashable_and_equal(self):
+        a = Endpoint.parse("10.0.0.1:5060")
+        b = Endpoint.parse("10.0.0.1:5060")
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestChecksum:
+    def test_rfc1071_example(self):
+        # Example from RFC 1071 §3: words 0001 f203 f4f5 f6f7.
+        data = bytes.fromhex("0001f203f4f5f6f7")
+        assert internet_checksum(data) == (~0xDDF2) & 0xFFFF
+
+    def test_odd_length_padding(self):
+        assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+    def test_verify_of_valid_packet(self):
+        data = bytearray(b"\x45\x00\x00\x14\x00\x00\x00\x00\x40\x11\x00\x00\x0a\x00\x00\x01\x0a\x00\x00\x02")
+        checksum = internet_checksum(bytes(data))
+        data[10:12] = checksum.to_bytes(2, "big")
+        assert verify_checksum(bytes(data))
+
+    def test_verify_rejects_corruption(self):
+        data = bytearray(b"\x45\x00\x00\x14\x00\x00\x00\x00\x40\x11\x00\x00\x0a\x00\x00\x01\x0a\x00\x00\x02")
+        checksum = internet_checksum(bytes(data))
+        data[10:12] = checksum.to_bytes(2, "big")
+        data[0] ^= 0xFF
+        assert not verify_checksum(bytes(data))
+
+    def test_empty_input(self):
+        assert internet_checksum(b"") == 0xFFFF

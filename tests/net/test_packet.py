@@ -1,0 +1,158 @@
+"""Unit tests for Ethernet/IPv4/UDP codecs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.addr import IPv4Address, MacAddress
+from repro.net.checksum import verify_checksum
+from repro.net.packet import (
+    ETHERTYPE_IPV4,
+    IPPROTO_UDP,
+    EthernetFrame,
+    IPv4Packet,
+    PacketError,
+    UdpDatagram,
+    build_udp_frame,
+)
+
+SRC_MAC = MacAddress("02:00:00:00:00:01")
+DST_MAC = MacAddress("02:00:00:00:00:02")
+SRC_IP = IPv4Address.parse("10.0.0.1")
+DST_IP = IPv4Address.parse("10.0.0.2")
+
+
+class TestEthernet:
+    def test_roundtrip(self):
+        frame = EthernetFrame(DST_MAC, SRC_MAC, ETHERTYPE_IPV4, b"payload")
+        decoded = EthernetFrame.decode(frame.encode())
+        assert decoded == frame
+
+    def test_too_short(self):
+        with pytest.raises(PacketError):
+            EthernetFrame.decode(b"\x00" * 10)
+
+    def test_header_layout(self):
+        frame = EthernetFrame(DST_MAC, SRC_MAC, 0x0800, b"").encode()
+        assert frame[:6] == DST_MAC.to_bytes()
+        assert frame[6:12] == SRC_MAC.to_bytes()
+        assert frame[12:14] == b"\x08\x00"
+
+
+class TestIPv4:
+    def test_roundtrip(self):
+        packet = IPv4Packet(SRC_IP, DST_IP, IPPROTO_UDP, b"data", identification=42, ttl=17)
+        decoded = IPv4Packet.decode(packet.encode())
+        assert decoded.src == SRC_IP
+        assert decoded.dst == DST_IP
+        assert decoded.protocol == IPPROTO_UDP
+        assert decoded.payload == b"data"
+        assert decoded.identification == 42
+        assert decoded.ttl == 17
+
+    def test_header_checksum_valid(self):
+        raw = IPv4Packet(SRC_IP, DST_IP, IPPROTO_UDP, b"x").encode()
+        assert verify_checksum(raw[:20])
+
+    def test_corrupted_checksum_rejected(self):
+        raw = bytearray(IPv4Packet(SRC_IP, DST_IP, IPPROTO_UDP, b"x").encode())
+        raw[8] ^= 0xFF  # flip TTL
+        with pytest.raises(PacketError):
+            IPv4Packet.decode(bytes(raw))
+
+    def test_verify_false_skips_checksum(self):
+        raw = bytearray(IPv4Packet(SRC_IP, DST_IP, IPPROTO_UDP, b"x").encode())
+        raw[8] ^= 0xFF
+        packet = IPv4Packet.decode(bytes(raw), verify=False)
+        assert packet.ttl == 64 ^ 0xFF
+
+    def test_fragment_flags_roundtrip(self):
+        packet = IPv4Packet(
+            SRC_IP, DST_IP, IPPROTO_UDP, b"y" * 8, flags_mf=True, fragment_offset=4
+        )
+        decoded = IPv4Packet.decode(packet.encode())
+        assert decoded.flags_mf
+        assert decoded.fragment_offset == 4
+        assert decoded.is_fragment
+
+    def test_df_flag_roundtrip(self):
+        packet = IPv4Packet(SRC_IP, DST_IP, IPPROTO_UDP, b"z", flags_df=True)
+        assert IPv4Packet.decode(packet.encode()).flags_df
+
+    def test_not_a_fragment_by_default(self):
+        packet = IPv4Packet(SRC_IP, DST_IP, IPPROTO_UDP, b"z")
+        assert not packet.is_fragment
+
+    def test_too_short(self):
+        with pytest.raises(PacketError):
+            IPv4Packet.decode(b"\x45" + b"\x00" * 10)
+
+    def test_wrong_version(self):
+        raw = bytearray(IPv4Packet(SRC_IP, DST_IP, IPPROTO_UDP, b"x").encode())
+        raw[0] = 0x65  # version 6
+        with pytest.raises(PacketError):
+            IPv4Packet.decode(bytes(raw))
+
+    def test_total_length_honoured(self):
+        # Trailing Ethernet padding must be stripped via total_length.
+        raw = IPv4Packet(SRC_IP, DST_IP, IPPROTO_UDP, b"abc").encode() + b"\x00" * 10
+        assert IPv4Packet.decode(raw).payload == b"abc"
+
+    def test_oversized_rejected(self):
+        with pytest.raises(PacketError):
+            IPv4Packet(SRC_IP, DST_IP, IPPROTO_UDP, b"x" * 65600).encode()
+
+
+class TestUdp:
+    def test_roundtrip(self):
+        datagram = UdpDatagram(5060, 5061, b"hello sip")
+        raw = datagram.encode(SRC_IP, DST_IP)
+        decoded = UdpDatagram.decode(raw, SRC_IP, DST_IP)
+        assert decoded.src_port == 5060
+        assert decoded.dst_port == 5061
+        assert decoded.payload == b"hello sip"
+
+    def test_checksum_rejects_corruption(self):
+        raw = bytearray(UdpDatagram(1, 2, b"payload").encode(SRC_IP, DST_IP))
+        raw[-1] ^= 0xFF
+        with pytest.raises(PacketError):
+            UdpDatagram.decode(bytes(raw), SRC_IP, DST_IP)
+
+    def test_checksum_uses_pseudo_header(self):
+        raw = UdpDatagram(1, 2, b"payload").encode(SRC_IP, DST_IP)
+        other_ip = IPv4Address.parse("10.9.9.9")
+        with pytest.raises(PacketError):
+            UdpDatagram.decode(raw, other_ip, DST_IP)
+
+    def test_decode_without_ips_skips_checksum(self):
+        raw = UdpDatagram(1, 2, b"p").encode(SRC_IP, DST_IP)
+        assert UdpDatagram.decode(raw).payload == b"p"
+
+    def test_zero_checksum_accepted(self):
+        import struct
+
+        raw = struct.pack("!HHHH", 1, 2, 8 + 3, 0) + b"abc"
+        assert UdpDatagram.decode(raw, SRC_IP, DST_IP).payload == b"abc"
+
+    def test_too_short(self):
+        with pytest.raises(PacketError):
+            UdpDatagram.decode(b"\x00" * 4)
+
+    def test_bad_length_field(self):
+        import struct
+
+        raw = struct.pack("!HHHH", 1, 2, 4, 0)  # length < 8
+        with pytest.raises(PacketError):
+            UdpDatagram.decode(raw)
+
+
+class TestBuildUdpFrame:
+    def test_full_stack_roundtrip(self):
+        frame = build_udp_frame(SRC_MAC, DST_MAC, SRC_IP, DST_IP, 111, 222, b"app data")
+        eth = EthernetFrame.decode(frame)
+        assert eth.ethertype == ETHERTYPE_IPV4
+        ip = IPv4Packet.decode(eth.payload)
+        assert ip.protocol == IPPROTO_UDP
+        udp = UdpDatagram.decode(ip.payload, ip.src, ip.dst)
+        assert udp.payload == b"app data"
+        assert (udp.src_port, udp.dst_port) == (111, 222)

@@ -1,0 +1,190 @@
+"""Property-based tests (hypothesis) for the wire codecs.
+
+Invariants: every encoder/decoder pair round-trips arbitrary valid
+values, and decoders never crash with anything but their declared error
+type on arbitrary bytes.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.addr import IPv4Address, MacAddress
+from repro.net.checksum import internet_checksum
+from repro.net.fragmentation import Reassembler, fragment
+from repro.net.packet import (
+    EthernetFrame,
+    IPPROTO_UDP,
+    IPv4Packet,
+    PacketError,
+    UdpDatagram,
+)
+from repro.rtp.packet import RtpError, RtpPacket
+from repro.rtp.rtcp import Bye, ReportBlock, RtcpError, SenderReport, decode_compound
+
+ips = st.integers(min_value=0, max_value=0xFFFFFFFF).map(IPv4Address)
+macs = st.binary(min_size=6, max_size=6).map(MacAddress.from_bytes)
+ports = st.integers(min_value=0, max_value=0xFFFF)
+payloads = st.binary(max_size=2000)
+
+
+class TestChecksumProperties:
+    @given(st.binary(max_size=400))
+    def test_packet_with_embedded_checksum_verifies(self, data):
+        checksum = internet_checksum(data)
+        # Appending the complement makes the sum 0xFFFF.
+        whole = data + (b"\x00" if len(data) % 2 else b"") + checksum.to_bytes(2, "big")
+        from repro.net.checksum import verify_checksum
+
+        assert verify_checksum(whole)
+
+    @given(st.binary(max_size=400))
+    def test_checksum_in_range(self, data):
+        assert 0 <= internet_checksum(data) <= 0xFFFF
+
+
+class TestIpUdpProperties:
+    @given(src=ips, dst=ips, payload=payloads, ident=ports, ttl=st.integers(1, 255))
+    def test_ipv4_roundtrip(self, src, dst, payload, ident, ttl):
+        packet = IPv4Packet(src, dst, IPPROTO_UDP, payload, identification=ident, ttl=ttl)
+        decoded = IPv4Packet.decode(packet.encode())
+        assert decoded.src == src and decoded.dst == dst
+        assert decoded.payload == payload
+        assert decoded.identification == ident
+
+    @given(src=ips, dst=ips, sport=ports, dport=ports, payload=payloads)
+    def test_udp_roundtrip(self, src, dst, sport, dport, payload):
+        raw = UdpDatagram(sport, dport, payload).encode(src, dst)
+        decoded = UdpDatagram.decode(raw, src, dst)
+        assert decoded.payload == payload
+        assert (decoded.src_port, decoded.dst_port) == (sport, dport)
+
+    @given(dst=macs, src=macs, ethertype=ports, payload=payloads)
+    def test_ethernet_roundtrip(self, dst, src, ethertype, payload):
+        frame = EthernetFrame(dst, src, ethertype, payload)
+        assert EthernetFrame.decode(frame.encode()) == frame
+
+    @given(st.binary(max_size=100))
+    def test_decoders_fail_cleanly(self, junk):
+        for decoder in (IPv4Packet.decode, UdpDatagram.decode, EthernetFrame.decode):
+            try:
+                decoder(junk)
+            except PacketError:
+                pass  # the only acceptable failure mode
+
+    @given(
+        payload=st.binary(min_size=1, max_size=8000),
+        mtu=st.integers(min_value=68, max_value=1500),
+        ident=ports,
+    )
+    @settings(max_examples=50)
+    def test_fragment_reassemble_roundtrip(self, payload, mtu, ident):
+        src = IPv4Address.parse("10.0.0.1")
+        dst = IPv4Address.parse("10.0.0.2")
+        packet = IPv4Packet(src, dst, IPPROTO_UDP, payload, identification=ident)
+        frags = fragment(packet, mtu=mtu)
+        for frag in frags:
+            assert 20 + len(frag.payload) <= mtu or len(frags) == 1
+        reasm = Reassembler()
+        outcomes = [reasm.push(f, 0.0) for f in frags]
+        whole = [p for p in outcomes if p is not None]
+        assert len(whole) == 1
+        assert whole[0].payload == payload
+
+    @given(
+        payload=st.binary(min_size=1, max_size=4000),
+        order_seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=50)
+    def test_reassembly_order_independent(self, payload, order_seed):
+        import random as _random
+
+        src = IPv4Address.parse("10.0.0.1")
+        dst = IPv4Address.parse("10.0.0.2")
+        packet = IPv4Packet(src, dst, IPPROTO_UDP, payload, identification=1)
+        frags = fragment(packet, mtu=256)
+        _random.Random(order_seed).shuffle(frags)
+        reasm = Reassembler()
+        whole = [p for f in frags if (p := reasm.push(f, 0.0)) is not None]
+        assert len(whole) == 1 and whole[0].payload == payload
+
+
+class TestRtpProperties:
+    @given(
+        pt=st.integers(0, 127),
+        seq=ports,
+        ts=st.integers(0, 0xFFFFFFFF),
+        ssrc=st.integers(0, 0xFFFFFFFF),
+        payload=st.binary(max_size=500),
+        marker=st.booleans(),
+        csrcs=st.lists(st.integers(0, 0xFFFFFFFF), max_size=15).map(tuple),
+    )
+    def test_rtp_roundtrip(self, pt, seq, ts, ssrc, payload, marker, csrcs):
+        packet = RtpPacket(
+            payload_type=pt, sequence=seq, timestamp=ts, ssrc=ssrc,
+            payload=payload, marker=marker, csrcs=csrcs,
+        )
+        assert RtpPacket.decode(packet.encode()) == packet
+
+    @given(st.binary(max_size=200))
+    def test_rtp_decode_fails_cleanly(self, junk):
+        try:
+            RtpPacket.decode(junk)
+        except RtpError:
+            pass
+
+    @given(
+        ssrc=st.integers(0, 0xFFFFFFFF),
+        reports=st.lists(
+            st.tuples(
+                st.integers(0, 0xFFFFFFFF), st.integers(0, 255),
+                st.integers(0, 0xFFFFFF), st.integers(0, 0xFFFFFFFF),
+                st.integers(0, 0xFFFFFFFF),
+            ),
+            max_size=5,
+        ),
+    )
+    def test_sender_report_roundtrip(self, ssrc, reports):
+        blocks = tuple(
+            ReportBlock(ssrc=r[0], fraction_lost=r[1], cumulative_lost=r[2],
+                        highest_seq=r[3], jitter=r[4])
+            for r in reports
+        )
+        sr = SenderReport(ssrc=ssrc, ntp_timestamp=0, rtp_timestamp=0,
+                          packet_count=0, octet_count=0, reports=blocks)
+        decoded = decode_compound(sr.encode())[0]
+        assert decoded.reports == blocks
+
+    @given(st.binary(max_size=200))
+    def test_rtcp_decode_fails_cleanly(self, junk):
+        try:
+            decode_compound(junk)
+        except RtcpError:
+            pass
+
+    @given(ssrcs=st.lists(st.integers(0, 0xFFFFFFFF), min_size=1, max_size=10),
+           reason=st.text(max_size=40))
+    def test_bye_roundtrip(self, ssrcs, reason):
+        bye = Bye(ssrcs=tuple(ssrcs), reason=reason)
+        decoded = decode_compound(bye.encode())[0]
+        assert decoded.ssrcs == tuple(ssrcs)
+        assert decoded.reason == reason
+
+
+class TestSeqDeltaProperties:
+    @given(a=ports, b=ports)
+    def test_antisymmetric_mod_2_16(self, a, b):
+        from repro.rtp.packet import seq_delta
+
+        if (a - b) % 0x10000 == 0x8000:
+            return  # the ambiguous midpoint maps to -32768 both ways
+        assert seq_delta(a, b) == -seq_delta(b, a)
+
+    @given(a=ports, k=st.integers(0, 0x7FFF))
+    def test_advancing_by_k_measures_k(self, a, k):
+        from repro.rtp.packet import seq_delta
+
+        if k == 0x8000:
+            return
+        assert seq_delta((a + k) & 0xFFFF, a) == k

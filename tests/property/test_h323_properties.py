@@ -1,0 +1,79 @@
+"""Property-based tests for the H.225/RAS codecs."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.h323.h225 import H225Error, H225Message, MessageType, looks_like_h225
+from repro.h323.ras import RasMessage, RasType
+from repro.net.addr import Endpoint, IPv4Address
+
+aliases = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789", max_size=20)
+endpoints = st.builds(
+    Endpoint,
+    ip=st.integers(0, 0xFFFFFFFF).map(IPv4Address),
+    port=st.integers(0, 0xFFFF),
+)
+
+
+class TestH225Properties:
+    @given(
+        message_type=st.sampled_from(list(MessageType)),
+        crv=st.integers(0, 0xFFFF),
+        calling=aliases,
+        called=aliases,
+        media=st.one_of(st.none(), endpoints),
+        cause=st.one_of(st.none(), st.integers(0, 127)),
+    )
+    def test_roundtrip(self, message_type, crv, calling, called, media, cause):
+        message = H225Message(
+            message_type=message_type,
+            call_reference=crv,
+            calling_party=calling,
+            called_party=called,
+            media=media,
+            cause=cause,
+        )
+        decoded = H225Message.decode(message.encode())
+        assert decoded.message_type == message_type
+        assert decoded.call_reference == crv
+        assert decoded.calling_party == calling
+        assert decoded.called_party == called
+        assert decoded.media == media
+        if cause is not None:
+            assert decoded.cause == cause
+
+    @given(st.binary(max_size=100))
+    def test_decode_fails_cleanly(self, junk):
+        try:
+            H225Message.decode(junk)
+        except H225Error:
+            pass
+
+    @given(
+        message_type=st.sampled_from(list(MessageType)),
+        crv=st.integers(0, 0xFFFF),
+    )
+    def test_sniffer_accepts_all_encodings(self, message_type, crv):
+        message = H225Message(message_type=message_type, call_reference=crv)
+        assert looks_like_h225(message.encode())
+
+
+class TestRasProperties:
+    @given(
+        ras_type=st.sampled_from(list(RasType)),
+        sequence=st.integers(0, 0xFFFF),
+        alias=aliases,
+        address=st.one_of(st.none(), endpoints),
+    )
+    def test_roundtrip(self, ras_type, sequence, alias, address):
+        message = RasMessage(ras_type=ras_type, sequence=sequence, alias=alias, address=address)
+        assert RasMessage.decode(message.encode()) == message
+
+    @given(st.binary(max_size=60))
+    def test_decode_fails_cleanly(self, junk):
+        try:
+            RasMessage.decode(junk)
+        except H225Error:
+            pass

@@ -1,0 +1,131 @@
+"""Property-based tests on protocol state machines and auth invariants."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sip.auth import (
+    DigestChallenge,
+    answer_challenge,
+    compute_response,
+    verify_credentials,
+)
+from repro.sip.dialog import Dialog, DialogState
+from repro.sip.registrar import Registrar
+from repro.sip.uri import SipUri
+
+token = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=12)
+
+
+class TestDigestProperties:
+    @given(user=token, realm=token, password=token, nonce=token, uri=token)
+    def test_correct_password_always_verifies(self, user, realm, password, nonce, uri):
+        challenge = DigestChallenge(realm=realm, nonce=nonce)
+        creds = answer_challenge(challenge, user, password, "REGISTER", uri)
+        assert verify_credentials(creds, password, "REGISTER", expected_nonce=nonce)
+
+    @given(user=token, realm=token, pw1=token, pw2=token, nonce=token)
+    def test_wrong_password_never_verifies(self, user, realm, pw1, pw2, nonce):
+        if pw1 == pw2:
+            return
+        challenge = DigestChallenge(realm=realm, nonce=nonce)
+        creds = answer_challenge(challenge, user, pw1, "REGISTER", "sip:r")
+        assert not verify_credentials(creds, pw2, "REGISTER")
+
+    @given(user=token, realm=token, password=token, n1=token, n2=token)
+    def test_response_depends_on_nonce(self, user, realm, password, n1, n2):
+        if n1 == n2:
+            return
+        r1 = compute_response(user, realm, password, "REGISTER", "sip:r", n1)
+        r2 = compute_response(user, realm, password, "REGISTER", "sip:r", n2)
+        assert r1 != r2
+
+    @given(creds_text=st.text(max_size=100))
+    def test_credential_parser_fails_cleanly(self, creds_text):
+        from repro.sip.auth import AuthError, DigestCredentials
+
+        try:
+            DigestCredentials.parse(creds_text)
+        except AuthError:
+            pass
+
+
+class TestDialogProperties:
+    @given(numbers=st.lists(st.integers(0, 10_000), min_size=1, max_size=60))
+    def test_remote_seq_acceptance_is_strictly_increasing(self, numbers):
+        dialog = Dialog(
+            call_id="c",
+            local_tag="l",
+            remote_tag="r",
+            local_uri=SipUri.parse("sip:a@h"),
+            remote_uri=SipUri.parse("sip:b@h"),
+            remote_target=SipUri.parse("sip:b@10.0.0.2"),
+            is_uac=True,
+        )
+        accepted: list[int] = []
+        for number in numbers:
+            if dialog.accepts_remote_seq(number):
+                accepted.append(number)
+        assert accepted == sorted(set(accepted))
+        # Reference: greedy strictly-increasing subsequence.
+        expected: list[int] = []
+        high = 0
+        for number in numbers:
+            if number > high:
+                expected.append(number)
+                high = number
+        assert accepted == expected
+
+    @given(st.lists(st.sampled_from(["confirm", "terminate"]), max_size=10))
+    def test_terminated_is_absorbing(self, operations):
+        dialog = Dialog(
+            call_id="c", local_tag="l", remote_tag="r",
+            local_uri=SipUri.parse("sip:a@h"), remote_uri=SipUri.parse("sip:b@h"),
+            remote_target=SipUri.parse("sip:b@10.0.0.2"), is_uac=False,
+        )
+        seen_terminate = False
+        for op in operations:
+            if op == "confirm" and not seen_terminate:
+                dialog.confirm()
+            elif op == "terminate":
+                dialog.terminate()
+                seen_terminate = True
+        if seen_terminate:
+            assert dialog.state == DialogState.TERMINATED
+
+
+class TestRegistrarProperties:
+    @given(
+        bindings=st.lists(
+            st.tuples(token, st.floats(min_value=1.0, max_value=1000.0)),
+            min_size=1, max_size=20, unique_by=lambda b: b[0],
+        ),
+        query_time=st.floats(min_value=0.0, max_value=2000.0),
+    )
+    @settings(max_examples=60)
+    def test_lookup_respects_expiry(self, bindings, query_time):
+        from repro.sip.registrar import Binding
+
+        registrar = Registrar(realm="r")
+        for user, expires_at in bindings:
+            registrar._bindings[f"{user}@r"] = Binding(
+                contact=SipUri.parse(f"sip:{user}@10.0.0.9"),
+                expires_at=expires_at,
+                registered_at=0.0,
+            )
+        for user, expires_at in bindings:
+            result = registrar.lookup(f"{user}@r", now=query_time)
+            if expires_at > query_time:
+                assert result is not None
+            else:
+                assert result is None
+
+    @given(seed=st.integers(0, 2**31))
+    def test_nonces_unique_per_challenge(self, seed):
+        registrar = Registrar(realm="r", require_auth=True, rng=random.Random(seed))
+        out1 = registrar._challenge("u")
+        out2 = registrar._challenge("u")
+        assert out1.challenge.nonce != out2.challenge.nonce

@@ -1,0 +1,137 @@
+"""Property-based tests for the SIP/SDP layer and core data structures."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sip.headers import CSeq, HeaderTable, NameAddr, Via
+from repro.sip.message import SipParseError, SipRequest, parse_message
+from repro.sip.sdp import SessionDescription, audio_offer
+from repro.sip.uri import SipUri, UriError
+
+# Conservative token alphabets: we test round-tripping of *valid* values,
+# and clean failure on arbitrary junk separately.
+users = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789_.-", min_size=1, max_size=16)
+hosts = st.one_of(
+    st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789.-", min_size=1, max_size=20).filter(
+        lambda h: not h.startswith(".") and ":" not in h
+    ),
+    st.tuples(*([st.integers(0, 255)] * 4)).map(lambda t: ".".join(map(str, t))),
+)
+ports = st.one_of(st.none(), st.integers(1, 0xFFFF))
+token = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=10)
+
+
+class TestUriProperties:
+    @given(user=users, host=hosts, port=ports)
+    def test_roundtrip(self, user, host, port):
+        uri = SipUri(user=user, host=host, port=port)
+        assert SipUri.parse(str(uri)) == uri
+
+    @given(
+        user=users,
+        host=hosts,
+        params=st.lists(st.tuples(token, token), max_size=3, unique_by=lambda p: p[0]),
+    )
+    def test_roundtrip_with_params(self, user, host, params):
+        uri = SipUri(user=user, host=host, params=tuple(params))
+        parsed = SipUri.parse(str(uri))
+        assert parsed.user == user
+        for name, value in params:
+            assert parsed.param(name) == value
+
+    @given(st.text(max_size=40))
+    def test_parse_fails_cleanly(self, junk):
+        try:
+            SipUri.parse(junk)
+        except UriError:
+            pass
+
+    @given(user=users, host=hosts)
+    def test_aor_is_stable_under_port_changes(self, user, host):
+        with_port = SipUri(user=user, host=host, port=5080)
+        without = SipUri(user=user, host=host)
+        assert with_port.address_of_record == without.address_of_record
+
+
+class TestHeaderProperties:
+    @given(number=st.integers(0, 2**31), method=st.sampled_from(["INVITE", "ACK", "BYE", "REGISTER"]))
+    def test_cseq_roundtrip(self, number, method):
+        assert CSeq.parse(str(CSeq(number, method))) == CSeq(number, method)
+
+    @given(host=hosts, port=ports, branch=token)
+    def test_via_roundtrip(self, host, port, branch):
+        via = Via("UDP", host, port, params=(("branch", branch),))
+        parsed = Via.parse(str(via))
+        assert parsed.host == host and parsed.port == port
+        assert parsed.branch == branch
+
+    @given(user=users, host=hosts, tag=token, display=st.text(alphabet="abcXYZ ", max_size=12))
+    def test_name_addr_roundtrip(self, user, host, tag, display):
+        addr = NameAddr(uri=SipUri(user=user, host=host), display_name=display.strip()).with_tag(tag)
+        parsed = NameAddr.parse(str(addr))
+        assert parsed.uri.user == user
+        assert parsed.tag == tag
+
+    @given(st.lists(st.tuples(token, token), max_size=8))
+    def test_header_table_preserves_multi_order(self, pairs):
+        table = HeaderTable()
+        for name, value in pairs:
+            table.add("Via", f"{name}={value}")
+        assert table.get_all("Via") == [f"{n}={v}" for n, v in pairs]
+
+
+class TestMessageProperties:
+    @given(
+        method=st.sampled_from(["INVITE", "BYE", "OPTIONS", "MESSAGE", "REGISTER"]),
+        user=users,
+        call_id=token,
+        cseq=st.integers(1, 100000),
+        body=st.binary(max_size=300),
+    )
+    @settings(max_examples=60)
+    def test_request_roundtrip(self, method, user, call_id, cseq, body):
+        request = SipRequest(method=method, uri=SipUri(user=user, host="example.com"))
+        request.headers.add("Via", "SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bK-x")
+        request.headers.add("From", f"<sip:{user}@example.com>;tag=t")
+        request.headers.add("To", "<sip:peer@example.com>")
+        request.headers.add("Call-ID", call_id)
+        request.headers.add("CSeq", f"{cseq} {method}")
+        request._set_body(body, "application/octet-stream")
+        parsed = parse_message(request.encode())
+        assert parsed.method == method
+        assert parsed.body == body
+        assert parsed.call_id == call_id
+        assert parsed.cseq.number == cseq
+
+    @given(st.binary(max_size=300))
+    def test_parse_fails_cleanly_on_junk(self, junk):
+        try:
+            parse_message(junk)
+        except SipParseError:
+            pass
+
+    @given(st.text(alphabet=st.characters(codec="utf-8"), max_size=200))
+    def test_parse_fails_cleanly_on_text(self, text):
+        try:
+            parse_message(text.encode("utf-8"))
+        except SipParseError:
+            pass
+
+
+class TestSdpProperties:
+    @given(
+        a=st.integers(0, 255), b=st.integers(0, 255),
+        c=st.integers(0, 255), d=st.integers(0, 255),
+        port=st.integers(0, 0xFFFF),
+        session_id=st.integers(1, 10**9).map(str),
+    )
+    def test_offer_roundtrip(self, a, b, c, d, port, session_id):
+        address = f"{a}.{b}.{c}.{d}"
+        offer = audio_offer(address, port, session_id=session_id)
+        parsed = SessionDescription.parse(offer.encode())
+        endpoint = parsed.audio_endpoint()
+        assert str(endpoint.ip) == address
+        assert endpoint.port == port
+        assert parsed.session_id == session_id

@@ -1,0 +1,208 @@
+"""Unit tests for G.711, the jitter machinery and stream statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rtp.codec import (
+    SAMPLES_PER_FRAME,
+    SilenceSource,
+    ToneSource,
+    mulaw_decode,
+    mulaw_decode_sample,
+    mulaw_encode,
+    mulaw_encode_sample,
+)
+from repro.rtp.jitter import JitterEstimator, PlayoutBuffer
+from repro.rtp.packet import RtpPacket
+from repro.rtp.stats import StreamStats
+
+
+class TestMulaw:
+    def test_zero_roundtrip(self):
+        assert abs(mulaw_decode_sample(mulaw_encode_sample(0))) <= 8
+
+    def test_roundtrip_error_bounded(self):
+        # G.711 is logarithmic: relative error small across the range.
+        for pcm in [-30000, -1000, -100, -5, 0, 5, 100, 1000, 30000]:
+            decoded = mulaw_decode_sample(mulaw_encode_sample(pcm))
+            assert abs(decoded - pcm) <= max(16, abs(pcm) * 0.06)
+
+    def test_clipping(self):
+        assert mulaw_decode_sample(mulaw_encode_sample(40000)) <= 32767
+
+    def test_sign_preserved(self):
+        assert mulaw_decode_sample(mulaw_encode_sample(-500)) < 0
+        assert mulaw_decode_sample(mulaw_encode_sample(500)) > 0
+
+    def test_bulk_roundtrip(self):
+        samples = list(range(-4000, 4000, 37))
+        assert len(mulaw_encode(samples)) == len(samples)
+        decoded = mulaw_decode(mulaw_encode(samples))
+        assert len(decoded) == len(samples)
+
+    def test_encoding_is_8_bit(self):
+        for pcm in (-32768, 0, 32767):
+            assert 0 <= mulaw_encode_sample(pcm) <= 255
+
+
+class TestSources:
+    def test_tone_frame_size(self):
+        assert len(ToneSource().next_frame()) == SAMPLES_PER_FRAME
+
+    def test_tone_is_continuous_across_frames(self):
+        source = ToneSource(frequency=440.0)
+        f1 = mulaw_decode(source.next_frame())
+        f2 = mulaw_decode(source.next_frame())
+        # No discontinuity: the step between the frames is comparable to
+        # the in-frame sample-to-sample steps.
+        in_frame_step = max(abs(f1[i + 1] - f1[i]) for i in range(len(f1) - 1))
+        boundary_step = abs(f2[0] - f1[-1])
+        assert boundary_step <= in_frame_step * 1.5
+
+    def test_tone_deterministic(self):
+        assert ToneSource(440.0).next_frame() == ToneSource(440.0).next_frame()
+
+    def test_different_frequencies_differ(self):
+        assert ToneSource(440.0).next_frame() != ToneSource(880.0).next_frame()
+
+    def test_silence(self):
+        frame = SilenceSource().next_frame()
+        assert len(frame) == SAMPLES_PER_FRAME
+        assert all(abs(s) <= 8 for s in mulaw_decode(frame))
+
+    def test_invalid_amplitude(self):
+        with pytest.raises(ValueError):
+            ToneSource(amplitude=0.0)
+
+
+class TestJitterEstimator:
+    def test_zero_jitter_for_perfect_cadence(self):
+        est = JitterEstimator()
+        for i in range(50):
+            est.update(arrival_time=i * 0.020, rtp_timestamp=i * 160)
+        assert est.jitter == pytest.approx(0.0, abs=1e-9)
+
+    def test_jitter_grows_with_variance(self):
+        est = JitterEstimator()
+        times = [0.0, 0.020, 0.055, 0.060, 0.100, 0.101]
+        for i, t in enumerate(times):
+            est.update(t, i * 160)
+        assert est.jitter > 0
+
+    def test_rfc_gain_of_one_sixteenth(self):
+        est = JitterEstimator()
+        est.update(0.0, 0)
+        est.update(0.020 + 0.016, 160)  # 16 ms late => |D| = 128 ticks
+        assert est.jitter == pytest.approx(128 / 16.0)
+
+    def test_jitter_seconds(self):
+        est = JitterEstimator(clock_rate=8000)
+        est.jitter = 80.0
+        assert est.jitter_seconds == pytest.approx(0.010)
+
+
+def _rtp(seq: int, ssrc: int = 1, ts: int | None = None) -> RtpPacket:
+    return RtpPacket(
+        payload_type=0,
+        sequence=seq & 0xFFFF,
+        timestamp=(ts if ts is not None else seq * 160) & 0xFFFFFFFF,
+        ssrc=ssrc,
+        payload=b"\x00" * 160,
+    )
+
+
+class TestPlayoutBuffer:
+    def test_in_order_playout(self):
+        buf = PlayoutBuffer()
+        for seq in range(5):
+            buf.push(_rtp(seq))
+        played = [buf.pop_ready().sequence for __ in range(5)]
+        assert played == [0, 1, 2, 3, 4]
+        assert buf.stats.played == 5
+
+    def test_reorder_within_buffer(self):
+        buf = PlayoutBuffer()
+        for seq in [0, 2, 1, 3]:
+            buf.push(_rtp(seq))
+        played = [buf.pop_ready().sequence for __ in range(4)]
+        assert played == [0, 1, 2, 3]
+
+    def test_gap_counts_dropout(self):
+        buf = PlayoutBuffer()
+        buf.push(_rtp(0))
+        buf.push(_rtp(2))
+        assert buf.pop_ready().sequence == 0
+        assert buf.pop_ready() is None  # seq 1 missing
+        assert buf.stats.gaps == 1
+        assert buf.pop_ready().sequence == 2
+
+    def test_sequence_jump_displaces_stream(self):
+        buf = PlayoutBuffer(capacity=5)
+        for seq in range(3):
+            buf.push(_rtp(seq))
+        buf.pop_ready()  # anchors playout at seq 0, next = 1
+        # Garbage packet far ahead in sequence space.
+        buf.push(_rtp(30000))
+        # Buffer keeps accepting the real stream.
+        for seq in range(3, 10):
+            buf.push(_rtp(seq))
+        # Something had to give: the buffer evicted packets.
+        assert buf.stats.displaced > 0
+
+    def test_late_packet_dropped(self):
+        buf = PlayoutBuffer()
+        for seq in range(3):
+            buf.push(_rtp(seq))
+        for __ in range(3):
+            buf.pop_ready()
+        buf.push(_rtp(0))  # stale
+        assert buf.stats.late_dropped == 1
+
+    def test_empty_pop_is_none(self):
+        assert PlayoutBuffer().pop_ready() is None
+
+
+class TestStreamStats:
+    def test_counts(self):
+        stats = StreamStats(ssrc=1)
+        for seq in range(10):
+            stats.update(_rtp(seq), arrival_time=seq * 0.020)
+        assert stats.packets_received == 10
+        assert stats.expected == 10
+        assert stats.lost == 0
+
+    def test_loss_detected(self):
+        stats = StreamStats(ssrc=1)
+        for seq in [0, 1, 2, 5, 6]:
+            stats.update(_rtp(seq), 0.0)
+        assert stats.expected == 7
+        assert stats.lost == 2
+        assert 0 < stats.fraction_lost < 1
+
+    def test_reorder_and_duplicate_counted(self):
+        stats = StreamStats(ssrc=1)
+        for seq in [0, 2, 1, 2]:
+            stats.update(_rtp(seq), 0.0)
+        assert stats.reordered == 1
+        assert stats.duplicates == 1
+
+    def test_wraparound_extends_sequence(self):
+        stats = StreamStats(ssrc=1)
+        stats.update(_rtp(0xFFFE), 0.0)
+        stats.update(_rtp(0xFFFF), 0.02)
+        stats.update(_rtp(0), 0.04)
+        stats.update(_rtp(1), 0.06)
+        assert stats.cycles == 1
+        assert stats.expected == 4
+        assert stats.lost == 0
+
+    def test_wrong_ssrc_rejected(self):
+        stats = StreamStats(ssrc=1)
+        with pytest.raises(ValueError):
+            stats.update(_rtp(0, ssrc=2), 0.0)
+
+    def test_octets_counted(self):
+        stats = StreamStats(ssrc=1)
+        stats.update(_rtp(0), 0.0)
+        assert stats.octets_received == 160

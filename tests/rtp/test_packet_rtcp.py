@@ -1,0 +1,192 @@
+"""Unit tests for the RTP and RTCP codecs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rtp.packet import RtpError, RtpPacket, looks_like_rtp, seq_delta
+from repro.rtp.rtcp import (
+    Bye,
+    ReceiverReport,
+    ReportBlock,
+    RtcpError,
+    SenderReport,
+    SourceDescription,
+    decode_compound,
+    looks_like_rtcp,
+)
+
+
+class TestRtpPacket:
+    def _packet(self, **kwargs) -> RtpPacket:
+        defaults = dict(
+            payload_type=0, sequence=100, timestamp=16000, ssrc=0xABCD1234, payload=b"\x55" * 160
+        )
+        defaults.update(kwargs)
+        return RtpPacket(**defaults)
+
+    def test_roundtrip(self):
+        packet = self._packet(marker=True)
+        decoded = RtpPacket.decode(packet.encode())
+        assert decoded == packet
+
+    def test_header_is_12_bytes(self):
+        assert len(self._packet(payload=b"").encode()) == 12
+
+    def test_version_bits(self):
+        raw = self._packet().encode()
+        assert raw[0] >> 6 == 2
+
+    def test_csrcs_roundtrip(self):
+        packet = self._packet(csrcs=(1, 2, 3))
+        decoded = RtpPacket.decode(packet.encode())
+        assert decoded.csrcs == (1, 2, 3)
+
+    def test_too_many_csrcs(self):
+        with pytest.raises(RtpError):
+            self._packet(csrcs=tuple(range(16)))
+
+    def test_field_ranges_validated(self):
+        with pytest.raises(RtpError):
+            self._packet(sequence=70000)
+        with pytest.raises(RtpError):
+            self._packet(payload_type=200)
+        with pytest.raises(RtpError):
+            self._packet(ssrc=2**32)
+        with pytest.raises(RtpError):
+            self._packet(timestamp=-1)
+
+    def test_wrong_version_rejected(self):
+        raw = bytearray(self._packet().encode())
+        raw[0] = 0x00  # version 0
+        with pytest.raises(RtpError):
+            RtpPacket.decode(bytes(raw))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(RtpError):
+            RtpPacket.decode(b"\x80\x00\x00")
+
+    def test_truncated_csrc_rejected(self):
+        raw = bytearray(self._packet().encode()[:12])
+        raw[0] |= 0x03  # claim 3 CSRCs that are not there
+        with pytest.raises(RtpError):
+            RtpPacket.decode(bytes(raw))
+
+    def test_padding_stripped(self):
+        packet = self._packet(payload=b"AB")
+        raw = bytearray(packet.encode())
+        raw[0] |= 0x20  # set P bit
+        raw += b"\x00\x00\x03"  # 3 bytes of padding, last byte = count... payload grows
+        decoded = RtpPacket.decode(bytes(raw))
+        # payload was AB + 3 pad bytes; padding count 3 strips them.
+        assert decoded.payload == b"AB"
+
+    def test_bad_padding_rejected(self):
+        packet = self._packet(payload=b"AB")
+        raw = bytearray(packet.encode())
+        raw[0] |= 0x20
+        raw[-1] = 0xFF  # padding count exceeds payload
+        with pytest.raises(RtpError):
+            RtpPacket.decode(bytes(raw))
+
+
+class TestLooksLikeRtp:
+    def test_valid_rtp(self):
+        raw = RtpPacket(payload_type=0, sequence=1, timestamp=0, ssrc=1, payload=b"x" * 160).encode()
+        assert looks_like_rtp(raw)
+
+    def test_garbage(self):
+        assert not looks_like_rtp(b"\x00" * 20)
+        assert not looks_like_rtp(b"\x80")
+
+
+class TestSeqDelta:
+    def test_forward(self):
+        assert seq_delta(101, 100) == 1
+
+    def test_backward(self):
+        assert seq_delta(99, 100) == -1
+
+    def test_wraparound_forward(self):
+        assert seq_delta(2, 0xFFFE) == 4
+
+    def test_wraparound_backward(self):
+        assert seq_delta(0xFFFE, 2) == -4
+
+    def test_max_positive(self):
+        assert seq_delta(0x8000, 0) == -32768  # ambiguous midpoint maps negative
+
+    def test_zero(self):
+        assert seq_delta(500, 500) == 0
+
+
+class TestRtcp:
+    def test_sender_report_roundtrip(self):
+        report = ReportBlock(
+            ssrc=7, fraction_lost=12, cumulative_lost=34, highest_seq=5000, jitter=88
+        )
+        sr = SenderReport(
+            ssrc=1, ntp_timestamp=123456789, rtp_timestamp=4000,
+            packet_count=100, octet_count=16000, reports=(report,),
+        )
+        packets = decode_compound(sr.encode())
+        assert len(packets) == 1
+        decoded = packets[0]
+        assert isinstance(decoded, SenderReport)
+        assert decoded.ssrc == 1
+        assert decoded.packet_count == 100
+        assert decoded.reports[0].fraction_lost == 12
+        assert decoded.reports[0].highest_seq == 5000
+
+    def test_receiver_report_roundtrip(self):
+        rr = ReceiverReport(ssrc=9, reports=(ReportBlock(1, 0, 0, 10, 2),))
+        decoded = decode_compound(rr.encode())[0]
+        assert isinstance(decoded, ReceiverReport)
+        assert decoded.ssrc == 9
+        assert decoded.reports[0].jitter == 2
+
+    def test_sdes_roundtrip(self):
+        sdes = SourceDescription(ssrc=5, cname="alice@10.0.0.10")
+        decoded = decode_compound(sdes.encode())[0]
+        assert isinstance(decoded, SourceDescription)
+        assert decoded.cname == "alice@10.0.0.10"
+
+    def test_bye_roundtrip(self):
+        bye = Bye(ssrcs=(1, 2), reason="teardown")
+        decoded = decode_compound(bye.encode())[0]
+        assert isinstance(decoded, Bye)
+        assert decoded.ssrcs == (1, 2)
+        assert decoded.reason == "teardown"
+
+    def test_compound_sr_plus_sdes(self):
+        sr = SenderReport(ssrc=1, ntp_timestamp=0, rtp_timestamp=0, packet_count=0, octet_count=0)
+        sdes = SourceDescription(ssrc=1, cname="x")
+        packets = decode_compound(sr.encode() + sdes.encode())
+        assert [type(p).__name__ for p in packets] == ["SenderReport", "SourceDescription"]
+
+    def test_truncated_rejected(self):
+        sr = SenderReport(ssrc=1, ntp_timestamp=0, rtp_timestamp=0, packet_count=0, octet_count=0)
+        with pytest.raises(RtcpError):
+            decode_compound(sr.encode()[:-4])
+
+    def test_wrong_version_rejected(self):
+        raw = bytearray(Bye(ssrcs=(1,)).encode())
+        raw[0] &= 0x3F  # clear version bits
+        with pytest.raises(RtcpError):
+            decode_compound(bytes(raw))
+
+    def test_unknown_pt_rejected(self):
+        raw = bytearray(Bye(ssrcs=(1,)).encode())
+        raw[1] = 250
+        with pytest.raises(RtcpError):
+            decode_compound(bytes(raw))
+
+    def test_looks_like_rtcp_vs_rtp(self):
+        bye = Bye(ssrcs=(1,)).encode()
+        rtp = RtpPacket(payload_type=0, sequence=1, timestamp=0, ssrc=1, payload=b"x").encode()
+        assert looks_like_rtcp(bye)
+        assert not looks_like_rtcp(rtp)
+
+    def test_long_cname_rejected(self):
+        with pytest.raises(RtcpError):
+            SourceDescription(ssrc=1, cname="x" * 300).encode()

@@ -1,0 +1,126 @@
+"""Integration tests for RTP sessions over the simulated network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.addr import Endpoint
+from repro.net.stack import HostStack
+from repro.rtp.rtcp import Bye, SenderReport, SourceDescription
+from repro.rtp.session import RtpSession
+from repro.sim.eventloop import EventLoop
+from repro.sim.hub import Hub
+
+
+@pytest.fixture
+def media_pair():
+    loop = EventLoop()
+    hub = Hub(loop)
+    a = HostStack("a", loop, ip="10.0.0.1", mac="02:00:00:00:00:01")
+    b = HostStack("b", loop, ip="10.0.0.2", mac="02:00:00:00:00:02")
+    hub.attach(a.iface)
+    hub.attach(b.iface)
+    a.add_arp_entry("10.0.0.2", "02:00:00:00:00:02")
+    b.add_arp_entry("10.0.0.1", "02:00:00:00:00:01")
+    sa = RtpSession(a, loop, 40000)
+    sb = RtpSession(b, loop, 40000)
+    return loop, sa, sb
+
+
+class TestRtpSession:
+    def test_20ms_cadence(self, media_pair):
+        loop, sa, sb = media_pair
+        sa.start_sending(Endpoint.parse("10.0.0.2:40000"))
+        loop.run_until(1.0)
+        assert sa.sender.packets_sent == pytest.approx(50, abs=1)
+        assert sb.total_received == pytest.approx(50, abs=2)
+
+    def test_sequence_increments_by_one(self, media_pair):
+        loop, sa, sb = media_pair
+        seqs: list[int] = []
+        sb.on_packet = lambda packet, src, now: seqs.append(packet.sequence)
+        sa.start_sending(Endpoint.parse("10.0.0.2:40000"))
+        loop.run_until(0.5)
+        deltas = {(b - a) & 0xFFFF for a, b in zip(seqs, seqs[1:])}
+        assert deltas == {1}
+
+    def test_timestamps_advance_by_frame(self, media_pair):
+        loop, sa, sb = media_pair
+        stamps: list[int] = []
+        sb.on_packet = lambda packet, src, now: stamps.append(packet.timestamp)
+        sa.start_sending(Endpoint.parse("10.0.0.2:40000"))
+        loop.run_until(0.3)
+        deltas = {(b - a) & 0xFFFFFFFF for a, b in zip(stamps, stamps[1:])}
+        assert deltas == {160}
+
+    def test_bidirectional(self, media_pair):
+        loop, sa, sb = media_pair
+        sa.start_sending(Endpoint.parse("10.0.0.2:40000"))
+        sb.start_sending(Endpoint.parse("10.0.0.1:40000"))
+        loop.run_until(1.0)
+        assert sa.total_received > 40
+        assert sb.total_received > 40
+
+    def test_rtcp_sender_reports_flow(self, media_pair):
+        loop, sa, sb = media_pair
+        sa.start_sending(Endpoint.parse("10.0.0.2:40000"))
+        sb.start_sending(Endpoint.parse("10.0.0.1:40000"))
+        loop.run_until(2.5)
+        srs = [p for p in sb.rtcp_received if isinstance(p, SenderReport)]
+        sdes = [p for p in sb.rtcp_received if isinstance(p, SourceDescription)]
+        assert len(srs) >= 2
+        assert sdes and sdes[0].cname.startswith("a@")
+        assert srs[-1].packet_count > 0
+
+    def test_stop_sends_rtcp_bye(self, media_pair):
+        loop, sa, sb = media_pair
+        sa.start_sending(Endpoint.parse("10.0.0.2:40000"))
+        loop.run_until(0.5)
+        sa.stop_sending()
+        loop.run_until(1.0)
+        byes = [p for p in sb.rtcp_received if isinstance(p, Bye)]
+        assert len(byes) == 1
+        assert byes[0].ssrcs == (sa.sender.ssrc,)
+
+    def test_stop_halts_stream(self, media_pair):
+        loop, sa, sb = media_pair
+        sa.start_sending(Endpoint.parse("10.0.0.2:40000"))
+        loop.run_until(0.5)
+        sa.stop_sending()
+        count = sb.total_received
+        loop.run_until(1.5)
+        assert sb.total_received == count
+
+    def test_redirect_moves_stream(self, media_pair):
+        loop, sa, sb = media_pair
+        sa.start_sending(Endpoint.parse("10.0.0.2:40000"))
+        loop.run_until(0.5)
+        received_before = sb.total_received
+        sa.redirect(Endpoint.parse("10.0.0.2:40002"))  # unbound port
+        loop.run_until(1.0)
+        assert sb.total_received <= received_before + 1  # at most in-flight
+
+    def test_odd_port_rejected(self, media_pair):
+        loop, sa, sb = media_pair
+        with pytest.raises(ValueError):
+            RtpSession(sa.stack, loop, 40001)
+
+    def test_decode_errors_counted(self, media_pair):
+        loop, sa, sb = media_pair
+        rogue = sa.stack.bind_ephemeral(lambda *args: None)
+        rogue.send_to(Endpoint.parse("10.0.0.2:40000"), b"\x00garbage-not-rtp")
+        loop.run_until(0.2)
+        assert sb.decode_errors == 1
+
+    def test_per_ssrc_stats_created(self, media_pair):
+        loop, sa, sb = media_pair
+        sa.start_sending(Endpoint.parse("10.0.0.2:40000"))
+        loop.run_until(0.5)
+        assert sa.sender.ssrc in sb.streams
+        assert sb.primary_stream().ssrc == sa.sender.ssrc
+
+    def test_close_releases_ports(self, media_pair):
+        loop, sa, sb = media_pair
+        sa.close()
+        # Ports free to rebind.
+        RtpSession(sa.stack, loop, 40000)

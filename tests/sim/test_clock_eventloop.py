@@ -1,0 +1,151 @@
+"""Unit tests for the simulation clock and event loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.clock import Clock
+from repro.sim.eventloop import EventLoop
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now() == 0.0
+
+    def test_custom_start(self):
+        assert Clock(5.0).now() == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            Clock(-1.0)
+
+    def test_advance(self):
+        clock = Clock()
+        clock.advance_to(3.5)
+        assert clock.now() == 3.5
+
+    def test_advance_backwards_rejected(self):
+        clock = Clock(2.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(1.0)
+
+    def test_advance_to_same_time_allowed(self):
+        clock = Clock(2.0)
+        clock.advance_to(2.0)
+        assert clock.now() == 2.0
+
+
+class TestEventLoop:
+    def test_call_at_runs_in_time_order(self):
+        loop = EventLoop()
+        order: list[str] = []
+        loop.call_at(2.0, lambda: order.append("b"))
+        loop.call_at(1.0, lambda: order.append("a"))
+        loop.call_at(3.0, lambda: order.append("c"))
+        loop.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        loop = EventLoop()
+        order: list[int] = []
+        for i in range(10):
+            loop.call_at(1.0, lambda i=i: order.append(i))
+        loop.run()
+        assert order == list(range(10))
+
+    def test_clock_advances_with_events(self):
+        loop = EventLoop()
+        seen: list[float] = []
+        loop.call_at(1.5, lambda: seen.append(loop.now()))
+        loop.call_at(4.0, lambda: seen.append(loop.now()))
+        loop.run()
+        assert seen == [1.5, 4.0]
+
+    def test_call_later_relative(self):
+        loop = EventLoop()
+        seen: list[float] = []
+        loop.call_at(1.0, lambda: loop.call_later(0.5, lambda: seen.append(loop.now())))
+        loop.run()
+        assert seen == [1.5]
+
+    def test_scheduling_into_past_rejected(self):
+        loop = EventLoop()
+        loop.call_at(1.0, lambda: None)
+        loop.run()
+        with pytest.raises(ValueError):
+            loop.call_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            loop.call_later(-0.1, lambda: None)
+
+    def test_cancel(self):
+        loop = EventLoop()
+        ran: list[str] = []
+        handle = loop.call_at(1.0, lambda: ran.append("x"))
+        handle.cancel()
+        loop.run()
+        assert ran == []
+        assert handle.cancelled
+
+    def test_cancel_idempotent(self):
+        loop = EventLoop()
+        handle = loop.call_at(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert loop.run() == 0
+
+    def test_run_until_respects_horizon(self):
+        loop = EventLoop()
+        ran: list[float] = []
+        loop.call_at(1.0, lambda: ran.append(1.0))
+        loop.call_at(5.0, lambda: ran.append(5.0))
+        loop.run_until(2.0)
+        assert ran == [1.0]
+        assert loop.now() == 2.0
+        loop.run_until(10.0)
+        assert ran == [1.0, 5.0]
+
+    def test_run_until_runs_events_scheduled_during_run(self):
+        loop = EventLoop()
+        ran: list[str] = []
+
+        def first() -> None:
+            ran.append("first")
+            loop.call_later(0.1, lambda: ran.append("second"))
+
+        loop.call_at(1.0, first)
+        loop.run_until(2.0)
+        assert ran == ["first", "second"]
+
+    def test_run_max_events_guard(self):
+        loop = EventLoop()
+
+        def reschedule() -> None:
+            loop.call_later(0.001, reschedule)
+
+        loop.call_at(0.0, reschedule)
+        assert loop.run(max_events=100) == 100
+
+    def test_pending_counts_uncancelled(self):
+        loop = EventLoop()
+        h1 = loop.call_at(1.0, lambda: None)
+        loop.call_at(2.0, lambda: None)
+        h1.cancel()
+        assert loop.pending == 1
+
+    def test_events_run_counter(self):
+        loop = EventLoop()
+        for i in range(5):
+            loop.call_at(float(i), lambda: None)
+        loop.run()
+        assert loop.events_run == 5
+
+    def test_step_returns_false_when_empty(self):
+        assert EventLoop().step() is False
+
+    def test_handle_reports_when(self):
+        loop = EventLoop()
+        handle = loop.call_at(3.25, lambda: None)
+        assert handle.when == 3.25

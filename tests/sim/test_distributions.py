@@ -1,0 +1,161 @@
+"""Unit tests for the delay distributions (sampling + analytic forms)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.sim.distributions import Constant, Exponential, Normal, Pareto, Uniform
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(42)
+
+
+class TestConstant:
+    def test_sample(self, rng):
+        assert Constant(0.005).sample(rng) == 0.005
+
+    def test_cdf_step(self):
+        dist = Constant(1.0)
+        assert dist.cdf(0.999) == 0.0
+        assert dist.cdf(1.0) == 1.0
+
+    def test_mean(self):
+        assert Constant(2.5).mean == 2.5
+
+    def test_support(self):
+        assert Constant(3.0).support == (3.0, 3.0)
+
+
+class TestUniform:
+    def test_samples_in_range(self, rng):
+        dist = Uniform(0.0, 0.020)
+        for __ in range(1000):
+            assert 0.0 <= dist.sample(rng) <= 0.020
+
+    def test_mean(self):
+        assert Uniform(0.0, 0.020).mean == pytest.approx(0.010)
+
+    def test_pdf_height(self):
+        dist = Uniform(0.0, 2.0)
+        assert dist.pdf(1.0) == pytest.approx(0.5)
+        assert dist.pdf(-0.1) == 0.0
+        assert dist.pdf(2.1) == 0.0
+
+    def test_cdf(self):
+        dist = Uniform(0.0, 2.0)
+        assert dist.cdf(-1) == 0.0
+        assert dist.cdf(1.0) == pytest.approx(0.5)
+        assert dist.cdf(3.0) == 1.0
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Uniform(2.0, 1.0)
+
+    def test_empirical_mean(self, rng):
+        dist = Uniform(0.0, 1.0)
+        samples = [dist.sample(rng) for __ in range(20_000)]
+        assert sum(samples) / len(samples) == pytest.approx(0.5, abs=0.01)
+
+
+class TestExponential:
+    def test_mean(self):
+        assert Exponential(scale=0.002).mean == pytest.approx(0.002)
+
+    def test_shifted_mean(self):
+        assert Exponential(scale=0.002, shift=0.005).mean == pytest.approx(0.007)
+
+    def test_pdf_integrates_to_one(self):
+        from scipy import integrate
+
+        dist = Exponential(scale=0.01)
+        total, __ = integrate.quad(dist.pdf, 0, 1.0)
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_cdf_matches_closed_form(self):
+        dist = Exponential(scale=2.0)
+        assert dist.cdf(2.0) == pytest.approx(1 - math.exp(-1))
+
+    def test_samples_nonnegative(self, rng):
+        dist = Exponential(scale=0.001)
+        assert all(dist.sample(rng) >= 0 for __ in range(1000))
+
+    def test_shift_respected_in_samples(self, rng):
+        dist = Exponential(scale=0.001, shift=0.5)
+        assert all(dist.sample(rng) >= 0.5 for __ in range(100))
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            Exponential(scale=0.0)
+
+    def test_empirical_mean(self, rng):
+        dist = Exponential(scale=0.004)
+        samples = [dist.sample(rng) for __ in range(20_000)]
+        assert sum(samples) / len(samples) == pytest.approx(0.004, rel=0.05)
+
+
+class TestNormal:
+    def test_samples_nonnegative(self, rng):
+        dist = Normal(mu=0.001, sigma=0.002)  # heavy truncation regime
+        assert all(dist.sample(rng) >= 0 for __ in range(1000))
+
+    def test_pdf_zero_below_zero(self):
+        assert Normal(mu=0.01, sigma=0.001).pdf(-0.001) == 0.0
+
+    def test_cdf_monotone(self):
+        dist = Normal(mu=0.01, sigma=0.003)
+        values = [dist.cdf(t) for t in [0.0, 0.005, 0.01, 0.02, 0.05]]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_truncated_mean_exceeds_mu_when_truncation_matters(self):
+        dist = Normal(mu=0.001, sigma=0.002)
+        assert dist.mean > 0.001
+
+    def test_mean_close_to_mu_when_truncation_negligible(self):
+        dist = Normal(mu=0.050, sigma=0.002)
+        assert dist.mean == pytest.approx(0.050, rel=1e-6)
+
+    def test_empirical_matches_analytic_mean(self, rng):
+        dist = Normal(mu=0.002, sigma=0.002)
+        samples = [dist.sample(rng) for __ in range(20_000)]
+        assert sum(samples) / len(samples) == pytest.approx(dist.mean, rel=0.03)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            Normal(mu=0.0, sigma=0.0)
+
+
+class TestPareto:
+    def test_samples_above_xm(self, rng):
+        dist = Pareto(xm=0.001, alpha=2.5)
+        assert all(dist.sample(rng) >= 0.001 for __ in range(1000))
+
+    def test_mean_formula(self):
+        dist = Pareto(xm=1.0, alpha=3.0)
+        assert dist.mean == pytest.approx(1.5)
+
+    def test_infinite_mean_alpha_le_1(self):
+        assert math.isinf(Pareto(xm=1.0, alpha=1.0).mean)
+
+    def test_cdf_at_xm(self):
+        assert Pareto(xm=0.002, alpha=2.0).cdf(0.002) == 0.0
+
+    def test_cdf_matches_closed_form(self):
+        dist = Pareto(xm=1.0, alpha=2.0)
+        assert dist.cdf(2.0) == pytest.approx(0.75)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Pareto(xm=0.0, alpha=1.0)
+        with pytest.raises(ValueError):
+            Pareto(xm=1.0, alpha=0.0)
+
+    def test_empirical_mean(self, rng):
+        dist = Pareto(xm=0.001, alpha=3.0)
+        samples = [dist.sample(rng) for __ in range(50_000)]
+        assert sum(samples) / len(samples) == pytest.approx(dist.mean, rel=0.05)

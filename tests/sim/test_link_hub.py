@@ -1,0 +1,201 @@
+"""Unit tests for link models, the hub, nodes and traces."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.distributions import Constant, Exponential
+from repro.sim.eventloop import EventLoop
+from repro.sim.hub import Hub
+from repro.sim.link import LinkModel, lan_link, wan_link
+from repro.sim.network import Network
+from repro.sim.node import CallbackNode, Node
+from repro.sim.trace import Trace
+
+
+def _frame(dst_mac: str = "ff:ff:ff:ff:ff:ff", payload: bytes = b"hello") -> bytes:
+    dst = bytes(int(p, 16) for p in dst_mac.split(":"))
+    src = bytes(6)
+    return dst + src + b"\x08\x00" + payload
+
+
+class TestLinkModel:
+    def test_fixed_delay(self):
+        link = LinkModel(delay=Constant(0.002))
+        rng = random.Random(0)
+        assert link.delivery_delay(100, now=0.0, rng=rng) == pytest.approx(0.002)
+
+    def test_loss(self):
+        link = LinkModel(delay=Constant(0.0), loss_rate=1.0)
+        assert link.delivery_delay(100, 0.0, random.Random(0)) is None
+
+    def test_partial_loss_rate(self):
+        link = LinkModel(delay=Constant(0.0), loss_rate=0.5)
+        rng = random.Random(1)
+        outcomes = [link.delivery_delay(100, 0.0, rng) for __ in range(2000)]
+        lost = sum(1 for o in outcomes if o is None)
+        assert 850 < lost < 1150
+
+    def test_invalid_loss_rate(self):
+        with pytest.raises(ValueError):
+            LinkModel(loss_rate=1.5)
+
+    def test_bandwidth_serialisation(self):
+        # 1000 bytes at 8000 bps = 1 second of transmission time.
+        link = LinkModel(delay=Constant(0.0), bandwidth_bps=8000)
+        rng = random.Random(0)
+        first = link.delivery_delay(1000, 0.0, rng)
+        second = link.delivery_delay(1000, 0.0, rng)  # queues behind first
+        assert first == pytest.approx(1.0)
+        assert second == pytest.approx(2.0)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            LinkModel(bandwidth_bps=0)
+
+    def test_lan_link_is_submillisecond(self):
+        assert lan_link().delay.mean < 0.001
+
+    def test_wan_link_mean(self):
+        link = wan_link(mean_delay=0.040)
+        assert link.delay.mean == pytest.approx(0.040, rel=0.01)
+
+
+class _Collector(Node):
+    def __init__(self, name, loop):
+        super().__init__(name, loop)
+        self.received: list[tuple[bytes, float]] = []
+
+    def on_frame(self, iface, frame, now):
+        self.received.append((frame, now))
+
+
+class TestHub:
+    def _setup(self, promiscuous: bool = False):
+        loop = EventLoop()
+        hub = Hub(loop, rng=random.Random(0))
+        a = _Collector("a", loop)
+        b = _Collector("b", loop)
+        ia = a.add_interface("02:00:00:00:00:01")
+        ib = b.add_interface("02:00:00:00:00:02", promiscuous=promiscuous)
+        hub.attach(ia, LinkModel(delay=Constant(0.001)))
+        hub.attach(ib, LinkModel(delay=Constant(0.001)))
+        return loop, hub, a, b, ia, ib
+
+    def test_broadcast_reaches_other_ports(self):
+        loop, hub, a, b, ia, ib = self._setup()
+        ia.send(_frame())
+        loop.run()
+        assert len(b.received) == 1
+        assert a.received == []  # sender does not hear itself
+
+    def test_unicast_filtered_by_mac(self):
+        loop, hub, a, b, ia, ib = self._setup()
+        ia.send(_frame(dst_mac="02:00:00:00:00:99"))  # nobody's MAC
+        loop.run()
+        assert b.received == []
+
+    def test_unicast_delivered_to_matching_mac(self):
+        loop, hub, a, b, ia, ib = self._setup()
+        ia.send(_frame(dst_mac="02:00:00:00:00:02"))
+        loop.run()
+        assert len(b.received) == 1
+
+    def test_promiscuous_sees_everything(self):
+        loop, hub, a, b, ia, ib = self._setup(promiscuous=True)
+        ia.send(_frame(dst_mac="02:00:00:00:00:99"))
+        loop.run()
+        assert len(b.received) == 1
+
+    def test_delivery_delayed_by_link(self):
+        loop, hub, a, b, ia, ib = self._setup()
+        ia.send(_frame())
+        loop.run()
+        assert b.received[0][1] == pytest.approx(0.001)
+
+    def test_lossy_port_drops(self):
+        loop = EventLoop()
+        hub = Hub(loop, rng=random.Random(0))
+        a = _Collector("a", loop)
+        b = _Collector("b", loop)
+        ia = a.add_interface("02:00:00:00:00:01")
+        ib = b.add_interface("02:00:00:00:00:02")
+        hub.attach(ia)
+        hub.attach(ib, LinkModel(delay=Constant(0.0), loss_rate=1.0))
+        ia.send(_frame())
+        loop.run()
+        assert b.received == []
+        assert hub.frames_dropped == 1
+
+    def test_frames_switched_counter(self):
+        loop, hub, a, b, ia, ib = self._setup()
+        for __ in range(5):
+            ia.send(_frame())
+        loop.run()
+        assert hub.frames_switched == 5
+
+    def test_interface_cannot_attach_twice(self):
+        loop, hub, a, b, ia, ib = self._setup()
+        with pytest.raises(RuntimeError):
+            hub.attach(ia)
+
+    def test_send_unattached_raises(self):
+        loop = EventLoop()
+        node = _Collector("x", loop)
+        iface = node.add_interface("02:00:00:00:00:03")
+        with pytest.raises(RuntimeError):
+            iface.send(b"data")
+
+
+class TestNetwork:
+    def test_mac_allocation_unique(self):
+        net = Network()
+        macs = {net.next_mac() for __ in range(100)}
+        assert len(macs) == 100
+
+    def test_run_for_advances_clock(self):
+        net = Network()
+        net.run_for(2.5)
+        assert net.now() == pytest.approx(2.5)
+
+    def test_find_node(self):
+        net = Network()
+        node = CallbackNode("tap", net.loop, lambda f, t: None)
+        net.register(node)
+        assert net.find_node("tap") is node
+        with pytest.raises(KeyError):
+            net.find_node("ghost")
+
+
+class TestTrace:
+    def test_append_and_iterate(self):
+        trace = Trace()
+        trace.append(1.0, b"one")
+        trace.append(2.0, b"two")
+        assert [r.frame for r in trace] == [b"one", b"two"]
+        assert len(trace) == 2
+
+    def test_rejects_time_travel(self):
+        trace = Trace()
+        trace.append(2.0, b"x")
+        with pytest.raises(ValueError):
+            trace.append(1.0, b"y")
+
+    def test_duration_and_bytes(self):
+        trace = Trace()
+        trace.append(1.0, b"aaaa")
+        trace.append(3.5, b"bb")
+        assert trace.duration == pytest.approx(2.5)
+        assert trace.total_bytes == 6
+
+    def test_between(self):
+        trace = Trace()
+        for t in [0.0, 1.0, 2.0, 3.0]:
+            trace.append(t, b"x")
+        sub = trace.between(0.5, 2.5)
+        assert len(sub) == 2
+
+    def test_empty_trace_duration(self):
+        assert Trace().duration == 0.0

@@ -1,0 +1,104 @@
+"""Unit tests for SIP digest authentication."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sip.auth import (
+    AuthError,
+    DigestChallenge,
+    DigestCredentials,
+    answer_challenge,
+    compute_response,
+    generate_nonce,
+    verify_credentials,
+)
+
+
+class TestDigestChallenge:
+    def test_roundtrip(self):
+        challenge = DigestChallenge(realm="example.com", nonce="abc123")
+        parsed = DigestChallenge.parse(challenge.encode())
+        assert parsed.realm == "example.com"
+        assert parsed.nonce == "abc123"
+        assert parsed.algorithm == "MD5"
+
+    def test_opaque_preserved(self):
+        challenge = DigestChallenge(realm="r", nonce="n", opaque="op")
+        assert DigestChallenge.parse(challenge.encode()).opaque == "op"
+
+    def test_wrong_scheme_rejected(self):
+        with pytest.raises(AuthError):
+            DigestChallenge.parse('Basic realm="x"')
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(AuthError):
+            DigestChallenge.parse('Digest realm="x"')
+
+    def test_parse_tolerates_spacing(self):
+        parsed = DigestChallenge.parse('Digest   realm="a b c",   nonce="n1", algorithm=MD5')
+        assert parsed.realm == "a b c"
+
+
+class TestDigestCredentials:
+    def test_roundtrip(self):
+        creds = DigestCredentials(
+            username="alice", realm="r", nonce="n", uri="sip:r", response="ff" * 16
+        )
+        parsed = DigestCredentials.parse(creds.encode())
+        assert parsed == creds
+
+    def test_missing_fields(self):
+        with pytest.raises(AuthError):
+            DigestCredentials.parse('Digest username="a", realm="r"')
+
+
+class TestComputeVerify:
+    def test_rfc2617_style_vector(self):
+        # Hand-computed MD5 digest chain.
+        response = compute_response("alice", "example.com", "wonderland", "REGISTER", "sip:example.com", "nonce1")
+        assert len(response) == 32
+        assert response == compute_response(
+            "alice", "example.com", "wonderland", "REGISTER", "sip:example.com", "nonce1"
+        )
+
+    def test_answer_then_verify(self):
+        challenge = DigestChallenge(realm="example.com", nonce="n-42")
+        creds = answer_challenge(challenge, "alice", "wonderland", "REGISTER", "sip:example.com")
+        assert verify_credentials(creds, "wonderland", "REGISTER")
+
+    def test_wrong_password_fails(self):
+        challenge = DigestChallenge(realm="example.com", nonce="n-42")
+        creds = answer_challenge(challenge, "alice", "guess", "REGISTER", "sip:example.com")
+        assert not verify_credentials(creds, "wonderland", "REGISTER")
+
+    def test_wrong_method_fails(self):
+        challenge = DigestChallenge(realm="r", nonce="n")
+        creds = answer_challenge(challenge, "a", "pw", "REGISTER", "sip:r")
+        assert not verify_credentials(creds, "pw", "INVITE")
+
+    def test_nonce_mismatch_fails(self):
+        challenge = DigestChallenge(realm="r", nonce="n1")
+        creds = answer_challenge(challenge, "a", "pw", "REGISTER", "sip:r")
+        assert not verify_credentials(creds, "pw", "REGISTER", expected_nonce="n2")
+        assert verify_credentials(creds, "pw", "REGISTER", expected_nonce="n1")
+
+    def test_different_passwords_different_responses(self):
+        challenge = DigestChallenge(realm="r", nonce="n")
+        r1 = answer_challenge(challenge, "a", "pw1", "REGISTER", "sip:r").response
+        r2 = answer_challenge(challenge, "a", "pw2", "REGISTER", "sip:r").response
+        assert r1 != r2
+
+
+class TestNonce:
+    def test_deterministic_with_seed(self):
+        assert generate_nonce(random.Random(1)) == generate_nonce(random.Random(1))
+
+    def test_distinct_across_draws(self):
+        rng = random.Random(1)
+        assert generate_nonce(rng) != generate_nonce(rng)
+
+    def test_length(self):
+        assert len(generate_nonce(random.Random(0))) == 32

@@ -1,0 +1,78 @@
+"""Tests for CANCEL (RFC 3261 §9): abandoning unanswered calls."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.voip.call import CallState
+from repro.voip.testbed import Testbed, TestbedConfig
+
+
+@pytest.fixture
+def slow_answer_testbed() -> Testbed:
+    """Callee takes 2 s to answer, leaving room to cancel."""
+    return Testbed(TestbedConfig(seed=7, answer_delay=2.0))
+
+
+class TestCancel:
+    def test_cancel_before_answer(self, slow_answer_testbed):
+        testbed = slow_answer_testbed
+        testbed.register_all()
+        call = testbed.phone_a.call("sip:bob@example.com")
+        testbed.run_for(0.5)  # ringing at B, not yet answered
+        assert call.state == CallState.DIALING
+        assert testbed.phone_a.cancel(call)
+        testbed.run_for(1.0)
+        # Caller's leg concludes with 487 Request Terminated.
+        assert call.state == CallState.FAILED
+        assert call.failure_status == 487
+
+    def test_callee_stops_ringing(self, slow_answer_testbed):
+        testbed = slow_answer_testbed
+        testbed.register_all()
+        call = testbed.phone_a.call("sip:bob@example.com")
+        testbed.run_for(0.5)
+        testbed.phone_a.cancel(call)
+        testbed.run_for(3.0)  # past the answer delay
+        b_call = testbed.phone_b.calls.get(call.call_id)
+        assert b_call is not None
+        assert b_call.state == CallState.ENDED  # never became active
+        # The pending answer must NOT have fired a 200 afterwards.
+        assert call.state == CallState.FAILED
+
+    def test_cancel_after_answer_refused(self, testbed):
+        testbed.register_all()
+        call = testbed.phone_a.call("sip:bob@example.com")
+        testbed.run_for(1.5)  # answered
+        assert call.state == CallState.ACTIVE
+        assert not testbed.phone_a.cancel(call)
+        assert call.state == CallState.ACTIVE
+
+    def test_cancel_unknown_call_id(self, testbed):
+        testbed.register_all()
+        assert not testbed.phone_a.ua.cancel("no-such-call")
+
+    def test_no_media_flows_after_cancel(self, slow_answer_testbed):
+        testbed = slow_answer_testbed
+        testbed.register_all()
+        call = testbed.phone_a.call("sip:bob@example.com")
+        testbed.run_for(0.5)
+        testbed.phone_a.cancel(call)
+        testbed.run_for(3.0)
+        assert call.rtp.sender.packets_sent == 0
+        b_call = testbed.phone_b.calls[call.call_id]
+        assert b_call.rtp.sender.packets_sent == 0
+
+    def test_cancelled_call_no_ids_alerts(self, slow_answer_testbed):
+        from repro.core.engine import ScidiveEngine
+        from repro.voip.testbed import CLIENT_A_IP
+
+        testbed = slow_answer_testbed
+        engine = ScidiveEngine(vantage_ip=CLIENT_A_IP)
+        engine.attach(testbed.ids_tap)
+        testbed.register_all()
+        call = testbed.phone_a.call("sip:bob@example.com")
+        testbed.run_for(0.5)
+        testbed.phone_a.cancel(call)
+        testbed.run_for(2.0)
+        assert engine.alerts == []

@@ -1,0 +1,149 @@
+"""Edge-path tests: timeouts, dead peers, odd configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.distiller import Distiller
+from repro.net.addr import Endpoint, IPv4Address, MacAddress
+from repro.net.packet import build_udp_frame
+from repro.sip.ua import RegistrationResult
+from repro.voip.call import CallState
+from repro.voip.testbed import Testbed, TestbedConfig
+
+
+class TestDeadPeerTimeouts:
+    def test_invite_to_dead_host_times_out(self, testbed):
+        """B registered, then vanished: the INVITE transaction must time
+        out and fail the call rather than hang forever."""
+        testbed.register_all()
+        # Simulate B's death: unbind its SIP port.
+        testbed.stack_b.unbind(5060)
+        call = testbed.phone_a.call("sip:bob@example.com")
+        testbed.run_for(10.0)  # 64*T1 at the scaled timers is 3.2 s
+        assert call.state == CallState.FAILED
+        assert call.failure_status == 0  # timeout, not a SIP status
+
+    def test_register_against_dead_registrar(self, testbed):
+        testbed.proxy_stack.unbind(5060)
+        results: list[RegistrationResult] = []
+        testbed.phone_a.register(on_result=results.append)
+        testbed.run_for(10.0)
+        assert results and not results[0].success
+        assert results[0].status == 0
+
+    def test_failed_call_releases_rtp_port(self, testbed):
+        testbed.register_all()
+        testbed.stack_b.unbind(5060)
+        call = testbed.phone_a.call("sip:bob@example.com")
+        testbed.run_for(10.0)
+        # Port freed: a new session can bind the same port.
+        from repro.rtp.session import RtpSession
+
+        RtpSession(testbed.stack_a, testbed.loop, call.rtp.local_port)
+
+
+class TestDistillerConfiguration:
+    MAC1 = MacAddress("02:00:00:00:00:01")
+    MAC2 = MacAddress("02:00:00:00:00:02")
+    A = IPv4Address.parse("10.0.0.1")
+    B = IPv4Address.parse("10.0.0.2")
+
+    def test_custom_sip_ports(self):
+        distiller = Distiller(sip_ports=frozenset({5060, 5080}))
+        payload = b"not really sip"
+        frame = build_udp_frame(self.MAC1, self.MAC2, self.A, self.B, 5080, 5080, payload)
+        fp = distiller.distill(frame, 0.0)
+        from repro.core.footprint import MalformedFootprint, Protocol
+
+        assert isinstance(fp, MalformedFootprint)
+        assert fp.claimed_protocol == Protocol.SIP
+
+    def test_narrow_rtp_range_ignores_outside(self):
+        distiller = Distiller(rtp_port_min=40000, rtp_port_max=40010)
+        frame = build_udp_frame(self.MAC1, self.MAC2, self.A, self.B, 39998, 39998, b"\x01" * 20)
+        assert distiller.distill(frame, 0.0) is None
+
+    def test_content_sniffing_beats_port(self):
+        # Valid RTP on a non-media port is still classified as RTP.
+        from repro.core.footprint import RtpFootprint
+        from repro.rtp.packet import RtpPacket
+
+        distiller = Distiller(rtp_port_min=40000, rtp_port_max=40010)
+        packet = RtpPacket(payload_type=0, sequence=1, timestamp=0, ssrc=1, payload=b"x" * 160)
+        frame = build_udp_frame(self.MAC1, self.MAC2, self.A, self.B, 7777, 7777, packet.encode())
+        assert isinstance(distiller.distill(frame, 0.0), RtpFootprint)
+
+
+class TestProxyEdgeCases:
+    def test_response_with_foreign_via_dropped(self, testbed):
+        """A stateless proxy drops responses whose top Via is not its own."""
+        from repro.sip.message import SipResponse
+
+        testbed.register_all()
+        response = SipResponse(status=200)
+        response.headers.add("Via", "SIP/2.0/UDP 10.0.0.99:5060;branch=z9hG4bK-x")
+        response.headers.add("Via", "SIP/2.0/UDP 10.0.0.10:5060;branch=z9hG4bK-y")
+        response.headers.add("From", "<sip:a@example.com>;tag=1")
+        response.headers.add("To", "<sip:b@example.com>;tag=2")
+        response.headers.add("Call-ID", "x")
+        response.headers.add("CSeq", "1 INVITE")
+        before = testbed.proxy.responses_forwarded
+        sock = testbed.stack_a.bind_ephemeral(lambda *args: None)
+        sock.send_to(testbed.proxy_endpoint, response.encode())
+        testbed.run_for(0.5)
+        assert testbed.proxy.responses_forwarded == before
+
+    def test_unparseable_datagram_counted(self, testbed):
+        before = testbed.proxy.parse_errors
+        sock = testbed.stack_a.bind_ephemeral(lambda *args: None)
+        sock.send_to(testbed.proxy_endpoint, b"\xff\xfe garbage")
+        testbed.run_for(0.5)
+        assert testbed.proxy.parse_errors == before + 1
+
+    def test_request_for_foreign_domain_resolved_directly(self, testbed):
+        """URIs with IP-literal hosts are routed straight to that host."""
+        from repro.sip.message import SipRequest, parse_message
+        from repro.sip.uri import SipUri
+
+        testbed.register_all()
+        got: list = []
+        listener = testbed.stack_b.bind(5070, lambda p, s, n: got.append(parse_message(p)))
+        request = SipRequest(method="OPTIONS", uri=SipUri.parse("sip:x@10.0.0.20:5070"))
+        request.headers.add("Via", "SIP/2.0/UDP 10.0.0.10:5060;branch=z9hG4bK-d")
+        request.headers.add("Max-Forwards", "70")
+        request.headers.add("From", "<sip:alice@example.com>;tag=1")
+        request.headers.add("To", "<sip:x@10.0.0.20:5070>")
+        request.headers.add("Call-ID", "direct-1")
+        request.headers.add("CSeq", "1 OPTIONS")
+        request.headers.set("Content-Length", "0")
+        sock = testbed.stack_a.bind_ephemeral(lambda *args: None)
+        sock.send_to(testbed.proxy_endpoint, request.encode())
+        testbed.run_for(0.5)
+        assert got and got[0].method == "OPTIONS"
+
+
+class TestHubBandwidth:
+    def test_serialisation_queues_frames(self):
+        from repro.sim.distributions import Constant
+        from repro.sim.eventloop import EventLoop
+        from repro.sim.hub import Hub
+        from repro.sim.link import LinkModel
+        from repro.net.stack import HostStack
+
+        loop = EventLoop()
+        hub = Hub(loop)
+        a = HostStack("a", loop, ip="10.0.0.1", mac="02:00:00:00:00:01")
+        b = HostStack("b", loop, ip="10.0.0.2", mac="02:00:00:00:00:02")
+        hub.attach(a.iface)
+        # 8 kbit/s: a 100-byte frame takes 100 ms to serialise.
+        hub.attach(b.iface, LinkModel(delay=Constant(0.0), bandwidth_bps=8000))
+        a.add_arp_entry("10.0.0.2", "02:00:00:00:00:02")
+        arrivals: list[float] = []
+        b.bind(9, lambda payload, src, now: arrivals.append(now))
+        for __ in range(3):
+            a.send_udp(1, Endpoint.parse("10.0.0.2:9"), b"x" * 58)  # 100B frame
+        loop.run_until(2.0)
+        assert len(arrivals) == 3
+        gaps = [b_ - a_ for a_, b_ in zip(arrivals, arrivals[1:])]
+        assert all(gap == pytest.approx(0.1, rel=0.05) for gap in gaps)

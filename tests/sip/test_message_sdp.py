@@ -1,0 +1,237 @@
+"""Unit tests for SIP message parsing/serialisation and SDP bodies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.addr import Endpoint, IPv4Address
+from repro.sip.message import (
+    SipParseError,
+    SipRequest,
+    SipResponse,
+    looks_like_sip,
+    parse_message,
+)
+from repro.sip.sdp import MediaDescription, SdpError, SessionDescription, audio_offer
+from repro.sip.uri import SipUri
+
+INVITE = (
+    b"INVITE sip:bob@example.com SIP/2.0\r\n"
+    b"Via: SIP/2.0/UDP 10.0.0.10:5060;branch=z9hG4bK-1\r\n"
+    b"Max-Forwards: 70\r\n"
+    b"From: \"Alice\" <sip:alice@example.com>;tag=a1\r\n"
+    b"To: <sip:bob@example.com>\r\n"
+    b"Call-ID: call-1@10.0.0.10\r\n"
+    b"CSeq: 1 INVITE\r\n"
+    b"Contact: <sip:alice@10.0.0.10:5060>\r\n"
+    b"Content-Length: 0\r\n"
+    b"\r\n"
+)
+
+OK = (
+    b"SIP/2.0 200 OK\r\n"
+    b"Via: SIP/2.0/UDP 10.0.0.10:5060;branch=z9hG4bK-1\r\n"
+    b"From: <sip:alice@example.com>;tag=a1\r\n"
+    b"To: <sip:bob@example.com>;tag=b1\r\n"
+    b"Call-ID: call-1@10.0.0.10\r\n"
+    b"CSeq: 1 INVITE\r\n"
+    b"Content-Length: 0\r\n"
+    b"\r\n"
+)
+
+
+class TestParseRequest:
+    def test_basic(self):
+        message = parse_message(INVITE)
+        assert isinstance(message, SipRequest)
+        assert message.method == "INVITE"
+        assert message.uri.user == "bob"
+        assert message.call_id == "call-1@10.0.0.10"
+        assert message.cseq.number == 1
+        assert message.from_addr.tag == "a1"
+        assert message.to_addr.tag is None
+        assert message.top_via.branch == "z9hG4bK-1"
+        assert message.contact.uri.host == "10.0.0.10"
+
+    def test_encode_roundtrip(self):
+        message = parse_message(INVITE)
+        again = parse_message(message.encode())
+        assert again.method == "INVITE"
+        assert again.headers.items() == message.headers.items()
+
+    def test_body_respects_content_length(self):
+        raw = INVITE.replace(b"Content-Length: 0", b"Content-Length: 4")
+        raw = raw + b"ABCDEXTRA"
+        assert parse_message(raw).body == b"ABCD"
+
+    def test_content_length_exceeding_body_rejected(self):
+        raw = INVITE.replace(b"Content-Length: 0", b"Content-Length: 99")
+        with pytest.raises(SipParseError):
+            parse_message(raw)
+
+    def test_folded_header_unfolded(self):
+        raw = INVITE.replace(
+            b"Contact: <sip:alice@10.0.0.10:5060>\r\n",
+            b"Contact: <sip:alice@10.0.0.10\r\n :5060>\r\n",
+        )
+        message = parse_message(raw)
+        assert "5060" in (message.headers.get("Contact") or "")
+
+    def test_dialog_id(self):
+        message = parse_message(OK)
+        assert message.dialog_id() == ("call-1@10.0.0.10", "a1", "b1")
+
+    def test_missing_end_marker(self):
+        with pytest.raises(SipParseError):
+            parse_message(INVITE.rstrip(b"\r\n"))
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SipParseError):
+            parse_message(b"\x80\x81\x82\xff not sip")
+
+    def test_bad_start_line(self):
+        with pytest.raises(SipParseError):
+            parse_message(b"INVITE sip:bob@example.com\r\n\r\n")
+
+    def test_lowercase_method_rejected(self):
+        with pytest.raises(SipParseError):
+            parse_message(b"invite sip:b@h SIP/2.0\r\n\r\n")
+
+    def test_unknown_well_formed_method_parses(self):
+        raw = INVITE.replace(b"INVITE sip:bob@example.com SIP/2.0", b"PUBLISH sip:bob@example.com SIP/2.0")
+        raw = raw.replace(b"CSeq: 1 INVITE", b"CSeq: 1 PUBLISH")
+        assert parse_message(raw).method == "PUBLISH"
+
+    def test_bare_lf_framing_tolerated(self):
+        raw = INVITE.replace(b"\r\n", b"\n")
+        assert parse_message(raw).method == "INVITE"
+
+
+class TestStrictness:
+    def test_duplicate_from_rejected_strict(self):
+        raw = INVITE.replace(
+            b"To: <sip:bob@example.com>\r\n",
+            b"To: <sip:bob@example.com>\r\nFrom: <sip:victim@example.com>;tag=v\r\n",
+        )
+        with pytest.raises(SipParseError):
+            parse_message(raw)
+
+    def test_duplicate_from_accepted_lenient(self):
+        raw = INVITE.replace(
+            b"To: <sip:bob@example.com>\r\n",
+            b"To: <sip:bob@example.com>\r\nFrom: <sip:victim@example.com>;tag=v\r\n",
+        )
+        message = parse_message(raw, strict=False)
+        assert len(message.headers.get_all("From")) == 2
+
+    def test_duplicate_via_always_fine(self):
+        raw = INVITE.replace(
+            b"Max-Forwards: 70\r\n",
+            b"Via: SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bK-p\r\nMax-Forwards: 70\r\n",
+        )
+        assert len(parse_message(raw).vias) == 2
+
+    def test_space_before_colon_rejected_strict(self):
+        raw = INVITE.replace(b"Max-Forwards: 70", b"Max-Forwards : 70")
+        with pytest.raises(SipParseError):
+            parse_message(raw)
+        assert parse_message(raw, strict=False).headers.get("Max-Forwards") == "70"
+
+
+class TestParseResponse:
+    def test_basic(self):
+        message = parse_message(OK)
+        assert isinstance(message, SipResponse)
+        assert message.status == 200
+        assert message.reason == "OK"
+        assert message.status_class == 2
+        assert message.cseq.method == "INVITE"
+
+    def test_status_classes(self):
+        for status, cls in [(100, 1), (180, 1), (200, 2), (404, 4), (500, 5), (603, 6)]:
+            raw = OK.replace(b"200 OK", f"{status} Whatever".encode())
+            assert parse_message(raw).status_class == cls
+
+    def test_default_reason_phrase(self):
+        response = SipResponse(status=486)
+        assert response.reason == "Busy Here"
+
+    def test_bad_status_code(self):
+        with pytest.raises(SipParseError):
+            parse_message(OK.replace(b"SIP/2.0 200 OK", b"SIP/2.0 xx OK"))
+
+    def test_encode_sets_content_length(self):
+        response = SipResponse(status=200)
+        response.headers.add("Via", "SIP/2.0/UDP h:1;branch=x")
+        raw = response.encode()
+        assert b"Content-Length: 0" in raw
+
+
+class TestLooksLikeSip:
+    def test_positive(self):
+        assert looks_like_sip(INVITE)
+        assert looks_like_sip(OK)
+
+    def test_negative(self):
+        assert not looks_like_sip(b"\x80\x00\x01\x02randomrtp")
+        assert not looks_like_sip(b"GET / HTTP/1.1\r\n\r\n")
+
+
+SDP = (
+    b"v=0\r\n"
+    b"o=alice 1 1 IN IP4 10.0.0.10\r\n"
+    b"s=-\r\n"
+    b"c=IN IP4 10.0.0.10\r\n"
+    b"t=0 0\r\n"
+    b"m=audio 40000 RTP/AVP 0\r\n"
+    b"a=rtpmap:0 PCMU/8000\r\n"
+)
+
+
+class TestSdp:
+    def test_parse(self):
+        sdp = SessionDescription.parse(SDP)
+        assert str(sdp.origin_address) == "10.0.0.10"
+        assert str(sdp.connection) == "10.0.0.10"
+        assert sdp.media[0].media == "audio"
+        assert sdp.media[0].port == 40000
+        assert sdp.media[0].formats == ("0",)
+
+    def test_audio_endpoint(self):
+        assert SessionDescription.parse(SDP).audio_endpoint() == Endpoint.parse("10.0.0.10:40000")
+
+    def test_per_media_connection_override(self):
+        raw = SDP + b"m=video 50000 RTP/AVP 96\r\nc=IN IP4 10.0.0.99\r\n"
+        sdp = SessionDescription.parse(raw)
+        video = sdp.media[1]
+        assert str(video.connection) == "10.0.0.99"
+        assert video.endpoint(sdp.connection) == Endpoint.parse("10.0.0.99:50000")
+
+    def test_encode_roundtrip(self):
+        sdp = SessionDescription.parse(SDP)
+        again = SessionDescription.parse(sdp.encode())
+        assert again.audio_endpoint() == sdp.audio_endpoint()
+        assert again.media[0].attributes == sdp.media[0].attributes
+
+    def test_audio_offer_helper(self):
+        offer = audio_offer("10.0.0.5", 42000)
+        assert offer.audio_endpoint() == Endpoint.parse("10.0.0.5:42000")
+        assert "rtpmap:0 PCMU/8000" in offer.media[0].attributes
+
+    def test_missing_origin_rejected(self):
+        with pytest.raises(SdpError):
+            SessionDescription.parse(b"v=0\r\ns=-\r\n")
+
+    def test_no_audio_section(self):
+        raw = SDP.replace(b"m=audio", b"m=video")
+        with pytest.raises(SdpError):
+            SessionDescription.parse(raw).audio_endpoint()
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(SdpError):
+            SessionDescription.parse(SDP + b"nonsense\r\n")
+
+    def test_session_attributes(self):
+        raw = SDP.replace(b"t=0 0\r\n", b"t=0 0\r\na=sendrecv\r\n")
+        sdp = SessionDescription.parse(raw)
+        assert "sendrecv" in sdp.attributes

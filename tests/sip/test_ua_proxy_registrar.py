@@ -1,0 +1,177 @@
+"""Integration tests: UA ↔ proxy ↔ registrar over the simulated network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sip.constants import STATUS_OK, STATUS_UNAUTHORIZED
+from repro.sip.dialog import DialogState
+from repro.sip.message import SipRequest
+from repro.sip.registrar import Registrar
+from repro.sip.ua import RegistrationResult
+from repro.voip.testbed import Testbed, TestbedConfig
+
+
+class TestRegistration:
+    def test_register_without_auth(self, testbed):
+        results: list[RegistrationResult] = []
+        testbed.phone_a.register(on_result=results.append)
+        testbed.run_for(1.0)
+        assert results and results[0].success
+        assert results[0].attempts == 1
+        assert testbed.registrar.binding_count == 1
+
+    def test_register_with_auth_challenge(self, auth_testbed):
+        results: list[RegistrationResult] = []
+        auth_testbed.phone_a.register(on_result=results.append)
+        auth_testbed.run_for(1.0)
+        assert results and results[0].success
+        assert results[0].attempts == 2  # 401 round-trip then success
+        assert auth_testbed.registrar.challenges_issued >= 1
+
+    def test_register_wrong_password_fails(self):
+        testbed = Testbed(TestbedConfig(require_auth=True, users=(("alice", "right"), ("bob", "b"))))
+        testbed.phone_a.ua.config.password = "wrong"
+        results: list[RegistrationResult] = []
+        testbed.phone_a.register(on_result=results.append)
+        testbed.run_for(1.0)
+        assert results and not results[0].success
+        assert results[0].status == STATUS_UNAUTHORIZED
+        assert testbed.registrar.binding_count == 0
+
+    def test_unregister_removes_binding(self, testbed):
+        testbed.register_all()
+        assert testbed.registrar.binding_count == 2
+        testbed.phone_a.ua.unregister()
+        testbed.run_for(1.0)
+        assert testbed.registrar.binding_count == 1
+
+    def test_binding_expiry(self):
+        registrar = Registrar(realm="example.com")
+        request = SipRequest.__new__(SipRequest)  # direct unit probe below instead
+        # Unit-level: insert then look up past expiry.
+        from repro.sip.registrar import Binding
+        from repro.sip.uri import SipUri
+
+        registrar._bindings["x@example.com"] = Binding(
+            contact=SipUri.parse("sip:x@10.0.0.9"), expires_at=10.0, registered_at=0.0
+        )
+        assert registrar.lookup("x@example.com", now=5.0) is not None
+        assert registrar.lookup("x@example.com", now=11.0) is None
+        assert registrar.binding_count == 0
+
+
+class TestCallThroughProxy:
+    def test_call_setup_and_teardown(self, testbed):
+        testbed.register_all()
+        call = testbed.phone_a.call("sip:bob@example.com")
+        testbed.run_for(1.5)
+        assert call.state.value == "active"
+        assert call.dialog is not None
+        assert call.dialog.state == DialogState.CONFIRMED
+        # Media negotiated both ways.
+        assert call.remote_media is not None
+        assert str(call.remote_media.ip) == "10.0.0.20"
+        b_call = testbed.phone_b.calls.get(call.call_id)
+        assert b_call is not None and b_call.state.value == "active"
+        testbed.phone_a.hangup(call)
+        testbed.run_for(1.0)
+        assert call.state.value == "ended"
+        assert b_call.state.value == "ended"
+        assert b_call.ended_by_peer
+
+    def test_call_to_unregistered_user_fails(self, testbed):
+        testbed.phone_a.register()
+        testbed.run_for(0.5)
+        call = testbed.phone_a.call("sip:nobody@example.com")
+        testbed.run_for(2.0)
+        assert call.state.value == "failed"
+        assert call.failure_status == 404
+
+    def test_proxy_stacks_via_and_responses_route_back(self, testbed):
+        testbed.register_all()
+        before = testbed.proxy.responses_forwarded
+        testbed.phone_a.call("sip:bob@example.com")
+        testbed.run_for(1.5)
+        assert testbed.proxy.requests_forwarded >= 1
+        assert testbed.proxy.responses_forwarded > before
+
+    def test_rtp_flows_both_ways(self, testbed):
+        testbed.register_all()
+        call = testbed.phone_a.call("sip:bob@example.com")
+        testbed.run_for(1.0)
+        testbed.run_for(1.0)  # one second of talking
+        b_call = testbed.phone_b.calls[call.call_id]
+        assert call.rtp.sender.packets_sent >= 45  # ~50 per second
+        assert b_call.rtp.sender.packets_sent >= 45
+        assert call.rtp.total_received >= 45
+        assert b_call.rtp.total_received >= 45
+
+    def test_rtp_stops_after_hangup(self, testbed):
+        testbed.register_all()
+        call = testbed.phone_a.call("sip:bob@example.com")
+        testbed.run_for(1.5)
+        testbed.phone_a.hangup(call)
+        testbed.run_for(0.5)
+        sent_at_hangup = call.rtp.sender.packets_sent
+        testbed.run_for(1.0)
+        assert call.rtp.sender.packets_sent == sent_at_hangup
+
+    def test_max_forwards_loop_protection(self, testbed):
+        testbed.register_all()
+        # Craft a request with Max-Forwards: 0 straight to the proxy.
+        from repro.net.addr import Endpoint
+        from repro.sip.headers import NameAddr, Via
+        from repro.sip.uri import SipUri
+
+        request = SipRequest(method="INVITE", uri=SipUri.parse("sip:bob@example.com"))
+        request.headers.add("Via", "SIP/2.0/UDP 10.0.0.10:5060;branch=z9hG4bK-mf")
+        request.headers.add("Max-Forwards", "0")
+        request.headers.add("From", "<sip:alice@example.com>;tag=x")
+        request.headers.add("To", "<sip:bob@example.com>")
+        request.headers.add("Call-ID", "mf-test")
+        request.headers.add("CSeq", "1 INVITE")
+        request.headers.set("Content-Length", "0")
+        rejected_before = testbed.proxy.requests_rejected
+        sock = testbed.stack_a.bind_ephemeral(lambda *a: None)
+        sock.send_to(testbed.proxy_endpoint, request.encode())
+        testbed.run_for(0.5)
+        assert testbed.proxy.requests_rejected == rejected_before + 1
+
+
+class TestInstantMessaging:
+    def test_message_delivery(self, testbed):
+        testbed.register_all()
+        testbed.phone_b.send_message("sip:alice@example.com", "hello alice")
+        testbed.run_for(1.0)
+        assert len(testbed.phone_a.messages) == 1
+        message = testbed.phone_a.messages[0]
+        assert message.from_aor == "bob@example.com"
+        assert message.text == "hello alice"
+        # Routed via the proxy, so the network source is the proxy.
+        assert str(message.source.ip) == "10.0.0.1"
+
+    def test_message_callback(self, testbed):
+        testbed.register_all()
+        seen = []
+        testbed.phone_a.on_incoming_message = seen.append
+        testbed.phone_b.send_message("sip:alice@example.com", "ping")
+        testbed.run_for(1.0)
+        assert len(seen) == 1
+
+
+class TestReinvite:
+    def test_legitimate_media_migration(self):
+        testbed = Testbed(TestbedConfig(with_cell_phone=True))
+        testbed.register_all()
+        call_a = testbed.phone_a.call("sip:bob@example.com")
+        testbed.run_for(1.5)
+        call_b = testbed.phone_b.calls[call_a.call_id]
+        from repro.net.addr import Endpoint
+
+        new_media = Endpoint(testbed.stack_c.ip, 40000)
+        testbed.phone_b.migrate_media(call_b, new_media)
+        testbed.run_for(1.0)
+        # A's phone now streams to the new address.
+        assert call_a.rtp.remote == new_media
+        assert call_a.remote_media == new_media

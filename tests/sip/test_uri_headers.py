@@ -1,0 +1,238 @@
+"""Unit tests for SIP URIs and typed headers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sip.headers import (
+    CSeq,
+    HeaderError,
+    HeaderTable,
+    NameAddr,
+    Via,
+    canonical_name,
+)
+from repro.sip.uri import SipUri, UriError
+
+
+class TestSipUri:
+    def test_basic_parse(self):
+        uri = SipUri.parse("sip:alice@example.com")
+        assert uri.user == "alice"
+        assert uri.host == "example.com"
+        assert uri.port is None
+        assert uri.scheme == "sip"
+
+    def test_port(self):
+        assert SipUri.parse("sip:bob@10.0.0.2:5062").port == 5062
+
+    def test_params(self):
+        uri = SipUri.parse("sip:a@h;transport=udp;lr")
+        assert uri.param("transport") == "udp"
+        assert uri.param("lr") is None
+        assert ("lr", None) in uri.params
+
+    def test_headers(self):
+        uri = SipUri.parse("sip:a@h?subject=hello&priority=urgent")
+        assert ("subject", "hello") in uri.headers
+
+    def test_sips_scheme(self):
+        assert SipUri.parse("sips:a@h").scheme == "sips"
+
+    def test_angle_brackets_stripped(self):
+        assert SipUri.parse("<sip:a@h>").user == "a"
+
+    def test_no_user(self):
+        uri = SipUri.parse("sip:registrar.example.com")
+        assert uri.user == ""
+        assert uri.address_of_record == "registrar.example.com"
+
+    def test_address_of_record_strips_port_and_params(self):
+        uri = SipUri.parse("sip:alice@EXAMPLE.com:5070;transport=udp")
+        assert uri.address_of_record == "alice@example.com"
+
+    def test_str_roundtrip(self):
+        for text in (
+            "sip:alice@example.com",
+            "sip:bob@10.0.0.2:5062",
+            "sip:a@h;lr",
+            "sips:x@y:1;a=b?h=v",
+        ):
+            assert str(SipUri.parse(text)) == text
+
+    def test_invalid_rejected(self):
+        for bad in ("http://x", "sip:", "alice@example.com", "sip:a@h:port"):
+            with pytest.raises(UriError):
+                SipUri.parse(bad)
+
+    def test_port_out_of_range(self):
+        with pytest.raises(UriError):
+            SipUri.parse("sip:a@h:99999")
+
+    def test_with_param_replaces(self):
+        uri = SipUri.parse("sip:a@h;x=1")
+        updated = uri.with_param("x", "2")
+        assert updated.param("x") == "2"
+        assert len([p for p in updated.params if p[0] == "x"]) == 1
+
+
+class TestCanonicalName:
+    def test_compact_forms(self):
+        assert canonical_name("v") == "Via"
+        assert canonical_name("f") == "From"
+        assert canonical_name("i") == "Call-ID"
+        assert canonical_name("l") == "Content-Length"
+
+    def test_special_caps(self):
+        assert canonical_name("call-id") == "Call-ID"
+        assert canonical_name("CSEQ") == "CSeq"
+        assert canonical_name("www-authenticate") == "WWW-Authenticate"
+
+    def test_title_casing(self):
+        assert canonical_name("content-type") == "Content-Type"
+        assert canonical_name("x-custom-header") == "X-Custom-Header"
+
+
+class TestHeaderTable:
+    def test_add_get_case_insensitive(self):
+        table = HeaderTable()
+        table.add("FROM", "alice")
+        assert table.get("from") == "alice"
+        assert "From" in table
+
+    def test_multi_headers_ordered(self):
+        table = HeaderTable()
+        table.add("Via", "first")
+        table.add("Via", "second")
+        assert table.get_all("Via") == ["first", "second"]
+        assert table.get("Via") == "first"
+
+    def test_set_replaces_all(self):
+        table = HeaderTable()
+        table.add("Via", "a")
+        table.add("Via", "b")
+        table.set("Via", "only")
+        assert table.get_all("Via") == ["only"]
+
+    def test_insert_first(self):
+        table = HeaderTable()
+        table.add("Via", "old")
+        table.insert_first("Via", "new")
+        assert table.get_all("Via") == ["new", "old"]
+
+    def test_remove_first(self):
+        table = HeaderTable()
+        table.add("Via", "one")
+        table.add("Via", "two")
+        table.remove_first("Via")
+        assert table.get_all("Via") == ["two"]
+
+    def test_remove_all(self):
+        table = HeaderTable([("Via", "a"), ("Via", "b"), ("To", "t")])
+        table.remove("Via")
+        assert table.get_all("Via") == []
+        assert table.get("To") == "t"
+
+    def test_copy_independent(self):
+        table = HeaderTable([("From", "a")])
+        clone = table.copy()
+        clone.set("From", "b")
+        assert table.get("From") == "a"
+
+    def test_compact_form_normalised_on_add(self):
+        table = HeaderTable()
+        table.add("v", "SIP/2.0/UDP host")
+        assert table.get("Via") == "SIP/2.0/UDP host"
+
+
+class TestVia:
+    def test_parse(self):
+        via = Via.parse("SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bK-abc;rport")
+        assert via.transport == "UDP"
+        assert via.host == "10.0.0.1"
+        assert via.port == 5060
+        assert via.branch == "z9hG4bK-abc"
+        assert via.param("rport") is None
+
+    def test_no_port(self):
+        via = Via.parse("SIP/2.0/TCP example.com;branch=x")
+        assert via.port is None
+
+    def test_str_roundtrip(self):
+        text = "SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bK-1"
+        assert str(Via.parse(text)) == text
+
+    def test_with_param(self):
+        via = Via.parse("SIP/2.0/UDP h:1;branch=x")
+        updated = via.with_param("received", "10.0.0.9")
+        assert updated.param("received") == "10.0.0.9"
+
+    def test_malformed(self):
+        for bad in ("UDP 10.0.0.1", "SIP/2.0 10.0.0.1", "SIP/2.0/UDP", "SIP/2.0/UDP h:x"):
+            with pytest.raises(HeaderError):
+                Via.parse(bad)
+
+
+class TestNameAddr:
+    def test_display_name_quoted(self):
+        addr = NameAddr.parse('"Alice Wonderland" <sip:alice@example.com>;tag=abc')
+        assert addr.display_name == "Alice Wonderland"
+        assert addr.uri.user == "alice"
+        assert addr.tag == "abc"
+
+    def test_display_name_unquoted(self):
+        addr = NameAddr.parse("Bob <sip:bob@example.com>")
+        assert addr.display_name == "Bob"
+
+    def test_addr_spec_form(self):
+        addr = NameAddr.parse("sip:carol@example.com;tag=xyz")
+        assert addr.uri.user == "carol"
+        assert addr.tag == "xyz"
+
+    def test_addr_spec_params_belong_to_header(self):
+        # Without <>, ;tag is a header param, not a URI param.
+        addr = NameAddr.parse("sip:carol@example.com;tag=xyz")
+        assert addr.uri.param("tag") is None
+
+    def test_angle_form_uri_params_stay_in_uri(self):
+        addr = NameAddr.parse("<sip:carol@example.com;transport=udp>;tag=xyz")
+        assert addr.uri.param("transport") == "udp"
+        assert addr.tag == "xyz"
+
+    def test_with_tag(self):
+        addr = NameAddr.parse("<sip:a@h>")
+        assert addr.with_tag("t1").tag == "t1"
+        assert addr.with_tag("t1").with_tag("t2").tag == "t2"
+
+    def test_str_roundtrip(self):
+        text = '"Alice" <sip:alice@example.com>;tag=abc'
+        assert str(NameAddr.parse(text)) == text
+
+    def test_unterminated_bracket(self):
+        with pytest.raises(HeaderError):
+            NameAddr.parse("<sip:a@h")
+
+    def test_unterminated_quote(self):
+        with pytest.raises(HeaderError):
+            NameAddr.parse('"Alice <sip:a@h>')
+
+
+class TestCSeq:
+    def test_parse(self):
+        cseq = CSeq.parse("314 INVITE")
+        assert cseq.number == 314
+        assert cseq.method == "INVITE"
+
+    def test_method_uppercased(self):
+        assert CSeq.parse("1 invite").method == "INVITE"
+
+    def test_next_for(self):
+        assert CSeq(3, "INVITE").next_for("BYE") == CSeq(4, "BYE")
+
+    def test_str(self):
+        assert str(CSeq(9, "ACK")) == "9 ACK"
+
+    def test_malformed(self):
+        for bad in ("INVITE", "x INVITE", "1", "1 2 3"):
+            with pytest.raises(HeaderError):
+                CSeq.parse(bad)

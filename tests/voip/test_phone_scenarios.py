@@ -1,0 +1,139 @@
+"""Tests for the soft-phone layer, testbed and benign scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.voip.call import CallState
+from repro.voip.scenarios import (
+    im_exchange,
+    mobility_call,
+    normal_call,
+    registration_churn,
+)
+from repro.voip.testbed import Testbed, TestbedConfig
+
+
+class TestSoftphone:
+    def test_call_timeline_recorded(self, testbed):
+        testbed.register_all()
+        outcome = normal_call(testbed, talk_seconds=0.5)
+        notes = [e.what for e in outcome.caller_leg.timeline]
+        assert notes[0] == "INVITE sent"
+        assert "call established" in notes
+        assert "BYE sent" in notes
+
+    def test_call_duration(self, testbed):
+        testbed.register_all()
+        outcome = normal_call(testbed, talk_seconds=1.0)
+        # Established partway through the 1 s setup phase, then 1 s talk.
+        assert 1.0 <= outcome.caller_leg.duration <= 2.0
+
+    def test_each_phone_has_own_leg(self, testbed):
+        testbed.register_all()
+        outcome = normal_call(testbed, talk_seconds=0.5)
+        assert outcome.caller_leg.outgoing
+        assert not outcome.callee_leg.outgoing
+        assert outcome.caller_leg.call_id == outcome.callee_leg.call_id
+
+    def test_active_calls_listing(self, testbed):
+        testbed.register_all()
+        call = testbed.phone_a.call("sip:bob@example.com")
+        testbed.run_for(1.5)
+        assert testbed.phone_a.active_calls() == [call]
+        testbed.phone_a.hangup(call)
+        testbed.run_for(0.5)
+        assert testbed.phone_a.active_calls() == []
+
+    def test_hangup_requires_active_call(self, testbed):
+        testbed.register_all()
+        call = testbed.phone_a.call("sip:bob@example.com")
+        with pytest.raises(RuntimeError):
+            testbed.phone_a.hangup(call)  # still dialing
+
+    def test_find_call_by_peer(self, testbed):
+        testbed.register_all()
+        testbed.phone_a.call("sip:bob@example.com")
+        testbed.run_for(1.0)
+        assert testbed.phone_a.find_call("bob@example.com") is not None
+        assert testbed.phone_a.find_call("carol@example.com") is None
+
+    def test_distinct_tones_distinct_payloads(self, testbed):
+        testbed.register_all()
+        outcome = normal_call(testbed, talk_seconds=0.5)
+        a_rtp = outcome.caller_leg.rtp
+        b_rtp = outcome.callee_leg.rtp
+        # A sends 440 Hz, B sends 880 Hz: payloads must differ.
+        assert a_rtp.sender.octets_sent > 0
+        assert b_rtp.sender.octets_sent > 0
+
+
+class TestTestbed:
+    def test_topology(self, testbed):
+        assert testbed.hub.ports == 6  # proxy, A, B, attacker, eye, tap
+        assert str(testbed.stack_a.ip) == "10.0.0.10"
+        assert str(testbed.proxy_stack.ip) == "10.0.0.1"
+
+    def test_billing_adds_hosts(self):
+        testbed = Testbed(TestbedConfig(with_billing=True))
+        assert testbed.billing_db is not None
+        assert testbed.hub.ports == 7
+
+    def test_cell_phone_option(self):
+        testbed = Testbed(TestbedConfig(with_cell_phone=True))
+        assert testbed.stack_c is not None
+        assert str(testbed.stack_c.ip) == "10.0.0.30"
+
+    def test_register_all(self, testbed):
+        testbed.register_all()
+        assert testbed.registrar.binding_count == 2
+
+    def test_tap_sees_traffic(self, testbed):
+        testbed.register_all()
+        assert testbed.ids_tap.frames_captured > 0
+
+    def test_deterministic_given_seed(self):
+        t1 = Testbed(TestbedConfig(seed=3))
+        t1.register_all()
+        normal_call(t1, talk_seconds=0.5)
+        t2 = Testbed(TestbedConfig(seed=3))
+        t2.register_all()
+        normal_call(t2, talk_seconds=0.5)
+        frames1 = [r.frame for r in t1.ids_tap.trace]
+        frames2 = [r.frame for r in t2.ids_tap.trace]
+        assert frames1 == frames2
+
+
+class TestScenarios:
+    def test_normal_call_both_directions(self, testbed):
+        testbed.register_all()
+        outcome = normal_call(testbed, caller_hangs_up=False)
+        assert outcome.caller_leg.ended_by_peer
+        assert not outcome.callee_leg.ended_by_peer
+
+    def test_im_exchange(self, testbed):
+        testbed.register_all()
+        im_exchange(testbed, ["a", "b", "c"])
+        assert len(testbed.phone_a.messages) == 3
+
+    def test_registration_churn_all_succeed(self, auth_testbed):
+        auth_testbed.register_all()
+        churn = registration_churn(auth_testbed, rounds=3)
+        assert churn.successes == churn.attempts == 6
+
+    def test_mobility_call_media_moves(self):
+        testbed = Testbed(TestbedConfig(with_cell_phone=True))
+        testbed.register_all()
+        outcome = mobility_call(testbed)
+        assert outcome.caller_leg.remote_media is not None
+        assert str(outcome.caller_leg.remote_media.ip) == "10.0.0.30"
+
+    def test_mobility_needs_cell_phone(self, testbed):
+        testbed.register_all()
+        with pytest.raises(RuntimeError):
+            mobility_call(testbed)
+
+    def test_call_outcome_flags(self, testbed):
+        testbed.register_all()
+        outcome = normal_call(testbed)
+        assert outcome.both_active_seen
