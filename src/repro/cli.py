@@ -3,13 +3,20 @@
 Usage::
 
     python -m repro scenario bye-attack [--seed 7] [--pcap out.pcap] [--json alerts.jsonl]
+                                        [--metrics-out m.txt] [--trace-out t.jsonl]
     python -m repro replay capture.pcap [--vantage 10.0.0.10] [--json alerts.jsonl]
+                                        [--metrics-out m.txt] [--trace-out t.jsonl]
+    python -m repro stats bye-attack [--seed 7] [--format table|prom|json]
     python -m repro table1 [--seed 7]
     python -m repro list
 
 ``scenario`` drives the full simulated testbed (attack or benign),
-``replay`` runs the IDS offline over a standard pcap, ``table1``
-regenerates the paper's attack matrix.
+``replay`` runs the IDS offline over a standard pcap, ``stats`` runs a
+scenario with full observability and prints the per-stage/per-rule
+report, ``table1`` regenerates the paper's attack matrix.
+``--metrics-out`` writes Prometheus-text metrics, ``--trace-out``
+writes a JSON-lines span trace; ``--log-level`` turns on structured
+logging for any command.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ import argparse
 import sys
 from typing import Callable, Sequence
 
+from repro import obs
 from repro.core.export import write_alerts_jsonl
 from repro.experiments.harness import (
     BENIGN_KINDS,
@@ -33,7 +41,7 @@ from repro.experiments.harness import (
     run_rtp_attack,
     run_ssrc_spoof,
 )
-from repro.experiments.report import format_table
+from repro.experiments.report import format_stage_summary, format_table
 
 ATTACK_SCENARIOS: dict[str, Callable[..., ExperimentResult]] = {
     "bye-attack": run_bye_attack,
@@ -52,6 +60,15 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="SCIDIVE reproduction command line"
     )
+    parser.add_argument(
+        "--log-level", default=None,
+        choices=["DEBUG", "INFO", "WARNING", "ERROR"],
+        help="enable structured logging at this level",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit log records as JSON lines instead of key=value text",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     scenario = sub.add_parser("scenario", help="run an attack or benign scenario")
@@ -59,18 +76,36 @@ def _build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--seed", type=int, default=7)
     scenario.add_argument("--pcap", help="write the tap capture to this pcap file")
     scenario.add_argument("--json", help="write alerts to this JSON-lines file")
+    _add_obs_flags(scenario)
 
     replay = sub.add_parser("replay", help="replay a pcap through the IDS")
     replay.add_argument("pcap", help="pcap file (LINKTYPE_ETHERNET)")
     replay.add_argument("--vantage", default=None,
                         help="protected endpoint IP (default: network-wide)")
     replay.add_argument("--json", help="write alerts to this JSON-lines file")
+    _add_obs_flags(replay)
+
+    stats = sub.add_parser(
+        "stats", help="run a scenario with full observability and report"
+    )
+    stats.add_argument("name", help="scenario name (see `repro list`)")
+    stats.add_argument("--seed", type=int, default=7)
+    stats.add_argument("--format", choices=["table", "prom", "json"], default="table",
+                       help="report format: human tables, Prometheus text, or JSON")
+    _add_obs_flags(stats)
 
     table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
     table1.add_argument("--seed", type=int, default=7)
 
     sub.add_parser("list", help="list available scenarios")
     return parser
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--metrics-out",
+                        help="write Prometheus-text metrics to this file")
+    parser.add_argument("--trace-out",
+                        help="write the per-frame span trace to this JSON-lines file")
 
 
 def _print_alerts(result_alerts) -> None:
@@ -84,16 +119,36 @@ def _print_alerts(result_alerts) -> None:
     print(format_table(["t (s)", "rule", "severity", "session", "message"], rows))
 
 
-def _cmd_scenario(args: argparse.Namespace) -> int:
-    name = args.name
+def _run_scenario(name: str, seed: int) -> ExperimentResult | None:
     if name in ATTACK_SCENARIOS:
-        result = ATTACK_SCENARIOS[name](seed=args.seed)
-    elif name.removeprefix("benign-") in BENIGN_KINDS:
-        result = run_benign(name.removeprefix("benign-"), seed=args.seed)
-    else:
-        print(f"unknown scenario {name!r}; try `repro list`", file=sys.stderr)
+        return ATTACK_SCENARIOS[name](seed=seed)
+    if name.removeprefix("benign-") in BENIGN_KINDS:
+        return run_benign(name.removeprefix("benign-"), seed=seed)
+    return None
+
+
+def _export_observability(ctx: obs.Observability | None, args: argparse.Namespace) -> None:
+    if ctx is None:
+        return
+    if args.metrics_out:
+        ctx.registry.write_prometheus(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+    if args.trace_out and ctx.tracer is not None:
+        count = ctx.tracer.write_jsonl(args.trace_out)
+        print(f"{count} spans written to {args.trace_out}")
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    want_obs = bool(args.metrics_out or args.trace_out)
+    ctx = obs.enable(trace=bool(args.trace_out)) if want_obs else None
+    try:
+        result = _run_scenario(args.name, args.seed)
+    finally:
+        obs.disable()
+    if result is None:
+        print(f"unknown scenario {args.name!r}; try `repro list`", file=sys.stderr)
         return 2
-    print(f"scenario {name}: {result.engine.stats.frames} frames, "
+    print(f"scenario {args.name}: {result.engine.stats.frames} frames, "
           f"{result.engine.stats.footprints} footprints, "
           f"{result.engine.stats.events} events")
     _print_alerts(result.alerts)
@@ -105,6 +160,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     if args.json:
         count = write_alerts_jsonl(args.json, result.alerts)
         print(f"{count} alerts written to {args.json}")
+    _export_observability(ctx, args)
     return 0
 
 
@@ -112,8 +168,10 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.core.engine import ScidiveEngine
     from repro.net.pcap import read_pcap
 
+    want_obs = bool(args.metrics_out or args.trace_out)
+    ctx = obs.Observability.create(trace=bool(args.trace_out)) if want_obs else None
     trace = read_pcap(args.pcap)
-    engine = ScidiveEngine(vantage_ip=args.vantage)
+    engine = ScidiveEngine(vantage_ip=args.vantage, observability=ctx)
     engine.process_trace(trace)
     print(f"replayed {len(trace)} frames: {engine.stats.footprints} footprints, "
           f"{engine.stats.events} events, {len(engine.alerts)} alerts")
@@ -121,6 +179,57 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     if args.json:
         count = write_alerts_jsonl(args.json, engine.alerts)
         print(f"{count} alerts written to {args.json}")
+    _export_observability(ctx, args)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Run one scenario fully instrumented and print the metrics report."""
+    ctx = obs.enable(trace=True)
+    try:
+        result = _run_scenario(args.name, args.seed)
+    finally:
+        obs.disable()
+    if result is None:
+        print(f"unknown scenario {args.name!r}; try `repro list`", file=sys.stderr)
+        return 2
+    engine = result.engine
+    engine.snapshot_gauges()
+    if args.format == "prom":
+        print(ctx.registry.render_prometheus(), end="")
+    elif args.format == "json":
+        print(ctx.registry.render_json(indent=2))
+    else:
+        stats = engine.stats
+        print(format_table(
+            ["metric", "value"],
+            [
+                ["frames", stats.frames],
+                ["footprints", stats.footprints],
+                ["events", stats.events],
+                ["alerts", stats.alerts],
+                ["engine cpu (s)", f"{stats.cpu_seconds:.4f}"],
+                ["frames / cpu-second", f"{stats.frames_per_cpu_second:,.0f}"],
+                ["live trails", engine.trails.trail_count],
+                ["live sessions", engine.trails.session_count],
+                ["tracked dialogs", engine.sip_state.call_count],
+                ["tracked registrations", engine.registrations.session_count],
+                ["trails reclaimed", engine.expired_trails],
+            ],
+            title=f"Pipeline counters — {args.name} (seed {args.seed})",
+        ))
+        print()
+        print(format_stage_summary(engine.stage_summary()))
+        print()
+        rule_rows = [
+            [r["rule_id"], r["attack_class"], r["matches_attempted"], r["alerts_raised"]]
+            for r in engine.ruleset.rule_stats()
+        ]
+        print(format_table(
+            ["rule", "class", "matches attempted", "alerts raised"],
+            rule_rows, title="Per-rule activity",
+        ))
+    _export_observability(ctx, args)
     return 0
 
 
@@ -144,9 +253,12 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.log_level:
+        obs.setup_logging(level=args.log_level, json_lines=args.log_json)
     handlers = {
         "scenario": _cmd_scenario,
         "replay": _cmd_replay,
+        "stats": _cmd_stats,
         "table1": _cmd_table1,
         "list": _cmd_list,
     }

@@ -37,13 +37,22 @@ class Alert:
 
 
 class AlertLog:
-    """Collects alerts; the default sink."""
+    """Collects alerts; the default sink.
+
+    ``subscribers`` are called with each alert as it is emitted —
+    regardless of which path raised it (frame processing, injected
+    events, cooperative correlation) — which is how the observability
+    layer counts alerts without touching every call site.
+    """
 
     def __init__(self) -> None:
         self.alerts: list[Alert] = []
+        self.subscribers: list = []
 
     def emit(self, alert: Alert) -> None:
         self.alerts.append(alert)
+        for subscriber in self.subscribers:
+            subscriber(alert)
 
     def by_rule(self, rule_id: str) -> list[Alert]:
         return [a for a in self.alerts if a.rule_id == rule_id]

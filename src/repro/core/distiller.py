@@ -57,6 +57,18 @@ class DistillerStats:
     malformed: int = 0
     ignored: int = 0
 
+    def as_dict(self) -> dict[str, int]:
+        """Counter snapshot for gauge export (repro.obs)."""
+        return {
+            "frames": self.frames,
+            "footprints": self.footprints,
+            "non_ip": self.non_ip,
+            "non_udp": self.non_udp,
+            "fragments_held": self.fragments_held,
+            "malformed": self.malformed,
+            "ignored": self.ignored,
+        }
+
 
 @dataclass(slots=True)
 class Distiller:

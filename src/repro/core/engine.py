@@ -6,13 +6,22 @@ endpoint (``vantage_ip``).  It consumes frames either *online*
 (subscribed to a live sniffer) or *offline* (replaying a recorded
 :class:`~repro.sim.trace.Trace`), which mirrors the paper's
 hub-tap deployment.
+
+Observability: pass ``metrics_enabled=True`` (or install a global
+context with :func:`repro.obs.enable`) and the engine counts frames /
+footprints / events / alerts by protocol and rule, samples per-stage
+latency histograms, and — when the context carries a tracer — records
+per-frame spans through distill → trail → generate → match.  When off
+(the default), the frame path is byte-for-byte the uninstrumented one
+behind a single ``None`` check.
 """
 
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from repro import obs as _obs
 from repro.core.alerts import Alert, AlertLog
 from repro.core.distiller import Distiller
 from repro.core.event_generators import default_generators
@@ -23,7 +32,10 @@ from repro.core.rules_library import paper_ruleset
 from repro.core.state import RegistrationTracker, SipStateTracker
 from repro.core.trail import TrailManager
 from repro.net.capture import Sniffer
+from repro.obs.logsetup import get_logger
 from repro.sim.trace import Trace
+
+_log = get_logger("core.engine")
 
 
 @dataclass(slots=True)
@@ -36,7 +48,15 @@ class EngineStats:
 
     @property
     def frames_per_cpu_second(self) -> float:
-        return self.frames / self.cpu_seconds if self.cpu_seconds > 0 else float("inf")
+        return self.frames / self.cpu_seconds if self.cpu_seconds > 0 else 0.0
+
+    def reset(self) -> None:
+        """Zero all counters (between experiment phases)."""
+        self.frames = 0
+        self.footprints = 0
+        self.events = 0
+        self.alerts = 0
+        self.cpu_seconds = 0.0
 
 
 class ScidiveEngine:
@@ -50,6 +70,8 @@ class ScidiveEngine:
         distiller: Distiller | None = None,
         name: str = "scidive",
         vantage_mac: str | None = None,
+        observability: "_obs.Observability | None" = None,
+        metrics_enabled: bool | None = None,
     ) -> None:
         self.name = name
         self.distiller = distiller if distiller is not None else Distiller()
@@ -79,11 +101,56 @@ class ScidiveEngine:
         self.state_idle_timeout: float = 600.0
         self._since_housekeeping = 0
         self.expired_trails = 0
+        # -- observability wiring --------------------------------------------
+        # metrics_enabled=False forces dark even under a global context;
+        # True builds a private context; None follows obs.current().
+        if metrics_enabled is False:
+            self.observability = None
+        elif observability is not None:
+            self.observability = observability
+        elif metrics_enabled:
+            self.observability = _obs.Observability.create()
+        else:
+            self.observability = _obs.current()
+        self._instr = (
+            self.observability.instrument_engine(name)
+            if self.observability is not None
+            else None
+        )
+        if self._instr is not None:
+            self.alert_log.subscribers.append(self._instr.alert)
+            # Hot-path handles pre-resolved once: the per-frame code then
+            # observes directly on histogram/counter children, and keeps
+            # per-generator tallies in plain dicts merged at snapshot time.
+            instr = self._instr
+            self._c_frames = instr.frame_counter_child()
+            self._h_distill = instr.stage_child("distill")
+            self._h_state = instr.stage_child("state")
+            self._h_trail = instr.stage_child("trail")
+            self._h_generate = instr.stage_child("generate")
+            self._h_match = instr.stage_child("match")
+            # Every generator runs exactly once per footprint, so calls
+            # need no per-frame tally — a positional seconds list plus one
+            # footprint counter reconstructs both at flush time.
+            # Per-generator attribution is *sampled* (1 in _gen_sample_every
+            # footprints, scaled up at flush); timing all ten generators on
+            # every frame costs more than the generators themselves.
+            self._gen_names = [g.name for g in self.generators]
+            self._gen_secs = [0.0] * len(self.generators)
+            self._gen_footprints = 0
+            self._gen_sample_every = 8
+            self._gen_sample_tick = self._gen_sample_every - 1  # sample frame 1
+
+    @property
+    def metrics_enabled(self) -> bool:
+        return self._instr is not None
 
     # -- ingestion ------------------------------------------------------------
 
     def process_frame(self, frame: bytes, timestamp: float) -> list[Alert]:
         """The online entry point: one captured frame in, alerts out."""
+        if self._instr is not None:
+            return self._process_frame_instrumented(frame, timestamp)
         started = _time.perf_counter()
         self.stats.frames += 1
         alerts: list[Alert] = []
@@ -117,12 +184,142 @@ class ScidiveEngine:
                 subscriber(alert)
         return alerts
 
+    # -- instrumented ingestion (mirrors the fast path, plus timing) ---------
+
+    def _process_frame_instrumented(self, frame: bytes, timestamp: float) -> list[Alert]:
+        instr = self._instr
+        tracer = instr.tracer
+        started = _time.perf_counter()
+        self.stats.frames += 1
+        self._c_frames.inc()
+        frame_no = self.stats.frames
+        footprint = self.distiller.distill(frame, timestamp)
+        dt = _time.perf_counter() - started
+        self._h_distill.observe(dt)
+        if tracer is not None:
+            tracer.record(
+                "distill", dt, frame=frame_no, sim_time=timestamp,
+                protocol=footprint.protocol.value if footprint is not None else "none",
+            )
+        alerts: list[Alert] = []
+        if footprint is not None:
+            instr.footprint(footprint.protocol.value)
+            alerts = self._process_footprint_instrumented(footprint, frame_no)
+        self.stats.cpu_seconds += _time.perf_counter() - started
+        return alerts
+
+    def _process_footprint_instrumented(
+        self, footprint: AnyFootprint, frame_no: int
+    ) -> list[Alert]:
+        instr = self._instr
+        tracer = instr.tracer
+        perf = _time.perf_counter
+        ts = footprint.timestamp
+        self.stats.footprints += 1
+        self._since_housekeeping += 1
+        if self.housekeeping_every and self._since_housekeeping >= self.housekeeping_every:
+            t0 = perf()
+            reclaimed = self.housekeep(ts)
+            instr.stage("housekeep", perf() - t0, frame=frame_no, sim_time=ts,
+                        reclaimed=reclaimed)
+        if isinstance(footprint, SipFootprint):
+            t0 = perf()
+            self.sip_state.observe(footprint)
+            self.registrations.observe(footprint)
+            dt = perf() - t0
+            self._h_state.observe(dt)
+            if tracer is not None:
+                tracer.record("state", dt, frame=frame_no, sim_time=ts)
+        t0 = perf()
+        trail = self.trails.push(footprint)
+        dt = perf() - t0
+        self._h_trail.observe(dt)
+        if tracer is not None:
+            tracer.record("trail", dt, frame=frame_no, sim_time=ts)
+        alerts: list[Alert] = []
+        events_produced = 0
+        match_seconds = 0.0
+        self._gen_footprints += 1
+        tick = self._gen_sample_tick + 1
+        sampled = tick >= self._gen_sample_every
+        self._gen_sample_tick = 0 if sampled else tick
+        loop_start = perf()
+        if sampled:
+            # Sampled frame: attribute time to each generator.  The
+            # timestamps are chained — each generator's end mark doubles
+            # as the next one's start.
+            gen_secs = self._gen_secs
+            mark = loop_start
+            for i, generator in enumerate(self.generators):
+                events = generator.on_footprint(footprint, trail, self._ctx)
+                now = perf()
+                gen_secs[i] += now - mark
+                mark = now
+                if not events:
+                    continue
+                for event in events:
+                    events_produced += 1
+                    self.stats.events += 1
+                    instr.event(event.name)
+                    self.event_log.append(event)
+                    for subscriber in self.event_subscribers:
+                        subscriber(self.name, event)
+                    m0 = perf()
+                    alerts.extend(
+                        self.ruleset.match(event, self.trails, self.alert_log)
+                    )
+                    match_seconds += perf() - m0
+                mark = perf()
+        else:
+            # Unsampled frame: two perf_counter marks bound the whole loop.
+            for generator in self.generators:
+                events = generator.on_footprint(footprint, trail, self._ctx)
+                if not events:
+                    continue
+                for event in events:
+                    events_produced += 1
+                    self.stats.events += 1
+                    instr.event(event.name)
+                    self.event_log.append(event)
+                    for subscriber in self.event_subscribers:
+                        subscriber(self.name, event)
+                    m0 = perf()
+                    alerts.extend(
+                        self.ruleset.match(event, self.trails, self.alert_log)
+                    )
+                    match_seconds += perf() - m0
+        generate_seconds = perf() - loop_start - match_seconds
+        self._h_generate.observe(generate_seconds)
+        self._h_match.observe(match_seconds)
+        if tracer is not None:
+            tracer.record("generate", generate_seconds, frame=frame_no,
+                          sim_time=ts, events=events_produced)
+            tracer.record("match", match_seconds, frame=frame_no, sim_time=ts,
+                          events=events_produced, alerts=len(alerts))
+        self.stats.alerts += len(alerts)
+        for alert in alerts:
+            for subscriber in self.alert_subscribers:
+                subscriber(alert)
+        return alerts
+
     def inject_event(self, event: Event) -> list[Alert]:
-        """Feed an externally produced event (cooperative detection)."""
+        """Feed an externally produced event (cooperative detection).
+
+        Subscribers are notified exactly as for locally generated events,
+        so cooperating peers and response hooks hear injected activity.
+        """
         self.stats.events += 1
         self.event_log.append(event)
+        if self._instr is not None:
+            self._instr.injected_event()
+            self._instr.event(event.name)
+        for subscriber in self.event_subscribers:
+            subscriber(self.name, event)
         alerts = self.ruleset.match(event, self.trails, self.alert_log)
         self.stats.alerts += len(alerts)
+        for alert in alerts:
+            for subscriber in self.alert_subscribers:
+                subscriber(alert)
         return alerts
 
     # -- deployment helpers -----------------------------------------------------
@@ -136,6 +333,7 @@ class ScidiveEngine:
         before = len(self.alert_log)
         for record in trace:
             self.process_frame(record.frame, record.timestamp)
+        self.snapshot_gauges()
         return self.alert_log.alerts[before:]
 
     # -- queries --------------------------------------------------------------------
@@ -151,9 +349,11 @@ class ScidiveEngine:
         return [e for e in self.event_log if e.name == name]
 
     def reset_detection_state(self) -> None:
-        """Clear alerts/events but keep protocol state (between phases)."""
+        """Clear alerts/events/counters but keep protocol state (between
+        phases)."""
         self.alert_log.clear()
         self.event_log.clear()
+        self.stats.reset()
 
     def housekeep(self, now: float) -> int:
         """Expire idle trails/sessions and stale tracker state.
@@ -166,6 +366,53 @@ class ScidiveEngine:
         timeout = self.state_idle_timeout
         reclaimed = self.trails.expire_idle(now, timeout)
         self.expired_trails += reclaimed
-        self.sip_state.expire_torn_down(now, timeout)
-        self.registrations.expire_succeeded(now, timeout)
+        dialogs = self.sip_state.expire_torn_down(now, timeout)
+        registrations = self.registrations.expire_succeeded(now, timeout)
+        if self._instr is not None:
+            self._instr.housekeeping(reclaimed)
+            self._flush_generator_tallies()
+            self._instr.update_gauges(self)
+        _log.debug(
+            "housekeep",
+            extra={"fields": {
+                "engine": self.name, "now": round(now, 3),
+                "reclaimed_trails": reclaimed, "expired_dialogs": dialogs,
+                "expired_registrations": registrations,
+                "live_trails": self.trails.trail_count,
+            }},
+        )
         return reclaimed
+
+    # -- observability surfacing ------------------------------------------------
+
+    def _flush_generator_tallies(self) -> None:
+        """Hand the engine-local per-generator tallies to the registry.
+
+        Seconds were sampled on 1 in ``_gen_sample_every`` footprints, so
+        they are scaled back up to estimate the true totals; call counts
+        are exact (every generator sees every footprint).
+        """
+        if self._gen_footprints:
+            calls = self._gen_footprints
+            scale = float(self._gen_sample_every)
+            self._instr.merge_generator_seconds(
+                {n: s * scale for n, s in zip(self._gen_names, self._gen_secs)},
+                {name: calls for name in self._gen_names},
+            )
+            self._gen_secs = [0.0] * len(self._gen_names)
+            self._gen_footprints = 0
+
+    def snapshot_gauges(self) -> None:
+        """Refresh state-size gauges (no-op when observability is off)."""
+        if self._instr is not None:
+            self._flush_generator_tallies()
+            self._instr.update_gauges(self)
+
+    def metrics_registry(self) -> "_obs.MetricsRegistry | None":
+        return self.observability.registry if self.observability is not None else None
+
+    def stage_summary(self) -> "list[_obs.StageStats]":
+        """Per-stage latency summary from the trace (empty when off)."""
+        if self.observability is None or self.observability.tracer is None:
+            return []
+        return self.observability.tracer.stage_summary()

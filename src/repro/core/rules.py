@@ -356,5 +356,18 @@ class RuleSet:
             rule.reset()
         self.history = EventHistory()
 
+    def rule_stats(self) -> list[dict[str, object]]:
+        """Per-rule match/alert counters (the ``repro stats`` table)."""
+        return [
+            {
+                "rule_id": rule.rule_id,
+                "name": rule.name,
+                "attack_class": rule.attack_class,
+                "matches_attempted": rule.matches_attempted,
+                "alerts_raised": rule.alerts_raised,
+            }
+            for rule in self.rules
+        ]
+
     def __len__(self) -> int:
         return len(self.rules)

@@ -195,6 +195,11 @@ class SipStateTracker:
 
     # -- queries -----------------------------------------------------------------
 
+    @property
+    def call_count(self) -> int:
+        """Tracked dialogs (the BYE/hijack rules' working-set size)."""
+        return len(self.calls)
+
     def call_for_media(self, endpoint: Endpoint) -> ObservedCall | None:
         """Find the call that negotiated ``endpoint`` for either party."""
         for call in self.calls.values():
@@ -333,6 +338,11 @@ class RegistrationTracker:
             ):
                 return True
         return False
+
+    @property
+    def session_count(self) -> int:
+        """Tracked REGISTER sessions (the DoS/guessing working-set size)."""
+        return len(self.sessions)
 
     def sessions_for_user(self, user: str) -> list[RegistrationSession]:
         return [s for s in self.sessions.values() if s.user == user]

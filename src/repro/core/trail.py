@@ -107,6 +107,9 @@ class TrailManager:
         self.sessions: dict[str, Session] = {}
         # SDP-learned media endpoint -> call id.
         self._media_index: dict[Endpoint, str] = {}
+        # Lifetime accounting, exported by repro.obs.
+        self.footprints_filed = 0
+        self.expired_total = 0
 
     # -- public API ---------------------------------------------------------
 
@@ -121,6 +124,7 @@ class TrailManager:
             self.trails[key] = trail
         trail.append(footprint)
         self._link(footprint, trail)
+        self.footprints_filed += 1
         return trail
 
     def session_for(self, call_id: str) -> Session | None:
@@ -155,6 +159,7 @@ class TrailManager:
             for endpoint in session.media_endpoints.values():
                 if self._media_index.get(endpoint) == call_id:
                     del self._media_index[endpoint]
+        self.expired_total += len(stale_keys)
         return len(stale_keys)
 
     @property
@@ -164,6 +169,16 @@ class TrailManager:
     @property
     def session_count(self) -> int:
         return len(self.sessions)
+
+    def size_stats(self) -> dict[str, int]:
+        """State-size snapshot for gauge export (repro.obs)."""
+        return {
+            "trails": len(self.trails),
+            "sessions": len(self.sessions),
+            "media_index": len(self._media_index),
+            "footprints_filed": self.footprints_filed,
+            "expired_total": self.expired_total,
+        }
 
     # -- keying ------------------------------------------------------------------
 

@@ -27,9 +27,12 @@ from repro.core.alerts import Alert
 from repro.core.engine import ScidiveEngine
 from repro.core.event_generators import default_generators
 from repro.core.metrics import Trial
+from repro.obs.logsetup import get_logger
 from repro.sim.link import LinkModel
 from repro.voip.scenarios import im_exchange, mobility_call, normal_call, registration_churn
 from repro.voip.testbed import CLIENT_A_IP, Testbed, TestbedConfig
+
+_log = get_logger("experiments.harness")
 
 
 @dataclass(slots=True)
@@ -42,6 +45,22 @@ class ExperimentResult:
     attack_report: AttackReport | None = None
     injection_time: float | None = None
     extras: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Every runner ends by building a result: one central place to
+        # refresh gauges and log the run outcome.
+        self.engine.snapshot_gauges()
+        _log.info(
+            "scenario complete",
+            extra={"fields": {
+                "scenario": self.name,
+                "frames": self.engine.stats.frames,
+                "footprints": self.engine.stats.footprints,
+                "events": self.engine.stats.events,
+                "alerts": len(self.engine.alerts),
+                "injection_time": self.injection_time,
+            }},
+        )
 
     @property
     def alerts(self) -> list[Alert]:
@@ -91,6 +110,13 @@ def _build(
         ),
     )
     engine.attach(testbed.ids_tap)
+    _log.debug(
+        "testbed built",
+        extra={"fields": {
+            "seed": seed, "vantage": vantage or "network-wide",
+            "metrics_enabled": engine.metrics_enabled,
+        }},
+    )
     return testbed, engine
 
 

@@ -1,12 +1,17 @@
 """Plain-text table formatting for benchmark output.
 
 The benchmarks print the same rows the paper's tables/figures report;
-this module keeps the formatting consistent and dependency-free.
+this module keeps the formatting consistent and dependency-free.  It
+also renders the observability layer's per-stage latency summary
+(``repro stats``, ``bench_observability_overhead``).
 """
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.obs.tracing import StageStats
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str | None = None) -> str:
@@ -43,3 +48,28 @@ def print_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: st
     print()
     print(format_table(headers, rows, title))
     print()
+
+
+STAGE_SUMMARY_HEADERS = (
+    "stage", "spans", "total (ms)", "mean (µs)", "p50 (µs)", "p95 (µs)", "max (µs)"
+)
+
+
+def format_stage_summary(stages: "Sequence[StageStats]",
+                         title: str | None = "Per-stage latency") -> str:
+    """Render a tracer's :meth:`~repro.obs.tracing.Tracer.stage_summary`."""
+    if not stages:
+        return "no spans recorded (tracing disabled?)"
+    rows = [
+        [
+            s.stage,
+            s.count,
+            f"{s.total * 1e3:.3f}",
+            f"{s.mean * 1e6:.2f}",
+            f"{s.p50 * 1e6:.2f}",
+            f"{s.p95 * 1e6:.2f}",
+            f"{s.max * 1e6:.2f}",
+        ]
+        for s in stages
+    ]
+    return format_table(STAGE_SUMMARY_HEADERS, rows, title=title)

@@ -1,0 +1,97 @@
+"""Pipeline observability: metrics registry, tracing, structured logs.
+
+Three consumers, one switchboard:
+
+* **Per-engine**: pass ``metrics_enabled=True`` (or an
+  :class:`Observability` instance) to :class:`~repro.core.engine.ScidiveEngine`.
+* **Process-wide**: :func:`enable` installs a global
+  :class:`Observability`; every engine constructed afterwards picks it
+  up automatically — this is how the CLI's ``--metrics-out`` /
+  ``--trace-out`` flags reach engines built deep inside the experiment
+  harness.  :func:`disable` uninstalls it.
+* **Off** (the default): engines hold ``None`` and the hot path pays a
+  single ``is None`` check per stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.instrument import EngineInstrumentation
+from repro.obs.logsetup import get_logger, setup_logging
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    default_registry,
+    parse_prometheus,
+    set_default_registry,
+)
+from repro.obs.tracing import Span, StageStats, Tracer, read_trace_jsonl
+
+
+@dataclass
+class Observability:
+    """One registry (+ optional tracer) shared by any number of engines."""
+
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    tracer: Tracer | None = None
+
+    @classmethod
+    def create(cls, trace: bool = True) -> "Observability":
+        return cls(registry=MetricsRegistry(), tracer=Tracer() if trace else None)
+
+    def instrument_engine(self, name: str) -> EngineInstrumentation:
+        return EngineInstrumentation(self.registry, engine=name, tracer=self.tracer)
+
+
+_current: Observability | None = None
+
+
+def enable(
+    registry: MetricsRegistry | None = None,
+    trace: bool = True,
+) -> Observability:
+    """Install (and return) the process-global observability context."""
+    global _current
+    _current = Observability(
+        registry=registry if registry is not None else MetricsRegistry(),
+        tracer=Tracer() if trace else None,
+    )
+    return _current
+
+
+def disable() -> None:
+    """Uninstall the process-global context (engines built later run dark)."""
+    global _current
+    _current = None
+
+
+def current() -> Observability | None:
+    """The installed global context, or None when observability is off."""
+    return _current
+
+
+__all__ = [
+    "Counter",
+    "EngineInstrumentation",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "Observability",
+    "Span",
+    "StageStats",
+    "Tracer",
+    "current",
+    "default_registry",
+    "disable",
+    "enable",
+    "get_logger",
+    "parse_prometheus",
+    "read_trace_jsonl",
+    "set_default_registry",
+    "setup_logging",
+]

@@ -1,0 +1,217 @@
+"""Instrumentation bindings between the engine and the metrics registry.
+
+:class:`EngineInstrumentation` pre-resolves every metric handle the
+engine's hot path touches, so instrumented processing costs one ``is
+not None`` branch plus a handful of dict lookups per frame — and
+nothing at all when observability is off (the engine holds ``None``).
+
+Metric families (all prefixed ``scidive_``, all labelled by ``engine``
+so cooperating detectors share a registry without colliding):
+
+* ``scidive_frames_total`` — raw frames ingested.
+* ``scidive_footprints_total{protocol}`` — footprints by protocol.
+* ``scidive_events_total{event}`` — generator events by name.
+* ``scidive_alerts_total{rule_id,severity}`` — alerts raised.
+* ``scidive_injected_events_total`` — cooperative-detection injections.
+* ``scidive_stage_seconds{stage}`` — per-stage latency histogram.
+* ``scidive_generator_seconds_total`` / ``scidive_generator_calls_total``
+  — cumulative per-generator wall time and fan-out counts.
+* ``scidive_housekeeping_runs_total`` / ``…_reclaimed_trails_total``.
+* ``scidive_trails`` / ``_sessions`` / ``_sip_dialogs`` /
+  ``_registration_sessions`` — state-size gauges.
+* ``scidive_distiller_*`` — distiller counter snapshot gauges.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.registry import DEFAULT_BUCKETS, MetricsRegistry
+from repro.obs.tracing import Tracer
+
+# Stage histograms cover sub-microsecond decode steps up to 100 ms.
+STAGE_BUCKETS = tuple(b for b in DEFAULT_BUCKETS if b <= 0.1)
+
+
+class EngineInstrumentation:
+    """Per-engine metric handles over a shared registry."""
+
+    __slots__ = (
+        "registry", "tracer", "engine",
+        "_frames", "_footprints", "_events", "_alerts", "_injected",
+        "_stage", "_generator", "_generator_calls",
+        "_housekeeping_runs", "_reclaimed",
+        "_trails", "_sessions", "_dialogs", "_registrations", "_distiller",
+        "_footprint_children", "_event_children", "_stage_children",
+        "_gen_seconds_acc", "_gen_calls_acc",
+    )
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        engine: str = "scidive",
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.registry = registry
+        self.tracer = tracer
+        self.engine = engine
+        label = {"engine": engine}
+        self._frames = registry.counter(
+            "scidive_frames_total", "Raw frames ingested", ("engine",)
+        ).labels(**label)
+        self._footprints = registry.counter(
+            "scidive_footprints_total", "Footprints distilled, by protocol",
+            ("engine", "protocol"),
+        )
+        self._events = registry.counter(
+            "scidive_events_total", "Generator events, by event name",
+            ("engine", "event"),
+        )
+        self._alerts = registry.counter(
+            "scidive_alerts_total", "Alerts raised, by rule and severity",
+            ("engine", "rule_id", "severity"),
+        )
+        self._injected = registry.counter(
+            "scidive_injected_events_total",
+            "Events injected by cooperating detectors", ("engine",),
+        ).labels(**label)
+        self._stage = registry.histogram(
+            "scidive_stage_seconds", "Wall-clock seconds per pipeline stage",
+            ("engine", "stage"), buckets=STAGE_BUCKETS,
+        )
+        self._generator = registry.counter(
+            "scidive_generator_seconds_total",
+            "Cumulative wall-clock seconds per event generator",
+            ("engine", "generator"),
+        )
+        self._generator_calls = registry.counter(
+            "scidive_generator_calls_total",
+            "Footprints fanned out per event generator",
+            ("engine", "generator"),
+        )
+        self._housekeeping_runs = registry.counter(
+            "scidive_housekeeping_runs_total", "Housekeeping sweeps", ("engine",)
+        ).labels(**label)
+        self._reclaimed = registry.counter(
+            "scidive_housekeeping_reclaimed_trails_total",
+            "Trails reclaimed by housekeeping", ("engine",),
+        ).labels(**label)
+        self._trails = registry.gauge(
+            "scidive_trails", "Live trails", ("engine",)
+        ).labels(**label)
+        self._sessions = registry.gauge(
+            "scidive_sessions", "Live cross-protocol sessions", ("engine",)
+        ).labels(**label)
+        self._dialogs = registry.gauge(
+            "scidive_sip_dialogs", "Tracked SIP dialogs", ("engine",)
+        ).labels(**label)
+        self._registrations = registry.gauge(
+            "scidive_registration_sessions", "Tracked REGISTER sessions", ("engine",)
+        ).labels(**label)
+        self._distiller = registry.gauge(
+            "scidive_distiller_frames", "Distiller counter snapshot",
+            ("engine", "counter"),
+        )
+        # Hot-path label children resolved once per distinct value, then
+        # hit these dicts — keeps per-frame cost to dict lookups.
+        self._footprint_children: dict[str, Any] = {}
+        self._event_children: dict[str, Any] = {}
+        self._stage_children: dict[str, Any] = {}
+        # Per-generator time/call tallies accumulate in plain dicts (a
+        # float add per generator per frame) and flush to the registry
+        # in update_gauges — a histogram observe per generator per frame
+        # was the single largest instrumentation cost.
+        self._gen_seconds_acc: dict[str, float] = {}
+        self._gen_calls_acc: dict[str, int] = {}
+
+    # -- hot-path hooks (called per frame) ----------------------------------
+
+    def frame(self) -> None:
+        self._frames.inc()
+
+    def footprint(self, protocol: str) -> None:
+        child = self._footprint_children.get(protocol)
+        if child is None:
+            child = self._footprints.labels(engine=self.engine, protocol=protocol)
+            self._footprint_children[protocol] = child
+        child.inc()
+
+    def event(self, name: str) -> None:
+        child = self._event_children.get(name)
+        if child is None:
+            child = self._events.labels(engine=self.engine, event=name)
+            self._event_children[name] = child
+        child.inc()
+
+    def alert(self, alert: Any) -> None:
+        self._alerts.labels(
+            engine=self.engine,
+            rule_id=alert.rule_id,
+            severity=alert.severity.name,
+        ).inc()
+
+    def injected_event(self) -> None:
+        self._injected.inc()
+
+    def stage(self, stage: str, seconds: float, frame: int = 0,
+              sim_time: float = 0.0, **meta: Any) -> None:
+        """Record one stage execution: histogram sample + optional span."""
+        self.stage_child(stage).observe(seconds)
+        if self.tracer is not None:
+            self.tracer.record(stage, seconds, frame=frame,
+                               sim_time=sim_time, **meta)
+
+    def stage_child(self, stage: str):
+        """The raw histogram child for one stage — the engine pre-resolves
+        these so its hot path observes without any method indirection."""
+        child = self._stage_children.get(stage)
+        if child is None:
+            child = self._stage.labels(engine=self.engine, stage=stage)
+            self._stage_children[stage] = child
+        return child
+
+    def frame_counter_child(self):
+        return self._frames
+
+    def merge_generator_seconds(self, seconds: dict[str, float],
+                                calls: dict[str, int]) -> None:
+        """Absorb the engine's inline per-generator tallies."""
+        for generator, total in seconds.items():
+            self._gen_seconds_acc[generator] = (
+                self._gen_seconds_acc.get(generator, 0.0) + total
+            )
+        for generator, count in calls.items():
+            self._gen_calls_acc[generator] = (
+                self._gen_calls_acc.get(generator, 0) + count
+            )
+
+    def generator_time(self, generator: str, seconds: float) -> None:
+        self._gen_seconds_acc[generator] = (
+            self._gen_seconds_acc.get(generator, 0.0) + seconds
+        )
+        self._gen_calls_acc[generator] = self._gen_calls_acc.get(generator, 0) + 1
+
+    # -- housekeeping / gauges (called off the per-frame path) ----------------
+
+    def housekeeping(self, reclaimed: int) -> None:
+        self._housekeeping_runs.inc()
+        if reclaimed:
+            self._reclaimed.inc(reclaimed)
+
+    def update_gauges(self, engine: Any) -> None:
+        """Snapshot state sizes from a :class:`ScidiveEngine` and flush
+        the per-generator time tallies into the registry."""
+        self._trails.set(engine.trails.trail_count)
+        self._sessions.set(engine.trails.session_count)
+        self._dialogs.set(engine.sip_state.call_count)
+        self._registrations.set(engine.registrations.session_count)
+        for counter, value in engine.distiller.stats.as_dict().items():
+            self._distiller.labels(engine=self.engine, counter=counter).set(value)
+        for generator, seconds in self._gen_seconds_acc.items():
+            self._generator.labels(engine=self.engine, generator=generator).inc(seconds)
+        self._gen_seconds_acc.clear()
+        for generator, calls in self._gen_calls_acc.items():
+            self._generator_calls.labels(
+                engine=self.engine, generator=generator
+            ).inc(calls)
+        self._gen_calls_acc.clear()

@@ -1,0 +1,96 @@
+"""Structured logging for the SCIDIVE engine and experiment harness.
+
+Library modules obtain loggers via :func:`get_logger` (all under the
+``repro`` namespace, with a ``NullHandler`` attached so importing the
+library never prints anything).  Applications — the CLI, benchmarks,
+the CI smoke run — opt in with :func:`setup_logging`, choosing either
+human-readable ``key=value`` lines or JSON lines for machine ingestion.
+
+Both formats put structured fields (``extra={...}``) on the line, so
+``logger.info("housekeep", extra={"fields": {"reclaimed": 3}})`` renders
+as ``... housekeep reclaimed=3`` or ``{"msg": "housekeep",
+"reclaimed": 3, ...}``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Any, Mapping
+
+ROOT_LOGGER_NAME = "repro"
+
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A namespaced library logger: ``get_logger("core.engine")``."""
+    if name.startswith(ROOT_LOGGER_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def _extra_fields(record: logging.LogRecord) -> Mapping[str, Any]:
+    fields = getattr(record, "fields", None)
+    return fields if isinstance(fields, Mapping) else {}
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``HH:MM:SS level logger message key=value ...``"""
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = (
+            f"{self.formatTime(record, '%H:%M:%S')} "
+            f"{record.levelname.lower():<7} {record.name}: {record.getMessage()}"
+        )
+        pairs = " ".join(f"{k}={v}" for k, v in _extra_fields(record).items())
+        out = f"{base} {pairs}" if pairs else base
+        if record.exc_info:
+            out = f"{out}\n{self.formatException(record.exc_info)}"
+        return out
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per log line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": self.formatTime(record, "%Y-%m-%dT%H:%M:%S"),
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in _extra_fields(record).items():
+            if key not in payload:
+                payload[key] = value
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def setup_logging(
+    level: int | str = logging.INFO,
+    stream=None,
+    json_lines: bool = False,
+) -> logging.Logger:
+    """Attach one stream handler to the ``repro`` logger (idempotent).
+
+    Returns the configured root library logger.
+    """
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    logger.setLevel(level)
+    formatter = JsonLinesFormatter() if json_lines else KeyValueFormatter()
+    for handler in logger.handlers:
+        if isinstance(handler, logging.StreamHandler) and not isinstance(
+            handler, logging.NullHandler
+        ):
+            handler.setFormatter(formatter)
+            handler.setLevel(level)
+            break
+    else:
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        handler.setFormatter(formatter)
+        handler.setLevel(level)
+        logger.addHandler(handler)
+    return logger

@@ -1,0 +1,430 @@
+"""Metrics registry: Counters, Gauges, Histograms with label support.
+
+The operational counterpart of :mod:`repro.core.metrics` (which scores
+detection *quality*): this module counts what the engine *does* —
+frames, footprints, events, alerts, per-stage latencies — so capacity
+and hot-path questions ("where do frames spend time?", "how much state
+has accumulated?") have answers.  Dependency-free by design: metrics
+render to the Prometheus text exposition format and to plain JSON, so
+any scraper or script can consume them.
+
+Usage::
+
+    registry = MetricsRegistry()
+    frames = registry.counter("scidive_frames_total", "Frames ingested")
+    frames.inc()
+    by_proto = registry.counter(
+        "scidive_footprints_total", "Footprints distilled", labelnames=("protocol",)
+    )
+    by_proto.labels(protocol="sip").inc()
+    print(registry.render_prometheus())
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from bisect import bisect_left
+from typing import Any, Iterable
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+# Latency-oriented default buckets: 1 µs .. 1 s (seconds).
+DEFAULT_BUCKETS = (
+    1e-6, 2.5e-6, 5e-6,
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    1e-1, 2.5e-1, 5e-1,
+    1.0,
+)
+
+
+class MetricError(ValueError):
+    """Bad metric name, label, or type collision."""
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise MetricError(f"invalid metric name: {name!r}")
+    return name
+
+
+def _check_labelnames(labelnames: Iterable[str]) -> tuple[str, ...]:
+    names = tuple(labelnames)
+    for label in names:
+        if not _LABEL_RE.match(label) or label.startswith("__"):
+            raise MetricError(f"invalid label name: {label!r}")
+    if len(set(names)) != len(names):
+        raise MetricError(f"duplicate label names: {names}")
+    return names
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _format_labels(labelnames: tuple[str, ...], labelvalues: tuple[str, ...],
+                   extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = list(zip(labelnames, labelvalues)) + list(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class Metric:
+    """Base: one named family of children (one child per label set)."""
+
+    typename = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: Iterable[str] = ()) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.labelnames = _check_labelnames(labelnames)
+        self._children: dict[tuple[str, ...], Any] = {}
+        if not self.labelnames:
+            self._children[()] = self._new_child()
+
+    # -- children -----------------------------------------------------------
+
+    def _new_child(self):
+        raise NotImplementedError
+
+    def labels(self, **labelvalues: str):
+        """Get (or create) the child for one concrete label combination."""
+        if set(labelvalues) != set(self.labelnames):
+            raise MetricError(
+                f"{self.name}: expected labels {self.labelnames}, got {tuple(labelvalues)}"
+            )
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            child = self._new_child()
+            self._children[key] = child
+        return child
+
+    def _default_child(self):
+        if self.labelnames:
+            raise MetricError(f"{self.name} has labels {self.labelnames}; use .labels()")
+        return self._children[()]
+
+    # -- rendering ------------------------------------------------------------
+
+    def samples(self) -> list[tuple[str, tuple[tuple[str, str], ...], float]]:
+        """Flat (suffix, labels, value) samples, for exporters."""
+        out = []
+        for key, child in self._children.items():
+            base = tuple(zip(self.labelnames, key))
+            for suffix, extra, value in child._samples():
+                out.append((suffix, base + extra, value))
+        return out
+
+    def as_dict(self) -> dict[str, Any]:
+        series = []
+        for key, child in self._children.items():
+            series.append({
+                "labels": dict(zip(self.labelnames, key)),
+                **child._as_dict(),
+            })
+        return {"name": self.name, "type": self.typename, "help": self.help,
+                "series": series}
+
+
+class _CounterChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricError(f"counters only go up (got {amount})")
+        self.value += amount
+
+    def _samples(self):
+        return [("", (), self.value)]
+
+    def _as_dict(self):
+        return {"value": self.value}
+
+
+class Counter(Metric):
+    """Monotonically increasing count."""
+
+    typename = "counter"
+
+    def _new_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+
+class _GaugeChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def _samples(self):
+        return [("", (), self.value)]
+
+    def _as_dict(self):
+        return {"value": self.value}
+
+
+class Gauge(Metric):
+    """A value that can go up and down (sizes, in-flight counts)."""
+
+    typename = "gauge"
+
+    def _new_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float) -> None:
+        self._default_child().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default_child().dec(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+
+class _HistogramChild:
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: tuple[float, ...]) -> None:
+        self.buckets = buckets
+        # One extra slot absorbs over-range observations, so the hot-path
+        # observe never bounds-checks; counts are non-cumulative here and
+        # rendered cumulative (the +Inf bucket is just ``count``).
+        self.counts = [0] * (len(buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        self.counts[bisect_left(self.buckets, value)] += 1
+
+    def _samples(self):
+        out = []
+        running = 0
+        for bound, count in zip(self.buckets, self.counts):
+            running += count
+            out.append(("_bucket", (("le", _format_value(bound)),), float(running)))
+        out.append(("_bucket", (("le", "+Inf"),), float(self.count)))
+        out.append(("_sum", (), self.sum))
+        out.append(("_count", (), float(self.count)))
+        return out
+
+    def _as_dict(self):
+        return {
+            "sum": self.sum,
+            "count": self.count,
+            "buckets": {_format_value(b): c for b, c in zip(self.buckets, self.counts)},
+        }
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class Histogram(Metric):
+    """Observation distribution with cumulative buckets (seconds by default)."""
+
+    typename = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Iterable[str] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise MetricError("histograms need at least one bucket")
+        if any(b != b or b == float("inf") for b in bounds):
+            raise MetricError(f"bucket bounds must be finite: {bounds}")
+        self.buckets = bounds
+        super().__init__(name, help, labelnames)
+
+    def _new_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._default_child().observe(value)
+
+    @property
+    def count(self) -> int:
+        return self._default_child().count
+
+    @property
+    def sum(self) -> float:
+        return self._default_child().sum
+
+
+class MetricsRegistry:
+    """Holds metric families; families are get-or-create by name."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, metric: Metric) -> Metric:
+        existing = self._metrics.get(metric.name)
+        if existing is not None:
+            raise MetricError(f"metric already registered: {metric.name}")
+        self._metrics[metric.name] = metric
+        return metric
+
+    def _get_or_create(self, cls, name: str, help: str, labelnames, **kwargs) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is not None:
+            if type(metric) is not cls:
+                raise MetricError(
+                    f"{name} already registered as {metric.typename}, not {cls.typename}"
+                )
+            if metric.labelnames != tuple(labelnames):
+                raise MetricError(
+                    f"{name} already registered with labels {metric.labelnames}"
+                )
+            return metric
+        return self.register(cls(name, help, labelnames, **kwargs))
+
+    def counter(self, name: str, help: str = "", labelnames: Iterable[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames: Iterable[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Iterable[str] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labelnames, buckets=buckets)
+
+    def get(self, name: str) -> Metric | None:
+        return self._metrics.get(name)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # -- exporters ------------------------------------------------------------
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for metric in sorted(self._metrics.values(), key=lambda m: m.name):
+            lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.typename}")
+            for suffix, labels, value in metric.samples():
+                names = tuple(k for k, _ in labels)
+                values = tuple(v for _, v in labels)
+                lines.append(
+                    f"{metric.name}{suffix}{_format_labels(names, values)} "
+                    f"{_format_value(value)}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"metrics": [m.as_dict() for m in
+                            sorted(self._metrics.values(), key=lambda m: m.name)]}
+
+    def render_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def write_prometheus(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.render_prometheus())
+
+
+# ---------------------------------------------------------------------------
+# Process-global default registry
+# ---------------------------------------------------------------------------
+
+_default_registry = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-global registry (analogous to prometheus_client.REGISTRY)."""
+    return _default_registry
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-global registry; returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous
+
+
+def parse_prometheus(text: str) -> dict[str, dict[str, float]]:
+    """Minimal parser for the text format — used by tests and CI smoke
+    checks to validate exporter output.  Returns
+    ``{family: {sample_line_key: value}}`` where the key is the full
+    sample name including labels."""
+    families: dict[str, dict[str, float]] = {}
+    current = None
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            current = line.split()[2]
+            families.setdefault(current, {})
+            continue
+        if line.startswith("#"):
+            continue
+        key, _, raw = line.rpartition(" ")
+        if not key:
+            raise ValueError(f"bad sample line: {line!r}")
+        value = float(raw)
+        base = key.split("{", 1)[0]
+        family = base
+        for suffix in ("_bucket", "_sum", "_count"):
+            if base.endswith(suffix) and base.removesuffix(suffix) in families:
+                family = base.removesuffix(suffix)
+        if current is None or family not in families:
+            raise ValueError(f"sample before TYPE line: {line!r}")
+        families[family][key] = value
+    return families

@@ -1,0 +1,155 @@
+"""Structured tracing: per-frame, per-stage spans through the pipeline.
+
+A :class:`Tracer` records lightweight :class:`Span` objects as frames
+move Distiller → TrailManager → Event Generators → RuleSet.  Spans are
+*sim-clock aware*: each carries the simulated timestamp of the frame
+being processed (``sim_time``) alongside the measured wall-clock
+duration, so a trace can answer both "when in the call did this happen"
+and "what did it cost the engine".
+
+Traces export as JSON-lines (one span per line) and reduce to a
+per-stage latency summary that the ``repro stats`` subcommand and the
+observability benchmarks print as a table.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+# A span's stage name, e.g. "distill", "trail", "generate:dialog", "match".
+DEFAULT_MAX_SPANS = 1_000_000
+
+
+@dataclass(slots=True)
+class Span:
+    """One timed stage execution for one frame."""
+
+    name: str
+    frame: int  # engine frame sequence number (0 = unknown)
+    sim_time: float  # simulated timestamp of the frame
+    duration: float  # wall-clock seconds spent in the stage
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        record: dict[str, Any] = {
+            "span": self.name,
+            "frame": self.frame,
+            "t_sim": round(self.sim_time, 9),
+            "dur_us": round(self.duration * 1e6, 3),
+        }
+        if self.meta:
+            record["meta"] = self.meta
+        return record
+
+
+@dataclass(slots=True)
+class StageStats:
+    """Wall-clock latency summary for one stage across a trace."""
+
+    stage: str
+    count: int
+    total: float
+    mean: float
+    p50: float
+    p95: float
+    max: float
+
+
+class Tracer:
+    """Collects spans; bounded so runaway replays cannot exhaust memory."""
+
+    def __init__(self, max_spans: int = DEFAULT_MAX_SPANS) -> None:
+        self.max_spans = max_spans
+        self.spans: list[Span] = []
+        self.dropped = 0
+
+    # -- recording ------------------------------------------------------------
+
+    def record(
+        self,
+        name: str,
+        duration: float,
+        frame: int = 0,
+        sim_time: float = 0.0,
+        **meta: Any,
+    ) -> None:
+        """File one pre-measured span (the engine's hot path uses this)."""
+        if len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            return
+        self.spans.append(Span(name, frame, sim_time, duration, meta))
+
+    @contextmanager
+    def span(self, name: str, frame: int = 0, sim_time: float = 0.0,
+             **meta: Any) -> Iterator[dict[str, Any]]:
+        """Time a block; yields the meta dict so callers can annotate it."""
+        started = time.perf_counter()
+        try:
+            yield meta
+        finally:
+            self.record(name, time.perf_counter() - started,
+                        frame=frame, sim_time=sim_time, **meta)
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    # -- export ---------------------------------------------------------------
+
+    def write_jsonl(self, path) -> int:
+        """Write one JSON object per span; returns the number written."""
+        with open(path, "w", encoding="utf-8") as fh:
+            for span in self.spans:
+                fh.write(json.dumps(span.to_dict()) + "\n")
+        return len(self.spans)
+
+    def stage_summary(self) -> list[StageStats]:
+        """Reduce spans to per-stage latency statistics, busiest first."""
+        by_stage: dict[str, list[float]] = {}
+        for span in self.spans:
+            by_stage.setdefault(span.name, []).append(span.duration)
+        out = []
+        for stage, durations in by_stage.items():
+            durations.sort()
+            n = len(durations)
+            out.append(StageStats(
+                stage=stage,
+                count=n,
+                total=sum(durations),
+                mean=sum(durations) / n,
+                p50=_percentile(durations, 50.0),
+                p95=_percentile(durations, 95.0),
+                max=durations[-1],
+            ))
+        out.sort(key=lambda s: s.total, reverse=True)
+        return out
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    """Linear-interpolation percentile over a pre-sorted list."""
+    if not ordered:
+        return 0.0
+    k = (len(ordered) - 1) * q / 100.0
+    lo = int(k)
+    hi = min(lo + 1, len(ordered) - 1)
+    if lo == hi:
+        return ordered[lo]
+    return ordered[lo] * (hi - k) + ordered[hi] * (k - lo)
+
+
+def read_trace_jsonl(path) -> list[dict[str, Any]]:
+    """Load a trace written by :meth:`Tracer.write_jsonl`."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -1,0 +1,76 @@
+"""Edge cases for the §4.3 quality metrics (D, P_f, P_m helpers)."""
+
+from __future__ import annotations
+
+from repro.core.alerts import Alert, Severity
+from repro.core.metrics import MetricsSummary, Trial, wilson_interval
+
+
+def _alert(t: float, rule_id: str = "R1") -> Alert:
+    return Alert(
+        rule_id=rule_id, rule_name=rule_id, time=t, session="s",
+        severity=Severity.HIGH, attack_class="x", message="m",
+    )
+
+
+def _summary(delays: list[float]) -> MetricsSummary:
+    return MetricsSummary(
+        attack_trials=len(delays), benign_trials=0, detected=len(delays),
+        missed=0, false_alarms=0, delays=delays,
+    )
+
+
+class TestWilsonInterval:
+    def test_zero_trials_is_vacuous(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_zero_successes_lower_bound_is_zero(self):
+        lo, hi = wilson_interval(0, 20)
+        assert lo == 0.0
+        assert 0.0 < hi < 0.25  # rule-of-three neighbourhood
+
+    def test_all_successes_upper_bound_is_one(self):
+        lo, hi = wilson_interval(20, 20)
+        assert hi == 1.0
+        assert 0.75 < lo < 1.0
+
+    def test_interval_contains_point_estimate(self):
+        lo, hi = wilson_interval(7, 10)
+        assert lo < 0.7 < hi
+
+
+class TestDelayPercentile:
+    def test_q0_is_min_and_q100_is_max(self):
+        s = _summary([0.5, 0.1, 0.9, 0.3])
+        assert s.delay_percentile(0) == 0.1
+        assert s.delay_percentile(100) == 0.9
+
+    def test_single_element_every_quantile(self):
+        s = _summary([0.42])
+        for q in (0, 25, 50, 75, 100):
+            assert s.delay_percentile(q) == 0.42
+
+    def test_no_delays_is_none(self):
+        s = _summary([])
+        assert s.delay_percentile(50) is None
+        assert s.mean_delay is None
+        assert s.median_delay is None
+
+
+class TestTrialBoundaries:
+    def test_alert_exactly_at_injection_time_counts(self):
+        trial = Trial(attack_injected=True, injection_time=2.0,
+                      alerts=[_alert(2.0)])
+        assert trial.detected
+        assert trial.detection_delay == 0.0
+
+    def test_alert_just_before_injection_does_not_count(self):
+        trial = Trial(attack_injected=True, injection_time=2.0,
+                      alerts=[_alert(1.999)])
+        assert not trial.detected
+        assert trial.detection_delay is None
+
+    def test_rule_filter_applies_at_boundary(self):
+        trial = Trial(attack_injected=True, injection_time=2.0,
+                      alerts=[_alert(2.0, rule_id="OTHER")], rule_id="R1")
+        assert not trial.detected

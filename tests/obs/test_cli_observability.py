@@ -1,0 +1,77 @@
+"""CLI observability surface: --metrics-out / --trace-out and `stats`."""
+
+from __future__ import annotations
+
+from repro.cli import main
+from repro.obs import current, parse_prometheus, read_trace_jsonl
+
+
+def test_scenario_writes_metrics_and_trace(tmp_path, capsys):
+    metrics = tmp_path / "metrics.txt"
+    trace = tmp_path / "trace.jsonl"
+    assert main([
+        "scenario", "bye-attack", "--seed", "7",
+        "--metrics-out", str(metrics), "--trace-out", str(trace),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "BYE-001" in out
+
+    families = parse_prometheus(metrics.read_text())
+    assert any('rule_id="BYE-001"' in k for k in families["scidive_alerts_total"])
+    assert any('protocol="sip"' in k for k in families["scidive_footprints_total"])
+    assert "scidive_stage_seconds" in families
+
+    spans = read_trace_jsonl(trace)
+    stages = {record["span"] for record in spans}
+    assert {"distill", "trail", "generate", "match"} <= stages
+    # The global context must not leak past the command.
+    assert current() is None
+
+
+def test_scenario_without_flags_runs_dark(capsys):
+    assert main(["scenario", "benign-call", "--seed", "3"]) == 0
+    assert "no alerts" in capsys.readouterr().out
+    assert current() is None
+
+
+def test_replay_writes_metrics(tmp_path, capsys):
+    pcap = tmp_path / "capture.pcap"
+    assert main(["scenario", "bye-attack", "--seed", "7",
+                 "--pcap", str(pcap)]) == 0
+    capsys.readouterr()
+    metrics = tmp_path / "replay-metrics.txt"
+    assert main(["replay", str(pcap), "--metrics-out", str(metrics)]) == 0
+    assert "alerts" in capsys.readouterr().out
+    families = parse_prometheus(metrics.read_text())
+    assert families["scidive_frames_total"]
+
+
+def test_stats_table(capsys):
+    assert main(["stats", "bye-attack", "--seed", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "Pipeline counters" in out
+    assert "Per-stage latency" in out
+    assert "Per-rule activity" in out
+    assert "distill" in out
+    assert "BYE-001" in out
+
+
+def test_stats_prometheus_format(capsys):
+    assert main(["stats", "bye-attack", "--seed", "7", "--format", "prom"]) == 0
+    families = parse_prometheus(capsys.readouterr().out)
+    assert "scidive_frames_total" in families
+
+
+def test_stats_json_format(capsys):
+    import json
+
+    assert main(["stats", "bye-attack", "--seed", "7", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    names = {m["name"] for m in payload["metrics"]}
+    assert "scidive_alerts_total" in names
+
+
+def test_unknown_scenario_errors(capsys):
+    assert main(["stats", "no-such-thing"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+    assert current() is None

@@ -1,0 +1,164 @@
+"""Metrics registry: counters/gauges/histograms, labels, exporters."""
+
+import math
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    default_registry,
+    parse_prometheus,
+    set_default_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("frames_total", "frames")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increment(self):
+        c = Counter("frames_total")
+        with pytest.raises(MetricError):
+            c.inc(-1)
+
+    def test_labelled_children_are_independent_and_cached(self):
+        c = Counter("footprints_total", "by protocol", ("protocol",))
+        c.labels(protocol="sip").inc(3)
+        c.labels(protocol="rtp").inc()
+        assert c.labels(protocol="sip").value == 3.0
+        assert c.labels(protocol="rtp").value == 1.0
+        assert c.labels(protocol="sip") is c.labels(protocol="sip")
+
+    def test_wrong_label_names_rejected(self):
+        c = Counter("footprints_total", labelnames=("protocol",))
+        with pytest.raises(MetricError):
+            c.labels(proto="sip")
+        with pytest.raises(MetricError):
+            c.inc()  # labelled family has no default child
+
+    def test_invalid_metric_and_label_names(self):
+        with pytest.raises(MetricError):
+            Counter("2frames")
+        with pytest.raises(MetricError):
+            Counter("frames", labelnames=("bad-label",))
+        with pytest.raises(MetricError):
+            Counter("frames", labelnames=("__reserved",))
+        with pytest.raises(MetricError):
+            Counter("frames", labelnames=("a", "a"))
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("trails")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value == 4.0
+
+
+class TestHistogram:
+    def test_observe_fills_buckets_and_sum(self):
+        h = Histogram("latency_seconds", buckets=(0.01, 0.1, 1.0))
+        for v in (0.005, 0.05, 0.5, 5.0):
+            h.observe(v)
+        assert h.count == 4
+        assert math.isclose(h.sum, 5.555)
+
+    def test_cumulative_rendering_with_inf(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", buckets=(0.01, 0.1))
+        h.observe(0.005)
+        h.observe(0.05)
+        h.observe(99.0)  # beyond the last bound: only +Inf
+        text = registry.render_prometheus()
+        assert 'lat_bucket{le="0.01"} 1' in text
+        assert 'lat_bucket{le="0.1"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_count 3" in text
+
+    def test_bucket_validation(self):
+        with pytest.raises(MetricError):
+            Histogram("h", buckets=())
+        with pytest.raises(MetricError):
+            Histogram("h", buckets=(1.0, float("inf")))
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self):
+        registry = MetricsRegistry()
+        a = registry.counter("frames_total", "frames")
+        b = registry.counter("frames_total")
+        assert a is b
+        assert len(registry) == 1
+
+    def test_type_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("frames_total")
+        with pytest.raises(MetricError):
+            registry.gauge("frames_total")
+        with pytest.raises(MetricError):
+            registry.counter("frames_total", labelnames=("protocol",))
+
+    def test_prometheus_text_round_trips_through_parser(self):
+        registry = MetricsRegistry()
+        registry.counter("frames_total", "Frames").inc(7)
+        registry.gauge("trails", "Live trails").set(3)
+        by_proto = registry.counter("footprints_total", "fp", ("protocol",))
+        by_proto.labels(protocol="sip").inc(2)
+        h = registry.histogram("stage_seconds", "lat", buckets=(0.001, 0.1))
+        h.observe(0.01)
+        families = parse_prometheus(registry.render_prometheus())
+        assert families["frames_total"]["frames_total"] == 7.0
+        assert families["trails"]["trails"] == 3.0
+        assert families["footprints_total"]['footprints_total{protocol="sip"}'] == 2.0
+        assert families["stage_seconds"]['stage_seconds_bucket{le="0.1"}'] == 1.0
+        assert families["stage_seconds"]["stage_seconds_count"] == 1.0
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        c = registry.counter("weird", labelnames=("v",))
+        c.labels(v='a"b\\c\nd').inc()
+        text = registry.render_prometheus()
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        parse_prometheus(text)  # must stay parseable
+
+    def test_json_export(self):
+        registry = MetricsRegistry()
+        registry.counter("frames_total", "Frames").inc(2)
+        payload = registry.as_dict()
+        (family,) = payload["metrics"]
+        assert family["name"] == "frames_total"
+        assert family["type"] == "counter"
+        assert family["series"][0]["value"] == 2.0
+        assert "frames_total" in registry.render_json()
+
+    def test_write_prometheus(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("frames_total").inc()
+        out = tmp_path / "metrics.txt"
+        registry.write_prometheus(out)
+        assert parse_prometheus(out.read_text())["frames_total"]["frames_total"] == 1.0
+
+
+def test_default_registry_swap():
+    original = default_registry()
+    mine = MetricsRegistry()
+    previous = set_default_registry(mine)
+    try:
+        assert previous is original
+        assert default_registry() is mine
+    finally:
+        set_default_registry(previous)
+    assert default_registry() is original

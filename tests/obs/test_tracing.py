@@ -1,0 +1,76 @@
+"""Tracer: span recording, JSONL export, stage summaries."""
+
+from repro.obs.tracing import Span, Tracer, read_trace_jsonl
+
+
+def test_record_and_len():
+    tracer = Tracer()
+    tracer.record("distill", 1e-5, frame=1, sim_time=0.25, protocol="sip")
+    tracer.record("trail", 2e-6, frame=1, sim_time=0.25)
+    assert len(tracer) == 2
+    span = tracer.spans[0]
+    assert span.name == "distill"
+    assert span.meta == {"protocol": "sip"}
+
+
+def test_span_context_manager_times_block_and_annotates():
+    tracer = Tracer()
+    with tracer.span("generate", frame=3, sim_time=1.5) as meta:
+        meta["events"] = 2
+    (span,) = tracer.spans
+    assert span.name == "generate"
+    assert span.duration >= 0.0
+    assert span.meta["events"] == 2
+
+
+def test_max_spans_cap_drops_and_counts():
+    tracer = Tracer(max_spans=2)
+    for i in range(5):
+        tracer.record("distill", 1e-6, frame=i)
+    assert len(tracer) == 2
+    assert tracer.dropped == 3
+    tracer.clear()
+    assert len(tracer) == 0 and tracer.dropped == 0
+
+
+def test_to_dict_shape():
+    span = Span("match", frame=7, sim_time=2.0, duration=3e-6, meta={"alerts": 1})
+    record = span.to_dict()
+    assert record == {
+        "span": "match", "frame": 7, "t_sim": 2.0, "dur_us": 3.0,
+        "meta": {"alerts": 1},
+    }
+    bare = Span("trail", frame=1, sim_time=0.0, duration=0.0).to_dict()
+    assert "meta" not in bare
+
+
+def test_jsonl_round_trip(tmp_path):
+    tracer = Tracer()
+    tracer.record("distill", 5e-6, frame=1, sim_time=0.1, protocol="rtp")
+    tracer.record("match", 1e-6, frame=1, sim_time=0.1)
+    path = tmp_path / "trace.jsonl"
+    assert tracer.write_jsonl(path) == 2
+    records = read_trace_jsonl(path)
+    assert [r["span"] for r in records] == ["distill", "match"]
+    assert records[0]["meta"]["protocol"] == "rtp"
+    assert records[0]["dur_us"] == 5.0
+
+
+def test_stage_summary_orders_by_total_and_computes_percentiles():
+    tracer = Tracer()
+    for duration in (1e-6, 2e-6, 3e-6, 4e-6):
+        tracer.record("cheap", duration)
+    tracer.record("dear", 1e-3)
+    summary = tracer.stage_summary()
+    assert [s.stage for s in summary] == ["dear", "cheap"]
+    cheap = summary[1]
+    assert cheap.count == 4
+    assert cheap.max == 4e-6
+    assert abs(cheap.mean - 2.5e-6) < 1e-12
+    assert abs(cheap.p50 - 2.5e-6) < 1e-12  # interpolated median
+    dear = summary[0]
+    assert dear.p50 == dear.p95 == dear.max == 1e-3  # single sample
+
+
+def test_stage_summary_empty():
+    assert Tracer().stage_summary() == []
