@@ -8,12 +8,15 @@ Usage::
                                         [--metrics-out m.txt] [--trace-out t.jsonl]
     python -m repro stats bye-attack [--seed 7] [--format table|prom|json]
     python -m repro table1 [--seed 7]
+    python -m repro modules
     python -m repro list
 
 ``scenario`` drives the full simulated testbed (attack or benign),
-``replay`` runs the IDS offline over a standard pcap, ``stats`` runs a
+``replay`` runs the IDS offline over a standard pcap (``--broadcast``
+disables indexed dispatch for A/B comparison), ``stats`` runs a
 scenario with full observability and prints the per-stage/per-rule
-report, ``table1`` regenerates the paper's attack matrix.
+report, ``table1`` regenerates the paper's attack matrix, ``modules``
+lists the registered protocol modules with their generators and rules.
 ``--metrics-out`` writes Prometheus-text metrics, ``--trace-out``
 writes a JSON-lines span trace; ``--log-level`` turns on structured
 logging for any command.
@@ -83,6 +86,8 @@ def _build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--vantage", default=None,
                         help="protected endpoint IP (default: network-wide)")
     replay.add_argument("--json", help="write alerts to this JSON-lines file")
+    replay.add_argument("--broadcast", action="store_true",
+                        help="disable indexed dispatch (reference fan-out mode)")
     _add_obs_flags(replay)
 
     stats = sub.add_parser(
@@ -97,6 +102,7 @@ def _build_parser() -> argparse.ArgumentParser:
     table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
     table1.add_argument("--seed", type=int, default=7)
 
+    sub.add_parser("modules", help="list registered protocol modules")
     sub.add_parser("list", help="list available scenarios")
     return parser
 
@@ -171,9 +177,12 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     want_obs = bool(args.metrics_out or args.trace_out)
     ctx = obs.Observability.create(trace=bool(args.trace_out)) if want_obs else None
     trace = read_pcap(args.pcap)
-    engine = ScidiveEngine(vantage_ip=args.vantage, observability=ctx)
+    engine = ScidiveEngine(vantage_ip=args.vantage, observability=ctx,
+                           indexed_dispatch=not args.broadcast)
     engine.process_trace(trace)
-    print(f"replayed {len(trace)} frames: {engine.stats.footprints} footprints, "
+    mode = "broadcast" if args.broadcast else "indexed"
+    print(f"replayed {len(trace)} frames ({mode} dispatch): "
+          f"{engine.stats.footprints} footprints, "
           f"{engine.stats.events} events, {len(engine.alerts)} alerts")
     _print_alerts(engine.alerts)
     if args.json:
@@ -215,6 +224,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 ["tracked dialogs", engine.sip_state.call_count],
                 ["tracked registrations", engine.registrations.session_count],
                 ["trails reclaimed", engine.expired_trails],
+                ["rule evaluations skipped", engine.ruleset.dispatch_skipped],
             ],
             title=f"Pipeline counters — {args.name} (seed {args.seed})",
         ))
@@ -241,6 +251,28 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_modules(args: argparse.Namespace) -> int:
+    """Describe the registered protocol modules (the stock pipeline)."""
+    from repro.core.protocols import default_modules
+
+    rows = []
+    for module in default_modules():
+        generators = module.generators()
+        rules = module.rules()
+        rows.append([
+            module.name,
+            ",".join(sorted(p.value for p in module.protocols)),
+            "yes" if module.decoder is not None else "-",
+            ", ".join(g.name for g in generators),
+            ", ".join(r.rule_id for r in rules),
+        ])
+    print(format_table(
+        ["module", "protocols", "decoder", "generators", "rules"],
+        rows, title="Registered protocol modules",
+    ))
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     print("attack scenarios:")
     for name in ATTACK_SCENARIOS:
@@ -260,6 +292,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "replay": _cmd_replay,
         "stats": _cmd_stats,
         "table1": _cmd_table1,
+        "modules": _cmd_modules,
         "list": _cmd_list,
     }
     return handlers[args.command](args)

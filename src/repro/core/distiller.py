@@ -6,17 +6,22 @@ Footprints.  The Distiller is responsible for doing IP fragmentation,
 reassembly, decoding protocols, and finally generating the corresponding
 Footprints."
 
-Classification order matters: SIP is text with a recognisable start
-line; RTCP must be sniffed before RTP (both carry version 2 in the top
-bits, RTCP is distinguished by its payload-type range); the accounting
-line protocol rides a dedicated port.  Anything on a VoIP-relevant port
-that fails to decode becomes a :class:`MalformedFootprint` tagged with
-the protocol it pretended to be.
+Classification is a chain of per-protocol *decoders* — plain functions
+``(distiller, payload, common) -> footprint | None | CLAIMED`` that a
+:class:`~repro.core.protocols.ProtocolModule` contributes.  Chain order
+matters: SIP is text with a recognisable start line; RTCP must be
+sniffed before RTP (both carry version 2 in the top bits, RTCP is
+distinguished by its payload-type range); the accounting line protocol
+rides a dedicated port.  Anything on a VoIP-relevant port that fails to
+decode becomes a :class:`MalformedFootprint` tagged with the protocol
+it pretended to be.  A decoder returns :data:`CLAIMED` to consume a
+datagram without producing a footprint (H.225 RAS replies).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Callable
 
 from repro.core.footprint import (
     AccountingFootprint,
@@ -45,6 +50,109 @@ from repro.rtp.rtcp import RtcpError, decode_compound, looks_like_rtcp
 from repro.sip.message import SipParseError, looks_like_sip, parse_message
 
 ACCOUNTING_PORT = 9090
+
+# Returned by a decoder that consumed the datagram without producing a
+# footprint: the chain stops, the frame counts as ignored.
+CLAIMED = object()
+
+# A decoder inspects one UDP payload.  ``common`` carries the Footprint
+# constructor keywords (timestamp, src, dst, macs, wire_bytes); decoders
+# read ``common["src"]`` / ``common["dst"]`` for port steering.
+Decoder = Callable[["Distiller", bytes, dict[str, Any]], object]
+
+
+def decode_sip(distiller: "Distiller", payload: bytes, common: dict[str, Any]):
+    """SIP: content sniff wins, the configured ports force a decode."""
+    on_sip_port = (
+        common["src"].port in distiller.sip_ports
+        or common["dst"].port in distiller.sip_ports
+    )
+    if not (looks_like_sip(payload) or on_sip_port):
+        return None
+    try:
+        return SipFootprint(message=parse_message(payload), **common)
+    except SipParseError as exc:
+        return MalformedFootprint(claimed_protocol=Protocol.SIP, reason=str(exc), **common)
+
+
+def decode_h323(distiller: "Distiller", payload: bytes, common: dict[str, Any]):
+    """H.225 call signalling, plus RAS consumed without a footprint."""
+    on_h225_port = common["src"].port == H225_PORT or common["dst"].port == H225_PORT
+    if looks_like_h225(payload) or on_h225_port:
+        try:
+            return H225Footprint(message=H225Message.decode(payload), **common)
+        except H225Error as exc:
+            return MalformedFootprint(
+                claimed_protocol=Protocol.H225, reason=str(exc), **common
+            )
+    if common["src"].port == RAS_PORT or common["dst"].port == RAS_PORT:
+        # H.225 RAS (gatekeeper registration/admission).  Not used by
+        # any rule; claimed here so its ephemeral-port replies are not
+        # mistaken for garbage on a media port.
+        return CLAIMED
+    return None
+
+
+def decode_accounting(distiller: "Distiller", payload: bytes, common: dict[str, Any]):
+    """The billing line protocol on its dedicated port."""
+    port = distiller.accounting_port
+    if common["src"].port != port and common["dst"].port != port:
+        return None
+    parsed = _parse_accounting(payload)
+    if parsed is None:
+        return MalformedFootprint(
+            claimed_protocol=Protocol.ACCOUNTING, reason="bad TXN line", **common
+        )
+    call_id, from_aor, to_aor, action = parsed
+    return AccountingFootprint(
+        call_id=call_id, from_aor=from_aor, to_aor=to_aor, action=action, **common
+    )
+
+
+def decode_rtcp(distiller: "Distiller", payload: bytes, common: dict[str, Any]):
+    """RTCP — must run before the RTP decoder (shared version bits)."""
+    if not looks_like_rtcp(payload):
+        return None
+    try:
+        return RtcpFootprint(packets=tuple(decode_compound(payload)), **common)
+    except RtcpError as exc:
+        return MalformedFootprint(claimed_protocol=Protocol.RTCP, reason=str(exc), **common)
+
+
+def decode_rtp(distiller: "Distiller", payload: bytes, common: dict[str, Any]):
+    """RTP, with the media-port garbage fallback — runs last."""
+    if looks_like_rtp(payload):
+        try:
+            packet = RtpPacket.decode(payload)
+        except RtpError as exc:
+            return MalformedFootprint(
+                claimed_protocol=Protocol.RTP, reason=str(exc), **common
+            )
+        return RtpFootprint.from_packet(
+            packet, common["timestamp"], common["src"], common["dst"],
+            common["src_mac"], common["dst_mac"], common["wire_bytes"],
+        )
+    src, dst = common["src"], common["dst"]
+    if (
+        distiller.rtp_port_min <= dst.port <= distiller.rtp_port_max
+        or distiller.rtp_port_min <= src.port <= distiller.rtp_port_max
+    ):
+        # On a media port but not valid RTP/RTCP: the garbage packets
+        # of the RTP attack land here.
+        return MalformedFootprint(
+            claimed_protocol=Protocol.RTP, reason="not RTP/RTCP on media port", **common
+        )
+    return None
+
+
+# The stock chain, in sniffing-priority order (see module docstring).
+DEFAULT_DECODERS: tuple[Decoder, ...] = (
+    decode_sip,
+    decode_h323,
+    decode_accounting,
+    decode_rtcp,
+    decode_rtp,
+)
 
 
 @dataclass(slots=True)
@@ -82,6 +190,10 @@ class Distiller:
     rtp_port_min: int = 10000
     rtp_port_max: int = 65534
     accounting_port: int = ACCOUNTING_PORT
+    # The decoder chain, tried in order until one claims the payload.
+    # ProtocolModule registration replaces this with the decoders of the
+    # registered modules (see repro.core.protocols.distiller_from).
+    decoders: tuple[Decoder, ...] = DEFAULT_DECODERS
     stats: DistillerStats = field(default_factory=DistillerStats)
     _reassembler: Reassembler = field(default_factory=Reassembler)
 
@@ -150,62 +262,12 @@ class Distiller:
             dst_mac=dst_mac,
             wire_bytes=wire_bytes,
         )
-        on_sip_port = src.port in self.sip_ports or dst.port in self.sip_ports
-        if looks_like_sip(payload) or on_sip_port:
-            try:
-                return SipFootprint(message=parse_message(payload), **common)
-            except SipParseError as exc:
-                return MalformedFootprint(
-                    claimed_protocol=Protocol.SIP, reason=str(exc), **common
-                )
-        on_h225_port = src.port == H225_PORT or dst.port == H225_PORT
-        if looks_like_h225(payload) or on_h225_port:
-            try:
-                return H225Footprint(message=H225Message.decode(payload), **common)
-            except H225Error as exc:
-                return MalformedFootprint(
-                    claimed_protocol=Protocol.H225, reason=str(exc), **common
-                )
-        if src.port == RAS_PORT or dst.port == RAS_PORT:
-            # H.225 RAS (gatekeeper registration/admission).  Not used by
-            # any rule; classified here so its ephemeral-port replies are
-            # not mistaken for garbage on a media port.
-            return None
-        if src.port == self.accounting_port or dst.port == self.accounting_port:
-            parsed = _parse_accounting(payload)
-            if parsed is None:
-                return MalformedFootprint(
-                    claimed_protocol=Protocol.ACCOUNTING, reason="bad TXN line", **common
-                )
-            call_id, from_aor, to_aor, action = parsed
-            return AccountingFootprint(
-                call_id=call_id, from_aor=from_aor, to_aor=to_aor, action=action, **common
-            )
-        in_rtp_range = (
-            self.rtp_port_min <= dst.port <= self.rtp_port_max
-            or self.rtp_port_min <= src.port <= self.rtp_port_max
-        )
-        if looks_like_rtcp(payload):
-            try:
-                return RtcpFootprint(packets=tuple(decode_compound(payload)), **common)
-            except RtcpError as exc:
-                return MalformedFootprint(
-                    claimed_protocol=Protocol.RTCP, reason=str(exc), **common
-                )
-        if looks_like_rtp(payload):
-            try:
-                packet = RtpPacket.decode(payload)
-            except RtpError as exc:
-                return MalformedFootprint(claimed_protocol=Protocol.RTP, reason=str(exc), **common)
-            return RtpFootprint.from_packet(
-                packet, timestamp, src, dst, src_mac, dst_mac, wire_bytes
-            )
-        if in_rtp_range:
-            # On a media port but not valid RTP/RTCP: the garbage packets
-            # of the RTP attack land here.
-            return MalformedFootprint(
-                claimed_protocol=Protocol.RTP, reason="not RTP/RTCP on media port", **common
-            )
+        for decoder in self.decoders:
+            result = decoder(self, payload, common)
+            if result is CLAIMED:
+                return None
+            if result is not None:
+                return result
         return None
 
 

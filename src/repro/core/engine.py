@@ -7,26 +7,36 @@ endpoint (``vantage_ip``).  It consumes frames either *online*
 :class:`~repro.sim.trace.Trace`), which mirrors the paper's
 hub-tap deployment.
 
-Observability: pass ``metrics_enabled=True`` (or install a global
-context with :func:`repro.obs.enable`) and the engine counts frames /
-footprints / events / alerts by protocol and rule, samples per-stage
-latency histograms, and — when the context carries a tracer — records
-per-frame spans through distill → trail → generate → match.  When off
-(the default), the frame path is byte-for-byte the uninstrumented one
-behind a single ``None`` check.
+Dispatch is *indexed* by default: each footprint visits only the
+generators whose declared ``protocols`` include its protocol (the
+engine builds per-protocol dispatch tables lazily), and each event
+visits only the rules whose ``trigger_events`` include its name (the
+RuleSet maintains that index).  ``indexed_dispatch=False`` restores the
+broadcast fan-out as a reference implementation.
+
+There is exactly one footprint-processing code path.  Instrumentation
+is a :class:`~repro.core.hooks.FootprintHook` object — ``None`` when
+dark, so the metrics-off hot path pays only cheap ``is not None``
+guards; when observability is on (``metrics_enabled=True`` or a global
+:func:`repro.obs.enable` context) the hook counts frames / footprints /
+events / alerts, samples per-stage latency histograms, and — when the
+context carries a tracer — records per-frame spans through
+distill → trail → generate → match.
 """
 
 from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro import obs as _obs
 from repro.core.alerts import Alert, AlertLog
 from repro.core.distiller import Distiller
 from repro.core.event_generators import default_generators
 from repro.core.events import Event, EventGenerator, GeneratorContext
-from repro.core.footprint import AnyFootprint, SipFootprint
+from repro.core.footprint import AnyFootprint, Protocol, SipFootprint
+from repro.core.hooks import FootprintHook
 from repro.core.rules import RuleSet
 from repro.core.rules_library import paper_ruleset
 from repro.core.state import RegistrationTracker, SipStateTracker
@@ -34,6 +44,9 @@ from repro.core.trail import TrailManager
 from repro.net.capture import Sniffer
 from repro.obs.logsetup import get_logger
 from repro.sim.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.protocols import ProtocolModule
 
 _log = get_logger("core.engine")
 
@@ -72,14 +85,37 @@ class ScidiveEngine:
         vantage_mac: str | None = None,
         observability: "_obs.Observability | None" = None,
         metrics_enabled: bool | None = None,
+        modules: "list[ProtocolModule] | None" = None,
+        indexed_dispatch: bool = True,
+        hook: FootprintHook | None = None,
     ) -> None:
         self.name = name
+        self.indexed_dispatch = indexed_dispatch
+        # Protocol modules are the registration unit: when given, they
+        # supply whichever of distiller/generators/ruleset the caller
+        # did not pass explicitly.
+        self.modules = modules
+        if modules is not None:
+            from repro.core.protocols import (
+                distiller_from,
+                generators_from,
+                ruleset_from,
+            )
+
+            if distiller is None:
+                distiller = distiller_from(modules)
+            if generators is None:
+                generators = generators_from(modules)
+            if ruleset is None:
+                ruleset = ruleset_from(modules, indexed=indexed_dispatch)
         self.distiller = distiller if distiller is not None else Distiller()
         self.trails = TrailManager()
         self.sip_state = SipStateTracker()
         self.registrations = RegistrationTracker()
         self.generators = generators if generators is not None else default_generators()
-        self.ruleset = ruleset if ruleset is not None else paper_ruleset()
+        self.ruleset = (
+            ruleset if ruleset is not None else paper_ruleset(indexed=indexed_dispatch)
+        )
         self.alert_log = AlertLog()
         self.stats = EngineStats()
         self.vantage_ip = vantage_ip
@@ -101,6 +137,10 @@ class ScidiveEngine:
         self.state_idle_timeout: float = 600.0
         self._since_housekeeping = 0
         self.expired_trails = 0
+        # Per-protocol generator dispatch tables, built lazily and
+        # invalidated whenever self.generators is rebound.
+        self._dispatch: dict[Protocol, tuple[EventGenerator, ...]] = {}
+        self._dispatch_source: list[EventGenerator] = self.generators
         # -- observability wiring --------------------------------------------
         # metrics_enabled=False forces dark even under a global context;
         # True builds a private context; None follows obs.current().
@@ -119,187 +159,170 @@ class ScidiveEngine:
         )
         if self._instr is not None:
             self.alert_log.subscribers.append(self._instr.alert)
-            # Hot-path handles pre-resolved once: the per-frame code then
-            # observes directly on histogram/counter children, and keeps
-            # per-generator tallies in plain dicts merged at snapshot time.
-            instr = self._instr
-            self._c_frames = instr.frame_counter_child()
-            self._h_distill = instr.stage_child("distill")
-            self._h_state = instr.stage_child("state")
-            self._h_trail = instr.stage_child("trail")
-            self._h_generate = instr.stage_child("generate")
-            self._h_match = instr.stage_child("match")
-            # Every generator runs exactly once per footprint, so calls
-            # need no per-frame tally — a positional seconds list plus one
-            # footprint counter reconstructs both at flush time.
-            # Per-generator attribution is *sampled* (1 in _gen_sample_every
-            # footprints, scaled up at flush); timing all ten generators on
-            # every frame costs more than the generators themselves.
-            self._gen_names = [g.name for g in self.generators]
-            self._gen_secs = [0.0] * len(self.generators)
-            self._gen_footprints = 0
-            self._gen_sample_every = 8
-            self._gen_sample_tick = self._gen_sample_every - 1  # sample frame 1
+            self._hook: FootprintHook | None = self._instr.as_hook()
+        else:
+            # A caller-supplied hook instruments the same single code
+            # path without the observability stack (tests, ad-hoc
+            # profiling).  Dark engines hold None and pay one guard.
+            self._hook = hook
 
     @property
     def metrics_enabled(self) -> bool:
         return self._instr is not None
 
+    # -- dispatch -------------------------------------------------------------
+
+    def generators_for(self, protocol: Protocol) -> tuple[EventGenerator, ...]:
+        """The generators a footprint of this protocol visits, in order.
+
+        Indexed mode filters by each generator's declared ``protocols``
+        (None = wildcard, always visited); broadcast mode returns the
+        full list.  Tables rebuild when ``self.generators`` is rebound.
+        """
+        if self._dispatch_source is not self.generators:
+            self._dispatch_source = self.generators
+            self._dispatch = {}
+        entry = self._dispatch.get(protocol)
+        if entry is None:
+            if self.indexed_dispatch:
+                entry = tuple(
+                    g for g in self.generators
+                    if g.protocols is None or protocol in g.protocols
+                )
+            else:
+                entry = tuple(self.generators)
+            self._dispatch[protocol] = entry
+        return entry
+
     # -- ingestion ------------------------------------------------------------
 
     def process_frame(self, frame: bytes, timestamp: float) -> list[Alert]:
         """The online entry point: one captured frame in, alerts out."""
-        if self._instr is not None:
-            return self._process_frame_instrumented(frame, timestamp)
+        hook = self._hook
         started = _time.perf_counter()
         self.stats.frames += 1
-        alerts: list[Alert] = []
         footprint = self.distiller.distill(frame, timestamp)
-        if footprint is not None:
-            alerts = self._process_footprint(footprint)
+        if hook is not None:
+            hook.frame_distilled(
+                self.stats.frames, timestamp, footprint,
+                _time.perf_counter() - started,
+            )
+        if footprint is None:
+            alerts: list[Alert] = []
+        else:
+            alerts = self.process_footprint(footprint, self.stats.frames)
         self.stats.cpu_seconds += _time.perf_counter() - started
         return alerts
 
-    def _process_footprint(self, footprint: AnyFootprint) -> list[Alert]:
-        self.stats.footprints += 1
+    def process_footprint(
+        self, footprint: AnyFootprint, frame_no: int = 0
+    ) -> list[Alert]:
+        """The single footprint pipeline: state → trail → generate → match.
+
+        Callable directly with pre-distilled footprints (the dispatch
+        benchmark does); ``process_frame`` is the online wrapper.
+
+        Detection logic exists exactly once: instrumentation is the
+        pluggable ``FootprintHook`` and every hook touch-point below is
+        behind a branch on a local, so the dark path (``hook is None``,
+        the common case) pays only those guards — no timer reads, no
+        no-op calls.
+        """
+        hook = self._hook
+        ts = footprint.timestamp
+        stats = self.stats
+        stats.footprints += 1
         self._since_housekeeping += 1
         if self.housekeeping_every and self._since_housekeeping >= self.housekeeping_every:
-            self.housekeep(footprint.timestamp)
+            if hook is None:
+                self.housekeep(ts)
+            else:
+                t0 = _time.perf_counter()
+                reclaimed = self.housekeep(ts)
+                hook.housekeeping_timed(reclaimed, _time.perf_counter() - t0, frame_no, ts)
         # Shared state first, so every generator sees the post-update world.
         if isinstance(footprint, SipFootprint):
+            if hook is not None:
+                t0 = _time.perf_counter()
             self.sip_state.observe(footprint)
             self.registrations.observe(footprint)
+            if hook is not None:
+                hook.state_updated(_time.perf_counter() - t0, frame_no, ts)
+        if hook is not None:
+            t0 = _time.perf_counter()
         trail = self.trails.push(footprint)
-        alerts: list[Alert] = []
-        for generator in self.generators:
-            for event in generator.on_footprint(footprint, trail, self._ctx):
-                self.stats.events += 1
-                self.event_log.append(event)
-                for subscriber in self.event_subscribers:
-                    subscriber(self.name, event)
-                alerts.extend(self.ruleset.match(event, self.trails, self.alert_log))
-        self.stats.alerts += len(alerts)
-        for alert in alerts:
-            for subscriber in self.alert_subscribers:
-                subscriber(alert)
-        return alerts
-
-    # -- instrumented ingestion (mirrors the fast path, plus timing) ---------
-
-    def _process_frame_instrumented(self, frame: bytes, timestamp: float) -> list[Alert]:
-        instr = self._instr
-        tracer = instr.tracer
-        started = _time.perf_counter()
-        self.stats.frames += 1
-        self._c_frames.inc()
-        frame_no = self.stats.frames
-        footprint = self.distiller.distill(frame, timestamp)
-        dt = _time.perf_counter() - started
-        self._h_distill.observe(dt)
-        if tracer is not None:
-            tracer.record(
-                "distill", dt, frame=frame_no, sim_time=timestamp,
-                protocol=footprint.protocol.value if footprint is not None else "none",
-            )
-        alerts: list[Alert] = []
-        if footprint is not None:
-            instr.footprint(footprint.protocol.value)
-            alerts = self._process_footprint_instrumented(footprint, frame_no)
-        self.stats.cpu_seconds += _time.perf_counter() - started
-        return alerts
-
-    def _process_footprint_instrumented(
-        self, footprint: AnyFootprint, frame_no: int
-    ) -> list[Alert]:
-        instr = self._instr
-        tracer = instr.tracer
-        perf = _time.perf_counter
-        ts = footprint.timestamp
-        self.stats.footprints += 1
-        self._since_housekeeping += 1
-        if self.housekeeping_every and self._since_housekeeping >= self.housekeeping_every:
-            t0 = perf()
-            reclaimed = self.housekeep(ts)
-            instr.stage("housekeep", perf() - t0, frame=frame_no, sim_time=ts,
-                        reclaimed=reclaimed)
-        if isinstance(footprint, SipFootprint):
-            t0 = perf()
-            self.sip_state.observe(footprint)
-            self.registrations.observe(footprint)
-            dt = perf() - t0
-            self._h_state.observe(dt)
-            if tracer is not None:
-                tracer.record("state", dt, frame=frame_no, sim_time=ts)
-        t0 = perf()
-        trail = self.trails.push(footprint)
-        dt = perf() - t0
-        self._h_trail.observe(dt)
-        if tracer is not None:
-            tracer.record("trail", dt, frame=frame_no, sim_time=ts)
+        if hook is not None:
+            hook.trail_pushed(_time.perf_counter() - t0, frame_no, ts)
         alerts: list[Alert] = []
         events_produced = 0
-        match_seconds = 0.0
-        self._gen_footprints += 1
-        tick = self._gen_sample_tick + 1
-        sampled = tick >= self._gen_sample_every
-        self._gen_sample_tick = 0 if sampled else tick
-        loop_start = perf()
-        if sampled:
-            # Sampled frame: attribute time to each generator.  The
-            # timestamps are chained — each generator's end mark doubles
-            # as the next one's start.
-            gen_secs = self._gen_secs
+        # Locals hoisted off `self`: this loop runs per footprint per
+        # generator and attribute chases add up at flood rates.
+        ctx = self._ctx
+        event_log_append = self.event_log.append
+        event_subscribers = self.event_subscribers
+        ruleset_match = self.ruleset.match
+        trails = self.trails
+        alert_log = self.alert_log
+        # ``timed`` folds "a hook is attached AND it sampled this
+        # footprint" into one local bool so the generator loop tests a
+        # single flag per touch-point.  Per-generator attribution is
+        # *sampled* (the hook decides how often); timing every generator
+        # on every footprint costs more than the generators themselves.
+        timed = hook is not None and hook.sample_generators()
+        if hook is not None:
+            perf = _time.perf_counter
+            match_seconds = 0.0
+            loop_start = perf()
             mark = loop_start
-            for i, generator in enumerate(self.generators):
-                events = generator.on_footprint(footprint, trail, self._ctx)
-                now = perf()
-                gen_secs[i] += now - mark
-                mark = now
-                if not events:
-                    continue
-                for event in events:
-                    events_produced += 1
-                    self.stats.events += 1
-                    instr.event(event.name)
-                    self.event_log.append(event)
-                    for subscriber in self.event_subscribers:
-                        subscriber(self.name, event)
-                    m0 = perf()
-                    alerts.extend(
-                        self.ruleset.match(event, self.trails, self.alert_log)
-                    )
-                    match_seconds += perf() - m0
-                mark = perf()
+        # Inlined fast path of generators_for(): one identity check and
+        # one dict probe when the table is already built and the
+        # generator list unchanged (the per-footprint common case).
+        if self._dispatch_source is self.generators:
+            generators = self._dispatch.get(footprint.protocol)
         else:
-            # Unsampled frame: two perf_counter marks bound the whole loop.
-            for generator in self.generators:
-                events = generator.on_footprint(footprint, trail, self._ctx)
-                if not events:
-                    continue
-                for event in events:
-                    events_produced += 1
-                    self.stats.events += 1
-                    instr.event(event.name)
-                    self.event_log.append(event)
-                    for subscriber in self.event_subscribers:
+            generators = None
+        if generators is None:
+            generators = self.generators_for(footprint.protocol)
+        for generator in generators:
+            events = generator.on_footprint(footprint, trail, ctx)
+            if timed:
+                now = perf()
+                hook.generator_ran(generator.name, now - mark)
+                mark = now
+            if not events:
+                continue
+            events_produced += len(events)
+            for event in events:
+                event_log_append(event)
+                if hook is not None:
+                    hook.event_seen(event.name)
+                if event_subscribers:
+                    for subscriber in event_subscribers:
                         subscriber(self.name, event)
+                if hook is not None:
                     m0 = perf()
-                    alerts.extend(
-                        self.ruleset.match(event, self.trails, self.alert_log)
-                    )
+                alerts.extend(ruleset_match(event, trails, alert_log))
+                if hook is not None:
                     match_seconds += perf() - m0
-        generate_seconds = perf() - loop_start - match_seconds
-        self._h_generate.observe(generate_seconds)
-        self._h_match.observe(match_seconds)
-        if tracer is not None:
-            tracer.record("generate", generate_seconds, frame=frame_no,
-                          sim_time=ts, events=events_produced)
-            tracer.record("match", match_seconds, frame=frame_no, sim_time=ts,
-                          events=events_produced, alerts=len(alerts))
-        self.stats.alerts += len(alerts)
-        for alert in alerts:
-            for subscriber in self.alert_subscribers:
-                subscriber(alert)
+            if timed:
+                # Rule matching must not be attributed to the next generator.
+                mark = perf()
+        stats.events += events_produced
+        if hook is not None:
+            hook.footprint_done(
+                footprint,
+                perf() - loop_start - match_seconds,
+                match_seconds,
+                events_produced,
+                len(alerts),
+                frame_no,
+                ts,
+            )
+        if alerts:
+            stats.alerts += len(alerts)
+            for alert in alerts:
+                for subscriber in self.alert_subscribers:
+                    subscriber(alert)
         return alerts
 
     def inject_event(self, event: Event) -> list[Alert]:
@@ -310,9 +333,8 @@ class ScidiveEngine:
         """
         self.stats.events += 1
         self.event_log.append(event)
-        if self._instr is not None:
-            self._instr.injected_event()
-            self._instr.event(event.name)
+        if self._hook is not None:
+            self._hook.injected(event.name)
         for subscriber in self.event_subscribers:
             subscriber(self.name, event)
         alerts = self.ruleset.match(event, self.trails, self.alert_log)
@@ -350,10 +372,12 @@ class ScidiveEngine:
 
     def reset_detection_state(self) -> None:
         """Clear alerts/events/counters but keep protocol state (between
-        phases)."""
+        phases).  Includes the ruleset: cooldown timestamps and per-rule
+        counters must not leak from one phase into the next."""
         self.alert_log.clear()
         self.event_log.clear()
         self.stats.reset()
+        self.ruleset.reset()
 
     def housekeep(self, now: float) -> int:
         """Expire idle trails/sessions and stale tracker state.
@@ -368,10 +392,9 @@ class ScidiveEngine:
         self.expired_trails += reclaimed
         dialogs = self.sip_state.expire_torn_down(now, timeout)
         registrations = self.registrations.expire_succeeded(now, timeout)
-        if self._instr is not None:
-            self._instr.housekeeping(reclaimed)
-            self._flush_generator_tallies()
-            self._instr.update_gauges(self)
+        if self._hook is not None:
+            self._hook.housekeeping_done(reclaimed)
+            self._hook.snapshot(self)
         _log.debug(
             "housekeep",
             extra={"fields": {
@@ -385,28 +408,10 @@ class ScidiveEngine:
 
     # -- observability surfacing ------------------------------------------------
 
-    def _flush_generator_tallies(self) -> None:
-        """Hand the engine-local per-generator tallies to the registry.
-
-        Seconds were sampled on 1 in ``_gen_sample_every`` footprints, so
-        they are scaled back up to estimate the true totals; call counts
-        are exact (every generator sees every footprint).
-        """
-        if self._gen_footprints:
-            calls = self._gen_footprints
-            scale = float(self._gen_sample_every)
-            self._instr.merge_generator_seconds(
-                {n: s * scale for n, s in zip(self._gen_names, self._gen_secs)},
-                {name: calls for name in self._gen_names},
-            )
-            self._gen_secs = [0.0] * len(self._gen_names)
-            self._gen_footprints = 0
-
     def snapshot_gauges(self) -> None:
         """Refresh state-size gauges (no-op when observability is off)."""
-        if self._instr is not None:
-            self._flush_generator_tallies()
-            self._instr.update_gauges(self)
+        if self._hook is not None:
+            self._hook.snapshot(self)
 
     def metrics_registry(self) -> "_obs.MetricsRegistry | None":
         return self.observability.registry if self.observability is not None else None

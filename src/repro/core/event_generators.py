@@ -71,6 +71,7 @@ class DialogEventGenerator(EventGenerator):
     """Call lifecycle events from the shared SIP state tracker."""
 
     name = "dialog"
+    protocols = frozenset({Protocol.SIP})
 
     def __init__(self) -> None:
         self._established_emitted: set[str] = set()
@@ -164,6 +165,7 @@ class OrphanRtpGenerator(EventGenerator):
     """
 
     name = "orphan-rtp"
+    protocols = frozenset({Protocol.SIP, Protocol.RTP})
 
     def __init__(self, monitoring_window: float = 0.5, max_events_per_watch: int = 3) -> None:
         self.monitoring_window = monitoring_window
@@ -204,7 +206,7 @@ class OrphanRtpGenerator(EventGenerator):
             # party (an inbound teardown at the protected endpoint); when
             # the protected user hangs up, the peer legitimately keeps
             # sending until the BYE reaches it.
-            inbound = ctx.vantage_ip is None or str(footprint.dst.ip) == ctx.vantage_ip
+            inbound = ctx.is_inbound(footprint)
             endpoint = call.media.get(teardown.claimed_by)
             if inbound and endpoint is not None:
                 self._watches.append(
@@ -221,7 +223,7 @@ class OrphanRtpGenerator(EventGenerator):
         seen = self._handled_redirects.get(call_id, 0)
         if len(call.redirects) > seen:
             for redirect in call.redirects[seen:]:
-                inbound = ctx.vantage_ip is None or str(footprint.dst.ip) == ctx.vantage_ip
+                inbound = ctx.is_inbound(footprint)
                 if inbound and redirect.old_endpoint is not None:
                     self._watches.append(
                         _Watch(
@@ -276,6 +278,15 @@ class _FlowState:
     last_seq: int | None = None
     last_time: float = 0.0
     reorder_streak: int = 0
+    # Rogue-source verdicts memoized per source endpoint:
+    # (src packed ip, src port) -> (media_version, attrs-or-None).
+    # attrs None = source was negotiated; a dict = the mismatch event
+    # attrs to re-emit.  Entries are only trusted while the tracker's
+    # media_version is unchanged, so any SDP/phase-driven media change
+    # invalidates every cached verdict at the cost of one int compare.
+    rogue_verdicts: dict[tuple[int, int], tuple[int, dict | None]] = field(
+        default_factory=dict
+    )
 
 
 class RtpStreamGenerator(EventGenerator):
@@ -290,11 +301,13 @@ class RtpStreamGenerator(EventGenerator):
     """
 
     name = "rtp-stream"
+    protocols = frozenset({Protocol.RTP})
 
     def __init__(self, seq_jump_threshold: int = 100, jitter_reorder_threshold: int = 2) -> None:
         self.seq_jump_threshold = seq_jump_threshold
         self.jitter_reorder_threshold = jitter_reorder_threshold
-        self._flows: dict[Endpoint, _FlowState] = {}  # keyed by destination
+        # Keyed by destination as (packed ip, port): int tuples hash in C.
+        self._flows: dict[tuple[int, int], _FlowState] = {}
 
     def reset(self) -> None:
         self._flows.clear()
@@ -304,12 +317,15 @@ class RtpStreamGenerator(EventGenerator):
     ) -> list[Event]:
         if isinstance(footprint, MalformedFootprint) and footprint.claimed_protocol == Protocol.RTP:
             if ctx.is_inbound(footprint):
+                # ``src`` stays an Endpoint: it hashes as a rule group key
+                # and renders identically via str() at alert-format time,
+                # without paying string formatting per flood packet.
                 return [
                     Event(
                         name=EVENT_MALFORMED_RTP,
                         time=footprint.timestamp,
                         session=trail.call_id or "",
-                        attrs={"src": str(footprint.src), "reason": footprint.reason},
+                        attrs={"src": footprint.src, "reason": footprint.reason},
                         evidence=(footprint,),
                     )
                 ]
@@ -317,17 +333,53 @@ class RtpStreamGenerator(EventGenerator):
         if not isinstance(footprint, RtpFootprint) or not ctx.is_inbound(footprint):
             return []
         events: list[Event] = []
-        session = trail.call_id or ctx.trails.media_owner(footprint.dst) or ""
+        dst = footprint.dst
+        session = trail.call_id or ctx.trails.media_owner(dst) or ""
+        flow = self._flows.get((dst.ip.packed, dst.port))
+        if flow is None:
+            flow = _FlowState()
+            self._flows[(dst.ip.packed, dst.port)] = flow
         # -- rogue source check (cross-protocol via SDP state) -------------
-        call = ctx.sip_state.call_for_media(footprint.dst)
-        legitimate: set[Endpoint] | None = None
-        source_session = session
+        call = ctx.sip_state.call_for_media(dst)
         if call is not None and call.phase != CallPhase.SETUP and call.media:
             # Media negotiated (call established or already torn down):
             # any source outside the negotiated set is rogue — including
-            # strays arriving at a dead session's port.
-            legitimate = set(call.media.values())
-            source_session = call.call_id
+            # strays arriving at a dead session's port.  The verdict for
+            # a given source only changes when negotiated media does, so
+            # it is memoized against the tracker's media_version instead
+            # of rescanning call.media per packet.
+            src = footprint.src
+            src_key = (src.ip.packed, src.port)
+            version = ctx.sip_state.media_version
+            cached = flow.rogue_verdicts.get(src_key)
+            if cached is not None and cached[0] == version:
+                attrs = cached[1]
+            else:
+                # A tuple, not a set: the negotiated party count is tiny
+                # (2), so linear membership beats building a set.
+                legitimate = tuple(call.media.values())
+                if src not in legitimate:
+                    attrs = {
+                        "src": src,
+                        "expected": tuple(e for e in legitimate if e != dst),
+                    }
+                else:
+                    attrs = None
+                if len(flow.rogue_verdicts) >= 64:
+                    # A spoofer cycling source ports must not grow this
+                    # per-flow memo unboundedly.
+                    flow.rogue_verdicts.clear()
+                flow.rogue_verdicts[src_key] = (version, attrs)
+            if attrs is not None:
+                events.append(
+                    Event(
+                        name=EVENT_RTP_SOURCE_MISMATCH,
+                        time=footprint.timestamp,
+                        session=call.call_id,
+                        attrs=attrs,
+                        evidence=(footprint,),
+                    )
+                )
         elif call is None and session:
             # No strictly-parsed call covers this flow; fall back to the
             # trail-level SDP knowledge.  Flows toward a known media
@@ -336,25 +388,23 @@ class RtpStreamGenerator(EventGenerator):
             # rejected) are rogue.
             linked = ctx.trails.sessions.get(session)
             if linked is not None and linked.media_endpoints:
-                legitimate = set(linked.media_endpoints.values())
-        if legitimate is not None and footprint.src not in legitimate:
-            events.append(
-                Event(
-                    name=EVENT_RTP_SOURCE_MISMATCH,
-                    time=footprint.timestamp,
-                    session=source_session,
-                    attrs={
-                        "src": str(footprint.src),
-                        "expected": sorted(str(e) for e in legitimate - {footprint.dst}),
-                    },
-                    evidence=(footprint,),
-                )
-            )
+                legitimate = tuple(linked.media_endpoints.values())
+                if footprint.src not in legitimate:
+                    events.append(
+                        Event(
+                            name=EVENT_RTP_SOURCE_MISMATCH,
+                            time=footprint.timestamp,
+                            session=session,
+                            attrs={
+                                "src": footprint.src,
+                                "expected": tuple(
+                                    e for e in legitimate if e != dst
+                                ),
+                            },
+                            evidence=(footprint,),
+                        )
+                    )
         # -- sequence continuity ---------------------------------------------
-        flow = self._flows.get(footprint.dst)
-        if flow is None:
-            flow = _FlowState()
-            self._flows[footprint.dst] = flow
         if flow.last_seq is not None:
             delta = seq_delta(footprint.sequence, flow.last_seq)
             if abs(delta) > self.seq_jump_threshold:
@@ -365,8 +415,8 @@ class RtpStreamGenerator(EventGenerator):
                         session=session,
                         attrs={
                             "delta": delta,
-                            "src": str(footprint.src),
-                            "dst": str(footprint.dst),
+                            "src": footprint.src,
+                            "dst": footprint.dst,
                             "seq": footprint.sequence,
                         },
                         evidence=(footprint,),
@@ -416,6 +466,7 @@ class ImSourceGenerator(EventGenerator):
     """
 
     name = "im-source"
+    protocols = frozenset({Protocol.SIP})
 
     def __init__(self, mobility_window: float = 60.0, reregistration_window: float = 120.0) -> None:
         self.mobility_window = mobility_window
@@ -504,6 +555,7 @@ class AuthEventGenerator(EventGenerator):
     """Registration-auth events from the shared registration tracker."""
 
     name = "auth"
+    protocols = frozenset({Protocol.SIP})
 
     def __init__(self) -> None:
         self._unauth_counts: dict[str, int] = {}  # session -> emitted count
@@ -563,6 +615,7 @@ class MalformedSipGenerator(EventGenerator):
     """Billing-fraud condition 1: incorrectly formatted SIP messages."""
 
     name = "malformed-sip"
+    protocols = frozenset({Protocol.SIP})
 
     def on_footprint(
         self, footprint: AnyFootprint, trail: Trail, ctx: GeneratorContext
@@ -592,6 +645,7 @@ class AccountingGenerator(EventGenerator):
     """
 
     name = "accounting"
+    protocols = frozenset({Protocol.SIP, Protocol.ACCOUNTING})
 
     def __init__(self) -> None:
         self._invites_seen: set[tuple[str, str, str]] = set()  # (call_id, from, to)
@@ -653,19 +707,14 @@ def default_generators(
     seq_jump_threshold: int = 100,
     mobility_window: float = 60.0,
 ) -> list[EventGenerator]:
-    """The standard generator set wired into a SCIDIVE engine."""
-    from repro.core.h323_generators import H323OrphanGenerator
-    from repro.core.rtcp_generators import RtcpByeGenerator, SsrcTrackGenerator
+    """The standard generator set: every default protocol module's
+    generators, flattened in module order."""
+    from repro.core.protocols import default_modules, generators_from
 
-    return [
-        DialogEventGenerator(),
-        OrphanRtpGenerator(monitoring_window=monitoring_window),
-        RtpStreamGenerator(seq_jump_threshold=seq_jump_threshold),
-        ImSourceGenerator(mobility_window=mobility_window),
-        AuthEventGenerator(),
-        MalformedSipGenerator(),
-        AccountingGenerator(),
-        RtcpByeGenerator(monitoring_window=monitoring_window),
-        SsrcTrackGenerator(),
-        H323OrphanGenerator(monitoring_window=monitoring_window),
-    ]
+    return generators_from(
+        default_modules(
+            monitoring_window=monitoring_window,
+            seq_jump_threshold=seq_jump_threshold,
+            mobility_window=mobility_window,
+        )
+    )

@@ -19,9 +19,10 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.core.footprint import AnyFootprint
+from repro.core.footprint import AnyFootprint, Protocol
 from repro.core.state import RegistrationTracker, SipStateTracker
 from repro.core.trail import Trail, TrailManager
+from repro.net.addr import IPv4Address
 
 
 # Canonical event names, so rules and generators cannot drift apart.
@@ -75,21 +76,39 @@ class GeneratorContext:
     # elsewhere on the segment carries a foreign source MAC and must not
     # count as outbound.  None = trust the IP (network-tap deployment).
     vantage_mac: str | None = None
+    # Parsed once at construction: direction checks run per footprint on
+    # the hot path, so they compare packed ints, not formatted strings.
+    _vantage_packed: int | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self._vantage_packed = (
+            IPv4Address.parse(self.vantage_ip).packed
+            if self.vantage_ip is not None
+            else None
+        )
 
     def is_inbound(self, footprint: AnyFootprint) -> bool:
         """Does this footprint arrive at the protected endpoint?"""
-        return self.vantage_ip is None or str(footprint.dst.ip) == self.vantage_ip
+        packed = self._vantage_packed
+        return packed is None or footprint.dst.ip.packed == packed
 
     def is_outbound(self, footprint: AnyFootprint) -> bool:
-        if self.vantage_ip is None or str(footprint.src.ip) != self.vantage_ip:
+        packed = self._vantage_packed
+        if packed is None or footprint.src.ip.packed != packed:
             return False
-        return self.vantage_mac is None or str(footprint.src_mac) == self.vantage_mac
+        return self.vantage_mac is None or footprint.src_mac.value == self.vantage_mac
 
 
 class EventGenerator(ABC):
     """Base class for all generators."""
 
     name: str = "generator"
+    # The protocols this generator consumes.  The engine dispatches a
+    # footprint only to generators whose set contains its protocol;
+    # None means "every footprint" (broadcast, the pre-indexing default).
+    # Malformed footprints dispatch under their *claimed* protocol, so a
+    # SIP-interested generator still sees malformed SIP.
+    protocols: frozenset[Protocol] | None = None
 
     @abstractmethod
     def on_footprint(

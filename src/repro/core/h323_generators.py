@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.events import Event, EventGenerator, GeneratorContext
-from repro.core.footprint import AnyFootprint, H225Footprint, RtpFootprint
+from repro.core.footprint import AnyFootprint, H225Footprint, Protocol, RtpFootprint
 from repro.core.trail import Trail
 from repro.h323.h225 import MessageType
 from repro.net.addr import Endpoint
@@ -53,6 +53,7 @@ class H323OrphanGenerator(EventGenerator):
     """
 
     name = "h323-orphan"
+    protocols = frozenset({Protocol.H225, Protocol.RTP})
 
     def __init__(self, monitoring_window: float = 0.5, max_events_per_watch: int = 3) -> None:
         self.monitoring_window = monitoring_window
@@ -117,7 +118,7 @@ class H323OrphanGenerator(EventGenerator):
             # Arm watches only for releases *arriving at* the protected
             # endpoint (an inbound teardown), on every media endpoint
             # that is not the victim's own.
-            inbound = ctx.vantage_ip is None or str(footprint.dst.ip) == ctx.vantage_ip
+            inbound = ctx.is_inbound(footprint)
             if inbound:
                 for endpoint in call.media.values():
                     if str(endpoint.ip) != str(footprint.dst.ip):

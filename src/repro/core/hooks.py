@@ -1,0 +1,88 @@
+"""Pluggable instrumentation hooks for the engine's footprint pipeline.
+
+The engine has exactly one frame/footprint code path.  Everything the
+observability layer wants to know — stage timings, per-generator
+attribution, event/alert counts — is delivered through a hook object;
+when observability is off the engine holds ``None`` and the hot path
+pays a single ``is not None`` guard per call site instead of a
+duplicated instrumented pipeline.
+
+:class:`FootprintHook` is the no-op base.  ``repro.obs.instrument``
+provides :class:`~repro.obs.instrument.InstrumentationHook`, which
+feeds the metrics registry and tracer; tests subclass the base to spy
+on the pipeline without pulling in the observability stack.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.core.footprint import AnyFootprint
+
+
+class FootprintHook:
+    """No-op base: override the stages you care about.
+
+    All ``seconds`` arguments are wall-clock durations measured by the
+    engine around the corresponding stage; ``frame_no`` is 0 when a
+    footprint entered the pipeline directly (not via ``process_frame``).
+    """
+
+    __slots__ = ()
+
+    def frame_distilled(
+        self,
+        frame_no: int,
+        sim_time: float,
+        footprint: "AnyFootprint | None",
+        seconds: float,
+    ) -> None:
+        """One raw frame went through the distiller (footprint may be None)."""
+
+    def housekeeping_timed(
+        self, reclaimed: int, seconds: float, frame_no: int, sim_time: float
+    ) -> None:
+        """An automatic housekeeping sweep ran inside the footprint path."""
+
+    def state_updated(self, seconds: float, frame_no: int, sim_time: float) -> None:
+        """Shared SIP/registration state absorbed a SIP footprint."""
+
+    def trail_pushed(self, seconds: float, frame_no: int, sim_time: float) -> None:
+        """The footprint was appended to its trail."""
+
+    def sample_generators(self) -> bool:
+        """Should this footprint attribute time to individual generators?
+
+        Per-generator timing costs a clock read per generator; returning
+        True on a subset of footprints keeps the overhead bounded (the
+        instrumented hook samples 1 in N and scales up at flush time).
+        """
+        return False
+
+    def generator_ran(self, name: str, seconds: float) -> None:
+        """One generator processed the footprint (sampled footprints only)."""
+
+    def event_seen(self, name: str) -> None:
+        """A generator emitted an event."""
+
+    def footprint_done(
+        self,
+        footprint: "AnyFootprint",
+        generate_seconds: float,
+        match_seconds: float,
+        events: int,
+        alerts: int,
+        frame_no: int,
+        sim_time: float,
+    ) -> None:
+        """The footprint finished the generate → match stages."""
+
+    def injected(self, event_name: str) -> None:
+        """An external event entered via ``inject_event`` (cooperation)."""
+
+    def housekeeping_done(self, reclaimed: int) -> None:
+        """A housekeeping sweep completed (explicit or automatic)."""
+
+    def snapshot(self, engine: Any) -> None:
+        """Flush accumulated tallies and refresh state-size gauges."""

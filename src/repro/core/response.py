@@ -127,8 +127,10 @@ class ResponseEngine:
             # Prefer explicit source attributes produced by generators.
             for key in ("source", "src", "intruder", "actual_ip"):
                 value = event.attrs.get(key)
-                if isinstance(value, str) and value:
-                    return value.rsplit(":", 1)[0]
+                # Generators may attach either a formatted string or a
+                # raw Endpoint; both render as "ip[:port]".
+                if value:
+                    return str(value).rsplit(":", 1)[0]
             for footprint in event.evidence:
                 return str(footprint.src.ip)
         return None

@@ -29,7 +29,7 @@ from repro.core.events import (
     EventGenerator,
     GeneratorContext,
 )
-from repro.core.footprint import AnyFootprint, RtcpFootprint, RtpFootprint
+from repro.core.footprint import AnyFootprint, Protocol, RtcpFootprint, RtpFootprint
 from repro.core.trail import Trail
 from repro.net.addr import Endpoint
 from repro.rtp.rtcp import Bye
@@ -48,6 +48,7 @@ class RtcpByeGenerator(EventGenerator):
     """RTP continuing after its own SSRC said goodbye via RTCP."""
 
     name = "rtcp-bye"
+    protocols = frozenset({Protocol.RTCP, Protocol.RTP})
 
     def __init__(self, monitoring_window: float = 0.5, max_events_per_watch: int = 3) -> None:
         self.monitoring_window = monitoring_window
@@ -122,16 +123,35 @@ class _SsrcOwner:
     packets: int = 1
 
 
+# Endpoint -> "ip:port" render memo.  The collision branch runs once per
+# spoofed packet and its attrs are string-typed (consumers slice and
+# compare them); the handful of endpoints in play don't need re-rendering
+# each time.  Capped so an attacker cycling spoofed sources can't grow it.
+_ENDPOINT_STRS: dict[tuple[int, int], str] = {}
+
+
+def _endpoint_str(endpoint: Endpoint) -> str:
+    key = (endpoint.ip.packed, endpoint.port)
+    rendered = _ENDPOINT_STRS.get(key)
+    if rendered is None:
+        if len(_ENDPOINT_STRS) >= 4096:
+            _ENDPOINT_STRS.clear()
+        rendered = _ENDPOINT_STRS[key] = str(endpoint)
+    return rendered
+
+
 class SsrcTrackGenerator(EventGenerator):
     """Same SSRC, different network source: participant impersonation."""
 
     name = "ssrc-track"
+    protocols = frozenset({Protocol.RTP})
 
     def __init__(self, forget_after: float = 30.0) -> None:
         self.forget_after = forget_after
         # Keyed per destination flow so independent sessions that happen
-        # to pick the same random SSRC don't cross-talk.
-        self._owners: dict[tuple[Endpoint, int], _SsrcOwner] = {}
+        # to pick the same random SSRC don't cross-talk.  (packed ip,
+        # port, ssrc) int keys hash in C on the per-packet path.
+        self._owners: dict[tuple[int, int, int], _SsrcOwner] = {}
 
     def reset(self) -> None:
         self._owners.clear()
@@ -141,7 +161,7 @@ class SsrcTrackGenerator(EventGenerator):
     ) -> list[Event]:
         if not isinstance(footprint, RtpFootprint) or not ctx.is_inbound(footprint):
             return []
-        key = (footprint.dst, footprint.ssrc)
+        key = (footprint.dst.ip.packed, footprint.dst.port, footprint.ssrc)
         owner = self._owners.get(key)
         now = footprint.timestamp
         if owner is None or now - owner.last_seen > self.forget_after:
@@ -158,8 +178,8 @@ class SsrcTrackGenerator(EventGenerator):
             session=trail.call_id or "",
             attrs={
                 "ssrc": footprint.ssrc,
-                "owner": str(owner.source),
-                "intruder": str(footprint.src),
+                "owner": _endpoint_str(owner.source),
+                "intruder": _endpoint_str(footprint.src),
                 "owner_packets": owner.packets,
             },
             evidence=(footprint,),

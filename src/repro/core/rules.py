@@ -66,6 +66,12 @@ class RuleContext:
 class Rule(ABC):
     """Base rule: consumes events, produces alerts."""
 
+    # The event names that can possibly fire this rule.  RuleSet builds
+    # its trigger-event → rules index from this; None means "every
+    # event" (the rule is a wildcard and always a candidate).  The
+    # concrete rule shapes fill it in from their constructor arguments.
+    trigger_events: frozenset[str] | None = None
+
     def __init__(
         self,
         rule_id: str,
@@ -81,6 +87,9 @@ class Rule(ABC):
         # Suppress duplicate alerts for the same group within cooldown.
         self.cooldown = cooldown
         self._last_alert: dict[str, float] = {}
+        # Candidate evaluations: how often the dispatcher handed this
+        # rule an event it could plausibly fire on (under indexed
+        # dispatch, events outside trigger_events never reach it).
         self.matches_attempted = 0
         self.alerts_raised = 0
 
@@ -89,14 +98,30 @@ class Rule(ABC):
         """Inspect one event; return an alert or None."""
 
     def reset(self) -> None:
+        """Forget cooldowns and zero the activity counters (between
+        experiment phases — without this, a phase-1 alert's cooldown
+        timestamp would suppress the same alert in phase 2)."""
         self._last_alert.clear()
+        self.matches_attempted = 0
+        self.alerts_raised = 0
+
+    def _cooldown_active(self, event: Event) -> bool:
+        """True when the group's cooldown suppresses an alert at ``event.time``.
+
+        Exposed separately from :meth:`_make_alert` so rules can bail out
+        *before* rendering the alert message — under an event flood almost
+        every over-threshold event is cooldown-suppressed, and formatting
+        a message that will be discarded dominates the match path.
+        """
+        if self.cooldown <= 0:
+            return False
+        last = self._last_alert.get(event.session or "global")
+        return last is not None and event.time - last < self.cooldown
 
     def _make_alert(self, event: Event, message: str, evidence: tuple[Event, ...]) -> Alert | None:
-        group = event.session or "global"
-        last = self._last_alert.get(group)
-        if last is not None and self.cooldown > 0 and event.time - last < self.cooldown:
+        if self._cooldown_active(event):
             return None
-        self._last_alert[group] = event.time
+        self._last_alert[event.session or "global"] = event.time
         self.alerts_raised += 1
         return Alert(
             rule_id=self.rule_id,
@@ -126,14 +151,16 @@ class SingleEventRule(Rule):
     ) -> None:
         super().__init__(rule_id, name, severity, attack_class, cooldown)
         self.event_name = event_name
+        self.trigger_events = frozenset({event_name})
         self.predicate = predicate
         self.message_template = message or f"{name}: triggered by {event_name}"
 
     def on_event(self, event: Event, ctx: RuleContext) -> Alert | None:
         if event.name != self.event_name:
             return None
-        self.matches_attempted += 1
         if self.predicate is not None and not self.predicate(event):
+            return None
+        if self._cooldown_active(event):
             return None
         message = self.message_template.format(**{"session": event.session, **event.attrs})
         return self._make_alert(event, message, (event,))
@@ -160,6 +187,7 @@ class ThresholdRule(Rule):
         if threshold < 1:
             raise ValueError(f"threshold must be >= 1: {threshold}")
         self.event_name = event_name
+        self.trigger_events = frozenset({event_name})
         self.threshold = threshold
         self.window = window
         self.group_by = group_by if group_by is not None else (lambda e: e.session)
@@ -177,19 +205,22 @@ class ThresholdRule(Rule):
     def on_event(self, event: Event, ctx: RuleContext) -> Alert | None:
         if event.name != self.event_name:
             return None
-        self.matches_attempted += 1
         if self.predicate is not None and not self.predicate(event):
             return None
         group = self.group_by(event)
+        # _touch_lru already re-inserted a hit at MRU; only a miss needs
+        # the dict store (one fewer key hash per event on the flood path).
         bucket = _touch_lru(self._buckets, group, self.max_groups)
         if bucket is None:
             bucket = deque()
-        self._buckets[group] = bucket
+            self._buckets[group] = bucket
         bucket.append(event)
         horizon = event.time - self.window
         while bucket and bucket[0].time < horizon:
             bucket.popleft()
         if len(bucket) < self.threshold:
+            return None
+        if self._cooldown_active(event):
             return None
         message = self.message_template.format(
             count=len(bucket), **{"session": event.session, **event.attrs}
@@ -219,6 +250,7 @@ class SequenceRule(Rule):
         if len(sequence) < 2:
             raise ValueError("sequence rules need at least two steps")
         self.sequence = sequence
+        self.trigger_events = frozenset(sequence)
         self.window = window
         self.message_template = message or f"{name}: sequence {' -> '.join(sequence)}"
         # Per session: (next step index, matched events so far).
@@ -238,7 +270,6 @@ class SequenceRule(Rule):
             if event.name == self.sequence[0]:
                 self._progress[event.session] = (1, [event])
             return None
-        self.matches_attempted += 1
         matched = matched + [event]
         step += 1
         if step < len(self.sequence):
@@ -272,6 +303,8 @@ class ConjunctionRule(Rule):
         if len(required) < 2:
             raise ValueError("conjunction rules need at least two event kinds")
         self.required = frozenset(required)
+        self._required_count = len(self.required)
+        self.trigger_events = self.required
         self.window = window
         self.correlate = correlate if correlate is not None else (lambda e: e.session)
         self.message_template = message or f"{name}: all of {sorted(required)} observed"
@@ -285,18 +318,23 @@ class ConjunctionRule(Rule):
     def on_event(self, event: Event, ctx: RuleContext) -> Alert | None:
         if event.name not in self.required:
             return None
-        self.matches_attempted += 1
         group = self.correlate(event)
         seen = _touch_lru(self._seen, group, self.max_groups)
         if seen is None:
             seen = {}
-        self._seen[group] = seen
+            self._seen[group] = seen
         seen[event.name] = event
-        # Age out stale members.
+        # Keys are always a subset of ``required`` (guarded above), so a
+        # length check is a complete-conjunction check.  Stale members
+        # only matter at that moment, so aging is deferred until then —
+        # off the per-event path an event flood exercises.
+        if len(seen) < self._required_count:
+            return None
         horizon = event.time - self.window
-        for name in [n for n, e in seen.items() if e.time < horizon]:
-            del seen[name]
-        if set(seen) != self.required:
+        stale = [name for name, e in seen.items() if e.time < horizon]
+        if stale:
+            for name in stale:
+                del seen[name]
             return None
         evidence = tuple(sorted(seen.values(), key=lambda e: e.time))
         self._seen.pop(group, None)
@@ -325,11 +363,32 @@ class EventHistory:
 
 
 class RuleSet:
-    """All active rules plus the dispatch loop."""
+    """All active rules plus the dispatch loop.
 
-    def __init__(self, rules: list[Rule] | None = None) -> None:
+    With ``indexed=True`` (the default) the set maintains a
+    trigger-event → rules index built from each rule's declared
+    ``trigger_events``: an event only visits the rules that could fire
+    on its name, plus any wildcard rules (``trigger_events is None``).
+    ``indexed=False`` restores the broadcast behaviour — every event
+    visits every rule — which the equivalence suite and the dispatch
+    benchmark use as the reference implementation.
+    """
+
+    def __init__(self, rules: list[Rule] | None = None, indexed: bool = True) -> None:
         self.rules: list[Rule] = list(rules) if rules else []
         self.history = EventHistory()
+        self.indexed = indexed
+        # Rule evaluations avoided by the index (benchmark reporting).
+        self.dispatch_skipped = 0
+        self._index: dict[str, tuple[Rule, ...]] = {}
+        self._wildcard: tuple[Rule, ...] = ()
+        # The (identity, length) the index was built from; add/remove and
+        # direct list manipulation both change one of them.
+        self._index_rules: list[Rule] | None = None
+        self._index_len = -1
+        # RuleContext is immutable per (trails, history) pair; rebuilding
+        # it per event shows up in the dispatch benchmark.
+        self._ctx: RuleContext | None = None
 
     def add(self, rule: Rule) -> None:
         if any(r.rule_id == rule.rule_id for r in self.rules):
@@ -339,12 +398,56 @@ class RuleSet:
     def remove(self, rule_id: str) -> None:
         self.rules = [r for r in self.rules if r.rule_id != rule_id]
 
-    def match(self, event: Event, trails: TrailManager, log: AlertLog) -> list[Alert]:
-        """Run one event through every rule; emit and return alerts."""
-        self.history.record(event)
-        ctx = RuleContext(trails=trails, history=self.history)
-        alerts: list[Alert] = []
+    def rebuild_index(self) -> None:
+        """Recompute the trigger-event → rules index.
+
+        Called lazily whenever the rule list changed shape; call it
+        explicitly after mutating a rule's ``trigger_events`` in place.
+        Candidate lists preserve ``self.rules`` order so alert ordering
+        is identical to broadcast dispatch.
+        """
+        names: set[str] = set()
         for rule in self.rules:
+            if rule.trigger_events is not None:
+                names.update(rule.trigger_events)
+        self._wildcard = tuple(r for r in self.rules if r.trigger_events is None)
+        self._index = {
+            name: tuple(
+                r for r in self.rules
+                if r.trigger_events is None or name in r.trigger_events
+            )
+            for name in names
+        }
+        self._index_rules = self.rules
+        self._index_len = len(self.rules)
+
+    def candidates_for(self, event_name: str) -> tuple[Rule, ...]:
+        """The rules an event with this name would visit under indexing."""
+        if self._index_rules is not self.rules or self._index_len != len(self.rules):
+            self.rebuild_index()
+        return self._index.get(event_name, self._wildcard)
+
+    def match(self, event: Event, trails: TrailManager, log: AlertLog) -> list[Alert]:
+        """Run one event through the candidate rules; emit and return alerts."""
+        # EventHistory.record, inlined: this runs once per event.
+        history = self.history
+        history.events.append(event)
+        history.counts[event.name] += 1
+        ctx = self._ctx
+        if ctx is None or ctx.trails is not trails or ctx.history is not self.history:
+            ctx = self._ctx = RuleContext(trails=trails, history=self.history)
+        if self.indexed:
+            # Inlined candidates_for(): one dict probe per event once the
+            # index is built.
+            if self._index_rules is not self.rules or self._index_len != len(self.rules):
+                self.rebuild_index()
+            candidates = self._index.get(event.name, self._wildcard)
+            self.dispatch_skipped += len(self.rules) - len(candidates)
+        else:
+            candidates = self.rules
+        alerts: list[Alert] = []
+        for rule in candidates:
+            rule.matches_attempted += 1
             alert = rule.on_event(event, ctx)
             if alert is not None:
                 log.emit(alert)
@@ -355,6 +458,7 @@ class RuleSet:
         for rule in self.rules:
             rule.reset()
         self.history = EventHistory()
+        self.dispatch_skipped = 0
 
     def rule_stats(self) -> list[dict[str, object]]:
         """Per-rule match/alert counters (the ``repro stats`` table)."""

@@ -39,6 +39,7 @@ from repro.core.events import (
     Event,
 )
 from repro.core.rules import ConjunctionRule, Rule, RuleSet, SingleEventRule, ThresholdRule
+from repro.net.addr import Endpoint
 
 RULE_BYE_ATTACK = "BYE-001"
 RULE_CALL_HIJACK = "HIJACK-001"
@@ -120,6 +121,20 @@ def rtp_source_rule(cooldown: float = 0.5) -> Rule:
     )
 
 
+def _media_src_group(event: Event):
+    """Group media events by source endpoint.
+
+    Endpoint attrs are reduced to packed address ints — the threshold
+    bucket is touched once per flood packet, and int tuples hash in C
+    where Endpoint would recurse through dataclass __hash__.  String
+    sources (from hand-built events in tests) group by value as before.
+    """
+    src = event.attrs.get("src")
+    if isinstance(src, Endpoint):
+        return (src.ip.packed, src.port)
+    return src if src is not None else event.session
+
+
 def rtp_malformed_rule(threshold: int = 3, window: float = 1.0) -> Rule:
     return ThresholdRule(
         rule_id=RULE_RTP_MALFORMED,
@@ -129,7 +144,7 @@ def rtp_malformed_rule(threshold: int = 3, window: float = 1.0) -> Rule:
         window=window,
         severity=Severity.MEDIUM,
         attack_class="media",
-        group_by=lambda e: e.attrs.get("src", e.session),
+        group_by=_media_src_group,
         message="{count} undecodable datagrams on a media port from {src}",
     )
 
@@ -238,27 +253,17 @@ def h323_release_rule(cooldown: float = 1.0) -> Rule:
     )
 
 
-def paper_ruleset() -> RuleSet:
-    """Exactly the rules demonstrated in the paper (Table 1 + §3.2/§3.3)."""
-    return RuleSet(
-        rules=[
-            bye_attack_rule(),
-            call_hijack_rule(),
-            fake_im_rule(),
-            rtp_seq_rule(),
-            rtp_source_rule(),
-            rtp_malformed_rule(),
-            register_dos_rule(),
-            password_guess_rule(),
-            billing_fraud_rule(),
-            rtcp_bye_orphan_rule(),
-            ssrc_collision_rule(),
-            h323_release_rule(),
-        ]
-    )
+def paper_ruleset(indexed: bool = True) -> RuleSet:
+    """Exactly the rules demonstrated in the paper (Table 1 + §3.2/§3.3):
+    every default protocol module's rules, flattened in module order.
+    ``indexed=False`` builds the same rules without the trigger-event
+    index (broadcast dispatch — the equivalence-suite reference)."""
+    from repro.core.protocols import default_modules, ruleset_from
+
+    return ruleset_from(default_modules(), indexed=indexed)
 
 
-def table1_ruleset() -> RuleSet:
+def table1_ruleset(indexed: bool = True) -> RuleSet:
     """Only the four Table 1 attack rules (for the accuracy matrix)."""
     return RuleSet(
         rules=[
@@ -268,5 +273,6 @@ def table1_ruleset() -> RuleSet:
             rtp_seq_rule(),
             rtp_source_rule(),
             rtp_malformed_rule(),
-        ]
+        ],
+        indexed=indexed,
     )

@@ -93,6 +93,14 @@ class SipStateTracker:
     def __init__(self) -> None:
         self.calls: dict[str, ObservedCall] = {}
         self._invites: dict[str, SipRequest] = {}  # pending INVITE by call-id
+        # Lazy reverse index media endpoint -> call, consulted by the RTP
+        # generator once per media packet.  None = stale; rebuilt on the
+        # next call_for_media().  Any mutation of calls or their media
+        # must set it to None and bump media_version, which lets
+        # downstream per-flow caches detect that negotiated-media state
+        # changed without rescanning it.
+        self._media_calls: dict[tuple[int, int], ObservedCall] | None = None
+        self.media_version = 0
 
     def observe(self, footprint: SipFootprint) -> None:
         message = footprint.message
@@ -147,6 +155,8 @@ class SipStateTracker:
             endpoint = _sdp_endpoint(message)
             if endpoint is not None:
                 call.media[from_aor] = endpoint
+                self._media_calls = None
+                self.media_version += 1
             return
         if to_tag is not None and call.phase == CallPhase.ESTABLISHED:
             # A re-INVITE inside the dialog: a media move (or a hijack).
@@ -164,6 +174,8 @@ class SipStateTracker:
                         )
                     )
                     call.media[from_aor] = endpoint
+                    self._media_calls = None
+                    self.media_version += 1
         else:
             # Retransmitted initial INVITE: refresh the pending request.
             self._invites[call_id] = message
@@ -189,6 +201,8 @@ class SipStateTracker:
         endpoint = _sdp_endpoint(message)
         if endpoint is not None:
             call.media[answerer] = endpoint
+            self._media_calls = None
+            self.media_version += 1
         if call.phase == CallPhase.SETUP:
             call.phase = CallPhase.ESTABLISHED
             call.established_at = footprint.timestamp
@@ -201,12 +215,19 @@ class SipStateTracker:
         return len(self.calls)
 
     def call_for_media(self, endpoint: Endpoint) -> ObservedCall | None:
-        """Find the call that negotiated ``endpoint`` for either party."""
-        for call in self.calls.values():
-            for media in call.media.values():
-                if media == endpoint:
-                    return call
-        return None
+        """Find the call that negotiated ``endpoint`` for either party.
+
+        When two calls negotiated the same endpoint (port reuse), the
+        earliest-observed call wins — the same answer the previous
+        linear scan over ``calls`` gave.
+        """
+        index = self._media_calls
+        if index is None:
+            index = self._media_calls = {}
+            for call in self.calls.values():
+                for media in call.media.values():
+                    index.setdefault((media.ip.packed, media.port), call)
+        return index.get((endpoint.ip.packed, endpoint.port))
 
     def established_calls(self) -> list[ObservedCall]:
         return [c for c in self.calls.values() if c.phase == CallPhase.ESTABLISHED]
@@ -221,6 +242,9 @@ class SipStateTracker:
         for call_id in stale:
             self.calls.pop(call_id, None)
             self._invites.pop(call_id, None)
+        if stale:
+            self._media_calls = None
+            self.media_version += 1
         return len(stale)
 
 

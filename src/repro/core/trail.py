@@ -32,7 +32,26 @@ from repro.net.addr import Endpoint
 from repro.sip.message import SipRequest, SipResponse
 from repro.sip.sdp import SdpError, SessionDescription
 
-TrailKey = tuple[str, str]  # (protocol tag, session discriminator)
+# (protocol tag, session discriminator).  SIP/accounting/H.225 trails
+# discriminate by a call identifier string; flow trails (RTP/RTCP and
+# custom protocols) discriminate by the (src ip, src port, dst ip,
+# dst port) quad as packed ints — int tuples hash in C, where Endpoint
+# pairs would recurse through two dataclass __hash__ calls per lookup.
+TrailKey = tuple[str, object]
+
+
+def _flow_key(src: Endpoint, dst: Endpoint) -> tuple[int, int, int, int]:
+    return (src.ip.packed, src.port, dst.ip.packed, dst.port)
+
+
+# "malformed-<protocol>" tags, interned once: building the f-string per
+# packet is measurable under a garbage flood.
+_MALFORMED_TAGS: dict[str, str] = {}
+
+
+def _media_index_key(endpoint: Endpoint) -> tuple[int, int]:
+    """SDP media endpoints index as packed ints (C-speed dict hashing)."""
+    return (endpoint.ip.packed, endpoint.port)
 
 DEFAULT_MAX_TRAIL_LENGTH = 4096
 
@@ -105,8 +124,9 @@ class TrailManager:
         self.max_trail_length = max_trail_length
         self.trails: dict[TrailKey, Trail] = {}
         self.sessions: dict[str, Session] = {}
-        # SDP-learned media endpoint -> call id.
-        self._media_index: dict[Endpoint, str] = {}
+        # SDP-learned media endpoint -> call id, keyed by
+        # _media_index_key (packed address ints, hashed in C).
+        self._media_index: dict[tuple[int, int], str] = {}
         # Lifetime accounting, exported by repro.obs.
         self.footprints_filed = 0
         self.expired_total = 0
@@ -132,7 +152,7 @@ class TrailManager:
 
     def media_owner(self, endpoint: Endpoint) -> str | None:
         """Which call (if any) negotiated this media endpoint via SDP."""
-        return self._media_index.get(endpoint)
+        return self._media_index.get(_media_index_key(endpoint))
 
     def expire_idle(self, now: float, idle_timeout: float) -> int:
         """Drop trails (and empty sessions) idle for ``idle_timeout``.
@@ -157,8 +177,9 @@ class TrailManager:
         for call_id in dead_sessions:
             session = self.sessions.pop(call_id)
             for endpoint in session.media_endpoints.values():
-                if self._media_index.get(endpoint) == call_id:
-                    del self._media_index[endpoint]
+                index_key = _media_index_key(endpoint)
+                if self._media_index.get(index_key) == call_id:
+                    del self._media_index[index_key]
         self.expired_total += len(stale_keys)
         return len(stale_keys)
 
@@ -183,19 +204,11 @@ class TrailManager:
     # -- keying ------------------------------------------------------------------
 
     def _key_for(self, footprint: AnyFootprint) -> TrailKey:
-        if isinstance(footprint, SipFootprint):
-            call_id = footprint.call_id() or f"?:{footprint.src}"
-            return ("sip", call_id)
-        if isinstance(footprint, RtpFootprint):
-            return ("rtp", f"{footprint.src}->{footprint.dst}")
-        if isinstance(footprint, RtcpFootprint):
-            return ("rtcp", f"{footprint.src}->{footprint.dst}")
-        if isinstance(footprint, AccountingFootprint):
-            return ("acct", footprint.call_id)
-        if isinstance(footprint, H225Footprint):
-            return ("h225", f"crv-{footprint.call_reference}")
-        assert isinstance(footprint, MalformedFootprint)
-        return (f"malformed-{footprint.claimed_protocol.value}", str(footprint.src))
+        builder = _KEY_BUILDERS.get(type(footprint))
+        if builder is None:
+            builder = _resolve_key_builder(footprint)
+            _KEY_BUILDERS[type(footprint)] = builder
+        return builder(footprint)
 
     # -- session linking -------------------------------------------------------------
 
@@ -207,33 +220,50 @@ class TrailManager:
         return session
 
     def _link(self, footprint: AnyFootprint, trail: Trail) -> None:
-        if isinstance(footprint, SipFootprint):
-            call_id = footprint.call_id()
-            if call_id is not None:
-                session = self._ensure_session(call_id)
-                session.attach(trail)
-                self._learn_sdp(footprint, session)
-        elif isinstance(footprint, AccountingFootprint):
-            if footprint.call_id:
-                self._ensure_session(footprint.call_id).attach(trail)
-        elif isinstance(footprint, H225Footprint):
-            # H.323 calls use the CRV as the session discriminator; the
-            # fast-connect media IE plays SDP's role for linkage.
-            session_id = f"h323-crv-{footprint.call_reference}"
-            session = self._ensure_session(session_id)
+        linker = _LINKERS.get(type(footprint))
+        if linker is None:
+            linker = _resolve_linker(footprint)
+            _LINKERS[type(footprint)] = linker
+        linker(self, footprint, trail)
+
+    def _link_sip(self, footprint: SipFootprint, trail: Trail) -> None:
+        call_id = footprint.call_id()
+        if call_id is not None:
+            session = self._ensure_session(call_id)
             session.attach(trail)
-            message = footprint.message
-            if message.media is not None:
-                party = message.calling_party or message.called_party or ""
-                session.media_endpoints[party] = message.media
-                self._media_index[message.media] = session_id
-        elif isinstance(footprint, (RtpFootprint, RtcpFootprint)):
-            if trail.call_id is None:
-                owner = self._media_index.get(self._media_key(footprint.dst)) or (
-                    self._media_index.get(self._media_key(footprint.src))
-                )
-                if owner is not None:
-                    self._ensure_session(owner).attach(trail)
+            self._learn_sdp(footprint, session)
+
+    def _link_accounting(self, footprint: AccountingFootprint, trail: Trail) -> None:
+        if footprint.call_id:
+            self._ensure_session(footprint.call_id).attach(trail)
+
+    def _link_h225(self, footprint: H225Footprint, trail: Trail) -> None:
+        # H.323 calls use the CRV as the session discriminator; the
+        # fast-connect media IE plays SDP's role for linkage.
+        session_id = f"h323-crv-{footprint.call_reference}"
+        session = self._ensure_session(session_id)
+        session.attach(trail)
+        message = footprint.message
+        if message.media is not None:
+            party = message.calling_party or message.called_party or ""
+            session.media_endpoints[party] = message.media
+            self._media_index[_media_index_key(message.media)] = session_id
+
+    def _link_media(self, footprint: AnyFootprint, trail: Trail) -> None:
+        if trail.call_id is None:
+            # Normalise RTCP's odd port to the RTP session port inline —
+            # this runs once per media packet, so no Endpoint is built.
+            dst, src = footprint.dst, footprint.src
+            owner = self._media_index.get(
+                (dst.ip.packed, dst.port - 1 if dst.port % 2 else dst.port)
+            ) or self._media_index.get(
+                (src.ip.packed, src.port - 1 if src.port % 2 else src.port)
+            )
+            if owner is not None:
+                self._ensure_session(owner).attach(trail)
+
+    def _link_noop(self, footprint: AnyFootprint, trail: Trail) -> None:
+        return None
 
     @staticmethod
     def _media_key(endpoint: Endpoint) -> Endpoint:
@@ -261,7 +291,7 @@ class TrailManager:
         except Exception:
             party = ""
         session.media_endpoints[party] = endpoint
-        self._media_index[endpoint] = session.call_id
+        self._media_index[_media_index_key(endpoint)] = session.call_id
         # Retroactively adopt any flow trail already touching the endpoint.
         for key, trail in self.trails.items():
             if trail.protocol in (Protocol.RTP, Protocol.RTCP) and trail.call_id is None:
@@ -271,3 +301,81 @@ class TrailManager:
                     for e in (fp.src, fp.dst)
                 ):
                     session.attach(trail)
+
+
+# ---------------------------------------------------------------------------
+# Per-footprint-type dispatch.  Keying and linking run once per packet;
+# a type() dict probe replaces the isinstance ladder on that path.  The
+# ladder survives in the _resolve_* fallbacks so Footprint *subclasses*
+# still route like their base class — the resolved handler is cached per
+# concrete type on first sight.
+# ---------------------------------------------------------------------------
+
+
+def _sip_key(footprint: SipFootprint) -> TrailKey:
+    return ("sip", footprint.call_id() or f"?:{footprint.src}")
+
+
+def _rtp_key(footprint: RtpFootprint) -> TrailKey:
+    return ("rtp", _flow_key(footprint.src, footprint.dst))
+
+
+def _rtcp_key(footprint: RtcpFootprint) -> TrailKey:
+    return ("rtcp", _flow_key(footprint.src, footprint.dst))
+
+
+def _acct_key(footprint: AccountingFootprint) -> TrailKey:
+    return ("acct", footprint.call_id)
+
+
+def _h225_key(footprint: H225Footprint) -> TrailKey:
+    return ("h225", footprint.call_reference)
+
+
+def _malformed_key(footprint: MalformedFootprint) -> TrailKey:
+    claimed = footprint.claimed_protocol.value
+    tag = _MALFORMED_TAGS.get(claimed)
+    if tag is None:
+        tag = _MALFORMED_TAGS[claimed] = f"malformed-{claimed}"
+    src = footprint.src
+    return (tag, (src.ip.packed, src.port))
+
+
+def _generic_key(footprint: AnyFootprint) -> TrailKey:
+    # Footprints from custom protocol modules file under their
+    # protocol value, grouped per flow.
+    return (footprint.protocol.value, _flow_key(footprint.src, footprint.dst))
+
+
+def _resolve_key_builder(footprint: AnyFootprint):
+    if isinstance(footprint, SipFootprint):
+        return _sip_key
+    if isinstance(footprint, RtpFootprint):
+        return _rtp_key
+    if isinstance(footprint, RtcpFootprint):
+        return _rtcp_key
+    if isinstance(footprint, AccountingFootprint):
+        return _acct_key
+    if isinstance(footprint, H225Footprint):
+        return _h225_key
+    if isinstance(footprint, MalformedFootprint):
+        return _malformed_key
+    return _generic_key
+
+
+_KEY_BUILDERS: dict[type, object] = {}
+
+
+def _resolve_linker(footprint: AnyFootprint):
+    if isinstance(footprint, SipFootprint):
+        return TrailManager._link_sip
+    if isinstance(footprint, AccountingFootprint):
+        return TrailManager._link_accounting
+    if isinstance(footprint, H225Footprint):
+        return TrailManager._link_h225
+    if isinstance(footprint, (RtpFootprint, RtcpFootprint)):
+        return TrailManager._link_media
+    return TrailManager._link_noop
+
+
+_LINKERS: dict[type, object] = {}

@@ -47,6 +47,57 @@ def capture_workload(spec: WorkloadSpec | None = None) -> Trace:
     return testbed.ids_tap.trace
 
 
+def capture_rtp_flood(
+    seed: int = 9,
+    packets: int = 2500,
+    interval: float = 0.002,
+    observe_after: float = 8.0,
+) -> Trace:
+    """A live call drowned in a dense garbage-RTP flood.
+
+    This is the event-dense half of the dispatch benchmark's mixed
+    workload: every inbound garbage packet produces a MalformedRtp
+    event, which is the traffic profile where per-protocol generator
+    tables and the trigger-event rule index pay for themselves.
+    """
+    from repro.attacks import RtpAttack
+
+    testbed = Testbed(TestbedConfig(seed=seed))
+    attack = RtpAttack(
+        testbed, packets=packets, interval=interval, seed=seed * 31 + 1
+    )
+    testbed.register_all()
+    testbed.phone_a.call(f"sip:bob@{testbed.proxy.domain}")
+    testbed.run_for(1.5)
+    attack.launch_now()
+    testbed.run_for(observe_after)
+    return testbed.ids_tap.trace
+
+
+def capture_ssrc_spoof_flood(
+    seed: int = 35,
+    packets: int = 3000,
+    interval: float = 0.004,
+) -> Trace:
+    """A live call with a sustained SSRC-spoofing stream injected.
+
+    Unlike the garbage flood, the spoofed packets decode as valid RTP,
+    so each one exercises the full media analysis path (rogue source,
+    sequence continuity, SSRC ownership) and typically yields several
+    events — the heaviest per-packet regime the dispatch benchmark uses.
+    """
+    from repro.attacks.media_attacks import SsrcSpoofAttack
+
+    testbed = Testbed(TestbedConfig(seed=seed))
+    attack = SsrcSpoofAttack(testbed, packets=packets, interval=interval)
+    testbed.register_all()
+    testbed.phone_a.call(f"sip:bob@{testbed.proxy.domain}")
+    testbed.run_for(1.5)
+    attack.launch_now()
+    testbed.run_for(2.0 + packets * interval)
+    return testbed.ids_tap.trace
+
+
 def capture_attack_workload(seed: int = 13) -> tuple[Trace, float]:
     """A workload with a BYE attack embedded; returns (trace, t_attack)."""
     from repro.attacks import ByeAttack

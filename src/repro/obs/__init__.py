@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.obs.instrument import EngineInstrumentation
+from repro.obs.instrument import EngineInstrumentation, InstrumentationHook
 from repro.obs.logsetup import get_logger, setup_logging
 from repro.obs.registry import (
     Counter,
@@ -79,6 +79,7 @@ __all__ = [
     "EngineInstrumentation",
     "Gauge",
     "Histogram",
+    "InstrumentationHook",
     "MetricError",
     "MetricsRegistry",
     "Observability",

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.core.hooks import FootprintHook
 from repro.obs.registry import DEFAULT_BUCKETS, MetricsRegistry
 from repro.obs.tracing import Tracer
 
@@ -124,6 +125,10 @@ class EngineInstrumentation:
         self._gen_seconds_acc: dict[str, float] = {}
         self._gen_calls_acc: dict[str, int] = {}
 
+    def as_hook(self, sample_every: int = 8) -> "InstrumentationHook":
+        """The engine-facing hook that feeds this instrumentation."""
+        return InstrumentationHook(self, sample_every=sample_every)
+
     # -- hot-path hooks (called per frame) ----------------------------------
 
     def frame(self) -> None:
@@ -215,3 +220,121 @@ class EngineInstrumentation:
                 engine=self.engine, generator=generator
             ).inc(calls)
         self._gen_calls_acc.clear()
+
+
+class InstrumentationHook(FootprintHook):
+    """The engine's pluggable hook when observability is on.
+
+    Pre-resolves every metric child the footprint pipeline touches, so
+    each callback costs a histogram observe / counter inc plus at most
+    one dict lookup.  Per-generator seconds are sampled 1 in
+    ``sample_every`` footprints and scaled back up at flush; call counts
+    are reconstructed exactly at flush from per-protocol footprint
+    counts × the engine's dispatch tables (under indexed dispatch a
+    generator only runs for the protocols it declared).
+    """
+
+    __slots__ = (
+        "instr", "tracer", "sample_every",
+        "_c_frames", "_h_distill", "_h_state", "_h_trail",
+        "_h_generate", "_h_match",
+        "_gen_secs", "_fp_counts", "_sample_tick",
+    )
+
+    def __init__(self, instr: EngineInstrumentation, sample_every: int = 8) -> None:
+        self.instr = instr
+        self.tracer = instr.tracer
+        self.sample_every = max(1, sample_every)
+        self._c_frames = instr.frame_counter_child()
+        self._h_distill = instr.stage_child("distill")
+        self._h_state = instr.stage_child("state")
+        self._h_trail = instr.stage_child("trail")
+        self._h_generate = instr.stage_child("generate")
+        self._h_match = instr.stage_child("match")
+        self._gen_secs: dict[str, float] = {}
+        self._fp_counts: dict[Any, int] = {}  # Protocol -> footprints
+        self._sample_tick = self.sample_every - 1  # sample the first footprint
+
+    def frame_distilled(self, frame_no, sim_time, footprint, seconds) -> None:
+        self._c_frames.inc()
+        self._h_distill.observe(seconds)
+        if self.tracer is not None:
+            self.tracer.record(
+                "distill", seconds, frame=frame_no, sim_time=sim_time,
+                protocol=footprint.protocol.value if footprint is not None else "none",
+            )
+
+    def housekeeping_timed(self, reclaimed, seconds, frame_no, sim_time) -> None:
+        self.instr.stage("housekeep", seconds, frame=frame_no,
+                         sim_time=sim_time, reclaimed=reclaimed)
+
+    def state_updated(self, seconds, frame_no, sim_time) -> None:
+        self._h_state.observe(seconds)
+        if self.tracer is not None:
+            self.tracer.record("state", seconds, frame=frame_no, sim_time=sim_time)
+
+    def trail_pushed(self, seconds, frame_no, sim_time) -> None:
+        self._h_trail.observe(seconds)
+        if self.tracer is not None:
+            self.tracer.record("trail", seconds, frame=frame_no, sim_time=sim_time)
+
+    def sample_generators(self) -> bool:
+        tick = self._sample_tick + 1
+        if tick >= self.sample_every:
+            self._sample_tick = 0
+            return True
+        self._sample_tick = tick
+        return False
+
+    def generator_ran(self, name, seconds) -> None:
+        self._gen_secs[name] = self._gen_secs.get(name, 0.0) + seconds
+
+    def event_seen(self, name) -> None:
+        self.instr.event(name)
+
+    def footprint_done(self, footprint, generate_seconds, match_seconds,
+                       events, alerts, frame_no, sim_time) -> None:
+        protocol = footprint.protocol
+        self.instr.footprint(protocol.value)
+        self._fp_counts[protocol] = self._fp_counts.get(protocol, 0) + 1
+        self._h_generate.observe(generate_seconds)
+        self._h_match.observe(match_seconds)
+        if self.tracer is not None:
+            self.tracer.record("generate", generate_seconds, frame=frame_no,
+                               sim_time=sim_time, events=events)
+            self.tracer.record("match", match_seconds, frame=frame_no,
+                               sim_time=sim_time, events=events, alerts=alerts)
+
+    def injected(self, event_name) -> None:
+        self.instr.injected_event()
+        self.instr.event(event_name)
+
+    def housekeeping_done(self, reclaimed) -> None:
+        self.instr.housekeeping(reclaimed)
+
+    def snapshot(self, engine) -> None:
+        self._flush(engine)
+        self.instr.update_gauges(engine)
+
+    def _flush(self, engine) -> None:
+        """Merge the sampled tallies into the registry.
+
+        Sampled seconds scale by ``sample_every`` to estimate totals;
+        call counts are exact: each protocol's footprint count applies
+        to precisely the generators in that protocol's dispatch table.
+        Every generator gets an entry (0 when it saw nothing) so the
+        metric family always carries the full generator roster.
+        """
+        if not self._fp_counts and not self._gen_secs:
+            return
+        scale = float(self.sample_every)
+        seconds = {g.name: 0.0 for g in engine.generators}
+        for name, total in self._gen_secs.items():
+            seconds[name] = seconds.get(name, 0.0) + total * scale
+        calls = {g.name: 0 for g in engine.generators}
+        for protocol, count in self._fp_counts.items():
+            for generator in engine.generators_for(protocol):
+                calls[generator.name] = calls.get(generator.name, 0) + count
+        self.instr.merge_generator_seconds(seconds, calls)
+        self._gen_secs.clear()
+        self._fp_counts.clear()

@@ -132,6 +132,10 @@ RtcpPacket = SenderReport | ReceiverReport | SourceDescription | Bye
 
 
 def _pack_header(pt: int, count: int, body: bytes) -> bytes:
+    if count > 31:
+        # The RC/SC field is 5 bits (RFC 3550 §6.4.1); senders with more
+        # sources must emit multiple report packets.
+        raise RtcpError(f"RTCP count field overflow: {count} > 31")
     if len(body) % 4:
         raise RtcpError(f"RTCP body not 32-bit aligned: {len(body)}")
     length_words = len(body) // 4  # header itself excluded, per RFC: (total/4)-1

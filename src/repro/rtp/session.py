@@ -136,6 +136,10 @@ class RtpSession:
             return
         now = self.loop.now()
         ntp = int(now * (1 << 32))  # seconds . fraction, epoch = sim start
+        # The RC field is 5 bits (RFC 3550 §6.4.1): at most 31 report
+        # blocks fit in one SR.  Under an SSRC flood we report on the 31
+        # most recently learned sources rather than overflowing the header.
+        reported = list(self.streams.values())[-31:]
         reports = tuple(
             rtcp.ReportBlock(
                 ssrc=stats.ssrc,
@@ -144,7 +148,7 @@ class RtpSession:
                 highest_seq=stats.extended_max_seq,
                 jitter=int(stats.jitter.jitter),
             )
-            for stats in self.streams.values()
+            for stats in reported
         )
         sr = rtcp.SenderReport(
             ssrc=self.sender.ssrc,

@@ -17,6 +17,7 @@ from repro.core.rules import (
     RuleSet,
     SequenceRule,
     ThresholdRule,
+    _touch_lru,
 )
 from repro.core.trail import TrailManager
 
@@ -81,3 +82,50 @@ class TestRuleMemoryBounds:
     def test_default_cap_is_generous(self):
         # Correctness guard: the cap must dwarf any legitimate workload.
         assert MAX_RULE_GROUPS >= 10_000
+
+
+class TestTouchLru:
+    """The LRU primitive itself: pop-and-reinsert with cap eviction."""
+
+    def test_touch_returns_value_and_moves_key_to_mru(self):
+        table = {"a": 1, "b": 2, "c": 3}
+        assert _touch_lru(table, "a", 10) == 1
+        assert list(table) == ["b", "c", "a"]
+
+    def test_missing_key_returns_none(self):
+        table = {"a": 1}
+        assert _touch_lru(table, "z", 10) is None
+        assert table == {"a": 1}
+
+    def test_cap_evicts_oldest_entry(self):
+        table = {f"k{i}": i for i in range(5)}
+        assert _touch_lru(table, "new", 5) is None
+        assert len(table) == 4 and "k0" not in table  # room for the insert
+
+    def test_eviction_order_respects_touches(self):
+        table = {"a": 1, "b": 2, "c": 3}
+        _touch_lru(table, "a", 10)  # "a" becomes MRU
+        _touch_lru(table, "d", 3)  # over cap: evicts "b", the LRU
+        assert "b" not in table and set(table) == {"c", "a"}
+
+    def test_threshold_spray_keeps_active_group_firing(self):
+        # An attacker spraying group keys must neither grow the table
+        # past the cap nor evict the bucket that is actually filling up.
+        rule = ThresholdRule(
+            "T", "t", "E", threshold=4, window=100.0,
+            group_by=lambda e: e.attrs["src"],
+            message="flood from {src}",
+        )
+        rule.max_groups = 8
+        events, t = [], 0.0
+        for i in range(50):
+            t += 0.01
+            events.append(Event(name="E", time=t, session="s",
+                                attrs={"src": "attacker"}))
+            for j in range(3):  # churn: three throwaway keys per round
+                t += 0.01
+                events.append(Event(name="E", time=t, session="s",
+                                    attrs={"src": f"noise-{i}-{j}"}))
+        log = _flood(rule, events)
+        assert len(rule._buckets) <= 8
+        assert any("attacker" in a.message for a in log.alerts)

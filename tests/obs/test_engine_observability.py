@@ -6,6 +6,7 @@ import pytest
 
 from repro.core.engine import ScidiveEngine
 from repro.core.events import EVENT_ORPHAN_RTP_AFTER_BYE, Event
+from repro.core.rules import RuleSet, SingleEventRule
 from repro.experiments.harness import run_bye_attack
 from repro.experiments.workloads import WorkloadSpec, capture_workload
 from repro.obs import Observability, parse_prometheus
@@ -71,7 +72,22 @@ class TestCountersMatchStats:
         families = parse_prometheus(ctx.registry.render_prometheus())
         calls = families["scidive_generator_calls_total"]
         assert len(calls) == len(engine.generators)
-        assert all(v == engine.stats.footprints for v in calls.values())
+        # Indexed dispatch: a generator runs once per footprint of the
+        # protocols it declared (None = every footprint).
+        footprints_by_protocol = {
+            key.split('protocol="')[1].split('"')[0]: value
+            for key, value in families["scidive_footprints_total"].items()
+        }
+        for generator in engine.generators:
+            key = (f'scidive_generator_calls_total'
+                   f'{{engine="scidive",generator="{generator.name}"}}')
+            expected = (
+                engine.stats.footprints
+                if generator.protocols is None
+                else sum(footprints_by_protocol.get(p.value, 0)
+                         for p in generator.protocols)
+            )
+            assert calls[key] == expected, generator.name
 
 
 class TestSpanCoverage:
@@ -195,6 +211,23 @@ class TestStatsReset:
     def test_frames_per_cpu_second_zero_when_unmeasured(self):
         engine = ScidiveEngine()
         assert engine.stats.frames_per_cpu_second == 0.0
+
+    def test_reset_clears_rule_cooldowns_and_counters(self):
+        # Regression: reset_detection_state() used to skip ruleset.reset(),
+        # so a phase-1 alert's cooldown timestamp silently suppressed the
+        # same alert in phase 2 of an experiment.
+        rule = SingleEventRule("R-1", "orphan", EVENT_ORPHAN_RTP_AFTER_BYE,
+                               cooldown=60.0)
+        engine = ScidiveEngine(
+            ruleset=RuleSet([rule, SingleEventRule("R-2", "other", "NeverFires")])
+        )
+        event = Event(name=EVENT_ORPHAN_RTP_AFTER_BYE, time=1.0, session="x")
+        assert len(engine.inject_event(event)) == 1
+        assert engine.inject_event(event) == []  # cooldown suppresses
+        engine.reset_detection_state()
+        assert rule.matches_attempted == 0 and rule.alerts_raised == 0
+        assert engine.ruleset.dispatch_skipped == 0
+        assert len(engine.inject_event(event)) == 1  # cooldown forgotten
 
 
 class TestDetectionUnchanged:
