@@ -1,0 +1,98 @@
+"""CI perf-regression gate: fresh bench JSON vs the committed baseline.
+
+Each bench script writes a machine-readable JSON (``BENCH_dispatch.json``
+from ``bench_dispatch.py``, ``BENCH_shards.json`` from
+``bench_shard_scaling.py``).  The baselines are committed; CI re-runs the
+benches and calls this script to compare the headline metric against the
+baseline with a relative tolerance::
+
+    python benchmarks/check_regression.py \
+        --baseline BENCH_dispatch.json --fresh fresh_dispatch.json
+    python benchmarks/check_regression.py \
+        --baseline BENCH_shards.json --fresh fresh_shards.json --tolerance 0.2
+
+The headline metric is chosen by the ``bench`` field: ``speedup``
+(indexed vs broadcast dispatch) or ``scaling_at_gate`` (modeled shard
+scaling).  A fresh value below ``baseline * (1 - tolerance)`` fails, as
+does a fresh run whose own equivalence checks failed.  Fresh results
+*above* the baseline are reported as an improvement (and a nudge to
+re-commit the baseline), never a failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+HEADLINE = {
+    "dispatch": "speedup",
+    "shard_scaling": "scaling_at_gate",
+}
+
+
+def load(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Return a list of failure messages (empty = gate passes)."""
+    failures = []
+    bench = baseline.get("bench")
+    if fresh.get("bench") != bench:
+        failures.append(
+            f"bench kind mismatch: baseline {bench!r} vs fresh {fresh.get('bench')!r}"
+        )
+        return failures
+    metric = HEADLINE.get(bench)
+    if metric is None:
+        failures.append(f"unknown bench kind {bench!r} (no headline metric)")
+        return failures
+    if not fresh.get("equivalent", False):
+        failures.append("fresh run failed its own detection-equivalence check")
+    base_value = float(baseline.get(metric, 0.0))
+    fresh_value = float(fresh.get(metric, 0.0))
+    floor = base_value * (1.0 - tolerance)
+    print(
+        f"{bench}: {metric} baseline={base_value:.3f} fresh={fresh_value:.3f} "
+        f"floor={floor:.3f} (tolerance {tolerance:.0%})"
+    )
+    if fresh_value < floor:
+        failures.append(
+            f"{metric} regressed: {fresh_value:.3f} < {floor:.3f} "
+            f"(baseline {base_value:.3f} - {tolerance:.0%})"
+        )
+    elif fresh_value > base_value:
+        print(
+            f"note: {metric} improved ({fresh_value:.3f} > {base_value:.3f}); "
+            "consider re-committing the baseline"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, help="committed baseline JSON")
+    parser.add_argument(
+        "--fresh", required=True, help="freshly produced JSON from this run"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed relative drop from baseline (default 20%%)",
+    )
+    args = parser.parse_args(argv)
+
+    failures = compare(load(args.baseline), load(args.fresh), args.tolerance)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,9 +3,12 @@
 Usage::
 
     python -m repro scenario bye-attack [--seed 7] [--pcap out.pcap] [--json alerts.jsonl]
+                                        [--workers 4] [--batch-size 64]
                                         [--metrics-out m.txt] [--trace-out t.jsonl]
     python -m repro replay capture.pcap [--vantage 10.0.0.10] [--json alerts.jsonl]
+                                        [--workers 4] [--cluster-backend process]
                                         [--metrics-out m.txt] [--trace-out t.jsonl]
+    python -m repro bench-shards [--workers 1 2 4 8] [--json BENCH_shards.json]
     python -m repro stats bye-attack [--seed 7] [--format table|prom|json]
     python -m repro table1 [--seed 7]
     python -m repro modules
@@ -17,6 +20,9 @@ disables indexed dispatch for A/B comparison), ``stats`` runs a
 scenario with full observability and prints the per-stage/per-rule
 report, ``table1`` regenerates the paper's attack matrix, ``modules``
 lists the registered protocol modules with their generators and rules.
+``bench-shards`` sweeps the session-sharded cluster across worker
+counts.  ``--workers N`` (scenario/replay) shards the replay across N
+worker engines by session affinity (see :mod:`repro.cluster`);
 ``--metrics-out`` writes Prometheus-text metrics, ``--trace-out``
 writes a JSON-lines span trace; ``--log-level`` turns on structured
 logging for any command.
@@ -79,6 +85,7 @@ def _build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--seed", type=int, default=7)
     scenario.add_argument("--pcap", help="write the tap capture to this pcap file")
     scenario.add_argument("--json", help="write alerts to this JSON-lines file")
+    _add_cluster_flags(scenario)
     _add_obs_flags(scenario)
 
     replay = sub.add_parser("replay", help="replay a pcap through the IDS")
@@ -88,7 +95,25 @@ def _build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--json", help="write alerts to this JSON-lines file")
     replay.add_argument("--broadcast", action="store_true",
                         help="disable indexed dispatch (reference fan-out mode)")
+    _add_cluster_flags(replay)
     _add_obs_flags(replay)
+
+    bench = sub.add_parser(
+        "bench-shards",
+        help="sweep the session-sharded cluster across worker counts",
+    )
+    bench.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4, 8],
+                       help="worker counts to sweep")
+    bench.add_argument("--cluster-backend", default="process",
+                       choices=["process", "threads", "serial"],
+                       help="worker transport (default: process)")
+    bench.add_argument("--batch-size", type=int, default=64)
+    bench.add_argument("--sessions", type=int, default=96,
+                       help="distinct synthetic media sessions in the workload")
+    bench.add_argument("--packets", type=int, default=40,
+                       help="RTP packets per media session")
+    bench.add_argument("--seed", type=int, default=33)
+    bench.add_argument("--json", help="write the sweep report to this JSON file")
 
     stats = sub.add_parser(
         "stats", help="run a scenario with full observability and report"
@@ -112,6 +137,39 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
                         help="write Prometheus-text metrics to this file")
     parser.add_argument("--trace-out",
                         help="write the per-frame span trace to this JSON-lines file")
+
+
+def _add_cluster_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=1,
+                        help="shard the replay across N worker engines (default 1: "
+                             "single engine)")
+    parser.add_argument("--batch-size", type=int, default=64,
+                        help="frames per worker batch (with --workers > 1)")
+    parser.add_argument("--cluster-backend", default="process",
+                        choices=["process", "threads", "serial"],
+                        help="worker transport (with --workers > 1)")
+
+
+def _cluster_replay(trace, args: argparse.Namespace, vantage: str | None):
+    """Replay a trace through a ScidiveCluster; print the merged view."""
+    from repro.cluster import ScidiveCluster
+
+    cluster = ScidiveCluster(
+        workers=args.workers,
+        backend=args.cluster_backend,
+        batch_size=args.batch_size,
+        vantage_ip=vantage,
+        metrics_enabled=bool(getattr(args, "metrics_out", None)),
+    )
+    result = cluster.process_trace(trace)
+    stats = result.stats
+    print(f"cluster replay ({args.workers} workers, {args.cluster_backend}): "
+          f"{result.cluster.frames_in} frames in, "
+          f"{stats.footprints} footprints, {stats.events} events, "
+          f"{len(result.alerts)} alerts, "
+          f"{result.cluster.batches_submitted} batches, "
+          f"{result.cluster.worker_restarts} restarts")
+    return result
 
 
 def _print_alerts(result_alerts) -> None:
@@ -145,7 +203,7 @@ def _export_observability(ctx: obs.Observability | None, args: argparse.Namespac
 
 
 def _cmd_scenario(args: argparse.Namespace) -> int:
-    want_obs = bool(args.metrics_out or args.trace_out)
+    want_obs = bool(args.metrics_out or args.trace_out) and args.workers <= 1
     ctx = obs.enable(trace=bool(args.trace_out)) if want_obs else None
     try:
         result = _run_scenario(args.name, args.seed)
@@ -157,14 +215,30 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     print(f"scenario {args.name}: {result.engine.stats.frames} frames, "
           f"{result.engine.stats.footprints} footprints, "
           f"{result.engine.stats.events} events")
-    _print_alerts(result.alerts)
+    if args.workers > 1:
+        from collections import Counter
+
+        cluster_result = _cluster_replay(
+            result.testbed.ids_tap.trace, args, result.engine.vantage_ip
+        )
+        _print_alerts(cluster_result.alerts)
+        same = Counter(cluster_result.alerts) == Counter(result.alerts)
+        print("cluster alerts match the single-engine run"
+              if same else "WARNING: cluster alerts DIFFER from the single-engine run")
+        alerts = cluster_result.alerts
+        if args.metrics_out and cluster_result.registry is not None:
+            cluster_result.registry.write_prometheus(args.metrics_out)
+            print(f"merged cluster metrics written to {args.metrics_out}")
+    else:
+        _print_alerts(result.alerts)
+        alerts = result.alerts
     if args.pcap:
         from repro.net.pcap import write_pcap
 
         write_pcap(args.pcap, result.testbed.ids_tap.trace)
         print(f"capture written to {args.pcap}")
     if args.json:
-        count = write_alerts_jsonl(args.json, result.alerts)
+        count = write_alerts_jsonl(args.json, alerts)
         print(f"{count} alerts written to {args.json}")
     _export_observability(ctx, args)
     return 0
@@ -174,9 +248,19 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.core.engine import ScidiveEngine
     from repro.net.pcap import read_pcap
 
+    trace = read_pcap(args.pcap)
+    if args.workers > 1:
+        cluster_result = _cluster_replay(trace, args, args.vantage)
+        _print_alerts(cluster_result.alerts)
+        if args.json:
+            count = write_alerts_jsonl(args.json, cluster_result.alerts)
+            print(f"{count} alerts written to {args.json}")
+        if args.metrics_out and cluster_result.registry is not None:
+            cluster_result.registry.write_prometheus(args.metrics_out)
+            print(f"merged cluster metrics written to {args.metrics_out}")
+        return 0
     want_obs = bool(args.metrics_out or args.trace_out)
     ctx = obs.Observability.create(trace=bool(args.trace_out)) if want_obs else None
-    trace = read_pcap(args.pcap)
     engine = ScidiveEngine(vantage_ip=args.vantage, observability=ctx,
                            indexed_dispatch=not args.broadcast)
     engine.process_trace(trace)
@@ -243,6 +327,35 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_shards(args: argparse.Namespace) -> int:
+    """Sweep ScidiveCluster worker counts on the mixed workload."""
+    import json as _json
+
+    from repro.cluster.benchmark import (
+        build_scaling_workload,
+        format_sweep,
+        run_scaling_sweep,
+    )
+
+    trace = build_scaling_workload(
+        sessions=args.sessions, packets_per_session=args.packets, seed=args.seed,
+    )
+    report = run_scaling_sweep(
+        trace, worker_counts=tuple(args.workers),
+        backend=args.cluster_backend, batch_size=args.batch_size,
+    )
+    print(format_sweep(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"sweep report written to {args.json}")
+    if not report["equivalent"]:
+        print("FAIL: cluster and single-engine alerts disagree", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.experiments.table1 import TABLE1_HEADERS, build_table1
 
@@ -290,6 +403,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "scenario": _cmd_scenario,
         "replay": _cmd_replay,
+        "bench-shards": _cmd_bench_shards,
         "stats": _cmd_stats,
         "table1": _cmd_table1,
         "modules": _cmd_modules,

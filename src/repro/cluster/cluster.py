@@ -1,0 +1,738 @@
+""":class:`ScidiveCluster`: N sharded SCIDIVE workers behind batch queues.
+
+Topology::
+
+    frames → SessionSharder → per-worker bounded queues → worker engines
+                                                        ↘ result queue ↙
+                                merged ClusterResult (alerts/stats/metrics)
+
+Each worker is a full :class:`~repro.core.engine.ScidiveEngine`.  Frames
+are routed by :func:`~repro.cluster.sharding.shard_key`: media frames go
+to exactly one worker (the owner of their destination flow), signalling
+frames are *broadcast* — the owner (by Call-ID hash) processes them
+normally, every other worker processes them in shadow mode
+(:meth:`~repro.core.engine.ScidiveEngine.process_frame_shadow`) so its
+cross-protocol state stays complete while its duplicate alerts are
+discarded.  That keeps alert output an exact multiset match with a
+single engine for session-scoped and media-scoped rules.
+
+Backends:
+
+``process``
+    One OS process per worker over ``multiprocessing`` queues — the real
+    deployment shape.  Supports crash detection with automatic respawn
+    (the bounded input queue survives a respawn, so queued batches are
+    not lost — only state accumulated by the dead worker is).
+``threads``
+    One thread per worker, plain ``queue.Queue``.  Same moving parts
+    without process overhead; useful under coverage tools and on
+    platforms where fork is awkward.
+``serial``
+    No concurrency at all: batches execute synchronously at submit time.
+    Fully deterministic — the reference backend for equivalence tests.
+
+Backpressure: input queues are bounded (``queue_depth`` batches).
+``overflow="block"`` applies backpressure to the producer;
+``overflow="drop"`` sheds whole batches and counts the dropped frames
+(``ClusterStats.frames_dropped``) — the IDS-under-flood posture where
+falling behind must not mean unbounded memory.
+"""
+
+from __future__ import annotations
+
+import collections
+import multiprocessing as _mp
+import os
+import queue as _queue
+import threading
+import time as _time
+from dataclasses import dataclass, field, replace
+
+from repro.cluster.sharding import SessionSharder, shard_index
+from repro.core.alerts import Alert
+from repro.core.engine import EngineStats, ScidiveEngine
+from repro.obs.registry import MetricsRegistry
+from repro.sim.trace import Trace
+
+BACKENDS = ("process", "threads", "serial")
+OVERFLOW_POLICIES = ("block", "drop")
+
+
+class ClusterError(RuntimeError):
+    """Cluster misconfiguration or an unrecoverable worker failure."""
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterConfig:
+    """Everything a worker needs to build itself (picklable primitives)."""
+
+    workers: int = 4
+    backend: str = "process"
+    batch_size: int = 64
+    queue_depth: int = 32
+    overflow: str = "block"
+    vantage_ip: str | None = None
+    vantage_mac: str | None = None
+    metrics_enabled: bool = False
+    max_restarts: int = 3
+    result_timeout: float = 30.0
+
+    def validate(self) -> "ClusterConfig":
+        if self.workers < 1:
+            raise ClusterError(f"workers must be >= 1 (got {self.workers})")
+        if self.backend not in BACKENDS:
+            raise ClusterError(f"unknown backend {self.backend!r}; one of {BACKENDS}")
+        if self.batch_size < 1:
+            raise ClusterError(f"batch_size must be >= 1 (got {self.batch_size})")
+        if self.queue_depth < 1:
+            raise ClusterError(f"queue_depth must be >= 1 (got {self.queue_depth})")
+        if self.overflow not in OVERFLOW_POLICIES:
+            raise ClusterError(
+                f"unknown overflow policy {self.overflow!r}; one of {OVERFLOW_POLICIES}"
+            )
+        return self
+
+
+def default_engine_factory(worker_id: int, config: ClusterConfig) -> ScidiveEngine:
+    """Build one worker engine.  Module-level so ``process`` workers can
+    pickle it; custom factories must be importable the same way."""
+    return ScidiveEngine(
+        vantage_ip=config.vantage_ip,
+        vantage_mac=config.vantage_mac,
+        name=f"worker-{worker_id}",
+        metrics_enabled=True if config.metrics_enabled else False,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _engine_report(
+    worker_id: int,
+    engine: ScidiveEngine,
+    batches: int,
+    owned: int,
+    shadowed: int,
+    worker_cpu_seconds: float = 0.0,
+) -> dict:
+    """The worker's final payload: plain dicts + alert objects, so the
+    transport never pickles engines or metric objects."""
+    engine.snapshot_gauges()
+    registry = engine.metrics_registry()
+    return {
+        "worker_id": worker_id,
+        "alerts": list(engine.alert_log.alerts),
+        "stats": engine.stats.as_dict(),
+        "shadow_stats": engine.shadow_stats.as_dict(),
+        "batches": batches,
+        "frames_owned": owned,
+        "frames_shadowed": shadowed,
+        "worker_cpu_seconds": worker_cpu_seconds,
+        "metrics": registry.as_dict() if registry is not None else None,
+    }
+
+
+def _worker_main(worker_id, config, factory, in_q, out_q, hard_crash) -> None:
+    """Worker loop: drain batches until ``stop``, then post the report.
+
+    ``("crash", code)`` is the failure-injection hook: a ``process``
+    worker dies with ``os._exit`` (no cleanup, like a real segfault or
+    OOM kill); a ``threads`` worker just returns without reporting, the
+    closest a thread gets to vanishing.
+    """
+    engine = factory(worker_id, config)
+    batches = owned = shadowed = 0
+    process_frame = engine.process_frame
+    process_shadow = engine.process_frame_shadow
+    # Scheduler-aware CPU accounting: a process worker timesharing a
+    # core with its siblings must not bill descheduled time as busy
+    # time, or the critical-path model degenerates on small machines.
+    clock = _time.process_time if hard_crash else _time.thread_time
+    cpu_start = clock()
+    while True:
+        message = in_q.get()
+        kind = message[0]
+        if kind == "batch":
+            batches += 1
+            for frame, timestamp, is_owner in message[1]:
+                if is_owner:
+                    process_frame(frame, timestamp)
+                    owned += 1
+                else:
+                    process_shadow(frame, timestamp)
+                    shadowed += 1
+        elif kind == "stop":
+            report = _engine_report(
+                worker_id, engine, batches, owned, shadowed, clock() - cpu_start
+            )
+            out_q.put(("result", worker_id, report))
+            return
+        elif kind == "crash":
+            if hard_crash:
+                os._exit(message[1])
+            return  # thread "crash": vanish without a report
+
+
+class _QueueWorker:
+    """Shared shape of the process and thread backends."""
+
+    def __init__(self, worker_id, config, factory, out_q) -> None:
+        self.worker_id = worker_id
+        self.config = config
+        self.factory = factory
+        self.out_q = out_q
+        self.restarts = 0
+        self.in_q = self._make_queue(config.queue_depth)
+
+    def _make_queue(self, depth):
+        raise NotImplementedError
+
+    def start(self) -> None:
+        raise NotImplementedError
+
+    @property
+    def alive(self) -> bool:
+        raise NotImplementedError
+
+    def respawn(self) -> None:
+        """Restart on the *same* input queue: queued batches survive the
+        crash; only the dead worker's accumulated state is lost."""
+        self.restarts += 1
+        self.start()
+
+    def join(self, timeout: float) -> None:
+        raise NotImplementedError
+
+
+class _ProcessWorker(_QueueWorker):
+    def __init__(self, worker_id, config, factory, out_q, ctx) -> None:
+        self._ctx = ctx
+        super().__init__(worker_id, config, factory, out_q)
+        self._proc = None
+
+    def _make_queue(self, depth):
+        return self._ctx.Queue(maxsize=depth)
+
+    def start(self) -> None:
+        self._proc = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                self.worker_id,
+                self.config,
+                self.factory,
+                self.in_q,
+                self.out_q,
+                True,
+            ),
+            daemon=True,
+            name=f"scidive-worker-{self.worker_id}",
+        )
+        self._proc.start()
+
+    @property
+    def alive(self) -> bool:
+        return self._proc is not None and self._proc.is_alive()
+
+    def join(self, timeout: float) -> None:
+        if self._proc is not None:
+            self._proc.join(timeout)
+
+
+class _ThreadWorker(_QueueWorker):
+    def __init__(self, worker_id, config, factory, out_q) -> None:
+        super().__init__(worker_id, config, factory, out_q)
+        self._thread = None
+
+    def _make_queue(self, depth):
+        return _queue.Queue(maxsize=depth)
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=_worker_main,
+            args=(
+                self.worker_id,
+                self.config,
+                self.factory,
+                self.in_q,
+                self.out_q,
+                False,
+            ),
+            daemon=True,
+            name=f"scidive-worker-{self.worker_id}",
+        )
+        self._thread.start()
+
+    @property
+    def alive(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def join(self, timeout: float) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+
+class _SerialWorker:
+    """The deterministic backend: batches execute at submit time."""
+
+    def __init__(self, worker_id, config, factory) -> None:
+        self.worker_id = worker_id
+        self.restarts = 0
+        self.engine = factory(worker_id, config)
+        self.batches = self.owned = self.shadowed = 0
+        self.cpu_seconds = 0.0
+        self.report: dict | None = None
+
+    @property
+    def alive(self) -> bool:
+        return True
+
+    def put(self, message) -> None:
+        kind = message[0]
+        if kind == "batch":
+            cpu0 = _time.thread_time()
+            self.batches += 1
+            for frame, timestamp, is_owner in message[1]:
+                if is_owner:
+                    self.engine.process_frame(frame, timestamp)
+                    self.owned += 1
+                else:
+                    self.engine.process_frame_shadow(frame, timestamp)
+                    self.shadowed += 1
+            self.cpu_seconds += _time.thread_time() - cpu0
+        elif kind == "stop":
+            self.report = _engine_report(
+                self.worker_id, self.engine, self.batches, self.owned,
+                self.shadowed, self.cpu_seconds,
+            )
+
+
+# ---------------------------------------------------------------------------
+# Cluster side
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class ClusterStats:
+    """What the router itself did (workers report their own numbers)."""
+
+    frames_in: int = 0
+    frames_routed: int = 0      # owner deliveries
+    frames_replicated: int = 0  # shadow (broadcast) deliveries
+    frames_dropped: int = 0
+    batches_submitted: int = 0
+    worker_restarts: int = 0
+    router_seconds: float = 0.0
+    frames_by_plane: dict = field(default_factory=dict)
+    fragments_expired: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "frames_in": self.frames_in,
+            "frames_routed": self.frames_routed,
+            "frames_replicated": self.frames_replicated,
+            "frames_dropped": self.frames_dropped,
+            "batches_submitted": self.batches_submitted,
+            "worker_restarts": self.worker_restarts,
+            "router_seconds": self.router_seconds,
+            "frames_by_plane": dict(self.frames_by_plane),
+            "fragments_expired": self.fragments_expired,
+        }
+
+
+@dataclass(slots=True)
+class WorkerReport:
+    """One worker's final accounting, normalised from the wire payload."""
+
+    worker_id: int
+    alerts: list
+    stats: EngineStats
+    shadow_stats: EngineStats
+    batches: int = 0
+    frames_owned: int = 0
+    frames_shadowed: int = 0
+    restarts: int = 0
+    crashed: bool = False
+    worker_cpu_seconds: float = 0.0
+    metrics: dict | None = None
+
+    @property
+    def busy_seconds(self) -> float:
+        """CPU spent on owned plus shadow work — this worker's share of
+        the cluster's critical path.
+
+        Prefers the worker's scheduler-aware self-measurement
+        (``process_time``/``thread_time``), which does not count time
+        the worker spent descheduled while siblings shared a core; the
+        engine's wall-clock ``cpu_seconds`` is the fallback."""
+        if self.worker_cpu_seconds > 0:
+            return self.worker_cpu_seconds
+        return self.stats.cpu_seconds + self.shadow_stats.cpu_seconds
+
+    @classmethod
+    def from_payload(cls, payload: dict, restarts: int) -> "WorkerReport":
+        return cls(
+            worker_id=payload["worker_id"],
+            alerts=list(payload["alerts"]),
+            stats=EngineStats.from_dict(payload["stats"]),
+            shadow_stats=EngineStats.from_dict(payload["shadow_stats"]),
+            batches=payload["batches"],
+            frames_owned=payload["frames_owned"],
+            frames_shadowed=payload["frames_shadowed"],
+            restarts=restarts,
+            worker_cpu_seconds=payload.get("worker_cpu_seconds", 0.0),
+            metrics=payload.get("metrics"),
+        )
+
+    @classmethod
+    def crashed_report(cls, worker_id: int, restarts: int) -> "WorkerReport":
+        return cls(
+            worker_id=worker_id,
+            alerts=[],
+            stats=EngineStats(),
+            shadow_stats=EngineStats(),
+            restarts=restarts,
+            crashed=True,
+        )
+
+
+@dataclass(slots=True)
+class ClusterResult:
+    """The merged cluster-level view a single engine would have given."""
+
+    alerts: list
+    stats: EngineStats
+    shadow_stats: EngineStats
+    cluster: ClusterStats
+    workers: list
+    registry: MetricsRegistry | None = None
+
+    def alert_multiset(self) -> "collections.Counter[Alert]":
+        """Order-insensitive alert comparison (Alert equality already
+        excludes the events payload)."""
+        return collections.Counter(self.alerts)
+
+    def critical_path_seconds(self) -> float:
+        """The modeled parallel wall-clock: the busiest worker bounds the
+        sharded stage and the (serial) router bounds distribution."""
+        busiest = max((w.busy_seconds for w in self.workers), default=0.0)
+        return max(busiest, self.cluster.router_seconds)
+
+    def modeled_frames_per_second(self) -> float:
+        path = self.critical_path_seconds()
+        return self.cluster.frames_in / path if path > 0 else 0.0
+
+
+class ScidiveCluster:
+    """Session-sharded parallel SCIDIVE.
+
+    Usage::
+
+        cluster = ScidiveCluster(workers=4, vantage_ip="10.0.0.10")
+        result = cluster.process_trace(trace)
+        assert result.alert_multiset() == single_engine_multiset
+
+    or incrementally::
+
+        with ScidiveCluster(workers=2, backend="threads") as cluster:
+            for record in trace:
+                cluster.submit_frame(record.frame, record.timestamp)
+        result = cluster.result
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig | None = None,
+        engine_factory=default_engine_factory,
+        **overrides,
+    ) -> None:
+        config = config if config is not None else ClusterConfig()
+        if overrides:
+            config = replace(config, **overrides)
+        self.config = config.validate()
+        self.engine_factory = engine_factory
+        self.sharder = SessionSharder()
+        self.cluster_stats = ClusterStats()
+        self.result: ClusterResult | None = None
+        self._workers: list = []
+        self._pending: list[list] = []
+        self._out_q = None
+        self._started = False
+        self._stopped = False
+        # Serial workers execute inline; their CPU must not be billed to
+        # the router when computing the critical path.
+        self._inline_seconds = 0.0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    def start(self) -> "ScidiveCluster":
+        if self._started:
+            return self
+        config = self.config
+        n = config.workers
+        self._pending = [[] for _ in range(n)]
+        if config.backend == "serial":
+            self._workers = [
+                _SerialWorker(i, config, self.engine_factory) for i in range(n)
+            ]
+        elif config.backend == "threads":
+            self._out_q = _queue.Queue()
+            self._workers = [
+                _ThreadWorker(i, config, self.engine_factory, self._out_q)
+                for i in range(n)
+            ]
+        else:
+            ctx = _mp.get_context()
+            self._out_q = ctx.Queue()
+            self._workers = [
+                _ProcessWorker(i, config, self.engine_factory, self._out_q, ctx)
+                for i in range(n)
+            ]
+        if config.backend != "serial":
+            for worker in self._workers:
+                worker.start()
+        self._started = True
+        return self
+
+    def __enter__(self) -> "ScidiveCluster":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self._stopped:
+            self.stop()
+
+    # -- ingestion ------------------------------------------------------------
+
+    def submit_frame(self, frame: bytes, timestamp: float) -> None:
+        """Route one frame (both offline replay and live taps call this)."""
+        if not self._started:
+            self.start()
+        stats = self.cluster_stats
+        # thread_time: router CPU only — neither backpressure sleeps nor
+        # sibling processes timesharing the core count as router work.
+        t0 = _time.thread_time()
+        inline0 = self._inline_seconds
+        stats.frames_in += 1
+        n = self.config.workers
+        for key, frames in self.sharder.route(frame, timestamp):
+            plane = key.plane
+            stats.frames_by_plane[plane] = (
+                stats.frames_by_plane.get(plane, 0) + len(frames)
+            )
+            owner = shard_index(key, n)
+            if key.broadcast and n > 1:
+                for wid in range(n):
+                    self._append(wid, frames, wid == owner)
+            else:
+                self._append(owner, frames, True)
+        stats.router_seconds += (
+            _time.thread_time() - t0 - (self._inline_seconds - inline0)
+        )
+
+    def _append(self, wid: int, frames, is_owner: bool) -> None:
+        stats = self.cluster_stats
+        if is_owner:
+            stats.frames_routed += len(frames)
+        else:
+            stats.frames_replicated += len(frames)
+        pending = self._pending[wid]
+        pending.extend((frame, ts, is_owner) for frame, ts in frames)
+        batch_size = self.config.batch_size
+        while len(pending) >= batch_size:
+            self._submit_batch(wid, pending[:batch_size])
+            del pending[:batch_size]
+
+    def _submit_batch(self, wid: int, items: list) -> None:
+        stats = self.cluster_stats
+        worker = self._workers[wid]
+        if isinstance(worker, _SerialWorker):
+            t0 = _time.perf_counter()
+            worker.put(("batch", items))
+            self._inline_seconds += _time.perf_counter() - t0
+            stats.batches_submitted += 1
+            return
+        message = ("batch", items)
+        if self.config.overflow == "drop":
+            try:
+                worker.in_q.put_nowait(message)
+            except _queue.Full:
+                stats.frames_dropped += len(items)
+                return
+            stats.batches_submitted += 1
+            return
+        # block policy: apply backpressure, but keep checking worker
+        # health so a dead consumer with a full queue cannot wedge us.
+        while True:
+            self._ensure_alive(worker)
+            try:
+                worker.in_q.put(message, timeout=0.05)
+                stats.batches_submitted += 1
+                return
+            except _queue.Full:
+                continue
+
+    def _ensure_alive(self, worker) -> None:
+        if worker.alive:
+            return
+        if worker.restarts >= self.config.max_restarts:
+            raise ClusterError(
+                f"worker {worker.worker_id} exceeded max_restarts="
+                f"{self.config.max_restarts}"
+            )
+        worker.respawn()
+        self.cluster_stats.worker_restarts += 1
+
+    def flush(self) -> None:
+        """Push all partially-filled batches to the workers."""
+        for wid, pending in enumerate(self._pending):
+            if pending:
+                self._submit_batch(wid, pending)
+                self._pending[wid] = []
+
+    def inject_crash(self, worker_id: int, exit_code: int = 13) -> None:
+        """Failure injection (tests): make one worker die mid-stream."""
+        if self.config.backend == "serial":
+            raise ClusterError("serial backend has no workers to crash")
+        worker = self._workers[worker_id]
+        worker.in_q.put(("crash", exit_code))
+
+    # -- shutdown -------------------------------------------------------------
+
+    def stop(self) -> ClusterResult:
+        """Graceful shutdown: flush partial batches, let every worker
+        drain its queue, collect reports, merge."""
+        if self._stopped:
+            assert self.result is not None
+            return self.result
+        if not self._started:
+            self.start()
+        self.flush()
+        reports = (
+            self._stop_serial()
+            if self.config.backend == "serial"
+            else self._stop_queued()
+        )
+        self.cluster_stats.fragments_expired = self.sharder.fragments_expired
+        self._stopped = True
+        self.result = self._merge(reports)
+        return self.result
+
+    def _stop_serial(self) -> dict:
+        reports = {}
+        for worker in self._workers:
+            worker.put(("stop",))
+            reports[worker.worker_id] = (worker.report, worker.restarts)
+        return reports
+
+    def _stop_queued(self) -> dict:
+        stop_sent: set[int] = set()
+        for worker in self._workers:
+            self._send_stop(worker)
+            stop_sent.add(worker.worker_id)
+        reports: dict = {}
+        pending = {worker.worker_id: worker for worker in self._workers}
+        deadline = _time.monotonic() + self.config.result_timeout
+        while pending:
+            try:
+                _, wid, payload = self._out_q.get(timeout=0.1)
+            except _queue.Empty:
+                pass
+            else:
+                worker = pending.pop(wid)
+                reports[wid] = (payload, worker.restarts)
+                continue
+            for wid, worker in list(pending.items()):
+                if worker.alive:
+                    continue
+                # Died before reporting.  Respawn so it can drain what is
+                # still queued (a fresh stop chases the queue); give up on
+                # it once the restart budget is spent.
+                if worker.restarts < self.config.max_restarts:
+                    worker.respawn()
+                    self.cluster_stats.worker_restarts += 1
+                    self._send_stop(worker)
+                else:
+                    reports[wid] = (None, worker.restarts)
+                    del pending[wid]
+            if _time.monotonic() > deadline:
+                raise ClusterError(
+                    f"timed out waiting for worker reports: {sorted(pending)}"
+                )
+        for worker in self._workers:
+            worker.join(timeout=1.0)
+        return reports
+
+    def _send_stop(self, worker) -> None:
+        while True:
+            try:
+                worker.in_q.put(("stop",), timeout=0.05)
+                return
+            except _queue.Full:
+                if not worker.alive:
+                    # Dead with a full queue: the respawn path in
+                    # _stop_queued will retry after the restart.
+                    return
+
+    def _merge(self, reports: dict) -> ClusterResult:
+        worker_reports = []
+        for wid in sorted(reports):
+            payload, restarts = reports[wid]
+            if payload is None:
+                worker_reports.append(WorkerReport.crashed_report(wid, restarts))
+            else:
+                worker_reports.append(WorkerReport.from_payload(payload, restarts))
+        alerts = [alert for report in worker_reports for alert in report.alerts]
+        alerts.sort(key=lambda alert: alert.time)
+        stats = EngineStats.merged([report.stats for report in worker_reports])
+        shadow = EngineStats.merged([report.shadow_stats for report in worker_reports])
+        registry = None
+        if self.config.metrics_enabled:
+            registry = MetricsRegistry()
+            for report in worker_reports:
+                if report.metrics is not None:
+                    registry.merge_dict(report.metrics)
+            self._cluster_metrics(registry)
+        return ClusterResult(
+            alerts=alerts,
+            stats=stats,
+            shadow_stats=shadow,
+            cluster=self.cluster_stats,
+            workers=worker_reports,
+            registry=registry,
+        )
+
+    def _cluster_metrics(self, registry: MetricsRegistry) -> None:
+        """Router-side families, alongside the merged worker metrics."""
+        stats = self.cluster_stats
+        registry.counter(
+            "scidive_cluster_worker_restarts_total",
+            "Workers respawned after crash detection",
+        ).inc(stats.worker_restarts)
+        registry.counter(
+            "scidive_cluster_frames_dropped_total",
+            "Frames shed by the drop overflow policy",
+        ).inc(stats.frames_dropped)
+        routed = registry.counter(
+            "scidive_cluster_frames_routed_total",
+            "Frames delivered to workers",
+            labelnames=("plane",),
+        )
+        for plane, count in stats.frames_by_plane.items():
+            routed.labels(plane=plane).inc(count)
+        registry.gauge(
+            "scidive_cluster_workers", "Configured worker count"
+        ).set(self.config.workers)
+
+    # -- offline replay --------------------------------------------------------
+
+    def process_trace(self, trace: Trace) -> ClusterResult:
+        """Replay a recorded capture through the cluster and shut down."""
+        self.start()
+        for record in trace:
+            self.submit_frame(record.frame, record.timestamp)
+        return self.stop()

@@ -1,0 +1,311 @@
+"""The cheap pre-distiller: raw frame → shard plane + session-affinity key.
+
+The router in front of a :class:`~repro.cluster.cluster.ScidiveCluster`
+must decide which worker owns a frame *without* paying for full protocol
+decoding (that cost belongs on the owning worker).  :func:`shard_key`
+reads fixed header offsets and the existing content sniffers
+(``looks_like_sip`` / ``looks_like_rtcp`` / ``looks_like_rtp``) to
+classify every frame into one of three planes:
+
+``signalling``
+    SIP, H.225 and accounting traffic.  Low-rate, but it feeds the
+    shared state every detector consults (dialogs, registrations,
+    SDP-negotiated media).  Signalling frames are *replicated* to every
+    worker — replicas run the pipeline in shadow mode so their state
+    machines stay complete — and *owned* by exactly one worker (keyed
+    by SIP Call-ID / accounting call id), which is the only one whose
+    alerts are collected.
+
+``media``
+    RTP, RTCP and undecodable datagrams on media ports.  High-rate, and
+    every per-flow detector (sequence continuity, rogue sources, orphan
+    flows, SSRC ownership) keys its state by the *destination* media
+    endpoint — so the shard key is exactly that endpoint, with RTCP's
+    odd port normalised down to its RTP session port so a flow and its
+    control channel land on the same worker.
+
+``other``
+    Everything the Distiller would ignore (non-IP, non-UDP, unknown
+    ports).  Routed to exactly one worker by flow hash so merged
+    distiller statistics still add up.
+
+IP fragments get a fourth, transient plane: all fragments of one
+datagram share a ``(src, dst, proto, id)`` key — stable regardless of
+arrival order — and the stateful :class:`SessionSharder` holds them
+until its IP-level reassembly can classify the whole datagram, then
+releases the original fragment frames to the owning worker, whose own
+Distiller re-runs reassembly on arrival.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+from repro.h323.h225 import H225_PORT, looks_like_h225
+from repro.h323.ras import RAS_PORT
+from repro.net.fragmentation import DEFAULT_REASSEMBLY_TIMEOUT, Reassembler
+from repro.net.packet import IPPROTO_UDP, IPv4Packet, PacketError
+from repro.rtp.packet import looks_like_rtp
+from repro.rtp.rtcp import looks_like_rtcp
+from repro.sip.message import looks_like_sip
+
+PLANE_SIGNALLING = "signalling"
+PLANE_MEDIA = "media"
+PLANE_OTHER = "other"
+PLANE_FRAGMENT = "fragment"
+
+DEFAULT_SIP_PORTS = frozenset({5060})
+DEFAULT_RTP_PORT_MIN = 10000
+DEFAULT_RTP_PORT_MAX = 65534
+DEFAULT_ACCOUNTING_PORT = 9090
+
+_ETH_HEADER_LEN = 14
+
+
+@dataclass(frozen=True, slots=True)
+class ShardKey:
+    """One routing decision: which plane, and the affinity key within it."""
+
+    plane: str
+    key: tuple
+
+    @property
+    def broadcast(self) -> bool:
+        """Signalling is replicated to every worker (state completeness)."""
+        return self.plane == PLANE_SIGNALLING
+
+
+def shard_index(key: ShardKey, workers: int) -> int:
+    """Stable worker index for a shard key.
+
+    Uses CRC32 over a canonical encoding rather than ``hash()`` so the
+    mapping is identical across processes and runs (``PYTHONHASHSEED``
+    does not apply).
+    """
+    return zlib.crc32(repr((key.plane, key.key)).encode("utf-8")) % workers
+
+
+def _sip_call_id(payload: bytes) -> str | None:
+    """Extract Call-ID (or its compact ``i`` form) with a byte scan."""
+    head = payload.split(b"\r\n\r\n", 1)[0]
+    for line in head.splitlines()[1:]:
+        name, sep, value = line.partition(b":")
+        if not sep:
+            continue
+        name = name.strip().lower()
+        if name == b"call-id" or name == b"i":
+            return value.strip().decode("ascii", "replace")
+    return None
+
+
+def _accounting_call_id(payload: bytes) -> str | None:
+    """Extract ``call_id=`` from a ``TXN`` accounting line."""
+    if not payload.startswith(b"TXN "):
+        return None
+    for chunk in payload[4:].split():
+        if chunk.startswith(b"call_id="):
+            return chunk[8:].decode("utf-8", "replace")
+    return None
+
+
+def shard_key(
+    frame: bytes,
+    *,
+    sip_ports: frozenset[int] = DEFAULT_SIP_PORTS,
+    rtp_port_min: int = DEFAULT_RTP_PORT_MIN,
+    rtp_port_max: int = DEFAULT_RTP_PORT_MAX,
+    accounting_port: int = DEFAULT_ACCOUNTING_PORT,
+) -> ShardKey:
+    """Classify one raw Ethernet frame (pure function, no state).
+
+    Fragmented datagrams return ``PLANE_FRAGMENT`` with a key shared by
+    every fragment of the datagram — the :class:`SessionSharder`
+    resolves their final destination once reassembly completes.
+    """
+    if len(frame) < _ETH_HEADER_LEN + 20:
+        return ShardKey(PLANE_OTHER, ("short", len(frame)))
+    if frame[12:14] != b"\x08\x00":
+        return ShardKey(PLANE_OTHER, ("non-ip", bytes(frame[:12])))
+    ver_ihl = frame[14]
+    ihl = (ver_ihl & 0x0F) * 4
+    if (ver_ihl >> 4) != 4 or ihl < 20:
+        return ShardKey(PLANE_OTHER, ("bad-ip", bytes(frame[:12])))
+    src = bytes(frame[26:30])
+    dst = bytes(frame[30:34])
+    proto = frame[23]
+    flags_frag = int.from_bytes(frame[20:22], "big")
+    if flags_frag & 0x3FFF:  # MF flag (0x2000) or nonzero fragment offset
+        ident = bytes(frame[18:20])
+        return ShardKey(PLANE_FRAGMENT, (src, dst, proto, ident))
+    if proto != IPPROTO_UDP:
+        return ShardKey(PLANE_OTHER, (src, dst, proto))
+    udp_at = _ETH_HEADER_LEN + ihl
+    if len(frame) < udp_at + 8:
+        return ShardKey(PLANE_OTHER, (src, dst, proto))
+    sport = int.from_bytes(frame[udp_at : udp_at + 2], "big")
+    dport = int.from_bytes(frame[udp_at + 2 : udp_at + 4], "big")
+    total_length = int.from_bytes(frame[16:18], "big")
+    payload = bytes(frame[udp_at + 8 : _ETH_HEADER_LEN + total_length])
+    return _classify_udp(
+        payload,
+        src,
+        sport,
+        dst,
+        dport,
+        sip_ports=sip_ports,
+        rtp_port_min=rtp_port_min,
+        rtp_port_max=rtp_port_max,
+        accounting_port=accounting_port,
+    )
+
+
+def _classify_udp(
+    payload: bytes,
+    src: bytes,
+    sport: int,
+    dst: bytes,
+    dport: int,
+    *,
+    sip_ports: frozenset[int],
+    rtp_port_min: int,
+    rtp_port_max: int,
+    accounting_port: int,
+) -> ShardKey:
+    """The shared UDP-payload classifier (mirrors the Distiller's chain
+    order: SIP, H.225, accounting, RTCP, RTP, media-port garbage)."""
+    if looks_like_sip(payload) or sport in sip_ports or dport in sip_ports:
+        call_id = _sip_call_id(payload)
+        if call_id is not None:
+            return ShardKey(PLANE_SIGNALLING, ("sip", call_id))
+        return ShardKey(PLANE_SIGNALLING, ("sip-flow", src, sport, dst, dport))
+    if looks_like_h225(payload) or sport == H225_PORT or dport == H225_PORT:
+        # Ownership only needs to be deterministic; the CRV is not worth
+        # decoding here.  Key on the unordered host pair so both call
+        # directions share an owner.
+        pair = (src, sport) if (src, sport) <= (dst, dport) else (dst, dport)
+        return ShardKey(PLANE_SIGNALLING, ("h225",) + pair)
+    if sport == accounting_port or dport == accounting_port:
+        call_id = _accounting_call_id(payload)
+        if call_id is not None:
+            return ShardKey(PLANE_SIGNALLING, ("acct", call_id))
+        return ShardKey(PLANE_SIGNALLING, ("acct-flow", src, sport, dst, dport))
+    if sport == RAS_PORT or dport == RAS_PORT:
+        # RAS is claimed by the distiller without producing a footprint;
+        # one worker is enough.
+        return ShardKey(PLANE_OTHER, ("ras", src, dst))
+    if looks_like_rtcp(payload) or looks_like_rtp(payload):
+        return ShardKey(PLANE_MEDIA, ("media", dst, dport - (dport & 1)))
+    if rtp_port_min <= dport <= rtp_port_max or rtp_port_min <= sport <= rtp_port_max:
+        # Garbage on a media port: the RTP-attack traffic profile.  Key
+        # by the (normalised) destination endpoint like real media so it
+        # lands with the flow state it is trying to poison.
+        return ShardKey(PLANE_MEDIA, ("media", dst, dport - (dport & 1)))
+    return ShardKey(PLANE_OTHER, (src, sport, dst, dport))
+
+
+@dataclass(slots=True)
+class _FragmentBuffer:
+    first_seen: float
+    frames: list[tuple[bytes, float]] = field(default_factory=list)
+
+
+class SessionSharder:
+    """Stateful router: frames in, ``(ShardKey, [(frame, ts), ...])`` out.
+
+    Most frames resolve immediately via :func:`shard_key`.  Fragments
+    are buffered alongside an IP-level :class:`Reassembler`; when the
+    datagram completes, the *original fragment frames* are released as
+    one unit under the reassembled payload's session key (the owning
+    worker's Distiller reassembles again — the router never hands over
+    decoded objects).
+    """
+
+    def __init__(
+        self,
+        sip_ports: frozenset[int] = DEFAULT_SIP_PORTS,
+        rtp_port_min: int = DEFAULT_RTP_PORT_MIN,
+        rtp_port_max: int = DEFAULT_RTP_PORT_MAX,
+        accounting_port: int = DEFAULT_ACCOUNTING_PORT,
+        reassembly_timeout: float = DEFAULT_REASSEMBLY_TIMEOUT,
+    ) -> None:
+        self.sip_ports = sip_ports
+        self.rtp_port_min = rtp_port_min
+        self.rtp_port_max = rtp_port_max
+        self.accounting_port = accounting_port
+        self.reassembly_timeout = reassembly_timeout
+        self._reassembler = Reassembler(timeout=reassembly_timeout)
+        self._fragments: dict[tuple, _FragmentBuffer] = {}
+        self.fragments_held = 0
+        self.fragments_expired = 0
+
+    def route(
+        self, frame: bytes, timestamp: float
+    ) -> list[tuple[ShardKey, list[tuple[bytes, float]]]]:
+        """Route one frame; returns zero or more routing decisions.
+
+        Zero when a fragment is still incomplete; one otherwise (the
+        decision carries all buffered fragments when reassembly just
+        completed).
+        """
+        decision = shard_key(
+            frame,
+            sip_ports=self.sip_ports,
+            rtp_port_min=self.rtp_port_min,
+            rtp_port_max=self.rtp_port_max,
+            accounting_port=self.accounting_port,
+        )
+        if decision.plane != PLANE_FRAGMENT:
+            return [(decision, [(frame, timestamp)])]
+        return self._route_fragment(decision, frame, timestamp)
+
+    def _route_fragment(
+        self, decision: ShardKey, frame: bytes, timestamp: float
+    ) -> list[tuple[ShardKey, list[tuple[bytes, float]]]]:
+        self._expire_buffers(timestamp)
+        buffer = self._fragments.get(decision.key)
+        if buffer is None:
+            buffer = _FragmentBuffer(first_seen=timestamp)
+            self._fragments[decision.key] = buffer
+        buffer.frames.append((frame, timestamp))
+        self.fragments_held += 1
+        try:
+            packet = IPv4Packet.decode(frame[_ETH_HEADER_LEN:])
+        except PacketError:
+            # Undecodable fragment: release what we have as OTHER.
+            del self._fragments[decision.key]
+            return [(ShardKey(PLANE_OTHER, decision.key), buffer.frames)]
+        whole = self._reassembler.push(packet, timestamp)
+        if whole is None:
+            return []
+        del self._fragments[decision.key]
+        if whole.protocol != IPPROTO_UDP or len(whole.payload) < 8:
+            return [(ShardKey(PLANE_OTHER, decision.key), buffer.frames)]
+        sport = int.from_bytes(whole.payload[0:2], "big")
+        dport = int.from_bytes(whole.payload[2:4], "big")
+        resolved = _classify_udp(
+            whole.payload[8:],
+            whole.src.to_bytes(),
+            sport,
+            whole.dst.to_bytes(),
+            dport,
+            sip_ports=self.sip_ports,
+            rtp_port_min=self.rtp_port_min,
+            rtp_port_max=self.rtp_port_max,
+            accounting_port=self.accounting_port,
+        )
+        return [(resolved, buffer.frames)]
+
+    def _expire_buffers(self, now: float) -> None:
+        stale = [
+            key
+            for key, buffer in self._fragments.items()
+            if now - buffer.first_seen > self.reassembly_timeout
+        ]
+        for key in stale:
+            del self._fragments[key]
+            self.fragments_expired += 1
+
+    @property
+    def pending_fragments(self) -> int:
+        return len(self._fragments)

@@ -61,7 +61,49 @@ class EngineStats:
 
     @property
     def frames_per_cpu_second(self) -> float:
+        """Throughput as total frames over total CPU seconds.
+
+        Merge-safe by construction: :meth:`merge` sums both the frame
+        count and the CPU seconds, so the aggregated ratio is the true
+        cluster-wide frames/CPU-second, not an average of per-worker
+        rates (which would weight idle workers equally with busy ones).
+        """
         return self.frames / self.cpu_seconds if self.cpu_seconds > 0 else 0.0
+
+    def merge(self, other: "EngineStats") -> None:
+        """Fold another engine's counters into this one (cluster merge)."""
+        self.frames += other.frames
+        self.footprints += other.footprints
+        self.events += other.events
+        self.alerts += other.alerts
+        self.cpu_seconds += other.cpu_seconds
+
+    @classmethod
+    def merged(cls, parts: "list[EngineStats] | tuple[EngineStats, ...]") -> "EngineStats":
+        """A fresh stats object holding the sum of ``parts``."""
+        total = cls()
+        for part in parts:
+            total.merge(part)
+        return total
+
+    def as_dict(self) -> dict:
+        return {
+            "frames": self.frames,
+            "footprints": self.footprints,
+            "events": self.events,
+            "alerts": self.alerts,
+            "cpu_seconds": self.cpu_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EngineStats":
+        return cls(
+            frames=payload.get("frames", 0),
+            footprints=payload.get("footprints", 0),
+            events=payload.get("events", 0),
+            alerts=payload.get("alerts", 0),
+            cpu_seconds=payload.get("cpu_seconds", 0.0),
+        )
 
     def reset(self) -> None:
         """Zero all counters (between experiment phases)."""
@@ -118,6 +160,13 @@ class ScidiveEngine:
         )
         self.alert_log = AlertLog()
         self.stats = EngineStats()
+        # Shadow-mode scratch: replicated frames (cluster workers that do
+        # not own a broadcast signalling frame) run the full pipeline so
+        # state machines stay complete, but their alerts/events/stats are
+        # segregated here and discarded — only the owner's output counts.
+        self.shadow_stats = EngineStats()
+        self._shadow_alert_log = AlertLog()
+        self._shadow_event_log: list[Event] = []
         self.vantage_ip = vantage_ip
         self.vantage_mac = vantage_mac
         self._ctx = GeneratorContext(
@@ -213,6 +262,40 @@ class ScidiveEngine:
             alerts = self.process_footprint(footprint, self.stats.frames)
         self.stats.cpu_seconds += _time.perf_counter() - started
         return alerts
+
+    def process_frame_shadow(self, frame: bytes, timestamp: float) -> None:
+        """Process a frame for its *state effects only*.
+
+        The cluster replicates signalling frames to every worker so
+        cross-protocol detectors (orphan-media watches, registration
+        tracking, SDP-learned media endpoints, rule cooldowns) hold the
+        complete picture everywhere.  A replica must not *report*
+        though — that would duplicate alerts across workers — so this
+        entry point swaps the alert/event/stats sinks (and the
+        instrumentation hook) for shadow scratch structures around a
+        normal :meth:`process_frame` call and discards what they caught.
+        All protocol/rule state advances exactly as for an owned frame.
+        """
+        stats, alert_log, event_log = self.stats, self.alert_log, self.event_log
+        alert_subs, event_subs = self.alert_subscribers, self.event_subscribers
+        hook = self._hook
+        self.stats = self.shadow_stats
+        self.alert_log = self._shadow_alert_log
+        self.event_log = self._shadow_event_log
+        self.alert_subscribers = []
+        self.event_subscribers = []
+        self._hook = None
+        try:
+            self.process_frame(frame, timestamp)
+        finally:
+            self.stats = stats
+            self.alert_log = alert_log
+            self.event_log = event_log
+            self.alert_subscribers = alert_subs
+            self.event_subscribers = event_subs
+            self._hook = hook
+            self._shadow_alert_log.clear()
+            self._shadow_event_log.clear()
 
     def process_footprint(
         self, footprint: AnyFootprint, frame_no: int = 0

@@ -142,6 +142,27 @@ class Metric:
         return {"name": self.name, "type": self.typename, "help": self.help,
                 "series": series}
 
+    # -- merging --------------------------------------------------------------
+
+    def merge(self, other: "Metric") -> None:
+        """Fold another family's children into this one, label set by
+        label set (cluster aggregation).  Families must agree on type
+        and label names; histogram bucket bounds must match too."""
+        if type(other) is not type(self):
+            raise MetricError(
+                f"{self.name}: cannot merge {other.typename} into {self.typename}"
+            )
+        if other.labelnames != self.labelnames:
+            raise MetricError(
+                f"{self.name}: label mismatch {other.labelnames} vs {self.labelnames}"
+            )
+        for key, child in other._children.items():
+            mine = self._children.get(key)
+            if mine is None:
+                mine = self._new_child()
+                self._children[key] = mine
+            mine._merge(child)
+
 
 class _CounterChild:
     __slots__ = ("value",)
@@ -159,6 +180,12 @@ class _CounterChild:
 
     def _as_dict(self):
         return {"value": self.value}
+
+    def _merge(self, other: "_CounterChild") -> None:
+        self.value += other.value
+
+    def _merge_dict(self, data: dict) -> None:
+        self.inc(float(data.get("value", 0.0)))
 
 
 class Counter(Metric):
@@ -197,6 +224,14 @@ class _GaugeChild:
 
     def _as_dict(self):
         return {"value": self.value}
+
+    # Gauges merge by summation: worker gauges are sizes (live trails,
+    # pending state), and the cluster-level answer is their total.
+    def _merge(self, other: "_GaugeChild") -> None:
+        self.value += other.value
+
+    def _merge_dict(self, data: dict) -> None:
+        self.value += float(data.get("value", 0.0))
 
 
 class Gauge(Metric):
@@ -255,6 +290,34 @@ class _HistogramChild:
             "count": self.count,
             "buckets": {_format_value(b): c for b, c in zip(self.buckets, self.counts)},
         }
+
+    def _merge(self, other: "_HistogramChild") -> None:
+        if other.buckets != self.buckets:
+            raise MetricError(
+                f"histogram bucket bounds differ: {other.buckets} vs {self.buckets}"
+            )
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.sum += other.sum
+        self.count += other.count
+
+    def _merge_dict(self, data: dict) -> None:
+        observed = data.get("buckets", {})
+        bounds = tuple(sorted(float(b) for b in observed))
+        if bounds != self.buckets:
+            raise MetricError(
+                f"histogram bucket bounds differ: {bounds} vs {self.buckets}"
+            )
+        in_range = 0
+        for i, bound in enumerate(self.buckets):
+            add = int(observed[_format_value(bound)])
+            in_range += add
+            self.counts[i] += add
+        count = int(data.get("count", 0))
+        # as_dict omits the over-range slot; it is count minus the rest.
+        self.counts[-1] += count - in_range
+        self.sum += float(data.get("sum", 0.0))
+        self.count += count
 
     @property
     def mean(self) -> float:
@@ -342,6 +405,60 @@ class MetricsRegistry:
 
     def get(self, name: str) -> Metric | None:
         return self._metrics.get(name)
+
+    # -- merging --------------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry into this one, family by family.
+
+        Counters and gauges sum per label set; histograms sum bucket
+        counts (bounds must match).  Used by the cluster to aggregate
+        per-worker registries into one exporter-compatible view.
+        Returns ``self`` so ``reduce``-style folds read naturally.
+        """
+        for metric in other:
+            if isinstance(metric, Histogram):
+                mine = self.histogram(
+                    metric.name, metric.help, metric.labelnames, buckets=metric.buckets
+                )
+            elif isinstance(metric, Counter):
+                mine = self.counter(metric.name, metric.help, metric.labelnames)
+            elif isinstance(metric, Gauge):
+                mine = self.gauge(metric.name, metric.help, metric.labelnames)
+            else:
+                raise MetricError(f"cannot merge metric type {type(metric).__name__}")
+            mine.merge(metric)
+        return self
+
+    def merge_dict(self, payload: dict) -> "MetricsRegistry":
+        """Fold an :meth:`as_dict` payload into this registry.
+
+        This is the cross-process transport: worker processes ship their
+        registry as a plain dict over the result queue and the cluster
+        folds each payload here (no pickling of metric objects).
+        """
+        for entry in payload.get("metrics", []):
+            series = entry.get("series", [])
+            if not series:
+                continue
+            name = entry["name"]
+            typename = entry.get("type", "untyped")
+            help = entry.get("help", "")
+            labelnames = tuple(series[0].get("labels", {}))
+            if typename == "histogram":
+                bounds = tuple(sorted(float(b) for b in series[0].get("buckets", {})))
+                mine = self.histogram(name, help, labelnames, buckets=bounds)
+            elif typename == "counter":
+                mine = self.counter(name, help, labelnames)
+            elif typename == "gauge":
+                mine = self.gauge(name, help, labelnames)
+            else:
+                raise MetricError(f"cannot merge metric type {typename!r}")
+            for sample in series:
+                labels = sample.get("labels", {})
+                child = mine.labels(**labels) if labels else mine._default_child()
+                child._merge_dict(sample)
+        return self
 
     def __iter__(self):
         return iter(self._metrics.values())

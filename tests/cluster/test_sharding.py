@@ -1,0 +1,198 @@
+"""The shard-key pre-distiller: classification and fragment routing."""
+
+from __future__ import annotations
+
+from repro.cluster.sharding import (
+    PLANE_FRAGMENT,
+    PLANE_MEDIA,
+    PLANE_OTHER,
+    PLANE_SIGNALLING,
+    SessionSharder,
+    shard_index,
+    shard_key,
+)
+from repro.net.addr import IPv4Address, MacAddress
+from repro.net.fragmentation import fragment
+from repro.net.packet import (
+    ETHERTYPE_IPV4,
+    EthernetFrame,
+    IPPROTO_UDP,
+    IPv4Packet,
+    UdpDatagram,
+    build_udp_frame,
+)
+from repro.rtp.packet import RtpPacket
+
+MAC_A = MacAddress("02:00:00:00:00:01")
+MAC_B = MacAddress("02:00:00:00:00:02")
+IP_A = IPv4Address.parse("10.0.0.10")
+IP_B = IPv4Address.parse("10.0.0.20")
+
+SIP_INVITE = (
+    b"INVITE sip:bob@example.com SIP/2.0\r\n"
+    b"Via: SIP/2.0/UDP 10.0.0.10:5060;branch=z9hG4bK1\r\n"
+    b"Call-ID: call-42@10.0.0.10\r\n"
+    b"From: <sip:alice@example.com>;tag=1\r\n"
+    b"To: <sip:bob@example.com>\r\n"
+    b"CSeq: 1 INVITE\r\n"
+    b"Content-Length: 0\r\n\r\n"
+)
+
+
+def _frame(payload: bytes, sport: int, dport: int, src=IP_A, dst=IP_B) -> bytes:
+    return build_udp_frame(MAC_A, MAC_B, src, dst, sport, dport, payload)
+
+
+def _rtp_payload(ssrc: int = 0x1234) -> bytes:
+    return RtpPacket(
+        payload_type=0, sequence=100, timestamp=1600, ssrc=ssrc, payload=bytes(40)
+    ).encode()
+
+
+class TestShardKey:
+    def test_sip_by_payload_keys_on_call_id(self):
+        key = shard_key(_frame(SIP_INVITE, 5060, 5060))
+        assert key.plane == PLANE_SIGNALLING
+        assert key.broadcast
+        assert key.key == ("sip", "call-42@10.0.0.10")
+
+    def test_sip_call_id_same_from_either_direction(self):
+        a = shard_key(_frame(SIP_INVITE, 5060, 5060, src=IP_A, dst=IP_B))
+        b = shard_key(_frame(SIP_INVITE, 5060, 5060, src=IP_B, dst=IP_A))
+        assert a == b
+
+    def test_sip_compact_call_id_header(self):
+        payload = (
+            b"BYE sip:bob@example.com SIP/2.0\r\n"
+            b"i: compact-7\r\n\r\n"
+        )
+        key = shard_key(_frame(payload, 5060, 5060))
+        assert key.key == ("sip", "compact-7")
+
+    def test_sip_port_without_call_id_falls_back_to_flow(self):
+        key = shard_key(_frame(b"\x00garbage", 5060, 5061))
+        assert key.plane == PLANE_SIGNALLING
+        assert key.key[0] == "sip-flow"
+
+    def test_rtp_keys_on_destination_endpoint(self):
+        key = shard_key(_frame(_rtp_payload(), 30000, 20000))
+        assert key.plane == PLANE_MEDIA
+        assert not key.broadcast
+        assert key.key == ("media", IP_B.to_bytes(), 20000)
+
+    def test_rtcp_odd_port_normalises_to_rtp_session(self):
+        rtp = shard_key(_frame(_rtp_payload(), 30000, 20000))
+        garbage_on_rtcp_port = shard_key(_frame(b"\x00" * 24, 30001, 20001))
+        assert garbage_on_rtcp_port.plane == PLANE_MEDIA
+        assert garbage_on_rtcp_port.key == rtp.key
+
+    def test_media_port_garbage_shards_with_the_flow(self):
+        rtp = shard_key(_frame(_rtp_payload(), 30000, 20000))
+        garbage = shard_key(_frame(b"\x07" * 64, 30000, 20000))
+        assert garbage.plane == PLANE_MEDIA
+        assert garbage.key == rtp.key
+
+    def test_accounting_keys_on_call_id(self):
+        payload = b"TXN action=start call_id=acct-1 user=alice"
+        key = shard_key(_frame(payload, 9090, 9090))
+        assert key.plane == PLANE_SIGNALLING
+        assert key.key == ("acct", "acct-1")
+
+    def test_non_ip_and_short_frames_are_other(self):
+        assert shard_key(b"\x00" * 10).plane == PLANE_OTHER
+        eth = EthernetFrame(dst=MAC_B, src=MAC_A, ethertype=0x0806, payload=bytes(40))
+        assert shard_key(eth.encode()).plane == PLANE_OTHER
+
+    def test_non_udp_is_other(self):
+        ip = IPv4Packet(src=IP_A, dst=IP_B, protocol=6, payload=bytes(20))
+        eth = EthernetFrame(
+            dst=MAC_B, src=MAC_A, ethertype=ETHERTYPE_IPV4, payload=ip.encode()
+        )
+        assert shard_key(eth.encode()).plane == PLANE_OTHER
+
+    def test_fragments_share_an_order_independent_key(self):
+        udp = UdpDatagram(5060, 5060, SIP_INVITE + bytes(3000)).encode(IP_A, IP_B)
+        packet = IPv4Packet(
+            src=IP_A, dst=IP_B, protocol=IPPROTO_UDP, payload=udp, identification=77
+        )
+        keys = set()
+        for frag in fragment(packet, mtu=600):
+            eth = EthernetFrame(
+                dst=MAC_B, src=MAC_A, ethertype=ETHERTYPE_IPV4, payload=frag.encode()
+            )
+            key = shard_key(eth.encode())
+            assert key.plane == PLANE_FRAGMENT
+            keys.add(key)
+        assert len(keys) == 1
+
+    def test_shard_index_stable_and_in_range(self):
+        key = shard_key(_frame(SIP_INVITE, 5060, 5060))
+        indexes = {shard_index(key, 4) for _ in range(10)}
+        assert len(indexes) == 1
+        assert 0 <= indexes.pop() < 4
+
+    def test_shard_index_spreads_distinct_keys(self):
+        owners = {
+            shard_index(shard_key(_frame(_rtp_payload(), 30000, 20000 + 2 * i)), 4)
+            for i in range(64)
+        }
+        assert owners == {0, 1, 2, 3}
+
+
+class TestSessionSharder:
+    def _fragment_frames(self, ident: int = 9) -> list[bytes]:
+        udp = UdpDatagram(5060, 5060, SIP_INVITE + bytes(3000)).encode(IP_A, IP_B)
+        packet = IPv4Packet(
+            src=IP_A, dst=IP_B, protocol=IPPROTO_UDP, payload=udp,
+            identification=ident,
+        )
+        return [
+            EthernetFrame(
+                dst=MAC_B, src=MAC_A, ethertype=ETHERTYPE_IPV4, payload=frag.encode()
+            ).encode()
+            for frag in fragment(packet, mtu=600)
+        ]
+
+    def test_plain_frames_route_immediately(self):
+        sharder = SessionSharder()
+        decisions = sharder.route(_frame(SIP_INVITE, 5060, 5060), 1.0)
+        assert len(decisions) == 1
+        key, frames = decisions[0]
+        assert key.plane == PLANE_SIGNALLING
+        assert len(frames) == 1
+
+    def test_fragments_buffer_until_complete(self):
+        sharder = SessionSharder()
+        frames = self._fragment_frames()
+        for frame in frames[:-1]:
+            assert sharder.route(frame, 1.0) == []
+        assert sharder.pending_fragments == 1
+        decisions = sharder.route(frames[-1], 1.1)
+        assert len(decisions) == 1
+        key, released = decisions[0]
+        assert key.plane == PLANE_SIGNALLING
+        assert key.key == ("sip", "call-42@10.0.0.10")
+        assert [f for f, _ in released] == frames
+        assert sharder.pending_fragments == 0
+
+    def test_fragment_order_does_not_change_the_key(self):
+        frames = self._fragment_frames()
+        orders = [frames, list(reversed(frames)), frames[1:] + frames[:1]]
+        keys = []
+        for order in orders:
+            sharder = SessionSharder()
+            final = []
+            for frame in order:
+                final.extend(sharder.route(frame, 1.0))
+            assert len(final) == 1
+            keys.append(final[0][0])
+        assert len(set(keys)) == 1
+
+    def test_stale_fragments_expire(self):
+        sharder = SessionSharder(reassembly_timeout=5.0)
+        frames = self._fragment_frames()
+        assert sharder.route(frames[0], 1.0) == []
+        # A later unrelated fragment triggers the expiry scan.
+        other = self._fragment_frames(ident=10)
+        sharder.route(other[0], 100.0)
+        assert sharder.fragments_expired == 1

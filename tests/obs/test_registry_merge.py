@@ -1,0 +1,64 @@
+"""Registry merging: the cluster's cross-worker metrics aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry, parse_prometheus
+
+
+def _worker_registry(alerts: int, frames: int) -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("alerts_total", labelnames=("rule_id",)) \
+        .labels(rule_id="BYE-001").inc(alerts)
+    reg.counter("frames_total").inc(frames)
+    reg.gauge("active_trails").set(3)
+    hist = reg.histogram("stage_seconds", buckets=(0.001, 0.01, 0.1))
+    for value in (0.0005, 0.05, 5.0):
+        hist.observe(value)
+    return reg
+
+
+def _series(reg: MetricsRegistry) -> dict[str, dict[str, float]]:
+    return parse_prometheus(reg.render_prometheus())
+
+
+class TestRegistryMerge:
+    def test_counters_and_gauges_sum(self):
+        merged = _worker_registry(2, 100).merge(_worker_registry(3, 50))
+        series = _series(merged)
+        assert sum(series["alerts_total"].values()) == 5
+        assert sum(series["frames_total"].values()) == 150
+        # Gauges are sizes (trail-table occupancy); the cluster total is
+        # the sum across workers, not the max.
+        assert sum(series["active_trails"].values()) == 6
+
+    def test_histograms_sum_buckets_and_overflow(self):
+        merged = _worker_registry(1, 1).merge(_worker_registry(1, 1))
+        series = _series(merged)["stage_seconds"]
+        count = next(v for k, v in series.items() if k.endswith("_count"))
+        total = next(v for k, v in series.items() if k.endswith("_sum"))
+        assert count == 6  # 3 observations per worker, incl. overflow
+        assert total == pytest.approx(2 * (0.0005 + 0.05 + 5.0))
+
+    def test_merge_dict_round_trips_as_dict(self):
+        # The process backend ships registries as as_dict() payloads.
+        merged = MetricsRegistry()
+        merged.merge_dict(_worker_registry(2, 100).as_dict())
+        merged.merge_dict(_worker_registry(3, 50).as_dict())
+        direct = _worker_registry(2, 100).merge(_worker_registry(3, 50))
+        assert _series(merged) == _series(direct)
+
+    def test_merge_into_empty_registry_copies_everything(self):
+        merged = MetricsRegistry().merge(_worker_registry(4, 7))
+        series = _series(merged)
+        assert sum(series["alerts_total"].values()) == 4
+        assert sum(series["frames_total"].values()) == 7
+
+    def test_mismatched_types_raise(self):
+        a = MetricsRegistry()
+        a.counter("thing_total").inc()
+        b = MetricsRegistry()
+        b.gauge("thing_total").set(1)
+        with pytest.raises(Exception):
+            a.merge(b)

@@ -1,0 +1,111 @@
+"""Property tests for the cluster shard-key pre-distiller."""
+
+from __future__ import annotations
+
+import collections
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.sharding import (
+    PLANE_FRAGMENT,
+    SessionSharder,
+    shard_index,
+    shard_key,
+)
+from repro.net.addr import IPv4Address, MacAddress
+from repro.net.fragmentation import fragment
+from repro.net.packet import (
+    ETHERTYPE_IPV4,
+    EthernetFrame,
+    IPPROTO_UDP,
+    IPv4Packet,
+    UdpDatagram,
+    build_udp_frame,
+)
+
+MAC_A = MacAddress("02:00:00:00:00:01")
+MAC_B = MacAddress("02:00:00:00:00:02")
+
+ips = st.integers(min_value=0x0A000001, max_value=0x0AFFFFFE).map(IPv4Address)
+call_ids = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-.", min_size=1, max_size=32
+)
+
+
+def _fragment_frames(src, dst, ident, payload_len, mtu):
+    payload = (
+        b"OPTIONS sip:probe SIP/2.0\r\nCall-ID: frag-prop\r\n\r\n"
+        + bytes(payload_len)
+    )
+    udp = UdpDatagram(5060, 5060, payload).encode(src, dst)
+    packet = IPv4Packet(
+        src=src, dst=dst, protocol=IPPROTO_UDP, payload=udp, identification=ident
+    )
+    return [
+        EthernetFrame(
+            dst=MAC_B, src=MAC_A, ethertype=ETHERTYPE_IPV4, payload=frag.encode()
+        ).encode()
+        for frag in fragment(packet, mtu=mtu)
+    ]
+
+
+class TestShardKeyProperties:
+    @given(src=ips, dst=ips, ident=st.integers(0, 0xFFFF),
+           extra=st.integers(0, 1200),
+           mtu=st.sampled_from([300, 576, 900]),
+           order=st.randoms(use_true_random=False))
+    @settings(max_examples=40, deadline=None)
+    def test_shard_key_stable_across_fragment_order(
+        self, src, dst, ident, extra, mtu, order
+    ):
+        """Every arrival order of the same datagram's fragments yields
+        the same shard key, both per-fragment and after reassembly."""
+        # Payload always exceeds two MTUs so fragmentation is guaranteed.
+        frames = _fragment_frames(src, dst, ident, 2 * mtu + extra, mtu)
+        assert len(frames) >= 2
+        shuffled = list(frames)
+        order.shuffle(shuffled)
+
+        keys = {shard_key(f) for f in frames}
+        assert keys == {shard_key(f) for f in shuffled}
+        assert len(keys) == 1
+        assert keys.pop().plane == PLANE_FRAGMENT
+
+        in_order, out_of_order = SessionSharder(), SessionSharder()
+        released_a = [d for f in frames for d in in_order.route(f, 1.0)]
+        released_b = [d for f in shuffled for d in out_of_order.route(f, 1.0)]
+        assert len(released_a) == len(released_b) == 1
+        assert released_a[0][0] == released_b[0][0]
+
+    @given(call_id=call_ids, workers=st.integers(1, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_sip_owner_is_direction_independent(self, call_id, workers):
+        payload = (
+            b"INVITE sip:x SIP/2.0\r\nCall-ID: " + call_id.encode() + b"\r\n\r\n"
+        )
+        a = IPv4Address.parse("10.0.0.10")
+        b = IPv4Address.parse("10.0.0.20")
+        fwd = shard_key(build_udp_frame(MAC_A, MAC_B, a, b, 5060, 5060, payload))
+        rev = shard_key(build_udp_frame(MAC_B, MAC_A, b, a, 5060, 5060, payload))
+        assert shard_index(fwd, workers) == shard_index(rev, workers)
+        assert 0 <= shard_index(fwd, workers) < workers
+
+    def test_ten_thousand_sessions_balance_across_shards(self):
+        """Max/mean shard imbalance stays under 1.5 for a synthetic
+        10k-session media workload on every sane worker count."""
+        src = IPv4Address.parse("10.9.0.1")
+        keys = []
+        for i in range(10_000):
+            dst = IPv4Address.parse(f"10.{1 + i // 250 % 200}.{i // 50 % 250}.{1 + i % 50}")
+            dport = 10000 + (i % 25000) * 2
+            frame = build_udp_frame(
+                MAC_A, MAC_B, src, dst, 30000, dport, b"\x80" + bytes(19)
+            )
+            keys.append(shard_key(frame))
+        for workers in (2, 4, 8):
+            load = collections.Counter(shard_index(k, workers) for k in keys)
+            assert len(load) == workers
+            mean = 10_000 / workers
+            imbalance = max(load.values()) / mean
+            assert imbalance < 1.5, (workers, dict(load))
