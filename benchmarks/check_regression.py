@@ -2,7 +2,8 @@
 
 Each bench script writes a machine-readable JSON (``BENCH_dispatch.json``
 from ``bench_dispatch.py``, ``BENCH_shards.json`` from
-``bench_shard_scaling.py``).  The baselines are committed; CI re-runs the
+``bench_shard_scaling.py``, ``BENCH_forensics.json`` from
+``bench_forensics.py``).  The baselines are committed; CI re-runs the
 benches and calls this script to compare the headline metric against the
 baseline with a relative tolerance::
 
@@ -12,8 +13,8 @@ baseline with a relative tolerance::
         --baseline BENCH_shards.json --fresh fresh_shards.json --tolerance 0.2
 
 The headline metric is chosen by the ``bench`` field: ``speedup``
-(indexed vs broadcast dispatch) or ``scaling_at_gate`` (modeled shard
-scaling).  A fresh value below ``baseline * (1 - tolerance)`` fails, as
+(indexed vs broadcast dispatch), ``scaling_at_gate`` (modeled shard
+scaling) or ``throughput_ratio`` (forensics on vs off).  A fresh value below ``baseline * (1 - tolerance)`` fails, as
 does a fresh run whose own equivalence checks failed.  Fresh results
 *above* the baseline are reported as an improvement (and a nudge to
 re-commit the baseline), never a failure.
@@ -28,6 +29,7 @@ import sys
 HEADLINE = {
     "dispatch": "speedup",
     "shard_scaling": "scaling_at_gate",
+    "forensics": "throughput_ratio",
 }
 
 

@@ -5,9 +5,13 @@ Usage::
     python -m repro scenario bye-attack [--seed 7] [--pcap out.pcap] [--json alerts.jsonl]
                                         [--workers 4] [--batch-size 64]
                                         [--metrics-out m.txt] [--trace-out t.jsonl]
+                                        [--serve-http 8080] [--serve-linger 10]
+                                        [--bundle-dir bundles/]
     python -m repro replay capture.pcap [--vantage 10.0.0.10] [--json alerts.jsonl]
                                         [--workers 4] [--cluster-backend process]
                                         [--metrics-out m.txt] [--trace-out t.jsonl]
+                                        [--serve-http 8080] [--bundle-dir bundles/]
+    python -m repro explain scidive-1 --bundle-dir bundles/
     python -m repro bench-shards [--workers 1 2 4 8] [--json BENCH_shards.json]
     python -m repro stats bye-attack [--seed 7] [--format table|prom|json]
     python -m repro table1 [--seed 7]
@@ -26,12 +30,22 @@ worker engines by session affinity (see :mod:`repro.cluster`);
 ``--metrics-out`` writes Prometheus-text metrics, ``--trace-out``
 writes a JSON-lines span trace; ``--log-level`` turns on structured
 logging for any command.
+
+Forensics surface: ``--serve-http PORT`` (scenario/replay) runs the
+observability sidecar (``/metrics``, ``/healthz``, ``/alerts``) for the
+duration of the run plus ``--serve-linger`` seconds; ``--bundle-dir``
+makes every alert write an evidence bundle (JSON + pcap) there, and
+``explain`` renders one bundle by alert id.  ``--trace-out`` is a
+single-engine feature: cluster workers run metrics without a tracer
+(per-worker spans have no merge path), so under ``--workers > 1`` the
+flag is refused with a note rather than silently dropped.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time as _time
 from typing import Callable, Sequence
 
 from repro import obs
@@ -87,6 +101,7 @@ def _build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--json", help="write alerts to this JSON-lines file")
     _add_cluster_flags(scenario)
     _add_obs_flags(scenario)
+    _add_serve_flags(scenario)
 
     replay = sub.add_parser("replay", help="replay a pcap through the IDS")
     replay.add_argument("pcap", help="pcap file (LINKTYPE_ETHERNET)")
@@ -97,6 +112,15 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="disable indexed dispatch (reference fan-out mode)")
     _add_cluster_flags(replay)
     _add_obs_flags(replay)
+    _add_serve_flags(replay)
+
+    explain = sub.add_parser(
+        "explain", help="render an alert's evidence bundle (graph + timeline)"
+    )
+    explain.add_argument("alert_id", help="alert id, e.g. scidive-1 (see /alerts "
+                                          "or the bundle filenames)")
+    explain.add_argument("--bundle-dir", default=".",
+                         help="directory holding <alert-id>.json bundles")
 
     bench = sub.add_parser(
         "bench-shards",
@@ -139,6 +163,42 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
                         help="write the per-frame span trace to this JSON-lines file")
 
 
+def _add_serve_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--serve-http", type=int, metavar="PORT", default=None,
+                        help="serve /metrics, /healthz and /alerts on this "
+                             "port for the duration of the run (0 = ephemeral)")
+    parser.add_argument("--serve-linger", type=float, metavar="SECONDS",
+                        default=0.0,
+                        help="keep the HTTP sidecar up this long after the "
+                             "run finishes (with --serve-http)")
+    parser.add_argument("--bundle-dir", default=None,
+                        help="write an evidence bundle (JSON + pcap) here for "
+                             "every alert; render with `repro explain`")
+
+
+def _start_server(args: argparse.Namespace):
+    """Start the observability sidecar when --serve-http was given."""
+    port = getattr(args, "serve_http", None)
+    if port is None:
+        return None
+    from repro.obs.server import ObsServer
+
+    server = ObsServer(port=port).start()
+    print(f"observability sidecar on {server.url()} (/metrics /healthz /alerts)")
+    return server
+
+
+def _linger(server, args: argparse.Namespace) -> None:
+    linger = getattr(args, "serve_linger", 0.0) or 0.0
+    if server is None or linger <= 0:
+        return
+    print(f"sidecar serving for another {linger:g}s (ctrl-c to stop early)")
+    try:
+        _time.sleep(linger)
+    except KeyboardInterrupt:
+        pass
+
+
 def _add_cluster_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=int, default=1,
                         help="shard the replay across N worker engines (default 1: "
@@ -150,7 +210,8 @@ def _add_cluster_flags(parser: argparse.ArgumentParser) -> None:
                         help="worker transport (with --workers > 1)")
 
 
-def _cluster_replay(trace, args: argparse.Namespace, vantage: str | None):
+def _cluster_replay(trace, args: argparse.Namespace, vantage: str | None,
+                    source=None):
     """Replay a trace through a ScidiveCluster; print the merged view."""
     from repro.cluster import ScidiveCluster
 
@@ -159,8 +220,15 @@ def _cluster_replay(trace, args: argparse.Namespace, vantage: str | None):
         backend=args.cluster_backend,
         batch_size=args.batch_size,
         vantage_ip=vantage,
-        metrics_enabled=bool(getattr(args, "metrics_out", None)),
+        metrics_enabled=bool(
+            getattr(args, "metrics_out", None)
+            or getattr(args, "serve_http", None) is not None
+        ),
     )
+    if source is not None:
+        # Bind before the replay starts so /healthz and /metrics answer
+        # mid-run (router-side view; the merged view appears at stop).
+        source.set_cluster(cluster)
     result = cluster.process_trace(trace)
     stats = result.stats
     print(f"cluster replay ({args.workers} workers, {args.cluster_backend}): "
@@ -203,77 +271,132 @@ def _export_observability(ctx: obs.Observability | None, args: argparse.Namespac
 
 
 def _cmd_scenario(args: argparse.Namespace) -> int:
-    want_obs = bool(args.metrics_out or args.trace_out) and args.workers <= 1
-    ctx = obs.enable(trace=bool(args.trace_out)) if want_obs else None
-    try:
-        result = _run_scenario(args.name, args.seed)
-    finally:
-        obs.disable()
-    if result is None:
-        print(f"unknown scenario {args.name!r}; try `repro list`", file=sys.stderr)
+    if args.trace_out and args.workers > 1:
+        print(_TRACE_OUT_CLUSTER_NOTE, file=sys.stderr)
         return 2
-    print(f"scenario {args.name}: {result.engine.stats.frames} frames, "
-          f"{result.engine.stats.footprints} footprints, "
-          f"{result.engine.stats.events} events")
-    if args.workers > 1:
-        from collections import Counter
+    if args.bundle_dir:
+        obs.configure_forensics(bundle_dir=args.bundle_dir)
+    server = _start_server(args)
+    try:
+        want_obs = bool(args.metrics_out or args.trace_out or server) \
+            and args.workers <= 1
+        ctx = obs.enable(trace=bool(args.trace_out)) if want_obs else None
+        if server is not None and ctx is not None:
+            server.source.set_registry(ctx.registry)
+        try:
+            result = _run_scenario(args.name, args.seed)
+        finally:
+            obs.disable()
+        if result is None:
+            print(f"unknown scenario {args.name!r}; try `repro list`",
+                  file=sys.stderr)
+            return 2
+        print(f"scenario {args.name}: {result.engine.stats.frames} frames, "
+              f"{result.engine.stats.footprints} footprints, "
+              f"{result.engine.stats.events} events")
+        if args.workers > 1:
+            from collections import Counter
 
-        cluster_result = _cluster_replay(
-            result.testbed.ids_tap.trace, args, result.engine.vantage_ip
-        )
-        _print_alerts(cluster_result.alerts)
-        same = Counter(cluster_result.alerts) == Counter(result.alerts)
-        print("cluster alerts match the single-engine run"
-              if same else "WARNING: cluster alerts DIFFER from the single-engine run")
-        alerts = cluster_result.alerts
-        if args.metrics_out and cluster_result.registry is not None:
-            cluster_result.registry.write_prometheus(args.metrics_out)
-            print(f"merged cluster metrics written to {args.metrics_out}")
-    else:
-        _print_alerts(result.alerts)
-        alerts = result.alerts
-    if args.pcap:
-        from repro.net.pcap import write_pcap
+            cluster_result = _cluster_replay(
+                result.testbed.ids_tap.trace, args, result.engine.vantage_ip,
+                source=server.source if server is not None else None,
+            )
+            _print_alerts(cluster_result.alerts)
+            same = Counter(cluster_result.alerts) == Counter(result.alerts)
+            print("cluster alerts match the single-engine run" if same
+                  else "WARNING: cluster alerts DIFFER from the single-engine run")
+            alerts = cluster_result.alerts
+            if args.metrics_out and cluster_result.registry is not None:
+                cluster_result.registry.write_prometheus(args.metrics_out)
+                print(f"merged cluster metrics written to {args.metrics_out}")
+        else:
+            if server is not None:
+                server.source.set_engine(result.engine)
+            _print_alerts(result.alerts)
+            alerts = result.alerts
+        if args.pcap:
+            from repro.net.pcap import write_pcap
 
-        write_pcap(args.pcap, result.testbed.ids_tap.trace)
-        print(f"capture written to {args.pcap}")
-    if args.json:
-        count = write_alerts_jsonl(args.json, alerts)
-        print(f"{count} alerts written to {args.json}")
-    _export_observability(ctx, args)
-    return 0
+            write_pcap(args.pcap, result.testbed.ids_tap.trace)
+            print(f"capture written to {args.pcap}")
+        if args.json:
+            count = write_alerts_jsonl(args.json, alerts)
+            print(f"{count} alerts written to {args.json}")
+        if args.bundle_dir:
+            written = obs.list_bundles(args.bundle_dir)
+            print(f"{len(written)} evidence bundles in {args.bundle_dir}")
+        _export_observability(ctx, args)
+        _linger(server, args)
+        return 0
+    finally:
+        if server is not None:
+            server.stop()
+        if args.bundle_dir:
+            obs.configure_forensics(bundle_dir=None)
+
+
+_TRACE_OUT_CLUSTER_NOTE = (
+    "--trace-out is a single-engine feature: cluster workers run metrics "
+    "without a tracer because per-worker spans have no merge path; drop "
+    "--trace-out or run with --workers 1"
+)
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.core.engine import ScidiveEngine
     from repro.net.pcap import read_pcap
 
+    if args.trace_out and args.workers > 1:
+        print(_TRACE_OUT_CLUSTER_NOTE, file=sys.stderr)
+        return 2
     trace = read_pcap(args.pcap)
-    if args.workers > 1:
-        cluster_result = _cluster_replay(trace, args, args.vantage)
-        _print_alerts(cluster_result.alerts)
+    if args.bundle_dir:
+        obs.configure_forensics(bundle_dir=args.bundle_dir)
+    server = _start_server(args)
+    try:
+        if args.workers > 1:
+            cluster_result = _cluster_replay(
+                trace, args, args.vantage,
+                source=server.source if server is not None else None,
+            )
+            _print_alerts(cluster_result.alerts)
+            if args.json:
+                count = write_alerts_jsonl(args.json, cluster_result.alerts)
+                print(f"{count} alerts written to {args.json}")
+            if args.metrics_out and cluster_result.registry is not None:
+                cluster_result.registry.write_prometheus(args.metrics_out)
+                print(f"merged cluster metrics written to {args.metrics_out}")
+            _linger(server, args)
+            return 0
+        want_obs = bool(args.metrics_out or args.trace_out or server)
+        ctx = obs.Observability.create(trace=bool(args.trace_out)) if want_obs else None
+        engine = ScidiveEngine(vantage_ip=args.vantage, observability=ctx,
+                               indexed_dispatch=not args.broadcast)
+        if server is not None:
+            # Bind before the replay so /healthz and /metrics answer mid-run.
+            if ctx is not None:
+                server.source.set_registry(ctx.registry)
+            server.source.set_engine(engine)
+        engine.process_trace(trace)
+        mode = "broadcast" if args.broadcast else "indexed"
+        print(f"replayed {len(trace)} frames ({mode} dispatch): "
+              f"{engine.stats.footprints} footprints, "
+              f"{engine.stats.events} events, {len(engine.alerts)} alerts")
+        _print_alerts(engine.alerts)
         if args.json:
-            count = write_alerts_jsonl(args.json, cluster_result.alerts)
+            count = write_alerts_jsonl(args.json, engine.alerts)
             print(f"{count} alerts written to {args.json}")
-        if args.metrics_out and cluster_result.registry is not None:
-            cluster_result.registry.write_prometheus(args.metrics_out)
-            print(f"merged cluster metrics written to {args.metrics_out}")
+        if args.bundle_dir:
+            written = obs.list_bundles(args.bundle_dir)
+            print(f"{len(written)} evidence bundles in {args.bundle_dir}")
+        _export_observability(ctx, args)
+        _linger(server, args)
         return 0
-    want_obs = bool(args.metrics_out or args.trace_out)
-    ctx = obs.Observability.create(trace=bool(args.trace_out)) if want_obs else None
-    engine = ScidiveEngine(vantage_ip=args.vantage, observability=ctx,
-                           indexed_dispatch=not args.broadcast)
-    engine.process_trace(trace)
-    mode = "broadcast" if args.broadcast else "indexed"
-    print(f"replayed {len(trace)} frames ({mode} dispatch): "
-          f"{engine.stats.footprints} footprints, "
-          f"{engine.stats.events} events, {len(engine.alerts)} alerts")
-    _print_alerts(engine.alerts)
-    if args.json:
-        count = write_alerts_jsonl(args.json, engine.alerts)
-        print(f"{count} alerts written to {args.json}")
-    _export_observability(ctx, args)
-    return 0
+    finally:
+        if server is not None:
+            server.stop()
+        if args.bundle_dir:
+            obs.configure_forensics(bundle_dir=None)
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -291,7 +414,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if args.format == "prom":
         print(ctx.registry.render_prometheus(), end="")
     elif args.format == "json":
-        print(ctx.registry.render_json(indent=2))
+        import json as _json
+
+        # Same Alert serialization the /alerts endpoint uses (Alert.to_dict),
+        # so scripted consumers see one schema everywhere.
+        payload = ctx.registry.as_dict()
+        payload["alerts"] = [alert.to_dict() for alert in result.alerts]
+        print(_json.dumps(payload, indent=2, sort_keys=True))
     else:
         stats = engine.stats
         print(format_table(
@@ -324,6 +453,24 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             rule_rows, title="Per-rule activity",
         ))
     _export_observability(ctx, args)
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Render one alert's evidence bundle from the bundle alone."""
+    try:
+        bundle = obs.load_bundle(args.bundle_dir, args.alert_id)
+    except FileNotFoundError:
+        print(f"no bundle for {args.alert_id!r} in {args.bundle_dir}",
+              file=sys.stderr)
+        available = obs.list_bundles(args.bundle_dir)
+        if available:
+            print("available: " + ", ".join(available), file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(obs.format_bundle(bundle))
     return 0
 
 
@@ -403,6 +550,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "scenario": _cmd_scenario,
         "replay": _cmd_replay,
+        "explain": _cmd_explain,
         "bench-shards": _cmd_bench_shards,
         "stats": _cmd_stats,
         "table1": _cmd_table1,

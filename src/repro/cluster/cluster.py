@@ -96,11 +96,25 @@ class ClusterConfig:
 def default_engine_factory(worker_id: int, config: ClusterConfig) -> ScidiveEngine:
     """Build one worker engine.  Module-level so ``process`` workers can
     pickle it; custom factories must be importable the same way."""
+    if config.metrics_enabled:
+        from repro import obs as _obs
+
+        # Metrics yes, tracer no: worker registries are merged into the
+        # ClusterResult, but spans have no merge path across the result
+        # queue — a worker-side tracer would buffer up to a million
+        # spans only to discard them at stop.  --trace-out is therefore
+        # a single-engine feature (the CLI says so when asked).
+        return ScidiveEngine(
+            vantage_ip=config.vantage_ip,
+            vantage_mac=config.vantage_mac,
+            name=f"worker-{worker_id}",
+            observability=_obs.Observability.create(trace=False),
+        )
     return ScidiveEngine(
         vantage_ip=config.vantage_ip,
         vantage_mac=config.vantage_mac,
         name=f"worker-{worker_id}",
-        metrics_enabled=True if config.metrics_enabled else False,
+        metrics_enabled=False,
     )
 
 
@@ -463,6 +477,8 @@ class ScidiveCluster:
         # Serial workers execute inline; their CPU must not be billed to
         # the router when computing the critical path.
         self._inline_seconds = 0.0
+        # Wall clock of the last submitted frame, for /healthz liveness.
+        self._last_submit_monotonic: float | None = None
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -517,6 +533,7 @@ class ScidiveCluster:
         # sibling processes timesharing the core count as router work.
         t0 = _time.thread_time()
         inline0 = self._inline_seconds
+        self._last_submit_monotonic = _time.monotonic()
         stats.frames_in += 1
         n = self.config.workers
         for key, frames in self.sharder.route(frame, timestamp):
@@ -727,6 +744,61 @@ class ScidiveCluster:
         registry.gauge(
             "scidive_cluster_workers", "Configured worker count"
         ).set(self.config.workers)
+
+    # -- live observability ----------------------------------------------------
+
+    def queue_depths(self) -> list[int]:
+        """Batches waiting per worker input queue (0s for serial, which
+        executes inline and never queues)."""
+        depths: list[int] = []
+        for worker in self._workers:
+            in_q = getattr(worker, "in_q", None)
+            if in_q is None:
+                depths.append(0)
+                continue
+            try:
+                depths.append(in_q.qsize())
+            except NotImplementedError:  # pragma: no cover - macOS mp queues
+                depths.append(-1)
+        return depths
+
+    def health(self) -> dict:
+        """The /healthz payload: router counters + queue/worker liveness."""
+        stats = self.cluster_stats
+        payload = {
+            "backend": self.config.backend,
+            "workers": self.config.workers,
+            "started": self._started,
+            "stopped": self._stopped,
+            "frames_in": stats.frames_in,
+            "frames_routed": stats.frames_routed,
+            "frames_replicated": stats.frames_replicated,
+            "frames_dropped": stats.frames_dropped,
+            "batches_submitted": stats.batches_submitted,
+            "worker_restarts": stats.worker_restarts,
+            "queue_depths": self.queue_depths(),
+            "workers_alive": sum(1 for w in self._workers if w.alive),
+        }
+        if self._last_submit_monotonic is not None:
+            payload["last_frame_age_seconds"] = round(
+                _time.monotonic() - self._last_submit_monotonic, 3
+            )
+        return payload
+
+    def live_registry(self) -> MetricsRegistry:
+        """A registry snapshot servable at any point in the run.
+
+        Mid-run, worker registries live in other processes/threads, so
+        only the router-side ``scidive_cluster_*`` families are
+        available; once :meth:`stop` has merged the worker reports the
+        full merged view (per-stage histograms, per-rule alert counts,
+        detection delays) is returned instead.
+        """
+        if self.result is not None and self.result.registry is not None:
+            return self.result.registry
+        registry = MetricsRegistry()
+        self._cluster_metrics(registry)
+        return registry
 
     # -- offline replay --------------------------------------------------------
 

@@ -28,12 +28,51 @@ class Alert:
     attack_class: str  # "dos", "masquerading", "media", "toll-fraud", ...
     message: str
     events: tuple[Event, ...] = field(default=(), hash=False, compare=False)
+    # Forensics attachments, set post-construction (object.__setattr__)
+    # by the ForensicsRecorder's AlertLog subscription.  Excluded from
+    # equality/hash like ``events``: the cluster's alert-multiset
+    # equivalence must not depend on which worker numbered the alert.
+    alert_id: str = field(default="", hash=False, compare=False)
+    provenance: object | None = field(default=None, hash=False, compare=False)
 
     def __str__(self) -> str:
         return (
             f"[{self.time:9.4f}] ALERT {self.rule_id} ({self.severity.name}) "
             f"session={self.session or '-'}: {self.message}"
         )
+
+    @property
+    def detection_delay(self) -> float | None:
+        """Sim-clock seconds from the earliest evidence frame to this
+        alert — derived from provenance, None when no frames are known."""
+        provenance = self.provenance
+        if provenance is None:
+            return None
+        t0 = provenance.earliest_frame_time
+        return self.time - t0 if t0 is not None else None
+
+    def to_dict(self) -> dict:
+        """The one JSON shape for alerts — shared by the JSONL export,
+        ``repro stats --format json`` and the ``/alerts`` endpoint."""
+        payload: dict = {
+            "type": "alert",
+            "rule_id": self.rule_id,
+            "rule_name": self.rule_name,
+            "time": round(self.time, 6),
+            "session": self.session,
+            "severity": self.severity.name,
+            "attack_class": self.attack_class,
+            "message": self.message,
+            "events": [event.to_dict() for event in self.events],
+        }
+        if self.alert_id:
+            payload["alert_id"] = self.alert_id
+        if self.provenance is not None:
+            payload["provenance"] = self.provenance.summary()
+            delay = self.detection_delay
+            if delay is not None:
+                payload["detection_delay"] = round(delay, 6)
+        return payload
 
 
 class AlertLog:

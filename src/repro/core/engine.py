@@ -42,6 +42,7 @@ from repro.core.rules_library import paper_ruleset
 from repro.core.state import RegistrationTracker, SipStateTracker
 from repro.core.trail import TrailManager
 from repro.net.capture import Sniffer
+from repro.obs.forensics import ForensicsRecorder
 from repro.obs.logsetup import get_logger
 from repro.sim.trace import Trace
 
@@ -130,6 +131,7 @@ class ScidiveEngine:
         modules: "list[ProtocolModule] | None" = None,
         indexed_dispatch: bool = True,
         hook: FootprintHook | None = None,
+        forensics: "ForensicsRecorder | bool | None" = None,
     ) -> None:
         self.name = name
         self.indexed_dispatch = indexed_dispatch
@@ -214,6 +216,22 @@ class ScidiveEngine:
             # path without the observability stack (tests, ad-hoc
             # profiling).  Dark engines hold None and pay one guard.
             self._hook = hook
+        # -- forensics wiring -------------------------------------------------
+        # Default-on (False disables): every alert carries provenance,
+        # so the recorder cannot be opt-in for harness-built engines.
+        # It gets its own seam rather than the FootprintHook slot —
+        # that slot belongs to instrumentation and forensics must work
+        # with metrics on or off.
+        if forensics is False:
+            self.forensics: ForensicsRecorder | None = None
+        elif isinstance(forensics, ForensicsRecorder):
+            self.forensics = forensics
+        else:
+            self.forensics = ForensicsRecorder.from_config(
+                name, self.metrics_registry()
+            )
+        if self.forensics is not None:
+            self.alert_log.subscribers.append(self.forensics.on_alert)
 
     @property
     def metrics_enabled(self) -> bool:
@@ -251,6 +269,12 @@ class ScidiveEngine:
         started = _time.perf_counter()
         self.stats.frames += 1
         footprint = self.distiller.distill(frame, timestamp)
+        if footprint is not None and self.forensics is not None:
+            # Record before the footprint pipeline runs, so an alert
+            # raised by this very frame can already resolve it.
+            self.forensics.record_frame(
+                self.stats.frames, frame, timestamp, footprint
+            )
         if hook is not None:
             hook.frame_distilled(
                 self.stats.frames, timestamp, footprint,
@@ -475,6 +499,8 @@ class ScidiveEngine:
         self.expired_trails += reclaimed
         dialogs = self.sip_state.expire_torn_down(now, timeout)
         registrations = self.registrations.expire_succeeded(now, timeout)
+        if self.forensics is not None:
+            self.forensics.expire_idle(now, timeout)
         if self._hook is not None:
             self._hook.housekeeping_done(reclaimed)
             self._hook.snapshot(self)

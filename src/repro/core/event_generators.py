@@ -152,6 +152,10 @@ class _Watch:
     armed_at: float
     expires_at: float
     fired: int = 0
+    # The SIP footprint that armed the watch (the BYE / re-INVITE):
+    # orphan events carry it as evidence so alert provenance reaches
+    # back to the frame that started the detection window.
+    armed_by: SipFootprint | None = None
 
 
 class OrphanRtpGenerator(EventGenerator):
@@ -217,6 +221,7 @@ class OrphanRtpGenerator(EventGenerator):
                         endpoint=endpoint,
                         armed_at=teardown.time,
                         expires_at=teardown.time + self.monitoring_window,
+                        armed_by=footprint,
                     )
                 )
         # Re-INVITE: watch the party's *old* endpoint.
@@ -233,6 +238,7 @@ class OrphanRtpGenerator(EventGenerator):
                             endpoint=redirect.old_endpoint,
                             armed_at=redirect.time,
                             expires_at=redirect.time + self.monitoring_window,
+                            armed_by=footprint,
                         )
                     )
             self._handled_redirects[call_id] = len(call.redirects)
@@ -263,7 +269,16 @@ class OrphanRtpGenerator(EventGenerator):
                             "endpoint": str(watch.endpoint),
                             "delay": now - watch.armed_at,
                         },
-                        evidence=(footprint,),
+                        # The triggering orphan footprint leads (response
+                        # policies read the observed source from the first
+                        # evidence entry); the arming BYE/re-INVITE rides
+                        # along so provenance anchors detection delay at
+                        # the teardown frame.
+                        evidence=(
+                            (footprint, watch.armed_by)
+                            if watch.armed_by is not None
+                            else (footprint,)
+                        ),
                     )
                 )
         return events

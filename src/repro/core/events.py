@@ -25,6 +25,17 @@ from repro.core.trail import Trail, TrailManager
 from repro.net.addr import IPv4Address
 
 
+def _plain(value: Any) -> Any:
+    """Coerce attribute values to JSON-safe types."""
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_plain(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
 # Canonical event names, so rules and generators cannot drift apart.
 EVENT_CALL_ESTABLISHED = "CallEstablished"
 EVENT_CALL_TORN_DOWN = "CallTornDown"
@@ -61,6 +72,17 @@ class Event:
 
     def __str__(self) -> str:
         return f"[{self.time:9.4f}] {self.name} session={self.session or '-'} {self.attrs}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """The one JSON shape for events (see ``Alert.to_dict``)."""
+        return {
+            "type": "event",
+            "name": self.name,
+            "time": round(self.time, 6),
+            "session": self.session,
+            "attrs": _plain(self.attrs),
+            "evidence_count": len(self.evidence),
+        }
 
 
 @dataclass(slots=True)

@@ -16,39 +16,14 @@ from repro.core.events import Event
 
 
 def event_to_dict(event: Event) -> dict[str, Any]:
-    return {
-        "type": "event",
-        "name": event.name,
-        "time": round(event.time, 6),
-        "session": event.session,
-        "attrs": _plain(event.attrs),
-        "evidence_count": len(event.evidence),
-    }
+    """Delegates to :meth:`Event.to_dict` — the single serialisation."""
+    return event.to_dict()
 
 
 def alert_to_dict(alert: Alert) -> dict[str, Any]:
-    return {
-        "type": "alert",
-        "rule_id": alert.rule_id,
-        "rule_name": alert.rule_name,
-        "time": round(alert.time, 6),
-        "session": alert.session,
-        "severity": alert.severity.name,
-        "attack_class": alert.attack_class,
-        "message": alert.message,
-        "events": [event_to_dict(e) for e in alert.events],
-    }
-
-
-def _plain(value: Any) -> Any:
-    """Coerce attribute values to JSON-safe types."""
-    if isinstance(value, dict):
-        return {str(k): _plain(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple, set)):
-        return [_plain(v) for v in value]
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    return str(value)
+    """Delegates to :meth:`Alert.to_dict` — the single serialisation
+    shared by this export, ``repro stats`` and the ``/alerts`` endpoint."""
+    return alert.to_dict()
 
 
 def write_alerts_jsonl(path: str | Path, alerts: Iterable[Alert]) -> int:

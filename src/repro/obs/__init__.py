@@ -17,6 +17,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.forensics import (
+    ForensicsConfig,
+    ForensicsRecorder,
+    ProvenanceGraph,
+    configure_forensics,
+    default_forensics_config,
+    format_bundle,
+    list_bundles,
+    load_bundle,
+)
 from repro.obs.instrument import EngineInstrumentation, InstrumentationHook
 from repro.obs.logsetup import get_logger, setup_logging
 from repro.obs.registry import (
@@ -29,6 +39,7 @@ from repro.obs.registry import (
     parse_prometheus,
     set_default_registry,
 )
+from repro.obs.server import ObsServer, StatusSource
 from repro.obs.tracing import Span, StageStats, Tracer, read_trace_jsonl
 
 
@@ -77,20 +88,30 @@ def current() -> Observability | None:
 __all__ = [
     "Counter",
     "EngineInstrumentation",
+    "ForensicsConfig",
+    "ForensicsRecorder",
     "Gauge",
     "Histogram",
     "InstrumentationHook",
     "MetricError",
     "MetricsRegistry",
     "Observability",
+    "ObsServer",
+    "ProvenanceGraph",
     "Span",
     "StageStats",
+    "StatusSource",
     "Tracer",
+    "configure_forensics",
     "current",
+    "default_forensics_config",
     "default_registry",
     "disable",
     "enable",
+    "format_bundle",
     "get_logger",
+    "list_bundles",
+    "load_bundle",
     "parse_prometheus",
     "read_trace_jsonl",
     "set_default_registry",

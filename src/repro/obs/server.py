@@ -1,0 +1,227 @@
+"""Live health/metrics sidecar: ``/metrics``, ``/healthz``, ``/alerts``.
+
+A stdlib ``http.server`` thread that exposes the running engine (or
+cluster) while a replay/scenario is in flight — the operational
+counterpart of the post-run ``--metrics-out`` snapshot.  No third-party
+dependencies: Prometheus scrapes the text exposition, humans curl the
+JSON endpoints.
+
+The :class:`StatusSource` indirection exists because the interesting
+objects appear at different times: the CLI binds the global metrics
+registry before the run starts (metrics live mid-run), the engine as
+soon as the harness returns it, the cluster before ``process_trace``.
+Every handler reads whatever is bound *now*, so early probes get an
+honest ``{"status": "starting"}`` rather than a connection error.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.obs.registry import MetricsRegistry
+
+DEFAULT_ALERT_LIMIT = 50
+
+
+class StatusSource:
+    """Settable references to whatever should be served right now."""
+
+    def __init__(self) -> None:
+        self.engine = None
+        self.cluster = None
+        self.registry: MetricsRegistry | None = None
+        self._requests: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # -- binding (CLI / tests) -------------------------------------------------
+
+    def set_engine(self, engine) -> None:
+        self.engine = engine
+
+    def set_cluster(self, cluster) -> None:
+        self.cluster = cluster
+
+    def set_registry(self, registry: MetricsRegistry | None) -> None:
+        self.registry = registry
+
+    def count_request(self, path: str) -> None:
+        with self._lock:
+            self._requests[path] = self._requests.get(path, 0) + 1
+
+    # -- views -----------------------------------------------------------------
+
+    def metrics_text(self) -> str:
+        """Merged Prometheus exposition of every bound metrics source.
+
+        Always non-empty: the server's own request counter is appended,
+        so a scrape during startup still yields a valid exposition.
+        """
+        out = MetricsRegistry()
+        if self.registry is not None:
+            out.merge(self.registry)
+        engine = self.engine
+        if engine is not None:
+            registry = engine.metrics_registry()
+            if registry is not None and registry is not self.registry:
+                out.merge(registry)
+        cluster = self.cluster
+        if cluster is not None:
+            out.merge(cluster.live_registry())
+        requests = out.counter(
+            "scidive_http_requests_total",
+            "Requests served by the observability sidecar",
+            labelnames=("path",),
+        )
+        with self._lock:
+            for path, count in self._requests.items():
+                requests.labels(path=path).inc(count)
+        return out.render_prometheus()
+
+    def health(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"status": "ok"}
+        engine = self.engine
+        cluster = self.cluster
+        if engine is None and cluster is None:
+            payload["status"] = "starting"
+        if engine is not None:
+            stats = engine.stats
+            engine_view: dict[str, Any] = {
+                "name": engine.name,
+                "frames": stats.frames,
+                "footprints": stats.footprints,
+                "events": stats.events,
+                "alerts": stats.alerts,
+                "live_trails": engine.trails.trail_count,
+                "live_sessions": engine.trails.session_count,
+                "expired_trails": engine.expired_trails,
+            }
+            recorder = getattr(engine, "forensics", None)
+            if recorder is not None:
+                engine_view["forensics_sessions"] = recorder.session_count
+                engine_view["forensics_records"] = recorder.record_count
+                age = recorder.last_frame_age()
+                if age is not None:
+                    engine_view["last_frame_age_seconds"] = round(age, 3)
+            payload["engine"] = engine_view
+        if cluster is not None:
+            payload["cluster"] = cluster.health()
+        return payload
+
+    def alerts(self, limit: int = DEFAULT_ALERT_LIMIT) -> list[dict]:
+        alerts: list = []
+        if self.engine is not None:
+            alerts = list(self.engine.alert_log.alerts)
+        elif self.cluster is not None and self.cluster.result is not None:
+            alerts = list(self.cluster.result.alerts)
+        return [alert.to_dict() for alert in alerts[-limit:]]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "_Server"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        source = self.server.source
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        source.count_request(path)
+        try:
+            if path == "/metrics":
+                self._reply(source.metrics_text(),
+                            "text/plain; version=0.0.4; charset=utf-8")
+            elif path == "/healthz":
+                self._reply_json(source.health())
+            elif path == "/alerts":
+                self._reply_json(source.alerts())
+            else:
+                self._reply_json(
+                    {"error": f"unknown path {path!r}",
+                     "paths": ["/metrics", "/healthz", "/alerts"]},
+                    status=404,
+                )
+        except Exception as exc:  # pragma: no cover - defensive
+            self._reply_json({"status": "error", "error": str(exc)}, status=500)
+
+    def _reply(self, body: str, content_type: str, status: int = 200) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _reply_json(self, payload: dict | list, status: int = 200) -> None:
+        self._reply(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    "application/json", status)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # the sidecar must not spam the CLI's stdout
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    # Replays finish in seconds; a lingering TIME_WAIT socket from the
+    # previous run must not fail the next one's bind.
+    allow_reuse_address = True
+
+    def __init__(self, address, source: StatusSource) -> None:
+        super().__init__(address, _Handler)
+        self.source = source
+
+
+class ObsServer:
+    """The sidecar: ``ObsServer(port=8080).start()`` then curl away.
+
+    ``port=0`` binds an ephemeral port (tests); the bound port is
+    available as ``.port`` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        source: StatusSource | None = None,
+    ) -> None:
+        self.host = host
+        self.requested_port = port
+        self.source = source if source is not None else StatusSource()
+        self._server: _Server | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            return self.requested_port
+        return self._server.server_address[1]
+
+    def url(self, path: str = "/") -> str:
+        return f"http://{self.host}:{self.port}{path}"
+
+    def start(self) -> "ObsServer":
+        if self._server is not None:
+            return self
+        self._server = _Server((self.host, self.requested_port), self.source)
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="scidive-obs-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "ObsServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

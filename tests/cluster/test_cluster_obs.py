@@ -1,0 +1,65 @@
+"""Cluster observability: metric-only workers and the merged registry.
+
+Under ``--workers > 1`` the CLI's ``--metrics-out`` must keep working
+(worker registries merge into the result) while ``--trace-out`` is
+refused outright — worker spans have no merge path, so a worker-side
+tracer would only buffer spans to discard them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.cluster import ScidiveCluster
+from repro.cluster.cluster import ClusterConfig, default_engine_factory
+from repro.experiments.harness import run_bye_attack
+from repro.obs import parse_prometheus
+
+
+@pytest.fixture(scope="module")
+def bye_trace():
+    result = run_bye_attack(seed=7)
+    return result.testbed.ids_tap.trace, result.engine.vantage_ip
+
+
+class TestMetricOnlyWorkers:
+    def test_factory_builds_workers_without_a_tracer(self):
+        engine = default_engine_factory(0, ClusterConfig(metrics_enabled=True))
+        assert engine.observability is not None
+        assert engine.observability.tracer is None
+
+    def test_merged_registry_contains_worker_stage_and_delay_metrics(self, bye_trace):
+        trace, vantage = bye_trace
+        cluster = ScidiveCluster(workers=2, backend="threads",
+                                 vantage_ip=vantage, metrics_enabled=True)
+        result = cluster.process_trace(trace)
+        assert result.registry is not None
+        families = parse_prometheus(result.registry.render_prometheus())
+        stage = families["scidive_stage_seconds"]
+        assert any('engine="worker-0"' in key for key in stage)
+        frames = families["scidive_frames_total"]
+        assert sum(frames.values()) == len(trace)
+        # Forensics rides along in every worker: the per-rule delay
+        # histogram survives the merge.
+        assert "scidive_detection_delay_seconds" in families
+
+
+class TestClusterCliFlags:
+    def test_metrics_out_writes_merged_registry(self, tmp_path, capsys):
+        out = tmp_path / "cluster-metrics.txt"
+        assert main(["scenario", "bye-attack", "--workers", "2",
+                     "--cluster-backend", "threads",
+                     "--metrics-out", str(out)]) == 0
+        assert "merged cluster metrics written" in capsys.readouterr().out
+        families = parse_prometheus(out.read_text())
+        assert "scidive_cluster_workers" in families
+        assert "scidive_frames_total" in families
+
+    def test_trace_out_is_refused_under_workers(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["scenario", "bye-attack", "--workers", "2",
+                     "--trace-out", str(trace)]) == 2
+        err = capsys.readouterr().err
+        assert "single-engine" in err
+        assert not trace.exists()

@@ -1,0 +1,202 @@
+"""Alert forensics: provenance graphs, flight recorder, evidence bundles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.core.export import alert_to_dict
+from repro.core.footprint import RtpFootprint
+from repro.core.rules_library import RULE_BYE_ATTACK
+from repro.experiments.harness import (
+    run_billing_fraud,
+    run_bye_attack,
+    run_call_hijack,
+    run_fake_im,
+)
+from repro.net.addr import Endpoint, IPv4Address, MacAddress
+from repro.net.pcap import read_pcap
+from repro.obs import parse_prometheus
+from repro.obs.forensics import (
+    ForensicsRecorder,
+    ProvenanceGraph,
+    format_bundle,
+    list_bundles,
+    load_bundle,
+)
+
+# One sim-clock tick in the testbed (frames are spaced 0.5 ms apart), the
+# allowed slack between the derived per-alert delay and the harness view.
+ONE_TICK = 0.005
+
+PAPER_ATTACKS = [run_bye_attack, run_call_hijack, run_billing_fraud, run_fake_im]
+
+
+@pytest.fixture(scope="module")
+def bye_result():
+    return run_bye_attack(seed=7)
+
+
+class TestProvenance:
+    @pytest.mark.parametrize("runner", PAPER_ATTACKS, ids=lambda r: r.__name__)
+    def test_paper_attacks_carry_provenance(self, runner):
+        result = runner(seed=7)
+        assert result.alerts, f"{runner.__name__} raised no alerts"
+        tap = result.testbed.ids_tap.trace.records
+        for alert in result.alerts:
+            assert alert.alert_id.startswith(f"{result.engine.name}-")
+            graph = alert.provenance
+            assert graph is not None and graph
+            assert graph.frames and graph.footprints and graph.events
+            # Leaf frames are the real captured frames: frame_no indexes
+            # into the tap trace and timestamp/size must agree with it.
+            for frame in graph.frames:
+                record = tap[frame["frame_no"] - 1]
+                assert round(record.timestamp, 6) == frame["timestamp"]
+                assert len(record.frame) == frame["bytes"]
+
+    def test_graph_structure_and_render(self, bye_result):
+        graph = bye_result.alerts_for(RULE_BYE_ATTACK)[0].provenance
+        nodes = {e["node"] for e in graph.frames + graph.footprints + graph.events}
+        nodes.add(f"alert:{graph.alert_id}")
+        for src, dst in graph.edges:
+            assert src in nodes and dst in nodes
+        rendered = graph.render()
+        assert f"alert:{graph.alert_id}" in rendered
+        assert "frame:" in rendered and "footprint:" in rendered
+
+    def test_detection_delay_matches_harness_within_one_tick(self, bye_result):
+        alert = bye_result.alerts_for(RULE_BYE_ATTACK)[0]
+        derived = alert.detection_delay
+        harness = bye_result.detection_delay(RULE_BYE_ATTACK)
+        assert derived is not None and derived > 0
+        assert harness is not None
+        assert abs(derived - harness) <= ONE_TICK
+
+    def test_delay_histogram_populated_under_observability(self):
+        ctx = obs.enable(trace=False)
+        try:
+            run_bye_attack(seed=7)
+        finally:
+            obs.disable()
+        families = parse_prometheus(ctx.registry.render_prometheus())
+        hist = families["scidive_detection_delay_seconds"]
+        key = ('scidive_detection_delay_seconds_count'
+               '{engine="scidive",rule_id="BYE-001"}')
+        assert hist[key] >= 1
+
+    def test_alert_to_dict_is_the_shared_serialization(self, bye_result):
+        alert = bye_result.alerts_for(RULE_BYE_ATTACK)[0]
+        payload = alert.to_dict()
+        assert alert_to_dict(alert) == payload
+        assert payload["alert_id"] == alert.alert_id
+        assert payload["provenance"]["frames"] == len(alert.provenance.frames)
+        assert payload["detection_delay"] == round(alert.detection_delay, 6)
+
+
+def _media_footprint(i: int, session: int) -> RtpFootprint:
+    """Synthetic RTP footprint; each ``session`` is a distinct media flow."""
+    return RtpFootprint(
+        timestamp=float(i) * 0.001,
+        src=Endpoint(IPv4Address.parse("10.0.0.20"), 40000),
+        dst=Endpoint(IPv4Address(0x0A000000 + session), 40000),
+        src_mac=MacAddress("02:00:00:00:00:01"),
+        dst_mac=MacAddress("02:00:00:00:00:02"),
+        wire_bytes=64,
+        ssrc=1,
+        sequence=i & 0xFFFF,
+    )
+
+
+class TestFlightRecorderBounds:
+    def test_ring_capacity_bounds_one_session(self):
+        recorder = ForensicsRecorder(ring_capacity=8, max_sessions=16)
+        for i in range(100):
+            recorder.record_frame(i + 1, b"x" * 64, i * 0.001,
+                                  _media_footprint(i, session=1))
+        assert recorder.session_count == 1
+        assert recorder.record_count == 8
+        assert recorder.frames_recorded == 100
+
+    def test_ten_thousand_sessions_stay_bounded_and_tear_down(self):
+        recorder = ForensicsRecorder(ring_capacity=4, max_sessions=256)
+        n_sessions = 10_000
+        for i in range(n_sessions):
+            recorder.record_frame(i + 1, b"x" * 64, i * 0.001,
+                                  _media_footprint(i, session=i))
+        assert recorder.session_count == 256
+        assert recorder.sessions_evicted == n_sessions - 256
+        # The footprint identity map tracks ring contents exactly — no
+        # dangling ids after eviction.
+        live = sum(len(ring.records) for ring in recorder._sessions.values())
+        assert recorder.record_count == live == 256
+        # Idle expiry (the housekeeping path) empties everything.
+        dropped = recorder.expire_idle(now=1e9, timeout=1.0)
+        assert dropped == 256
+        assert recorder.session_count == 0
+        assert recorder.record_count == 0
+
+    def test_lru_keeps_the_active_session(self):
+        recorder = ForensicsRecorder(ring_capacity=4, max_sessions=8)
+        for i in range(64):
+            # Session 0 is touched every other frame; the rest churn.
+            session = 0 if i % 2 == 0 else i
+            recorder.record_frame(i + 1, b"x" * 64, i * 0.001,
+                                  _media_footprint(i, session=session))
+        keys = list(recorder._sessions)
+        assert ("flow", 0x0A000000, 40000) in keys
+
+    def test_rejects_degenerate_limits(self):
+        with pytest.raises(ValueError):
+            ForensicsRecorder(ring_capacity=0)
+        with pytest.raises(ValueError):
+            ForensicsRecorder(max_sessions=0)
+
+
+class TestEvidenceBundles:
+    def test_bundle_roundtrip_and_explain_cli(self, tmp_path, capsys):
+        bundles = tmp_path / "bundles"
+        tap_pcap = tmp_path / "tap.pcap"
+        assert main(["scenario", "bye-attack",
+                     "--bundle-dir", str(bundles),
+                     "--pcap", str(tap_pcap)]) == 0
+        capsys.readouterr()
+        assert list_bundles(bundles) == ["scidive-1"]
+
+        bundle = load_bundle(bundles, "scidive-1")
+        assert bundle["alert"]["rule_id"] == "BYE-001"
+        graph = ProvenanceGraph.from_dict(bundle["provenance"])
+        assert graph.frames and graph.detection_delay > 0
+        text = format_bundle(bundle)
+        assert "BYE-001" in text and "Provenance" in text and "Timeline:" in text
+
+        # The bundle pcap holds genuine captured frames (byte-identical
+        # to the tap capture) and matches the JSON timeline 1:1.
+        tap_bytes = {record.frame for record in read_pcap(tap_pcap)}
+        bundle_trace = read_pcap(bundles / "scidive-1.pcap")
+        assert len(bundle_trace) == len(bundle["frames"]) > 0
+        assert all(record.frame in tap_bytes for record in bundle_trace)
+        assert any(frame["in_provenance"] for frame in bundle["frames"])
+
+        # `repro explain` renders the story from the bundle alone.
+        assert main(["explain", "scidive-1", "--bundle-dir", str(bundles)]) == 0
+        out = capsys.readouterr().out
+        assert "ALERT scidive-1" in out
+        assert "detection delay" in out
+        assert "Timeline:" in out
+
+    def test_explain_unknown_alert_lists_available(self, tmp_path, capsys):
+        bundles = tmp_path / "bundles"
+        assert main(["scenario", "bye-attack", "--bundle-dir", str(bundles)]) == 0
+        capsys.readouterr()
+        assert main(["explain", "nope", "--bundle-dir", str(bundles)]) == 2
+        err = capsys.readouterr().err
+        assert "no bundle for 'nope'" in err
+        assert "scidive-1" in err
+
+    def test_bundle_dir_config_is_restored_after_the_run(self, tmp_path):
+        assert obs.default_forensics_config().bundle_dir is None
+        assert main(["scenario", "bye-attack",
+                     "--bundle-dir", str(tmp_path / "b")]) == 0
+        assert obs.default_forensics_config().bundle_dir is None

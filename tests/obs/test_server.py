@@ -1,0 +1,122 @@
+"""The live observability sidecar: /metrics, /healthz, /alerts."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.cluster import ScidiveCluster
+from repro.experiments.harness import run_bye_attack
+from repro.obs import ObsServer, parse_prometheus
+
+
+def _get(server: ObsServer, path: str) -> tuple[int, str]:
+    try:
+        with urllib.request.urlopen(server.url(path), timeout=5) as resp:
+            return resp.status, resp.read().decode()
+    except urllib.error.HTTPError as err:
+        return err.code, err.read().decode()
+
+
+@pytest.fixture(scope="module")
+def bye_run():
+    ctx = obs.enable(trace=False)
+    try:
+        result = run_bye_attack(seed=7)
+    finally:
+        obs.disable()
+    return result, ctx
+
+
+class TestUnboundServer:
+    def test_healthz_reports_starting_and_metrics_never_empty(self):
+        with ObsServer(port=0) as server:
+            status, body = _get(server, "/healthz")
+            assert status == 200
+            assert json.loads(body)["status"] == "starting"
+            status, body = _get(server, "/metrics")
+            assert status == 200
+            assert "scidive_http_requests_total" in body
+
+    def test_unknown_path_is_404_with_hints(self):
+        with ObsServer(port=0) as server:
+            status, body = _get(server, "/nope")
+            assert status == 404
+            payload = json.loads(body)
+            assert "/metrics" in payload["paths"]
+
+
+class TestSingleEngine:
+    def test_endpoints_serve_the_bound_engine(self, bye_run):
+        result, ctx = bye_run
+        with ObsServer(port=0) as server:
+            server.source.set_registry(ctx.registry)
+            server.source.set_engine(result.engine)
+
+            status, body = _get(server, "/metrics")
+            assert status == 200
+            families = parse_prometheus(body)
+            frames = families["scidive_frames_total"]
+            assert frames['scidive_frames_total{engine="scidive"}'] \
+                == result.engine.stats.frames
+            assert "scidive_detection_delay_seconds" in families
+
+            status, body = _get(server, "/healthz")
+            assert status == 200
+            health = json.loads(body)
+            assert health["status"] == "ok"
+            engine_view = health["engine"]
+            assert engine_view["frames"] == result.engine.stats.frames
+            assert engine_view["alerts"] == len(result.alerts)
+            assert engine_view["forensics_sessions"] > 0
+            assert engine_view["forensics_records"] > 0
+
+            status, body = _get(server, "/alerts")
+            assert status == 200
+            alerts = json.loads(body)
+            assert len(alerts) == len(result.alerts)
+            assert alerts[0]["rule_id"] == "BYE-001"
+            assert alerts[0]["provenance"]["frames"] > 0
+            # Same schema as Alert.to_dict (shared with `repro stats`).
+            assert alerts[0] == result.alerts[0].to_dict()
+
+
+class TestCluster:
+    @pytest.mark.parametrize("backend,workers", [("threads", 4), ("serial", 2)])
+    def test_endpoints_serve_the_bound_cluster(self, bye_run, backend, workers):
+        result, _ = bye_run
+        trace = result.testbed.ids_tap.trace
+        cluster = ScidiveCluster(
+            workers=workers, backend=backend,
+            vantage_ip=result.engine.vantage_ip, metrics_enabled=True,
+        )
+        with ObsServer(port=0) as server:
+            server.source.set_cluster(cluster)
+            cluster.process_trace(trace)
+
+            status, body = _get(server, "/healthz")
+            assert status == 200
+            view = json.loads(body)["cluster"]
+            assert view["backend"] == backend
+            assert view["workers"] == workers
+            assert view["frames_in"] == len(trace)
+            assert len(view["queue_depths"]) == workers
+
+            # Post-stop the merged registry is live: router families plus
+            # the per-worker engine counters.
+            status, body = _get(server, "/metrics")
+            assert status == 200
+            families = parse_prometheus(body)
+            assert "scidive_cluster_workers" in families
+            frames = families["scidive_frames_total"]
+            assert sum(frames.values()) >= len(trace)
+
+            status, body = _get(server, "/alerts")
+            assert status == 200
+            alerts = json.loads(body)
+            assert {a["rule_id"] for a in alerts} == \
+                {a.rule_id for a in result.alerts}
