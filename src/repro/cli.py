@@ -12,6 +12,7 @@ Usage::
                                         [--metrics-out m.txt] [--trace-out t.jsonl]
                                         [--serve-http 8080] [--bundle-dir bundles/]
     python -m repro explain scidive-1 --bundle-dir bundles/
+    python -m repro chaos [--seed 7] [--workers 4] [--json chaos.json]
     python -m repro bench-shards [--workers 1 2 4 8] [--json BENCH_shards.json]
     python -m repro stats bye-attack [--seed 7] [--format table|prom|json]
     python -m repro table1 [--seed 7]
@@ -138,6 +139,26 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="RTP packets per media session")
     bench.add_argument("--seed", type=int, default=33)
     bench.add_argument("--json", help="write the sweep report to this JSON file")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="replay the paper attacks under fault injection and check "
+             "the crash-safety invariants",
+    )
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--attacks", nargs="+", default=None,
+                       help="attacks to replay (default: all four paper attacks)")
+    chaos.add_argument("--workers", type=int, default=0,
+                       help="0 = single engine; N = ScidiveCluster with N "
+                            "workers, checkpointing on, crash injection")
+    chaos.add_argument("--cluster-backend", default="threads",
+                       choices=["process", "threads"],
+                       help="worker transport (with --workers > 0)")
+    chaos.add_argument("--no-crashes", action="store_true",
+                       help="skip worker crash injection (cluster mode)")
+    chaos.add_argument("--mutation-rate", type=float, default=0.25,
+                       help="probability a media frame spawns a mutated copy")
+    chaos.add_argument("--json", help="write the chaos report to this JSON file")
 
     stats = sub.add_parser(
         "stats", help="run a scenario with full observability and report"
@@ -323,6 +344,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             count = write_alerts_jsonl(args.json, alerts)
             print(f"{count} alerts written to {args.json}")
         if args.bundle_dir:
+            _write_malformed(args.bundle_dir, result.engine)
             written = obs.list_bundles(args.bundle_dir)
             print(f"{len(written)} evidence bundles in {args.bundle_dir}")
         _export_observability(ctx, args)
@@ -333,6 +355,18 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             server.stop()
         if args.bundle_dir:
             obs.configure_forensics(bundle_dir=None)
+
+
+def _write_malformed(bundle_dir: str, engine) -> None:
+    """Persist the engine's malformed-frame quarantine (if any) so
+    ``repro explain malformed`` can render the hostile input."""
+    if engine.forensics is None:
+        return
+    path = obs.write_malformed_bundle(bundle_dir, engine.forensics)
+    if path is not None:
+        count = len(engine.forensics.malformed_records())
+        print(f"{count} malformed frames quarantined; "
+              f"inspect with `repro explain malformed --bundle-dir {bundle_dir}`")
 
 
 _TRACE_OUT_CLUSTER_NOTE = (
@@ -387,6 +421,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             count = write_alerts_jsonl(args.json, engine.alerts)
             print(f"{count} alerts written to {args.json}")
         if args.bundle_dir:
+            _write_malformed(args.bundle_dir, engine)
             written = obs.list_bundles(args.bundle_dir)
             print(f"{len(written)} evidence bundles in {args.bundle_dir}")
         _export_observability(ctx, args)
@@ -474,6 +509,37 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Fault-injection harness: replay the paper attacks under chaos and
+    gate on the crash-safety invariants (exit 1 on any violation)."""
+    import json as _json
+
+    from repro.resilience import ChaosConfig, format_report, run_chaos
+
+    overrides: dict = {
+        "seed": args.seed,
+        "workers": args.workers,
+        "backend": args.cluster_backend,
+        "inject_crashes": not args.no_crashes,
+        "mutation_rate": args.mutation_rate,
+    }
+    if args.attacks:
+        overrides["attacks"] = tuple(args.attacks)
+    try:
+        config = ChaosConfig(**overrides).validate()
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    report = run_chaos(config)
+    print(format_report(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"chaos report written to {args.json}")
+    return 0 if report.ok else 1
+
+
 def _cmd_bench_shards(args: argparse.Namespace) -> int:
     """Sweep ScidiveCluster worker counts on the mixed workload."""
     import json as _json
@@ -551,6 +617,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "scenario": _cmd_scenario,
         "replay": _cmd_replay,
         "explain": _cmd_explain,
+        "chaos": _cmd_chaos,
         "bench-shards": _cmd_bench_shards,
         "stats": _cmd_stats,
         "table1": _cmd_table1,

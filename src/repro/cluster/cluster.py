@@ -33,29 +33,57 @@ Backends:
 
 Backpressure: input queues are bounded (``queue_depth`` batches).
 ``overflow="block"`` applies backpressure to the producer;
-``overflow="drop"`` sheds whole batches and counts the dropped frames
-(``ClusterStats.frames_dropped``) — the IDS-under-flood posture where
-falling behind must not mean unbounded memory.
+``overflow="drop"`` sheds load — but not blindly: media- and
+other-plane frames are shed first (``ClusterStats.frames_shed``, by
+plane) while signalling frames are retried with a bounded blocking put,
+because one dropped INVITE or BYE silences a whole dialog's worth of
+stateful detection while a dropped RTP packet costs one sample.  The
+IDS-under-flood posture: falling behind must not mean unbounded memory,
+and load shedding must degrade the media plane before the signalling
+plane.
+
+Crash safety: with ``checkpoint_every > 0`` each queue-backed worker
+serializes its engine's detection state
+(:meth:`~repro.core.engine.ScidiveEngine.checkpoint`) to
+``checkpoint_dir/worker-N.ckpt`` every N batches (atomic
+write-then-rename, so ``os._exit`` mid-write cannot leave a torn file),
+and a respawned worker restores from that file before draining the
+surviving queue — a crash costs at most one checkpoint interval of
+state instead of the shard's whole history.  A worker that exhausts
+``max_restarts`` is marked *dead* rather than killing the run: its
+queue is drained, a CRITICAL self-diagnostic alert is raised, its
+owner-flagged batches fail over to the next live worker (whose shadow
+processing of broadcast signalling gives it the session state to keep
+detecting), and ``ClusterError`` is reserved for the moment every
+worker is gone.
 """
 
 from __future__ import annotations
 
 import collections
+import glob as _glob
 import multiprocessing as _mp
 import os
 import queue as _queue
+import shutil as _shutil
+import tempfile as _tempfile
 import threading
 import time as _time
 from dataclasses import dataclass, field, replace
 
-from repro.cluster.sharding import SessionSharder, shard_index
-from repro.core.alerts import Alert
+from repro.cluster.sharding import PLANE_SIGNALLING, SessionSharder, shard_index
+from repro.core.alerts import Alert, Severity
 from repro.core.engine import EngineStats, ScidiveEngine
 from repro.obs.registry import MetricsRegistry
 from repro.sim.trace import Trace
 
 BACKENDS = ("process", "threads", "serial")
 OVERFLOW_POLICIES = ("block", "drop")
+
+# Self-diagnostic rule id for a shard whose worker exhausted its restart
+# budget — like the firewall's SELF-QUARANTINE, it must be greppable and
+# must never collide with a detection rule.
+WORKER_DEAD_RULE_ID = "SELF-WORKER-DEAD"
 
 
 class ClusterError(RuntimeError):
@@ -76,6 +104,12 @@ class ClusterConfig:
     metrics_enabled: bool = False
     max_restarts: int = 3
     result_timeout: float = 30.0
+    # Detection-state checkpointing (repro.resilience): every N batches a
+    # queue-backed worker snapshots its engine to checkpoint_dir.  0 = off.
+    # checkpoint_dir=None with checkpointing on → a private temp dir,
+    # created at start() and removed at stop().
+    checkpoint_every: int = 0
+    checkpoint_dir: str | None = None
 
     def validate(self) -> "ClusterConfig":
         if self.workers < 1:
@@ -89,6 +123,10 @@ class ClusterConfig:
         if self.overflow not in OVERFLOW_POLICIES:
             raise ClusterError(
                 f"unknown overflow policy {self.overflow!r}; one of {OVERFLOW_POLICIES}"
+            )
+        if self.checkpoint_every < 0:
+            raise ClusterError(
+                f"checkpoint_every must be >= 0 (got {self.checkpoint_every})"
             )
         return self
 
@@ -130,6 +168,8 @@ def _engine_report(
     owned: int,
     shadowed: int,
     worker_cpu_seconds: float = 0.0,
+    restored: bool = False,
+    checkpoints: int = 0,
 ) -> dict:
     """The worker's final payload: plain dicts + alert objects, so the
     transport never pickles engines or metric objects."""
@@ -144,8 +184,25 @@ def _engine_report(
         "frames_owned": owned,
         "frames_shadowed": shadowed,
         "worker_cpu_seconds": worker_cpu_seconds,
+        "restored": restored,
+        "checkpoints": checkpoints,
         "metrics": registry.as_dict() if registry is not None else None,
     }
+
+
+def _checkpoint_path(config: ClusterConfig, worker_id: int) -> str | None:
+    if not config.checkpoint_every or not config.checkpoint_dir:
+        return None
+    return os.path.join(config.checkpoint_dir, f"worker-{worker_id}.ckpt")
+
+
+def _write_checkpoint(path: str, blob: bytes) -> None:
+    """Atomic publish: a crash (even ``os._exit``) mid-write leaves the
+    previous checkpoint intact, never a torn file."""
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(blob)
+    os.replace(tmp, path)
 
 
 def _worker_main(worker_id, config, factory, in_q, out_q, hard_crash) -> None:
@@ -155,8 +212,25 @@ def _worker_main(worker_id, config, factory, in_q, out_q, hard_crash) -> None:
     worker dies with ``os._exit`` (no cleanup, like a real segfault or
     OOM kill); a ``threads`` worker just returns without reporting, the
     closest a thread gets to vanishing.
+
+    With checkpointing on, a respawned worker finds its predecessor's
+    snapshot on disk and restores it before touching the queue, so the
+    batches that survived in the bounded queue resume against the state
+    they were routed for.
     """
     engine = factory(worker_id, config)
+    ckpt_path = _checkpoint_path(config, worker_id)
+    restored = False
+    checkpoints = 0
+    if ckpt_path is not None and os.path.exists(ckpt_path):
+        try:
+            with open(ckpt_path, "rb") as fh:
+                engine.restore(fh.read())
+            restored = True
+        except Exception:
+            # Unusable snapshot (torn file from a pre-atomic era, version
+            # drift): amnesia beats refusing to detect at all.
+            pass
     batches = owned = shadowed = 0
     process_frame = engine.process_frame
     process_shadow = engine.process_frame_shadow
@@ -177,9 +251,13 @@ def _worker_main(worker_id, config, factory, in_q, out_q, hard_crash) -> None:
                 else:
                     process_shadow(frame, timestamp)
                     shadowed += 1
+            if ckpt_path is not None and batches % config.checkpoint_every == 0:
+                _write_checkpoint(ckpt_path, engine.checkpoint())
+                checkpoints += 1
         elif kind == "stop":
             report = _engine_report(
-                worker_id, engine, batches, owned, shadowed, clock() - cpu_start
+                worker_id, engine, batches, owned, shadowed,
+                clock() - cpu_start, restored, checkpoints,
             )
             out_q.put(("result", worker_id, report))
             return
@@ -198,6 +276,9 @@ class _QueueWorker:
         self.factory = factory
         self.out_q = out_q
         self.restarts = 0
+        # Set by the cluster when the restart budget is spent: the shard
+        # is degraded, its batches fail over, and stop() skips it.
+        self.dead = False
         self.in_q = self._make_queue(config.queue_depth)
 
     def _make_queue(self, depth):
@@ -293,6 +374,7 @@ class _SerialWorker:
     def __init__(self, worker_id, config, factory) -> None:
         self.worker_id = worker_id
         self.restarts = 0
+        self.dead = False  # serial workers cannot die; kept for symmetry
         self.engine = factory(worker_id, config)
         self.batches = self.owned = self.shadowed = 0
         self.cpu_seconds = 0.0
@@ -340,6 +422,11 @@ class ClusterStats:
     router_seconds: float = 0.0
     frames_by_plane: dict = field(default_factory=dict)
     fragments_expired: int = 0
+    # Graceful-degradation accounting: frames shed under queue pressure,
+    # by plane (media sheds before signalling), and shards abandoned
+    # after max_restarts.  Shed frames also count in frames_dropped.
+    frames_shed: dict = field(default_factory=dict)
+    workers_dead: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -352,6 +439,8 @@ class ClusterStats:
             "router_seconds": self.router_seconds,
             "frames_by_plane": dict(self.frames_by_plane),
             "fragments_expired": self.fragments_expired,
+            "frames_shed": dict(self.frames_shed),
+            "workers_dead": self.workers_dead,
         }
 
 
@@ -369,6 +458,8 @@ class WorkerReport:
     restarts: int = 0
     crashed: bool = False
     worker_cpu_seconds: float = 0.0
+    restored: bool = False     # resumed from a detection-state checkpoint
+    checkpoints: int = 0       # snapshots written by this worker's last life
     metrics: dict | None = None
 
     @property
@@ -396,6 +487,8 @@ class WorkerReport:
             frames_shadowed=payload["frames_shadowed"],
             restarts=restarts,
             worker_cpu_seconds=payload.get("worker_cpu_seconds", 0.0),
+            restored=payload.get("restored", False),
+            checkpoints=payload.get("checkpoints", 0),
             metrics=payload.get("metrics"),
         )
 
@@ -479,6 +572,15 @@ class ScidiveCluster:
         self._inline_seconds = 0.0
         # Wall clock of the last submitted frame, for /healthz liveness.
         self._last_submit_monotonic: float | None = None
+        # Trace time of the last submitted frame: self-diagnostic alerts
+        # are stamped with it so they sort into the merged timeline.
+        self._last_submit_ts = 0.0
+        # Router-raised self-diagnostic alerts (dead shards), merged into
+        # the result alongside the workers' detection alerts.
+        self.self_alerts: list[Alert] = []
+        # Set when start() had to create a private checkpoint temp dir;
+        # stop() removes it.
+        self._own_checkpoint_dir: str | None = None
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -490,6 +592,19 @@ class ScidiveCluster:
         if self._started:
             return self
         config = self.config
+        if config.checkpoint_every and config.backend != "serial":
+            if config.checkpoint_dir is None:
+                self._own_checkpoint_dir = _tempfile.mkdtemp(prefix="scidive-ckpt-")
+                config = replace(config, checkpoint_dir=self._own_checkpoint_dir)
+                self.config = config
+            else:
+                os.makedirs(config.checkpoint_dir, exist_ok=True)
+                # A previous run's snapshots would resurrect foreign state
+                # into worker 0..N of *this* run.
+                for stale in _glob.glob(
+                    os.path.join(config.checkpoint_dir, "worker-*.ckpt")
+                ):
+                    os.unlink(stale)
         n = config.workers
         self._pending = [[] for _ in range(n)]
         if config.backend == "serial":
@@ -534,6 +649,7 @@ class ScidiveCluster:
         t0 = _time.thread_time()
         inline0 = self._inline_seconds
         self._last_submit_monotonic = _time.monotonic()
+        self._last_submit_ts = timestamp
         stats.frames_in += 1
         n = self.config.workers
         for key, frames in self.sharder.route(frame, timestamp):
@@ -544,48 +660,96 @@ class ScidiveCluster:
             owner = shard_index(key, n)
             if key.broadcast and n > 1:
                 for wid in range(n):
-                    self._append(wid, frames, wid == owner)
+                    self._append(wid, frames, wid == owner, plane)
             else:
-                self._append(owner, frames, True)
+                self._append(owner, frames, True, plane)
         stats.router_seconds += (
             _time.thread_time() - t0 - (self._inline_seconds - inline0)
         )
 
-    def _append(self, wid: int, frames, is_owner: bool) -> None:
+    def _append(self, wid: int, frames, is_owner: bool, plane: str) -> None:
         stats = self.cluster_stats
         if is_owner:
             stats.frames_routed += len(frames)
         else:
             stats.frames_replicated += len(frames)
         pending = self._pending[wid]
-        pending.extend((frame, ts, is_owner) for frame, ts in frames)
+        # Pending items carry their plane so the overflow path can shed
+        # media before signalling; the wire message stays 3-tuples.
+        pending.extend((frame, ts, is_owner, plane) for frame, ts in frames)
         batch_size = self.config.batch_size
         while len(pending) >= batch_size:
             self._submit_batch(wid, pending[:batch_size])
             del pending[:batch_size]
+
+    @staticmethod
+    def _wire(items: list) -> tuple:
+        """Strip the router-only plane tag: workers see 3-tuples."""
+        return ("batch", [(frame, ts, owner) for frame, ts, owner, _ in items])
 
     def _submit_batch(self, wid: int, items: list) -> None:
         stats = self.cluster_stats
         worker = self._workers[wid]
         if isinstance(worker, _SerialWorker):
             t0 = _time.perf_counter()
-            worker.put(("batch", items))
+            worker.put(self._wire(items))
             self._inline_seconds += _time.perf_counter() - t0
             stats.batches_submitted += 1
             return
-        message = ("batch", items)
         if self.config.overflow == "drop":
             try:
-                worker.in_q.put_nowait(message)
+                worker.in_q.put_nowait(self._wire(items))
             except _queue.Full:
-                stats.frames_dropped += len(items)
+                # Queue pressure: shed the media/other planes, then fight
+                # for the signalling remainder — a lost RTP packet costs
+                # one sample, a lost BYE silences a dialog's detection.
+                items = self._shed_non_signalling(items)
+                if not items:
+                    return
+            else:
+                stats.batches_submitted += 1
                 return
-            stats.batches_submitted += 1
-            return
-        # block policy: apply backpressure, but keep checking worker
-        # health so a dead consumer with a full queue cannot wedge us.
+        self._deliver_blocking(worker, items)
+
+    def _shed_non_signalling(self, items: list) -> list:
+        """Drop every non-signalling item, with per-plane accounting;
+        returns the signalling-plane remainder."""
+        stats = self.cluster_stats
+        kept = []
+        for item in items:
+            plane = item[3]
+            if plane == PLANE_SIGNALLING:
+                kept.append(item)
+            else:
+                stats.frames_shed[plane] = stats.frames_shed.get(plane, 0) + 1
+                stats.frames_dropped += 1
+        return kept
+
+    def _deliver_blocking(self, worker, items: list) -> None:
+        """Bounded-blocking put with failover: backpressure while the
+        worker lives, reroute to the next live shard once it is declared
+        dead, shed only when every worker is gone (drop policy) or raise
+        (block policy — the producer asked to be wedged rather than lose
+        frames, but an IDS with zero live engines cannot honour that)."""
+        stats = self.cluster_stats
+        message = self._wire(items)
         while True:
-            self._ensure_alive(worker)
+            if not self._ensure_alive(worker):
+                fallback = self._failover_target(worker.worker_id)
+                if fallback is None:
+                    if self.config.overflow == "drop":
+                        for item in items:
+                            plane = item[3]
+                            shed = stats.frames_shed.get(plane, 0)
+                            stats.frames_shed[plane] = shed + 1
+                        stats.frames_dropped += len(items)
+                        return
+                    raise ClusterError(
+                        "every worker exhausted max_restarts="
+                        f"{self.config.max_restarts}; no shard left to detect"
+                    )
+                worker = self._workers[fallback]
+                continue
             try:
                 worker.in_q.put(message, timeout=0.05)
                 stats.batches_submitted += 1
@@ -593,16 +757,65 @@ class ScidiveCluster:
             except _queue.Full:
                 continue
 
-    def _ensure_alive(self, worker) -> None:
+    def _ensure_alive(self, worker) -> bool:
+        """True if the worker can take work (respawning it if needed);
+        False once its restart budget is spent — the shard is then marked
+        dead (queue drained, self-diagnostic alert raised) instead of
+        killing the whole run."""
+        if worker.dead:
+            return False
         if worker.alive:
-            return
+            return True
         if worker.restarts >= self.config.max_restarts:
-            raise ClusterError(
-                f"worker {worker.worker_id} exceeded max_restarts="
-                f"{self.config.max_restarts}"
-            )
+            self._mark_dead(worker)
+            return False
         worker.respawn()
         self.cluster_stats.worker_restarts += 1
+        return True
+
+    def _failover_target(self, wid: int) -> int | None:
+        """The next shard (ring order) not yet declared dead."""
+        n = self.config.workers
+        for step in range(1, n):
+            candidate = self._workers[(wid + step) % n]
+            if not candidate.dead:
+                return candidate.worker_id
+        return None
+
+    def _mark_dead(self, worker) -> None:
+        """Degrade one shard: drain what its queue still holds (counted
+        as dropped), raise a CRITICAL self-diagnostic alert, and leave
+        the remaining shards detecting.  Broadcast signalling means the
+        survivors already hold this shard's session state in shadow, so
+        failed-over owner batches land on a warm engine."""
+        worker.dead = True
+        stats = self.cluster_stats
+        stats.workers_dead += 1
+        drained = 0
+        while True:
+            try:
+                message = worker.in_q.get_nowait()
+            except _queue.Empty:
+                break
+            if message[0] == "batch":
+                drained += len(message[1])
+        stats.frames_dropped += drained
+        self.self_alerts.append(
+            Alert(
+                rule_id=WORKER_DEAD_RULE_ID,
+                rule_name="self-diagnostic: worker shard degraded",
+                time=self._last_submit_ts,
+                session=f"worker-{worker.worker_id}",
+                severity=Severity.CRITICAL,
+                attack_class="self-diagnostic",
+                message=(
+                    f"worker {worker.worker_id} abandoned after "
+                    f"{worker.restarts} restarts (max_restarts="
+                    f"{self.config.max_restarts}); {drained} queued frames "
+                    f"dropped, owner batches failing over to surviving shards"
+                ),
+            )
+        )
 
     def flush(self) -> None:
         """Push all partially-filled batches to the workers."""
@@ -628,7 +841,16 @@ class ScidiveCluster:
             return self.result
         if not self._started:
             self.start()
-        self.flush()
+        try:
+            self.flush()
+        except ClusterError:
+            # Every shard is dead: whatever is still pending can no
+            # longer be detected.  stop() must always yield the degraded
+            # report (dead-worker alerts, drop accounting) — raising
+            # here would hide the very forensics the caller needs.
+            for wid, pending in enumerate(self._pending):
+                self.cluster_stats.frames_dropped += len(pending)
+                self._pending[wid] = []
         reports = (
             self._stop_serial()
             if self.config.backend == "serial"
@@ -637,6 +859,9 @@ class ScidiveCluster:
         self.cluster_stats.fragments_expired = self.sharder.fragments_expired
         self._stopped = True
         self.result = self._merge(reports)
+        if self._own_checkpoint_dir is not None:
+            _shutil.rmtree(self._own_checkpoint_dir, ignore_errors=True)
+            self._own_checkpoint_dir = None
         return self.result
 
     def _stop_serial(self) -> dict:
@@ -647,12 +872,18 @@ class ScidiveCluster:
         return reports
 
     def _stop_queued(self) -> dict:
-        stop_sent: set[int] = set()
-        for worker in self._workers:
-            self._send_stop(worker)
-            stop_sent.add(worker.worker_id)
         reports: dict = {}
-        pending = {worker.worker_id: worker for worker in self._workers}
+        for worker in self._workers:
+            if worker.dead:
+                # Degraded mid-run: nothing will ever report for it.
+                reports[worker.worker_id] = (None, worker.restarts)
+            else:
+                self._send_stop(worker)
+        pending = {
+            worker.worker_id: worker
+            for worker in self._workers
+            if not worker.dead
+        }
         deadline = _time.monotonic() + self.config.result_timeout
         while pending:
             try:
@@ -704,6 +935,7 @@ class ScidiveCluster:
             else:
                 worker_reports.append(WorkerReport.from_payload(payload, restarts))
         alerts = [alert for report in worker_reports for alert in report.alerts]
+        alerts.extend(self.self_alerts)
         alerts.sort(key=lambda alert: alert.time)
         stats = EngineStats.merged([report.stats for report in worker_reports])
         shadow = EngineStats.merged([report.shadow_stats for report in worker_reports])
@@ -741,9 +973,20 @@ class ScidiveCluster:
         )
         for plane, count in stats.frames_by_plane.items():
             routed.labels(plane=plane).inc(count)
+        shed = registry.counter(
+            "scidive_cluster_shed_total",
+            "Frames shed under queue pressure (media degrades first)",
+            labelnames=("plane",),
+        )
+        for plane, count in stats.frames_shed.items():
+            shed.labels(plane=plane).inc(count)
         registry.gauge(
             "scidive_cluster_workers", "Configured worker count"
         ).set(self.config.workers)
+        registry.gauge(
+            "scidive_cluster_workers_dead",
+            "Shards abandoned after exhausting max_restarts",
+        ).set(stats.workers_dead)
 
     # -- live observability ----------------------------------------------------
 
@@ -778,6 +1021,10 @@ class ScidiveCluster:
             "worker_restarts": stats.worker_restarts,
             "queue_depths": self.queue_depths(),
             "workers_alive": sum(1 for w in self._workers if w.alive),
+            "workers_dead": stats.workers_dead,
+            "worker_dead": [w.worker_id for w in self._workers if w.dead],
+            "frames_shed": dict(stats.frames_shed),
+            "checkpointing": bool(self.config.checkpoint_every),
         }
         if self._last_submit_monotonic is not None:
             payload["last_frame_age_seconds"] = round(

@@ -107,3 +107,10 @@ class AlertLog:
 
     def __iter__(self):
         return iter(self.alerts)
+
+
+from repro.fastpickle import install_fast_pickle
+
+# Alerts (with their event/evidence graphs) are pickled by cluster
+# workers on every report and by every state checkpoint.
+install_fast_pickle(Alert)

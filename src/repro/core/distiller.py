@@ -196,6 +196,12 @@ class Distiller:
     decoders: tuple[Decoder, ...] = DEFAULT_DECODERS
     stats: DistillerStats = field(default_factory=DistillerStats)
     _reassembler: Reassembler = field(default_factory=Reassembler)
+    # Exception firewall (repro.resilience.firewall), wired by the
+    # engine.  With or without one, a throwing decoder never escapes
+    # _classify — the frame degrades to a MalformedFootprint; the
+    # firewall adds error accounting and circuit-breaks a decoder that
+    # keeps throwing (it leaves the chain).
+    firewall: object | None = None
 
     def distill(self, frame: bytes, timestamp: float) -> AnyFootprint | None:
         """Decode one captured frame into a Footprint (or None for non-VoIP)."""
@@ -263,7 +269,26 @@ class Distiller:
             wire_bytes=wire_bytes,
         )
         for decoder in self.decoders:
-            result = decoder(self, payload, common)
+            try:
+                result = decoder(self, payload, common)
+            except Exception as exc:
+                # A decoder crash is the classic IDS evasion vector: one
+                # poisoned frame must not abort the path (or let the
+                # frame through unclassified).  Quarantine it as
+                # malformed evidence instead.
+                name = getattr(decoder, "__name__", repr(decoder))
+                firewall = self.firewall
+                if firewall is not None and firewall.record_error(
+                    "decoder", name, exc, timestamp
+                ):
+                    self.decoders = tuple(
+                        d for d in self.decoders if d is not decoder
+                    )
+                return MalformedFootprint(
+                    claimed_protocol=Protocol.OTHER,
+                    reason=f"decoder {name} crashed: {type(exc).__name__}: {exc}",
+                    **common,
+                )
             if result is CLAIMED:
                 return None
             if result is not None:

@@ -44,6 +44,7 @@ from repro.core.trail import TrailManager
 from repro.net.capture import Sniffer
 from repro.obs.forensics import ForensicsRecorder
 from repro.obs.logsetup import get_logger
+from repro.resilience.firewall import StageFirewall
 from repro.sim.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -132,6 +133,7 @@ class ScidiveEngine:
         indexed_dispatch: bool = True,
         hook: FootprintHook | None = None,
         forensics: "ForensicsRecorder | bool | None" = None,
+        firewall: "StageFirewall | bool | None" = None,
     ) -> None:
         self.name = name
         self.indexed_dispatch = indexed_dispatch
@@ -232,6 +234,24 @@ class ScidiveEngine:
             )
         if self.forensics is not None:
             self.alert_log.subscribers.append(self.forensics.on_alert)
+        # -- exception firewall ----------------------------------------------
+        # Default-on (False disables — for tests that assert exceptions
+        # propagate): robustness against a throwing decoder/generator/
+        # rule must not be opt-in, and the boundary costs nothing until
+        # an exception is actually raised.
+        if firewall is False:
+            self.firewall: StageFirewall | None = None
+        elif isinstance(firewall, StageFirewall):
+            self.firewall = firewall
+        else:
+            self.firewall = StageFirewall(engine_name=name)
+        if self.firewall is not None:
+            self.firewall.emit_alert = self._emit_self_alert
+            registry = self.metrics_registry()
+            if registry is not None:
+                self.firewall.bind_registry(registry)
+            self.distiller.firewall = self.firewall
+            self.ruleset.firewall = self.firewall
 
     @property
     def metrics_enabled(self) -> bool:
@@ -268,7 +288,16 @@ class ScidiveEngine:
         hook = self._hook
         started = _time.perf_counter()
         self.stats.frames += 1
-        footprint = self.distiller.distill(frame, timestamp)
+        try:
+            footprint = self.distiller.distill(frame, timestamp)
+        except Exception as exc:
+            # Backstop behind the distiller's own per-decoder quarantine:
+            # a crash in frame/IP/UDP decode itself must degrade to "no
+            # footprint", never abort the frame path.
+            if self.firewall is None:
+                raise
+            self.firewall.record_error("decoder", "distill", exc, timestamp)
+            footprint = None
         if footprint is not None and self.forensics is not None:
             # Record before the footprint pipeline runs, so an alert
             # raised by this very frame can already resolve it.
@@ -391,7 +420,21 @@ class ScidiveEngine:
         if generators is None:
             generators = self.generators_for(footprint.protocol)
         for generator in generators:
-            events = generator.on_footprint(footprint, trail, ctx)
+            try:
+                events = generator.on_footprint(footprint, trail, ctx)
+            except Exception as exc:
+                # Quarantine the throwing generator's output, keep the
+                # rest of the fan-out alive.  On breaker trip the
+                # generator leaves the list — rebinding invalidates the
+                # dispatch tables, so it simply stops being visited.
+                firewall = self.firewall
+                if firewall is None:
+                    raise
+                if firewall.record_error("generator", generator.name, exc, ts):
+                    self.generators = [
+                        g for g in self.generators if g is not generator
+                    ]
+                events = ()
             if timed:
                 now = perf()
                 hook.generator_ran(generator.name, now - mark)
@@ -476,6 +519,32 @@ class ScidiveEngine:
 
     def events_named(self, name: str) -> list[Event]:
         return [e for e in self.event_log if e.name == name]
+
+    def _emit_self_alert(self, alert: Alert) -> None:
+        """Sink for self-diagnostic alerts (firewall quarantines): the
+        normal alert path, so logs, subscribers and counters all see the
+        degradation announcement."""
+        self.stats.alerts += 1
+        self.alert_log.emit(alert)
+        for subscriber in self.alert_subscribers:
+            subscriber(alert)
+
+    # -- crash safety -----------------------------------------------------------
+
+    def checkpoint(self) -> bytes:
+        """Serialize this engine's detection state (versioned; see
+        :mod:`repro.resilience.checkpoint` for exactly what is carried)."""
+        from repro.resilience.checkpoint import engine_checkpoint
+
+        return engine_checkpoint(self)
+
+    def restore(self, blob: bytes) -> None:
+        """Load a :meth:`checkpoint` payload into this engine, replacing
+        its detection state.  The engine must be built with the same
+        module configuration as the one that took the snapshot."""
+        from repro.resilience.checkpoint import engine_restore
+
+        engine_restore(self, blob)
 
     def reset_detection_state(self) -> None:
         """Clear alerts/events/counters but keep protocol state (between

@@ -140,3 +140,9 @@ class EventGenerator(ABC):
 
     def reset(self) -> None:
         """Drop accumulated state (between experiment runs)."""
+
+
+from repro.fastpickle import install_fast_pickle
+
+# Events are the bulk of a state checkpoint's object count.
+install_fast_pickle(Event)

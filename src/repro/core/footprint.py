@@ -200,3 +200,18 @@ AnyFootprint = (
     | H225Footprint
     | MalformedFootprint
 )
+
+
+from repro.fastpickle import install_fast_pickle
+
+# Footprints cross multiprocessing queues (cluster) and dominate state
+# checkpoints; pickle them without the per-instance fields() tax.
+install_fast_pickle(
+    Footprint,
+    SipFootprint,
+    RtpFootprint,
+    RtcpFootprint,
+    AccountingFootprint,
+    H225Footprint,
+    MalformedFootprint,
+)

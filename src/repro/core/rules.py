@@ -72,6 +72,16 @@ class Rule(ABC):
     # concrete rule shapes fill it in from their constructor arguments.
     trigger_events: frozenset[str] | None = None
 
+    # The attributes that constitute this rule's *detection state* — what
+    # a checkpoint must carry across a worker respawn.  Rule objects
+    # themselves hold lambdas (predicates, group keys) and cannot be
+    # pickled, so checkpointing captures only these, keyed by rule id,
+    # and restores them into the factory-built rule.  Stateful subclasses
+    # extend the tuple.
+    state_attrs: tuple[str, ...] = (
+        "_last_alert", "matches_attempted", "alerts_raised",
+    )
+
     def __init__(
         self,
         rule_id: str,
@@ -104,6 +114,18 @@ class Rule(ABC):
         self._last_alert.clear()
         self.matches_attempted = 0
         self.alerts_raised = 0
+
+    def checkpoint_state(self) -> dict:
+        """This rule's detection state for a checkpoint payload."""
+        return {name: getattr(self, name) for name in self.state_attrs}
+
+    def restore_state(self, state: dict) -> None:
+        """Load a checkpointed state dict (unknown keys are ignored, so
+        a rule that gained or lost state attributes degrades cleanly)."""
+        self.reset()
+        for name, value in state.items():
+            if name in self.state_attrs:
+                setattr(self, name, value)
 
     def _cooldown_active(self, event: Event) -> bool:
         """True when the group's cooldown suppresses an alert at ``event.time``.
@@ -168,6 +190,8 @@ class SingleEventRule(Rule):
 
 class ThresholdRule(Rule):
     """Alarm when ≥ ``threshold`` matching events land in ``window`` seconds."""
+
+    state_attrs = Rule.state_attrs + ("_buckets",)
 
     def __init__(
         self,
@@ -235,6 +259,8 @@ class SequenceRule(Rule):
     flow [event 1] after a session is torn down [event 2]".
     """
 
+    state_attrs = Rule.state_attrs + ("_progress",)
+
     def __init__(
         self,
         rule_id: str,
@@ -286,6 +312,8 @@ class ConjunctionRule(Rule):
     Order-insensitive — the billing-fraud rule's three facets can land in
     any order depending on network timing.
     """
+
+    state_attrs = Rule.state_attrs + ("_seen",)
 
     def __init__(
         self,
@@ -389,6 +417,9 @@ class RuleSet:
         # RuleContext is immutable per (trails, history) pair; rebuilding
         # it per event shows up in the dispatch benchmark.
         self._ctx: RuleContext | None = None
+        # Exception firewall (repro.resilience.firewall), wired by the
+        # engine.  None = a throwing rule propagates (standalone use).
+        self.firewall = None
 
     def add(self, rule: Rule) -> None:
         if any(r.rule_id == rule.rule_id for r in self.rules):
@@ -448,7 +479,19 @@ class RuleSet:
         alerts: list[Alert] = []
         for rule in candidates:
             rule.matches_attempted += 1
-            alert = rule.on_event(event, ctx)
+            try:
+                alert = rule.on_event(event, ctx)
+            except Exception as exc:
+                # A throwing rule must not abort the frame path (nor
+                # starve the later candidates).  The firewall counts it;
+                # when its breaker trips, the rule leaves the set — the
+                # next match() rebuilds the index without it.
+                firewall = self.firewall
+                if firewall is None:
+                    raise
+                if firewall.record_error("rule", rule.rule_id, exc, event.time):
+                    self.remove(rule.rule_id)
+                continue
             if alert is not None:
                 log.emit(alert)
                 alerts.append(alert)

@@ -1,0 +1,47 @@
+"""Constant-time pickling for hot slots dataclasses.
+
+``@dataclass(slots=True)`` (Python 3.11+) installs
+``dataclasses._dataclass_getstate`` as the pickle hook, which calls
+``dataclasses.fields()`` — a fresh list of ``Field`` objects — for
+*every instance serialized*.  Footprints, events and endpoints are
+pickled by the hundred-thousand (cluster queues, state checkpoints),
+and that per-instance ``fields()`` call dominates the serialization
+profile.
+
+:func:`install_fast_pickle` replaces the hooks with a pair that looks
+up a per-class tuple of field names computed once.  The field list is
+resolved through ``type(self)``, so a subclass that was not explicitly
+installed still serializes its full (inherited + own) field set.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+_FIELD_NAMES: dict[type, tuple[str, ...]] = {}
+
+
+def _field_names(cls: type) -> tuple[str, ...]:
+    names = _FIELD_NAMES.get(cls)
+    if names is None:
+        names = tuple(f.name for f in dataclasses.fields(cls))
+        _FIELD_NAMES[cls] = names
+    return names
+
+
+def _getstate(self):
+    return [getattr(self, name) for name in _field_names(type(self))]
+
+
+def _setstate(self, state):
+    # object.__setattr__: the hot classes are frozen dataclasses.
+    for name, value in zip(_field_names(type(self)), state):
+        object.__setattr__(self, name, value)
+
+
+def install_fast_pickle(*classes: type) -> None:
+    """Swap each class's pickle hooks for the cached-field-tuple pair."""
+    for cls in classes:
+        _field_names(cls)  # warm the cache at import time
+        cls.__getstate__ = _getstate
+        cls.__setstate__ = _setstate

@@ -101,3 +101,10 @@ class Endpoint:
 
     def __str__(self) -> str:
         return f"{self.ip}:{self.port}"
+
+
+from repro.fastpickle import install_fast_pickle
+
+# Endpoints/addresses ride inside every pickled footprint; see
+# repro.fastpickle for why the default slots-dataclass hook is slow.
+install_fast_pickle(MacAddress, IPv4Address, Endpoint)

@@ -24,8 +24,10 @@ from repro.obs.forensics import (
     configure_forensics,
     default_forensics_config,
     format_bundle,
+    format_malformed_bundle,
     list_bundles,
     load_bundle,
+    write_malformed_bundle,
 )
 from repro.obs.instrument import EngineInstrumentation, InstrumentationHook
 from repro.obs.logsetup import get_logger, setup_logging
@@ -109,9 +111,11 @@ __all__ = [
     "disable",
     "enable",
     "format_bundle",
+    "format_malformed_bundle",
     "get_logger",
     "list_bundles",
     "load_bundle",
+    "write_malformed_bundle",
     "parse_prometheus",
     "read_trace_jsonl",
     "set_default_registry",

@@ -57,6 +57,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 BUNDLE_FORMAT = 1
 
+# The quarantine ring's session key and the bundle id it is written
+# under: ``repro explain malformed --bundle-dir ...``.
+MALFORMED_SESSION_KEY = ("malformed",)
+MALFORMED_BUNDLE_ID = "malformed"
+
 DEFAULT_RING_CAPACITY = 128
 DEFAULT_MAX_SESSIONS = 4096
 
@@ -266,7 +271,14 @@ class _SessionRing:
 
 def _session_key(fp: AnyFootprint) -> tuple:
     """Mirror of the trail/shard session keying: signalling by call id,
-    media by destination flow endpoint, everything else pooled."""
+    media by destination flow endpoint, everything else pooled.
+
+    Malformed footprints get their own quarantine ring: hostile input
+    the decoders rejected is exactly what an operator wants to inspect
+    (``repro explain malformed``), and pooling it with benign misc
+    traffic would let a malformed flood evict legitimate evidence."""
+    if isinstance(fp, MalformedFootprint):
+        return ("malformed",)
     if isinstance(fp, SipFootprint):
         call_id = fp.call_id()
         return ("call", call_id) if call_id else ("sip", 0)
@@ -391,6 +403,39 @@ class ForensicsRecorder:
             dropped += 1
         self.sessions_evicted += dropped
         return dropped
+
+    # -- the malformed quarantine ---------------------------------------------
+
+    def malformed_records(self) -> list:
+        """The quarantine ring: recent frames the decoders rejected."""
+        ring = self._sessions.get(MALFORMED_SESSION_KEY)
+        return list(ring.records) if ring is not None else []
+
+    def malformed_state(self) -> list:
+        """The quarantine ring as a picklable snapshot (checkpointing).
+
+        Only this ring crosses checkpoints: the per-session evidence
+        rings are archaeology for alerts that already carry their own
+        provenance frames, but the quarantine's diagnoses of hostile
+        input would otherwise vanish on every worker respawn."""
+        return self.malformed_records()
+
+    def load_malformed_state(self, records: list) -> None:
+        """Rebuild the quarantine ring from a checkpoint snapshot."""
+        if not records:
+            return
+        ring = self._sessions.get(MALFORMED_SESSION_KEY)
+        if ring is None:
+            ring = _SessionRing()
+            self._sessions[MALFORMED_SESSION_KEY] = ring
+        for record in records:
+            ring.records.append(record)
+            self._by_fp[id(record.footprint)] = record
+            ring.last_seen = max(ring.last_seen, record.timestamp)
+        while len(ring.records) > self.ring_capacity:
+            evicted = ring.records.popleft()
+            self._by_fp.pop(id(evicted.footprint), None)
+        self._rec_seq = max(self._rec_seq, max(r.record_id for r in records))
 
     # -- sizes ----------------------------------------------------------------
 
@@ -545,6 +590,70 @@ def write_bundle(
     return json_path
 
 
+def write_malformed_bundle(
+    bundle_dir: str | Path, recorder: ForensicsRecorder
+) -> Path | None:
+    """Write the quarantine ring as ``malformed.json`` + ``malformed.pcap``
+    so hostile input survives the run for offline inspection.  Returns
+    None (and writes nothing) when the quarantine is empty."""
+    from repro.net.pcap import write_pcap
+    from repro.sim.trace import Trace
+
+    records = recorder.malformed_records()
+    if not records:
+        return None
+    directory = Path(bundle_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": BUNDLE_FORMAT,
+        "malformed": True,
+        "engine": recorder.engine_name,
+        "frames": [
+            {
+                "record_id": record.record_id,
+                "frame_no": record.frame_no,
+                "timestamp": round(record.timestamp, 6),
+                "bytes": len(record.frame),
+                "claimed_protocol": record.footprint.protocol.value,
+                "reason": getattr(record.footprint, "reason", ""),
+                "src": str(record.footprint.src),
+                "dst": str(record.footprint.dst),
+            }
+            for record in records
+        ],
+    }
+    json_path = directory / f"{MALFORMED_BUNDLE_ID}.json"
+    with open(json_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    pcap_trace = Trace(name=MALFORMED_BUNDLE_ID)
+    for record in sorted(records, key=lambda r: (r.timestamp, r.record_id)):
+        pcap_trace.append(record.timestamp, record.frame)
+    write_pcap(directory / f"{MALFORMED_BUNDLE_ID}.pcap", pcap_trace)
+    return json_path
+
+
+def format_malformed_bundle(bundle: dict) -> str:
+    """Render the quarantine bundle: one line per rejected frame."""
+    frames = bundle.get("frames", [])
+    lines = [
+        f"MALFORMED QUARANTINE — {len(frames)} rejected frame(s) "
+        f"(engine {bundle.get('engine', '?')})",
+        "",
+    ]
+    for frame in frames:
+        lines.append(
+            f"  t={float(frame['timestamp']):10.4f}  frame #{frame['frame_no']:<6} "
+            f"{frame['src']} -> {frame['dst']}  "
+            f"claimed={frame['claimed_protocol']}  {frame['bytes']}B"
+        )
+        if frame.get("reason"):
+            lines.append(f"      reason: {frame['reason']}")
+    lines.append("")
+    lines.append("raw frames: malformed.pcap alongside this bundle")
+    return "\n".join(lines)
+
+
 def list_bundles(bundle_dir: str | Path) -> list[str]:
     directory = Path(bundle_dir)
     if not directory.is_dir():
@@ -565,6 +674,8 @@ def load_bundle(bundle_dir: str | Path, alert_id: str) -> dict:
 
 def format_bundle(bundle: dict) -> str:
     """Render a bundle (graph + timeline) from its JSON alone."""
+    if bundle.get("malformed"):
+        return format_malformed_bundle(bundle)
     alert = bundle.get("alert", {})
     graph = ProvenanceGraph.from_dict(bundle.get("provenance", {}))
     lines = [

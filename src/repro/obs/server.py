@@ -105,6 +105,9 @@ class StatusSource:
                 age = recorder.last_frame_age()
                 if age is not None:
                     engine_view["last_frame_age_seconds"] = round(age, 3)
+            firewall = getattr(engine, "firewall", None)
+            if firewall is not None:
+                engine_view["firewall"] = firewall.as_dict()
             payload["engine"] = engine_view
         if cluster is not None:
             payload["cluster"] = cluster.health()

@@ -1,0 +1,159 @@
+"""The per-stage exception firewall: quarantine, count, circuit-break.
+
+The frame path runs three kinds of third-party-extensible callbacks —
+protocol decoders, event generators, rules — and any of them throwing
+used to abort ``process_frame`` mid-pipeline, which is exactly the
+parser-crash evasion vector the DPI literature warns about: feed the
+IDS one frame its decoder chokes on and every later attack goes unseen.
+
+The firewall turns a throwing component into a contained incident:
+
+* the exception is swallowed at the stage boundary and the pipeline
+  continues with the remaining components;
+* the error is counted per ``(stage, component)`` — mirrored into the
+  ``scidive_stage_errors_total`` metric family when a registry is
+  attached;
+* after ``threshold`` errors from one component the circuit breaker
+  trips: the caller removes the component from dispatch (rules leave
+  the RuleSet, generators leave the engine's generator list, decoders
+  leave the distiller chain) and the firewall raises one CRITICAL
+  self-diagnostic alert so the degradation is *visible*, not silent.
+
+One :class:`StageFirewall` instance is shared by an engine's distiller,
+generator loop and ruleset; it costs nothing until an exception is
+actually raised (the stage loops only consult it inside ``except``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.alerts import Alert, Severity
+from repro.obs.logsetup import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
+
+_log = get_logger("resilience.firewall")
+
+STAGE_DECODER = "decoder"
+STAGE_GENERATOR = "generator"
+STAGE_RULE = "rule"
+
+# The self-diagnostic rule id: quarantine alerts must be greppable and
+# must never collide with a detection rule.
+QUARANTINE_RULE_ID = "SELF-QUARANTINE"
+
+DEFAULT_THRESHOLD = 5
+
+
+class StageFirewall:
+    """Error accounting + circuit breaker for one engine's stages."""
+
+    def __init__(
+        self,
+        engine_name: str = "scidive",
+        threshold: int = DEFAULT_THRESHOLD,
+        registry: "MetricsRegistry | None" = None,
+        emit_alert: Callable[[Alert], None] | None = None,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1 (got {threshold})")
+        self.engine_name = engine_name
+        self.threshold = threshold
+        self.errors: dict[tuple[str, str], int] = {}
+        self.quarantined: list[tuple[str, str]] = []
+        self.last_error: dict[tuple[str, str], str] = {}
+        # Wired by the engine to AlertLog.emit; None = count only.
+        self.emit_alert = emit_alert
+        self._counter = None
+        if registry is not None:
+            self.bind_registry(registry)
+
+    def bind_registry(self, registry: "MetricsRegistry") -> None:
+        self._counter = registry.counter(
+            "scidive_stage_errors_total",
+            "Exceptions caught at a pipeline stage boundary",
+            labelnames=("engine", "stage", "component"),
+        )
+
+    # -- the boundary ---------------------------------------------------------
+
+    def record_error(
+        self, stage: str, component: str, exc: BaseException, when: float = 0.0
+    ) -> bool:
+        """Count one caught exception.  Returns True exactly once per
+        component: on the call that trips its circuit breaker — the
+        caller must then remove the component from dispatch."""
+        key = (stage, component)
+        count = self.errors.get(key, 0) + 1
+        self.errors[key] = count
+        self.last_error[key] = f"{type(exc).__name__}: {exc}"
+        if self._counter is not None:
+            self._counter.labels(
+                engine=self.engine_name, stage=stage, component=component
+            ).inc()
+        _log.warning(
+            "stage error quarantined",
+            extra={"fields": {
+                "engine": self.engine_name, "stage": stage,
+                "component": component, "count": count,
+                "error": self.last_error[key],
+            }},
+        )
+        if count != self.threshold or key in self.quarantined:
+            return False
+        self.quarantined.append(key)
+        if self.emit_alert is not None:
+            self.emit_alert(self._quarantine_alert(stage, component, when))
+        return True
+
+    def _quarantine_alert(self, stage: str, component: str, when: float) -> Alert:
+        key = (stage, component)
+        return Alert(
+            rule_id=QUARANTINE_RULE_ID,
+            rule_name="self-diagnostic: pipeline component quarantined",
+            time=when,
+            session="",
+            severity=Severity.CRITICAL,
+            attack_class="self-diagnostic",
+            message=(
+                f"{stage} {component!r} disabled after "
+                f"{self.errors.get(key, 0)} errors "
+                f"(last: {self.last_error.get(key, 'unknown')})"
+            ),
+        )
+
+    def is_quarantined(self, stage: str, component: str) -> bool:
+        return (stage, component) in self.quarantined
+
+    @property
+    def total_errors(self) -> int:
+        return sum(self.errors.values())
+
+    # -- surfacing / checkpointing --------------------------------------------
+
+    def as_dict(self) -> dict:
+        """The /healthz + checkpoint shape (plain JSON-safe types)."""
+        return {
+            "threshold": self.threshold,
+            "total_errors": self.total_errors,
+            "errors": {
+                f"{stage}:{component}": count
+                for (stage, component), count in self.errors.items()
+            },
+            "quarantined": [list(key) for key in self.quarantined],
+        }
+
+    def state(self) -> dict:
+        """Checkpointable state (see repro.resilience.checkpoint)."""
+        return {
+            "errors": dict(self.errors),
+            "quarantined": list(self.quarantined),
+            "last_error": dict(self.last_error),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.errors = dict(state.get("errors", {}))
+        self.quarantined = [tuple(key) for key in state.get("quarantined", [])]
+        self.last_error = dict(state.get("last_error", {}))

@@ -1,0 +1,159 @@
+"""Distiller fuzzing with a committed crash-regression corpus.
+
+Two layers of defence against parser crashes:
+
+* ``CRASH_CORPUS`` — hand-built hostile frames, one per historical or
+  anticipated failure shape (truncated headers, lying length fields,
+  invalid UTF-8 SIP, fragment bombs).  Any frame that ever crashes the
+  Distiller gets appended here so the regression is pinned forever.
+* Hypothesis properties — arbitrary bytes and arbitrary single-site
+  mutations of a known-good frame, through both the bare Distiller and
+  the full engine path.
+
+The contract everywhere: never raise; hostile input degrades to a
+``MalformedFootprint`` (quarantined into forensics) or ``None``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distiller import MalformedFootprint
+from repro.core.engine import ScidiveEngine
+from repro.net.addr import IPv4Address, MacAddress
+from repro.net.packet import build_udp_frame
+
+MAC1 = MacAddress("02:00:00:00:00:01")
+MAC2 = MacAddress("02:00:00:00:00:02")
+A = IPv4Address.parse("10.0.0.10")
+B = IPv4Address.parse("10.0.0.66")
+
+_SIP = (
+    b"INVITE sip:bob@10.0.0.66 SIP/2.0\r\n"
+    b"Call-ID: fuzz@example\r\n"
+    b"From: <sip:a@example>;tag=1\r\nTo: <sip:b@example>\r\n"
+    b"CSeq: 1 INVITE\r\nContent-Length: 0\r\n\r\n"
+)
+
+_GOOD = build_udp_frame(MAC1, MAC2, A, B, 5060, 5060, _SIP)
+
+_ETH = 14  # Ethernet header length; the IP header starts here.
+
+
+def _patch(frame: bytes, offset: int, value: bytes) -> bytes:
+    return frame[:offset] + value + frame[offset + len(value):]
+
+
+# One entry per failure shape.  Keep labels stable: a crashing input
+# found in the field gets appended with the bug reference as its label.
+CRASH_CORPUS: list[tuple[str, bytes]] = [
+    ("empty", b""),
+    ("one-byte", b"\x00"),
+    ("truncated-ethernet", _GOOD[:10]),
+    ("truncated-ip-header", _GOOD[: _ETH + 6]),
+    ("truncated-udp-header", _GOOD[: _ETH + 20 + 4]),
+    # IHL says 60-byte IP header; the frame ends long before that.
+    ("bad-ihl", _patch(_GOOD, _ETH, b"\x4f")[: _ETH + 24]),
+    ("ihl-too-small", _patch(_GOOD, _ETH, b"\x41")),
+    # Total-length field far beyond the actual frame.
+    ("ip-length-lies-long", _patch(_GOOD, _ETH + 2, b"\xff\xff")),
+    ("ip-length-lies-short", _patch(_GOOD, _ETH + 2, b"\x00\x05")),
+    # UDP length field inconsistent with the IP payload.
+    ("udp-length-lies-long", _patch(_GOOD, _ETH + 20 + 4, b"\xff\xff")),
+    ("udp-length-lies-short", _patch(_GOOD, _ETH + 20 + 4, b"\x00\x01")),
+    ("wrong-ethertype", _patch(_GOOD, 12, b"\x86\xdd")),
+    # First fragment, more-fragments set, the rest never arrives.
+    ("mf-fragment-bomb", _patch(_GOOD, _ETH + 6, b"\x20\x00")),
+    ("fragment-with-offset", _patch(_GOOD, _ETH + 6, b"\x00\x40")),
+    (
+        "invalid-utf8-sip",
+        build_udp_frame(MAC1, MAC2, A, B, 5060, 5060,
+                        b"INVITE sip:\xff\xfe\xfa@x SIP/2.0\r\n\r\n"),
+    ),
+    (
+        "sdp-content-length-lies",
+        build_udp_frame(
+            MAC1, MAC2, A, B, 5060, 5060,
+            _SIP.replace(b"Content-Length: 0", b"Content-Length: 999999"),
+        ),
+    ),
+    (
+        "huge-sdp-body",
+        build_udp_frame(MAC1, MAC2, A, B, 5060, 5060,
+                        _SIP + b"v=0\r\n" + b"a=" + b"A" * 5000 + b"\r\n"),
+    ),
+    ("truncated-start-line", build_udp_frame(MAC1, MAC2, A, B, 5060, 5060,
+                                             b"INVITE")),
+    ("rtp-stub", build_udp_frame(MAC1, MAC2, A, B, 40000, 40001, b"\x80")),
+    ("h225-stub", build_udp_frame(MAC1, MAC2, A, B, 1720, 1720, b"\x08\x02")),
+]
+
+_IDS = [label for label, _ in CRASH_CORPUS]
+
+
+def _corpus_frames() -> list[bytes]:
+    return [frame for _, frame in CRASH_CORPUS]
+
+
+class TestCrashCorpus:
+    def test_corpus_covers_distinct_shapes(self):
+        assert len(set(_IDS)) == len(_IDS)
+        assert len(set(_corpus_frames())) == len(CRASH_CORPUS)
+
+    def test_bare_distiller_never_raises_on_corpus(self):
+        engine = ScidiveEngine(vantage_ip="10.0.0.10")
+        for n, frame in enumerate(_corpus_frames()):
+            footprint = engine.distiller.distill(frame, float(n))
+            assert footprint is None or hasattr(footprint, "protocol") or (
+                isinstance(footprint, MalformedFootprint)
+            )
+
+    def test_full_engine_never_raises_on_corpus(self):
+        engine = ScidiveEngine(vantage_ip="10.0.0.10")
+        frames = _corpus_frames()
+        for n, frame in enumerate(frames):
+            engine.process_frame(frame, float(n))
+        assert engine.stats.frames == len(frames)
+        assert engine.distiller.stats.malformed > 0
+
+    def test_malformed_corpus_frames_are_quarantined(self):
+        # Satellite contract: malformed frames land in the forensics
+        # recorder under the reserved "malformed" key, inspectable via
+        # ``repro explain malformed``.
+        engine = ScidiveEngine(vantage_ip="10.0.0.10")
+        for n, frame in enumerate(_corpus_frames()):
+            engine.process_frame(frame, float(n))
+        records = engine.forensics.malformed_records()
+        assert records
+        reasons = {r.footprint.reason for r in records}
+        assert reasons  # every quarantined frame carries a diagnosis
+
+
+class TestDistillerFuzz:
+    @given(data=st.binary(max_size=400))
+    @settings(max_examples=100)
+    def test_arbitrary_bytes_never_raise(self, data):
+        engine = ScidiveEngine(vantage_ip="10.0.0.10")
+        footprint = engine.distiller.distill(data, 0.0)
+        assert footprint is None or footprint.protocol is not None
+
+    @given(
+        offset=st.integers(min_value=0, max_value=len(_GOOD) - 1),
+        junk=st.binary(min_size=1, max_size=8),
+    )
+    @settings(max_examples=100)
+    def test_single_site_mutations_never_raise(self, offset, junk):
+        """Bit-rot anywhere in a known-good frame must stay contained."""
+        engine = ScidiveEngine(vantage_ip="10.0.0.10")
+        engine.process_frame(_patch(_GOOD, offset, junk), 0.0)
+        assert engine.stats.frames == 1
+
+    @given(
+        cut=st.integers(min_value=0, max_value=len(_GOOD)),
+    )
+    @settings(max_examples=100)
+    def test_every_truncation_never_raises(self, cut):
+        engine = ScidiveEngine(vantage_ip="10.0.0.10")
+        engine.process_frame(_GOOD[:cut], 0.0)
+        assert engine.stats.frames == 1

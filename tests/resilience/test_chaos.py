@@ -1,0 +1,58 @@
+"""The chaos harness: invariants hold, runs are reproducible."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import ChaosConfig, format_report, run_chaos
+
+
+class TestChaosRun:
+    def test_single_attack_engine_mode(self):
+        report = run_chaos(ChaosConfig(
+            seed=7, attacks=("bye-attack",),
+            synth_sip=8, fragment_bombs=8, skew_frames=5,
+        ))
+        assert report.ok, report.violations
+        (outcome,) = report.outcomes
+        assert outcome.detected
+        assert outcome.exceptions == []
+        assert outcome.mutants > 0
+        # The skew tail's forward jump must have swept the bombs out.
+        assert outcome.reassembly_pending <= 8
+
+    def test_cluster_mode_with_crashes(self):
+        report = run_chaos(ChaosConfig(
+            seed=7, attacks=("fake-im",), workers=2, backend="threads",
+            synth_sip=4, fragment_bombs=4, skew_frames=3,
+        ))
+        assert report.ok, report.violations
+        (outcome,) = report.outcomes
+        assert outcome.worker_restarts >= 1
+        assert outcome.checkpoints >= 1
+
+    def test_deterministic_for_same_seed(self):
+        config = ChaosConfig(seed=11, attacks=("fake-im",),
+                             synth_sip=4, fragment_bombs=4, skew_frames=3)
+        first = run_chaos(config).as_dict()
+        second = run_chaos(config).as_dict()
+        assert first == second
+
+    def test_report_render(self):
+        report = run_chaos(ChaosConfig(
+            seed=7, attacks=("fake-im",),
+            synth_sip=2, fragment_bombs=2, skew_frames=2,
+        ))
+        text = format_report(report)
+        assert "fake-im" in text
+        assert "PASS" in text
+
+
+class TestChaosConfig:
+    def test_unknown_attack_rejected(self):
+        with pytest.raises(ValueError, match="unknown attacks"):
+            ChaosConfig(attacks=("nope",)).validate()
+
+    def test_bad_mutation_rate_rejected(self):
+        with pytest.raises(ValueError, match="mutation_rate"):
+            ChaosConfig(mutation_rate=1.5).validate()
