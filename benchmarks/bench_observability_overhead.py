@@ -2,20 +2,39 @@
 
 The ROADMAP's north star is throughput; the observability layer only
 earns its place if it is free when off and cheap when on.  This bench
-replays the same mixed workload through three engine configurations:
+replays the same mixed workload through four engine configurations:
 
 * **off** — no observability (the default; identical code path to the
   seed engine behind one ``is None`` check);
-* **metrics** — counters + per-stage histograms, no tracer;
+* **metrics** — counters + per-stage histograms only (summaries, rule
+  cost sampling and the latency-budget detector disabled);
+* **metrics full** — metrics plus the streaming quantile summaries,
+  sampled per-rule cost accounting and the latency-budget detector;
 * **metrics+trace** — everything, including per-frame span records.
 
 and prints the frames/s and relative overhead for each.  Wall-clock
-assertions are deliberately loose (CI machines are noisy); the printed
-table carries the real numbers.
+assertions in the pytest half are deliberately loose (CI machines are
+noisy); the printed table carries the real numbers.
+
+Standalone mode measures the *summaries + cost sampling* increment
+(metrics full vs metrics) with interleaved best-of-N timing and writes
+the regression-gate JSON::
+
+    PYTHONPATH=src python benchmarks/bench_observability_overhead.py \
+        --json BENCH_obs.json
+
+The headline is ``throughput_ratio`` (full / metrics-only); the
+acceptance budget is >= 0.95 (at most 5% overhead for the new
+features).  Exits non-zero when the ratio misses ``--min-ratio`` or
+any configuration changes detection output.
 """
 
 from __future__ import annotations
 
+import argparse
+import gc
+import json
+import sys
 import time
 
 import pytest
@@ -30,6 +49,20 @@ from repro.voip.testbed import CLIENT_A_IP
 @pytest.fixture(scope="module")
 def workload():
     return capture_workload(WorkloadSpec(calls=4, ims=4, churn_rounds=3, seed=51))
+
+
+def make_metrics_base() -> Observability:
+    """Counters + histograms only: the pre-summary instrumentation."""
+    ctx = Observability.create(trace=False)
+    ctx.summaries = False
+    ctx.cost_sample_rate = 0
+    ctx.frame_budget = 0.0
+    return ctx
+
+
+def make_metrics_full() -> Observability:
+    """Summaries + cost sampling + latency budget, at their defaults."""
+    return Observability.create(trace=False)
 
 
 def _replay(workload, observability=None):
@@ -91,6 +124,49 @@ def test_overhead_matrix(workload, emit):
     assert trace_s < base_s * 2.5
 
 
+def test_summary_cost_overhead(workload, emit):
+    """Summaries + cost sampling + latency budget vs plain metrics."""
+    base_s, base_engine = _time_replay(workload, make_metrics_base)
+    full_s, full_engine = _time_replay(workload, make_metrics_full)
+    frames = len(workload)
+    ratio = base_s / full_s
+    emit(f"metrics only: {frames / base_s:,.0f} frames/s  "
+         f"metrics full: {frames / full_s:,.0f} frames/s  "
+         f"ratio {ratio:.3f} ({(1 / ratio - 1) * 100:+.1f}% overhead)")
+
+    # Detection output must be identical with and without the new layer.
+    assert base_engine.stats.footprints == full_engine.stats.footprints
+    assert base_engine.stats.events == full_engine.stats.events
+    assert len(base_engine.alerts) == len(full_engine.alerts)
+
+    # The full configuration actually produced summary + cost data.
+    registry = full_engine.metrics_registry()
+    text = registry.render_prometheus()
+    assert "scidive_frame_latency_seconds" in text
+    assert "scidive_stage_latency_seconds" in text
+    # Rule cost needs events that actually reach rule candidates; the
+    # benign workload has none, so replay an attack densely sampled.
+    from repro.experiments.harness import run_bye_attack
+
+    attack_trace = run_bye_attack(seed=7).testbed.ids_tap.trace
+    ctx = make_metrics_full()
+    ctx.cost_sample_rate = 2
+    attack_engine = ScidiveEngine(vantage_ip=CLIENT_A_IP, observability=ctx)
+    attack_engine.process_trace(attack_trace)
+    costed = [r for r in attack_engine.ruleset.rules if r.cost_samples]
+    assert costed, "cost sampling recorded no rule timings"
+    assert attack_engine.ruleset.top_cost(3)[0]["cost_seconds"] > 0.0
+    # ...and the base configuration carries none of it.
+    base_text = base_engine.metrics_registry().render_prometheus()
+    assert "scidive_frame_latency_seconds" not in base_text
+    assert full_engine.latency_budget is not None
+    assert base_engine.latency_budget is None
+
+    # Target is <=5% (enforced by the standalone gate with interleaved
+    # timing); asserted loose here so a noisy CI box cannot flake.
+    assert full_s < base_s * 1.5
+
+
 def test_disabled_engine_throughput(benchmark, workload, emit):
     """pytest-benchmark record for the off configuration (seed-comparable)."""
     engine = benchmark(lambda: _replay(workload))
@@ -126,3 +202,182 @@ def test_span_recording_cost(emit):
     emit(f"Tracer.record: {per_span * 1e9:,.0f} ns/span")
     assert len(tracer.spans) == n
     assert per_span < 50e-6  # generous; typically < 2 µs
+
+
+# -- standalone regression gate -----------------------------------------------
+
+CONFIGS = {
+    "off": lambda: None,
+    "base": make_metrics_base,
+    "full": make_metrics_full,
+}
+
+
+def _signature(engine: ScidiveEngine):
+    return [(a.rule_id, a.time, a.session, a.message) for a in engine.alerts]
+
+
+def _timed_replay(trace, observability) -> tuple[float, ScidiveEngine]:
+    engine = ScidiveEngine(vantage_ip=CLIENT_A_IP, observability=observability)
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        engine.process_trace(trace)
+        elapsed = time.perf_counter() - start
+    finally:
+        gc.enable()
+    return elapsed, engine
+
+
+def _interleaved_timings(trace, repeats: int) -> dict[str, dict]:
+    """Best-of-N per configuration, rotated round-robin within rounds.
+
+    Sequential best-of-N is dominated by CPU-frequency and thermal drift
+    on shared runners — the same config can swing 20% between blocks,
+    swamping a 5% effect.  Interleaving puts every configuration inside
+    each drift window, and rotating the order each round removes the
+    position-in-round bias (the first slot after a gc.collect is
+    consistently the fastest), so the per-round *differences* are what
+    survive the best-of reduction.
+    """
+    best: dict[str, float] = {name: float("inf") for name in CONFIGS}
+    engines: dict[str, ScidiveEngine] = {}
+    names = list(CONFIGS)
+    for round_no in range(repeats):
+        shift = round_no % len(names)
+        for name in names[shift:] + names[:shift]:
+            elapsed, engine = _timed_replay(trace, CONFIGS[name]())
+            if elapsed < best[name]:
+                best[name] = elapsed
+                engines[name] = engine
+    frames = len(trace)
+    return {
+        name: {
+            "seconds": best[name],
+            "frames_per_second": frames / best[name],
+            "events": engines[name].stats.events,
+            "alerts": engines[name].stats.alerts,
+            "engine": engines[name],
+        }
+        for name in CONFIGS
+    }
+
+
+def _attack_equivalence(seed: int) -> dict:
+    """Replay each paper attack under every configuration; alerts must
+    be identical and each attack's rule must still fire."""
+    from repro.experiments.harness import (
+        run_bye_attack,
+        run_call_hijack,
+        run_fake_im,
+        run_rtp_attack,
+    )
+
+    attacks = {
+        "bye-attack": (run_bye_attack, "BYE-001"),
+        "call-hijack": (run_call_hijack, "HIJACK-001"),
+        "fake-im": (run_fake_im, "FAKEIM-001"),
+        "rtp-attack": (run_rtp_attack, "RTP-003"),
+    }
+    results = {}
+    for name, (runner, rule_id) in attacks.items():
+        trace = runner(seed=seed).testbed.ids_tap.trace
+        signatures = {}
+        for mode, make_obs in CONFIGS.items():
+            engine = ScidiveEngine(
+                vantage_ip=CLIENT_A_IP, observability=make_obs()
+            )
+            engine.process_trace(trace)
+            signatures[mode] = _signature(engine)
+        detected = any(sig[0] == rule_id for sig in signatures["full"])
+        results[name] = {
+            "rule": rule_id,
+            "alerts": len(signatures["full"]),
+            "detected": detected,
+            "identical": len(set(map(tuple, signatures.values()))) == 1,
+        }
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", help="write machine-readable results here")
+    parser.add_argument("--min-ratio", type=float, default=0.95,
+                        help="fail if full/base throughput ratio < this "
+                             "(0.95 = at most 5%% summary+cost overhead)")
+    parser.add_argument("--repeats", type=int, default=10,
+                        help="interleaved timing rounds (best-of-N)")
+    parser.add_argument("--calls", type=int, default=6)
+    parser.add_argument("--ims", type=int, default=6)
+    parser.add_argument("--churn-rounds", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=51)
+    args = parser.parse_args(argv)
+
+    spec = WorkloadSpec(calls=args.calls, ims=args.ims,
+                        churn_rounds=args.churn_rounds, seed=args.seed)
+    trace = capture_workload(spec)
+    print(f"workload: {len(trace)} frames, {trace.duration:.1f} s of sim time")
+
+    timings = _interleaved_timings(trace, args.repeats)
+    engines = {name: row.pop("engine") for name, row in timings.items()}
+    for name in CONFIGS:
+        row = timings[name]
+        print(f"observability {name:4s}: {row['seconds'] * 1e3:8.2f} ms  "
+              f"{row['frames_per_second']:10,.0f} frames/s")
+
+    ratio = (timings["full"]["frames_per_second"]
+             / timings["base"]["frames_per_second"])
+    print(f"throughput ratio (full / base): {ratio:.3f} "
+          f"({(1 / ratio - 1) * 100:+.1f}% summary+cost overhead)")
+
+    workload_identical = (
+        len({e.stats.footprints for e in engines.values()}) == 1
+        and len({e.stats.events for e in engines.values()}) == 1
+        and len(set(map(tuple, map(_signature, engines.values())))) == 1
+    )
+    print(f"workload detection identical across configs: {workload_identical}")
+
+    attacks = _attack_equivalence(seed=7)
+    for name, row in attacks.items():
+        ok = row["identical"] and row["detected"]
+        print(f"attack {name:12s}: {row['alerts']} alerts, "
+              f"{row['rule']} {'detected' if row['detected'] else 'MISSED'}, "
+              f"{'identical' if row['identical'] else 'DIVERGED'} "
+              f"[{'ok' if ok else 'FAIL'}]")
+
+    equivalent = workload_identical and all(
+        r["identical"] and r["detected"] for r in attacks.values()
+    )
+    passed = equivalent and ratio >= args.min_ratio
+
+    result = {
+        "bench": "observability",
+        "workload": {"frames": len(trace), "calls": args.calls,
+                     "ims": args.ims, "churn_rounds": args.churn_rounds,
+                     "seed": args.seed},
+        "repeats": args.repeats,
+        "timings": timings,
+        "throughput_ratio": ratio,
+        "min_ratio": args.min_ratio,
+        "attacks": attacks,
+        "equivalent": equivalent,
+        "passed": passed,
+    }
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+
+    if not equivalent:
+        print("FAIL: instrumentation changed detection output", file=sys.stderr)
+        return 1
+    if ratio < args.min_ratio:
+        print(f"FAIL: ratio {ratio:.3f} < {args.min_ratio}", file=sys.stderr)
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

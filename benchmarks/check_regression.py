@@ -4,7 +4,8 @@ Each bench script writes a machine-readable JSON (``BENCH_dispatch.json``
 from ``bench_dispatch.py``, ``BENCH_shards.json`` from
 ``bench_shard_scaling.py``, ``BENCH_forensics.json`` from
 ``bench_forensics.py``, ``BENCH_resilience.json`` from
-``bench_resilience.py``).  The baselines are committed; CI re-runs the
+``bench_resilience.py``, ``BENCH_obs.json`` from
+``bench_observability_overhead.py``).  The baselines are committed; CI re-runs the
 benches and calls this script to compare the headline metric against the
 baseline with a relative tolerance::
 
@@ -16,7 +17,8 @@ baseline with a relative tolerance::
 The headline metric is chosen by the ``bench`` field: ``speedup``
 (indexed vs broadcast dispatch), ``scaling_at_gate`` (modeled shard
 scaling) or ``throughput_ratio`` (forensics on vs off; checkpointing
-on vs off for the resilience bench).  A fresh value below ``baseline * (1 - tolerance)`` fails, as
+on vs off for the resilience bench; summaries+cost-sampling on vs
+metrics-only for the observability bench).  A fresh value below ``baseline * (1 - tolerance)`` fails, as
 does a fresh run whose own equivalence checks failed.  Fresh results
 *above* the baseline are reported as an improvement (and a nudge to
 re-commit the baseline), never a failure.
@@ -33,6 +35,7 @@ HEADLINE = {
     "shard_scaling": "scaling_at_gate",
     "forensics": "throughput_ratio",
     "resilience": "throughput_ratio",
+    "observability": "throughput_ratio",
 }
 
 

@@ -15,6 +15,7 @@ Usage::
     python -m repro chaos [--seed 7] [--workers 4] [--json chaos.json]
     python -m repro bench-shards [--workers 1 2 4 8] [--json BENCH_shards.json]
     python -m repro stats bye-attack [--seed 7] [--format table|prom|json]
+    python -m repro top [--port 8080] [--interval 1.0] [--once]
     python -m repro table1 [--seed 7]
     python -m repro modules
     python -m repro list
@@ -33,8 +34,9 @@ writes a JSON-lines span trace; ``--log-level`` turns on structured
 logging for any command.
 
 Forensics surface: ``--serve-http PORT`` (scenario/replay) runs the
-observability sidecar (``/metrics``, ``/healthz``, ``/alerts``) for the
-duration of the run plus ``--serve-linger`` seconds; ``--bundle-dir``
+observability sidecar (``/metrics``, ``/metrics/history``, ``/healthz``,
+``/alerts``) for the duration of the run plus ``--serve-linger``
+seconds — ``repro top`` renders a live dashboard over it; ``--bundle-dir``
 makes every alert write an evidence bundle (JSON + pcap) there, and
 ``explain`` renders one bundle by alert id.  ``--trace-out`` is a
 single-engine feature: cluster workers run metrics without a tracer
@@ -169,6 +171,21 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="report format: human tables, Prometheus text, or JSON")
     _add_obs_flags(stats)
 
+    top = sub.add_parser(
+        "top", help="live dashboard over a running --serve-http sidecar"
+    )
+    top.add_argument("--url", default=None,
+                     help="sidecar base URL (overrides --host/--port)")
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=8080)
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="refresh period in seconds (curses mode)")
+    top.add_argument("--window", type=float, default=10.0,
+                     help="sliding window for the rate panel, in seconds")
+    top.add_argument("--once", action="store_true",
+                     help="print one plain-text snapshot and exit "
+                          "(no curses; scripts and CI use this)")
+
     table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
     table1.add_argument("--seed", type=int, default=7)
 
@@ -205,7 +222,8 @@ def _start_server(args: argparse.Namespace):
     from repro.obs.server import ObsServer
 
     server = ObsServer(port=port).start()
-    print(f"observability sidecar on {server.url()} (/metrics /healthz /alerts)")
+    print(f"observability sidecar on {server.url()} "
+          "(/metrics /metrics/history /healthz /alerts)")
     return server
 
 
@@ -437,6 +455,11 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     """Run one scenario fully instrumented and print the metrics report."""
     ctx = obs.enable(trace=True)
+    # A stats run is a report, not a production deployment: sample rule
+    # cost and stage sketches densely so short scenarios still populate
+    # the cost table and quantile panels.
+    ctx.cost_sample_rate = 2
+    ctx.summary_sample_rate = 1
     try:
         result = _run_scenario(args.name, args.seed)
     finally:
@@ -451,10 +474,22 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     elif args.format == "json":
         import json as _json
 
+        from repro.obs.server import _quantile_view
+
         # Same Alert serialization the /alerts endpoint uses (Alert.to_dict),
         # so scripted consumers see one schema everywhere.
         payload = ctx.registry.as_dict()
         payload["alerts"] = [alert.to_dict() for alert in result.alerts]
+        payload["rule_costs"] = engine.ruleset.rule_stats()
+        payload["top_rules"] = engine.ruleset.top_cost()
+        stage_q = _quantile_view(
+            ctx.registry, "scidive_stage_latency_seconds", by="stage"
+        )
+        if stage_q is not None:
+            payload["stage_quantiles"] = stage_q
+        frame_q = _quantile_view(ctx.registry, "scidive_frame_latency_seconds")
+        if frame_q is not None:
+            payload["frame_quantiles"] = frame_q
         print(_json.dumps(payload, indent=2, sort_keys=True))
     else:
         stats = engine.stats
@@ -478,17 +513,46 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         ))
         print()
         print(format_stage_summary(engine.stage_summary()))
+        from repro.obs.server import _quantile_view
+
+        stage_q = _quantile_view(
+            ctx.registry, "scidive_stage_latency_seconds", by="stage"
+        )
+        frame_q = _quantile_view(ctx.registry, "scidive_frame_latency_seconds")
+        if stage_q or frame_q:
+            rows = []
+            if frame_q:
+                rows.append(["frame"] + _quantile_cells(frame_q))
+            for stage, view in (stage_q or {}).items():
+                rows.append([stage] + _quantile_cells(view))
+            print()
+            print(format_table(
+                ["stage", "p50 (ms)", "p90 (ms)", "p99 (ms)", "samples"],
+                rows, title="Latency quantiles (streaming sketch)",
+            ))
         print()
         rule_rows = [
-            [r["rule_id"], r["attack_class"], r["matches_attempted"], r["alerts_raised"]]
+            [r["rule_id"], r["attack_class"], r["matches_attempted"],
+             r["alerts_raised"], f"{r['cost_seconds'] * 1e3:.3f}",
+             r["cost_samples"]]
             for r in engine.ruleset.rule_stats()
         ]
         print(format_table(
-            ["rule", "class", "matches attempted", "alerts raised"],
+            ["rule", "class", "matches attempted", "alerts raised",
+             "est. cost (ms)", "cost samples"],
             rule_rows, title="Per-rule activity",
         ))
     _export_observability(ctx, args)
     return 0
+
+
+def _quantile_cells(view: dict) -> list[str]:
+    return [
+        f"{view.get('p50', 0.0) * 1e3:.3f}",
+        f"{view.get('p90', 0.0) * 1e3:.3f}",
+        f"{view.get('p99', 0.0) * 1e3:.3f}",
+        str(view.get("count", 0)),
+    ]
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
@@ -569,6 +633,21 @@ def _cmd_bench_shards(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Dashboard over a live sidecar (curses, or --once plain text)."""
+    from repro.obs import top as _top
+
+    base_url = args.url or f"http://{args.host}:{args.port}"
+    if args.once:
+        return _top.run_once(base_url, window=args.window)
+    try:
+        return _top.run_curses(
+            base_url, interval=args.interval, window=args.window
+        )
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.experiments.table1 import TABLE1_HEADERS, build_table1
 
@@ -620,6 +699,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "chaos": _cmd_chaos,
         "bench-shards": _cmd_bench_shards,
         "stats": _cmd_stats,
+        "top": _cmd_top,
         "table1": _cmd_table1,
         "modules": _cmd_modules,
         "list": _cmd_list,

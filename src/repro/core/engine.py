@@ -134,6 +134,8 @@ class ScidiveEngine:
         hook: FootprintHook | None = None,
         forensics: "ForensicsRecorder | bool | None" = None,
         firewall: "StageFirewall | bool | None" = None,
+        cost_sample_rate: int | None = None,
+        frame_budget: float | None = None,
     ) -> None:
         self.name = name
         self.indexed_dispatch = indexed_dispatch
@@ -252,6 +254,33 @@ class ScidiveEngine:
                 self.firewall.bind_registry(registry)
             self.distiller.firewall = self.firewall
             self.ruleset.firewall = self.firewall
+        # -- per-rule cost accounting -----------------------------------------
+        # Sampled match() timing: every Nth invocation per rule.  Dark
+        # engines default to 0 (off) so the guard is one int compare.
+        if cost_sample_rate is None:
+            cost_sample_rate = (
+                self.observability.cost_sample_rate
+                if self.observability is not None
+                else 0
+            )
+        self.ruleset.cost_sample_rate = cost_sample_rate
+        # -- latency budget ---------------------------------------------------
+        # Default-on for instrumented engines (overload must be visible
+        # wherever metrics are); dark engines opt in via frame_budget.
+        if frame_budget is None and self.observability is not None:
+            frame_budget = self.observability.frame_budget
+        if frame_budget is None and self._instr is not None:
+            frame_budget = _obs.DEFAULT_FRAME_BUDGET
+        if frame_budget:
+            self.latency_budget: "_obs.LatencyBudgetDetector | None" = (
+                _obs.LatencyBudgetDetector(
+                    budget=frame_budget,
+                    engine_name=name,
+                    emit_alert=self._emit_self_alert,
+                )
+            )
+        else:
+            self.latency_budget = None
 
     @property
     def metrics_enabled(self) -> bool:
@@ -313,7 +342,13 @@ class ScidiveEngine:
             alerts: list[Alert] = []
         else:
             alerts = self.process_footprint(footprint, self.stats.frames)
-        self.stats.cpu_seconds += _time.perf_counter() - started
+        elapsed = _time.perf_counter() - started
+        self.stats.cpu_seconds += elapsed
+        if hook is not None:
+            hook.frame_done(elapsed, self.stats.frames, timestamp)
+        budget = self.latency_budget
+        if budget is not None:
+            budget.record(elapsed, timestamp)
         return alerts
 
     def process_frame_shadow(self, frame: bytes, timestamp: float) -> None:

@@ -78,6 +78,9 @@ class FootprintHook:
     ) -> None:
         """The footprint finished the generate → match stages."""
 
+    def frame_done(self, seconds: float, frame_no: int, sim_time: float) -> None:
+        """One raw frame finished the whole pipeline (total wall time)."""
+
     def injected(self, event_name: str) -> None:
         """An external event entered via ``inject_event`` (cooperation)."""
 

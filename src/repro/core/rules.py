@@ -25,6 +25,7 @@ engine-throughput benchmark quantifies the difference.
 
 from __future__ import annotations
 
+import time as _time
 from abc import ABC, abstractmethod
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
@@ -80,6 +81,7 @@ class Rule(ABC):
     # extend the tuple.
     state_attrs: tuple[str, ...] = (
         "_last_alert", "matches_attempted", "alerts_raised",
+        "cost_seconds", "cost_samples",
     )
 
     def __init__(
@@ -102,6 +104,12 @@ class Rule(ABC):
         # dispatch, events outside trigger_events never reach it).
         self.matches_attempted = 0
         self.alerts_raised = 0
+        # Sampled cost accounting (see RuleSet.cost_sample_rate):
+        # cost_seconds is the *estimated total* wall time this rule has
+        # consumed (each timed sample scaled by the sample rate),
+        # cost_samples the number of timed invocations behind it.
+        self.cost_seconds = 0.0
+        self.cost_samples = 0
 
     @abstractmethod
     def on_event(self, event: Event, ctx: RuleContext) -> Alert | None:
@@ -114,6 +122,8 @@ class Rule(ABC):
         self._last_alert.clear()
         self.matches_attempted = 0
         self.alerts_raised = 0
+        self.cost_seconds = 0.0
+        self.cost_samples = 0
 
     def checkpoint_state(self) -> dict:
         """This rule's detection state for a checkpoint payload."""
@@ -420,6 +430,12 @@ class RuleSet:
         # Exception firewall (repro.resilience.firewall), wired by the
         # engine.  None = a throwing rule propagates (standalone use).
         self.firewall = None
+        # Sampled per-rule cost accounting: every Nth match() call times
+        # each candidate rule's on_event and scales the reading back up,
+        # so attribution stays live at a bounded (~1/N) overhead.  0 (the
+        # default) disables it — the hot path then pays one int test.
+        self.cost_sample_rate = 0
+        self._cost_tick = 0
 
     def add(self, rule: Rule) -> None:
         if any(r.rule_id == rule.rule_id for r in self.rules):
@@ -476,11 +492,28 @@ class RuleSet:
             self.dispatch_skipped += len(self.rules) - len(candidates)
         else:
             candidates = self.rules
+        rate = self.cost_sample_rate
+        timed = False
+        if rate:
+            tick = self._cost_tick + 1
+            if tick >= rate:
+                self._cost_tick = 0
+                timed = True
+                perf = _time.perf_counter
+                scale = float(rate)
+            else:
+                self._cost_tick = tick
         alerts: list[Alert] = []
         for rule in candidates:
             rule.matches_attempted += 1
             try:
-                alert = rule.on_event(event, ctx)
+                if timed:
+                    t0 = perf()
+                    alert = rule.on_event(event, ctx)
+                    rule.cost_seconds += (perf() - t0) * scale
+                    rule.cost_samples += 1
+                else:
+                    alert = rule.on_event(event, ctx)
             except Exception as exc:
                 # A throwing rule must not abort the frame path (nor
                 # starve the later candidates).  The firewall counts it;
@@ -502,6 +535,7 @@ class RuleSet:
             rule.reset()
         self.history = EventHistory()
         self.dispatch_skipped = 0
+        self._cost_tick = 0
 
     def rule_stats(self) -> list[dict[str, object]]:
         """Per-rule match/alert counters (the ``repro stats`` table)."""
@@ -512,8 +546,35 @@ class RuleSet:
                 "attack_class": rule.attack_class,
                 "matches_attempted": rule.matches_attempted,
                 "alerts_raised": rule.alerts_raised,
+                "cost_seconds": rule.cost_seconds,
+                "cost_samples": rule.cost_samples,
             }
             for rule in self.rules
+        ]
+
+    def top_cost(self, k: int = 10) -> list[dict[str, object]]:
+        """The ``k`` most expensive rules by estimated total wall time.
+
+        Only meaningful when ``cost_sample_rate`` is active; rules that
+        were never timed report zero and sort last (and are dropped when
+        anything non-zero exists, so the view shows real spenders only).
+        """
+        ranked = sorted(self.rules, key=lambda r: r.cost_seconds, reverse=True)
+        spenders = [r for r in ranked if r.cost_seconds > 0.0] or ranked
+        return [
+            {
+                "rule_id": rule.rule_id,
+                "name": rule.name,
+                "cost_seconds": rule.cost_seconds,
+                "cost_samples": rule.cost_samples,
+                "matches_attempted": rule.matches_attempted,
+                "cost_per_match": (
+                    rule.cost_seconds / rule.matches_attempted
+                    if rule.matches_attempted
+                    else 0.0
+                ),
+            }
+            for rule in spenders[:k]
         ]
 
     def __len__(self) -> int:

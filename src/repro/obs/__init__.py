@@ -29,6 +29,12 @@ from repro.obs.forensics import (
     load_bundle,
     write_malformed_bundle,
 )
+from repro.obs.budget import (
+    DEFAULT_FRAME_BUDGET,
+    OVERLOAD_RULE_ID,
+    LatencyBudgetDetector,
+)
+from repro.obs.history import MetricsHistory
 from repro.obs.instrument import EngineInstrumentation, InstrumentationHook
 from repro.obs.logsetup import get_logger, setup_logging
 from repro.obs.registry import (
@@ -37,6 +43,7 @@ from repro.obs.registry import (
     Histogram,
     MetricError,
     MetricsRegistry,
+    Summary,
     default_registry,
     parse_prometheus,
     set_default_registry,
@@ -51,13 +58,26 @@ class Observability:
 
     registry: MetricsRegistry = field(default_factory=MetricsRegistry)
     tracer: Tracer | None = None
+    # Streaming latency quantiles (frame/stage/module summaries).
+    summaries: bool = True
+    # Stage/module sketches observe every Nth frame (1 = every frame);
+    # the frame-level sketch and the latency budget always see all.
+    summary_sample_rate: int = 4
+    # Time every Nth rule match() invocation; 0 disables cost accounting.
+    cost_sample_rate: int = 16
+    # Per-frame latency budget in seconds; None = engine default.
+    frame_budget: float | None = None
 
     @classmethod
     def create(cls, trace: bool = True) -> "Observability":
         return cls(registry=MetricsRegistry(), tracer=Tracer() if trace else None)
 
     def instrument_engine(self, name: str) -> EngineInstrumentation:
-        return EngineInstrumentation(self.registry, engine=name, tracer=self.tracer)
+        return EngineInstrumentation(
+            self.registry, engine=name, tracer=self.tracer,
+            summaries=self.summaries,
+            summary_sample=self.summary_sample_rate,
+        )
 
 
 _current: Observability | None = None
@@ -89,20 +109,25 @@ def current() -> Observability | None:
 
 __all__ = [
     "Counter",
+    "DEFAULT_FRAME_BUDGET",
     "EngineInstrumentation",
     "ForensicsConfig",
     "ForensicsRecorder",
     "Gauge",
     "Histogram",
     "InstrumentationHook",
+    "LatencyBudgetDetector",
     "MetricError",
+    "MetricsHistory",
     "MetricsRegistry",
+    "OVERLOAD_RULE_ID",
     "Observability",
     "ObsServer",
     "ProvenanceGraph",
     "Span",
     "StageStats",
     "StatusSource",
+    "Summary",
     "Tracer",
     "configure_forensics",
     "current",

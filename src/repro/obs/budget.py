@@ -1,0 +1,174 @@
+"""Per-frame latency budget: the engine's own overload detector.
+
+A production IDS that falls behind the wire is silently blind — frames
+queue, detection delay grows, and nothing in the alert stream says so.
+This module gives every engine a *latency budget*: a per-frame wall-time
+allowance (default :data:`DEFAULT_FRAME_BUDGET`).  The detector tracks a
+sliding window of recent frame latencies and derives a **burn rate** —
+how many budgets the engine is spending per frame, on average, across
+the window.  A burn rate of 1.0 means the engine is exactly keeping up;
+sustained burn above :data:`DEFAULT_BURN_THRESHOLD` means the engine
+cannot drain a full wire at this traffic mix, and the detector emits a
+``SELF-OVERLOAD`` self-diagnostic alert through the same path the
+exception firewall uses — so overload is an *alert*, subject to the same
+subscribers, logs and counters as any detection verdict.
+
+The per-frame cost is one deque append/pop and a handful of float ops,
+and only when a detector is attached; dark engines pay a single
+``is not None`` guard.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.core.alerts import Alert, Severity
+
+# Self-diagnostic rule id — greppable, never collides with detection rules.
+OVERLOAD_RULE_ID = "SELF-OVERLOAD"
+
+# Default per-frame wall-time allowance.  5 ms/frame is ~200 frames/s
+# sustained — far above anything the simulated testbeds produce per
+# frame, so the detector stays quiet unless the pipeline genuinely
+# degrades (pathological rule, GC storm, oversubscribed host).
+DEFAULT_FRAME_BUDGET = 0.005
+
+# Sliding window length in frames.  Long enough that one slow frame
+# (housekeeping sweep, cold caches) cannot trip the alarm; short enough
+# that sustained overload is caught within a few hundred frames.
+DEFAULT_WINDOW = 256
+
+# Burn rate that declares overload: spending this many budgets per frame
+# across a full window.
+DEFAULT_BURN_THRESHOLD = 1.0
+
+
+class LatencyBudgetDetector:
+    """Sliding-window burn-rate detector over per-frame latencies."""
+
+    __slots__ = (
+        "budget", "window", "burn_threshold", "engine_name", "emit_alert",
+        "frames", "frames_over_budget", "alerts_emitted",
+        "_latencies", "_window_sum", "_frames_since_alert", "_alert_floor",
+    )
+
+    def __init__(
+        self,
+        budget: float = DEFAULT_FRAME_BUDGET,
+        window: int = DEFAULT_WINDOW,
+        burn_threshold: float = DEFAULT_BURN_THRESHOLD,
+        engine_name: str = "scidive",
+        emit_alert: Callable[[Alert], None] | None = None,
+    ) -> None:
+        if budget <= 0:
+            raise ValueError(f"budget must be > 0 (got {budget})")
+        if window < 2:
+            raise ValueError(f"window must be >= 2 (got {window})")
+        self.budget = budget
+        self.window = window
+        self.burn_threshold = burn_threshold
+        self.engine_name = engine_name
+        # Wired by the engine to its self-alert sink; None = count only.
+        self.emit_alert = emit_alert
+        self.frames = 0
+        self.frames_over_budget = 0
+        self.alerts_emitted = 0
+        self._latencies: deque[float] = deque(maxlen=window)
+        self._window_sum = 0.0
+        self._frames_since_alert = window  # first window may alert
+        # Window-sum threshold for overload, precomputed off the hot path.
+        self._alert_floor = burn_threshold * budget * window
+
+    # -- hot path -------------------------------------------------------------
+
+    def record(self, seconds: float, timestamp: float) -> bool:
+        """Absorb one frame's latency; True when the window is overloaded.
+
+        ``timestamp`` is the frame's sim-clock time, used only to stamp
+        the self-diagnostic alert so it sorts into the alert timeline.
+        """
+        self.frames += 1
+        if seconds > self.budget:
+            self.frames_over_budget += 1
+        latencies = self._latencies
+        if len(latencies) == self.window:
+            # maxlen deque: this append ejects latencies[0].
+            self._window_sum += seconds - latencies[0]
+        else:
+            self._window_sum += seconds
+        latencies.append(seconds)
+        self._frames_since_alert += 1
+        if len(latencies) < self.window:
+            return False
+        if self._window_sum < self._alert_floor:
+            return False
+        # Overloaded.  Alert at most once per window of frames, so a
+        # sustained overload produces a heartbeat, not an alert flood.
+        if self._frames_since_alert >= self.window:
+            self._frames_since_alert = 0
+            self.alerts_emitted += 1
+            if self.emit_alert is not None:
+                self.emit_alert(self._overload_alert(timestamp))
+        return True
+
+    # -- surfacing ------------------------------------------------------------
+
+    @property
+    def burn_rate(self) -> float:
+        """Budgets spent per frame across the current window."""
+        n = len(self._latencies)
+        if n == 0:
+            return 0.0
+        return self._window_sum / (n * self.budget)
+
+    @property
+    def overloaded(self) -> bool:
+        return (
+            len(self._latencies) >= self.window
+            and self.burn_rate >= self.burn_threshold
+        )
+
+    @property
+    def over_budget_fraction(self) -> float:
+        return self.frames_over_budget / self.frames if self.frames else 0.0
+
+    def _overload_alert(self, timestamp: float) -> Alert:
+        return Alert(
+            rule_id=OVERLOAD_RULE_ID,
+            rule_name="self-diagnostic: frame latency budget exhausted",
+            time=timestamp,
+            session="",
+            severity=Severity.HIGH,
+            attack_class="self-diagnostic",
+            message=(
+                f"engine {self.engine_name!r} burning "
+                f"{self.burn_rate:.2f}x its {self.budget * 1e3:g} ms/frame "
+                f"latency budget over the last {self.window} frames "
+                f"({self.over_budget_fraction:.0%} of all frames over "
+                f"budget); detection is falling behind the wire"
+            ),
+        )
+
+    def as_dict(self) -> dict:
+        """The /healthz view (plain JSON-safe types)."""
+        return {
+            "budget_seconds": self.budget,
+            "window_frames": self.window,
+            "burn_threshold": self.burn_threshold,
+            "burn_rate": round(self.burn_rate, 4),
+            "overloaded": self.overloaded,
+            "frames": self.frames,
+            "frames_over_budget": self.frames_over_budget,
+            "over_budget_fraction": round(self.over_budget_fraction, 4),
+            "alerts_emitted": self.alerts_emitted,
+        }
+
+    def reset(self) -> None:
+        """Zero the window and counters (between experiment phases)."""
+        self.frames = 0
+        self.frames_over_budget = 0
+        self.alerts_emitted = 0
+        self._latencies.clear()
+        self._window_sum = 0.0
+        self._frames_since_alert = self.window

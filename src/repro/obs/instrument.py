@@ -14,6 +14,16 @@ so cooperating detectors share a registry without colliding):
 * ``scidive_alerts_total{rule_id,severity}`` — alerts raised.
 * ``scidive_injected_events_total`` — cooperative-detection injections.
 * ``scidive_stage_seconds{stage}`` — per-stage latency histogram.
+* ``scidive_frame_latency_seconds`` — per-frame latency summary
+  (streaming p50/p90/p99 via the mergeable quantile sketch).
+* ``scidive_stage_latency_seconds{stage}`` /
+  ``scidive_module_latency_seconds{protocol}`` — per-stage and
+  per-protocol-module latency summaries.
+* ``scidive_rule_cost_seconds_total{rule_id}`` /
+  ``scidive_rule_cost_samples_total{rule_id}`` — sampled per-rule match
+  cost (see :attr:`repro.core.rules.RuleSet.cost_sample_rate`).
+* ``scidive_frame_budget_burn_rate`` — the latency-budget detector's
+  current burn rate (budgets spent per frame over its window).
 * ``scidive_generator_seconds_total`` / ``scidive_generator_calls_total``
   — cumulative per-generator wall time and fan-out counts.
 * ``scidive_housekeeping_runs_total`` / ``…_reclaimed_trails_total``.
@@ -38,13 +48,17 @@ class EngineInstrumentation:
     """Per-engine metric handles over a shared registry."""
 
     __slots__ = (
-        "registry", "tracer", "engine",
+        "registry", "tracer", "engine", "summaries", "summary_sample",
         "_frames", "_footprints", "_events", "_alerts", "_injected",
         "_stage", "_generator", "_generator_calls",
         "_housekeeping_runs", "_reclaimed",
         "_trails", "_sessions", "_dialogs", "_registrations", "_distiller",
         "_footprint_children", "_event_children", "_stage_children",
         "_gen_seconds_acc", "_gen_calls_acc",
+        "_frame_summary", "_stage_summary", "_module_summary",
+        "_stage_summary_children", "_module_children",
+        "_rule_cost", "_rule_cost_samples",
+        "_rule_cost_flushed", "_rule_samples_flushed", "_burn_rate",
     )
 
     def __init__(
@@ -52,10 +66,14 @@ class EngineInstrumentation:
         registry: MetricsRegistry,
         engine: str = "scidive",
         tracer: Tracer | None = None,
+        summaries: bool = True,
+        summary_sample: int = 4,
     ) -> None:
         self.registry = registry
         self.tracer = tracer
         self.engine = engine
+        self.summaries = summaries
+        self.summary_sample = max(1, summary_sample)
         label = {"engine": engine}
         self._frames = registry.counter(
             "scidive_frames_total", "Raw frames ingested", ("engine",)
@@ -113,11 +131,52 @@ class EngineInstrumentation:
             "scidive_distiller_frames", "Distiller counter snapshot",
             ("engine", "counter"),
         )
+        # Latency summaries (streaming p50/p90/p99).  None when summaries
+        # are off — hot-path call sites guard on the child, so disabling
+        # summaries removes their entire cost, not just their exposition.
+        if summaries:
+            self._frame_summary = registry.summary(
+                "scidive_frame_latency_seconds",
+                "Per-frame pipeline latency quantiles", ("engine",),
+            ).labels(**label)
+            self._stage_summary = registry.summary(
+                "scidive_stage_latency_seconds",
+                "Per-stage latency quantiles", ("engine", "stage"),
+            )
+            self._module_summary = registry.summary(
+                "scidive_module_latency_seconds",
+                "Per-protocol-module latency quantiles (generate + match)",
+                ("engine", "protocol"),
+            )
+        else:
+            self._frame_summary = None
+            self._stage_summary = None
+            self._module_summary = None
+        self._rule_cost = registry.counter(
+            "scidive_rule_cost_seconds_total",
+            "Estimated wall-clock seconds per rule (sampled, scaled)",
+            ("engine", "rule_id"),
+        )
+        self._rule_cost_samples = registry.counter(
+            "scidive_rule_cost_samples_total",
+            "Timed match() invocations per rule", ("engine", "rule_id"),
+        )
+        self._burn_rate = registry.gauge(
+            "scidive_frame_budget_burn_rate",
+            "Latency-budget burn rate (budgets spent per frame)", ("engine",),
+        ).labels(**label)
         # Hot-path label children resolved once per distinct value, then
         # hit these dicts — keeps per-frame cost to dict lookups.
         self._footprint_children: dict[str, Any] = {}
         self._event_children: dict[str, Any] = {}
         self._stage_children: dict[str, Any] = {}
+        self._stage_summary_children: dict[str, Any] = {}
+        self._module_children: dict[str, Any] = {}
+        # Rule costs live on the Rule objects (sampled there); update_gauges
+        # flushes the *delta* since the last flush into the counters, so
+        # the registry stays monotonic while rules keep plain floats.
+        self._rule_cost_flushed: dict[str, float] = {}
+        self._rule_samples_flushed: dict[str, int] = {}
         # Per-generator time/call tallies accumulate in plain dicts (a
         # float add per generator per frame) and flush to the registry
         # in update_gauges — a histogram observe per generator per frame
@@ -127,7 +186,9 @@ class EngineInstrumentation:
 
     def as_hook(self, sample_every: int = 8) -> "InstrumentationHook":
         """The engine-facing hook that feeds this instrumentation."""
-        return InstrumentationHook(self, sample_every=sample_every)
+        return InstrumentationHook(
+            self, sample_every=sample_every, summary_every=self.summary_sample
+        )
 
     # -- hot-path hooks (called per frame) ----------------------------------
 
@@ -175,6 +236,31 @@ class EngineInstrumentation:
             self._stage_children[stage] = child
         return child
 
+    def stage_summary_child(self, stage: str):
+        """The quantile-sketch child for one stage (None when summaries
+        are off — callers guard, paying nothing)."""
+        if self._stage_summary is None:
+            return None
+        child = self._stage_summary_children.get(stage)
+        if child is None:
+            child = self._stage_summary.labels(engine=self.engine, stage=stage)
+            self._stage_summary_children[stage] = child
+        return child
+
+    def frame_summary_child(self):
+        return self._frame_summary
+
+    def module_child(self, protocol: str):
+        if self._module_summary is None:
+            return None
+        child = self._module_children.get(protocol)
+        if child is None:
+            child = self._module_summary.labels(
+                engine=self.engine, protocol=protocol
+            )
+            self._module_children[protocol] = child
+        return child
+
     def frame_counter_child(self):
         return self._frames
 
@@ -220,6 +306,33 @@ class EngineInstrumentation:
                 engine=self.engine, generator=generator
             ).inc(calls)
         self._gen_calls_acc.clear()
+        self.flush_rule_costs(engine.ruleset.rules)
+        budget = getattr(engine, "latency_budget", None)
+        if budget is not None:
+            self._burn_rate.set(budget.burn_rate)
+
+    def flush_rule_costs(self, rules: Any) -> None:
+        """Push each rule's sampled cost *delta* into the counters.
+
+        Rules accumulate ``cost_seconds``/``cost_samples`` as plain
+        floats on the hot path (see :class:`repro.core.rules.RuleSet`);
+        this converts them into monotonic registry counters off the
+        per-frame path.
+        """
+        flushed = self._rule_cost_flushed
+        flushed_n = self._rule_samples_flushed
+        for rule in rules:
+            rid = rule.rule_id
+            delta = rule.cost_seconds - flushed.get(rid, 0.0)
+            if delta > 0.0:
+                self._rule_cost.labels(engine=self.engine, rule_id=rid).inc(delta)
+                flushed[rid] = rule.cost_seconds
+            delta_n = rule.cost_samples - flushed_n.get(rid, 0)
+            if delta_n > 0:
+                self._rule_cost_samples.labels(
+                    engine=self.engine, rule_id=rid
+                ).inc(delta_n)
+                flushed_n[rid] = rule.cost_samples
 
 
 class InstrumentationHook(FootprintHook):
@@ -238,10 +351,17 @@ class InstrumentationHook(FootprintHook):
         "instr", "tracer", "sample_every",
         "_c_frames", "_h_distill", "_h_state", "_h_trail",
         "_h_generate", "_h_match",
+        "_s_frame", "_s_distill", "_s_generate", "_s_match", "_s_housekeep",
+        "_module_cache", "summary_every", "_summary_tick", "_summary_on",
         "_gen_secs", "_fp_counts", "_sample_tick",
     )
 
-    def __init__(self, instr: EngineInstrumentation, sample_every: int = 8) -> None:
+    def __init__(
+        self,
+        instr: EngineInstrumentation,
+        sample_every: int = 8,
+        summary_every: int = 4,
+    ) -> None:
         self.instr = instr
         self.tracer = instr.tracer
         self.sample_every = max(1, sample_every)
@@ -251,6 +371,23 @@ class InstrumentationHook(FootprintHook):
         self._h_trail = instr.stage_child("trail")
         self._h_generate = instr.stage_child("generate")
         self._h_match = instr.stage_child("match")
+        # Quantile-sketch children; all None when summaries are off, and
+        # every observe below hides behind an ``is not None`` guard.
+        self._s_frame = instr.frame_summary_child()
+        self._s_distill = instr.stage_summary_child("distill")
+        self._s_generate = instr.stage_summary_child("generate")
+        self._s_match = instr.stage_summary_child("match")
+        self._s_housekeep = instr.stage_summary_child("housekeep")
+        self._module_cache: dict[Any, Any] = {}  # Protocol -> summary child
+        # Latency sketches observe every Nth frame (coherently: a
+        # sampled frame contributes frame AND distill AND generate AND
+        # match, so quantiles stay unbiased systematic samples).  The
+        # latency budget still sees every frame — overload detection
+        # keeps full tail fidelity; only the *reported* quantiles are
+        # estimated from the sample.
+        self.summary_every = max(1, summary_every)
+        self._summary_tick = self.summary_every - 1  # sample the first frame
+        self._summary_on = False
         self._gen_secs: dict[str, float] = {}
         self._fp_counts: dict[Any, int] = {}  # Protocol -> footprints
         self._sample_tick = self.sample_every - 1  # sample the first footprint
@@ -258,6 +395,15 @@ class InstrumentationHook(FootprintHook):
     def frame_distilled(self, frame_no, sim_time, footprint, seconds) -> None:
         self._c_frames.inc()
         self._h_distill.observe(seconds)
+        if self._s_distill is not None:
+            tick = self._summary_tick + 1
+            if tick >= self.summary_every:
+                self._summary_tick = 0
+                self._summary_on = True
+                self._s_distill.observe(seconds)
+            else:
+                self._summary_tick = tick
+                self._summary_on = False
         if self.tracer is not None:
             self.tracer.record(
                 "distill", seconds, frame=frame_no, sim_time=sim_time,
@@ -267,6 +413,12 @@ class InstrumentationHook(FootprintHook):
     def housekeeping_timed(self, reclaimed, seconds, frame_no, sim_time) -> None:
         self.instr.stage("housekeep", seconds, frame=frame_no,
                          sim_time=sim_time, reclaimed=reclaimed)
+        if self._s_housekeep is not None:
+            self._s_housekeep.observe(seconds)
+
+    def frame_done(self, seconds, frame_no, sim_time) -> None:
+        if self._summary_on and self._s_frame is not None:
+            self._s_frame.observe(seconds)
 
     def state_updated(self, seconds, frame_no, sim_time) -> None:
         self._h_state.observe(seconds)
@@ -299,6 +451,14 @@ class InstrumentationHook(FootprintHook):
         self._fp_counts[protocol] = self._fp_counts.get(protocol, 0) + 1
         self._h_generate.observe(generate_seconds)
         self._h_match.observe(match_seconds)
+        if self._summary_on and self._s_generate is not None:
+            self._s_generate.observe(generate_seconds)
+            self._s_match.observe(match_seconds)
+            child = self._module_cache.get(protocol)
+            if child is None:
+                child = self.instr.module_child(protocol.value)
+                self._module_cache[protocol] = child
+            child.observe(generate_seconds + match_seconds)
         if self.tracer is not None:
             self.tracer.record("generate", generate_seconds, frame=frame_no,
                                sim_time=sim_time, events=events)

@@ -23,8 +23,10 @@ Usage::
 from __future__ import annotations
 
 import json
+import math
 import re
 from bisect import bisect_left
+from math import ceil as _ceil, log as _log
 from typing import Any, Iterable
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -73,6 +75,13 @@ def _format_labels(labelnames: tuple[str, ...], labelvalues: tuple[str, ...],
         return ""
     inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
     return "{" + inner + "}"
+
+
+def _labels_repr(labels: dict) -> str:
+    if not labels:
+        return ""
+    names = tuple(labels)
+    return _format_labels(names, tuple(str(labels[n]) for n in names))
 
 
 def _format_value(value: float) -> str:
@@ -161,7 +170,15 @@ class Metric:
             if mine is None:
                 mine = self._new_child()
                 self._children[key] = mine
-            mine._merge(child)
+            try:
+                mine._merge(child)
+            except MetricError as exc:
+                # Children don't know their own name; a bare "bucket
+                # bounds differ" from a 4-worker roll-up is undebuggable.
+                raise MetricError(
+                    f"{self.name}"
+                    f"{_format_labels(self.labelnames, key)}: {exc}"
+                ) from None
 
 
 class _CounterChild:
@@ -359,6 +376,221 @@ class Histogram(Metric):
         return self._default_child().sum
 
 
+# Relative-error target for Summary quantile sketches: an estimated
+# quantile q̂ satisfies |q̂ - q| <= alpha * q for the true quantile q.
+DEFAULT_SUMMARY_ALPHA = 0.01
+
+# Quantiles rendered by default (Prometheus summary convention).
+DEFAULT_QUANTILES = (0.5, 0.9, 0.99)
+
+# Observations below this are "zero" for sketching purposes: the log
+# bucketing cannot represent 0, and sub-nanosecond latencies are clock
+# noise anyway.
+_SUMMARY_MIN_VALUE = 1e-9
+
+# Bucket-count ceiling per child.  With alpha=1% the full 1 ns .. 1000 s
+# latency range needs ~1380 buckets; the cap only bites on pathological
+# value ranges, collapsing the smallest buckets first (quantile error
+# stays one-sided: low quantiles round up toward the collapse floor).
+_SUMMARY_MAX_BUCKETS = 2048
+
+
+class _SummaryChild:
+    """One label-set's streaming quantile sketch.
+
+    A DDSketch-style log-bucketed sketch: an observation ``v`` lands in
+    integer bucket ``ceil(log_gamma(v))`` where ``gamma = (1 + alpha) /
+    (1 - alpha)``, which guarantees every value in a bucket is within
+    relative error ``alpha`` of the bucket's representative value
+    ``2 * gamma^k / (gamma + 1)``.  Unlike the P² estimator (whose five
+    markers drift with arrival order and cannot be combined), bucket
+    counts merge by plain addition — commutative and associative, which
+    is exactly what the cluster's N-way worker roll-up needs.
+    """
+
+    __slots__ = ("gamma", "_inv_log_gamma", "buckets", "zeros",
+                 "sum", "count", "min", "max")
+
+    def __init__(self, gamma: float) -> None:
+        self.gamma = gamma
+        self._inv_log_gamma = 1.0 / math.log(gamma)
+        self.buckets: dict[int, int] = {}
+        self.zeros = 0
+        self.sum = 0.0
+        self.count = 0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        # Engine hot path: ~5 calls per frame.  Accepts ints too (the
+        # += and comparisons coerce); the bucket-cap check only runs
+        # when a *new* bucket appears, so steady state skips it.
+        self.sum += value
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value < _SUMMARY_MIN_VALUE:
+            self.zeros += 1
+            return
+        key = _ceil(_log(value) * self._inv_log_gamma)
+        buckets = self.buckets
+        prev = buckets.get(key)
+        if prev is None:
+            buckets[key] = 1
+            if len(buckets) > _SUMMARY_MAX_BUCKETS:
+                self._collapse()
+        else:
+            buckets[key] = prev + 1
+
+    def _collapse(self) -> None:
+        """Fold the two smallest buckets together until under the cap."""
+        keys = sorted(self.buckets)
+        while len(keys) > _SUMMARY_MAX_BUCKETS:
+            lowest = keys.pop(0)
+            self.buckets[keys[0]] = (
+                self.buckets.get(keys[0], 0) + self.buckets.pop(lowest)
+            )
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile (0 <= q <= 1); 0.0 when empty."""
+        if self.count == 0:
+            return 0.0
+        if not 0.0 <= q <= 1.0:
+            raise MetricError(f"quantile must be in [0, 1]: {q}")
+        # Rank among the sketched observations, 1-based.
+        rank = max(1, math.ceil(q * self.count))
+        if rank <= self.zeros:
+            return 0.0
+        rank -= self.zeros
+        running = 0
+        gamma = self.gamma
+        for key in sorted(self.buckets):
+            running += self.buckets[key]
+            if running >= rank:
+                estimate = 2.0 * gamma ** key / (gamma + 1.0)
+                # Clamp to the observed range: the top bucket's
+                # representative can exceed the true max by up to alpha.
+                return min(max(estimate, self.min), self.max)
+        return self.max  # pragma: no cover - rank <= count always lands
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def _samples(self):
+        out = [
+            (
+                "",
+                (("quantile", _format_value(q)),),
+                self.quantile(q),
+            )
+            for q in DEFAULT_QUANTILES
+        ]
+        out.append(("_sum", (), self.sum))
+        out.append(("_count", (), float(self.count)))
+        return out
+
+    def _as_dict(self):
+        return {
+            "sum": self.sum,
+            "count": self.count,
+            "zeros": self.zeros,
+            "gamma": self.gamma,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": {str(k): c for k, c in self.buckets.items()},
+            "quantiles": {
+                _format_value(q): self.quantile(q) for q in DEFAULT_QUANTILES
+            },
+        }
+
+    def _merge(self, other: "_SummaryChild") -> None:
+        if not math.isclose(other.gamma, self.gamma, rel_tol=1e-12):
+            raise MetricError(
+                f"summary sketch resolution differs: gamma {other.gamma} "
+                f"vs {self.gamma}"
+            )
+        for key, count in other.buckets.items():
+            self.buckets[key] = self.buckets.get(key, 0) + count
+        if len(self.buckets) > _SUMMARY_MAX_BUCKETS:
+            self._collapse()
+        self.zeros += other.zeros
+        self.sum += other.sum
+        self.count += other.count
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def _merge_dict(self, data: dict) -> None:
+        gamma = float(data.get("gamma", self.gamma))
+        if not math.isclose(gamma, self.gamma, rel_tol=1e-12):
+            raise MetricError(
+                f"summary sketch resolution differs: gamma {gamma} "
+                f"vs {self.gamma}"
+            )
+        for key, count in data.get("buckets", {}).items():
+            key = int(key)
+            self.buckets[key] = self.buckets.get(key, 0) + int(count)
+        if len(self.buckets) > _SUMMARY_MAX_BUCKETS:
+            self._collapse()
+        self.zeros += int(data.get("zeros", 0))
+        self.sum += float(data.get("sum", 0.0))
+        self.count += int(data.get("count", 0))
+        low, high = data.get("min"), data.get("max")
+        if low is not None:
+            self.min = min(self.min, float(low))
+        if high is not None:
+            self.max = max(self.max, float(high))
+
+
+class Summary(Metric):
+    """Streaming latency quantiles (p50/p90/p99) with mergeable sketches.
+
+    ``alpha`` is the relative-error guarantee: an estimated quantile is
+    within ``alpha`` (default 1%) of the true quantile's value.  Merging
+    two summaries (cluster worker roll-up) sums their bucket counts, so
+    the merged estimate is identical regardless of worker order or how
+    observations were split across workers.
+    """
+
+    typename = "summary"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Iterable[str] = (),
+        alpha: float = DEFAULT_SUMMARY_ALPHA,
+    ) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise MetricError(f"summary alpha must be in (0, 1): {alpha}")
+        self.alpha = alpha
+        self.gamma = (1.0 + alpha) / (1.0 - alpha)
+        super().__init__(name, help, labelnames)
+
+    def _new_child(self) -> _SummaryChild:
+        return _SummaryChild(self.gamma)
+
+    def observe(self, value: float) -> None:
+        self._default_child().observe(value)
+
+    def quantile(self, q: float) -> float:
+        return self._default_child().quantile(q)
+
+    def quantiles(self, qs: Iterable[float] = DEFAULT_QUANTILES) -> dict[float, float]:
+        child = self._default_child()
+        return {q: child.quantile(q) for q in qs}
+
+    @property
+    def count(self) -> int:
+        return self._default_child().count
+
+    @property
+    def sum(self) -> float:
+        return self._default_child().sum
+
+
 class MetricsRegistry:
     """Holds metric families; families are get-or-create by name."""
 
@@ -403,6 +635,15 @@ class MetricsRegistry:
     ) -> Histogram:
         return self._get_or_create(Histogram, name, help, labelnames, buckets=buckets)
 
+    def summary(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Iterable[str] = (),
+        alpha: float = DEFAULT_SUMMARY_ALPHA,
+    ) -> Summary:
+        return self._get_or_create(Summary, name, help, labelnames, alpha=alpha)
+
     def get(self, name: str) -> Metric | None:
         return self._metrics.get(name)
 
@@ -420,6 +661,10 @@ class MetricsRegistry:
             if isinstance(metric, Histogram):
                 mine = self.histogram(
                     metric.name, metric.help, metric.labelnames, buckets=metric.buckets
+                )
+            elif isinstance(metric, Summary):
+                mine = self.summary(
+                    metric.name, metric.help, metric.labelnames, alpha=metric.alpha
                 )
             elif isinstance(metric, Counter):
                 mine = self.counter(metric.name, metric.help, metric.labelnames)
@@ -448,6 +693,13 @@ class MetricsRegistry:
             if typename == "histogram":
                 bounds = tuple(sorted(float(b) for b in series[0].get("buckets", {})))
                 mine = self.histogram(name, help, labelnames, buckets=bounds)
+            elif typename == "summary":
+                gamma = float(series[0].get("gamma", 0.0))
+                alpha = (
+                    (gamma - 1.0) / (gamma + 1.0)
+                    if gamma > 1.0 else DEFAULT_SUMMARY_ALPHA
+                )
+                mine = self.summary(name, help, labelnames, alpha=alpha)
             elif typename == "counter":
                 mine = self.counter(name, help, labelnames)
             elif typename == "gauge":
@@ -457,7 +709,13 @@ class MetricsRegistry:
             for sample in series:
                 labels = sample.get("labels", {})
                 child = mine.labels(**labels) if labels else mine._default_child()
-                child._merge_dict(sample)
+                try:
+                    child._merge_dict(sample)
+                except MetricError as exc:
+                    # Same debuggability contract as Metric.merge: a
+                    # cross-process payload mismatch names its family
+                    # and label set, not just the clashing bounds.
+                    raise MetricError(f"{name}{_labels_repr(labels)}: {exc}") from None
         return self
 
     def __iter__(self):

@@ -1,10 +1,11 @@
-"""Live health/metrics sidecar: ``/metrics``, ``/healthz``, ``/alerts``.
+"""Live health/metrics sidecar: ``/metrics``, ``/healthz``, ``/alerts``,
+``/metrics/history``.
 
 A stdlib ``http.server`` thread that exposes the running engine (or
 cluster) while a replay/scenario is in flight — the operational
 counterpart of the post-run ``--metrics-out`` snapshot.  No third-party
 dependencies: Prometheus scrapes the text exposition, humans curl the
-JSON endpoints.
+JSON endpoints, ``repro top`` polls ``/healthz`` + ``/metrics/history``.
 
 The :class:`StatusSource` indirection exists because the interesting
 objects appear at different times: the CLI binds the global metrics
@@ -12,18 +13,72 @@ registry before the run starts (metrics live mid-run), the engine as
 soon as the harness returns it, the cluster before ``process_trace``.
 Every handler reads whatever is bound *now*, so early probes get an
 honest ``{"status": "starting"}`` rather than a connection error.
+
+The server owns a background sampler thread that records one
+:class:`~repro.obs.history.MetricsHistory` snapshot per
+``history_interval`` seconds, so the history fills itself for as long
+as the sidecar is up — no cooperation from the replay loop required.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time as _time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
+from urllib.parse import parse_qs
 
-from repro.obs.registry import MetricsRegistry
+from repro.obs.history import DEFAULT_INTERVAL, MetricsHistory
+from repro.obs.registry import DEFAULT_QUANTILES, MetricsRegistry
 
 DEFAULT_ALERT_LIMIT = 50
+
+
+def _quantile_view(
+    registry: MetricsRegistry | None, name: str, by: str | None = None
+) -> dict | None:
+    """Quantile read-out of one summary family, aggregated across label
+    sets (``by=None``) or grouped by one label (e.g. ``by="stage"``).
+
+    Aggregation merges sketch copies, so the numbers match what a
+    cluster roll-up of the same children would report.  Returns None
+    when the family is absent or empty — health views simply omit it.
+    """
+    if registry is None:
+        return None
+    metric = registry.get(name)
+    if metric is None or metric.typename != "summary":
+        return None
+    if by is None:
+        agg = metric._new_child()
+        for child in metric._children.values():
+            agg._merge(child)
+        return _quantile_dict(agg, metric) if agg.count else None
+    if by not in metric.labelnames:
+        return None
+    idx = metric.labelnames.index(by)
+    groups: dict[str, Any] = {}
+    for key, child in metric._children.items():
+        agg = groups.get(key[idx])
+        if agg is None:
+            agg = groups[key[idx]] = metric._new_child()
+        agg._merge(child)
+    out = {
+        group: _quantile_dict(agg, metric)
+        for group, agg in sorted(groups.items())
+        if agg.count
+    }
+    return out or None
+
+
+def _quantile_dict(child: Any, metric: Any) -> dict[str, float]:
+    view = {
+        f"p{int(q * 100)}": child.quantile(q) for q in DEFAULT_QUANTILES
+    }
+    view["count"] = child.count
+    view["mean"] = child.sum / child.count if child.count else 0.0
+    return view
 
 
 class StatusSource:
@@ -33,6 +88,7 @@ class StatusSource:
         self.engine = None
         self.cluster = None
         self.registry: MetricsRegistry | None = None
+        self.history = MetricsHistory()
         self._requests: dict[str, int] = {}
         self._lock = threading.Lock()
 
@@ -108,10 +164,74 @@ class StatusSource:
             firewall = getattr(engine, "firewall", None)
             if firewall is not None:
                 engine_view["firewall"] = firewall.as_dict()
+            budget = getattr(engine, "latency_budget", None)
+            if budget is not None:
+                engine_view["latency_budget"] = budget.as_dict()
+            registry = engine.metrics_registry()
+            frame_q = _quantile_view(registry, "scidive_frame_latency_seconds")
+            if frame_q is not None:
+                engine_view["frame_latency"] = frame_q
+            stage_q = _quantile_view(
+                registry, "scidive_stage_latency_seconds", by="stage"
+            )
+            if stage_q is not None:
+                engine_view["stage_latency"] = stage_q
+            ruleset = getattr(engine, "ruleset", None)
+            if ruleset is not None:
+                top = [
+                    entry for entry in ruleset.top_cost(5)
+                    if entry["cost_seconds"] > 0.0
+                ]
+                if top:
+                    engine_view["top_rules"] = top
             payload["engine"] = engine_view
         if cluster is not None:
-            payload["cluster"] = cluster.health()
+            cluster_view = cluster.health()
+            registry = cluster.live_registry()
+            frame_q = _quantile_view(registry, "scidive_frame_latency_seconds")
+            if frame_q is not None:
+                cluster_view["frame_latency"] = frame_q
+            stage_q = _quantile_view(
+                registry, "scidive_stage_latency_seconds", by="stage"
+            )
+            if stage_q is not None:
+                cluster_view["stage_latency"] = stage_q
+            payload["cluster"] = cluster_view
         return payload
+
+    def sample_history(self, now: float | None = None) -> dict:
+        """Record one history snapshot from whatever is bound right now."""
+        if now is None:
+            now = _time.time()
+        totals: dict[str, float] = {"frames": 0, "events": 0, "alerts": 0, "shed": 0}
+        extra: dict[str, Any] = {}
+        engine = self.engine
+        if engine is not None:
+            stats = engine.stats
+            totals["frames"] += stats.frames
+            totals["events"] += stats.events
+            totals["alerts"] += stats.alerts
+            budget = getattr(engine, "latency_budget", None)
+            if budget is not None:
+                extra["burn_rate"] = round(budget.burn_rate, 4)
+                extra["overloaded"] = budget.overloaded
+            frame_q = _quantile_view(
+                engine.metrics_registry(), "scidive_frame_latency_seconds"
+            )
+            if frame_q is not None:
+                extra["frame_latency"] = frame_q
+        cluster = self.cluster
+        if cluster is not None:
+            health = cluster.health()
+            totals["frames"] += health.get("frames_in", 0)
+            totals["shed"] += health.get("frames_dropped", 0)
+            extra["queue_depths"] = health.get("queue_depths", [])
+            extra["worker_restarts"] = health.get("worker_restarts", 0)
+            result = cluster.result
+            if result is not None:
+                totals["events"] += result.stats.events
+                totals["alerts"] += result.stats.alerts
+        return self.history.record(now, totals, extra)
 
     def alerts(self, limit: int = DEFAULT_ALERT_LIMIT) -> list[dict]:
         alerts: list = []
@@ -127,7 +247,8 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         source = self.server.source
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        raw_path, _, query = self.path.partition("?")
+        path = raw_path.rstrip("/") or "/"
         source.count_request(path)
         try:
             if path == "/metrics":
@@ -137,10 +258,15 @@ class _Handler(BaseHTTPRequestHandler):
                 self._reply_json(source.health())
             elif path == "/alerts":
                 self._reply_json(source.alerts())
+            elif path == "/metrics/history":
+                self._reply_json(
+                    source.history.as_dict(_query_int(query, "limit"))
+                )
             else:
                 self._reply_json(
                     {"error": f"unknown path {path!r}",
-                     "paths": ["/metrics", "/healthz", "/alerts"]},
+                     "paths": ["/metrics", "/metrics/history",
+                               "/healthz", "/alerts"]},
                     status=404,
                 )
         except Exception as exc:  # pragma: no cover - defensive
@@ -160,6 +286,16 @@ class _Handler(BaseHTTPRequestHandler):
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # the sidecar must not spam the CLI's stdout
+
+
+def _query_int(query: str, key: str) -> int | None:
+    values = parse_qs(query).get(key)
+    if not values:
+        return None
+    try:
+        return int(values[0])
+    except ValueError:
+        return None
 
 
 class _Server(ThreadingHTTPServer):
@@ -185,12 +321,18 @@ class ObsServer:
         port: int = 0,
         host: str = "127.0.0.1",
         source: StatusSource | None = None,
+        history_interval: float = DEFAULT_INTERVAL,
     ) -> None:
         self.host = host
         self.requested_port = port
         self.source = source if source is not None else StatusSource()
+        # Seconds between automatic history snapshots; 0 disables the
+        # sampler (tests that drive sample_history() by hand).
+        self.history_interval = history_interval
         self._server: _Server | None = None
         self._thread: threading.Thread | None = None
+        self._sampler: threading.Thread | None = None
+        self._sampler_stop = threading.Event()
 
     @property
     def port(self) -> int:
@@ -211,11 +353,30 @@ class ObsServer:
             daemon=True,
         )
         self._thread.start()
+        if self.history_interval > 0:
+            self._sampler_stop.clear()
+            self._sampler = threading.Thread(
+                target=self._sample_loop,
+                name="scidive-obs-history",
+                daemon=True,
+            )
+            self._sampler.start()
         return self
+
+    def _sample_loop(self) -> None:
+        while not self._sampler_stop.wait(self.history_interval):
+            try:
+                self.source.sample_history()
+            except Exception:  # pragma: no cover - defensive
+                pass  # the sampler must never take the sidecar down
 
     def stop(self) -> None:
         if self._server is None:
             return
+        self._sampler_stop.set()
+        if self._sampler is not None:
+            self._sampler.join(timeout=2.0)
+            self._sampler = None
         self._server.shutdown()
         self._server.server_close()
         if self._thread is not None:

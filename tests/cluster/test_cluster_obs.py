@@ -45,6 +45,51 @@ class TestMetricOnlyWorkers:
         assert "scidive_detection_delay_seconds" in families
 
 
+class TestSummaryRollUp:
+    def test_four_worker_summaries_merge_without_error(self, bye_trace):
+        """The ISSUE 6 acceptance case: a 4-way roll-up of quantile
+        sketches must merge cleanly and keep detection equivalent."""
+        import collections
+
+        from repro.core.engine import ScidiveEngine
+        from repro.obs import Observability
+        from repro.obs.server import _quantile_view
+
+        trace, vantage = bye_trace
+        cluster = ScidiveCluster(workers=4, backend="threads",
+                                 vantage_ip=vantage, metrics_enabled=True)
+        result = cluster.process_trace(trace)
+
+        registry = result.registry
+        summary = registry.get("scidive_frame_latency_seconds")
+        assert summary is not None
+        workers_with_frames = {
+            key[0] for key, child in summary._children.items() if child.count
+        }
+        assert len(workers_with_frames) >= 2  # sharding spread the load
+        total = sum(child.count for child in summary._children.values())
+        assert total > 0
+
+        # The merged cluster-wide view folds every worker's sketch.
+        view = _quantile_view(registry, "scidive_frame_latency_seconds")
+        assert view is not None
+        assert view["count"] == total
+        assert 0.0 < view["p50"] <= view["p99"]
+        stage_view = _quantile_view(
+            registry, "scidive_stage_latency_seconds", by="stage"
+        )
+        assert "distill" in stage_view
+
+        # Roll-up must not change verdicts: same alert multiset as one
+        # engine over the same trace.
+        single = ScidiveEngine(
+            vantage_ip=vantage,
+            observability=Observability.create(trace=False),
+        )
+        single.process_trace(trace)
+        assert result.alert_multiset() == collections.Counter(single.alerts)
+
+
 class TestClusterCliFlags:
     def test_metrics_out_writes_merged_registry(self, tmp_path, capsys):
         out = tmp_path / "cluster-metrics.txt"

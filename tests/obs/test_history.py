@@ -1,0 +1,102 @@
+"""MetricsHistory: the snapshot ring behind /metrics/history."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.history import COUNTER_FIELDS, MetricsHistory
+
+
+def test_capacity_must_hold_at_least_two_snapshots():
+    with pytest.raises(ValueError):
+        MetricsHistory(capacity=1)
+
+
+def test_first_snapshot_has_zero_rates():
+    hist = MetricsHistory()
+    snap = hist.record(100.0, {"frames": 50})
+    assert snap["rates"] == {f"{f}_per_s": 0.0 for f in COUNTER_FIELDS}
+    assert snap["totals"]["frames"] == 50
+    assert snap["totals"]["alerts"] == 0  # missing fields default
+
+
+def test_instantaneous_rates_use_the_previous_snapshot():
+    hist = MetricsHistory()
+    hist.record(100.0, {"frames": 100, "alerts": 2})
+    snap = hist.record(102.0, {"frames": 300, "alerts": 2})
+    assert snap["rates"]["frames_per_s"] == pytest.approx(100.0)
+    assert snap["rates"]["alerts_per_s"] == 0.0
+
+
+def test_counter_reset_clamps_to_zero_not_negative():
+    hist = MetricsHistory()
+    hist.record(100.0, {"frames": 500})
+    snap = hist.record(101.0, {"frames": 10})  # worker restarted
+    assert snap["rates"]["frames_per_s"] == 0.0
+
+
+def test_ring_evicts_oldest_at_capacity():
+    hist = MetricsHistory(capacity=3)
+    for i in range(5):
+        hist.record(float(i), {"frames": i})
+    assert len(hist) == 3
+    assert hist.samples_taken == 5
+    snaps = hist.snapshots()
+    assert [s["t"] for s in snaps] == [2.0, 3.0, 4.0]
+    assert hist.last()["t"] == 4.0
+
+
+def test_snapshots_limit_returns_newest():
+    hist = MetricsHistory()
+    for i in range(10):
+        hist.record(float(i), {"frames": i})
+    assert [s["t"] for s in hist.snapshots(limit=2)] == [8.0, 9.0]
+
+
+def test_window_rates_pick_oldest_inside_window():
+    hist = MetricsHistory()
+    hist.record(0.0, {"frames": 0})
+    hist.record(5.0, {"frames": 100})
+    hist.record(10.0, {"frames": 300})
+    # 6-second window: baseline is t=5 (t=0 fell outside).
+    rates = hist.window_rates(6.0)
+    assert rates["frames_per_s"] == pytest.approx(40.0)
+    # A huge window reaches back to the first snapshot.
+    assert hist.window_rates(100.0)["frames_per_s"] == pytest.approx(30.0)
+
+
+def test_window_rates_with_one_snapshot_are_zero():
+    hist = MetricsHistory()
+    hist.record(0.0, {"frames": 10})
+    assert hist.window_rates(10.0)["frames_per_s"] == 0.0
+
+
+def test_extra_payload_rides_along_without_rate_math():
+    hist = MetricsHistory()
+    snap = hist.record(
+        0.0, {"frames": 1}, extra={"burn_rate": 0.5, "queue_depths": [1, 2]}
+    )
+    assert snap["burn_rate"] == 0.5
+    assert snap["queue_depths"] == [1, 2]
+    assert "burn_rate_per_s" not in snap["rates"]
+
+
+def test_as_dict_is_the_endpoint_payload():
+    hist = MetricsHistory(capacity=5)
+    for i in range(8):
+        hist.record(float(i), {"frames": i * 10})
+    payload = hist.as_dict(limit=2)
+    assert payload["capacity"] == 5
+    assert payload["samples_taken"] == 8
+    assert payload["returned"] == 2
+    assert payload["counter_fields"] == list(COUNTER_FIELDS)
+    assert len(payload["samples"]) == 2
+
+
+def test_clear_resets_ring_and_counter():
+    hist = MetricsHistory()
+    hist.record(0.0, {"frames": 1})
+    hist.clear()
+    assert len(hist) == 0
+    assert hist.samples_taken == 0
+    assert hist.last() is None

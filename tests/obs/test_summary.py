@@ -1,0 +1,147 @@
+"""The Summary metric: streaming quantile sketches, exposition, merge."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_QUANTILES,
+    MetricError,
+    MetricsRegistry,
+    Summary,
+    parse_prometheus,
+)
+
+
+class TestObserveAndQuantiles:
+    def test_empty_summary_reports_zero(self):
+        s = MetricsRegistry().summary("lat_seconds", "test")
+        assert s.quantile(0.5) == 0.0
+        assert s.count == 0 and s.sum == 0.0
+
+    def test_single_observation_is_every_quantile(self):
+        s = MetricsRegistry().summary("lat_seconds", "test")
+        s.observe(0.25)
+        for q in DEFAULT_QUANTILES:
+            assert s.quantile(q) == pytest.approx(0.25, rel=0.02)
+
+    def test_quantiles_track_a_known_distribution(self):
+        s = MetricsRegistry().summary("lat_seconds", "test", alpha=0.01)
+        values = [i / 1000.0 for i in range(1, 1001)]  # 1ms .. 1s uniform
+        for v in values:
+            s.observe(v)
+        assert s.quantile(0.5) == pytest.approx(0.5, rel=0.03)
+        assert s.quantile(0.99) == pytest.approx(0.99, rel=0.03)
+        assert s.quantile(0.0) == pytest.approx(0.001, rel=0.03)
+        assert s.quantile(1.0) == pytest.approx(1.0, rel=0.03)
+        assert s.count == 1000
+        assert s.sum == pytest.approx(sum(values))
+
+    def test_sub_nanosecond_values_count_as_zeros(self):
+        s = MetricsRegistry().summary("lat_seconds", "test")
+        for _ in range(9):
+            s.observe(0.0)
+        s.observe(1.0)
+        assert s.quantile(0.5) == 0.0
+        assert s.quantile(0.95) == pytest.approx(1.0, rel=0.02)
+
+    def test_quantile_outside_unit_interval_raises(self):
+        s = MetricsRegistry().summary("lat_seconds", "test")
+        s.observe(1.0)
+        with pytest.raises(MetricError):
+            s.quantile(1.5)
+
+    def test_estimates_clamp_to_observed_range(self):
+        s = MetricsRegistry().summary("lat_seconds", "test")
+        s.observe(3.0)
+        s.observe(7.0)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert 3.0 <= s.quantile(q) <= 7.0
+
+
+class TestLabelsAndExposition:
+    def test_labelled_children_sketch_independently(self):
+        reg = MetricsRegistry()
+        s = reg.summary("stage_seconds", "test", ("stage",))
+        s.labels(stage="distill").observe(0.001)
+        s.labels(stage="match").observe(0.1)
+        assert s.labels(stage="distill").quantile(0.5) == pytest.approx(
+            0.001, rel=0.02
+        )
+        assert s.labels(stage="match").quantile(0.5) == pytest.approx(0.1, rel=0.02)
+
+    def test_prometheus_exposition_has_quantile_sum_count(self):
+        reg = MetricsRegistry()
+        s = reg.summary("lat_seconds", "latency")
+        for i in range(1, 101):
+            s.observe(i / 100.0)
+        text = reg.render_prometheus()
+        assert "# TYPE lat_seconds summary" in text
+        families = parse_prometheus(text)
+        series = families["lat_seconds"]
+        assert 'lat_seconds{quantile="0.5"}' in series
+        assert series["lat_seconds_count"] == 100
+        assert series["lat_seconds_sum"] == pytest.approx(50.5)
+
+    def test_as_dict_round_trips_through_json(self):
+        reg = MetricsRegistry()
+        s = reg.summary("lat_seconds", "latency")
+        s.observe(0.01)
+        payload = json.loads(json.dumps(reg.as_dict()))
+        other = MetricsRegistry()
+        other.merge_dict(payload)
+        merged = other.get("lat_seconds")
+        assert merged.count == 1
+        assert merged.quantile(0.5) == pytest.approx(0.01, rel=0.02)
+
+
+class TestMerge:
+    def test_merge_sums_sketches(self):
+        a = MetricsRegistry().summary("lat_seconds", "t")
+        b = MetricsRegistry().summary("lat_seconds", "t")
+        for i in range(1, 501):
+            a.observe(i / 1000.0)
+        for i in range(501, 1001):
+            b.observe(i / 1000.0)
+        a.merge(b)
+        assert a.count == 1000
+        assert a.quantile(0.5) == pytest.approx(0.5, rel=0.03)
+
+    def test_merge_rejects_mismatched_resolution_with_context(self):
+        a = MetricsRegistry().summary("lat_seconds", "t", alpha=0.01)
+        b = MetricsRegistry().summary("lat_seconds", "t", alpha=0.05)
+        a._default_child().observe(1.0)
+        b._default_child().observe(1.0)
+        with pytest.raises(MetricError, match="lat_seconds"):
+            a.merge(b)
+
+    def test_registry_merge_carries_summaries_across(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.summary("lat_seconds", "t", ("engine",)).labels(
+            engine="worker-0"
+        ).observe(0.002)
+        right.summary("lat_seconds", "t", ("engine",)).labels(
+            engine="worker-1"
+        ).observe(0.004)
+        left.merge(right)
+        merged = left.get("lat_seconds")
+        assert merged.labels(engine="worker-0").count == 1
+        assert merged.labels(engine="worker-1").count == 1
+
+
+class TestBucketCap:
+    def test_wide_range_collapses_instead_of_growing_unbounded(self):
+        from repro.obs.registry import _SUMMARY_MAX_BUCKETS
+
+        s = MetricsRegistry().summary("lat_seconds", "t")
+        child = s._default_child()
+        # A pathological 60-decade spread forces far more log buckets
+        # than the cap; the sketch must collapse, not balloon.
+        for exponent in range(-30, 30):
+            for step in range(1, 40):
+                child.observe((10.0 ** exponent) * step)
+        assert len(child.buckets) <= _SUMMARY_MAX_BUCKETS
+        # The high quantiles (collapse folds low buckets) stay usable.
+        assert child.quantile(0.99) > 0

@@ -1,0 +1,104 @@
+"""Property tests for the streaming quantile sketch.
+
+Two guarantees the observability plane leans on:
+
+* every reported quantile is within the sketch's relative-error bound
+  ``alpha`` of the true (sorted-reference) quantile, for arbitrary
+  positive latency-like inputs;
+* merging sketches is order-insensitive — the cluster's N-way worker
+  roll-up must produce the same estimate no matter how observations
+  were split across workers or which worker merged first.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.registry import MetricsRegistry
+
+# Latency-like magnitudes: 10 ns .. 10 s.
+latencies = st.floats(min_value=1e-8, max_value=10.0,
+                      allow_nan=False, allow_infinity=False)
+
+
+def _true_quantile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank reference quantile (matches the sketch's rank rule)."""
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+class TestErrorBound:
+    @given(st.lists(latencies, min_size=1, max_size=400),
+           st.sampled_from([0.5, 0.9, 0.99]))
+    @settings(max_examples=200, deadline=None)
+    def test_quantile_within_alpha_of_sorted_reference(self, values, q):
+        alpha = 0.01
+        s = MetricsRegistry().summary("lat_seconds", "t", alpha=alpha)
+        for v in values:
+            s.observe(v)
+        estimate = s.quantile(q)
+        truth = _true_quantile(sorted(values), q)
+        # Relative error bound, plus clamp slack: the estimate is
+        # guaranteed within alpha of *some* value in the target bucket.
+        assert estimate <= truth * (1.0 + 2.0 * alpha) + 1e-12
+        assert estimate >= truth * (1.0 - 2.0 * alpha) - 1e-12
+
+    def test_ten_thousand_observations_stay_within_bound(self):
+        # The ISSUE's acceptance case: a large stream, every default
+        # quantile within the sketch's advertised error.
+        import random
+
+        rng = random.Random(51)
+        values = [rng.lognormvariate(-7.0, 1.5) for _ in range(10_000)]
+        s = MetricsRegistry().summary("lat_seconds", "t", alpha=0.01)
+        for v in values:
+            s.observe(v)
+        ordered = sorted(values)
+        for q in (0.5, 0.9, 0.99):
+            truth = _true_quantile(ordered, q)
+            assert abs(s.quantile(q) - truth) <= 2.0 * 0.01 * truth
+
+
+class TestMergeProperties:
+    @given(st.lists(latencies, min_size=0, max_size=120),
+           st.lists(latencies, min_size=0, max_size=120))
+    @settings(max_examples=150, deadline=None)
+    def test_merge_is_order_insensitive(self, left, right):
+        def sketch(values):
+            s = MetricsRegistry().summary("lat_seconds", "t")
+            for v in values:
+                s.observe(v)
+            return s
+
+        ab = sketch(left)
+        ab.merge(sketch(right))
+        ba = sketch(right)
+        ba.merge(sketch(left))
+        a_child, b_child = ab._default_child(), ba._default_child()
+        assert a_child.buckets == b_child.buckets
+        assert a_child.count == b_child.count
+        assert a_child.zeros == b_child.zeros
+        assert math.isclose(a_child.sum, b_child.sum, rel_tol=1e-9, abs_tol=1e-12)
+        for q in (0.5, 0.9, 0.99):
+            assert ab.quantile(q) == ba.quantile(q)
+
+    @given(st.lists(st.lists(latencies, max_size=60), min_size=2, max_size=5))
+    @settings(max_examples=100, deadline=None)
+    def test_split_then_merge_equals_single_sketch(self, shards):
+        merged = MetricsRegistry().summary("lat_seconds", "t")
+        for shard in shards:
+            s = MetricsRegistry().summary("lat_seconds", "t")
+            for v in shard:
+                s.observe(v)
+            merged.merge(s)
+        single = MetricsRegistry().summary("lat_seconds", "t")
+        for shard in shards:
+            for v in shard:
+                single.observe(v)
+        assert merged._default_child().buckets == single._default_child().buckets
+        assert merged.count == single.count
+        for q in (0.5, 0.9, 0.99):
+            assert merged.quantile(q) == single.quantile(q)
