@@ -38,6 +38,13 @@ HEADLINE = {
     "observability": "throughput_ratio",
 }
 
+# Absolute floor for the DSL-compiled ruleset's throughput relative to
+# the hand-wired indexed path (dispatch bench only): the pack compiler
+# must stay within 5% of the Python rule classes it replaces.  Absolute
+# rather than baseline-relative because the ratio is a same-machine
+# comparison — box speed cancels out.
+DSL_RATIO_FLOOR = 0.95
+
 
 def load(path: str) -> dict:
     with open(path, encoding="utf-8") as fh:
@@ -76,6 +83,17 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
             f"note: {metric} improved ({fresh_value:.3f} > {base_value:.3f}); "
             "consider re-committing the baseline"
         )
+    if bench == "dispatch" and "dsl_ratio" in fresh:
+        dsl_ratio = float(fresh["dsl_ratio"])
+        print(
+            f"dispatch: dsl_ratio fresh={dsl_ratio:.3f} "
+            f"floor={DSL_RATIO_FLOOR:.2f} (absolute)"
+        )
+        if dsl_ratio < DSL_RATIO_FLOOR:
+            failures.append(
+                f"DSL-compiled ruleset throughput ratio {dsl_ratio:.3f} < "
+                f"{DSL_RATIO_FLOOR:.2f} of the hand-wired indexed path"
+            )
     return failures
 
 

@@ -15,6 +15,9 @@ Usage::
     python -m repro chaos [--seed 7] [--workers 4] [--json chaos.json]
     python -m repro bench-shards [--workers 1 2 4 8] [--json BENCH_shards.json]
     python -m repro stats bye-attack [--seed 7] [--format table|prom|json]
+    python -m repro rules check rules/ [pack.rules ...]
+    python -m repro rules show rules/scidive-core.rules
+    python -m repro rules reload --pack custom.rules [--port 8080]
     python -m repro top [--port 8080] [--interval 1.0] [--once]
     python -m repro table1 [--seed 7]
     python -m repro modules
@@ -38,8 +41,17 @@ observability sidecar (``/metrics``, ``/metrics/history``, ``/healthz``,
 ``/alerts``) for the duration of the run plus ``--serve-linger``
 seconds — ``repro top`` renders a live dashboard over it; ``--bundle-dir``
 makes every alert write an evidence bundle (JSON + pcap) there, and
-``explain`` renders one bundle by alert id.  ``--trace-out`` is a
-single-engine feature: cluster workers run metrics without a tracer
+``explain`` renders one bundle by alert id.
+
+Rule packs (:mod:`repro.rulespec`): ``replay --rules PACK`` compiles the
+detection policy from a ``.rules`` file instead of the built-in rule
+classes (single engine and ``--workers N`` alike); ``rules check`` lints
+packs with line-anchored diagnostics (exit 1 on errors — CI runs it);
+``rules show`` prints a pack's identity (name@version+hash) and compiled
+rules; ``rules reload`` hot-swaps the pack on a *running* engine or
+cluster through its ``--serve-http`` sidecar (``POST /rules/reload``).
+
+``--trace-out`` is a single-engine feature: cluster workers run metrics without a tracer
 (per-worker spans have no merge path), so under ``--workers > 1`` the
 flag is refused with a note rather than silently dropped.
 """
@@ -113,6 +125,9 @@ def _build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--json", help="write alerts to this JSON-lines file")
     replay.add_argument("--broadcast", action="store_true",
                         help="disable indexed dispatch (reference fan-out mode)")
+    replay.add_argument("--rules", default=None, metavar="PACK",
+                        help="compile the detection policy from this .rules "
+                             "pack instead of the built-in rule classes")
     _add_cluster_flags(replay)
     _add_obs_flags(replay)
     _add_serve_flags(replay)
@@ -170,6 +185,31 @@ def _build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--format", choices=["table", "prom", "json"], default="table",
                        help="report format: human tables, Prometheus text, or JSON")
     _add_obs_flags(stats)
+
+    rules = sub.add_parser(
+        "rules", help="lint, inspect and hot-reload detection rule packs"
+    )
+    rules_sub = rules.add_subparsers(dest="rules_command", required=True)
+    check = rules_sub.add_parser(
+        "check", help="lint rule packs (exit 1 on any error)"
+    )
+    check.add_argument("paths", nargs="+", metavar="PACK",
+                       help=".rules file or a directory to scan recursively")
+    show = rules_sub.add_parser(
+        "show", help="print a pack's identity and compiled rules"
+    )
+    show.add_argument("pack", metavar="PACK", help=".rules file")
+    reload_ = rules_sub.add_parser(
+        "reload",
+        help="hot-swap the rule pack on a running --serve-http engine/cluster",
+    )
+    reload_.add_argument("--pack", required=True, metavar="PACK",
+                         help=".rules file to load (path is resolved by the "
+                              "serving process)")
+    reload_.add_argument("--url", default=None,
+                         help="sidecar base URL (overrides --host/--port)")
+    reload_.add_argument("--host", default="127.0.0.1")
+    reload_.add_argument("--port", type=int, default=8080)
 
     top = sub.add_parser(
         "top", help="live dashboard over a running --serve-http sidecar"
@@ -254,6 +294,16 @@ def _cluster_replay(trace, args: argparse.Namespace, vantage: str | None,
     """Replay a trace through a ScidiveCluster; print the merged view."""
     from repro.cluster import ScidiveCluster
 
+    pack_fields = {}
+    rules_path = getattr(args, "rules", None)
+    if rules_path:
+        from repro.rulespec import load_pack
+
+        pack = load_pack(rules_path)
+        # The pack crosses to workers as config primitives, so process
+        # workers and post-crash respawns compile the same policy.
+        pack_fields = {"pack_text": pack.source_text,
+                       "pack_path": pack.source_path}
     cluster = ScidiveCluster(
         workers=args.workers,
         backend=args.cluster_backend,
@@ -263,6 +313,7 @@ def _cluster_replay(trace, args: argparse.Namespace, vantage: str | None,
             getattr(args, "metrics_out", None)
             or getattr(args, "serve_http", None) is not None
         ),
+        **pack_fields,
     )
     if source is not None:
         # Bind before the replay starts so /healthz and /metrics answer
@@ -401,6 +452,16 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     if args.trace_out and args.workers > 1:
         print(_TRACE_OUT_CLUSTER_NOTE, file=sys.stderr)
         return 2
+    if args.rules:
+        from repro.rulespec import lint_path
+
+        errors = [i for i in lint_path(args.rules) if i.severity == "error"]
+        if errors:
+            for issue in errors:
+                print(str(issue), file=sys.stderr)
+            print(f"--rules {args.rules}: pack rejected "
+                  f"({len(errors)} error(s))", file=sys.stderr)
+            return 2
     trace = read_pcap(args.pcap)
     if args.bundle_dir:
         obs.configure_forensics(bundle_dir=args.bundle_dir)
@@ -423,7 +484,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         want_obs = bool(args.metrics_out or args.trace_out or server)
         ctx = obs.Observability.create(trace=bool(args.trace_out)) if want_obs else None
         engine = ScidiveEngine(vantage_ip=args.vantage, observability=ctx,
-                               indexed_dispatch=not args.broadcast)
+                               indexed_dispatch=not args.broadcast,
+                               rulepack=args.rules)
         if server is not None:
             # Bind before the replay so /healthz and /metrics answer mid-run.
             if ctx is not None:
@@ -431,7 +493,11 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             server.source.set_engine(engine)
         engine.process_trace(trace)
         mode = "broadcast" if args.broadcast else "indexed"
-        print(f"replayed {len(trace)} frames ({mode} dispatch): "
+        if engine.rulepack is not None:
+            mode += f" dispatch, pack {engine.rulepack.label}"
+        else:
+            mode += " dispatch"
+        print(f"replayed {len(trace)} frames ({mode}): "
               f"{engine.stats.footprints} footprints, "
               f"{engine.stats.events} events, {len(engine.alerts)} alerts")
         _print_alerts(engine.alerts)
@@ -482,6 +548,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         payload["alerts"] = [alert.to_dict() for alert in result.alerts]
         payload["rule_costs"] = engine.ruleset.rule_stats()
         payload["top_rules"] = engine.ruleset.top_cost()
+        if engine.rulepack is not None:
+            payload["rulepack"] = engine.rulepack.info()
         stage_q = _quantile_view(
             ctx.registry, "scidive_stage_latency_seconds", by="stage"
         )
@@ -493,22 +561,25 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(_json.dumps(payload, indent=2, sort_keys=True))
     else:
         stats = engine.stats
+        counter_rows = [
+            ["frames", stats.frames],
+            ["footprints", stats.footprints],
+            ["events", stats.events],
+            ["alerts", stats.alerts],
+            ["engine cpu (s)", f"{stats.cpu_seconds:.4f}"],
+            ["frames / cpu-second", f"{stats.frames_per_cpu_second:,.0f}"],
+            ["live trails", engine.trails.trail_count],
+            ["live sessions", engine.trails.session_count],
+            ["tracked dialogs", engine.sip_state.call_count],
+            ["tracked registrations", engine.registrations.session_count],
+            ["trails reclaimed", engine.expired_trails],
+            ["rule evaluations skipped", engine.ruleset.dispatch_skipped],
+        ]
+        if engine.rulepack is not None:
+            counter_rows.append(["rule pack", engine.rulepack.label])
         print(format_table(
             ["metric", "value"],
-            [
-                ["frames", stats.frames],
-                ["footprints", stats.footprints],
-                ["events", stats.events],
-                ["alerts", stats.alerts],
-                ["engine cpu (s)", f"{stats.cpu_seconds:.4f}"],
-                ["frames / cpu-second", f"{stats.frames_per_cpu_second:,.0f}"],
-                ["live trails", engine.trails.trail_count],
-                ["live sessions", engine.trails.session_count],
-                ["tracked dialogs", engine.sip_state.call_count],
-                ["tracked registrations", engine.registrations.session_count],
-                ["trails reclaimed", engine.expired_trails],
-                ["rule evaluations skipped", engine.ruleset.dispatch_skipped],
-            ],
+            counter_rows,
             title=f"Pipeline counters — {args.name} (seed {args.seed})",
         ))
         print()
@@ -532,14 +603,16 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             ))
         print()
         rule_rows = [
-            [r["rule_id"], r["attack_class"], r["matches_attempted"],
-             r["alerts_raised"], f"{r['cost_seconds'] * 1e3:.3f}",
-             r["cost_samples"]]
+            [r["rule_id"], r["attack_class"],
+             r["mode"] if r["enabled"] else "disabled",
+             r["matches_attempted"], r["alerts_raised"],
+             r["shadow_matches"] + r["suppressed_alerts"],
+             f"{r['cost_seconds'] * 1e3:.3f}", r["cost_samples"]]
             for r in engine.ruleset.rule_stats()
         ]
         print(format_table(
-            ["rule", "class", "matches attempted", "alerts raised",
-             "est. cost (ms)", "cost samples"],
+            ["rule", "class", "mode", "matches attempted", "alerts raised",
+             "withheld", "est. cost (ms)", "cost samples"],
             rule_rows, title="Per-rule activity",
         ))
     _export_observability(ctx, args)
@@ -570,6 +643,118 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         print(str(exc), file=sys.stderr)
         return 2
     print(obs.format_bundle(bundle))
+    return 0
+
+
+def _cmd_rules(args: argparse.Namespace) -> int:
+    handlers = {
+        "check": _cmd_rules_check,
+        "show": _cmd_rules_show,
+        "reload": _cmd_rules_reload,
+    }
+    return handlers[args.rules_command](args)
+
+
+def _expand_rule_paths(targets: Sequence[str]) -> tuple[list[str], list[str]]:
+    """Resolve check targets: directories scan recursively for ``*.rules``;
+    returns (paths, complaints-for-empty-dirs)."""
+    from pathlib import Path
+
+    paths: list[str] = []
+    missing: list[str] = []
+    for target in targets:
+        path = Path(target)
+        if path.is_dir():
+            found = sorted(str(p) for p in path.rglob("*.rules"))
+            if found:
+                paths.extend(found)
+            else:
+                missing.append(f"{target}: no .rules files found")
+        else:
+            paths.append(str(path))
+    return paths, missing
+
+
+def _cmd_rules_check(args: argparse.Namespace) -> int:
+    """Lint rule packs with line-anchored diagnostics; exit 1 on errors
+    (CI gates on this, so warnings alone stay exit 0)."""
+    from repro.rulespec import lint_path
+
+    paths, missing = _expand_rule_paths(args.paths)
+    for complaint in missing:
+        print(complaint, file=sys.stderr)
+    if not paths:
+        return 2
+    errors = warnings = 0
+    for path in paths:
+        for issue in lint_path(path):
+            print(str(issue))
+            if issue.severity == "error":
+                errors += 1
+            else:
+                warnings += 1
+    verdict = "FAIL" if errors else "ok"
+    print(f"{verdict}: {len(paths)} pack(s) checked, "
+          f"{errors} error(s), {warnings} warning(s)")
+    return 1 if errors or missing else 0
+
+
+def _cmd_rules_show(args: argparse.Namespace) -> int:
+    """Print a pack's identity and its compiled rules."""
+    from repro.rulespec import RulePackError, compile_pack, load_pack
+
+    try:
+        pack = load_pack(args.pack)
+        ruleset = compile_pack(pack)
+    except RulePackError as exc:
+        for issue in exc.issues:
+            print(str(issue), file=sys.stderr)
+        return 1
+    print(f"pack {pack.label}  ({pack.source_path})")
+    rows = []
+    for rdef, rule in zip(pack.rules, ruleset.rules):
+        trigger = rdef.event or " + ".join(rdef.events)
+        rows.append([
+            rdef.rule_id, rdef.shape, trigger, rule.severity.name,
+            rdef.mode if rdef.enabled else "disabled",
+            f"{pack.source_path}:{rdef.line}",
+        ])
+    print(format_table(
+        ["rule", "shape", "trigger", "severity", "mode", "source"],
+        rows, title=f"{len(pack.rules)} compiled rules",
+    ))
+    return 0
+
+
+def _cmd_rules_reload(args: argparse.Namespace) -> int:
+    """POST /rules/reload on a running sidecar and report the outcome."""
+    import json as _json
+    import os as _os
+    import urllib.error
+    import urllib.request
+
+    base = (args.url or f"http://{args.host}:{args.port}").rstrip("/")
+    body = _json.dumps({"path": _os.path.abspath(args.pack)}).encode("utf-8")
+    request = urllib.request.Request(
+        f"{base}/rules/reload", data=body, method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30.0) as response:
+            payload = _json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        try:
+            detail = _json.loads(exc.read().decode("utf-8")).get("error", "")
+        except ValueError:
+            detail = ""
+        print(f"reload rejected ({exc.code}): {detail}", file=sys.stderr)
+        return 1
+    except (urllib.error.URLError, OSError) as exc:
+        print(f"sidecar unreachable at {base}: {exc}", file=sys.stderr)
+        return 1
+    info = payload.get("rulepack", {})
+    print(f"reloaded {info.get('label', '?')} on {payload.get('target', '?')} "
+          f"(reload #{payload.get('reloads', '?')})")
     return 0
 
 
@@ -699,6 +884,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "chaos": _cmd_chaos,
         "bench-shards": _cmd_bench_shards,
         "stats": _cmd_stats,
+        "rules": _cmd_rules,
         "top": _cmd_top,
         "table1": _cmd_table1,
         "modules": _cmd_modules,

@@ -56,6 +56,13 @@ owner-flagged batches fail over to the next live worker (whose shadow
 processing of broadcast signalling gives it the session state to keep
 detecting), and ``ClusterError`` is reserved for the moment every
 worker is gone.
+
+Rule-pack hot reload: :meth:`ScidiveCluster.reload_rulepack` swaps every
+worker onto a new compiled rule pack mid-stream via a two-phase epoch
+barrier on the control path (prepare → all-ready → commit → all-done).
+Because input queues are FIFO and the router submits no frames during
+the barrier, no frame is ever evaluated under a mixed pack set and none
+are dropped; per-rule detection state carries across by rule id.
 """
 
 from __future__ import annotations
@@ -75,6 +82,8 @@ from repro.cluster.sharding import PLANE_SIGNALLING, SessionSharder, shard_index
 from repro.core.alerts import Alert, Severity
 from repro.core.engine import EngineStats, ScidiveEngine
 from repro.obs.registry import MetricsRegistry
+from repro.resilience.checkpoint import RulePackMismatch
+from repro.rulespec import RulePack, compile_pack, lint_text, load_pack, parse_pack
 from repro.sim.trace import Trace
 
 BACKENDS = ("process", "threads", "serial")
@@ -110,6 +119,13 @@ class ClusterConfig:
     # created at start() and removed at stop().
     checkpoint_every: int = 0
     checkpoint_dir: str | None = None
+    # Active rule pack, as picklable primitives: pack_text is the DSL
+    # source ("" = class-built default ruleset), pack_path its provenance
+    # (compiled into per-rule source locations).  Carried in the config —
+    # not as a compiled object — so process workers and post-reload
+    # respawns all build engines under the *current* pack.
+    pack_text: str = ""
+    pack_path: str = ""
 
     def validate(self) -> "ClusterConfig":
         if self.workers < 1:
@@ -128,12 +144,45 @@ class ClusterConfig:
             raise ClusterError(
                 f"checkpoint_every must be >= 0 (got {self.checkpoint_every})"
             )
+        if self.pack_text:
+            # Fail on the router, at construction — not inside N workers.
+            pack, _ = parse_pack(self.pack_text, self.pack_path or "<cluster-config>")
+            if pack is None:
+                raise ClusterError(
+                    "config rule pack does not parse: "
+                    + _pack_errors(self.pack_text, self.pack_path or "<cluster-config>")
+                )
         return self
+
+
+def _pack_errors(text: str, path: str) -> str:
+    """Error-severity diagnostics for pack text, path-anchored, joined."""
+    return "; ".join(
+        str(issue) for issue in lint_text(text, path) if issue.severity == "error"
+    )
+
+
+def _config_rulepack(config: ClusterConfig) -> RulePack | None:
+    """The rule pack a worker should compile, rebuilt from the config's
+    picklable fields (``None`` = the class-built default ruleset)."""
+    if config.pack_text:
+        path = config.pack_path or "<cluster-config>"
+        pack, _ = parse_pack(config.pack_text, path)
+        if pack is None:
+            raise ClusterError(
+                "config rule pack does not parse: "
+                + _pack_errors(config.pack_text, path)
+            )
+        return pack
+    if config.pack_path:
+        return load_pack(config.pack_path)
+    return None
 
 
 def default_engine_factory(worker_id: int, config: ClusterConfig) -> ScidiveEngine:
     """Build one worker engine.  Module-level so ``process`` workers can
     pickle it; custom factories must be importable the same way."""
+    rulepack = _config_rulepack(config)
     if config.metrics_enabled:
         from repro import obs as _obs
 
@@ -147,12 +196,14 @@ def default_engine_factory(worker_id: int, config: ClusterConfig) -> ScidiveEngi
             vantage_mac=config.vantage_mac,
             name=f"worker-{worker_id}",
             observability=_obs.Observability.create(trace=False),
+            rulepack=rulepack,
         )
     return ScidiveEngine(
         vantage_ip=config.vantage_ip,
         vantage_mac=config.vantage_mac,
         name=f"worker-{worker_id}",
         metrics_enabled=False,
+        rulepack=rulepack,
     )
 
 
@@ -225,7 +276,16 @@ def _worker_main(worker_id, config, factory, in_q, out_q, hard_crash) -> None:
     if ckpt_path is not None and os.path.exists(ckpt_path):
         try:
             with open(ckpt_path, "rb") as fh:
-                engine.restore(fh.read())
+                blob = fh.read()
+            try:
+                engine.restore(blob)
+            except RulePackMismatch:
+                # The snapshot predates (or postdates) a hot rule-pack
+                # reload: the session/dialog state is still the shard's
+                # history, so carry it across the version gate rather
+                # than choosing amnesia.  Rule state rebinds by rule id
+                # where shapes match; the rest starts cold.
+                engine.restore(blob, force=True)
             restored = True
         except Exception:
             # Unusable snapshot (torn file from a pre-atomic era, version
@@ -239,6 +299,11 @@ def _worker_main(worker_id, config, factory, in_q, out_q, hard_crash) -> None:
     # time, or the critical-path model degenerates on small machines.
     clock = _time.process_time if hard_crash else _time.thread_time
     cpu_start = clock()
+    # One staged (epoch, RulePack) awaiting the router's commit.  Staging
+    # is the worker's half of the two-phase reload barrier: parse and
+    # pre-compile *now* (so the prepare-ack is a real promise the commit
+    # cannot break), swap only on commit.
+    staged_pack: tuple[int, RulePack] | None = None
     while True:
         message = in_q.get()
         kind = message[0]
@@ -254,6 +319,31 @@ def _worker_main(worker_id, config, factory, in_q, out_q, hard_crash) -> None:
             if ckpt_path is not None and batches % config.checkpoint_every == 0:
                 _write_checkpoint(ckpt_path, engine.checkpoint())
                 checkpoints += 1
+        elif kind == "rules_prepare":
+            _, epoch, pack_text, pack_path = message
+            staged_pack = None
+            pack, _ = parse_pack(pack_text, pack_path)
+            if pack is None:
+                errors = _pack_errors(pack_text, pack_path)
+                out_q.put(("rules_ready", worker_id, epoch, False, errors))
+            else:
+                try:
+                    # Compile once up front: an ok-ack must mean the
+                    # commit cannot fail.
+                    compile_pack(pack)
+                except Exception as exc:
+                    out_q.put(("rules_ready", worker_id, epoch, False, str(exc)))
+                else:
+                    staged_pack = (epoch, pack)
+                    out_q.put(("rules_ready", worker_id, epoch, True, ""))
+        elif kind == "rules_commit":
+            epoch = message[1]
+            if staged_pack is not None and staged_pack[0] == epoch:
+                engine.load_rulepack(staged_pack[1])
+                staged_pack = None
+            out_q.put(("rules_done", worker_id, epoch))
+        elif kind == "rules_abort":
+            staged_pack = None
         elif kind == "stop":
             report = _engine_report(
                 worker_id, engine, batches, owned, shadowed,
@@ -427,6 +517,7 @@ class ClusterStats:
     # after max_restarts.  Shed frames also count in frames_dropped.
     frames_shed: dict = field(default_factory=dict)
     workers_dead: int = 0
+    rulepack_reloads: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -441,6 +532,7 @@ class ClusterStats:
             "fragments_expired": self.fragments_expired,
             "frames_shed": dict(self.frames_shed),
             "workers_dead": self.workers_dead,
+            "rulepack_reloads": self.rulepack_reloads,
         }
 
 
@@ -581,6 +673,12 @@ class ScidiveCluster:
         # Set when start() had to create a private checkpoint temp dir;
         # stop() removes it.
         self._own_checkpoint_dir: str | None = None
+        # Rule-pack hot reload: the active pack (None = class-built
+        # defaults) and a monotonically increasing reload epoch — every
+        # two-phase barrier round gets a fresh epoch so late acks from an
+        # aborted round can never satisfy a newer one.
+        self.rulepack: RulePack | None = _config_rulepack(self.config)
+        self._rules_epoch = 0
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -831,6 +929,146 @@ class ScidiveCluster:
         worker = self._workers[worker_id]
         worker.in_q.put(("crash", exit_code))
 
+    # -- rule-pack hot reload ---------------------------------------------------
+
+    def reload_rulepack(self, pack) -> RulePack:
+        """Atomically swap every worker onto a new rule pack, mid-stream.
+
+        ``pack`` is a :class:`~repro.rulespec.RulePack` or a path to a
+        ``.rules`` file.  Two-phase epoch barrier over the existing
+        control path:
+
+        1. **prepare** — pending batches are flushed, then every live
+           worker receives ``("rules_prepare", epoch, text, path)``.
+           Input queues are FIFO, so a worker's ready-ack implies every
+           batch routed before the reload was already evaluated under
+           the old pack.  Workers parse *and pre-compile* the staged
+           pack but keep detecting with the old one.
+        2. **commit** — only once every worker acked ok does the router
+           send ``("rules_commit", epoch)``; each worker swaps via
+           :meth:`~repro.core.engine.ScidiveEngine.load_rulepack`
+           (detection state carries over by rule id) and acks done.  Any
+           staging failure aborts the epoch on all shards and raises
+           :class:`ClusterError`, leaving the old pack live everywhere.
+
+        The router submits no frames while this method runs, so no frame
+        is ever evaluated under a mixed pack set and none are dropped.
+        The config is rewritten too, so workers respawned after a later
+        crash build under the *new* pack (their checkpoint restore
+        crosses the pack-version gate with ``force=True``).
+        """
+        if not isinstance(pack, RulePack):
+            pack = load_pack(os.fspath(pack))
+        if self._stopped:
+            raise ClusterError("cluster already stopped; cannot reload rules")
+        if not self._started:
+            self.start()
+        # describe() fallback: a hand-built pack with no source text
+        # still crosses the wire in its canonical form.
+        text = pack.source_text or pack.describe()
+        path = pack.source_path or "<reload>"
+        self._rules_epoch += 1
+        epoch = self._rules_epoch
+        self.flush()
+        if self.config.backend == "serial":
+            for worker in self._workers:
+                worker.engine.load_rulepack(pack)
+        else:
+            self._reload_queued(epoch, text, path)
+        self.rulepack = pack
+        self.config = replace(self.config, pack_text=text, pack_path=path)
+        self.cluster_stats.rulepack_reloads += 1
+        return pack
+
+    def _reload_queued(self, epoch: int, text: str, path: str) -> None:
+        """Drive the prepare/commit barrier for the queue-backed backends."""
+        live = [worker for worker in self._workers if not worker.dead]
+        if not live:
+            raise ClusterError("every worker shard is dead; cannot reload rules")
+        prepare = ("rules_prepare", epoch, text, path)
+        for worker in live:
+            self._send_control(worker, prepare)
+        readies = self._collect_acks("rules_ready", epoch, live, resend=(prepare,))
+        failures = {
+            wid: ack[1]
+            for wid, ack in readies.items()
+            if ack is not None and not ack[0]
+        }
+        if failures:
+            abort = ("rules_abort", epoch)
+            for worker in live:
+                if not worker.dead and worker.alive:
+                    self._send_control(worker, abort)
+            detail = "; ".join(
+                f"worker {wid}: {error}" for wid, error in sorted(failures.items())
+            )
+            raise ClusterError(f"rule-pack reload rejected at prepare: {detail}")
+        survivors = [worker for worker in live if not worker.dead]
+        commit = ("rules_commit", epoch)
+        for worker in survivors:
+            self._send_control(worker, commit)
+        self._collect_acks("rules_done", epoch, survivors, resend=(prepare, commit))
+
+    def _send_control(self, worker, message: tuple) -> None:
+        """Blocking control-plane put: backpressure while the worker
+        drains its queue; a death mid-put is left to the ack collector,
+        which respawns and re-sends."""
+        while True:
+            try:
+                worker.in_q.put(message, timeout=0.05)
+                return
+            except _queue.Full:
+                if not worker.alive:
+                    return
+
+    def _collect_acks(self, kind, epoch, workers, resend) -> dict:
+        """Gather one ``(kind, wid, epoch, ...)`` ack per worker.
+
+        A worker that dies mid-barrier is respawned (fresh engine from
+        the config, still the *old* pack) and the ``resend`` messages
+        are replayed to it; one whose restart budget is spent is marked
+        dead and recorded with a ``None`` ack — the barrier degrades
+        with the shard instead of wedging.  Stray messages (acks from an
+        aborted epoch, a respawned worker's extra ready during the done
+        phase) are discarded by the kind/epoch filter.
+        """
+        stats = self.cluster_stats
+        pending = {worker.worker_id: worker for worker in workers}
+        acks: dict[int, tuple | None] = {}
+        deadline = _time.monotonic() + self.config.result_timeout
+        while pending:
+            try:
+                message = self._out_q.get(timeout=0.1)
+            except _queue.Empty:
+                message = None
+            if message is not None:
+                if (
+                    message[0] == kind
+                    and message[2] == epoch
+                    and message[1] in pending
+                ):
+                    wid = message[1]
+                    pending.pop(wid)
+                    acks[wid] = tuple(message[3:])
+                continue
+            for wid, worker in list(pending.items()):
+                if worker.alive:
+                    continue
+                if worker.restarts < self.config.max_restarts:
+                    worker.respawn()
+                    stats.worker_restarts += 1
+                    for msg in resend:
+                        self._send_control(worker, msg)
+                else:
+                    self._mark_dead(worker)
+                    pending.pop(wid)
+                    acks[wid] = None
+            if _time.monotonic() > deadline:
+                raise ClusterError(
+                    f"timed out waiting for {kind} acks: {sorted(pending)}"
+                )
+        return acks
+
     # -- shutdown -------------------------------------------------------------
 
     def stop(self) -> ClusterResult:
@@ -987,6 +1225,10 @@ class ScidiveCluster:
             "scidive_cluster_workers_dead",
             "Shards abandoned after exhausting max_restarts",
         ).set(stats.workers_dead)
+        registry.counter(
+            "scidive_cluster_rulepack_reloads_total",
+            "Hot rule-pack reloads coordinated by the router",
+        ).inc(stats.rulepack_reloads)
 
     # -- live observability ----------------------------------------------------
 
@@ -1025,6 +1267,8 @@ class ScidiveCluster:
             "worker_dead": [w.worker_id for w in self._workers if w.dead],
             "frames_shed": dict(stats.frames_shed),
             "checkpointing": bool(self.config.checkpoint_every),
+            "rulepack": self.rulepack.info() if self.rulepack is not None else None,
+            "rulepack_reloads": stats.rulepack_reloads,
         }
         if self._last_submit_monotonic is not None:
             payload["last_frame_age_seconds"] = round(

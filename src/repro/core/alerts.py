@@ -34,6 +34,13 @@ class Alert:
     # equivalence must not depend on which worker numbered the alert.
     alert_id: str = field(default="", hash=False, compare=False)
     provenance: object | None = field(default=None, hash=False, compare=False)
+    # Rule-pack provenance (repro.rulespec): the pack identity label and
+    # the rule's file:line, stamped by pack-compiled rules.  Empty for
+    # hand-wired class rules — and excluded from equality/hash, so the
+    # DSL-vs-class alert-multiset equivalence proof compares detection
+    # outcomes, not which implementation produced them.
+    pack_version: str = field(default="", hash=False, compare=False)
+    rule_source: str = field(default="", hash=False, compare=False)
 
     def __str__(self) -> str:
         return (
@@ -67,6 +74,10 @@ class Alert:
         }
         if self.alert_id:
             payload["alert_id"] = self.alert_id
+        if self.pack_version:
+            payload["pack_version"] = self.pack_version
+        if self.rule_source:
+            payload["rule_source"] = self.rule_source
         if self.provenance is not None:
             payload["provenance"] = self.provenance.summary()
             delay = self.detection_delay

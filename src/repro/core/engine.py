@@ -136,6 +136,7 @@ class ScidiveEngine:
         firewall: "StageFirewall | bool | None" = None,
         cost_sample_rate: int | None = None,
         frame_budget: float | None = None,
+        rulepack: "object | str | None" = None,
     ) -> None:
         self.name = name
         self.indexed_dispatch = indexed_dispatch
@@ -143,6 +144,16 @@ class ScidiveEngine:
         # supply whichever of distiller/generators/ruleset the caller
         # did not pass explicitly.
         self.modules = modules
+        # A declarative rule pack (repro.rulespec) — a RulePack object
+        # or a path to a .rules file — supplies the ruleset unless one
+        # was passed explicitly; modules still supply the distiller and
+        # generators.
+        if rulepack is not None and ruleset is None:
+            from repro.rulespec import RulePack, compile_pack, load_pack
+
+            if not isinstance(rulepack, RulePack):
+                rulepack = load_pack(rulepack)
+            ruleset = compile_pack(rulepack, indexed=indexed_dispatch)
         if modules is not None:
             from repro.core.protocols import (
                 distiller_from,
@@ -164,6 +175,11 @@ class ScidiveEngine:
         self.ruleset = (
             ruleset if ruleset is not None else paper_ruleset(indexed=indexed_dispatch)
         )
+        # The pack behind self.ruleset (None for class-built rules) —
+        # read from the compiled set so a caller passing ruleset=
+        # compile_pack(...) directly is also covered.
+        self.rulepack = getattr(self.ruleset, "pack", None)
+        self.rulepack_reloads = 0
         self.alert_log = AlertLog()
         self.stats = EngineStats()
         # Shadow-mode scratch: replicated frames (cluster workers that do
@@ -573,21 +589,82 @@ class ScidiveEngine:
 
         return engine_checkpoint(self)
 
-    def restore(self, blob: bytes) -> None:
+    def restore(self, blob: bytes, force: bool = False) -> None:
         """Load a :meth:`checkpoint` payload into this engine, replacing
         its detection state.  The engine must be built with the same
-        module configuration as the one that took the snapshot."""
+        module configuration as the one that took the snapshot, and —
+        unless ``force`` — under the same rule pack
+        (:class:`~repro.resilience.checkpoint.RulePackMismatch`)."""
         from repro.resilience.checkpoint import engine_restore
 
-        engine_restore(self, blob)
+        engine_restore(self, blob, force=force)
+
+    def load_rulepack(self, pack, carry_state: bool = True):
+        """Atomically swap the active detection policy (hot reload).
+
+        ``pack`` is a :class:`~repro.rulespec.model.RulePack` or a path
+        to a ``.rules`` file.  The pack is compiled into a fresh indexed
+        RuleSet *before* anything is touched — a pack that fails to
+        compile leaves the engine exactly as it was.  The swap is a
+        single rebind of ``self.ruleset``: ``process_footprint`` hoists
+        ``ruleset.match`` once per footprint, so no footprint ever sees
+        a half-installed policy — the new pack applies from the next
+        footprint on.
+
+        Nothing outside the ruleset is disturbed: trails, SIP state,
+        registrations, generators, the alert/event logs and the event
+        history all carry over, and with ``carry_state`` (the default)
+        per-rule detection state — cooldowns, threshold buckets,
+        sequence progress, conjunction members — transfers to same-id,
+        same-shape rules in the new pack, so armed stateful watches
+        survive the reload.  Returns the new RuleSet.
+        """
+        from repro.rulespec import RulePack, compile_pack, load_pack
+
+        if not isinstance(pack, RulePack):
+            pack = load_pack(pack)
+        new_set = compile_pack(pack, indexed=self.indexed_dispatch)
+        old_set = self.ruleset
+        # Continuity: rules match over the same recent-event window and
+        # cost/skip accounting keeps accumulating across the reload.
+        new_set.history = old_set.history
+        new_set.dispatch_skipped = old_set.dispatch_skipped
+        new_set.cost_sample_rate = old_set.cost_sample_rate
+        new_set.firewall = self.firewall
+        if carry_state:
+            previous = {rule.rule_id: rule for rule in old_set.rules}
+            for rule in new_set.rules:
+                prev = previous.get(rule.rule_id)
+                if prev is not None and type(prev) is type(rule):
+                    rule.restore_state(prev.checkpoint_state())
+        self.ruleset = new_set
+        self.rulepack = pack
+        self.rulepack_reloads += 1
+        if self._instr is not None:
+            self._instr.rulepack_reloaded()
+        _log.info(
+            "rulepack loaded",
+            extra={"fields": {
+                "engine": self.name, "pack": pack.label,
+                "rules": len(new_set.rules),
+                "reloads": self.rulepack_reloads,
+                "carried_state": carry_state,
+            }},
+        )
+        return new_set
 
     def reset_detection_state(self) -> None:
         """Clear alerts/events/counters but keep protocol state (between
-        phases).  Includes the ruleset: cooldown timestamps and per-rule
-        counters must not leak from one phase into the next."""
+        phases).  Includes the ruleset: cooldown timestamps, per-rule
+        counters and the per-rule group tables (threshold buckets,
+        sequence progress, conjunction members — however the rules were
+        built, classes or a compiled pack) must not leak from one phase
+        into the next.  Shadow scratch counters reset too: replicated-
+        frame stats are phase state like everything else here."""
         self.alert_log.clear()
         self.event_log.clear()
         self.stats.reset()
+        self.shadow_stats.reset()
         self.ruleset.reset()
 
     def housekeep(self, now: float) -> int:

@@ -82,6 +82,7 @@ class Rule(ABC):
     state_attrs: tuple[str, ...] = (
         "_last_alert", "matches_attempted", "alerts_raised",
         "cost_seconds", "cost_samples",
+        "shadow_matches", "suppressed_alerts",
     )
 
     def __init__(
@@ -110,6 +111,22 @@ class Rule(ABC):
         # cost_samples the number of timed invocations behind it.
         self.cost_seconds = 0.0
         self.cost_samples = 0
+        # -- per-rule ops controls (rule packs / `repro rules`) ----------
+        # enabled=False removes the rule from dispatch entirely (the
+        # index is rebuilt without it).  mode picks what happens when
+        # the rule *would* alert: "enforce" emits, "shadow" only counts
+        # (scidive_shadow_matches_total), "suppress" counts separately
+        # and drops.  A disabled rule accumulates no state; a shadowed
+        # rule advances all its state exactly like an enforcing one.
+        self.enabled = True
+        self.mode = "enforce"
+        self.shadow_matches = 0
+        self.suppressed_alerts = 0
+        # Provenance for pack-compiled rules: the owning pack's identity
+        # label (name@version+hash) and this rule's file:line.  Empty
+        # for hand-wired class rules.
+        self.pack_version = ""
+        self.source_location = ""
 
     @abstractmethod
     def on_event(self, event: Event, ctx: RuleContext) -> Alert | None:
@@ -124,6 +141,8 @@ class Rule(ABC):
         self.alerts_raised = 0
         self.cost_seconds = 0.0
         self.cost_samples = 0
+        self.shadow_matches = 0
+        self.suppressed_alerts = 0
 
     def checkpoint_state(self) -> dict:
         """This rule's detection state for a checkpoint payload."""
@@ -164,6 +183,8 @@ class Rule(ABC):
             attack_class=self.attack_class,
             message=message,
             events=evidence,
+            pack_version=self.pack_version,
+            rule_source=self.source_location,
         )
 
 
@@ -416,10 +437,16 @@ class RuleSet:
         self.rules: list[Rule] = list(rules) if rules else []
         self.history = EventHistory()
         self.indexed = indexed
+        # The rule pack this set was compiled from (repro.rulespec), or
+        # None for hand-wired class rules.
+        self.pack = None
         # Rule evaluations avoided by the index (benchmark reporting).
         self.dispatch_skipped = 0
         self._index: dict[str, tuple[Rule, ...]] = {}
         self._wildcard: tuple[Rule, ...] = ()
+        # Enabled rules only, in self.rules order — what broadcast
+        # dispatch iterates and what dispatch_skipped counts against.
+        self._active: tuple[Rule, ...] = ()
         # The (identity, length) the index was built from; add/remove and
         # direct list manipulation both change one of them.
         self._index_rules: list[Rule] | None = None
@@ -445,22 +472,57 @@ class RuleSet:
     def remove(self, rule_id: str) -> None:
         self.rules = [r for r in self.rules if r.rule_id != rule_id]
 
+    def get(self, rule_id: str) -> Rule | None:
+        for rule in self.rules:
+            if rule.rule_id == rule_id:
+                return rule
+        return None
+
+    def set_enabled(self, rule_id: str, enabled: bool) -> Rule:
+        """Toggle a rule in or out of dispatch (ops control).
+
+        Flipping ``enabled`` mutates the rule in place, which the lazy
+        (identity, length) staleness check cannot see — so this forces
+        the index rebuild that actually applies the change.
+        """
+        rule = self.get(rule_id)
+        if rule is None:
+            raise KeyError(f"no such rule: {rule_id}")
+        rule.enabled = enabled
+        self._index_rules = None
+        return rule
+
+    def set_mode(self, rule_id: str, mode: str) -> Rule:
+        """Switch a rule between enforce / shadow / suppress."""
+        if mode not in ("enforce", "shadow", "suppress"):
+            raise ValueError(f"unknown rule mode: {mode!r}")
+        rule = self.get(rule_id)
+        if rule is None:
+            raise KeyError(f"no such rule: {rule_id}")
+        rule.mode = mode
+        return rule
+
     def rebuild_index(self) -> None:
         """Recompute the trigger-event → rules index.
 
         Called lazily whenever the rule list changed shape; call it
-        explicitly after mutating a rule's ``trigger_events`` in place.
-        Candidate lists preserve ``self.rules`` order so alert ordering
-        is identical to broadcast dispatch.
+        explicitly after mutating a rule's ``trigger_events`` or
+        ``enabled`` flag in place (:meth:`set_enabled` does).  Disabled
+        rules are excluded here — at index-build time — so the per-event
+        hot path never tests the flag.  Candidate lists preserve
+        ``self.rules`` order so alert ordering is identical to broadcast
+        dispatch.
         """
+        active = tuple(r for r in self.rules if r.enabled)
+        self._active = active
         names: set[str] = set()
-        for rule in self.rules:
+        for rule in active:
             if rule.trigger_events is not None:
                 names.update(rule.trigger_events)
-        self._wildcard = tuple(r for r in self.rules if r.trigger_events is None)
+        self._wildcard = tuple(r for r in active if r.trigger_events is None)
         self._index = {
             name: tuple(
-                r for r in self.rules
+                r for r in active
                 if r.trigger_events is None or name in r.trigger_events
             )
             for name in names
@@ -483,15 +545,17 @@ class RuleSet:
         ctx = self._ctx
         if ctx is None or ctx.trails is not trails or ctx.history is not self.history:
             ctx = self._ctx = RuleContext(trails=trails, history=self.history)
+        # Both dispatch modes draw candidates from the rebuilt view so
+        # disabled rules drop out everywhere at the same instant.
+        if self._index_rules is not self.rules or self._index_len != len(self.rules):
+            self.rebuild_index()
         if self.indexed:
             # Inlined candidates_for(): one dict probe per event once the
             # index is built.
-            if self._index_rules is not self.rules or self._index_len != len(self.rules):
-                self.rebuild_index()
             candidates = self._index.get(event.name, self._wildcard)
-            self.dispatch_skipped += len(self.rules) - len(candidates)
+            self.dispatch_skipped += len(self._active) - len(candidates)
         else:
-            candidates = self.rules
+            candidates = self._active
         rate = self.cost_sample_rate
         timed = False
         if rate:
@@ -526,16 +590,35 @@ class RuleSet:
                     self.remove(rule.rule_id)
                 continue
             if alert is not None:
-                log.emit(alert)
-                alerts.append(alert)
+                # Ops modes resolve here, after the rule fully evaluated
+                # (state, cooldowns and alerts_raised all advanced), so
+                # flipping a rule to shadow and back never desynchronises
+                # its detection state from an enforcing twin.
+                mode = rule.mode
+                if mode == "enforce":
+                    log.emit(alert)
+                    alerts.append(alert)
+                elif mode == "shadow":
+                    rule.shadow_matches += 1
+                else:  # "suppress"
+                    rule.suppressed_alerts += 1
         return alerts
 
     def reset(self) -> None:
+        """Forget everything match-state: every rule's cooldowns,
+        counters and group/LRU tables (threshold buckets, sequence
+        progress, conjunction members), the event history, and the
+        cached context/index.  The index invalidation matters for
+        pack-compiled rules: ``enabled`` flips mutate rules in place,
+        which the lazy (identity, length) staleness check cannot see, so
+        a reset must force the rebuild rather than trust it."""
         for rule in self.rules:
             rule.reset()
         self.history = EventHistory()
         self.dispatch_skipped = 0
         self._cost_tick = 0
+        self._ctx = None  # held a reference to the replaced history
+        self._index_rules = None
 
     def rule_stats(self) -> list[dict[str, object]]:
         """Per-rule match/alert counters (the ``repro stats`` table)."""
@@ -548,6 +631,12 @@ class RuleSet:
                 "alerts_raised": rule.alerts_raised,
                 "cost_seconds": rule.cost_seconds,
                 "cost_samples": rule.cost_samples,
+                "enabled": rule.enabled,
+                "mode": rule.mode,
+                "shadow_matches": rule.shadow_matches,
+                "suppressed_alerts": rule.suppressed_alerts,
+                "pack_version": rule.pack_version,
+                "source_location": rule.source_location,
             }
             for rule in self.rules
         ]

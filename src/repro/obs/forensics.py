@@ -684,6 +684,12 @@ def format_bundle(bundle: dict) -> str:
         f"session={alert.get('session') or '-'}",
         f"  {alert.get('message', '')}",
     ]
+    if alert.get("pack_version") or alert.get("rule_source"):
+        provenance = alert.get("pack_version", "?")
+        source = alert.get("rule_source")
+        lines.append(
+            f"  rule: {provenance}" + (f"  ({source})" if source else "")
+        )
     delay = graph.detection_delay
     if delay is not None:
         lines.append(f"  detection delay: {delay * 1000:.1f} ms")

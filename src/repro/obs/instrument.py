@@ -59,6 +59,7 @@ class EngineInstrumentation:
         "_stage_summary_children", "_module_children",
         "_rule_cost", "_rule_cost_samples",
         "_rule_cost_flushed", "_rule_samples_flushed", "_burn_rate",
+        "_shadow_matches", "_shadow_flushed", "_rulepack_reloads",
     )
 
     def __init__(
@@ -165,6 +166,14 @@ class EngineInstrumentation:
             "scidive_frame_budget_burn_rate",
             "Latency-budget burn rate (budgets spent per frame)", ("engine",),
         ).labels(**label)
+        self._shadow_matches = registry.counter(
+            "scidive_shadow_matches_total",
+            "Alerts a shadow-mode rule would have raised", ("engine", "rule_id"),
+        )
+        self._rulepack_reloads = registry.counter(
+            "scidive_rulepack_reloads_total",
+            "Successful rule-pack hot reloads", ("engine",),
+        ).labels(**label)
         # Hot-path label children resolved once per distinct value, then
         # hit these dicts — keeps per-frame cost to dict lookups.
         self._footprint_children: dict[str, Any] = {}
@@ -177,6 +186,9 @@ class EngineInstrumentation:
         # the registry stays monotonic while rules keep plain floats.
         self._rule_cost_flushed: dict[str, float] = {}
         self._rule_samples_flushed: dict[str, int] = {}
+        # Shadow matches follow the same delta-flush pattern: rules count
+        # plain ints on the match path, the registry sees deltas here.
+        self._shadow_flushed: dict[str, int] = {}
         # Per-generator time/call tallies accumulate in plain dicts (a
         # float add per generator per frame) and flush to the registry
         # in update_gauges — a histogram observe per generator per frame
@@ -333,6 +345,19 @@ class EngineInstrumentation:
                     engine=self.engine, rule_id=rid
                 ).inc(delta_n)
                 flushed_n[rid] = rule.cost_samples
+        flushed_s = self._shadow_flushed
+        for rule in rules:
+            rid = rule.rule_id
+            delta_s = rule.shadow_matches - flushed_s.get(rid, 0)
+            if delta_s > 0:
+                self._shadow_matches.labels(
+                    engine=self.engine, rule_id=rid
+                ).inc(delta_s)
+                flushed_s[rid] = rule.shadow_matches
+
+    def rulepack_reloaded(self) -> None:
+        """One successful hot reload (scidive_rulepack_reloads_total)."""
+        self._rulepack_reloads.inc()
 
 
 class InstrumentationHook(FootprintHook):

@@ -1,5 +1,5 @@
 """Live health/metrics sidecar: ``/metrics``, ``/healthz``, ``/alerts``,
-``/metrics/history``.
+``/metrics/history``, plus ``POST /rules/reload`` for rule-pack hot swap.
 
 A stdlib ``http.server`` thread that exposes the running engine (or
 cluster) while a replay/scenario is in flight — the operational
@@ -107,6 +107,41 @@ class StatusSource:
         with self._lock:
             self._requests[path] = self._requests.get(path, 0) + 1
 
+    # -- actions ---------------------------------------------------------------
+
+    def reload_rules(self, path: str) -> dict[str, Any]:
+        """Hot-swap the bound cluster's (or engine's) rule pack from a
+        ``.rules`` file — the body of ``POST /rules/reload``.
+
+        Raises ``LookupError`` when nothing reloadable is bound yet and
+        lets pack/cluster errors (:class:`~repro.rulespec.RulePackError`,
+        ``ClusterError``) propagate; the handler maps both to 409 so a
+        rejected reload is distinguishable from a malformed request.
+        """
+        cluster = self.cluster
+        engine = self.engine
+        if cluster is not None:
+            pack = cluster.reload_rulepack(path)
+            return {
+                "status": "ok",
+                "target": "cluster",
+                "workers": cluster.config.workers,
+                "rulepack": pack.info(),
+                "reloads": cluster.cluster_stats.rulepack_reloads,
+            }
+        if engine is not None:
+            from repro.rulespec import load_pack
+
+            pack = load_pack(path)
+            engine.load_rulepack(pack)
+            return {
+                "status": "ok",
+                "target": "engine",
+                "rulepack": pack.info(),
+                "reloads": engine.rulepack_reloads,
+            }
+        raise LookupError("no engine or cluster bound yet; nothing to reload")
+
     # -- views -----------------------------------------------------------------
 
     def metrics_text(self) -> str:
@@ -164,6 +199,12 @@ class StatusSource:
             firewall = getattr(engine, "firewall", None)
             if firewall is not None:
                 engine_view["firewall"] = firewall.as_dict()
+            rulepack = getattr(engine, "rulepack", None)
+            if rulepack is not None:
+                engine_view["rulepack"] = rulepack.info()
+            reloads = getattr(engine, "rulepack_reloads", 0)
+            if reloads:
+                engine_view["rulepack_reloads"] = reloads
             budget = getattr(engine, "latency_budget", None)
             if budget is not None:
                 engine_view["latency_budget"] = budget.as_dict()
@@ -271,6 +312,42 @@ class _Handler(BaseHTTPRequestHandler):
                 )
         except Exception as exc:  # pragma: no cover - defensive
             self._reply_json({"status": "error", "error": str(exc)}, status=500)
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        source = self.server.source
+        raw_path, _, _ = self.path.partition("?")
+        path = raw_path.rstrip("/") or "/"
+        source.count_request(path)
+        if path != "/rules/reload":
+            self._reply_json(
+                {"error": f"unknown POST path {path!r}",
+                 "paths": ["/rules/reload"]},
+                status=404,
+            )
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0) or 0)
+            body = self.rfile.read(length) if length else b""
+            payload = json.loads(body or b"{}")
+        except ValueError:
+            self._reply_json(
+                {"status": "error", "error": "body must be JSON"}, status=400
+            )
+            return
+        pack_path = payload.get("path") if isinstance(payload, dict) else None
+        if not isinstance(pack_path, str) or not pack_path:
+            self._reply_json(
+                {"status": "error",
+                 "error": 'body must be {"path": "<.rules file>"}'},
+                status=400,
+            )
+            return
+        try:
+            self._reply_json(source.reload_rules(pack_path))
+        except Exception as exc:
+            # A rejected pack (lint errors, cluster abort, no engine
+            # bound yet) is a state conflict, not a malformed request.
+            self._reply_json({"status": "error", "error": str(exc)}, status=409)
 
     def _reply(self, body: str, content_type: str, status: int = 200) -> None:
         data = body.encode("utf-8")

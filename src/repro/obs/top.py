@@ -120,6 +120,15 @@ def render(status: dict[str, Any], window: float = DEFAULT_WINDOW) -> list[str]:
             f"{engine.get('alerts', 0):,} alerts  "
             f"trails {engine.get('live_trails', 0):,}"
         )
+        pack = engine.get("rulepack")
+        if pack:
+            reloads = engine.get("rulepack_reloads", 0)
+            lines.append(
+                f"  rulepack: {pack.get('label', '?')}  "
+                f"({pack.get('rules', '?')} rules"
+                + (f", {reloads} reloads" if reloads else "")
+                + ")"
+            )
         budget = engine.get("latency_budget")
         if budget:
             state = "OVERLOAD" if budget.get("overloaded") else "ok"
@@ -167,6 +176,15 @@ def render(status: dict[str, Any], window: float = DEFAULT_WINDOW) -> list[str]:
             f"{cluster.get('frames_dropped', 0):,} shed  "
             f"{cluster.get('worker_restarts', 0)} restarts"
         )
+        pack = cluster.get("rulepack")
+        if pack:
+            reloads = cluster.get("rulepack_reloads", 0)
+            lines.append(
+                f"  rulepack: {pack.get('label', '?')}  "
+                f"({pack.get('rules', '?')} rules"
+                + (f", {reloads} reloads" if reloads else "")
+                + ")"
+            )
         depths = cluster.get("queue_depths", [])
         if depths:
             lines.append(

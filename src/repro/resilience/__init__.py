@@ -29,6 +29,7 @@ away.  Three cooperating pieces:
 from repro.resilience.checkpoint import (
     CHECKPOINT_VERSION,
     CheckpointError,
+    RulePackMismatch,
     engine_checkpoint,
     engine_restore,
 )
@@ -58,6 +59,7 @@ def __getattr__(name: str):
 __all__ = [
     "CHECKPOINT_VERSION",
     "CheckpointError",
+    "RulePackMismatch",
     "engine_checkpoint",
     "engine_restore",
     "ChaosConfig",

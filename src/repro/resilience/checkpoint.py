@@ -89,6 +89,17 @@ class CheckpointError(RuntimeError):
     """Unusable checkpoint: wrong version, wrong magic, or corrupt."""
 
 
+class RulePackMismatch(CheckpointError):
+    """The checkpoint was taken under a different rule pack.
+
+    Restoring rule state (cooldowns, threshold buckets, sequence
+    progress) into rules compiled from a *different* policy can
+    resurrect suppressions for rules whose meaning changed, so the
+    restore refuses by default; pass ``force=True`` (the CLI's
+    ``--force``) to accept the cross-pack restore anyway.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Per-component capture helpers
 # ---------------------------------------------------------------------------
@@ -142,6 +153,11 @@ def engine_checkpoint(engine: "ScidiveEngine") -> bytes:
     payload = {
         "version": CHECKPOINT_VERSION,
         "engine_name": engine.name,
+        # Which detection policy the snapshot's rule state belongs to
+        # (None for hand-wired class rules).  engine_restore gates on it.
+        "rulepack": (
+            engine.rulepack.info() if engine.rulepack is not None else None
+        ),
         "stats": engine.stats.as_dict(),
         "shadow_stats": engine.shadow_stats.as_dict(),
         "alerts": list(engine.alert_log.alerts),
@@ -192,13 +208,17 @@ def engine_checkpoint(engine: "ScidiveEngine") -> bytes:
             trail.evicted = evicted
 
 
-def engine_restore(engine: "ScidiveEngine", blob: bytes) -> None:
+def engine_restore(engine: "ScidiveEngine", blob: bytes, force: bool = False) -> None:
     """Load a checkpoint into ``engine`` (same module configuration).
 
     Components present in the snapshot but absent from the engine (or
     vice versa) are skipped: the engine keeps its factory-fresh state
     for anything the snapshot does not cover, so config drift degrades
-    to partial amnesia instead of an exception storm.
+    to partial amnesia instead of an exception storm.  The rule pack is
+    the exception: a snapshot taken under a different pack identity
+    raises :class:`RulePackMismatch` unless ``force`` is set, because
+    silently mixing one policy's rule state into another's rules is
+    config drift of the *detection semantics*, not of the plumbing.
     """
     from repro.core.engine import EngineStats
     from repro.core.events import GeneratorContext
@@ -214,6 +234,18 @@ def engine_restore(engine: "ScidiveEngine", blob: bytes) -> None:
         raise CheckpointError(
             f"checkpoint version {version!r} != supported {CHECKPOINT_VERSION}"
         )
+    snapshot_pack = payload.get("rulepack")
+    if snapshot_pack is not None and not force:
+        snapshot_label = snapshot_pack.get("label")
+        current_label = (
+            engine.rulepack.label if engine.rulepack is not None else None
+        )
+        if snapshot_label != current_label:
+            raise RulePackMismatch(
+                f"checkpoint was taken under rule pack {snapshot_label!r} "
+                f"but the engine runs {current_label!r}; pass force=True "
+                "(--force) to restore across packs"
+            )
     engine.stats = EngineStats.from_dict(payload["stats"])
     engine.shadow_stats = EngineStats.from_dict(payload["shadow_stats"])
     # In-place so AlertLog subscribers (forensics, instrumentation) and

@@ -1,0 +1,53 @@
+"""``repro.rulespec``: the declarative rule DSL.
+
+SCIDIVE's detection policy — which event patterns constitute an
+intrusion — used to live exclusively in Python (``rules_library.py``),
+so every new scenario meant a code change.  This package separates
+policy from mechanism the way SecSip's VeTo language does for its SIP
+inspection engine: rules ship as data (``*.rules`` pack files), and the
+engine compiles them into the same indexed :class:`~repro.core.rules.RuleSet`
+the hand-wired classes produce.
+
+Three layers:
+
+* :mod:`repro.rulespec.model` — :class:`RuleDef` (one parsed rule,
+  primitives only) and :class:`RulePack` (a versioned, content-hashed
+  collection with a canonical ``describe()`` form).
+* :mod:`repro.rulespec.parser` — the line-oriented pack parser and
+  linter; every diagnostic is anchored to a 1-based source line.
+* :mod:`repro.rulespec.compiler` — ``compile_pack()`` lowers a pack
+  onto the existing rule classes (``SingleEventRule``/``ThresholdRule``/
+  ``SequenceRule``/``ConjunctionRule``), so trigger-event indexing,
+  cooldowns, LRU group caps and checkpointing all keep working
+  unchanged.
+
+The shipped paper rules live in ``rules/scidive-core.rules`` at the
+repository root; the equivalence suite proves the compiled pack raises
+the same alert multiset as the Python originals.
+"""
+
+from repro.rulespec.compiler import compile_pack, compile_rule
+from repro.rulespec.model import RuleDef, RulePack
+from repro.rulespec.parser import (
+    LintIssue,
+    RulePackError,
+    known_event_names,
+    lint_path,
+    lint_text,
+    load_pack,
+    parse_pack,
+)
+
+__all__ = [
+    "LintIssue",
+    "RuleDef",
+    "RulePack",
+    "RulePackError",
+    "compile_pack",
+    "compile_rule",
+    "known_event_names",
+    "lint_path",
+    "lint_text",
+    "load_pack",
+    "parse_pack",
+]
