@@ -977,6 +977,13 @@ class ScidiveCluster:
             self._reload_queued(epoch, text, path)
         self.rulepack = pack
         self.config = replace(self.config, pack_text=text, pack_path=path)
+        # Workers respawn from the config *they* hold (respawn() →
+        # start() → _worker_main(worker.config)), so rebind every worker
+        # to the updated config: a crash after this reload must rebuild
+        # under the new pack, not the one the worker was spawned with.
+        if self.config.backend != "serial":
+            for worker in self._workers:
+                worker.config = self.config
         self.cluster_stats.rulepack_reloads += 1
         return pack
 
@@ -1031,12 +1038,23 @@ class ScidiveCluster:
         with the shard instead of wedging.  Stray messages (acks from an
         aborted epoch, a respawned worker's extra ready during the done
         phase) are discarded by the kind/epoch filter.
+
+        The deadline is checked on *every* loop iteration (a steady
+        stream of stray messages must not defer the timeout forever) and
+        is re-armed whenever a worker is respawned mid-barrier: a cold
+        process start plus checkpoint restore plus replayed barrier
+        messages deserves a fresh ack window rather than inheriting
+        whatever sliver the original deadline has left.
         """
         stats = self.cluster_stats
         pending = {worker.worker_id: worker for worker in workers}
         acks: dict[int, tuple | None] = {}
         deadline = _time.monotonic() + self.config.result_timeout
         while pending:
+            if _time.monotonic() > deadline:
+                raise ClusterError(
+                    f"timed out waiting for {kind} acks: {sorted(pending)}"
+                )
             try:
                 message = self._out_q.get(timeout=0.1)
             except _queue.Empty:
@@ -1059,14 +1077,11 @@ class ScidiveCluster:
                     stats.worker_restarts += 1
                     for msg in resend:
                         self._send_control(worker, msg)
+                    deadline = _time.monotonic() + self.config.result_timeout
                 else:
                     self._mark_dead(worker)
                     pending.pop(wid)
                     acks[wid] = None
-            if _time.monotonic() > deadline:
-                raise ClusterError(
-                    f"timed out waiting for {kind} acks: {sorted(pending)}"
-                )
         return acks
 
     # -- shutdown -------------------------------------------------------------

@@ -234,9 +234,14 @@ def engine_restore(engine: "ScidiveEngine", blob: bytes, force: bool = False) ->
         raise CheckpointError(
             f"checkpoint version {version!r} != supported {CHECKPOINT_VERSION}"
         )
-    snapshot_pack = payload.get("rulepack")
-    if snapshot_pack is not None and not force:
-        snapshot_label = snapshot_pack.get("label")
+    if not force:
+        # Symmetric gate: None (class-built rules) is a pack identity
+        # too — a packless snapshot must not slide into a compiled-pack
+        # engine any more than the reverse.
+        snapshot_pack = payload.get("rulepack")
+        snapshot_label = (
+            snapshot_pack.get("label") if snapshot_pack is not None else None
+        )
         current_label = (
             engine.rulepack.label if engine.rulepack is not None else None
         )

@@ -80,7 +80,9 @@ class RuleDef:
         if self.threshold is not None:
             lines.append(f"threshold = {self.threshold}")
         if self.window is not None:
-            lines.append(f"window = {self.window:g}")
+            # repr, not :g — the canonical form must round-trip floats
+            # losslessly or two different packs could share a label.
+            lines.append(f"window = {self.window!r}")
         if self.group_by is not None:
             lines.append(f"group_by = {self.group_by}")
         if self.correlate is not None:
@@ -88,7 +90,7 @@ class RuleDef:
         for clause in self.where:
             lines.append(f"where = {clause}")
         if self.cooldown is not None:
-            lines.append(f"cooldown = {self.cooldown:g}")
+            lines.append(f"cooldown = {self.cooldown!r}")
         if not self.enabled:
             lines.append("enabled = false")
         if self.mode != "enforce":

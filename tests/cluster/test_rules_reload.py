@@ -9,6 +9,7 @@ worker off the old pack.
 from __future__ import annotations
 
 import collections
+import time
 
 import pytest
 
@@ -151,6 +152,68 @@ class TestReloadRejection:
         cluster.process_trace(_attack_trace("bye-attack"))
         with pytest.raises(ClusterError):
             cluster.reload_rulepack(RULES_PACK)
+
+
+class TestRespawnAfterReload:
+    def test_reload_rebinds_worker_configs(self, tmp_path):
+        # Workers respawn from the config they hold, so the reload must
+        # rebind every worker to the post-reload config or a later crash
+        # resurrects the old pack on one shard.
+        text = open(RULES_PACK, encoding="utf-8").read()
+        muted = tmp_path / "muted.rules"
+        muted.write_text(
+            text.replace("[rule BYE-001]", "[rule BYE-001]\nenabled = false"),
+            encoding="utf-8",
+        )
+        with ScidiveCluster(
+            workers=4,
+            backend="threads",
+            vantage_ip=CLIENT_A_IP,
+            pack_path=RULES_PACK,
+        ) as cluster:
+            cluster.start()
+            cluster.reload_rulepack(str(muted))
+            for worker in cluster._workers:
+                assert worker.config.pack_text == cluster.config.pack_text
+                assert worker.config.pack_path == cluster.config.pack_path
+
+    def test_worker_crashed_after_reload_respawns_under_new_pack(
+        self, tmp_path
+    ):
+        # Reload to a pack with BYE-001 disabled, crash every worker,
+        # then run the BYE attack: the respawned engines must detect
+        # under the *new* (muted) pack, not the one the cluster started
+        # with — zero BYE-001 alerts, even though the original pack
+        # (baseline below) raises them on this trace.
+        text = open(RULES_PACK, encoding="utf-8").read()
+        muted = tmp_path / "muted.rules"
+        muted.write_text(
+            text.replace("[rule BYE-001]", "[rule BYE-001]\nenabled = false"),
+            encoding="utf-8",
+        )
+        trace = _attack_trace("bye-attack")
+        cluster = ScidiveCluster(
+            workers=4,
+            backend="threads",
+            batch_size=16,
+            vantage_ip=CLIENT_A_IP,
+            pack_path=RULES_PACK,
+        )
+        cluster.start()
+        cluster.reload_rulepack(str(muted))
+        for wid in range(4):
+            cluster.inject_crash(wid)
+        deadline = time.monotonic() + 10.0
+        while any(w.alive for w in cluster._workers):
+            assert time.monotonic() < deadline, "workers never died"
+            time.sleep(0.01)
+        for record in trace.records:
+            cluster.submit_frame(record.frame, record.timestamp)
+        result = cluster.stop()
+        assert result.cluster.worker_restarts >= 4
+        assert not [a for a in result.alerts if a.rule_id == "BYE-001"]
+        baseline = _single_engine_alerts(trace)
+        assert any(a.rule_id == "BYE-001" for a in baseline)
 
 
 class TestReloadSurfacing:

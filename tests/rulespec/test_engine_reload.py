@@ -126,3 +126,26 @@ class TestCheckpointGate:
         assert collections.Counter(heir.alerts) == collections.Counter(
             donor.alerts
         )
+
+    def test_gate_is_symmetric_around_class_built_rules(self):
+        # "No pack" (class-built rules) is a pack identity too: a
+        # packless snapshot must not slide into a compiled-pack engine,
+        # nor a pack snapshot into a packless engine.
+        trace = _attack_trace("bye-attack")
+        packless = ScidiveEngine(vantage_ip=CLIENT_A_IP)
+        packless.process_trace(trace)
+        packless_blob = packless.checkpoint()
+        with pytest.raises(RulePackMismatch):
+            _engine().restore(packless_blob)
+
+        donor = _engine()
+        donor.process_trace(trace)
+        with pytest.raises(RulePackMismatch):
+            ScidiveEngine(vantage_ip=CLIENT_A_IP).restore(donor.checkpoint())
+
+        # Same identity on both sides (None == None) still restores.
+        heir = ScidiveEngine(vantage_ip=CLIENT_A_IP)
+        heir.restore(packless_blob)
+        assert collections.Counter(heir.alerts) == collections.Counter(
+            packless.alerts
+        )
