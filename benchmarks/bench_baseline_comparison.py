@@ -17,7 +17,11 @@ from repro.baseline.snortlike import ByeSignatureRule, FourXXFloodRule, SnortLik
 from repro.core.engine import ScidiveEngine
 from repro.core.rules_library import RULE_BYE_ATTACK
 from repro.experiments.report import format_table
-from repro.experiments.workloads import WorkloadSpec, capture_attack_workload, capture_workload
+from repro.experiments.workloads import (
+    WorkloadSpec,
+    capture_attack_workload,
+    capture_workload,
+)
 from repro.voip.testbed import CLIENT_A_IP
 
 
@@ -60,7 +64,8 @@ def test_baseline_comparison(benchmark, emit):
 
     scidive_attack = data["scidive_attack"]
     attack_detected = any(
-        a.rule_id == RULE_BYE_ATTACK and a.time >= t_attack for a in scidive_attack.alerts
+        a.rule_id == RULE_BYE_ATTACK and a.time >= t_attack
+        for a in scidive_attack.alerts
     )
     scidive_attack_fp = sum(1 for a in scidive_attack.alerts if a.time < t_attack)
 
@@ -71,17 +76,26 @@ def test_baseline_comparison(benchmark, emit):
 
     rows = [
         ["benign churn: false alarms", scidive_benign_fp, snort_benign_fp],
-        ["BYE attack: detected?", "yes" if attack_detected else "no",
-         "only via alarm-on-every-BYE"],
-        ["BYE attack trace: pre-attack (false) alarms", scidive_attack_fp, snort_attack_fp],
+        [
+            "BYE attack: detected?",
+            "yes" if attack_detected else "no",
+            "only via alarm-on-every-BYE",
+        ],
+        [
+            "BYE attack trace: pre-attack (false) alarms",
+            scidive_attack_fp,
+            snort_attack_fp,
+        ],
         ["BYE attack trace: post-attack alarms", 1, snort_attack_tp],
     ]
-    emit(format_table(
-        ["metric", "SCIDIVE (stateful)", "Snort-like (stateless)"],
-        rows,
-        title=f"§3.3/§5 — stateful vs stateless on identical traces "
-              f"({len(benign)} + {len(attack_trace)} frames)",
-    ))
+    emit(
+        format_table(
+            ["metric", "SCIDIVE (stateful)", "Snort-like (stateless)"],
+            rows,
+            title=f"§3.3/§5 — stateful vs stateless on identical traces "
+                  f"({len(benign)} + {len(attack_trace)} frames)",
+        )
+    )
     assert scidive_benign_fp == 0
     assert snort_benign_fp >= 3, "the strawman must misfire on churn"
     assert attack_detected

@@ -43,7 +43,9 @@ def _benign_with_noise():
     # Stray media packet from a misconfigured host (event 3 alone).
     from repro.rtp.packet import RtpPacket
 
-    stray = RtpPacket(payload_type=0, sequence=1, timestamp=0, ssrc=99, payload=b"x" * 160)
+    stray = RtpPacket(
+        payload_type=0, sequence=1, timestamp=0, ssrc=99, payload=b"x" * 160
+    )
     sock2 = testbed.attacker_stack.bind_ephemeral(lambda *args: None)
     sock2.send_to(Endpoint.parse("10.0.0.10:40000"), stray.encode())
     testbed.run_for(1.0)
@@ -63,21 +65,34 @@ def test_billing_fraud(benchmark, emit):
         return sum(1 for e in engine.event_log if e.name == name)
 
     rows = [
-        ["MalformedSip events", count(benign_engine, EVENT_MALFORMED_SIP),
-         count(fraud.engine, EVENT_MALFORMED_SIP)],
-        ["AccountingMismatch events", count(benign_engine, EVENT_ACCOUNTING_MISMATCH),
-         count(fraud.engine, EVENT_ACCOUNTING_MISMATCH)],
-        ["RtpSourceMismatch events", count(benign_engine, EVENT_RTP_SOURCE_MISMATCH),
-         count(fraud.engine, EVENT_RTP_SOURCE_MISMATCH)],
-        ["FRAUD-001 alerts (3-way conjunction)",
-         len(benign_engine.alerts_for_rule(RULE_BILLING_FRAUD)),
-         len(fraud.alerts_for(RULE_BILLING_FRAUD))],
+        [
+            "MalformedSip events",
+            count(benign_engine, EVENT_MALFORMED_SIP),
+            count(fraud.engine, EVENT_MALFORMED_SIP),
+        ],
+        [
+            "AccountingMismatch events",
+            count(benign_engine, EVENT_ACCOUNTING_MISMATCH),
+            count(fraud.engine, EVENT_ACCOUNTING_MISMATCH),
+        ],
+        [
+            "RtpSourceMismatch events",
+            count(benign_engine, EVENT_RTP_SOURCE_MISMATCH),
+            count(fraud.engine, EVENT_RTP_SOURCE_MISMATCH),
+        ],
+        [
+            "FRAUD-001 alerts (3-way conjunction)",
+            len(benign_engine.alerts_for_rule(RULE_BILLING_FRAUD)),
+            len(fraud.alerts_for(RULE_BILLING_FRAUD)),
+        ],
     ]
-    emit(format_table(
-        ["signal", "benign + noise run", "fraud run"],
-        rows,
-        title="§3.2 — billing fraud: single events misfire, the conjunction does not",
-    ))
+    emit(
+        format_table(
+            ["signal", "benign + noise run", "fraud run"],
+            rows,
+            title="§3.2 — billing fraud: single events misfire, the conjunction does not",
+        )
+    )
     # Single events DO occur benignly (the false-alarm sources)...
     assert rows[0][1] >= 1
     assert rows[2][1] >= 1
@@ -86,4 +101,7 @@ def test_billing_fraud(benchmark, emit):
     assert rows[3][2] == 1
     # And the fraud really happened: the victim was billed.
     records = fraud.extras["billing_records"]
-    assert any(r.from_aor == "alice@example.com" and r.call_id.startswith("fraud") for r in records)
+    assert any(
+        r.from_aor == "alice@example.com" and r.call_id.startswith("fraud")
+        for r in records
+    )

@@ -28,7 +28,9 @@ def _run(spoof: bool):
     )
     ids_a.attach(testbed.ids_tap)
     ids_b.attach(testbed.ids_tap)
-    hub = CorrelationHub(home_of={"bob@example.com": "ids-b", "alice@example.com": "ids-a"})
+    hub = CorrelationHub(
+        home_of={"bob@example.com": "ids-b", "alice@example.com": "ids-a"}
+    )
     hub.register(ids_a)
     hub.register(ids_b)
     attack = FakeImAttack(testbed, spoof_source=spoof)
@@ -50,14 +52,19 @@ def test_cooperative_detection(benchmark, emit):
     for label, (ids_a, hub) in results.items():
         single = len(ids_a.alerts_for_rule(RULE_FAKE_IM))
         coop = len(hub.alert_log.by_rule(RULE_SPOOFED_IM))
-        rows.append([f"fake IM, {label} source", single, coop,
-                     len(hub.events)])
-    emit(format_table(
-        ["attack variant", "single-endpoint FAKEIM-001", "cooperative COOP-IM-001",
-         "events exchanged"],
-        rows,
-        title="§3.3 — single end-point IDS vs cooperating detectors",
-    ))
+        rows.append([f"fake IM, {label} source", single, coop, len(hub.events)])
+    emit(
+        format_table(
+            [
+                "attack variant",
+                "single-endpoint FAKEIM-001",
+                "cooperative COOP-IM-001",
+                "events exchanged",
+            ],
+            rows,
+            title="§3.3 — single end-point IDS vs cooperating detectors",
+        )
+    )
     plain_single, plain_coop = rows[0][1], rows[0][2]
     spoof_single, spoof_coop = rows[1][1], rows[1][2]
     # Non-spoofed forging: the local rule suffices (and cooperation agrees).

@@ -91,8 +91,9 @@ def _time_replay(footprints, indexed: bool, repeats: int, rulepack=None):
     """
     best, engine = None, None
     for _ in range(repeats):
-        candidate = ScidiveEngine(vantage_ip=CLIENT_A_IP, indexed_dispatch=indexed,
-                                  rulepack=rulepack)
+        candidate = ScidiveEngine(
+            vantage_ip=CLIENT_A_IP, indexed_dispatch=indexed, rulepack=rulepack
+        )
         gc.collect()
         gc.disable()
         try:
@@ -121,11 +122,13 @@ def _attack_equivalence(seed: int, rulepack) -> dict:
         trace = runner(seed=seed).testbed.ids_tap.trace
         signatures = {}
         for mode, indexed, pack in modes:
-            engine = ScidiveEngine(vantage_ip=CLIENT_A_IP, indexed_dispatch=indexed,
-                                   rulepack=pack)
+            engine = ScidiveEngine(
+                vantage_ip=CLIENT_A_IP, indexed_dispatch=indexed, rulepack=pack
+            )
             engine.process_trace(trace)
-            signatures[mode] = [(a.rule_id, a.time, a.session, a.message)
-                                for a in engine.alerts]
+            signatures[mode] = [
+                (a.rule_id, a.time, a.session, a.message) for a in engine.alerts
+            ]
         detected = any(sig[0] == rule_id for sig in signatures["indexed"])
         results[name] = {
             "rule": rule_id,
@@ -133,8 +136,9 @@ def _attack_equivalence(seed: int, rulepack) -> dict:
             "broadcast_alerts": len(signatures["broadcast"]),
             "dsl_alerts": len(signatures["dsl"]),
             "detected": detected,
-            "identical": (signatures["indexed"] == signatures["broadcast"]
-                          == signatures["dsl"]),
+            "identical": (
+                signatures["indexed"] == signatures["broadcast"] == signatures["dsl"]
+            ),
         }
     return results
 
@@ -142,18 +146,36 @@ def _attack_equivalence(seed: int, rulepack) -> dict:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--json", help="write machine-readable results here")
-    parser.add_argument("--min-speedup", type=float, default=1.0,
-                        help="fail if indexed/broadcast throughput < this")
-    parser.add_argument("--min-dsl-ratio", type=float, default=0.95,
-                        help="fail if DSL-compiled/hand-wired throughput < this")
-    parser.add_argument("--repeats", type=int, default=5,
-                        help="timing repetitions (best-of-N)")
-    parser.add_argument("--calls", type=int, default=3,
-                        help="benign calls in the mixed workload")
-    parser.add_argument("--flood-packets", type=int, default=5000,
-                        help="garbage RTP packets in the flood segment")
-    parser.add_argument("--spoof-packets", type=int, default=3000,
-                        help="spoofed-SSRC RTP packets in the spoof segment")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.0,
+        help="fail if indexed/broadcast throughput < this",
+    )
+    parser.add_argument(
+        "--min-dsl-ratio",
+        type=float,
+        default=0.95,
+        help="fail if DSL-compiled/hand-wired throughput < this",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="timing repetitions (best-of-N)"
+    )
+    parser.add_argument(
+        "--calls", type=int, default=3, help="benign calls in the mixed workload"
+    )
+    parser.add_argument(
+        "--flood-packets",
+        type=int,
+        default=5000,
+        help="garbage RTP packets in the flood segment",
+    )
+    parser.add_argument(
+        "--spoof-packets",
+        type=int,
+        default=3000,
+        help="spoofed-SSRC RTP packets in the spoof segment",
+    )
     parser.add_argument("--seed", type=int, default=33)
     args = parser.parse_args(argv)
 
@@ -163,16 +185,26 @@ def main(argv=None) -> int:
     # a spoofed-SSRC stream (several media events per packet).  The
     # event-dense segments are exactly the regime where dispatch
     # indexing matters.
-    benign = capture_workload(WorkloadSpec(
-        calls=args.calls, call_seconds=2.0, ims=4, churn_rounds=1,
-        require_auth=True, seed=args.seed,
-    ))
+    benign = capture_workload(
+        WorkloadSpec(
+            calls=args.calls,
+            call_seconds=2.0,
+            ims=4,
+            churn_rounds=1,
+            require_auth=True,
+            seed=args.seed,
+        )
+    )
     flood = capture_rtp_flood(
-        seed=args.seed + 1, packets=args.flood_packets,
-        interval=0.002, observe_after=2.0 + args.flood_packets * 0.002,
+        seed=args.seed + 1,
+        packets=args.flood_packets,
+        interval=0.002,
+        observe_after=2.0 + args.flood_packets * 0.002,
     )
     spoof = capture_ssrc_spoof_flood(
-        seed=args.seed + 2, packets=args.spoof_packets, interval=0.004,
+        seed=args.seed + 2,
+        packets=args.spoof_packets,
+        interval=0.004,
     )
     # Segments are rebased onto one forward timeline with a gap between
     # them, exactly as a tap would have seen the day unfold.
@@ -185,14 +217,18 @@ def main(argv=None) -> int:
     footprints = benign_fps + flood_fps + spoof_fps
     frames = len(benign) + len(flood) + len(spoof)
     protocols = sorted({f.protocol.value for f in footprints})
-    print(f"workload: {frames} frames -> {len(footprints)} footprints "
-          f"({', '.join(protocols)})")
+    print(
+        f"workload: {frames} frames -> {len(footprints)} footprints "
+        f"({', '.join(protocols)})"
+    )
 
     rulepack = load_pack(str(RULES_PACK))
     timings = {}
-    for mode, indexed, pack in (("broadcast", False, None),
-                                ("indexed", True, None),
-                                ("dsl", True, rulepack)):
+    for mode, indexed, pack in (
+        ("broadcast", False, None),
+        ("indexed", True, None),
+        ("dsl", True, rulepack),
+    ):
         seconds, engine = _time_replay(footprints, indexed, args.repeats, pack)
         timings[mode] = {
             "seconds": seconds,
@@ -201,27 +237,38 @@ def main(argv=None) -> int:
             "alerts": engine.stats.alerts,
             "dispatch_skipped": engine.ruleset.dispatch_skipped,
         }
-        print(f"{mode:9s}: {seconds * 1e3:8.2f} ms  "
-              f"{timings[mode]['footprints_per_second']:10,.0f} footprints/s  "
-              f"{timings[mode]['dispatch_skipped']} rule evals skipped")
+        print(
+            f"{mode:9s}: {seconds * 1e3:8.2f} ms  "
+            f"{timings[mode]['footprints_per_second']:10,.0f} footprints/s  "
+            f"{timings[mode]['dispatch_skipped']} rule evals skipped"
+        )
 
-    speedup = (timings["indexed"]["footprints_per_second"]
-               / timings["broadcast"]["footprints_per_second"])
-    dsl_ratio = (timings["dsl"]["footprints_per_second"]
-                 / timings["indexed"]["footprints_per_second"])
+    speedup = (
+        timings["indexed"]["footprints_per_second"]
+        / timings["broadcast"]["footprints_per_second"]
+    )
+    dsl_ratio = (
+        timings["dsl"]["footprints_per_second"]
+        / timings["indexed"]["footprints_per_second"]
+    )
     print(f"speedup (indexed / broadcast): {speedup:.2f}x")
-    print(f"dsl ratio (compiled pack / hand-wired): {dsl_ratio:.3f} "
-          f"(pack {rulepack.label})")
+    print(
+        f"dsl ratio (compiled pack / hand-wired): {dsl_ratio:.3f} "
+        f"(pack {rulepack.label})"
+    )
 
     attacks = _attack_equivalence(seed=7, rulepack=rulepack)
     for name, row in attacks.items():
         status = "ok" if row["identical"] and row["detected"] else "FAIL"
-        print(f"attack {name:12s}: {row['indexed_alerts']} alerts in all modes, "
-              f"{row['rule']} {'detected' if row['detected'] else 'MISSED'} [{status}]")
+        print(
+            f"attack {name:12s}: {row['indexed_alerts']} alerts in all modes, "
+            f"{row['rule']} {'detected' if row['detected'] else 'MISSED'} [{status}]"
+        )
 
     equivalent = all(r["identical"] and r["detected"] for r in attacks.values())
-    passed = (equivalent and speedup >= args.min_speedup
-              and dsl_ratio >= args.min_dsl_ratio)
+    passed = (
+        equivalent and speedup >= args.min_speedup and dsl_ratio >= args.min_dsl_ratio
+    )
     result = {
         "bench": "dispatch",
         "workload": {
@@ -251,16 +298,22 @@ def main(argv=None) -> int:
         print(f"results written to {args.json}")
 
     if not equivalent:
-        print("FAIL: indexed and broadcast modes disagree on an attack",
-              file=sys.stderr)
+        print(
+            "FAIL: indexed and broadcast modes disagree on an attack", file=sys.stderr
+        )
         return 1
     if speedup < args.min_speedup:
-        print(f"FAIL: speedup {speedup:.2f}x < required {args.min_speedup:.2f}x",
-              file=sys.stderr)
+        print(
+            f"FAIL: speedup {speedup:.2f}x < required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
         return 1
     if dsl_ratio < args.min_dsl_ratio:
-        print(f"FAIL: DSL-compiled throughput ratio {dsl_ratio:.3f} < "
-              f"required {args.min_dsl_ratio:.2f}", file=sys.stderr)
+        print(
+            f"FAIL: DSL-compiled throughput ratio {dsl_ratio:.3f} < "
+            f"required {args.min_dsl_ratio:.2f}",
+            file=sys.stderr,
+        )
         return 1
     print("PASS")
     return 0

@@ -37,17 +37,19 @@ def test_full_engine_throughput(benchmark, workload, emit):
 
     engine = benchmark(replay)
     rate = len(workload) / engine.stats.cpu_seconds
-    emit(format_table(
-        ["metric", "value"],
-        [
-            ["frames", len(workload)],
-            ["footprints", engine.stats.footprints],
-            ["events", engine.stats.events],
-            ["alerts", engine.stats.alerts],
-            ["throughput (frames/s, engine-internal)", f"{rate:,.0f}"],
-        ],
-        title="Engine throughput — full pipeline over a mixed workload",
-    ))
+    emit(
+        format_table(
+            ["metric", "value"],
+            [
+                ["frames", len(workload)],
+                ["footprints", engine.stats.footprints],
+                ["events", engine.stats.events],
+                ["alerts", engine.stats.alerts],
+                ["throughput (frames/s, engine-internal)", f"{rate:,.0f}"],
+            ],
+            title="Engine throughput — full pipeline over a mixed workload",
+        )
+    )
     assert engine.stats.alerts == 0  # benign workload
     assert rate > 1000  # comfortably above VoIP line rate (50 pps/call)
 
@@ -60,8 +62,10 @@ def test_distiller_only_throughput(benchmark, workload, emit):
         return distiller
 
     distiller = benchmark(distill_all)
-    emit(f"Distiller alone: {len(workload)} frames, "
-         f"{distiller.stats.footprints} footprints")
+    emit(
+        f"Distiller alone: {len(workload)} frames, "
+        f"{distiller.stats.footprints} footprints"
+    )
     assert distiller.stats.footprints > 0
 
 
@@ -140,10 +144,14 @@ def test_event_prefilter_vs_raw_scan(benchmark, workload, emit):
 
     eventful = benchmark(run_eventful)
     naive = run_naive()
-    emit(format_table(
-        ["pipeline variant", "cpu seconds"],
-        [["event-prefiltered (SCIDIVE)", f"{eventful:.4f}"],
-         ["per-footprint raw-trail scan", f"{naive:.4f}"]],
-        title="Ablation — event generator prefiltering vs raw trail scans",
-    ))
+    emit(
+        format_table(
+            ["pipeline variant", "cpu seconds"],
+            [
+                ["event-prefiltered (SCIDIVE)", f"{eventful:.4f}"],
+                ["per-footprint raw-trail scan", f"{naive:.4f}"],
+            ],
+            title="Ablation — event generator prefiltering vs raw trail scans",
+        )
+    )
     assert naive > eventful, "the paper's efficiency claim should reproduce"

@@ -36,16 +36,28 @@ def test_fig1_message_ladder(benchmark, emit):
             rows.append([f"{fp.timestamp:8.4f}", str(fp.src), str(fp.dst), what])
         elif isinstance(fp, SipFootprint) and fp.status is not None:
             rows.append(
-                [f"{fp.timestamp:8.4f}", str(fp.src), str(fp.dst), f"{fp.status} ({fp.method})"]
+                [
+                    f"{fp.timestamp:8.4f}",
+                    str(fp.src),
+                    str(fp.dst),
+                    f"{fp.status} ({fp.method})",
+                ]
             )
         elif isinstance(fp, RtpFootprint):
             rtp_packets += 1
             if rtp_first is None:
                 rtp_first = fp.timestamp
-                rows.append([f"{fp.timestamp:8.4f}", str(fp.src), str(fp.dst), "RTP begins"])
+                rows.append(
+                    [f"{fp.timestamp:8.4f}", str(fp.src), str(fp.dst), "RTP begins"]
+                )
     rows.append(["", "", "", f"... {rtp_packets} RTP packets total ..."])
-    emit(format_table(["t (s)", "from", "to", "message"], rows,
-                      title="Figure 1 — SIP call setup and teardown (observed on tap)"))
+    emit(
+        format_table(
+            ["t (s)", "from", "to", "message"],
+            rows,
+            title="Figure 1 — SIP call setup and teardown (observed on tap)",
+        )
+    )
     # Shape assertions: the canonical ladder is present and ordered.
     kinds = [r[3] for r in rows]
     assert any("INVITE" == k for k in kinds)

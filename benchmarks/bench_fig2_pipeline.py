@@ -32,17 +32,21 @@ def test_fig2_pipeline_stages(benchmark, emit):
     event_kinds = Counter(e.name for e in engine.event_log)
     alert_kinds = Counter(a.rule_id for a in engine.alerts)
 
-    rows = [["frames captured", len(trace)],
-            ["footprints distilled", engine.stats.footprints]]
+    rows = [
+        ["frames captured", len(trace)],
+        ["footprints distilled", engine.stats.footprints],
+    ]
     rows += [[f"trails: {kind}", count] for kind, count in sorted(trail_kinds.items())]
     rows += [["sessions linked", engine.trails.session_count]]
     rows += [[f"events: {name}", count] for name, count in sorted(event_kinds.items())]
     rows += [[f"alerts: {rule}", count] for rule, count in sorted(alert_kinds.items())]
-    emit(format_table(
-        ["pipeline stage / population", "count"],
-        rows,
-        title="Figure 2 — Distiller → Trails → Events → Rules on a BYE-attack workload",
-    ))
+    emit(
+        format_table(
+            ["pipeline stage / population", "count"],
+            rows,
+            title="Figure 2 — Distiller → Trails → Events → Rules on a BYE-attack workload",
+        )
+    )
     # Architecture invariants.
     assert engine.stats.footprints > 0
     assert trail_kinds["sip"] >= 2  # registrations + calls

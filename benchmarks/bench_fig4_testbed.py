@@ -46,8 +46,13 @@ def test_fig4_testbed_topology(benchmark, emit):
     rows.append(["hub ports", testbed.hub.ports])
     rows.append(["frames seen by tap", testbed.ids_tap.frames_captured])
     rows.append(["frames switched by hub", testbed.hub.frames_switched])
-    emit(format_table(["component", "address / count"], rows,
-                      title="Figure 4 — testbed topology self-check"))
+    emit(
+        format_table(
+            ["component", "address / count"],
+            rows,
+            title="Figure 4 — testbed topology self-check",
+        )
+    )
 
     # The tap sees every frame the hub switched (promiscuous).
     assert testbed.ids_tap.frames_captured == testbed.hub.frames_switched

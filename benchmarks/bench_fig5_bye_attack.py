@@ -38,17 +38,27 @@ def test_fig5_bye_attack(benchmark, emit):
         for event in attack.engine.events_named("OrphanRtpAfterBye"):
             event_delay = event.attrs["delay"]
             break
-        rows.append([
-            seed,
-            "DETECTED" if delay is not None else "MISSED",
-            f"{delay * 1000:.1f} ms" if delay is not None else "-",
-            f"{event_delay * 1000:.1f} ms" if event_delay is not None else "-",
-            len(benign.alerts),
-        ])
-    emit(format_table(
-        ["seed", "verdict", "delay from injection", "D (BYE→orphan RTP)", "benign FPs"],
-        rows,
-        title="Figure 5 — BYE attack (forged teardown, orphan RTP detection)",
-    ))
+        rows.append(
+            [
+                seed,
+                "DETECTED" if delay is not None else "MISSED",
+                f"{delay * 1000:.1f} ms" if delay is not None else "-",
+                f"{event_delay * 1000:.1f} ms" if event_delay is not None else "-",
+                len(benign.alerts),
+            ]
+        )
+    emit(
+        format_table(
+            [
+                "seed",
+                "verdict",
+                "delay from injection",
+                "D (BYE→orphan RTP)",
+                "benign FPs",
+            ],
+            rows,
+            title="Figure 5 — BYE attack (forged teardown, orphan RTP detection)",
+        )
+    )
     assert all(r[1] == "DETECTED" for r in rows)
     assert all(r[4] == 0 for r in rows)

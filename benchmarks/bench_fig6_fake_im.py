@@ -39,21 +39,35 @@ def test_fig6_fake_im(benchmark, emit):
     rows = []
     for label, result, expect in results:
         alerts = result.alerts_for(RULE_FAKE_IM)
-        rows.append([
-            label,
-            "DETECTED" if alerts else "missed",
-            f"{(alerts[0].time - result.injection_time) * 1000:.1f} ms" if alerts else "-",
-            len(result.extras["messages_at_a"]),
-        ])
+        rows.append(
+            [
+                label,
+                "DETECTED" if alerts else "missed",
+                (
+                f"{(alerts[0].time - result.injection_time) * 1000:.1f} ms"
+                if alerts
+                else "-"
+            ),
+                len(result.extras["messages_at_a"]),
+            ]
+        )
         if expect is True:
             assert alerts, label
         elif expect is False:
             assert not alerts, label
-    rows.append(["benign IM exchange (control)", "clean" if not benign.alerts else "FP!", "-",
-                 len(benign.testbed.phone_a.messages)])
-    emit(format_table(
-        ["scenario", "verdict", "delay", "msgs delivered to A"],
-        rows,
-        title="Figure 6 — Fake Instant Messaging (per-sender source-IP rule)",
-    ))
+    rows.append(
+        [
+            "benign IM exchange (control)",
+            "clean" if not benign.alerts else "FP!",
+            "-",
+            len(benign.testbed.phone_a.messages),
+        ]
+    )
+    emit(
+        format_table(
+            ["scenario", "verdict", "delay", "msgs delivered to A"],
+            rows,
+            title="Figure 6 — Fake Instant Messaging (per-sender source-IP rule)",
+        )
+    )
     assert not benign.alerts

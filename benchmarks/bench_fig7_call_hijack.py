@@ -29,23 +29,29 @@ def test_fig7_call_hijack(benchmark, emit):
     rows = []
     for seed, result in zip(SEEDS, attacks):
         delay = result.detection_delay(RULE_CALL_HIJACK)
-        rows.append([
-            f"hijack (seed {seed})",
-            "DETECTED" if delay is not None else "MISSED",
-            f"{delay * 1000:.1f} ms" if delay is not None else "-",
-            result.extras["stolen_packets"],
-        ])
-    rows.append([
-        "legit mobility re-INVITE",
-        "clean" if not mobility.alerts else "FALSE ALARM",
-        "-",
-        0,
-    ])
-    emit(format_table(
-        ["scenario", "verdict", "delay", "audio pkts stolen"],
-        rows,
-        title="Figure 7 — Call Hijacking (forged re-INVITE, orphan-flow rule)",
-    ))
+        rows.append(
+            [
+                f"hijack (seed {seed})",
+                "DETECTED" if delay is not None else "MISSED",
+                f"{delay * 1000:.1f} ms" if delay is not None else "-",
+                result.extras["stolen_packets"],
+            ]
+        )
+    rows.append(
+        [
+            "legit mobility re-INVITE",
+            "clean" if not mobility.alerts else "FALSE ALARM",
+            "-",
+            0,
+        ]
+    )
+    emit(
+        format_table(
+            ["scenario", "verdict", "delay", "audio pkts stolen"],
+            rows,
+            title="Figure 7 — Call Hijacking (forged re-INVITE, orphan-flow rule)",
+        )
+    )
     assert all(r[1] == "DETECTED" for r in rows[:-1])
     assert all(r[3] > 10 for r in rows[:-1]), "the hijack must really steal audio"
     assert not mobility.alerts

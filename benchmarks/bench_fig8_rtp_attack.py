@@ -30,15 +30,19 @@ THRESHOLDS = [10, 50, 100, 1000, 40000]
 
 
 def _attack_runs():
-    return {threshold: run_rtp_attack(seed=7, seq_jump_threshold=threshold)
-            for threshold in THRESHOLDS}
+    return {
+        threshold: run_rtp_attack(seed=7, seq_jump_threshold=threshold)
+        for threshold in THRESHOLDS
+    }
 
 
 def _lossy_benign_trace():
     """A benign call over a lossy, jittery link (loss creates seq gaps)."""
-    testbed = Testbed(TestbedConfig(
-        seed=9, link=LinkModel(delay=Exponential(scale=0.004), loss_rate=0.05)
-    ))
+    testbed = Testbed(
+        TestbedConfig(
+            seed=9, link=LinkModel(delay=Exponential(scale=0.004), loss_rate=0.05)
+        )
+    )
     testbed.register_all()
     normal_call(testbed, talk_seconds=3.0)
     return testbed.ids_tap.trace
@@ -52,16 +56,26 @@ def test_fig8_rtp_attack_and_threshold_ablation(benchmark, emit):
     paper_run = runs[100]
     stats = paper_run.extras["playout_stats"]
     fired = sorted({a.rule_id for a in paper_run.alerts})
-    emit(format_table(
-        ["metric", "value"],
-        [
-            ["rules fired", ", ".join(fired)],
-            ["first detection", f"{min(d for r in (RULE_RTP_SEQ, RULE_RTP_SOURCE, RULE_RTP_MALFORMED) if (d := paper_run.detection_delay(r)) is not None) * 1000:.1f} ms"],
-            ["victim playout: late/displaced", stats.late_dropped + stats.displaced],
-            ["victim playout: dropouts (gaps)", stats.gaps],
-        ],
-        title="Figure 8 — RTP attack at paper threshold (Δseq > 100)",
-    ))
+    first_delay = min(
+        d
+        for r in (RULE_RTP_SEQ, RULE_RTP_SOURCE, RULE_RTP_MALFORMED)
+        if (d := paper_run.detection_delay(r)) is not None
+    )
+    emit(
+        format_table(
+            ["metric", "value"],
+            [
+                ["rules fired", ", ".join(fired)],
+                ["first detection", f"{first_delay * 1000:.1f} ms"],
+                [
+                    "victim playout: late/displaced",
+                    stats.late_dropped + stats.displaced,
+                ],
+                ["victim playout: dropouts (gaps)", stats.gaps],
+            ],
+            title="Figure 8 — RTP attack at paper threshold (Δseq > 100)",
+        )
+    )
     assert RULE_RTP_SOURCE in fired
 
     # Part 2 — threshold ablation.
@@ -75,11 +89,17 @@ def test_fig8_rtp_attack_and_threshold_ablation(benchmark, emit):
         benign_engine.process_trace(benign_trace)
         benign_alerts = len(benign_engine.alerts_for_rule(RULE_RTP_SEQ))
         rows.append([threshold, attack_alerts, benign_alerts])
-    emit(format_table(
-        ["Δseq threshold", "RTP-001 alerts (attack)", "RTP-001 alerts (lossy benign)"],
-        rows,
-        title="Ablation — sequence-jump threshold (paper default: 100)",
-    ))
+    emit(
+        format_table(
+            [
+                "Δseq threshold",
+                "RTP-001 alerts (attack)",
+                "RTP-001 alerts (lossy benign)",
+            ],
+            rows,
+            title="Ablation — sequence-jump threshold (paper default: 100)",
+        )
+    )
     by_threshold = {r[0]: (r[1], r[2]) for r in rows}
     # The paper's operating point: catches the attack, silent on benign loss.
     assert by_threshold[100][0] >= 1

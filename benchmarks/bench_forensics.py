@@ -122,30 +122,54 @@ def _attack_equivalence(seed: int) -> dict:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--json", help="write machine-readable results here")
-    parser.add_argument("--min-ratio", type=float, default=0.9,
-                        help="fail if on/off throughput ratio < this "
-                             "(0.9 = at most 10%% forensics overhead)")
-    parser.add_argument("--repeats", type=int, default=5,
-                        help="timing repetitions (best-of-N)")
-    parser.add_argument("--calls", type=int, default=3,
-                        help="benign calls in the mixed workload")
-    parser.add_argument("--flood-packets", type=int, default=5000,
-                        help="garbage RTP packets in the flood segment")
-    parser.add_argument("--spoof-packets", type=int, default=3000,
-                        help="spoofed-SSRC RTP packets in the spoof segment")
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.9,
+        help="fail if on/off throughput ratio < this "
+        "(0.9 = at most 10%% forensics overhead)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="timing repetitions (best-of-N)"
+    )
+    parser.add_argument(
+        "--calls", type=int, default=3, help="benign calls in the mixed workload"
+    )
+    parser.add_argument(
+        "--flood-packets",
+        type=int,
+        default=5000,
+        help="garbage RTP packets in the flood segment",
+    )
+    parser.add_argument(
+        "--spoof-packets",
+        type=int,
+        default=3000,
+        help="spoofed-SSRC RTP packets in the spoof segment",
+    )
     parser.add_argument("--seed", type=int, default=33)
     args = parser.parse_args(argv)
 
-    benign = capture_workload(WorkloadSpec(
-        calls=args.calls, call_seconds=2.0, ims=4, churn_rounds=1,
-        require_auth=True, seed=args.seed,
-    ))
+    benign = capture_workload(
+        WorkloadSpec(
+            calls=args.calls,
+            call_seconds=2.0,
+            ims=4,
+            churn_rounds=1,
+            require_auth=True,
+            seed=args.seed,
+        )
+    )
     flood = capture_rtp_flood(
-        seed=args.seed + 1, packets=args.flood_packets,
-        interval=0.002, observe_after=2.0 + args.flood_packets * 0.002,
+        seed=args.seed + 1,
+        packets=args.flood_packets,
+        interval=0.002,
+        observe_after=2.0 + args.flood_packets * 0.002,
     )
     spoof = capture_ssrc_spoof_flood(
-        seed=args.seed + 2, packets=args.spoof_packets, interval=0.004,
+        seed=args.seed + 2,
+        packets=args.spoof_packets,
+        interval=0.004,
     )
     trace = _concat([benign, flood, spoof])
     print(f"workload: {len(trace)} frames, {trace.duration:.1f} s of sim time")
@@ -163,23 +187,30 @@ def main(argv=None) -> int:
         signatures[mode] = _signature(engine)
         extra = ""
         if forensics_on and engine.forensics is not None:
-            extra = (f"  {engine.forensics.session_count} sessions, "
-                     f"{engine.forensics.record_count} records held")
-        print(f"forensics {mode:3s}: {seconds * 1e3:8.2f} ms  "
-              f"{timings[mode]['frames_per_second']:10,.0f} frames/s{extra}")
+            extra = (
+                f"  {engine.forensics.session_count} sessions, "
+                f"{engine.forensics.record_count} records held"
+            )
+        print(
+            f"forensics {mode:3s}: {seconds * 1e3:8.2f} ms  "
+            f"{timings[mode]['frames_per_second']:10,.0f} frames/s{extra}"
+        )
 
-    ratio = (timings["on"]["frames_per_second"]
-             / timings["off"]["frames_per_second"])
-    print(f"throughput ratio (on / off): {ratio:.3f} "
-          f"({(1 - ratio) * 100:+.1f}% overhead)")
+    ratio = timings["on"]["frames_per_second"] / timings["off"]["frames_per_second"]
+    print(
+        f"throughput ratio (on / off): {ratio:.3f} "
+        f"({(1 - ratio) * 100:+.1f}% overhead)"
+    )
 
     attacks = _attack_equivalence(seed=7)
     for name, row in attacks.items():
         ok = row["identical"] and row["detected"] and row["provenance_complete"]
-        print(f"attack {name:12s}: {row['alerts_on']} alerts in both modes, "
-              f"{row['rule']} {'detected' if row['detected'] else 'MISSED'}, "
-              f"provenance {'complete' if row['provenance_complete'] else 'MISSING'} "
-              f"[{'ok' if ok else 'FAIL'}]")
+        print(
+            f"attack {name:12s}: {row['alerts_on']} alerts in both modes, "
+            f"{row['rule']} {'detected' if row['detected'] else 'MISSED'}, "
+            f"provenance {'complete' if row['provenance_complete'] else 'MISSING'} "
+            f"[{'ok' if ok else 'FAIL'}]"
+        )
 
     equivalent = all(
         r["identical"] and r["detected"] and r["provenance_complete"]
@@ -210,12 +241,13 @@ def main(argv=None) -> int:
         print(f"results written to {args.json}")
 
     if not equivalent:
-        print("FAIL: forensics on/off runs disagree on an attack",
-              file=sys.stderr)
+        print("FAIL: forensics on/off runs disagree on an attack", file=sys.stderr)
         return 1
     if ratio < args.min_ratio:
-        print(f"FAIL: throughput ratio {ratio:.3f} < required "
-              f"{args.min_ratio:.3f}", file=sys.stderr)
+        print(
+            f"FAIL: throughput ratio {ratio:.3f} < required {args.min_ratio:.3f}",
+            file=sys.stderr,
+        )
         return 1
     print("PASS")
     return 0

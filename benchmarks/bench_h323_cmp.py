@@ -67,17 +67,25 @@ def _measure():
 def test_h323_cmp_parity(benchmark, emit):
     h323, benign, sip_delay = once(benchmark, _measure)
     rows = [
-        ["SIP: forged BYE", "BYE-001",
-         f"{sip_delay * 1000:.1f} ms" if sip_delay else "MISSED"],
-        ["H.323: forged RELEASE COMPLETE", "H323-001",
-         f"{h323['delay_ms']:.1f} ms" if h323["delay_ms"] else "MISSED"],
+        [
+            "SIP: forged BYE",
+            "BYE-001",
+            f"{sip_delay * 1000:.1f} ms" if sip_delay else "MISSED",
+        ],
+        [
+            "H.323: forged RELEASE COMPLETE",
+            "H323-001",
+            f"{h323['delay_ms']:.1f} ms" if h323["delay_ms"] else "MISSED",
+        ],
         ["H.323: legitimate release (control)", f"{benign['alerts']} alerts", "-"],
     ]
-    emit(format_table(
-        ["scenario", "rule / verdict", "detection delay"],
-        rows,
-        title="Extension — CMP parity: the same forged-teardown rule on SIP and H.323",
-    ))
+    emit(
+        format_table(
+            ["scenario", "rule / verdict", "detection delay"],
+            rows,
+            title="Extension — CMP parity: the same forged-teardown rule on SIP and H.323",
+        )
+    )
     assert h323["victim_released"] and h323["peer_still_talking"]
     assert h323["delay_ms"] is not None and h323["delay_ms"] < 100
     assert h323["alerts"] == ["H323-001"]

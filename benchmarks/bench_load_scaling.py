@@ -63,17 +63,32 @@ def _measure():
 def test_accuracy_under_load(benchmark, emit):
     results = once(benchmark, _measure)
     rows = [
-        [r["calls"], r["frames"], r["sessions"], r["trails"],
-         r["bye_alerts"], f"{r['delay_ms']:.1f}" if r["delay_ms"] else "-",
-         f"{r['fps']:,.0f}"]
+        [
+            r["calls"],
+            r["frames"],
+            r["sessions"],
+            r["trails"],
+            r["bye_alerts"],
+            f"{r['delay_ms']:.1f}" if r["delay_ms"] else "-",
+            f"{r['fps']:,.0f}",
+        ]
         for r in results
     ]
-    emit(format_table(
-        ["concurrent calls", "frames", "sessions", "trails",
-         "BYE-001 alerts", "delay (ms)", "frames/cpu-s"],
-        rows,
-        title="Ablation — detection accuracy and cost vs concurrent load",
-    ))
+    emit(
+        format_table(
+            [
+                "concurrent calls",
+                "frames",
+                "sessions",
+                "trails",
+                "BYE-001 alerts",
+                "delay (ms)",
+                "frames/cpu-s",
+            ],
+            rows,
+            title="Ablation — detection accuracy and cost vs concurrent load",
+        )
+    )
     for r in results:
         assert r["bye_alerts"] == 1, "exactly one detection regardless of load"
         assert r["alerts"] == r["bye_alerts"], "no collateral false alarms"

@@ -35,11 +35,15 @@ def _run_rtcp_bye():
     injection = testbed.now()
     attack.launch_now()
     testbed.run_for(1.0)
-    alerts = [a for a in engine.alerts_for_rule(RULE_RTCP_BYE_ORPHAN) if a.time >= injection]
+    alerts = [
+        a for a in engine.alerts_for_rule(RULE_RTCP_BYE_ORPHAN) if a.time >= injection
+    ]
     return {
         "impact": attack.report.details["silenced_ssrc"] in call.rtp.terminated_ssrcs,
         "delay_ms": (alerts[0].time - injection) * 1000 if alerts else None,
-        "collateral": sorted({a.rule_id for a in engine.alerts} - {RULE_RTCP_BYE_ORPHAN}),
+        "collateral": sorted(
+            {a.rule_id for a in engine.alerts} - {RULE_RTCP_BYE_ORPHAN}
+        ),
     }
 
 
@@ -55,7 +59,9 @@ def _run_ssrc_spoof():
     attack.launch_now()
     testbed.run_for(1.5)
     stream = call.rtp.primary_stream()
-    collision = [a for a in engine.alerts_for_rule(RULE_SSRC_COLLISION) if a.time >= injection]
+    collision = [
+        a for a in engine.alerts_for_rule(RULE_SSRC_COLLISION) if a.time >= injection
+    ]
     return {
         "impact": stream.duplicates + stream.reordered,
         "delay_ms": (collision[0].time - injection) * 1000 if collision else None,
@@ -82,20 +88,32 @@ def _measure():
 def test_media_extension_attacks(benchmark, emit):
     rtcp, ssrc, benign = once(benchmark, _measure)
     rows = [
-        ["forged RTCP BYE", "talker silenced at victim" if rtcp["impact"] else "no impact",
-         f"{rtcp['delay_ms']:.1f} ms" if rtcp["delay_ms"] else "MISSED", "RTCP-001"],
-        ["SSRC impersonation", f"{ssrc['impact']} seq collisions at victim",
-         f"{ssrc['delay_ms']:.1f} ms" if ssrc["delay_ms"] else "MISSED",
-         "SSRC-001" + (" + RTP-002" if ssrc["also_rtp002"] else "")],
-        ["benign call (control)",
-         f"{benign['rtcp_byes_seen']} legit RTCP BYEs observed",
-         "-", f"{benign['alerts']} alerts"],
+        [
+            "forged RTCP BYE",
+            "talker silenced at victim" if rtcp["impact"] else "no impact",
+            f"{rtcp['delay_ms']:.1f} ms" if rtcp["delay_ms"] else "MISSED",
+            "RTCP-001",
+        ],
+        [
+            "SSRC impersonation",
+            f"{ssrc['impact']} seq collisions at victim",
+            f"{ssrc['delay_ms']:.1f} ms" if ssrc["delay_ms"] else "MISSED",
+            "SSRC-001" + (" + RTP-002" if ssrc["also_rtp002"] else ""),
+        ],
+        [
+            "benign call (control)",
+            f"{benign['rtcp_byes_seen']} legit RTCP BYEs observed",
+            "-",
+            f"{benign['alerts']} alerts",
+        ],
     ]
-    emit(format_table(
-        ["scenario", "victim impact", "detection delay", "rules"],
-        rows,
-        title="Extension — §2.2 media impersonation (forged RTCP BYE, SSRC spoof)",
-    ))
+    emit(
+        format_table(
+            ["scenario", "victim impact", "detection delay", "rules"],
+            rows,
+            title="Extension — §2.2 media impersonation (forged RTCP BYE, SSRC spoof)",
+        )
+    )
     assert rtcp["impact"] and rtcp["delay_ms"] is not None
     assert ssrc["impact"] > 0 and ssrc["delay_ms"] is not None
     assert benign["rtcp_byes_seen"] >= 1  # goodbyes happen benignly...

@@ -95,21 +95,31 @@ def test_overhead_matrix(workload, emit):
 
     def row(label, seconds):
         overhead = (seconds / base_s - 1.0) * 100.0
-        return [label, f"{frames / seconds:,.0f}", f"{seconds * 1e3:.2f}",
-                f"{overhead:+.1f}%"]
+        return [
+            label,
+            f"{frames / seconds:,.0f}",
+            f"{seconds * 1e3:.2f}",
+            f"{overhead:+.1f}%",
+        ]
 
-    emit(format_table(
-        ["configuration", "frames/s", "cpu (ms)", "overhead vs off"],
-        [
-            row("observability off", base_s),
-            row("metrics only", metrics_s),
-            row("metrics + trace", trace_s),
-        ],
-        title=f"Observability overhead — {frames} frames, best of 3",
-    ))
+    emit(
+        format_table(
+            ["configuration", "frames/s", "cpu (ms)", "overhead vs off"],
+            [
+                row("observability off", base_s),
+                row("metrics only", metrics_s),
+                row("metrics + trace", trace_s),
+            ],
+            title=f"Observability overhead — {frames} frames, best of 3",
+        )
+    )
     emit("")
-    emit(format_stage_summary(trace_engine.stage_summary(),
-                              title="Per-stage latency (metrics + trace run)"))
+    emit(
+        format_stage_summary(
+            trace_engine.stage_summary(),
+            title="Per-stage latency (metrics + trace run)",
+        )
+    )
 
     # Same verdicts in every configuration — instrumentation must never
     # change detection behaviour.
@@ -130,9 +140,11 @@ def test_summary_cost_overhead(workload, emit):
     full_s, full_engine = _time_replay(workload, make_metrics_full)
     frames = len(workload)
     ratio = base_s / full_s
-    emit(f"metrics only: {frames / base_s:,.0f} frames/s  "
-         f"metrics full: {frames / full_s:,.0f} frames/s  "
-         f"ratio {ratio:.3f} ({(1 / ratio - 1) * 100:+.1f}% overhead)")
+    emit(
+        f"metrics only: {frames / base_s:,.0f} frames/s  "
+        f"metrics full: {frames / full_s:,.0f} frames/s  "
+        f"ratio {ratio:.3f} ({(1 / ratio - 1) * 100:+.1f}% overhead)"
+    )
 
     # Detection output must be identical with and without the new layer.
     assert base_engine.stats.footprints == full_engine.stats.footprints
@@ -303,19 +315,25 @@ def _attack_equivalence(seed: int) -> dict:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--json", help="write machine-readable results here")
-    parser.add_argument("--min-ratio", type=float, default=0.95,
-                        help="fail if full/base throughput ratio < this "
-                             "(0.95 = at most 5%% summary+cost overhead)")
-    parser.add_argument("--repeats", type=int, default=10,
-                        help="interleaved timing rounds (best-of-N)")
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.95,
+        help="fail if full/base throughput ratio < this "
+        "(0.95 = at most 5%% summary+cost overhead)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=10, help="interleaved timing rounds (best-of-N)"
+    )
     parser.add_argument("--calls", type=int, default=6)
     parser.add_argument("--ims", type=int, default=6)
     parser.add_argument("--churn-rounds", type=int, default=4)
     parser.add_argument("--seed", type=int, default=51)
     args = parser.parse_args(argv)
 
-    spec = WorkloadSpec(calls=args.calls, ims=args.ims,
-                        churn_rounds=args.churn_rounds, seed=args.seed)
+    spec = WorkloadSpec(
+        calls=args.calls, ims=args.ims, churn_rounds=args.churn_rounds, seed=args.seed
+    )
     trace = capture_workload(spec)
     print(f"workload: {len(trace)} frames, {trace.duration:.1f} s of sim time")
 
@@ -323,13 +341,16 @@ def main(argv=None) -> int:
     engines = {name: row.pop("engine") for name, row in timings.items()}
     for name in CONFIGS:
         row = timings[name]
-        print(f"observability {name:4s}: {row['seconds'] * 1e3:8.2f} ms  "
-              f"{row['frames_per_second']:10,.0f} frames/s")
+        print(
+            f"observability {name:4s}: {row['seconds'] * 1e3:8.2f} ms  "
+            f"{row['frames_per_second']:10,.0f} frames/s"
+        )
 
-    ratio = (timings["full"]["frames_per_second"]
-             / timings["base"]["frames_per_second"])
-    print(f"throughput ratio (full / base): {ratio:.3f} "
-          f"({(1 / ratio - 1) * 100:+.1f}% summary+cost overhead)")
+    ratio = timings["full"]["frames_per_second"] / timings["base"]["frames_per_second"]
+    print(
+        f"throughput ratio (full / base): {ratio:.3f} "
+        f"({(1 / ratio - 1) * 100:+.1f}% summary+cost overhead)"
+    )
 
     workload_identical = (
         len({e.stats.footprints for e in engines.values()}) == 1
@@ -341,10 +362,12 @@ def main(argv=None) -> int:
     attacks = _attack_equivalence(seed=7)
     for name, row in attacks.items():
         ok = row["identical"] and row["detected"]
-        print(f"attack {name:12s}: {row['alerts']} alerts, "
-              f"{row['rule']} {'detected' if row['detected'] else 'MISSED'}, "
-              f"{'identical' if row['identical'] else 'DIVERGED'} "
-              f"[{'ok' if ok else 'FAIL'}]")
+        print(
+            f"attack {name:12s}: {row['alerts']} alerts, "
+            f"{row['rule']} {'detected' if row['detected'] else 'MISSED'}, "
+            f"{'identical' if row['identical'] else 'DIVERGED'} "
+            f"[{'ok' if ok else 'FAIL'}]"
+        )
 
     equivalent = workload_identical and all(
         r["identical"] and r["detected"] for r in attacks.values()
@@ -353,9 +376,13 @@ def main(argv=None) -> int:
 
     result = {
         "bench": "observability",
-        "workload": {"frames": len(trace), "calls": args.calls,
-                     "ims": args.ims, "churn_rounds": args.churn_rounds,
-                     "seed": args.seed},
+        "workload": {
+            "frames": len(trace),
+            "calls": args.calls,
+            "ims": args.ims,
+            "churn_rounds": args.churn_rounds,
+            "seed": args.seed,
+        },
         "repeats": args.repeats,
         "timings": timings,
         "throughput_ratio": ratio,

@@ -27,25 +27,36 @@ from repro.experiments.report import format_table
 from repro.voip.scenarios import im_exchange, normal_call
 from repro.voip.testbed import CLIENT_A_IP, CLIENT_B_IP, Testbed, TestbedConfig
 
-VANTAGES = [("IDS@clientA", CLIENT_A_IP), ("IDS@clientB", CLIENT_B_IP), ("IDS@network", None)]
+VANTAGES = [
+    ("IDS@clientA", CLIENT_A_IP),
+    ("IDS@clientB", CLIENT_B_IP),
+    ("IDS@network", None),
+]
 
 ATTACKS = [
     ("BYE attack", ByeAttack, {}, dict(needs_call=True)),
     ("Fake IM", FakeImAttack, {}, dict(needs_im=True)),
     ("Call hijack", CallHijackAttack, {}, dict(needs_call=True)),
     ("RTP attack", RtpAttack, dict(packets=30), dict(needs_call=True)),
-    ("REGISTER DoS", RegisterDosAttack, dict(requests=10, interval=0.1), dict(auth=True)),
+    (
+        "REGISTER DoS",
+        RegisterDosAttack,
+        dict(requests=10, interval=0.1),
+        dict(auth=True),
+    ),
     ("Password guess", PasswordGuessAttack, {}, dict(auth=True)),
     ("Billing fraud", BillingFraudAttack, {}, dict(billing=True)),
 ]
 
 
 def _run_attack_with_vantages(name, attack_cls, kwargs, needs):
-    testbed = Testbed(TestbedConfig(
-        seed=7,
-        require_auth=needs.get("auth", False),
-        with_billing=needs.get("billing", False),
-    ))
+    testbed = Testbed(
+        TestbedConfig(
+            seed=7,
+            require_auth=needs.get("auth", False),
+            with_billing=needs.get("billing", False),
+        )
+    )
     engines = {
         label: ScidiveEngine(vantage_ip=ip, name=label) for label, ip in VANTAGES
     }
@@ -82,17 +93,21 @@ def test_placement_coverage_matrix(benchmark, emit):
     coverage = once(benchmark, _measure)
     rows = []
     for name, per_vantage in coverage.items():
-        rows.append([
-            name,
-            ", ".join(per_vantage["IDS@clientA"]) or "-",
-            ", ".join(per_vantage["IDS@clientB"]) or "-",
-            ", ".join(per_vantage["IDS@network"]) or "-",
-        ])
-    emit(format_table(
-        ["attack", "IDS@clientA", "IDS@clientB", "IDS@network"],
-        rows,
-        title="§3.3 — placement study: rules fired per vantage point",
-    ))
+        rows.append(
+            [
+                name,
+                ", ".join(per_vantage["IDS@clientA"]) or "-",
+                ", ".join(per_vantage["IDS@clientB"]) or "-",
+                ", ".join(per_vantage["IDS@network"]) or "-",
+            ]
+        )
+    emit(
+        format_table(
+            ["attack", "IDS@clientA", "IDS@clientB", "IDS@network"],
+            rows,
+            title="§3.3 — placement study: rules fired per vantage point",
+        )
+    )
     # Endpoint attacks against A are caught at A and by the network IDS.
     assert coverage["BYE attack"]["IDS@clientA"]
     assert coverage["BYE attack"]["IDS@network"]

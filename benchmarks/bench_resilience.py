@@ -136,31 +136,59 @@ def _crash_recovery_equivalence(seed: int) -> dict:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--json", help="write machine-readable results here")
-    parser.add_argument("--min-ratio", type=float, default=0.35,
-                        help="fail if on/off throughput ratio < this")
-    parser.add_argument("--checkpoint-every", type=int, default=256,
-                        help="frames between checkpoints in the 'on' run")
-    parser.add_argument("--repeats", type=int, default=5,
-                        help="timing repetitions (best-of-N)")
-    parser.add_argument("--calls", type=int, default=3,
-                        help="benign calls in the mixed workload")
-    parser.add_argument("--flood-packets", type=int, default=5000,
-                        help="garbage RTP packets in the flood segment")
-    parser.add_argument("--spoof-packets", type=int, default=3000,
-                        help="spoofed-SSRC RTP packets in the spoof segment")
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.35,
+        help="fail if on/off throughput ratio < this",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=256,
+        help="frames between checkpoints in the 'on' run",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="timing repetitions (best-of-N)"
+    )
+    parser.add_argument(
+        "--calls", type=int, default=3, help="benign calls in the mixed workload"
+    )
+    parser.add_argument(
+        "--flood-packets",
+        type=int,
+        default=5000,
+        help="garbage RTP packets in the flood segment",
+    )
+    parser.add_argument(
+        "--spoof-packets",
+        type=int,
+        default=3000,
+        help="spoofed-SSRC RTP packets in the spoof segment",
+    )
     parser.add_argument("--seed", type=int, default=33)
     args = parser.parse_args(argv)
 
-    benign = capture_workload(WorkloadSpec(
-        calls=args.calls, call_seconds=2.0, ims=4, churn_rounds=1,
-        require_auth=True, seed=args.seed,
-    ))
+    benign = capture_workload(
+        WorkloadSpec(
+            calls=args.calls,
+            call_seconds=2.0,
+            ims=4,
+            churn_rounds=1,
+            require_auth=True,
+            seed=args.seed,
+        )
+    )
     flood = capture_rtp_flood(
-        seed=args.seed + 1, packets=args.flood_packets,
-        interval=0.002, observe_after=2.0 + args.flood_packets * 0.002,
+        seed=args.seed + 1,
+        packets=args.flood_packets,
+        interval=0.002,
+        observe_after=2.0 + args.flood_packets * 0.002,
     )
     spoof = capture_ssrc_spoof_flood(
-        seed=args.seed + 2, packets=args.spoof_packets, interval=0.004,
+        seed=args.seed + 2,
+        packets=args.spoof_packets,
+        interval=0.004,
     )
     trace = _concat([benign, flood, spoof])
     print(f"workload: {len(trace)} frames, {trace.duration:.1f} s of sim time")
@@ -180,24 +208,31 @@ def main(argv=None) -> int:
         extra = ""
         if every:
             checkpoint_bytes = largest
-            extra = (f"  every {every} frames, "
-                     f"largest snapshot {largest / 1024:.1f} KiB")
-        print(f"checkpoints {mode:3s}: {seconds * 1e3:8.2f} ms  "
-              f"{timings[mode]['frames_per_second']:10,.0f} frames/s{extra}")
+            extra = (
+                f"  every {every} frames, "
+                f"largest snapshot {largest / 1024:.1f} KiB"
+            )
+        print(
+            f"checkpoints {mode:3s}: {seconds * 1e3:8.2f} ms  "
+            f"{timings[mode]['frames_per_second']:10,.0f} frames/s{extra}"
+        )
 
-    ratio = (timings["on"]["frames_per_second"]
-             / timings["off"]["frames_per_second"])
-    print(f"throughput ratio (on / off): {ratio:.3f} "
-          f"({(1 - ratio) * 100:+.1f}% overhead)")
+    ratio = timings["on"]["frames_per_second"] / timings["off"]["frames_per_second"]
+    print(
+        f"throughput ratio (on / off): {ratio:.3f} "
+        f"({(1 - ratio) * 100:+.1f}% overhead)"
+    )
 
     attacks = _crash_recovery_equivalence(seed=7)
     for name, row in attacks.items():
         ok = row["identical"] and row["detected"]
-        print(f"attack {name:12s}: {row['alerts_resumed']} alerts after "
-              f"mid-scenario restore ({row['alerts_baseline']} uncrashed), "
-              f"{row['rule']} {'detected' if row['detected'] else 'MISSED'}, "
-              f"snapshot {row['checkpoint_bytes'] / 1024:.1f} KiB "
-              f"[{'ok' if ok else 'FAIL'}]")
+        print(
+            f"attack {name:12s}: {row['alerts_resumed']} alerts after "
+            f"mid-scenario restore ({row['alerts_baseline']} uncrashed), "
+            f"{row['rule']} {'detected' if row['detected'] else 'MISSED'}, "
+            f"snapshot {row['checkpoint_bytes'] / 1024:.1f} KiB "
+            f"[{'ok' if ok else 'FAIL'}]"
+        )
 
     equivalent = all(
         r["identical"] and r["detected"] for r in attacks.values()
@@ -229,12 +264,13 @@ def main(argv=None) -> int:
         print(f"results written to {args.json}")
 
     if not equivalent:
-        print("FAIL: a crash/restore boundary changed what fired",
-              file=sys.stderr)
+        print("FAIL: a crash/restore boundary changed what fired", file=sys.stderr)
         return 1
     if ratio < args.min_ratio:
-        print(f"FAIL: throughput ratio {ratio:.3f} < required "
-              f"{args.min_ratio:.3f}", file=sys.stderr)
+        print(
+            f"FAIL: throughput ratio {ratio:.3f} < required {args.min_ratio:.3f}",
+            file=sys.stderr,
+        )
         return 1
     print("PASS")
     return 0

@@ -30,7 +30,11 @@ SIM_TRIALS = 30
 
 def _measure():
     rows = []
-    for label, mean_delay in [("LAN-ish 0.5 ms", 0.0005), ("campus 2 ms", 0.002), ("WAN 8 ms", 0.008)]:
+    for label, mean_delay in [
+        ("LAN-ish 0.5 ms", 0.0005),
+        ("campus 2 ms", 0.002),
+        ("WAN 8 ms", 0.008),
+    ]:
         n_rtp, g_sip, n_sip = paper_model(mean_delay)
         analytic = analysis.expected_detection_delay(n_rtp, g_sip, n_sip) * 1000
         samples = analysis.detection_delay_samples(n_rtp, g_sip, n_sip, 50_000, seed=1)
@@ -41,8 +45,15 @@ def _measure():
         for result_delay in _simulated_event_delays(mean_delay):
             sim_delays.append(result_delay)
         sim_ms = sum(sim_delays) / len(sim_delays) * 1000 if sim_delays else None
-        rows.append([label, f"{analytic:.2f}", f"{model_mc:.2f}",
-                     f"{sim_ms:.2f}" if sim_ms else "-", len(sim_delays)])
+        rows.append(
+            [
+                label,
+                f"{analytic:.2f}",
+                f"{model_mc:.2f}",
+                f"{sim_ms:.2f}" if sim_ms else "-",
+                len(sim_delays),
+            ]
+        )
     return rows
 
 
@@ -64,11 +75,19 @@ def _simulated_event_delays(mean_delay: float) -> list[float]:
 
 def test_sec43_detection_delay(benchmark, emit):
     rows = once(benchmark, _measure)
-    emit(format_table(
-        ["delay regime", "analytic E[D] (ms)", "model MC (ms)", "simulated (ms)", "sim runs"],
-        rows,
-        title="§4.3.1 — detection delay D (paper: E[D] = 10 ms = half the RTP period)",
-    ))
+    emit(
+        format_table(
+            [
+                "delay regime",
+                "analytic E[D] (ms)",
+                "model MC (ms)",
+                "simulated (ms)",
+                "sim runs",
+            ],
+            rows,
+            title="§4.3.1 — detection delay D (paper: E[D] = 10 ms = half the RTP period)",
+        )
+    )
     for row in rows:
         analytic = float(row[1])
         model_mc = float(row[2])
@@ -93,9 +112,16 @@ def test_sec43_delay_distribution(benchmark, emit):
         )
 
     quantiles = benchmark(compute)
-    rows = [[f"p{int(q * 100)}", f"{v * 1000:.2f} ms"] for q, v in sorted(quantiles.items())]
-    emit(format_table(["quantile", "D"], rows,
-                      title="§4.3.1 — detection delay distribution (exp 2 ms delays)"))
+    rows = [
+        [f"p{int(q * 100)}", f"{v * 1000:.2f} ms"] for q, v in sorted(quantiles.items())
+    ]
+    emit(
+        format_table(
+            ["quantile", "D"],
+            rows,
+            title="§4.3.1 — detection delay distribution (exp 2 ms delays)",
+        )
+    )
     assert quantiles[0.5] == pytest.approx(0.010, abs=0.002)
     values = [quantiles[q] for q in sorted(quantiles)]
     assert values == sorted(values)

@@ -40,23 +40,38 @@ def _measure():
         false_alarms = 0
         for i in range(SIM_TRIALS):
             result = run_benign(
-                "callee-hangup", seed=600 + i, monitoring_window=0.5,
+                "callee-hangup",
+                seed=600 + i,
+                monitoring_window=0.5,
                 link=LinkModel(delay=dist),
             )
             if result.alerts_for(RULE_BYE_ATTACK):
                 false_alarms += 1
-        rows.append([label, f"{analytic:.3f}", f"{model_mc:.3f}",
-                     f"{false_alarms / SIM_TRIALS:.3f}"])
+        rows.append(
+            [
+                label,
+                f"{analytic:.3f}",
+                f"{model_mc:.3f}",
+                f"{false_alarms / SIM_TRIALS:.3f}",
+            ]
+        )
     return rows
 
 
 def test_sec43_false_alarm(benchmark, emit):
     rows = once(benchmark, _measure)
-    emit(format_table(
-        ["delay regime", "P_f analytic (race model)", "P_f model MC", "sim FP rate (benign hangup)"],
-        rows,
-        title="§4.3.1 — false alarm probability (valid BYE overtaking the last RTP packet)",
-    ))
+    emit(
+        format_table(
+            [
+                "delay regime",
+                "P_f analytic (race model)",
+                "P_f model MC",
+                "sim FP rate (benign hangup)",
+            ],
+            rows,
+            title="§4.3.1 — false alarm probability (valid BYE overtaking the last RTP packet)",
+        )
+    )
     by_label = {r[0]: r for r in rows}
     # Constant delays: no reordering possible — zero everywhere.
     const = by_label["constant 0.5 ms (paper's hub)"]

@@ -28,15 +28,21 @@ def test_sec43_missed_alarm_curve(benchmark, emit):
         benchmark, missed_alarm_curve, WINDOWS_MS, MEAN_DELAY, SIM_TRIALS
     )
     rows = [
-        [f"{p.m_ms:.1f}", f"{p.analytic:.4f}", f"{p.model_mc:.4f}",
-         f"{p.simulated:.3f}" if p.simulated is not None else "-"]
+        [
+            f"{p.m_ms:.1f}",
+            f"{p.analytic:.4f}",
+            f"{p.model_mc:.4f}",
+            f"{p.simulated:.3f}" if p.simulated is not None else "-",
+        ]
         for p in points
     ]
-    emit(format_table(
-        ["m (ms)", "P_m analytic", "P_m model MC", "P_m simulated"],
-        rows,
-        title="§4.3.1 — missed alarm probability vs monitoring window",
-    ))
+    emit(
+        format_table(
+            ["m (ms)", "P_m analytic", "P_m model MC", "P_m simulated"],
+            rows,
+            title="§4.3.1 — missed alarm probability vs monitoring window",
+        )
+    )
     probs = [p.analytic for p in points]
     assert probs == sorted(probs, reverse=True), "P_m must fall as m grows"
     assert probs[-1] < 1e-4, "a generous window virtually eliminates misses"
@@ -65,11 +71,13 @@ def test_sec43_multi_packet_extension(benchmark, emit):
         return rows
 
     rows = benchmark(compute)
-    emit(format_table(
-        ["packet loss", "P_m (1-packet model)", "P_m (3-packet model)"],
-        rows,
-        title="Ablation — single- vs multi-packet missed-alarm model (m = 100 ms)",
-    ))
+    emit(
+        format_table(
+            ["packet loss", "P_m (1-packet model)", "P_m (3-packet model)"],
+            rows,
+            title="Ablation — single- vs multi-packet missed-alarm model (m = 100 ms)",
+        )
+    )
     # Loss makes the single-packet model pessimistic; the multi-packet
     # model stays near zero because any of the next packets suffices.
     assert float(rows[2][1]) > 0.25

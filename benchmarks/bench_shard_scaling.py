@@ -67,10 +67,14 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     trace = build_scaling_workload(
-        sessions=args.sessions, packets_per_session=args.packets, seed=args.seed,
+        sessions=args.sessions,
+        packets_per_session=args.packets,
+        seed=args.seed,
     )
     report = run_scaling_sweep(
-        trace, worker_counts=tuple(args.workers), backend=args.backend,
+        trace,
+        worker_counts=tuple(args.workers),
+        backend=args.backend,
         batch_size=args.batch_size,
     )
     print(format_sweep(report))

@@ -30,27 +30,43 @@ def test_stateful_dos_and_guessing(benchmark, emit):
     for n in FLOOD_SIZES:
         result = floods[n]
         dos_alerts = result.alerts_for(RULE_REGISTER_DOS)
-        rows.append([
-            f"REGISTER flood x{n}",
-            "DOS-001" if dos_alerts else "-",
-            f"{(dos_alerts[0].time - result.injection_time):.2f} s" if dos_alerts else "-",
-        ])
+        rows.append(
+            [
+                f"REGISTER flood x{n}",
+                "DOS-001" if dos_alerts else "-",
+                (
+                    f"{(dos_alerts[0].time - result.injection_time):.2f} s"
+                    if dos_alerts
+                    else "-"
+                ),
+            ]
+        )
     pwd_alerts = guessing.alerts_for(RULE_PASSWORD_GUESS)
-    rows.append([
-        f"password guessing ({guessing.extras['attempts']} attempts)",
-        "PWD-001" if pwd_alerts else "-",
-        f"{(pwd_alerts[0].time - guessing.injection_time):.2f} s" if pwd_alerts else "-",
-    ])
-    rows.append([
-        "benign auth churn (4 rounds x 2 users)",
-        "clean" if not churn.alerts else "FALSE ALARM",
-        "-",
-    ])
-    emit(format_table(
-        ["scenario", "verdict", "time to alarm"],
-        rows,
-        title="§3.3 — stateful detection: DoS vs guessing vs benign churn (threshold: 5 in 10 s)",
-    ))
+    rows.append(
+        [
+            f"password guessing ({guessing.extras['attempts']} attempts)",
+            "PWD-001" if pwd_alerts else "-",
+            (
+                f"{(pwd_alerts[0].time - guessing.injection_time):.2f} s"
+                if pwd_alerts
+                else "-"
+            ),
+        ]
+    )
+    rows.append(
+        [
+            "benign auth churn (4 rounds x 2 users)",
+            "clean" if not churn.alerts else "FALSE ALARM",
+            "-",
+        ]
+    )
+    emit(
+        format_table(
+            ["scenario", "verdict", "time to alarm"],
+            rows,
+            title="§3.3 — stateful detection: DoS vs guessing vs benign churn (threshold: 5 in 10 s)",
+        )
+    )
     # Threshold semantics: small floods stay under it, larger ones alarm.
     assert not floods[3].alerts_for(RULE_REGISTER_DOS)
     assert floods[10].alerts_for(RULE_REGISTER_DOS)

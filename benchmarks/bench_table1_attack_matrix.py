@@ -17,8 +17,13 @@ from repro.experiments.table1 import TABLE1_HEADERS, build_table1
 
 def test_table1_attack_matrix(benchmark, emit):
     rows = once(benchmark, build_table1, 7)
-    emit(format_table(TABLE1_HEADERS, [r.cells() for r in rows],
-                      title="Table 1 — attack matrix (4 attacks, paired benign runs)"))
+    emit(
+        format_table(
+            TABLE1_HEADERS,
+            [r.cells() for r in rows],
+            title="Table 1 — attack matrix (4 attacks, paired benign runs)",
+        )
+    )
     assert len(rows) == 4
     assert all(r.detected for r in rows), "paper: all four attacks are caught"
     assert all(r.benign_false_alarms == 0 for r in rows), "paper: no false alarms"

@@ -18,8 +18,15 @@ The headline metric is chosen by the ``bench`` field: ``speedup``
 (indexed vs broadcast dispatch), ``scaling_at_gate`` (modeled shard
 scaling) or ``throughput_ratio`` (forensics on vs off; checkpointing
 on vs off for the resilience bench; summaries+cost-sampling on vs
-metrics-only for the observability bench).  A fresh value below ``baseline * (1 - tolerance)`` fails, as
-does a fresh run whose own equivalence checks failed.  Fresh results
+metrics-only for the observability bench; ``frames_per_second`` for the
+workload-generator bench).  A fresh value below ``baseline * (1 - tolerance)`` fails, as
+does a fresh run whose own equivalence checks failed.
+
+The script also gates detection *quality*: when the baseline JSON is a
+``repro workload run --json`` report (it has a ``systems`` table,
+``QUALITY_baseline.json``), the comparison switches to the §4.3 rules —
+any attack missed by a stateful system fails, and so does a false-alarm
+rate above the committed floor.  Fresh results
 *above* the baseline are reported as an improvement (and a nudge to
 re-commit the baseline), never a failure.
 """
@@ -36,7 +43,14 @@ HEADLINE = {
     "forensics": "throughput_ratio",
     "resilience": "throughput_ratio",
     "observability": "throughput_ratio",
+    "workload": "frames_per_second",
 }
+
+# Detection-quality gate (QUALITY_baseline.json vs a fresh
+# `repro workload run --json` report): only the stateful systems are
+# gated — the Snort-like strawman's numbers are the paper's comparison
+# point, not a promise.
+QUALITY_GATED_SYSTEMS = ("engine", "cluster")
 
 # Absolute floor for the DSL-compiled ruleset's throughput relative to
 # the hand-wired indexed path (dispatch bench only): the pack compiler
@@ -49,6 +63,59 @@ DSL_RATIO_FLOOR = 0.95
 def load(path: str) -> dict:
     with open(path, encoding="utf-8") as fh:
         return json.load(fh)
+
+
+def compare_quality(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Gate a fresh detection-quality report against the committed floor.
+
+    Fails when a stateful system misses any attack, or when its
+    false-alarm rate rises above the committed rate plus the relative
+    tolerance.  The trace itself must still carry every attack kind the
+    baseline promises (a generator regression that silently drops an
+    attack must not pass as "nothing missed").
+    """
+    failures: list[str] = []
+    base_counts = baseline.get("attack_counts", {})
+    fresh_counts = fresh.get("attack_counts", {})
+    for kind, count in sorted(base_counts.items()):
+        have = int(fresh_counts.get(kind, 0))
+        if have < int(count):
+            failures.append(
+                f"trace lost attack coverage: {kind} has {have} instance(s), "
+                f"baseline promises {count}"
+            )
+    for system in QUALITY_GATED_SYSTEMS:
+        base_sys = baseline.get("systems", {}).get(system)
+        if base_sys is None:
+            continue
+        fresh_sys = fresh.get("systems", {}).get(system)
+        if fresh_sys is None:
+            failures.append(f"fresh report has no {system!r} system")
+            continue
+        missed = int(fresh_sys.get("missed", 0))
+        base_rate = float(base_sys.get("false_alarm_rate", 0.0))
+        fresh_rate = float(fresh_sys.get("false_alarm_rate", 0.0))
+        ceiling = base_rate * (1.0 + tolerance) + 1e-9
+        print(
+            f"quality[{system}]: detected={fresh_sys.get('detected')}/"
+            f"{fresh_sys.get('attacks')} missed={missed} "
+            f"fa_rate={fresh_rate:.6f} ceiling={ceiling:.6f}"
+        )
+        if missed > 0:
+            failures.append(f"{system} missed {missed} attack(s)")
+        if fresh_rate > ceiling:
+            failures.append(
+                f"{system} false-alarm rate {fresh_rate:.6f} exceeds the "
+                f"committed floor {base_rate:.6f} (+{tolerance:.0%})"
+            )
+    strawman = fresh.get("systems", {}).get("baseline")
+    if strawman is not None:
+        print(
+            f"quality[baseline strawman, not gated]: "
+            f"detected={strawman.get('detected')}/{strawman.get('attacks')} "
+            f"false_alarms={strawman.get('false_alarms')}"
+        )
+    return failures
 
 
 def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
@@ -111,7 +178,14 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    failures = compare(load(args.baseline), load(args.fresh), args.tolerance)
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+    if "systems" in baseline:
+        # Detection-quality reports have no "bench" kind — they are the
+        # full §4.3 report from `repro workload run --json`.
+        failures = compare_quality(baseline, fresh, args.tolerance)
+    else:
+        failures = compare(baseline, fresh, args.tolerance)
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     if failures:

@@ -125,6 +125,23 @@ class BaselineStats:
     alerts: int = 0
 
 
+def default_packet_rules(include_bye: bool = True) -> list[PacketRule]:
+    """The full strawman rule list for quality comparisons.
+
+    ``include_bye`` adds the every-BYE signature — the only stateless
+    answer to the BYE attack, included so the detection-quality report
+    can quantify its false-alarm cost on benign teardowns.
+    """
+    rules: list[PacketRule] = [
+        FourXXFloodRule(),
+        MalformedPacketRule(),
+        RtpPayloadSignatureRule(),
+    ]
+    if include_bye:
+        rules.insert(1, ByeSignatureRule())
+    return rules
+
+
 class SnortLikeIds:
     """The assembled baseline engine."""
 

@@ -229,9 +229,86 @@ def _build_parser() -> argparse.ArgumentParser:
     table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
     table1.add_argument("--seed", type=int, default=7)
 
+    workload = sub.add_parser(
+        "workload",
+        help="generate labeled virtual-carrier workloads and score "
+             "detection quality against ground truth (§4.3)",
+    )
+    workload_sub = workload.add_subparsers(dest="workload_command", required=True)
+    wl_generate = workload_sub.add_parser(
+        "generate", help="synthesize a labeled trace and write the artifacts"
+    )
+    _add_workload_spec_flags(wl_generate)
+    wl_generate.add_argument("--out", default="workload-out",
+                             help="artifact directory (trace.pcap, truth.json, "
+                                  "stats.json)")
+    wl_check = workload_sub.add_parser(
+        "check", help="lint workload scenario specs (exit 1 on any error)"
+    )
+    wl_check.add_argument("paths", nargs="+", metavar="SPEC",
+                          help=".workload spec file or a directory to scan "
+                               "recursively")
+    wl_run = workload_sub.add_parser(
+        "run",
+        help="generate a labeled trace, run the detection systems over it "
+             "and print the Section 4.3 quality report",
+    )
+    _add_workload_spec_flags(wl_run)
+    _add_workload_eval_flags(wl_run)
+    wl_run.add_argument("--out", default=None,
+                        help="also write trace/truth/report artifacts here")
+    wl_report = workload_sub.add_parser(
+        "report",
+        help="score saved artifacts (trace.pcap + truth.json) without "
+             "regenerating the workload",
+    )
+    wl_report.add_argument("--trace", required=True, help="trace pcap file")
+    wl_report.add_argument("--truth", required=True,
+                           help="ground-truth labels JSON")
+    _add_workload_eval_flags(wl_report)
+
     sub.add_parser("modules", help="list registered protocol modules")
     sub.add_parser("list", help="list available scenarios")
     return parser
+
+
+def _add_workload_spec_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--spec", default=None, metavar="SPEC",
+                        help=".workload scenario spec (default: built-in "
+                             "200-subscriber scenario)")
+    parser.add_argument("--subscribers", type=int, default=None,
+                        help="override the population size")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="override the simulated seconds")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the generator seed")
+    parser.add_argument("--start-hour", type=float, default=None,
+                        help="override the diurnal clock's starting hour")
+    parser.add_argument("--mix", nargs="+", default=None, metavar="KEY=VALUE",
+                        help="attack mix overrides: 'attacks=0.01' sets the "
+                             "attack-to-benign-session ratio; '<kind>=<count>' "
+                             "pins one attack kind (e.g. bye=3 rtp=auto "
+                             "register-dos=0)")
+
+
+def _add_workload_eval_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--systems", nargs="+",
+                        default=["engine", "cluster", "baseline"],
+                        choices=["engine", "cluster", "baseline"],
+                        help="detection systems to score")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="cluster worker count")
+    parser.add_argument("--cluster-backend", default="threads",
+                        choices=["process", "threads", "serial"],
+                        help="cluster worker transport")
+    parser.add_argument("--sweeps", action="store_true",
+                        help="include the threshold-sweep operating curves "
+                             "(re-runs the engine per threshold)")
+    parser.add_argument("--json", default=None,
+                        help="write the quality report to this JSON file")
+    parser.add_argument("--fail-on-miss", action="store_true",
+                        help="exit 1 if the engine or cluster misses any "
+                             "attack (the CI quality gate)")
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -863,6 +940,193 @@ def _cmd_modules(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_workload(args: argparse.Namespace) -> int:
+    handlers = {
+        "generate": _cmd_workload_generate,
+        "check": _cmd_workload_check,
+        "run": _cmd_workload_run,
+        "report": _cmd_workload_report,
+    }
+    return handlers[args.workload_command](args)
+
+
+def _workload_spec(args: argparse.Namespace):
+    """Resolve the scenario: spec file (or built-in default) + CLI overrides."""
+    from repro.workload import ATTACK_KINDS, DEFAULT_SCENARIO, load_scenario
+    from repro.workload.scenario import AttackMix
+
+    spec = load_scenario(args.spec) if args.spec else DEFAULT_SCENARIO
+    overrides: dict = {}
+    for attr, key in (
+        ("subscribers", "subscribers"),
+        ("duration", "duration"),
+        ("seed", "seed"),
+        ("start_hour", "start_hour"),
+    ):
+        value = getattr(args, attr)
+        if value is not None:
+            overrides[key] = value
+    if args.mix:
+        attacks = {mix.kind: mix for mix in spec.attacks}
+        for entry in args.mix:
+            key, sep, value = entry.partition("=")
+            if not sep:
+                raise ValueError(f"--mix entries are KEY=VALUE (got {entry!r})")
+            if key == "attacks":
+                overrides["attack_ratio"] = float(value)
+            elif key in ATTACK_KINDS:
+                count = -1 if value == "auto" else int(value)
+                if count == 0:
+                    attacks.pop(key, None)
+                else:
+                    spacing = attacks[key].spacing if key in attacks else None
+                    attacks[key] = (
+                        AttackMix(key, count, spacing)
+                        if spacing is not None
+                        else AttackMix(key, count)
+                    )
+            else:
+                raise ValueError(
+                    f"--mix key {key!r} is neither 'attacks' nor an attack "
+                    f"kind {sorted(ATTACK_KINDS)}"
+                )
+        overrides["attacks"] = tuple(attacks.values())
+    return spec.with_overrides(**overrides) if overrides else spec
+
+
+def _workload_generate(args: argparse.Namespace):
+    from repro.workload import ScenarioError, generate_workload
+
+    try:
+        spec = _workload_spec(args)
+    except (ScenarioError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return None
+    return generate_workload(spec)
+
+
+def _write_workload_artifacts(result, out_dir: str) -> None:
+    import json
+    import os
+
+    from repro.net.pcap import write_pcap
+    from repro.workload import trace_digest
+
+    os.makedirs(out_dir, exist_ok=True)
+    write_pcap(os.path.join(out_dir, "trace.pcap"), result.trace)
+    with open(os.path.join(out_dir, "truth.json"), "w", encoding="utf-8") as fh:
+        fh.write(result.truth.to_json())
+    stats = result.stats.as_dict()
+    stats["trace_digest"] = trace_digest(result.trace)
+    stats["truth_digest"] = result.truth.digest()
+    with open(os.path.join(out_dir, "stats.json"), "w", encoding="utf-8") as fh:
+        json.dump(stats, fh, indent=2, sort_keys=True)
+    print(f"wrote trace.pcap, truth.json, stats.json to {out_dir}/")
+
+
+def _cmd_workload_generate(args: argparse.Namespace) -> int:
+    from repro.workload import trace_digest
+
+    result = _workload_generate(args)
+    if result is None:
+        return 1
+    stats = result.stats
+    print(
+        f"generated {stats.frames} frames / {stats.wire_bytes} bytes over "
+        f"{stats.duration:.0f}s: {sum(stats.benign_sessions.values())} benign "
+        f"sessions, {sum(stats.attack_sessions.values())} attacks "
+        f"{stats.attack_sessions}"
+    )
+    print(f"trace digest {trace_digest(result.trace)}")
+    _write_workload_artifacts(result, args.out)
+    return 0
+
+
+def _cmd_workload_check(args: argparse.Namespace) -> int:
+    """Lint workload scenario specs; CI gates on exit status."""
+    from pathlib import Path
+
+    from repro.workload import lint_path
+
+    paths: list[str] = []
+    missing: list[str] = []
+    for target in args.paths:
+        path = Path(target)
+        if path.is_dir():
+            found = sorted(str(p) for p in path.rglob("*.workload"))
+            if found:
+                paths.extend(found)
+            else:
+                missing.append(f"{target}: no .workload files found")
+        else:
+            paths.append(str(path))
+    for complaint in missing:
+        print(complaint, file=sys.stderr)
+    if not paths:
+        return 2
+    errors = warnings = 0
+    for path in paths:
+        for issue in lint_path(path):
+            print(str(issue))
+            if issue.severity == "error":
+                errors += 1
+            else:
+                warnings += 1
+    verdict = "FAIL" if errors else "ok"
+    print(f"{verdict}: {len(paths)} spec(s) checked, "
+          f"{errors} error(s), {warnings} warning(s)")
+    return 1 if errors or missing else 0
+
+
+def _evaluate_and_report(trace, truth, args: argparse.Namespace) -> int:
+    from repro.experiments.quality import evaluate_workload, format_quality_report
+
+    report = evaluate_workload(
+        trace,
+        truth,
+        systems=tuple(args.systems),
+        workers=args.workers,
+        cluster_backend=args.cluster_backend,
+        sweeps=args.sweeps,
+    )
+    print(format_quality_report(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+        print(f"\nquality report written to {args.json}")
+    if args.fail_on_miss:
+        gated = [
+            quality
+            for name, quality in report.systems.items()
+            if name in ("engine", "cluster")
+        ]
+        missed = sum(quality.missed for quality in gated)
+        if missed or not gated:
+            print(f"FAIL: {missed} attack(s) missed by the stateful systems",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+def _cmd_workload_run(args: argparse.Namespace) -> int:
+    result = _workload_generate(args)
+    if result is None:
+        return 1
+    if args.out:
+        _write_workload_artifacts(result, args.out)
+    return _evaluate_and_report(result.trace, result.truth, args)
+
+
+def _cmd_workload_report(args: argparse.Namespace) -> int:
+    from repro.net.pcap import read_pcap
+    from repro.workload import GroundTruth
+
+    trace = read_pcap(args.trace)
+    with open(args.truth, encoding="utf-8") as fh:
+        truth = GroundTruth.from_json(fh.read())
+    return _evaluate_and_report(trace, truth, args)
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     print("attack scenarios:")
     for name in ATTACK_SCENARIOS:
@@ -887,6 +1151,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "rules": _cmd_rules,
         "top": _cmd_top,
         "table1": _cmd_table1,
+        "workload": _cmd_workload,
         "modules": _cmd_modules,
         "list": _cmd_list,
     }

@@ -59,9 +59,15 @@ def build_scaling_workload(
     timeline, exactly the many-concurrent-calls regime the ROADMAP's
     "millions of users" north star implies.
     """
-    benign = capture_workload(WorkloadSpec(
-        calls=calls, call_seconds=1.5, ims=2, churn_rounds=1, seed=seed,
-    ))
+    benign = capture_workload(
+        WorkloadSpec(
+            calls=calls,
+            call_seconds=1.5,
+            ims=2,
+            churn_rounds=1,
+            seed=seed,
+        )
+    )
     base = (benign.records[-1].timestamp if len(benign) else 0.0) + 2.0
     victim_ip = IPv4Address.parse(CLIENT_A_IP)
     victim_mac = MacAddress("02:00:00:00:00:0a")
@@ -82,8 +88,13 @@ def build_scaling_workload(
                 payload=bytes(60),
             )
             frame = build_udp_frame(
-                src_mac, victim_mac, src_ip, victim_ip,
-                src_port, dst_port, packet.encode(),
+                src_mac,
+                victim_mac,
+                src_ip,
+                victim_ip,
+                src_port,
+                dst_port,
+                packet.encode(),
                 identification=(i * packets_per_session + p) & 0xFFFF,
             )
             timeline.append((start + p * 0.02, frame))
@@ -132,7 +143,9 @@ def run_scaling_sweep(
     rows = []
     for workers in worker_counts:
         cluster = ScidiveCluster(
-            workers=workers, backend=backend, batch_size=batch_size,
+            workers=workers,
+            backend=backend,
+            batch_size=batch_size,
             vantage_ip=vantage_ip,
         )
         gc.collect()
@@ -140,21 +153,23 @@ def run_scaling_sweep(
         result = cluster.process_trace(trace)
         wall = time.perf_counter() - start
         frames = result.cluster.frames_in
-        rows.append({
-            "workers": workers,
-            "wall_seconds": wall,
-            "wall_frames_per_second": frames / wall if wall > 0 else 0.0,
-            "critical_path_seconds": result.critical_path_seconds(),
-            "modeled_frames_per_second": result.modeled_frames_per_second(),
-            "router_seconds": result.cluster.router_seconds,
-            "busiest_worker_seconds": max(
-                (w.busy_seconds for w in result.workers), default=0.0
-            ),
-            "frames_replicated": result.cluster.frames_replicated,
-            "batches": result.cluster.batches_submitted,
-            "alerts": len(result.alerts),
-            "equivalent": result.alert_multiset() == expected,
-        })
+        rows.append(
+            {
+                "workers": workers,
+                "wall_seconds": wall,
+                "wall_frames_per_second": frames / wall if wall > 0 else 0.0,
+                "critical_path_seconds": result.critical_path_seconds(),
+                "modeled_frames_per_second": result.modeled_frames_per_second(),
+                "router_seconds": result.cluster.router_seconds,
+                "busiest_worker_seconds": max(
+                    (w.busy_seconds for w in result.workers), default=0.0
+                ),
+                "frames_replicated": result.cluster.frames_replicated,
+                "batches": result.cluster.batches_submitted,
+                "alerts": len(result.alerts),
+                "equivalent": result.alert_multiset() == expected,
+            }
+        )
     by_workers = {row["workers"]: row for row in rows}
     base = by_workers.get(1)
     for row in rows:

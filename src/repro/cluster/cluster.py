@@ -346,8 +346,14 @@ def _worker_main(worker_id, config, factory, in_q, out_q, hard_crash) -> None:
             staged_pack = None
         elif kind == "stop":
             report = _engine_report(
-                worker_id, engine, batches, owned, shadowed,
-                clock() - cpu_start, restored, checkpoints,
+                worker_id,
+                engine,
+                batches,
+                owned,
+                shadowed,
+                clock() - cpu_start,
+                restored,
+                checkpoints,
             )
             out_q.put(("result", worker_id, report))
             return
@@ -489,8 +495,12 @@ class _SerialWorker:
             self.cpu_seconds += _time.thread_time() - cpu0
         elif kind == "stop":
             self.report = _engine_report(
-                self.worker_id, self.engine, self.batches, self.owned,
-                self.shadowed, self.cpu_seconds,
+                self.worker_id,
+                self.engine,
+                self.batches,
+                self.owned,
+                self.shadowed,
+                self.cpu_seconds,
             )
 
 

@@ -1,0 +1,81 @@
+"""Virtual-carrier workload generation with ground-truth labels.
+
+This package synthesises realistic SIP/RTP carrier traffic — a
+population of persona-driven subscribers placing calls, messaging, and
+re-registering on diurnal schedules — and mixes in the paper's attack
+scenarios at a configurable ratio.  Every frame is stamped with a
+ground-truth label, so the detection-quality evaluator
+(:mod:`repro.experiments.quality`) can score the stateful engine, the
+cluster, and the stateless baseline against what *actually* happened.
+
+Entry points:
+
+* :func:`generate_workload` — spec → labeled :class:`~repro.sim.trace.Trace`
+* :func:`load_scenario` / :func:`lint_path` — INI scenario specs
+* :data:`DEFAULT_SCENARIO` — 200 subscribers, 1 sim-hour, all four
+  paper attacks (the CI quality gate's trace)
+"""
+
+from repro.workload.forge import FrameForge, Subscriber, TimedFrame
+from repro.workload.generator import (
+    ATTACK_DEADLINES,
+    WorkloadGenerator,
+    WorkloadResult,
+    WorkloadStats,
+    generate_workload,
+    trace_digest,
+)
+from repro.workload.labels import (
+    ATTACK_KINDS,
+    ATTACK_RULES,
+    PAPER_ATTACKS,
+    GroundTruth,
+    SessionLabel,
+)
+from repro.workload.personas import (
+    DEFAULT_PERSONAS,
+    DIURNAL_PROFILES,
+    DiurnalProfile,
+    Persona,
+    persona_catalog,
+)
+from repro.workload.scenario import (
+    DEFAULT_SCENARIO,
+    AttackMix,
+    ScenarioError,
+    ScenarioSpec,
+    lint_path,
+    lint_text,
+    load_scenario,
+    parse_scenario,
+)
+
+__all__ = [
+    "ATTACK_DEADLINES",
+    "ATTACK_KINDS",
+    "ATTACK_RULES",
+    "AttackMix",
+    "DEFAULT_PERSONAS",
+    "DEFAULT_SCENARIO",
+    "DIURNAL_PROFILES",
+    "DiurnalProfile",
+    "FrameForge",
+    "GroundTruth",
+    "PAPER_ATTACKS",
+    "Persona",
+    "ScenarioError",
+    "ScenarioSpec",
+    "SessionLabel",
+    "Subscriber",
+    "TimedFrame",
+    "WorkloadGenerator",
+    "WorkloadResult",
+    "WorkloadStats",
+    "generate_workload",
+    "lint_path",
+    "lint_text",
+    "load_scenario",
+    "parse_scenario",
+    "persona_catalog",
+    "trace_digest",
+]

@@ -1,0 +1,422 @@
+"""Deterministic assembly of a virtual-carrier trace from a scenario.
+
+The generator walks the subscriber population in index order, draws
+per-hour Poisson activity (calls, IM conversations, re-registrations)
+from each subscriber's persona — modulated by the persona's diurnal
+profile over the sim clock — then injects the scenario's attack mix as
+dedicated victim sessions at spaced times.  Every frame gets a label id
+into the :class:`~repro.workload.labels.GroundTruth` table.
+
+Determinism: one ``random.Random(seed)`` drives everything, scheduling
+happens in a fixed order, and the final timeline is a stable sort by
+``(timestamp, emission order)``.  Same seed + same spec → byte-identical
+trace and identical labels (the determinism tests enforce this).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import struct
+from dataclasses import dataclass, field
+from random import Random
+
+from repro.sim.trace import Trace
+from repro.workload.forge import FrameForge, Subscriber, TimedFrame
+from repro.workload.labels import (
+    ATTACK_BYE,
+    ATTACK_FAKE_IM,
+    ATTACK_HIJACK,
+    ATTACK_REGISTER_DOS,
+    ATTACK_RTP,
+    ATTACK_RULES,
+    BENIGN_CALL,
+    BENIGN_IM,
+    BENIGN_REGISTRATION,
+    GroundTruth,
+    SessionLabel,
+)
+from repro.workload.scenario import ScenarioSpec
+
+# Alerts later than injection + deadline don't count as detections.
+ATTACK_DEADLINES: dict[str, float] = {
+    ATTACK_BYE: 5.0,
+    ATTACK_HIJACK: 5.0,
+    ATTACK_FAKE_IM: 5.0,
+    ATTACK_RTP: 5.0,
+    ATTACK_REGISTER_DOS: 10.0,
+}
+
+# Keep attack injections away from the trace edges so victim sessions
+# fully set up and detection windows fully close.
+_EDGE_MARGIN = 30.0
+_DEFAULT_AUTO_RATIO = 0.01
+
+
+@dataclass(slots=True)
+class WorkloadStats:
+    """Counts the generator reports (and the bench normalises against)."""
+
+    subscribers: int = 0
+    frames: int = 0
+    wire_bytes: int = 0
+    duration: float = 0.0
+    benign_sessions: dict[str, int] = field(default_factory=dict)
+    attack_sessions: dict[str, int] = field(default_factory=dict)
+    personas: dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "subscribers": self.subscribers,
+            "frames": self.frames,
+            "wire_bytes": self.wire_bytes,
+            "duration": self.duration,
+            "benign_sessions": dict(self.benign_sessions),
+            "attack_sessions": dict(self.attack_sessions),
+            "personas": dict(self.personas),
+        }
+
+
+@dataclass(slots=True)
+class WorkloadResult:
+    """A generated labeled trace."""
+
+    trace: Trace
+    truth: GroundTruth
+    stats: WorkloadStats
+
+
+def _poisson(rng: Random, lam: float) -> int:
+    """Knuth's sampler — fine for the per-bucket rates personas produce."""
+    if lam <= 0.0:
+        return 0
+    threshold = math.exp(-lam)
+    k = 0
+    product = rng.random()
+    while product > threshold:
+        k += 1
+        product *= rng.random()
+    return k
+
+
+def _call_duration(rng: Random, persona) -> float:
+    sigma = persona.call_seconds_sigma
+    mu = math.log(max(persona.call_seconds_mean, 1.0)) - sigma * sigma / 2.0
+    return max(persona.call_seconds_min, math.exp(rng.gauss(mu, sigma)))
+
+
+def _arrivals(
+    rng: Random, per_hour: float, profile, start_hour: float, duration: float
+) -> list[float]:
+    """Poisson arrival times over [0, duration), hour-bucketed so the
+    diurnal profile modulates the rate."""
+    times: list[float] = []
+    bucket_start = 0.0
+    while bucket_start < duration:
+        bucket_end = min(bucket_start + 3600.0, duration)
+        span = bucket_end - bucket_start
+        factor = profile.factor(bucket_start, start_hour)
+        expected = per_hour * factor * span / 3600.0
+        for _ in range(_poisson(rng, expected)):
+            times.append(bucket_start + rng.random() * span)
+        bucket_start = bucket_end
+    times.sort()
+    return times
+
+
+class WorkloadGenerator:
+    """Assembles one labeled trace from a scenario spec."""
+
+    def __init__(self, spec: ScenarioSpec, seed: int | None = None) -> None:
+        self.spec = spec
+        self.seed = spec.seed if seed is None else seed
+        self.rng = Random(self.seed)
+        self.forge = FrameForge()
+        self.truth = GroundTruth(scenario=spec.name, seed=self.seed)
+        self.stats = WorkloadStats(
+            subscribers=spec.subscribers, duration=spec.duration
+        )
+        self._frames: list[TimedFrame] = []
+        self._attacker_serial = 0
+
+    # -- public entry -----------------------------------------------------------
+
+    def generate(self) -> WorkloadResult:
+        personas = self._assign_personas()
+        for index in range(self.spec.subscribers):
+            self._schedule_subscriber(index, personas[index])
+        self._schedule_attacks()
+        trace = self._assemble()
+        self.stats.frames = len(trace)
+        self.stats.wire_bytes = trace.total_bytes
+        return WorkloadResult(trace=trace, truth=self.truth, stats=self.stats)
+
+    # -- population --------------------------------------------------------------
+
+    def _assign_personas(self) -> list:
+        population = [p for p in self.spec.personas if p.weight > 0]
+        weights = [p.weight for p in population]
+        assigned = self.rng.choices(
+            population, weights=weights, k=self.spec.subscribers
+        )
+        for persona in assigned:
+            self.stats.personas[persona.name] = (
+                self.stats.personas.get(persona.name, 0) + 1
+            )
+        return assigned
+
+    def _peer_for(self, index: int) -> Subscriber:
+        peer = self.rng.randrange(self.spec.subscribers - 1)
+        if peer >= index:
+            peer += 1
+        return self.forge.subscriber(peer)
+
+    def _schedule_subscriber(self, index: int, persona) -> None:
+        spec = self.spec
+        sub = self.forge.subscriber(index)
+        profile = persona.profile()
+        rng = self.rng
+        for start in _arrivals(
+            rng, persona.calls_per_hour, profile, spec.start_hour, spec.duration
+        ):
+            duration = _call_duration(rng, persona)
+            # A call needs ~0.6 s of signalling around the media; truncate
+            # rather than spill past the sim horizon.
+            duration = min(duration, spec.duration - start - 2.0)
+            if duration < persona.call_seconds_min:
+                continue
+            frames, handle = self.forge.call(
+                sub, self._peer_for(index), start, duration, persona.media_pps, rng
+            )
+            self._label_benign(
+                BENIGN_CALL,
+                handle.call_id,
+                frames,
+                (sub.aor, handle.callee.aor),
+            )
+        for start in _arrivals(
+            rng, persona.ims_per_hour, profile, spec.start_hour, spec.duration
+        ):
+            count = 1 + _poisson(rng, max(persona.im_burst_mean - 1.0, 0.0))
+            spacing = 2.0 + rng.random() * 3.0
+            if start + count * spacing > spec.duration:
+                count = max(1, int((spec.duration - start) / spacing))
+            peer = self._peer_for(index)
+            frames, call_id = self.forge.im_conversation(
+                sub, peer, start, count, spacing
+            )
+            self._label_benign(BENIGN_IM, call_id, frames, (sub.aor, peer.aor))
+        for start in _arrivals(
+            rng, persona.registers_per_hour, profile, spec.start_hour, spec.duration
+        ):
+            if start + 1.0 > spec.duration:
+                continue
+            frames, call_id = self.forge.registration(
+                sub, start, auth_churn=persona.auth_churn
+            )
+            self._label_benign(BENIGN_REGISTRATION, call_id, frames, (sub.aor,))
+
+    def _label_benign(
+        self, kind: str, session: str, frames: list[TimedFrame], aors: tuple[str, ...]
+    ) -> None:
+        if not frames:
+            return
+        label_id = len(self.truth.labels)
+        self.truth.add(
+            SessionLabel(
+                label_id=label_id,
+                kind=kind,
+                session=session,
+                start=min(f.time for f in frames),
+                end=max(f.time for f in frames),
+                subscribers=aors,
+            )
+        )
+        for frame in frames:
+            frame.label = label_id
+        self._frames.extend(frames)
+        self.stats.benign_sessions[kind] = self.stats.benign_sessions.get(kind, 0) + 1
+
+    # -- attacks -----------------------------------------------------------------
+
+    def _resolve_attack_counts(self) -> list:
+        """Fixed counts pass through; ``auto`` counts split the attack
+        ratio's session budget across the auto kinds."""
+        mixes = list(self.spec.attacks)
+        auto = [m for m in mixes if m.count < 0]
+        if auto:
+            ratio = (
+                self.spec.attack_ratio
+                if self.spec.attack_ratio is not None
+                else _DEFAULT_AUTO_RATIO
+            )
+            benign_total = max(1, sum(self.stats.benign_sessions.values()))
+            budget = max(len(auto), round(ratio * benign_total))
+            share, remainder = divmod(budget, len(auto))
+            resolved = []
+            for i, mix in enumerate(mixes):
+                if mix.count < 0:
+                    position = auto.index(mix)
+                    count = share + (1 if position < remainder else 0)
+                    resolved.append((mix.kind, max(1, count), mix.spacing))
+                else:
+                    resolved.append((mix.kind, mix.count, mix.spacing))
+            return resolved
+        return [(m.kind, m.count, m.spacing) for m in mixes]
+
+    def _injection_times(self, count: int, spacing: float) -> list[float]:
+        lo = _EDGE_MARGIN
+        hi = max(lo + 1.0, self.spec.duration - _EDGE_MARGIN)
+        times = sorted(lo + self.rng.random() * (hi - lo) for _ in range(count))
+        for i in range(1, len(times)):
+            if times[i] - times[i - 1] < spacing:
+                times[i] = times[i - 1] + spacing
+        return [t for t in times if t <= hi]
+
+    def _next_attacker(self) -> Subscriber:
+        self._attacker_serial += 1
+        return self.forge.attacker(self._attacker_serial)
+
+    def _victim_pair(self) -> tuple[Subscriber, Subscriber]:
+        caller_index = self.rng.randrange(self.spec.subscribers)
+        caller = self.forge.subscriber(caller_index)
+        return caller, self._peer_for(caller_index)
+
+    def _schedule_attacks(self) -> None:
+        for kind, count, spacing in self._resolve_attack_counts():
+            injected = 0
+            for when in self._injection_times(count, spacing):
+                if when + ATTACK_DEADLINES[kind] > self.spec.duration:
+                    continue
+                self._inject(kind, when)
+                injected += 1
+            if injected:
+                self.stats.attack_sessions[kind] = (
+                    self.stats.attack_sessions.get(kind, 0) + injected
+                )
+
+    def _inject(self, kind: str, when: float) -> None:
+        rng = self.rng
+        forge = self.forge
+        attacker = self._next_attacker()
+        frames: list[TimedFrame]
+        # The orphan-RTP watch armed by a forged teardown/redirect stays
+        # open for only half a second, so the victim call's media must
+        # tick fast enough that the overrun lands a packet inside it —
+        # floor the rate regardless of the scenario's ambient media_pps.
+        victim_pps = max(self.spec.media_pps, 5.0)
+        if kind == ATTACK_BYE:
+            caller, callee = self._victim_pair()
+            call_frames, handle, attack_time = forge.victim_call_with_overrun(
+                caller,
+                callee,
+                when - 3.0,
+                2.7,
+                0.45,
+                victim_pps,
+                rng,
+                overrun_party="caller",
+            )
+            attack_frames, session, injection = forge.forged_bye(
+                attacker, handle, attack_time
+            )
+            frames = call_frames + attack_frames
+            aors = (caller.aor, callee.aor)
+        elif kind == ATTACK_HIJACK:
+            caller, callee = self._victim_pair()
+            call_frames, handle, attack_time = forge.victim_call_with_overrun(
+                caller,
+                callee,
+                when - 3.0,
+                2.7,
+                0.45,
+                victim_pps,
+                rng,
+                overrun_party="callee",
+            )
+            attack_frames, session, injection = forge.forged_reinvite(
+                attacker, handle, attack_time
+            )
+            frames = call_frames + attack_frames
+            aors = (caller.aor, callee.aor)
+        elif kind == ATTACK_RTP:
+            caller, callee = self._victim_pair()
+            call_frames, handle = forge.call(
+                caller, callee, when - 3.0, 6.0, self.spec.media_pps, rng
+            )
+            attack_frames, session, injection = forge.rtp_injection(
+                attacker, handle, when, rng
+            )
+            frames = call_frames + attack_frames
+            aors = (caller.aor, callee.aor)
+        elif kind == ATTACK_FAKE_IM:
+            victim, peer = self._victim_pair()
+            im_frames, im_call_id = forge.im_conversation(
+                victim, peer, when - 8.0, 2, 3.0
+            )
+            self._label_benign(BENIGN_IM, im_call_id, im_frames, (victim.aor, peer.aor))
+            attack_frames, session, injection = forge.forged_im(
+                attacker, victim, peer, when
+            )
+            frames = attack_frames
+            aors = (victim.aor, peer.aor)
+        elif kind == ATTACK_REGISTER_DOS:
+            victim_index = self.rng.randrange(self.spec.subscribers)
+            victim = forge.subscriber(victim_index)
+            frames, session, injection = forge.register_flood(attacker, victim, when)
+            aors = (victim.aor,)
+        else:  # pragma: no cover - guarded by scenario lint
+            raise ValueError(f"unknown attack kind: {kind}")
+        expected, accept = ATTACK_RULES[kind]
+        label_id = len(self.truth.labels)
+        self.truth.add(
+            SessionLabel(
+                label_id=label_id,
+                kind=kind,
+                session=session,
+                start=min(f.time for f in frames),
+                end=max(f.time for f in frames),
+                subscribers=aors,
+                injection_time=injection,
+                deadline=injection + ATTACK_DEADLINES[kind],
+                expected_rules=expected,
+                accept_rules=accept,
+                attacker=str(attacker.ip),
+            )
+        )
+        for frame in frames:
+            frame.label = label_id
+        self._frames.extend(frames)
+
+    # -- assembly ----------------------------------------------------------------
+
+    def _assemble(self) -> Trace:
+        order = sorted(
+            range(len(self._frames)), key=lambda i: (self._frames[i].time, i)
+        )
+        trace = Trace(name=f"workload-{self.spec.name}-{self.seed}")
+        frame_labels = self.truth.frame_labels
+        for i in order:
+            timed = self._frames[i]
+            trace.append(timed.time, timed.frame)
+            frame_labels.append(timed.label)
+        return trace
+
+
+def generate_workload(spec: ScenarioSpec, seed: int | None = None) -> WorkloadResult:
+    """One-call convenience wrapper."""
+    return WorkloadGenerator(spec, seed=seed).generate()
+
+
+def trace_digest(trace: Trace) -> str:
+    """Content hash of a trace at pcap resolution.
+
+    Timestamps are truncated to microseconds — exactly what a pcap
+    round-trip preserves — so the digest of a generated trace equals the
+    digest of the same trace written to disk and read back.
+    """
+    h = hashlib.sha256()
+    for record in trace:
+        h.update(struct.pack("<qI", int(record.timestamp * 1e6), len(record.frame)))
+        h.update(record.frame)
+    return h.hexdigest()

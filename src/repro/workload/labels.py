@@ -1,0 +1,179 @@
+"""Ground-truth labels for generated traffic.
+
+Every frame the generator emits carries a label id pointing into the
+:class:`GroundTruth` table; every SIP session (call / registration / IM
+conversation / attack) gets one :class:`SessionLabel`.  Attack labels
+additionally carry the detection contract the evaluator scores against:
+
+* ``expected_rules`` — at least one of these firing inside the window
+  counts as a *detection*;
+* ``accept_rules`` — a superset: any of these firing inside the window
+  is *attributed* to the attack (not a false alarm) even if it is not
+  the headline rule (e.g. the hijack's redirected call also trips the
+  rogue-source rule).
+
+The JSON round-trip is exact, and :meth:`GroundTruth.digest` hashes the
+whole table so determinism tests can compare label sets as one string.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+BENIGN_CALL = "benign-call"
+BENIGN_IM = "benign-im"
+BENIGN_REGISTRATION = "benign-registration"
+
+ATTACK_BYE = "bye"
+ATTACK_HIJACK = "hijack"
+ATTACK_FAKE_IM = "fake-im"
+ATTACK_RTP = "rtp"
+ATTACK_REGISTER_DOS = "register-dos"
+
+ATTACK_KINDS: tuple[str, ...] = (
+    ATTACK_BYE,
+    ATTACK_HIJACK,
+    ATTACK_FAKE_IM,
+    ATTACK_RTP,
+    ATTACK_REGISTER_DOS,
+)
+
+# The four attacks demonstrated in the paper (Table 1); register-dos is
+# the §3.3 bonus scenario.
+PAPER_ATTACKS: tuple[str, ...] = (
+    ATTACK_BYE,
+    ATTACK_HIJACK,
+    ATTACK_FAKE_IM,
+    ATTACK_RTP,
+)
+
+# Detection contract per attack kind: (expected, accept).
+ATTACK_RULES: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
+    ATTACK_BYE: (("BYE-001",), ("BYE-001",)),
+    ATTACK_HIJACK: (("HIJACK-001",), ("HIJACK-001", "RTP-002")),
+    ATTACK_FAKE_IM: (("FAKEIM-001",), ("FAKEIM-001",)),
+    ATTACK_RTP: (
+        ("RTP-001", "RTP-002", "RTP-003"),
+        ("RTP-001", "RTP-002", "RTP-003"),
+    ),
+    ATTACK_REGISTER_DOS: (("DOS-001",), ("DOS-001",)),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class SessionLabel:
+    """Ground truth for one generated session."""
+
+    label_id: int
+    kind: str  # BENIGN_* or ATTACK_*
+    session: str  # SIP Call-ID ("" when no session applies)
+    start: float
+    end: float
+    subscribers: tuple[str, ...] = ()  # AoRs involved
+    # Attack-only fields:
+    injection_time: float | None = None  # first malicious frame
+    deadline: float | None = None  # alerts after this don't count
+    expected_rules: tuple[str, ...] = ()
+    accept_rules: tuple[str, ...] = ()
+    attacker: str = ""  # attacker host IP
+
+    @property
+    def is_attack(self) -> bool:
+        return self.injection_time is not None
+
+    def as_dict(self) -> dict:
+        out = {
+            "label_id": self.label_id,
+            "kind": self.kind,
+            "session": self.session,
+            "start": self.start,
+            "end": self.end,
+            "subscribers": list(self.subscribers),
+        }
+        if self.is_attack:
+            out.update(
+                injection_time=self.injection_time,
+                deadline=self.deadline,
+                expected_rules=list(self.expected_rules),
+                accept_rules=list(self.accept_rules),
+                attacker=self.attacker,
+            )
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SessionLabel":
+        return cls(
+            label_id=int(data["label_id"]),
+            kind=data["kind"],
+            session=data["session"],
+            start=float(data["start"]),
+            end=float(data["end"]),
+            subscribers=tuple(data.get("subscribers", ())),
+            injection_time=data.get("injection_time"),
+            deadline=data.get("deadline"),
+            expected_rules=tuple(data.get("expected_rules", ())),
+            accept_rules=tuple(data.get("accept_rules", ())),
+            attacker=data.get("attacker", ""),
+        )
+
+
+@dataclass(slots=True)
+class GroundTruth:
+    """The label table for one generated trace."""
+
+    scenario: str = "workload"
+    seed: int = 0
+    labels: list[SessionLabel] = field(default_factory=list)
+    # Parallel to the trace's records: frame index -> label id.
+    frame_labels: list[int] = field(default_factory=list)
+
+    def add(self, label: SessionLabel) -> SessionLabel:
+        self.labels.append(label)
+        return label
+
+    def attacks(self) -> list[SessionLabel]:
+        return [label for label in self.labels if label.is_attack]
+
+    def benign(self) -> list[SessionLabel]:
+        return [label for label in self.labels if not label.is_attack]
+
+    def by_session(self) -> dict[str, SessionLabel]:
+        return {label.session: label for label in self.labels if label.session}
+
+    def attack_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for label in self.attacks():
+            counts[label.kind] = counts.get(label.kind, 0) + 1
+        return counts
+
+    # -- persistence ---------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "labels": [label.as_dict() for label in self.labels],
+            "frame_labels": self.frame_labels,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GroundTruth":
+        return cls(
+            scenario=data.get("scenario", "workload"),
+            seed=int(data.get("seed", 0)),
+            labels=[SessionLabel.from_dict(d) for d in data["labels"]],
+            frame_labels=[int(x) for x in data.get("frame_labels", [])],
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "GroundTruth":
+        return cls.from_dict(json.loads(text))
+
+    def digest(self) -> str:
+        """Stable content hash of the whole label table."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()

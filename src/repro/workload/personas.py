@@ -1,0 +1,147 @@
+"""Subscriber personas and diurnal schedules for the virtual carrier.
+
+A :class:`Persona` is a statistical profile of one subscriber class:
+how often they call, how long they talk, how chatty they are over
+instant messaging, how often they (re-)register, and *when* they do any
+of it — the :class:`DiurnalProfile` modulates every per-hour rate over
+the simulated day, so an office persona is busy 9-to-5 while a
+night-shift persona peaks after midnight.
+
+Everything here is plain data; the generator draws arrival times from
+these rates with its own seeded RNG, so a persona is reusable across
+scenario specs without hiding entropy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True, slots=True)
+class DiurnalProfile:
+    """24 relative hourly weights; normalised so the mean weight is 1.
+
+    A rate of ``k`` events/hour with weight ``w`` at hour ``h`` yields an
+    instantaneous rate of ``k * w`` — the daily total stays ``24 * k``.
+    """
+
+    name: str
+    weights: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.weights) != 24:
+            raise ValueError(
+                f"diurnal profile {self.name!r} needs 24 weights, "
+                f"got {len(self.weights)}"
+            )
+        total = sum(self.weights)
+        if total <= 0:
+            raise ValueError(f"diurnal profile {self.name!r} has no mass")
+        mean = total / 24.0
+        object.__setattr__(
+            self, "weights", tuple(w / mean for w in self.weights)
+        )
+
+    def factor(self, sim_seconds: float, start_hour: float = 0.0) -> float:
+        """Relative intensity at ``sim_seconds`` into the run."""
+        hour = (start_hour + sim_seconds / 3600.0) % 24.0
+        return self.weights[int(hour) % 24]
+
+
+# fmt: off
+_FLAT = DiurnalProfile("flat", (1.0,) * 24)
+_OFFICE = DiurnalProfile(
+    "office",
+    (0.1, 0.1, 0.1, 0.1, 0.1, 0.2, 0.5, 1.0, 2.0, 3.0, 3.0, 2.5,
+     2.0, 2.5, 3.0, 2.5, 2.0, 1.5, 0.8, 0.5, 0.3, 0.2, 0.1, 0.1),
+)
+_EVENING = DiurnalProfile(
+    "evening",
+    (0.4, 0.2, 0.1, 0.1, 0.1, 0.1, 0.3, 0.5, 0.6, 0.7, 0.8, 1.0,
+     1.0, 0.9, 0.9, 1.0, 1.2, 1.8, 2.5, 3.0, 3.0, 2.5, 1.5, 0.8),
+)
+_NIGHT = DiurnalProfile(
+    "night",
+    (2.5, 3.0, 3.0, 2.5, 1.5, 0.8, 0.4, 0.2, 0.1, 0.1, 0.1, 0.1,
+     0.2, 0.2, 0.3, 0.3, 0.5, 0.8, 1.0, 1.2, 1.5, 1.8, 2.0, 2.2),
+)
+# fmt: on
+
+DIURNAL_PROFILES: dict[str, DiurnalProfile] = {
+    p.name: p for p in (_FLAT, _OFFICE, _EVENING, _NIGHT)
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Persona:
+    """One subscriber class's behavioural profile."""
+
+    name: str
+    weight: float = 1.0  # share of the population drawn from this persona
+    calls_per_hour: float = 1.0
+    call_seconds_mean: float = 20.0  # lognormal-ish body via mu/sigma below
+    call_seconds_sigma: float = 0.6  # spread of ln(duration)
+    call_seconds_min: float = 4.0
+    ims_per_hour: float = 2.0
+    im_burst_mean: float = 2.0  # messages per IM conversation
+    registers_per_hour: float = 0.5
+    auth_churn: bool = True  # REGISTER → 401 → credentialed retry → 200
+    media_pps: float = 5.0  # RTP packets/second per direction
+    diurnal: str = "flat"
+
+    def profile(self) -> DiurnalProfile:
+        return DIURNAL_PROFILES[self.diurnal]
+
+    def with_overrides(self, **overrides) -> "Persona":
+        return replace(self, **overrides)
+
+
+# The built-in catalog.  A scenario spec can reweight these, override
+# individual fields, or define new personas from scratch.
+DEFAULT_PERSONAS: tuple[Persona, ...] = (
+    Persona(
+        name="residential",
+        weight=5.0,
+        calls_per_hour=0.8,
+        call_seconds_mean=25.0,
+        ims_per_hour=1.5,
+        registers_per_hour=0.3,
+        diurnal="evening",
+    ),
+    Persona(
+        name="office",
+        weight=3.0,
+        calls_per_hour=2.5,
+        call_seconds_mean=15.0,
+        ims_per_hour=4.0,
+        registers_per_hour=0.6,
+        diurnal="office",
+    ),
+    Persona(
+        name="call-center",
+        weight=1.0,
+        calls_per_hour=8.0,
+        call_seconds_mean=10.0,
+        call_seconds_sigma=0.4,
+        ims_per_hour=0.5,
+        registers_per_hour=1.0,
+        diurnal="office",
+    ),
+    Persona(
+        name="night-shift",
+        weight=1.0,
+        calls_per_hour=1.2,
+        call_seconds_mean=18.0,
+        ims_per_hour=2.0,
+        registers_per_hour=0.4,
+        diurnal="night",
+    ),
+)
+
+PERSONA_FIELDS: frozenset[str] = frozenset(
+    f.name for f in Persona.__dataclass_fields__.values() if f.name != "name"
+)
+
+
+def persona_catalog() -> dict[str, Persona]:
+    return {p.name: p for p in DEFAULT_PERSONAS}

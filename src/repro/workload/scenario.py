@@ -1,0 +1,497 @@
+"""Scenario spec files for the workload generator (``*.workload``).
+
+Same philosophy (and the same :class:`LintIssue` diagnostics) as
+``repro.rulespec``: a line-oriented INI dialect where every complaint
+points at its exact source line, checked by ``repro workload check``::
+
+    [workload]
+    name = ci-mixed
+    subscribers = 200
+    duration = 3600
+    start_hour = 9
+    seed = 42
+
+    [persona office]
+    weight = 4
+    calls_per_hour = 2.0
+
+    [attack bye]
+    count = 3
+    spacing = 12
+
+Sections:
+
+* ``[workload]`` — exactly one; population size, sim duration (seconds),
+  clock start hour, default seed, default ``media_pps``, and an optional
+  ``attack_ratio`` (attack sessions per benign session) that resolves
+  ``count = auto`` attack sections.
+* ``[persona NAME]`` — reweights/overrides a built-in persona, or (for a
+  new NAME) derives a fresh one from the defaults.  Keys are the
+  :class:`~repro.workload.personas.Persona` fields.
+* ``[attack KIND]`` — how many instances of one attack kind to inject
+  and the minimum spacing between same-kind injections (rule cooldowns
+  are per-session-or-global, so injections of one kind must not overlap
+  a cooldown window — the default spacing stays clear of all of them).
+
+``parse_scenario`` returns ``(spec_or_None, issues)``; the spec is only
+built when no error-severity issue exists, but the whole file is always
+linted.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+
+from repro.rulespec.parser import LintIssue
+from repro.workload.labels import ATTACK_KINDS, PAPER_ATTACKS
+from repro.workload.personas import (
+    DEFAULT_PERSONAS,
+    DIURNAL_PROFILES,
+    PERSONA_FIELDS,
+    Persona,
+    persona_catalog,
+)
+
+_SECTION_RE = re.compile(r"^\[\s*(workload|persona|attack)\s*([^\]]*)\]\s*$")
+_NAME_RE = re.compile(r"^[A-Za-z][A-Za-z0-9_-]*$")
+
+_WORKLOAD_KEYS = frozenset(
+    {
+        "name",
+        "subscribers",
+        "duration",
+        "start_hour",
+        "seed",
+        "media_pps",
+        "attack_ratio",
+    }
+)
+_ATTACK_KEYS = frozenset({"count", "spacing"})
+
+# Spacing must clear the widest per-kind alert cooldown/threshold window
+# (RTP-003 shares a global 5 s cooldown; DOS-001 counts over 10 s).
+DEFAULT_ATTACK_SPACING = 12.0
+
+
+class ScenarioError(ValueError):
+    """A scenario failed to parse; carries the full issue list."""
+
+    def __init__(self, issues: list[LintIssue]) -> None:
+        self.issues = issues
+        super().__init__("\n".join(str(issue) for issue in issues))
+
+
+@dataclass(frozen=True, slots=True)
+class AttackMix:
+    """One attack kind's share of the scenario."""
+
+    kind: str
+    count: int  # -1 = auto (resolved from attack_ratio)
+    spacing: float = DEFAULT_ATTACK_SPACING
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioSpec:
+    """A fully validated workload scenario."""
+
+    name: str = "default"
+    subscribers: int = 200
+    duration: float = 3600.0
+    start_hour: float = 9.0
+    seed: int = 42
+    media_pps: float = 5.0
+    attack_ratio: float | None = None
+    personas: tuple[Persona, ...] = DEFAULT_PERSONAS
+    attacks: tuple[AttackMix, ...] = tuple(
+        AttackMix(kind=kind, count=-1) for kind in PAPER_ATTACKS
+    )
+    source_path: str = ""
+
+    def with_overrides(self, **overrides) -> "ScenarioSpec":
+        return replace(self, **overrides)
+
+
+DEFAULT_SCENARIO = ScenarioSpec()
+
+
+@dataclass(slots=True)
+class _Section:
+    kind: str
+    ident: str
+    line: int
+    entries: dict[str, tuple[str, int]] = field(default_factory=dict)
+
+
+def _split_sections(text: str, issues: list[LintIssue]) -> list[_Section]:
+    sections: list[_Section] = []
+    current: _Section | None = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#") or line.startswith(";"):
+            continue
+        if line.startswith("["):
+            header = _SECTION_RE.match(line)
+            if header is None:
+                issues.append(
+                    LintIssue(
+                        lineno,
+                        "bad-section",
+                        f"malformed section header {line!r} (expected "
+                        "[workload], [persona NAME] or [attack KIND])",
+                    )
+                )
+                current = None
+                continue
+            kind, ident = header.group(1), header.group(2).strip()
+            if kind == "workload" and ident:
+                issues.append(
+                    LintIssue(lineno, "bad-section", "[workload] takes no identifier")
+                )
+            if kind in ("persona", "attack") and not ident:
+                issues.append(
+                    LintIssue(lineno, "bad-section", f"[{kind}] needs a name")
+                )
+            current = _Section(kind=kind, ident=ident, line=lineno)
+            sections.append(current)
+            continue
+        key, eq, value = line.partition("=")
+        if not eq:
+            issues.append(
+                LintIssue(lineno, "bad-line", f"expected key = value, got {line!r}")
+            )
+            continue
+        if current is None:
+            issues.append(
+                LintIssue(lineno, "orphan-key", "key outside any section")
+            )
+            continue
+        key = key.strip()
+        if key in current.entries:
+            issues.append(
+                LintIssue(
+                    lineno,
+                    "duplicate-key",
+                    f"duplicate key {key!r} (first at line "
+                    f"{current.entries[key][1]})",
+                )
+            )
+            continue
+        current.entries[key] = (value.strip(), lineno)
+    return sections
+
+
+def _want_float(
+    section: _Section,
+    key: str,
+    issues: list[LintIssue],
+    minimum: float | None = None,
+    maximum: float | None = None,
+) -> float | None:
+    entry = section.entries.get(key)
+    if entry is None:
+        return None
+    value, lineno = entry
+    try:
+        parsed = float(value)
+    except ValueError:
+        issues.append(
+            LintIssue(lineno, "bad-value", f"{key} must be a number, got {value!r}")
+        )
+        return None
+    if minimum is not None and parsed < minimum:
+        issues.append(
+            LintIssue(lineno, "bad-value", f"{key} must be >= {minimum}, got {parsed}")
+        )
+        return None
+    if maximum is not None and parsed > maximum:
+        issues.append(
+            LintIssue(lineno, "bad-value", f"{key} must be <= {maximum}, got {parsed}")
+        )
+        return None
+    return parsed
+
+
+def _want_int(
+    section: _Section, key: str, issues: list[LintIssue], minimum: int | None = None
+) -> int | None:
+    entry = section.entries.get(key)
+    if entry is None:
+        return None
+    value, lineno = entry
+    try:
+        parsed = int(value)
+    except ValueError:
+        issues.append(
+            LintIssue(
+                lineno, "bad-value", f"{key} must be an integer, got {value!r}"
+            )
+        )
+        return None
+    if minimum is not None and parsed < minimum:
+        issues.append(
+            LintIssue(lineno, "bad-value", f"{key} must be >= {minimum}, got {parsed}")
+        )
+        return None
+    return parsed
+
+
+def _check_keys(
+    section: _Section, allowed: frozenset[str], issues: list[LintIssue]
+) -> None:
+    for key, (_, lineno) in section.entries.items():
+        if key not in allowed:
+            issues.append(
+                LintIssue(
+                    lineno,
+                    "unknown-key",
+                    f"unknown key {key!r} in [{section.kind}] "
+                    f"(allowed: {', '.join(sorted(allowed))})",
+                )
+            )
+
+
+def _parse_persona(
+    section: _Section, issues: list[LintIssue]
+) -> Persona | None:
+    name = section.ident
+    if not _NAME_RE.match(name):
+        issues.append(
+            LintIssue(section.line, "bad-name", f"invalid persona name {name!r}")
+        )
+        return None
+    _check_keys(section, frozenset(PERSONA_FIELDS), issues)
+    base = persona_catalog().get(name, Persona(name=name))
+    overrides: dict = {}
+    for key, (value, lineno) in section.entries.items():
+        if key not in PERSONA_FIELDS:
+            continue
+        if key == "diurnal":
+            if value not in DIURNAL_PROFILES:
+                issues.append(
+                    LintIssue(
+                        lineno,
+                        "bad-value",
+                        f"unknown diurnal profile {value!r} "
+                        f"(have: {', '.join(sorted(DIURNAL_PROFILES))})",
+                    )
+                )
+                continue
+            overrides[key] = value
+        elif key == "auth_churn":
+            lowered = value.lower()
+            if lowered not in ("true", "false", "yes", "no", "1", "0"):
+                issues.append(
+                    LintIssue(
+                        lineno, "bad-value", f"{key} must be a boolean, got {value!r}"
+                    )
+                )
+                continue
+            overrides[key] = lowered in ("true", "yes", "1")
+        else:
+            try:
+                parsed = float(value)
+            except ValueError:
+                issues.append(
+                    LintIssue(
+                        lineno, "bad-value", f"{key} must be a number, got {value!r}"
+                    )
+                )
+                continue
+            if parsed < 0:
+                issues.append(
+                    LintIssue(lineno, "bad-value", f"{key} must be >= 0, got {parsed}")
+                )
+                continue
+            overrides[key] = parsed
+    return base.with_overrides(**overrides)
+
+
+def _parse_attack(section: _Section, issues: list[LintIssue]) -> AttackMix | None:
+    kind = section.ident
+    if kind not in ATTACK_KINDS:
+        issues.append(
+            LintIssue(
+                section.line,
+                "unknown-attack",
+                f"unknown attack kind {kind!r} (have: {', '.join(ATTACK_KINDS)})",
+            )
+        )
+        return None
+    _check_keys(section, _ATTACK_KEYS, issues)
+    count_entry = section.entries.get("count")
+    count = -1
+    if count_entry is not None:
+        value, lineno = count_entry
+        if value != "auto":
+            try:
+                count = int(value)
+            except ValueError:
+                issues.append(
+                    LintIssue(
+                        lineno,
+                        "bad-value",
+                        f"count must be an integer or 'auto', got {value!r}",
+                    )
+                )
+                return None
+            if count < 0:
+                issues.append(
+                    LintIssue(lineno, "bad-value", f"count must be >= 0, got {count}")
+                )
+                return None
+    spacing = _want_float(section, "spacing", issues, minimum=1.0)
+    return AttackMix(
+        kind=kind,
+        count=count,
+        spacing=spacing if spacing is not None else DEFAULT_ATTACK_SPACING,
+    )
+
+
+def parse_scenario(
+    text: str, path: str = "<string>"
+) -> tuple[ScenarioSpec | None, list[LintIssue]]:
+    """Parse + lint; the spec is only built when no error was found."""
+    issues: list[LintIssue] = []
+    sections = _split_sections(text, issues)
+    workload_sections = [s for s in sections if s.kind == "workload"]
+    if not workload_sections:
+        issues.append(LintIssue(1, "missing-section", "no [workload] section"))
+    elif len(workload_sections) > 1:
+        for extra in workload_sections[1:]:
+            issues.append(
+                LintIssue(
+                    extra.line,
+                    "duplicate-section",
+                    f"duplicate [workload] (first at line {workload_sections[0].line})",
+                )
+            )
+
+    name = "default"
+    subscribers = duration = start_hour = seed = media_pps = attack_ratio = None
+    if workload_sections:
+        section = workload_sections[0]
+        _check_keys(section, _WORKLOAD_KEYS, issues)
+        name_entry = section.entries.get("name")
+        if name_entry is not None:
+            name = name_entry[0]
+            if not _NAME_RE.match(name):
+                issues.append(
+                    LintIssue(
+                        name_entry[1], "bad-name", f"invalid scenario name {name!r}"
+                    )
+                )
+        subscribers = _want_int(section, "subscribers", issues, minimum=2)
+        duration = _want_float(section, "duration", issues, minimum=1.0)
+        start_hour = _want_float(
+            section, "start_hour", issues, minimum=0.0, maximum=24.0
+        )
+        seed = _want_int(section, "seed", issues, minimum=0)
+        media_pps = _want_float(section, "media_pps", issues, minimum=1.0)
+        attack_ratio = _want_float(
+            section, "attack_ratio", issues, minimum=0.0, maximum=1.0
+        )
+
+    personas: dict[str, Persona] = {p.name: p for p in DEFAULT_PERSONAS}
+    seen_personas: dict[str, int] = {}
+    # Personas that set media_pps themselves win over the [workload]
+    # default; everyone else inherits it.
+    explicit_media: set[str] = set()
+    for section in sections:
+        if section.kind != "persona":
+            continue
+        if "media_pps" in section.entries:
+            explicit_media.add(section.ident)
+        if section.ident in seen_personas:
+            issues.append(
+                LintIssue(
+                    section.line,
+                    "duplicate-section",
+                    f"duplicate [persona {section.ident}] "
+                    f"(first at line {seen_personas[section.ident]})",
+                )
+            )
+            continue
+        seen_personas[section.ident] = section.line
+        persona = _parse_persona(section, issues)
+        if persona is not None:
+            personas[persona.name] = persona
+
+    attacks: dict[str, AttackMix] = {}
+    seen_attacks: dict[str, int] = {}
+    for section in sections:
+        if section.kind != "attack":
+            continue
+        if section.ident in seen_attacks:
+            issues.append(
+                LintIssue(
+                    section.line,
+                    "duplicate-section",
+                    f"duplicate [attack {section.ident}] "
+                    f"(first at line {seen_attacks[section.ident]})",
+                )
+            )
+            continue
+        seen_attacks[section.ident] = section.line
+        mix = _parse_attack(section, issues)
+        if mix is not None:
+            attacks[mix.kind] = mix
+
+    if any(issue.severity == "error" for issue in issues):
+        return None, [replace(issue, path=path) for issue in issues]
+
+    if media_pps is not None:
+        personas = {
+            pname: (
+                p
+                if pname in explicit_media
+                else p.with_overrides(media_pps=media_pps)
+            )
+            for pname, p in personas.items()
+        }
+    persona_tuple = tuple(personas.values())
+    if all(p.weight <= 0 for p in persona_tuple):
+        issues.append(
+            LintIssue(1, "no-personas", "every persona has zero weight")
+        )
+        return None, [replace(issue, path=path) for issue in issues]
+
+    spec = DEFAULT_SCENARIO.with_overrides(
+        name=name,
+        personas=persona_tuple,
+        source_path=path,
+        **{
+            key: value
+            for key, value in (
+                ("subscribers", subscribers),
+                ("duration", duration),
+                ("start_hour", start_hour),
+                ("seed", seed),
+                ("media_pps", media_pps),
+                ("attack_ratio", attack_ratio),
+            )
+            if value is not None
+        },
+    )
+    if attacks:
+        spec = spec.with_overrides(attacks=tuple(attacks.values()))
+    return spec, [replace(issue, path=path) for issue in issues]
+
+
+def lint_text(text: str, path: str = "<string>") -> list[LintIssue]:
+    return parse_scenario(text, path)[1]
+
+
+def lint_path(path: str) -> list[LintIssue]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return lint_text(handle.read(), path)
+
+
+def load_scenario(path: str) -> ScenarioSpec:
+    """Parse a scenario file; raise :class:`ScenarioError` on any error."""
+    with open(path, "r", encoding="utf-8") as handle:
+        spec, issues = parse_scenario(handle.read(), path)
+    errors = [issue for issue in issues if issue.severity == "error"]
+    if spec is None or errors:
+        raise ScenarioError(errors or issues)
+    return spec

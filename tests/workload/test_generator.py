@@ -1,0 +1,77 @@
+"""Generator invariants: seed determinism, label bookkeeping, stats.
+
+The seed contract is the whole point of the CI quality gate — the
+committed baseline only means something if the same spec + seed always
+produces the byte-identical trace and the identical label table.
+"""
+
+from __future__ import annotations
+
+from repro.workload import (
+    ATTACK_KINDS,
+    generate_workload,
+    trace_digest,
+)
+
+from .conftest import SMALL_SPEC
+
+
+def test_seed_determinism_byte_identical(small_workload):
+    again = generate_workload(SMALL_SPEC)
+    assert trace_digest(again.trace) == trace_digest(small_workload.trace)
+    assert again.truth.digest() == small_workload.truth.digest()
+
+
+def test_different_seed_different_trace(small_workload):
+    other = generate_workload(SMALL_SPEC, seed=SMALL_SPEC.seed + 1)
+    assert trace_digest(other.trace) != trace_digest(small_workload.trace)
+
+
+def test_seed_override_beats_spec_seed():
+    a = generate_workload(SMALL_SPEC.with_overrides(seed=7), seed=99)
+    b = generate_workload(SMALL_SPEC.with_overrides(seed=8), seed=99)
+    assert trace_digest(a.trace) == trace_digest(b.trace)
+    assert a.truth.seed == 99
+
+
+def test_frame_labels_parallel_to_records(small_workload):
+    trace, truth = small_workload.trace, small_workload.truth
+    assert len(truth.frame_labels) == len(trace)
+    by_id = {label.label_id: label for label in truth.labels}
+    assert set(truth.frame_labels) <= set(by_id)
+    # Every labeled frame falls inside its session's time window.
+    for record, label_id in zip(trace, truth.frame_labels):
+        label = by_id[label_id]
+        assert label.start <= record.timestamp <= label.end
+
+
+def test_every_attack_kind_labeled_once(small_workload):
+    counts = small_workload.truth.attack_counts()
+    assert counts == {kind: 1 for kind in ATTACK_KINDS}
+    for label in small_workload.truth.attacks():
+        assert label.expected_rules, label.kind
+        assert set(label.expected_rules) <= set(label.accept_rules)
+        assert label.injection_time is not None
+        assert label.deadline is not None and label.deadline > label.injection_time
+        assert label.attacker
+
+
+def test_timestamps_monotonic(small_workload):
+    times = [record.timestamp for record in small_workload.trace]
+    assert times == sorted(times)
+    assert times[0] >= 0.0
+
+
+def test_truth_json_roundtrip(small_workload):
+    truth = small_workload.truth
+    from repro.workload.labels import GroundTruth
+
+    clone = GroundTruth.from_dict(truth.as_dict())
+    assert clone.digest() == truth.digest()
+
+
+def test_stats_reflect_trace(small_workload):
+    stats = small_workload.stats
+    assert stats.frames == len(small_workload.trace)
+    assert stats.subscribers == SMALL_SPEC.subscribers
+    assert stats.wire_bytes == small_workload.trace.total_bytes

@@ -1,0 +1,81 @@
+"""Label integrity, closed through the forensics plane.
+
+A detection is only as trustworthy as its evidence: for every attack
+the engine flags, the alert's provenance graph must cite at least one
+frame the generator actually labeled as that attack.  ``frame_no`` in a
+provenance frame is the engine's 1-based frame counter, and the engine
+consumes the trace in record order, so ``frame_no - 1`` indexes both
+``trace.records`` and the ground truth's ``frame_labels`` table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import ScidiveEngine
+from repro.experiments.quality import _in_window, _session_matches
+
+
+@pytest.fixture(scope="module")
+def forensic_alerts(small_workload):
+    engine = ScidiveEngine(vantage_ip=None, forensics=True)
+    engine.process_trace(small_workload.trace)
+    return list(engine.alerts)
+
+
+def test_every_alert_carries_provenance(forensic_alerts):
+    assert forensic_alerts
+    for alert in forensic_alerts:
+        assert alert.provenance is not None, alert
+        assert alert.provenance.frames, alert
+
+
+def test_provenance_frame_numbers_index_the_trace(
+    small_workload, forensic_alerts
+):
+    records = small_workload.trace.records
+    for alert in forensic_alerts:
+        for frame in alert.provenance.frames:
+            index = frame["frame_no"] - 1
+            assert 0 <= index < len(records), frame
+            assert frame["timestamp"] == pytest.approx(
+                records[index].timestamp
+            )
+            assert frame["bytes"] == len(records[index].frame)
+
+
+def test_attack_evidence_cites_ground_truth_frames(
+    small_workload, forensic_alerts
+):
+    truth = small_workload.truth
+    for label in truth.attacks():
+        attributed = [
+            alert
+            for alert in forensic_alerts
+            if alert.rule_id in label.accept_rules
+            and _in_window(alert, label)
+            and _session_matches(alert.session, label.session)
+        ]
+        assert attributed, f"no alert attributed to {label.kind}"
+        cited = {
+            frame["frame_no"] - 1
+            for alert in attributed
+            for frame in alert.provenance.frames
+        }
+        labeled = {
+            truth.frame_labels[index]
+            for index in cited
+            if 0 <= index < len(truth.frame_labels)
+        }
+        assert label.label_id in labeled, (
+            f"{label.kind}: evidence frames {sorted(cited)} never touch "
+            f"label {label.label_id}"
+        )
+
+
+def test_derived_detection_delay_is_causal(forensic_alerts):
+    for alert in forensic_alerts:
+        delay = alert.provenance.detection_delay
+        # Alert time equals the triggering frame's timestamp for instant
+        # rules, so allow float-add noise around zero.
+        assert delay is not None and delay >= -1e-6

@@ -1,0 +1,131 @@
+"""Scenario-spec parsing and lint: good specs load, bad specs are
+rejected with line-anchored issues, and the shipped CI/nightly specs
+stay lint-clean.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.workload import (
+    ScenarioError,
+    lint_path,
+    lint_text,
+    load_scenario,
+    parse_scenario,
+)
+
+GOOD = """\
+[workload]
+name = unit-test
+subscribers = 50
+duration = 1200
+start_hour = 8.5
+seed = 9
+media_pps = 4
+
+[persona chatty]
+calls_per_hour = 3
+ims_per_hour = 6
+
+[attack bye]
+count = 2
+
+[attack rtp]
+count = auto
+spacing = 30
+"""
+
+
+def codes(issues):
+    return [issue.code for issue in issues]
+
+
+def test_good_spec_parses_clean():
+    spec, issues = parse_scenario(GOOD)
+    assert issues == []
+    assert spec is not None
+    assert spec.name == "unit-test"
+    assert spec.subscribers == 50
+    assert spec.duration == 1200.0
+    assert spec.start_hour == 8.5
+    assert spec.seed == 9
+    mixes = {mix.kind: mix for mix in spec.attacks}
+    assert set(mixes) == {"bye", "rtp"}
+    assert mixes["bye"].count == 2
+    assert mixes["rtp"].count == -1  # auto
+    assert mixes["rtp"].spacing == 30.0
+
+
+def test_media_pps_default_flows_into_personas():
+    spec, _ = parse_scenario(GOOD)
+    assert spec is not None
+    assert all(p.media_pps == 4.0 for p in spec.personas)
+
+
+def test_persona_explicit_media_pps_wins():
+    text = GOOD + "\n[persona media-heavy]\nmedia_pps = 25\nweight = 1\n"
+    spec, issues = parse_scenario(text)
+    assert not issues and spec is not None
+    by_name = {p.name: p for p in spec.personas}
+    assert by_name["media-heavy"].media_pps == 25.0
+    assert by_name["chatty"].media_pps == 4.0
+
+
+def test_duplicate_key_is_line_anchored():
+    text = "[workload]\nsubscribers = 10\nsubscribers = 20\n"
+    issues = lint_text(text)
+    dup = [issue for issue in issues if issue.code == "duplicate-key"]
+    assert dup and dup[0].line == 3
+    assert "first at line 2" in dup[0].message
+    # Errors block spec construction entirely.
+    spec, _ = parse_scenario(text)
+    assert spec is None
+
+
+def test_bad_values_rejected():
+    text = (
+        "[workload]\n"
+        "subscribers = one\n"
+        "duration = -5\n"
+        "start_hour = 99\n"
+        "attack_ratio = 2\n"
+    )
+    issues = lint_text(text)
+    assert codes(issues).count("bad-value") == 4
+    spec, _ = parse_scenario(text)
+    assert spec is None
+
+
+def test_unknown_keys_and_sections():
+    issues = lint_text("[workload]\nfrobnicate = 1\n[attack teleport]\n")
+    assert "unknown-key" in codes(issues)
+    assert "unknown-attack" in codes(issues)
+
+
+def test_missing_workload_section():
+    issues = lint_text("[persona chatty]\ncalls_per_hour = 1\n")
+    assert "missing-section" in codes(issues)
+
+
+def test_orphan_key_and_bad_line():
+    issues = lint_text("stray = 1\n[workload]\nnot a key value line\n")
+    assert "orphan-key" in codes(issues)
+    assert "bad-line" in codes(issues)
+
+
+def test_load_scenario_raises_with_issue_list(tmp_path):
+    bad = tmp_path / "bad.workload"
+    bad.write_text("[workload]\nsubscribers = 1\n")
+    with pytest.raises(ScenarioError) as err:
+        load_scenario(str(bad))
+    assert err.value.issues
+    assert "subscribers" in str(err.value)
+
+
+def test_shipped_specs_lint_clean():
+    root = Path(__file__).resolve().parents[2]
+    for name in ("ci.workload", "nightly.workload"):
+        assert lint_path(str(root / "workloads" / name)) == [], name
