@@ -1058,8 +1058,10 @@ def _cmd_workload_check(args: argparse.Namespace) -> int:
                 paths.extend(found)
             else:
                 missing.append(f"{target}: no .workload files found")
-        else:
+        elif path.is_file():
             paths.append(str(path))
+        else:
+            missing.append(f"{target}: no such file or directory")
     for complaint in missing:
         print(complaint, file=sys.stderr)
     if not paths:

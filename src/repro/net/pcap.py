@@ -27,6 +27,27 @@ class PcapError(ValueError):
     """Raised on malformed pcap input."""
 
 
+def split_timestamp(timestamp: float) -> tuple[int, int]:
+    """The ``(seconds, microseconds)`` pair a pcap record stores."""
+    seconds = int(timestamp)
+    micros = int(round((timestamp - seconds) * 1_000_000))
+    if micros >= 1_000_000:
+        seconds += 1
+        micros -= 1_000_000
+    return seconds, micros
+
+
+def quantize_timestamp(timestamp: float) -> float:
+    """Round ``timestamp`` to what a pcap write/read round-trip yields.
+
+    Anything derived from a timestamp before writing (ground-truth
+    labels, digests) must quantize through here first, or it will
+    disagree with the same computation on the read-back trace.
+    """
+    seconds, micros = split_timestamp(timestamp)
+    return seconds + micros / 1_000_000
+
+
 def write_pcap(path: str | Path, trace: Trace, snaplen: int = 65535) -> None:
     """Write ``trace`` to ``path`` in little-endian pcap format."""
     with open(path, "wb") as fh:
@@ -36,11 +57,7 @@ def write_pcap(path: str | Path, trace: Trace, snaplen: int = 65535) -> None:
 def _write_stream(fh: BinaryIO, trace: Trace, snaplen: int) -> None:
     fh.write(_GLOBAL_HEADER.pack(PCAP_MAGIC, 2, 4, 0, 0, snaplen, LINKTYPE_ETHERNET))
     for record in trace:
-        seconds = int(record.timestamp)
-        micros = int(round((record.timestamp - seconds) * 1_000_000))
-        if micros >= 1_000_000:
-            seconds += 1
-            micros -= 1_000_000
+        seconds, micros = split_timestamp(record.timestamp)
         data = record.frame[:snaplen]
         fh.write(_RECORD_HEADER.pack(seconds, micros, len(data), len(record.frame)))
         fh.write(data)

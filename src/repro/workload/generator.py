@@ -21,6 +21,7 @@ import struct
 from dataclasses import dataclass, field
 from random import Random
 
+from repro.net.pcap import quantize_timestamp, split_timestamp
 from repro.sim.trace import Trace
 from repro.workload.forge import FrameForge, Subscriber, TimedFrame
 from repro.workload.labels import (
@@ -64,6 +65,7 @@ class WorkloadStats:
     benign_sessions: dict[str, int] = field(default_factory=dict)
     attack_sessions: dict[str, int] = field(default_factory=dict)
     personas: dict[str, int] = field(default_factory=dict)
+    underdelivered: dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
@@ -74,6 +76,7 @@ class WorkloadStats:
             "benign_sessions": dict(self.benign_sessions),
             "attack_sessions": dict(self.attack_sessions),
             "personas": dict(self.personas),
+            "underdelivered": dict(self.underdelivered),
         }
 
 
@@ -221,6 +224,8 @@ class WorkloadGenerator:
     ) -> None:
         if not frames:
             return
+        for frame in frames:
+            frame.time = quantize_timestamp(frame.time)
         label_id = len(self.truth.labels)
         self.truth.add(
             SessionLabel(
@@ -264,14 +269,38 @@ class WorkloadGenerator:
             return resolved
         return [(m.kind, m.count, m.spacing) for m in mixes]
 
-    def _injection_times(self, count: int, spacing: float) -> list[float]:
+    def _injection_times(
+        self, count: int, spacing: float, deadline: float
+    ) -> list[float]:
+        """``count`` injection times in the usable window, min ``spacing``
+        apart.
+
+        Pinned counts are a contract: the schedule always delivers all
+        ``count`` times.  The window's upper edge leaves room for the
+        detection deadline, and when the window cannot hold ``count``
+        injections at the requested spacing the schedule falls back to an
+        even spread (spacing shrinks; the count does not).
+        """
+        if count <= 0:
+            return []
         lo = _EDGE_MARGIN
-        hi = max(lo + 1.0, self.spec.duration - _EDGE_MARGIN)
-        times = sorted(lo + self.rng.random() * (hi - lo) for _ in range(count))
-        for i in range(1, len(times)):
+        hi = max(lo + 1.0, self.spec.duration - max(_EDGE_MARGIN, deadline))
+        span = hi - lo
+        if (count - 1) * spacing > span:
+            step = span / count
+            return [lo + step * (i + 0.5) for i in range(count)]
+        times = sorted(lo + self.rng.random() * span for _ in range(count))
+        for i in range(1, count):
             if times[i] - times[i - 1] < spacing:
                 times[i] = times[i - 1] + spacing
-        return [t for t in times if t <= hi]
+        # The fix-up only ever pushes times later; pull any overflow back
+        # from the tail, preserving spacing (feasible by the check above).
+        if times[-1] > hi:
+            times[-1] = hi
+            for i in range(count - 2, -1, -1):
+                if times[i + 1] - times[i] < spacing:
+                    times[i] = times[i + 1] - spacing
+        return times
 
     def _next_attacker(self) -> Subscriber:
         self._attacker_serial += 1
@@ -284,15 +313,23 @@ class WorkloadGenerator:
 
     def _schedule_attacks(self) -> None:
         for kind, count, spacing in self._resolve_attack_counts():
+            deadline = ATTACK_DEADLINES[kind]
             injected = 0
-            for when in self._injection_times(count, spacing):
-                if when + ATTACK_DEADLINES[kind] > self.spec.duration:
+            for when in self._injection_times(count, spacing, deadline):
+                if when + deadline > self.spec.duration:
+                    # Only reachable when the duration is shorter than the
+                    # edge margins themselves; surfaced via stats rather
+                    # than silently shrinking the requested count.
                     continue
                 self._inject(kind, when)
                 injected += 1
             if injected:
                 self.stats.attack_sessions[kind] = (
                     self.stats.attack_sessions.get(kind, 0) + injected
+                )
+            if injected < count:
+                self.stats.underdelivered[kind] = (
+                    self.stats.underdelivered.get(kind, 0) + count - injected
                 )
 
     def _inject(self, kind: str, when: float) -> None:
@@ -368,6 +405,12 @@ class WorkloadGenerator:
         else:  # pragma: no cover - guarded by scenario lint
             raise ValueError(f"unknown attack kind: {kind}")
         expected, accept = ATTACK_RULES[kind]
+        # Label times live on the pcap microsecond grid, like the frames:
+        # an alert fired on the injection frame of a round-tripped trace
+        # must not fall a sub-microsecond ahead of the label's window.
+        for frame in frames:
+            frame.time = quantize_timestamp(frame.time)
+        injection = quantize_timestamp(injection)
         label_id = len(self.truth.labels)
         self.truth.add(
             SessionLabel(
@@ -411,12 +454,13 @@ def generate_workload(spec: ScenarioSpec, seed: int | None = None) -> WorkloadRe
 def trace_digest(trace: Trace) -> str:
     """Content hash of a trace at pcap resolution.
 
-    Timestamps are truncated to microseconds — exactly what a pcap
-    round-trip preserves — so the digest of a generated trace equals the
+    Timestamps hash as the exact ``(seconds, microseconds)`` pair the
+    pcap writer stores, so the digest of a generated trace equals the
     digest of the same trace written to disk and read back.
     """
     h = hashlib.sha256()
     for record in trace:
-        h.update(struct.pack("<qI", int(record.timestamp * 1e6), len(record.frame)))
+        seconds, micros = split_timestamp(record.timestamp)
+        h.update(struct.pack("<qII", seconds, micros, len(record.frame)))
         h.update(record.frame)
     return h.hexdigest()

@@ -75,3 +75,49 @@ def test_stats_reflect_trace(small_workload):
     assert stats.frames == len(small_workload.trace)
     assert stats.subscribers == SMALL_SPEC.subscribers
     assert stats.wire_bytes == small_workload.trace.total_bytes
+    assert stats.underdelivered == {}
+
+
+def test_trace_digest_survives_pcap_roundtrip(small_workload, tmp_path):
+    from repro.net.pcap import read_pcap, write_pcap
+
+    path = tmp_path / "trace.pcap"
+    write_pcap(path, small_workload.trace)
+    assert trace_digest(read_pcap(path)) == trace_digest(small_workload.trace)
+
+
+def test_pinned_counts_fully_delivered():
+    # A pinned count is a contract even when count * spacing overflows
+    # the usable window: spacing shrinks, the count does not, and
+    # nothing is silently dropped past the deadline-adjusted edge.
+    from repro.workload import AttackMix
+
+    spec = SMALL_SPEC.with_overrides(
+        name="test-tight",
+        duration=300.0,
+        attacks=(AttackMix(kind="bye", count=10, spacing=60.0),),
+    )
+    result = generate_workload(spec)
+    assert result.truth.attack_counts() == {"bye": 10}
+    assert result.stats.attack_sessions == {"bye": 10}
+    assert result.stats.underdelivered == {}
+    for label in result.truth.attacks():
+        assert label.deadline is not None
+        assert label.deadline <= spec.duration
+
+
+def test_spaced_counts_keep_requested_spacing():
+    from repro.workload import AttackMix
+
+    spec = SMALL_SPEC.with_overrides(
+        name="test-spaced",
+        duration=600.0,
+        attacks=(AttackMix(kind="fake-im", count=8, spacing=12.0),),
+    )
+    result = generate_workload(spec)
+    assert result.truth.attack_counts() == {"fake-im": 8}
+    times = sorted(
+        label.injection_time for label in result.truth.attacks()
+    )
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert all(gap >= 12.0 - 1e-6 for gap in gaps), gaps

@@ -74,3 +74,30 @@ def test_engine_false_alarm_rate_low(small_workload):
     # Benign churn must stay quiet: alerts not attributed to any attack
     # window are false alarms, and there should be none on this trace.
     assert quality.false_alarms == []
+
+
+def test_pcap_roundtrip_scores_identically(small_workload, tmp_path):
+    # `repro workload report` reads the trace back from trace.pcap; the
+    # pcap's microsecond timestamps must score exactly like the
+    # in-memory trace (labels are quantized to the same grid at
+    # generation), or alerts on the injection frame fall a fraction of
+    # a microsecond outside the detection window and flip to misses.
+    from repro.net.pcap import read_pcap, write_pcap
+
+    path = tmp_path / "trace.pcap"
+    write_pcap(path, small_workload.trace)
+    reread = read_pcap(path)
+    assert [r.timestamp for r in reread] == [
+        r.timestamp for r in small_workload.trace
+    ]
+    direct = evaluate_alerts(
+        "engine", run_engine_alerts(small_workload.trace)[0], small_workload.truth
+    )
+    rescored = evaluate_alerts(
+        "engine", run_engine_alerts(reread)[0], small_workload.truth
+    )
+    assert rescored.missed == 0
+    assert rescored.false_alarms == direct.false_alarms == []
+    assert [o.as_dict() for o in rescored.outcomes] == [
+        o.as_dict() for o in direct.outcomes
+    ]

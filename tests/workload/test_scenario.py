@@ -129,3 +129,28 @@ def test_shipped_specs_lint_clean():
     root = Path(__file__).resolve().parents[2]
     for name in ("ci.workload", "nightly.workload"):
         assert lint_path(str(root / "workloads" / name)) == [], name
+
+
+def test_cli_check_missing_file_is_diagnosed(tmp_path, capsys):
+    # A nonexistent spec path must fail with a diagnostic, not a
+    # FileNotFoundError traceback out of lint_path.
+    from repro.cli import main
+
+    missing = tmp_path / "nope.workload"
+    rc = main(["workload", "check", str(missing)])
+    captured = capsys.readouterr()
+    assert rc != 0
+    assert "no such file or directory" in captured.err
+
+
+def test_cli_check_missing_file_beside_good_spec(tmp_path, capsys):
+    from repro.cli import main
+
+    good = tmp_path / "good.workload"
+    good.write_text("[workload]\nname = ok\n")
+    rc = main(["workload", "check", str(good), str(tmp_path / "nope.workload")])
+    captured = capsys.readouterr()
+    # The good spec is still linted, but the missing one fails the run.
+    assert rc != 0
+    assert "no such file or directory" in captured.err
+    assert "1 spec(s) checked" in captured.out
