@@ -59,6 +59,12 @@ QUALITY_GATED_SYSTEMS = ("engine", "cluster")
 # comparison — box speed cancels out.
 DSL_RATIO_FLOOR = 0.95
 
+# Absolute floor for sampled cluster tracing (observability bench): a
+# 2-worker cluster tracing at the default 1-in-N session rate must keep
+# >= 95% of the untraced cluster's throughput.  Same-machine ratio, so
+# absolute like the DSL floor.
+CLUSTER_TRACE_RATIO_FLOOR = 0.95
+
 
 def load(path: str) -> dict:
     with open(path, encoding="utf-8") as fh:
@@ -160,6 +166,17 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
             failures.append(
                 f"DSL-compiled ruleset throughput ratio {dsl_ratio:.3f} < "
                 f"{DSL_RATIO_FLOOR:.2f} of the hand-wired indexed path"
+            )
+    if bench == "observability" and "cluster_trace_ratio" in fresh:
+        trace_ratio = float(fresh["cluster_trace_ratio"])
+        print(
+            f"observability: cluster_trace_ratio fresh={trace_ratio:.3f} "
+            f"floor={CLUSTER_TRACE_RATIO_FLOOR:.2f} (absolute)"
+        )
+        if trace_ratio < CLUSTER_TRACE_RATIO_FLOOR:
+            failures.append(
+                f"sampled cluster tracing throughput ratio {trace_ratio:.3f} "
+                f"< {CLUSTER_TRACE_RATIO_FLOOR:.2f} of the untraced cluster"
             )
     return failures
 

@@ -19,6 +19,8 @@ Usage::
     python -m repro rules show rules/scidive-core.rules
     python -m repro rules reload --pack custom.rules [--port 8080]
     python -m repro top [--port 8080] [--interval 1.0] [--once]
+    python -m repro trace <call-id|alert-id|trace-id> [--trace-file t.jsonl]
+    python -m repro profile [--scenario bye-attack] [--once] [--out hot.collapsed]
     python -m repro table1 [--seed 7]
     python -m repro modules
     python -m repro list
@@ -51,9 +53,15 @@ packs with line-anchored diagnostics (exit 1 on errors — CI runs it);
 rules; ``rules reload`` hot-swaps the pack on a *running* engine or
 cluster through its ``--serve-http`` sidecar (``POST /rules/reload``).
 
-``--trace-out`` is a single-engine feature: cluster workers run metrics without a tracer
-(per-worker spans have no merge path), so under ``--workers > 1`` the
-flag is refused with a note rather than silently dropped.
+Cluster tracing works at any worker count: under ``--workers N`` the
+router head-samples sessions by shard key (``--trace-sample``, default
+1 = every session), workers record spans gated on the propagated trace
+context, and ``--trace-out`` writes the merged time-sorted timeline.
+``repro trace <id>`` renders one call's journey (sharder → queue →
+pipeline stages → alert) from that file or a live ``/trace`` endpoint;
+``repro profile`` samples a replay's hot path into collapsed-stack
+(flamegraph-ready) form, and ``--profile-out DIR`` attaches the same
+sampler to every cluster worker.
 """
 
 from __future__ import annotations
@@ -61,6 +69,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time as _time
+from contextlib import contextmanager as _contextmanager
 from typing import Callable, Sequence
 
 from repro import obs
@@ -226,6 +235,55 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="print one plain-text snapshot and exit "
                           "(no curses; scripts and CI use this)")
 
+    trace_p = sub.add_parser(
+        "trace",
+        help="frame-journey audit: render one call's path through the "
+             "cluster (sharder → queue → pipeline stages → alert)",
+    )
+    trace_p.add_argument("id", help="trace id, SIP Call-ID, or alert id "
+                                    "(alert ids need --bundle-dir)")
+    trace_p.add_argument("--trace-file", default="trace.jsonl",
+                         help="merged span timeline written by --trace-out "
+                              "(default: trace.jsonl)")
+    trace_p.add_argument("--url", default=None,
+                         help="fetch spans from a live sidecar's /trace "
+                              "endpoint instead of --trace-file")
+    trace_p.add_argument("--host", default="127.0.0.1")
+    trace_p.add_argument("--port", type=int, default=None,
+                         help="live sidecar port (implies --url)")
+    trace_p.add_argument("--bundle-dir", default=None,
+                         help="resolve alert ids through the evidence "
+                              "bundles in this directory")
+    trace_p.add_argument("--limit", type=int, default=None,
+                         help="show at most the last N spans of the journey")
+
+    profile_p = sub.add_parser(
+        "profile",
+        help="sample a replay's hot path and write a collapsed-stack "
+             "(flamegraph-ready) profile",
+    )
+    profile_p.add_argument("--scenario", default="bye-attack",
+                           help="scenario workload to profile "
+                                "(see `repro list`; default: bye-attack)")
+    profile_p.add_argument("--pcap", default=None,
+                           help="profile a pcap replay instead of a scenario")
+    profile_p.add_argument("--vantage", default=None,
+                           help="protected endpoint IP for --pcap replays")
+    profile_p.add_argument("--seed", type=int, default=7)
+    profile_p.add_argument("--interval", type=float, default=0.005,
+                           help="sampling period in seconds (default 0.005)")
+    profile_p.add_argument("--passes", type=int, default=0,
+                           help="replay the workload exactly N times "
+                                "(default: keep replaying until ctrl-c)")
+    profile_p.add_argument("--once", action="store_true",
+                           help="replay for about one second of samples and "
+                                "exit (CI smoke mode)")
+    profile_p.add_argument("--out", default=None,
+                           help="collapsed-stack output file "
+                                "(default: <workload>.collapsed)")
+    profile_p.add_argument("--top", type=int, default=12, dest="top_n",
+                           help="rows in the hottest-frames table")
+
     table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
     table1.add_argument("--seed", type=int, default=7)
 
@@ -315,7 +373,16 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--metrics-out",
                         help="write Prometheus-text metrics to this file")
     parser.add_argument("--trace-out",
-                        help="write the per-frame span trace to this JSON-lines file")
+                        help="write the per-frame span trace to this JSON-lines "
+                             "file (with --workers N: the merged cluster "
+                             "timeline)")
+    parser.add_argument("--trace-sample", type=int, default=1, metavar="N",
+                        help="cluster tracing: sample 1-in-N sessions "
+                             "(default 1 = trace every session)")
+    parser.add_argument("--profile-out", default=None, metavar="DIR",
+                        help="attach a sampling stack profiler and write "
+                             "collapsed-stack profiles (engine.collapsed, or "
+                             "worker-N.collapsed per cluster worker) here")
 
 
 def _add_serve_flags(parser: argparse.ArgumentParser) -> None:
@@ -340,7 +407,7 @@ def _start_server(args: argparse.Namespace):
 
     server = ObsServer(port=port).start()
     print(f"observability sidecar on {server.url()} "
-          "(/metrics /metrics/history /healthz /alerts)")
+          "(/metrics /metrics/history /healthz /alerts /trace)")
     return server
 
 
@@ -381,6 +448,8 @@ def _cluster_replay(trace, args: argparse.Namespace, vantage: str | None,
         # workers and post-crash respawns compile the same policy.
         pack_fields = {"pack_text": pack.source_text,
                        "pack_path": pack.source_path}
+    trace_out = getattr(args, "trace_out", None)
+    profile_dir = getattr(args, "profile_out", None)
     cluster = ScidiveCluster(
         workers=args.workers,
         backend=args.cluster_backend,
@@ -390,6 +459,9 @@ def _cluster_replay(trace, args: argparse.Namespace, vantage: str | None,
             getattr(args, "metrics_out", None)
             or getattr(args, "serve_http", None) is not None
         ),
+        trace_enabled=bool(trace_out),
+        trace_sample_rate=max(1, getattr(args, "trace_sample", 1) or 1),
+        profile_dir=profile_dir,
         **pack_fields,
     )
     if source is not None:
@@ -404,6 +476,13 @@ def _cluster_replay(trace, args: argparse.Namespace, vantage: str | None,
           f"{len(result.alerts)} alerts, "
           f"{result.cluster.batches_submitted} batches, "
           f"{result.cluster.worker_restarts} restarts")
+    if trace_out:
+        count = obs.write_spans_jsonl(trace_out, result.trace or [])
+        dropped = result.cluster.spans_dropped
+        suffix = f" ({dropped} dropped at the span cap)" if dropped else ""
+        print(f"{count} merged spans written to {trace_out}{suffix}")
+    if profile_dir:
+        print(f"worker profiles (collapsed stacks) in {profile_dir}/")
     return result
 
 
@@ -426,10 +505,14 @@ def _run_scenario(name: str, seed: int) -> ExperimentResult | None:
     return None
 
 
-def _export_observability(ctx: obs.Observability | None, args: argparse.Namespace) -> None:
+def _export_observability(ctx: obs.Observability | None, args: argparse.Namespace,
+                          engine=None) -> None:
     if ctx is None:
         return
     if args.metrics_out:
+        pack = getattr(engine, "rulepack", None) if engine is not None else None
+        obs.set_build_info(ctx.registry, backend="engine",
+                           pack=pack.label if pack is not None else None)
         ctx.registry.write_prometheus(args.metrics_out)
         print(f"metrics written to {args.metrics_out}")
     if args.trace_out and ctx.tracer is not None:
@@ -437,10 +520,29 @@ def _export_observability(ctx: obs.Observability | None, args: argparse.Namespac
         print(f"{count} spans written to {args.trace_out}")
 
 
+@_contextmanager
+def _maybe_profile(args: argparse.Namespace, label: str):
+    """Attach a sampling profiler for the block when --profile-out was given."""
+    out_dir = getattr(args, "profile_out", None)
+    if not out_dir:
+        yield None
+        return
+    import os as _os
+
+    from repro.obs.profile import StackSampler
+
+    sampler = StackSampler().start()
+    try:
+        yield sampler
+    finally:
+        sampler.stop()
+        _os.makedirs(out_dir, exist_ok=True)
+        path = _os.path.join(out_dir, f"{label}.collapsed")
+        count = sampler.write_collapsed(path)
+        print(f"{count} profile samples written to {path}")
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
-    if args.trace_out and args.workers > 1:
-        print(_TRACE_OUT_CLUSTER_NOTE, file=sys.stderr)
-        return 2
     if args.bundle_dir:
         obs.configure_forensics(bundle_dir=args.bundle_dir)
     server = _start_server(args)
@@ -451,7 +553,11 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         if server is not None and ctx is not None:
             server.source.set_registry(ctx.registry)
         try:
-            result = _run_scenario(args.name, args.seed)
+            if args.workers <= 1:
+                with _maybe_profile(args, "engine"):
+                    result = _run_scenario(args.name, args.seed)
+            else:
+                result = _run_scenario(args.name, args.seed)
         finally:
             obs.disable()
         if result is None:
@@ -493,7 +599,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             _write_malformed(args.bundle_dir, result.engine)
             written = obs.list_bundles(args.bundle_dir)
             print(f"{len(written)} evidence bundles in {args.bundle_dir}")
-        _export_observability(ctx, args)
+        _export_observability(ctx, args, engine=result.engine)
         _linger(server, args)
         return 0
     finally:
@@ -515,20 +621,10 @@ def _write_malformed(bundle_dir: str, engine) -> None:
               f"inspect with `repro explain malformed --bundle-dir {bundle_dir}`")
 
 
-_TRACE_OUT_CLUSTER_NOTE = (
-    "--trace-out is a single-engine feature: cluster workers run metrics "
-    "without a tracer because per-worker spans have no merge path; drop "
-    "--trace-out or run with --workers 1"
-)
-
-
 def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.core.engine import ScidiveEngine
     from repro.net.pcap import read_pcap
 
-    if args.trace_out and args.workers > 1:
-        print(_TRACE_OUT_CLUSTER_NOTE, file=sys.stderr)
-        return 2
     if args.rules:
         from repro.rulespec import lint_path
 
@@ -568,7 +664,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             if ctx is not None:
                 server.source.set_registry(ctx.registry)
             server.source.set_engine(engine)
-        engine.process_trace(trace)
+        with _maybe_profile(args, "engine"):
+            engine.process_trace(trace)
         mode = "broadcast" if args.broadcast else "indexed"
         if engine.rulepack is not None:
             mode += f" dispatch, pack {engine.rulepack.label}"
@@ -585,7 +682,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             _write_malformed(args.bundle_dir, engine)
             written = obs.list_bundles(args.bundle_dir)
             print(f"{len(written)} evidence bundles in {args.bundle_dir}")
-        _export_observability(ctx, args)
+        _export_observability(ctx, args, engine=engine)
         _linger(server, args)
         return 0
     finally:
@@ -623,6 +720,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         # so scripted consumers see one schema everywhere.
         payload = ctx.registry.as_dict()
         payload["alerts"] = [alert.to_dict() for alert in result.alerts]
+        if ctx.tracer is not None:
+            payload["spans"] = len(ctx.tracer.spans)
+            payload["spans_dropped"] = ctx.tracer.dropped
         payload["rule_costs"] = engine.ruleset.rule_stats()
         payload["top_rules"] = engine.ruleset.top_cost()
         if engine.rulepack is not None:
@@ -652,6 +752,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             ["trails reclaimed", engine.expired_trails],
             ["rule evaluations skipped", engine.ruleset.dispatch_skipped],
         ]
+        if ctx.tracer is not None:
+            counter_rows.append(["spans recorded", len(ctx.tracer.spans)])
+            counter_rows.append(["spans dropped", ctx.tracer.dropped])
         if engine.rulepack is not None:
             counter_rows.append(["rule pack", engine.rulepack.label])
         print(format_table(
@@ -692,7 +795,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
              "withheld", "est. cost (ms)", "cost samples"],
             rule_rows, title="Per-rule activity",
         ))
-    _export_observability(ctx, args)
+    _export_observability(ctx, args, engine=engine)
     return 0
 
 
@@ -908,6 +1011,174 @@ def _cmd_top(args: argparse.Namespace) -> int:
         )
     except KeyboardInterrupt:
         return 0
+
+
+def _session_trace_candidates(identifier: str) -> list[str]:
+    """Trace ids a bare call id could resolve to (SIP, then accounting)."""
+    from repro.cluster.sharding import PLANE_SIGNALLING, ShardKey
+
+    return [
+        obs.session_trace_id(
+            ShardKey(PLANE_SIGNALLING, (kind, identifier)).canon()
+        )
+        for kind in ("sip", "acct")
+    ]
+
+
+def _load_trace_spans(args: argparse.Namespace) -> list[dict] | None:
+    """Span records from a merged --trace-out file or a live /trace endpoint."""
+    if args.url or args.port is not None:
+        import json as _json
+        import urllib.error
+        import urllib.request
+
+        base = (args.url or f"http://{args.host}:{args.port}").rstrip("/")
+        try:
+            with urllib.request.urlopen(
+                f"{base}/trace?limit=1000000", timeout=30.0
+            ) as response:
+                payload = _json.loads(response.read().decode("utf-8"))
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            print(f"sidecar unreachable at {base}: {exc}", file=sys.stderr)
+            return None
+        return list(payload.get("spans", ()))
+    try:
+        return obs.read_trace_jsonl(args.trace_file)
+    except FileNotFoundError:
+        print(f"no trace file at {args.trace_file}; run with --trace-out "
+              "first, or point --url/--port at a live sidecar",
+              file=sys.stderr)
+        return None
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Frame-journey audit: one call's spans, sharder to alert."""
+    records = _load_trace_spans(args)
+    if records is None:
+        return 2
+    by_trace: dict[str, int] = {}
+    for record in records:
+        tid = record.get("trace", "")
+        if tid:
+            by_trace[tid] = by_trace.get(tid, 0) + 1
+    tid = args.id if args.id in by_trace else None
+    label = args.id
+    if tid is None and args.bundle_dir:
+        try:
+            bundle = obs.load_bundle(args.bundle_dir, args.id)
+        except (FileNotFoundError, ValueError):
+            bundle = None
+        if bundle is not None:
+            session = (bundle.get("alert") or {}).get("session")
+            if session:
+                label = f"{args.id} (session {session})"
+                for candidate in _session_trace_candidates(session):
+                    if candidate in by_trace:
+                        tid = candidate
+                        break
+    if tid is None:
+        for candidate in _session_trace_candidates(args.id):
+            if candidate in by_trace:
+                tid = candidate
+                break
+    if tid is None:
+        print(f"no spans for {args.id!r}", file=sys.stderr)
+        if by_trace:
+            preview = ", ".join(sorted(by_trace)[:8])
+            print(f"{len(by_trace)} trace id(s) available: {preview}",
+                  file=sys.stderr)
+        print("hint: the id can be a trace id, a SIP/accounting call id, "
+              "or (with --bundle-dir) an alert id", file=sys.stderr)
+        return 2
+    journey = obs.sort_timeline(
+        [record for record in records if record.get("trace") == tid]
+    )
+    shown = journey[-args.limit:] if args.limit else journey
+    rows = []
+    for record in shown:
+        meta = record.get("meta") or {}
+        worker = record.get("worker", meta.get("worker", "-"))
+        detail = " ".join(
+            f"{key}={value}"
+            for key, value in sorted(meta.items())
+            if key != "worker"
+        )
+        rows.append([
+            f"{record.get('t_sim', 0.0):9.4f}",
+            record.get("span", "?"),
+            str(worker),
+            str(record.get("frame", "-")),
+            f"{float(record.get('dur_us', 0.0)):10.1f}",
+            detail or "-",
+        ])
+    print(f"trace {tid} — {label}: {len(journey)} spans"
+          + (f" (showing last {len(shown)})" if len(shown) < len(journey) else ""))
+    print(format_table(
+        ["t (s)", "stage", "worker", "frame", "dur (µs)", "detail"], rows,
+    ))
+    totals: dict[str, float] = {}
+    for record in journey:
+        stage = str(record.get("span", "?")).partition(":")[0]
+        totals[stage] = totals.get(stage, 0.0) + float(record.get("dur_us", 0.0))
+    print("per-stage time: " + "  ".join(
+        f"{stage}={totals[stage]:.1f}µs" for stage in sorted(totals)
+    ))
+    alert_spans = sum(
+        1 for record in journey
+        if str(record.get("span", "")).startswith("match")
+        and (record.get("meta") or {}).get("alerts")
+    )
+    if alert_spans:
+        print(f"{alert_spans} match span(s) raised alerts on this journey")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Sample a replay's hot path into a collapsed-stack profile."""
+    from repro.core.engine import ScidiveEngine
+    from repro.obs.profile import StackSampler, format_top
+
+    if args.pcap:
+        from repro.net.pcap import read_pcap
+
+        trace = read_pcap(args.pcap)
+        label = args.pcap.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+        vantage = args.vantage
+    else:
+        result = _run_scenario(args.scenario, args.seed)
+        if result is None:
+            print(f"unknown scenario {args.scenario!r}; try `repro list`",
+                  file=sys.stderr)
+            return 2
+        trace = result.testbed.ids_tap.trace
+        label = args.scenario
+        vantage = result.engine.vantage_ip
+    sampler = StackSampler(args.interval).start()
+    passes = 0
+    started = _time.monotonic()
+    try:
+        # --passes N replays exactly N times; --once replays until about a
+        # second of wall clock has gone by (so CI always collects samples);
+        # with neither, keep replaying until ctrl-c.
+        while True:
+            engine = ScidiveEngine(vantage_ip=vantage)
+            engine.process_trace(trace)
+            passes += 1
+            if args.passes > 0 and passes >= args.passes:
+                break
+            if args.once and _time.monotonic() - started >= 1.0:
+                break
+    except KeyboardInterrupt:
+        pass
+    finally:
+        sampler.stop()
+    out = args.out or f"{label}.collapsed"
+    count = sampler.write_collapsed(out)
+    print(f"profiled {passes} replay pass(es) of {label}: "
+          f"{count} samples at {sampler.interval * 1e3:g}ms")
+    print(format_top(sampler, args.top_n))
+    print(f"collapsed stacks written to {out}")
+    return 0
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -1152,6 +1423,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "stats": _cmd_stats,
         "rules": _cmd_rules,
         "top": _cmd_top,
+        "trace": _cmd_trace,
+        "profile": _cmd_profile,
         "table1": _cmd_table1,
         "workload": _cmd_workload,
         "modules": _cmd_modules,

@@ -82,6 +82,12 @@ from repro.cluster.sharding import PLANE_SIGNALLING, SessionSharder, shard_index
 from repro.core.alerts import Alert, Severity
 from repro.core.engine import EngineStats, ScidiveEngine
 from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import (
+    DEFAULT_TRACE_SAMPLE_RATE,
+    TraceContext,
+    Tracer,
+    sort_timeline,
+)
 from repro.resilience.checkpoint import RulePackMismatch
 from repro.rulespec import RulePack, compile_pack, lint_text, load_pack, parse_pack
 from repro.sim.trace import Trace
@@ -126,6 +132,16 @@ class ClusterConfig:
     # respawns all build engines under the *current* pack.
     pack_text: str = ""
     pack_path: str = ""
+    # Cross-process tracing: the router derives a TraceContext per shard
+    # key (head-based 1-in-N session sampling, deterministic across
+    # processes) and workers record gated spans that merge into one
+    # time-sorted timeline at stop().
+    trace_enabled: bool = False
+    trace_sample_rate: int = DEFAULT_TRACE_SAMPLE_RATE
+    trace_max_spans: int = 250_000
+    # When set, each queue-backed worker runs a sampling stack profiler
+    # and writes worker-N.collapsed (flamegraph-ready) into this dir.
+    profile_dir: str | None = None
 
     def validate(self) -> "ClusterConfig":
         if self.workers < 1:
@@ -143,6 +159,14 @@ class ClusterConfig:
         if self.checkpoint_every < 0:
             raise ClusterError(
                 f"checkpoint_every must be >= 0 (got {self.checkpoint_every})"
+            )
+        if self.trace_sample_rate < 1:
+            raise ClusterError(
+                f"trace_sample_rate must be >= 1 (got {self.trace_sample_rate})"
+            )
+        if self.trace_max_spans < 1:
+            raise ClusterError(
+                f"trace_max_spans must be >= 1 (got {self.trace_max_spans})"
             )
         if self.pack_text:
             # Fail on the router, at construction — not inside N workers.
@@ -183,19 +207,18 @@ def default_engine_factory(worker_id: int, config: ClusterConfig) -> ScidiveEngi
     """Build one worker engine.  Module-level so ``process`` workers can
     pickle it; custom factories must be importable the same way."""
     rulepack = _config_rulepack(config)
-    if config.metrics_enabled:
+    if config.metrics_enabled or config.trace_enabled:
         from repro import obs as _obs
 
-        # Metrics yes, tracer no: worker registries are merged into the
-        # ClusterResult, but spans have no merge path across the result
-        # queue — a worker-side tracer would buffer up to a million
-        # spans only to discard them at stop.  --trace-out is therefore
-        # a single-engine feature (the CLI says so when asked).
+        # With trace_enabled the worker runs a *gated* tracer: the
+        # router's TraceContext (stamped per frame from the batch wire
+        # format) decides which sessions record spans, and the worker
+        # drains them back over the result queue at batch boundaries.
         return ScidiveEngine(
             vantage_ip=config.vantage_ip,
             vantage_mac=config.vantage_mac,
             name=f"worker-{worker_id}",
-            observability=_obs.Observability.create(trace=False),
+            observability=_obs.Observability.create(trace=config.trace_enabled),
             rulepack=rulepack,
         )
     return ScidiveEngine(
@@ -212,6 +235,32 @@ def default_engine_factory(worker_id: int, config: ClusterConfig) -> ScidiveEngi
 # ---------------------------------------------------------------------------
 
 
+def _span_payload(spans, worker) -> list[dict]:
+    """Spans → plain wire dicts, stamped with the recording worker."""
+    out = []
+    for span in spans:
+        record = span.to_dict()
+        record["worker"] = worker
+        out.append(record)
+    return out
+
+
+def _engine_tracer(engine) -> Tracer | None:
+    obs = getattr(engine, "observability", None)
+    return getattr(obs, "tracer", None) if obs is not None else None
+
+
+def _gate_tracer(engine, config: ClusterConfig) -> Tracer | None:
+    """Configure a worker engine's tracer for cluster duty: gated on the
+    router's per-frame TraceContext, bounded by the cluster config."""
+    tracer = _engine_tracer(engine)
+    if tracer is not None:
+        tracer.gate = True
+        tracer.context_parent = "queue-wait"
+        tracer.max_spans = config.trace_max_spans
+    return tracer
+
+
 def _engine_report(
     worker_id: int,
     engine: ScidiveEngine,
@@ -226,6 +275,7 @@ def _engine_report(
     transport never pickles engines or metric objects."""
     engine.snapshot_gauges()
     registry = engine.metrics_registry()
+    tracer = _engine_tracer(engine)
     return {
         "worker_id": worker_id,
         "alerts": list(engine.alert_log.alerts),
@@ -238,6 +288,10 @@ def _engine_report(
         "restored": restored,
         "checkpoints": checkpoints,
         "metrics": registry.as_dict() if registry is not None else None,
+        "spans": (
+            _span_payload(tracer.drain(), worker_id) if tracer is not None else []
+        ),
+        "spans_dropped": tracer.dropped if tracer is not None else 0,
     }
 
 
@@ -270,6 +324,13 @@ def _worker_main(worker_id, config, factory, in_q, out_q, hard_crash) -> None:
     they were routed for.
     """
     engine = factory(worker_id, config)
+    tracer = _gate_tracer(engine, config)
+    profiler = None
+    if config.profile_dir:
+        from repro.obs.profile import StackSampler
+
+        profiler = StackSampler()
+        profiler.start()
     ckpt_path = _checkpoint_path(config, worker_id)
     restored = False
     checkpoints = 0
@@ -309,13 +370,42 @@ def _worker_main(worker_id, config, factory, in_q, out_q, hard_crash) -> None:
         kind = message[0]
         if kind == "batch":
             batches += 1
-            for frame, timestamp, is_owner in message[1]:
-                if is_owner:
-                    process_frame(frame, timestamp)
-                    owned += 1
-                else:
-                    process_shadow(frame, timestamp)
-                    shadowed += 1
+            if tracer is None:
+                for frame, timestamp, is_owner, _tid in message[1]:
+                    if is_owner:
+                        process_frame(frame, timestamp)
+                        owned += 1
+                    else:
+                        process_shadow(frame, timestamp)
+                        shadowed += 1
+            else:
+                # Queue-wait: wall clock between the router's enqueue
+                # stamp and this dequeue (wall time is the only clock
+                # comparable across processes).
+                wait = max(0.0, _time.time() - message[2])
+                for frame, timestamp, is_owner, tid in message[1]:
+                    tracer.context = tid
+                    if is_owner:
+                        if tid:
+                            tracer.record(
+                                "queue-wait", wait,
+                                frame=engine.stats.frames + 1,
+                                sim_time=timestamp, parent="route",
+                            )
+                        process_frame(frame, timestamp)
+                        owned += 1
+                    else:
+                        process_shadow(frame, timestamp)
+                        shadowed += 1
+                tracer.context = ""
+                if tracer.spans:
+                    # Drain at the batch boundary: bounded worker memory,
+                    # and FIFO ordering guarantees every spans message
+                    # precedes this worker's final result.
+                    out_q.put(
+                        ("spans", worker_id,
+                         _span_payload(tracer.drain(), worker_id))
+                    )
             if ckpt_path is not None and batches % config.checkpoint_every == 0:
                 _write_checkpoint(ckpt_path, engine.checkpoint())
                 checkpoints += 1
@@ -345,6 +435,13 @@ def _worker_main(worker_id, config, factory, in_q, out_q, hard_crash) -> None:
         elif kind == "rules_abort":
             staged_pack = None
         elif kind == "stop":
+            if profiler is not None:
+                profiler.stop()
+                os.makedirs(config.profile_dir, exist_ok=True)
+                profiler.write_collapsed(
+                    os.path.join(config.profile_dir,
+                                 f"worker-{worker_id}.collapsed")
+                )
             report = _engine_report(
                 worker_id,
                 engine,
@@ -472,6 +569,7 @@ class _SerialWorker:
         self.restarts = 0
         self.dead = False  # serial workers cannot die; kept for symmetry
         self.engine = factory(worker_id, config)
+        self._tracer = _gate_tracer(self.engine, config)
         self.batches = self.owned = self.shadowed = 0
         self.cpu_seconds = 0.0
         self.report: dict | None = None
@@ -485,13 +583,27 @@ class _SerialWorker:
         if kind == "batch":
             cpu0 = _time.thread_time()
             self.batches += 1
-            for frame, timestamp, is_owner in message[1]:
+            tracer = self._tracer
+            for frame, timestamp, is_owner, tid in message[1]:
+                if tracer is not None:
+                    tracer.context = tid
+                    if tid and is_owner:
+                        # Inline execution: queue-wait is the (near-zero)
+                        # gap between wire() and this put.
+                        tracer.record(
+                            "queue-wait",
+                            max(0.0, _time.time() - message[2]),
+                            frame=self.engine.stats.frames + 1,
+                            sim_time=timestamp, parent="route",
+                        )
                 if is_owner:
                     self.engine.process_frame(frame, timestamp)
                     self.owned += 1
                 else:
                     self.engine.process_frame_shadow(frame, timestamp)
                     self.shadowed += 1
+            if tracer is not None:
+                tracer.context = ""
             self.cpu_seconds += _time.thread_time() - cpu0
         elif kind == "stop":
             self.report = _engine_report(
@@ -528,6 +640,9 @@ class ClusterStats:
     frames_shed: dict = field(default_factory=dict)
     workers_dead: int = 0
     rulepack_reloads: int = 0
+    # Cross-process tracing: spans discarded at any tracer's max_spans
+    # bound (workers + router + the merge cap), summed at stop().
+    spans_dropped: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -543,6 +658,7 @@ class ClusterStats:
             "frames_shed": dict(self.frames_shed),
             "workers_dead": self.workers_dead,
             "rulepack_reloads": self.rulepack_reloads,
+            "spans_dropped": self.spans_dropped,
         }
 
 
@@ -563,6 +679,8 @@ class WorkerReport:
     restored: bool = False     # resumed from a detection-state checkpoint
     checkpoints: int = 0       # snapshots written by this worker's last life
     metrics: dict | None = None
+    spans: list = field(default_factory=list)  # final-report span records
+    spans_dropped: int = 0
 
     @property
     def busy_seconds(self) -> float:
@@ -592,6 +710,8 @@ class WorkerReport:
             restored=payload.get("restored", False),
             checkpoints=payload.get("checkpoints", 0),
             metrics=payload.get("metrics"),
+            spans=list(payload.get("spans", ())),
+            spans_dropped=payload.get("spans_dropped", 0),
         )
 
     @classmethod
@@ -616,6 +736,8 @@ class ClusterResult:
     cluster: ClusterStats
     workers: list
     registry: MetricsRegistry | None = None
+    # Merged, time-sorted cross-process span timeline (None = tracing off).
+    trace: list | None = None
 
     def alert_multiset(self) -> "collections.Counter[Alert]":
         """Order-insensitive alert comparison (Alert equality already
@@ -689,6 +811,18 @@ class ScidiveCluster:
         # aborted round can never satisfy a newer one.
         self.rulepack: RulePack | None = _config_rulepack(self.config)
         self._rules_epoch = 0
+        # Cross-process tracing (router half): the router records "route"
+        # spans into its own tracer, caches per-shard-key sampling
+        # decisions, and accumulates worker span payloads drained over
+        # the result queue until stop() merges everything.
+        self._tracer = (
+            Tracer(max_spans=self.config.trace_max_spans)
+            if self.config.trace_enabled
+            else None
+        )
+        self._trace_ids: dict = {}
+        self._worker_spans: list[dict] = []
+        self._router_spans_dropped = 0
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -760,22 +894,48 @@ class ScidiveCluster:
         self._last_submit_ts = timestamp
         stats.frames_in += 1
         n = self.config.workers
+        tracer = self._tracer
+        routed: list[tuple[str, str, int]] = []
         for key, frames in self.sharder.route(frame, timestamp):
             plane = key.plane
             stats.frames_by_plane[plane] = (
                 stats.frames_by_plane.get(plane, 0) + len(frames)
             )
             owner = shard_index(key, n)
+            tid = "" if tracer is None else self._trace_id(key)
             if key.broadcast and n > 1:
                 for wid in range(n):
-                    self._append(wid, frames, wid == owner, plane)
+                    self._append(wid, frames, wid == owner, plane, tid)
             else:
-                self._append(owner, frames, True, plane)
-        stats.router_seconds += (
-            _time.thread_time() - t0 - (self._inline_seconds - inline0)
-        )
+                self._append(owner, frames, True, plane, tid)
+            if tid:
+                routed.append((tid, plane, owner))
+        elapsed = _time.thread_time() - t0 - (self._inline_seconds - inline0)
+        stats.router_seconds += elapsed
+        if routed:
+            # The root span of every sampled journey: one per routing
+            # decision, carrying the owner shard the session hashed to.
+            for tid, plane, owner in routed:
+                tracer.record(
+                    "route", elapsed, frame=stats.frames_in,
+                    sim_time=timestamp, trace_id=tid, parent="",
+                    worker=owner, plane=plane,
+                )
 
-    def _append(self, wid: int, frames, is_owner: bool, plane: str) -> None:
+    def _trace_id(self, key) -> str:
+        """Cached head-based sampling decision for one shard key
+        ("" = session not sampled)."""
+        cached = self._trace_ids.get(key)
+        if cached is None:
+            cached = TraceContext.for_session(
+                key.canon(), self.config.trace_sample_rate
+            ).trace_id
+            self._trace_ids[key] = cached
+        return cached
+
+    def _append(
+        self, wid: int, frames, is_owner: bool, plane: str, tid: str = ""
+    ) -> None:
         stats = self.cluster_stats
         if is_owner:
             stats.frames_routed += len(frames)
@@ -783,8 +943,9 @@ class ScidiveCluster:
             stats.frames_replicated += len(frames)
         pending = self._pending[wid]
         # Pending items carry their plane so the overflow path can shed
-        # media before signalling; the wire message stays 3-tuples.
-        pending.extend((frame, ts, is_owner, plane) for frame, ts in frames)
+        # media before signalling (plane stays at index 3), plus the
+        # session's trace id; the wire keeps only what workers need.
+        pending.extend((frame, ts, is_owner, plane, tid) for frame, ts in frames)
         batch_size = self.config.batch_size
         while len(pending) >= batch_size:
             self._submit_batch(wid, pending[:batch_size])
@@ -792,8 +953,14 @@ class ScidiveCluster:
 
     @staticmethod
     def _wire(items: list) -> tuple:
-        """Strip the router-only plane tag: workers see 3-tuples."""
-        return ("batch", [(frame, ts, owner) for frame, ts, owner, _ in items])
+        """Strip the router-only plane tag: workers see ``(frame, ts,
+        owner, trace_id)`` plus the batch's wall-clock enqueue stamp
+        (queue-wait = dequeue time − stamp)."""
+        return (
+            "batch",
+            [(frame, ts, owner, tid) for frame, ts, owner, _plane, tid in items],
+            _time.time(),
+        )
 
     def _submit_batch(self, wid: int, items: list) -> None:
         stats = self.cluster_stats
@@ -1070,6 +1237,11 @@ class ScidiveCluster:
             except _queue.Empty:
                 message = None
             if message is not None:
+                if message[0] == "spans":
+                    # Span drains interleave with control acks on the one
+                    # result queue; bank them for the stop()-time merge.
+                    self._worker_spans.extend(message[2])
+                    continue
                 if (
                     message[0] == kind
                     and message[2] == epoch
@@ -1150,12 +1322,18 @@ class ScidiveCluster:
         deadline = _time.monotonic() + self.config.result_timeout
         while pending:
             try:
-                _, wid, payload = self._out_q.get(timeout=0.1)
+                message = self._out_q.get(timeout=0.1)
             except _queue.Empty:
                 pass
             else:
-                worker = pending.pop(wid)
-                reports[wid] = (payload, worker.restarts)
+                if message[0] == "spans":
+                    self._worker_spans.extend(message[2])
+                elif message[0] == "result":
+                    wid, payload = message[1], message[2]
+                    worker = pending.pop(wid, None)
+                    if worker is not None:
+                        reports[wid] = (payload, worker.restarts)
+                # Anything else (a late barrier ack) is stray: ignore.
                 continue
             for wid, worker in list(pending.items()):
                 if worker.alive:
@@ -1202,6 +1380,9 @@ class ScidiveCluster:
         alerts.sort(key=lambda alert: alert.time)
         stats = EngineStats.merged([report.stats for report in worker_reports])
         shadow = EngineStats.merged([report.shadow_stats for report in worker_reports])
+        trace = None
+        if self._tracer is not None:
+            trace = self._merge_trace(worker_reports)
         registry = None
         if self.config.metrics_enabled:
             registry = MetricsRegistry()
@@ -1216,7 +1397,32 @@ class ScidiveCluster:
             cluster=self.cluster_stats,
             workers=worker_reports,
             registry=registry,
+            trace=trace,
         )
+
+    def _merge_trace(self, worker_reports: list) -> list[dict]:
+        """One time-sorted timeline: banked batch-boundary drains + each
+        worker's final-report remainder + the router's route spans."""
+        records = list(self._worker_spans)
+        for report in worker_reports:
+            records.extend(report.spans)
+        records.extend(_span_payload(self._tracer.drain(), "router"))
+        merged = sort_timeline(records)
+        dropped = self._tracer.dropped
+        overflow = len(merged) - self.config.trace_max_spans
+        if overflow > 0:
+            # The merged timeline honours the same bound as any single
+            # tracer; keep the head (earliest journeys stay complete).
+            merged = merged[: self.config.trace_max_spans]
+            dropped += overflow
+        # Router-attributed drops (for the engine="router" counter child:
+        # workers already count their own in their merged registries).
+        self._router_spans_dropped = dropped
+        self.cluster_stats.spans_dropped = dropped + sum(
+            report.spans_dropped for report in worker_reports
+        )
+        self._worker_spans = []
+        return merged
 
     def _cluster_metrics(self, registry: MetricsRegistry) -> None:
         """Router-side families, alongside the merged worker metrics."""
@@ -1254,6 +1460,23 @@ class ScidiveCluster:
             "scidive_cluster_rulepack_reloads_total",
             "Hot rule-pack reloads coordinated by the router",
         ).inc(stats.rulepack_reloads)
+        if self._tracer is not None:
+            # Same family/help as the workers' instrument counter, so a
+            # merged scrape sums drops across the whole cluster; the
+            # router child carries router + merge-cap drops only.
+            dropped = max(self._router_spans_dropped, self._tracer.dropped)
+            registry.counter(
+                "scidive_spans_dropped_total",
+                "Spans discarded at the tracer's max_spans bound",
+                labelnames=("engine",),
+            ).labels(engine="router").inc(dropped)
+        from repro.obs import set_build_info
+
+        set_build_info(
+            registry,
+            backend=self.config.backend,
+            pack=self.rulepack.label if self.rulepack is not None else None,
+        )
 
     # -- live observability ----------------------------------------------------
 
@@ -1295,11 +1518,43 @@ class ScidiveCluster:
             "rulepack": self.rulepack.info() if self.rulepack is not None else None,
             "rulepack_reloads": stats.rulepack_reloads,
         }
+        if self._tracer is not None:
+            payload["tracing"] = {
+                "sample_rate": self.config.trace_sample_rate,
+                "sessions_seen": len(self._trace_ids),
+                "sessions_sampled": sum(
+                    1 for tid in self._trace_ids.values() if tid
+                ),
+                "spans_dropped": (
+                    stats.spans_dropped if self._stopped else self._tracer.dropped
+                ),
+            }
         if self._last_submit_monotonic is not None:
             payload["last_frame_age_seconds"] = round(
                 _time.monotonic() - self._last_submit_monotonic, 3
             )
         return payload
+
+    def trace_spans(self, limit: int | None = None) -> list[dict]:
+        """Merged span records, servable at any point in the run.
+
+        After :meth:`stop` this is the final merged timeline; mid-run it
+        is a best-effort snapshot (router route spans plus whatever the
+        workers have drained at batch boundaries so far).  ``limit``
+        keeps the newest records.
+        """
+        if self.result is not None and self.result.trace is not None:
+            records = self.result.trace
+        elif self._tracer is None:
+            return []
+        else:
+            records = sort_timeline(
+                list(self._worker_spans)
+                + _span_payload(list(self._tracer.spans), "router")
+            )
+        if limit is not None and len(records) > limit:
+            return records[-limit:]
+        return list(records)
 
     def live_registry(self) -> MetricsRegistry:
         """A registry snapshot servable at any point in the run.

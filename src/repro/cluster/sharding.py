@@ -75,6 +75,16 @@ class ShardKey:
         """Signalling is replicated to every worker (state completeness)."""
         return self.plane == PLANE_SIGNALLING
 
+    def canon(self) -> str:
+        """Canonical string encoding of the key.
+
+        Both worker placement (:func:`shard_index`) and trace sampling
+        (:func:`repro.obs.tracing.sample_session`) hash this string, so
+        the same session identity drives both decisions deterministically
+        across processes and runs.
+        """
+        return repr((self.plane, self.key))
+
 
 def shard_index(key: ShardKey, workers: int) -> int:
     """Stable worker index for a shard key.
@@ -83,7 +93,7 @@ def shard_index(key: ShardKey, workers: int) -> int:
     mapping is identical across processes and runs (``PYTHONHASHSEED``
     does not apply).
     """
-    return zlib.crc32(repr((key.plane, key.key)).encode("utf-8")) % workers
+    return zlib.crc32(key.canon().encode("utf-8")) % workers
 
 
 def _sip_call_id(payload: bytes) -> str | None:

@@ -48,8 +48,54 @@ from repro.obs.registry import (
     parse_prometheus,
     set_default_registry,
 )
+from repro.obs.profile import (
+    SignalSampler,
+    StackSampler,
+    attach_profiler,
+    format_top,
+)
 from repro.obs.server import ObsServer, StatusSource
-from repro.obs.tracing import Span, StageStats, Tracer, read_trace_jsonl
+from repro.obs.tracing import (
+    DEFAULT_TRACE_SAMPLE_RATE,
+    Span,
+    StageStats,
+    TraceContext,
+    Tracer,
+    read_trace_jsonl,
+    sample_session,
+    session_trace_id,
+    sort_timeline,
+    write_spans_jsonl,
+)
+
+
+def set_build_info(
+    registry: MetricsRegistry,
+    *,
+    backend: str,
+    pack: str | None = None,
+) -> None:
+    """Export the ``scidive_build_info`` info-style gauge.
+
+    Value is always 1; the identity lives in the labels (version, rule
+    pack, python, backend), so dashboards can join engine and cluster
+    scrapes on a common build identity.  After an N-way registry merge
+    the value is the number of sources reporting that identity.
+    """
+    import platform
+
+    from repro import __version__
+
+    registry.gauge(
+        "scidive_build_info",
+        "Build identity (value = sources reporting this identity)",
+        labelnames=("version", "pack", "python", "backend"),
+    ).labels(
+        version=__version__,
+        pack=pack or "builtin",
+        python=platform.python_version(),
+        backend=backend,
+    ).set(1)
 
 
 @dataclass
@@ -110,6 +156,7 @@ def current() -> Observability | None:
 __all__ = [
     "Counter",
     "DEFAULT_FRAME_BUDGET",
+    "DEFAULT_TRACE_SAMPLE_RATE",
     "EngineInstrumentation",
     "ForensicsConfig",
     "ForensicsRecorder",
@@ -124,11 +171,15 @@ __all__ = [
     "Observability",
     "ObsServer",
     "ProvenanceGraph",
+    "SignalSampler",
     "Span",
+    "StackSampler",
     "StageStats",
     "StatusSource",
     "Summary",
+    "TraceContext",
     "Tracer",
+    "attach_profiler",
     "configure_forensics",
     "current",
     "default_forensics_config",
@@ -137,12 +188,18 @@ __all__ = [
     "enable",
     "format_bundle",
     "format_malformed_bundle",
+    "format_top",
     "get_logger",
     "list_bundles",
     "load_bundle",
     "write_malformed_bundle",
     "parse_prometheus",
     "read_trace_jsonl",
+    "sample_session",
+    "session_trace_id",
+    "set_build_info",
     "set_default_registry",
     "setup_logging",
+    "sort_timeline",
+    "write_spans_jsonl",
 ]

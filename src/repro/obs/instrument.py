@@ -60,6 +60,7 @@ class EngineInstrumentation:
         "_rule_cost", "_rule_cost_samples",
         "_rule_cost_flushed", "_rule_samples_flushed", "_burn_rate",
         "_shadow_matches", "_shadow_flushed", "_rulepack_reloads",
+        "_spans_dropped", "_spans_dropped_flushed",
     )
 
     def __init__(
@@ -174,6 +175,15 @@ class EngineInstrumentation:
             "scidive_rulepack_reloads_total",
             "Successful rule-pack hot reloads", ("engine",),
         ).labels(**label)
+        # Span-cap overflow accounting (only meaningful when tracing).
+        if tracer is not None:
+            self._spans_dropped = registry.counter(
+                "scidive_spans_dropped_total",
+                "Spans discarded at the tracer's max_spans bound", ("engine",),
+            ).labels(**label)
+        else:
+            self._spans_dropped = None
+        self._spans_dropped_flushed = 0
         # Hot-path label children resolved once per distinct value, then
         # hit these dicts — keeps per-frame cost to dict lookups.
         self._footprint_children: dict[str, Any] = {}
@@ -235,9 +245,10 @@ class EngineInstrumentation:
               sim_time: float = 0.0, **meta: Any) -> None:
         """Record one stage execution: histogram sample + optional span."""
         self.stage_child(stage).observe(seconds)
-        if self.tracer is not None:
-            self.tracer.record(stage, seconds, frame=frame,
-                               sim_time=sim_time, **meta)
+        tracer = self.tracer
+        if tracer is not None and (tracer.context or not tracer.gate):
+            tracer.record(stage, seconds, frame=frame,
+                          sim_time=sim_time, **meta)
 
     def stage_child(self, stage: str):
         """The raw histogram child for one stage — the engine pre-resolves
@@ -319,6 +330,16 @@ class EngineInstrumentation:
             ).inc(calls)
         self._gen_calls_acc.clear()
         self.flush_rule_costs(engine.ruleset.rules)
+        if self._spans_dropped is not None:
+            # Delta-flush the tracer's plain drop count into the
+            # monotonic counter; a negative delta means the tracer was
+            # clear()ed, so re-baseline the watermark.
+            delta = self.tracer.dropped - self._spans_dropped_flushed
+            if delta > 0:
+                self._spans_dropped.inc(delta)
+                self._spans_dropped_flushed = self.tracer.dropped
+            elif delta < 0:
+                self._spans_dropped_flushed = self.tracer.dropped
         budget = getattr(engine, "latency_budget", None)
         if budget is not None:
             self._burn_rate.set(budget.burn_rate)
@@ -429,8 +450,12 @@ class InstrumentationHook(FootprintHook):
             else:
                 self._summary_tick = tick
                 self._summary_on = False
-        if self.tracer is not None:
-            self.tracer.record(
+        # The gate check lives at the call site: a gated tracer with no
+        # sampled context skips the call itself, so unsampled cluster
+        # frames never pay the kwargs packing for these per-frame spans.
+        tracer = self.tracer
+        if tracer is not None and (tracer.context or not tracer.gate):
+            tracer.record(
                 "distill", seconds, frame=frame_no, sim_time=sim_time,
                 protocol=footprint.protocol.value if footprint is not None else "none",
             )
@@ -447,13 +472,15 @@ class InstrumentationHook(FootprintHook):
 
     def state_updated(self, seconds, frame_no, sim_time) -> None:
         self._h_state.observe(seconds)
-        if self.tracer is not None:
-            self.tracer.record("state", seconds, frame=frame_no, sim_time=sim_time)
+        tracer = self.tracer
+        if tracer is not None and (tracer.context or not tracer.gate):
+            tracer.record("state", seconds, frame=frame_no, sim_time=sim_time)
 
     def trail_pushed(self, seconds, frame_no, sim_time) -> None:
         self._h_trail.observe(seconds)
-        if self.tracer is not None:
-            self.tracer.record("trail", seconds, frame=frame_no, sim_time=sim_time)
+        tracer = self.tracer
+        if tracer is not None and (tracer.context or not tracer.gate):
+            tracer.record("trail", seconds, frame=frame_no, sim_time=sim_time)
 
     def sample_generators(self) -> bool:
         tick = self._sample_tick + 1
@@ -484,11 +511,12 @@ class InstrumentationHook(FootprintHook):
                 child = self.instr.module_child(protocol.value)
                 self._module_cache[protocol] = child
             child.observe(generate_seconds + match_seconds)
-        if self.tracer is not None:
-            self.tracer.record("generate", generate_seconds, frame=frame_no,
-                               sim_time=sim_time, events=events)
-            self.tracer.record("match", match_seconds, frame=frame_no,
-                               sim_time=sim_time, events=events, alerts=alerts)
+        tracer = self.tracer
+        if tracer is not None and (tracer.context or not tracer.gate):
+            tracer.record("generate", generate_seconds, frame=frame_no,
+                          sim_time=sim_time, events=events)
+            tracer.record("match", match_seconds, frame=frame_no,
+                          sim_time=sim_time, events=events, alerts=alerts)
 
     def injected(self, event_name) -> None:
         self.instr.injected_event()

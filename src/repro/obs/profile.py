@@ -1,0 +1,228 @@
+"""Hot-path continuous profiling: stdlib sampling stack profilers.
+
+Two samplers with one aggregation model:
+
+* :class:`StackSampler` — a daemon thread snapshots a target thread's
+  stack via ``sys._current_frames()`` every ``interval`` seconds.  Works
+  anywhere (cluster workers attach one per process via
+  ``ClusterConfig.profile_dir``), costs one dict lookup plus a frame
+  walk per sample, and needs no cooperation from the profiled code.
+* :class:`SignalSampler` — ``signal.setitimer(ITIMER_PROF)`` delivers
+  ``SIGPROF`` on *CPU time* consumed, so idle waits are never sampled.
+  Main-thread only (POSIX signal semantics); ``repro profile`` uses it
+  when possible.
+
+Both aggregate into collapsed-stack form — ``frame;frame;frame count``
+per line, root first — the input format of ``flamegraph.pl`` and every
+compatible viewer, so ``repro profile --out hot.collapsed`` is one
+pipeline step from a flame graph.
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+import threading
+from contextlib import contextmanager
+from types import CodeType, FrameType
+from typing import Iterator
+
+DEFAULT_INTERVAL = 0.005  # 200 Hz: coarse enough to stay <1% overhead
+_MAX_DEPTH = 64
+
+
+def _frame_label(code: CodeType) -> str:
+    """``path:function`` with the path shortened to the repo-relevant
+    tail (from ``repro/`` onward when present, else the basename)."""
+    filename = code.co_filename
+    marker = filename.rfind("repro/")
+    if marker >= 0:
+        short = filename[marker:]
+    else:
+        short = filename.rsplit("/", 1)[-1]
+    return f"{short}:{code.co_name}"
+
+
+class _SamplerBase:
+    """Shared aggregation: stacks fold into a ``{stack_key: count}`` dict."""
+
+    def __init__(self, interval: float = DEFAULT_INTERVAL) -> None:
+        self.interval = max(1e-4, float(interval))
+        self.counts: dict[str, int] = {}
+        self.samples = 0
+
+    def _ingest(self, frame: FrameType | None) -> None:
+        if frame is None:
+            return
+        labels: list[str] = []
+        depth = 0
+        while frame is not None and depth < _MAX_DEPTH:
+            labels.append(_frame_label(frame.f_code))
+            frame = frame.f_back
+            depth += 1
+        if not labels:
+            return
+        labels.reverse()  # collapsed format runs root → leaf
+        key = ";".join(labels)
+        self.counts[key] = self.counts.get(key, 0) + 1
+        self.samples += 1
+
+    # -- export ---------------------------------------------------------------
+
+    def collapsed(self) -> str:
+        """The full profile in collapsed-stack form, heaviest first."""
+        lines = [
+            f"{key} {count}"
+            for key, count in sorted(
+                self.counts.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_collapsed(self, path) -> int:
+        """Write the collapsed profile; returns the sample count."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.collapsed())
+        return self.samples
+
+    def top(self, n: int = 12) -> list[tuple[str, int, int]]:
+        """``(frame, self_samples, total_samples)`` rows, hottest first.
+
+        *self* counts samples where the frame is the leaf (it was on
+        CPU); *total* counts samples where it appears anywhere on the
+        stack (it was on the critical path).
+        """
+        self_counts: dict[str, int] = {}
+        total_counts: dict[str, int] = {}
+        for key, count in self.counts.items():
+            labels = key.split(";")
+            leaf = labels[-1]
+            self_counts[leaf] = self_counts.get(leaf, 0) + count
+            for label in set(labels):
+                total_counts[label] = total_counts.get(label, 0) + count
+        rows = [
+            (label, self_counts.get(label, 0), total)
+            for label, total in total_counts.items()
+        ]
+        rows.sort(key=lambda row: (-row[1], -row[2], row[0]))
+        return rows[:n]
+
+
+class StackSampler(_SamplerBase):
+    """Thread-based wall-clock sampler over ``sys._current_frames()``.
+
+    Samples the thread that calls :meth:`start` (or an explicit target
+    thread id); safe to run anywhere, including cluster worker processes
+    and non-main threads.
+    """
+
+    def __init__(
+        self,
+        interval: float = DEFAULT_INTERVAL,
+        target_thread_id: int | None = None,
+    ) -> None:
+        super().__init__(interval)
+        self._target = target_thread_id
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    def start(self) -> "StackSampler":
+        if self._thread is not None:
+            return self
+        if self._target is None:
+            self._target = threading.get_ident()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, daemon=True, name="scidive-profiler"
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        target = self._target
+        while not self._stop.wait(self.interval):
+            self._ingest(sys._current_frames().get(target))
+
+    def stop(self) -> None:
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=2.0)
+        self._thread = None
+
+
+class SignalSampler(_SamplerBase):
+    """CPU-time sampler driven by ``ITIMER_PROF``/``SIGPROF``.
+
+    Only samples while the process is actually burning CPU, so blocking
+    waits vanish from the profile.  Must start from the main thread
+    (signal handlers are a main-thread affair in CPython).
+    """
+
+    def __init__(self, interval: float = DEFAULT_INTERVAL) -> None:
+        super().__init__(interval)
+        self._previous = None
+        self._armed = False
+
+    def start(self) -> "SignalSampler":
+        if self._armed:
+            return self
+        if threading.current_thread() is not threading.main_thread():
+            raise RuntimeError("SignalSampler must start from the main thread")
+        self._previous = signal.signal(signal.SIGPROF, self._handler)
+        signal.setitimer(signal.ITIMER_PROF, self.interval, self.interval)
+        self._armed = True
+        return self
+
+    def _handler(self, signum, frame) -> None:
+        self._ingest(frame)
+
+    def stop(self) -> None:
+        if not self._armed:
+            return
+        signal.setitimer(signal.ITIMER_PROF, 0.0, 0.0)
+        if self._previous is not None:
+            signal.signal(signal.SIGPROF, self._previous)
+        self._previous = None
+        self._armed = False
+
+
+@contextmanager
+def attach_profiler(
+    interval: float = DEFAULT_INTERVAL,
+) -> Iterator[StackSampler]:
+    """Profile the calling thread for the duration of a block."""
+    sampler = StackSampler(interval)
+    sampler.start()
+    try:
+        yield sampler
+    finally:
+        sampler.stop()
+
+
+def format_top(sampler: _SamplerBase, n: int = 12) -> str:
+    """A plain-text hottest-frames table for CLI output."""
+    rows = sampler.top(n)
+    total = sampler.samples or 1
+    lines = [
+        f"{'self%':>7}  {'total%':>7}  frame",
+        f"{'-----':>7}  {'------':>7}  {'-' * 40}",
+    ]
+    for label, self_count, total_count in rows:
+        lines.append(
+            f"{100.0 * self_count / total:6.1f}%  "
+            f"{100.0 * total_count / total:6.1f}%  {label}"
+        )
+    if not rows:
+        lines.append("(no samples)")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "DEFAULT_INTERVAL",
+    "SignalSampler",
+    "StackSampler",
+    "attach_profiler",
+    "format_top",
+]

@@ -31,8 +31,10 @@ from urllib.parse import parse_qs
 
 from repro.obs.history import DEFAULT_INTERVAL, MetricsHistory
 from repro.obs.registry import DEFAULT_QUANTILES, MetricsRegistry
+from repro.obs.tracing import sort_timeline
 
 DEFAULT_ALERT_LIMIT = 50
+DEFAULT_TRACE_LIMIT = 200
 
 
 def _quantile_view(
@@ -88,6 +90,7 @@ class StatusSource:
         self.engine = None
         self.cluster = None
         self.registry: MetricsRegistry | None = None
+        self.tracer = None
         self.history = MetricsHistory()
         self._requests: dict[str, int] = {}
         self._lock = threading.Lock()
@@ -102,6 +105,11 @@ class StatusSource:
 
     def set_registry(self, registry: MetricsRegistry | None) -> None:
         self.registry = registry
+
+    def set_tracer(self, tracer) -> None:
+        """Bind a standalone tracer (single-engine runs where the global
+        observability tracer is not reachable via the engine)."""
+        self.tracer = tracer
 
     def count_request(self, path: str) -> None:
         with self._lock:
@@ -161,6 +169,17 @@ class StatusSource:
         cluster = self.cluster
         if cluster is not None:
             out.merge(cluster.live_registry())
+        else:
+            # Cluster registries carry their own build info; a pure
+            # engine (or starting) scrape gets it stamped here.
+            from repro.obs import set_build_info
+
+            engine_pack = getattr(engine, "rulepack", None) if engine else None
+            set_build_info(
+                out,
+                backend="engine",
+                pack=engine_pack.label if engine_pack is not None else None,
+            )
         requests = out.counter(
             "scidive_http_requests_total",
             "Requests served by the observability sidecar",
@@ -208,6 +227,11 @@ class StatusSource:
             budget = getattr(engine, "latency_budget", None)
             if budget is not None:
                 engine_view["latency_budget"] = budget.as_dict()
+            obs = getattr(engine, "observability", None)
+            tracer = getattr(obs, "tracer", None) if obs is not None else None
+            if tracer is not None:
+                engine_view["spans"] = len(tracer.spans)
+                engine_view["spans_dropped"] = tracer.dropped
             registry = engine.metrics_registry()
             frame_q = _quantile_view(registry, "scidive_frame_latency_seconds")
             if frame_q is not None:
@@ -282,6 +306,56 @@ class StatusSource:
             alerts = list(self.cluster.result.alerts)
         return [alert.to_dict() for alert in alerts[-limit:]]
 
+    def trace(
+        self,
+        limit: int | None = DEFAULT_TRACE_LIMIT,
+        trace_id: str | None = None,
+    ) -> dict[str, Any]:
+        """The ``/trace`` payload: span records from whatever is bound.
+
+        Cluster first (the merged cross-process view), then the engine's
+        own tracer, then a standalone bound tracer.  ``trace_id`` filters
+        to one journey; ``limit`` keeps the newest records otherwise.
+        """
+        records: list[dict] = []
+        dropped = 0
+        cluster = self.cluster
+        engine_tracer = None
+        if self.engine is not None:
+            obs = getattr(self.engine, "observability", None)
+            engine_tracer = getattr(obs, "tracer", None) if obs else None
+        if cluster is not None and getattr(cluster, "_tracer", None) is not None:
+            records = cluster.trace_spans()
+            dropped = (
+                cluster.cluster_stats.spans_dropped or cluster._tracer.dropped
+            )
+        elif engine_tracer is not None:
+            # list() snapshots: the replay thread may still be appending.
+            records = sort_timeline(
+                span.to_dict() for span in list(engine_tracer.spans)
+            )
+            dropped = engine_tracer.dropped
+        elif self.tracer is not None:
+            records = sort_timeline(
+                span.to_dict() for span in list(self.tracer.spans)
+            )
+            dropped = self.tracer.dropped
+        if trace_id:
+            records = [r for r in records if r.get("trace") == trace_id]
+        traces: dict[str, int] = {}
+        for record in records:
+            tid = record.get("trace")
+            if tid:
+                traces[tid] = traces.get(tid, 0) + 1
+        if limit is not None and len(records) > limit:
+            records = records[-limit:]
+        return {
+            "count": len(records),
+            "dropped": dropped,
+            "traces": traces,
+            "spans": records,
+        }
+
 
 class _Handler(BaseHTTPRequestHandler):
     server: "_Server"
@@ -303,11 +377,18 @@ class _Handler(BaseHTTPRequestHandler):
                 self._reply_json(
                     source.history.as_dict(_query_int(query, "limit"))
                 )
+            elif path == "/trace":
+                limit = _query_int(query, "limit")
+                tid = parse_qs(query).get("trace", [None])[0]
+                self._reply_json(source.trace(
+                    limit=limit if limit is not None else DEFAULT_TRACE_LIMIT,
+                    trace_id=tid,
+                ))
             else:
                 self._reply_json(
                     {"error": f"unknown path {path!r}",
                      "paths": ["/metrics", "/metrics/history",
-                               "/healthz", "/alerts"]},
+                               "/healthz", "/alerts", "/trace"]},
                     status=404,
                 )
         except Exception as exc:  # pragma: no cover - defensive

@@ -1,9 +1,10 @@
 """Cluster observability: metric-only workers and the merged registry.
 
 Under ``--workers > 1`` the CLI's ``--metrics-out`` must keep working
-(worker registries merge into the result) while ``--trace-out`` is
-refused outright — worker spans have no merge path, so a worker-side
-tracer would only buffer spans to discard them.
+(worker registries merge into the result), and ``--trace-out`` now
+rides the cross-process tracing plane: workers record context-gated
+spans and the router merges them into one timeline at stop (see
+``test_cluster_trace.py`` for the tracing-plane invariants).
 """
 
 from __future__ import annotations
@@ -101,10 +102,18 @@ class TestClusterCliFlags:
         assert "scidive_cluster_workers" in families
         assert "scidive_frames_total" in families
 
-    def test_trace_out_is_refused_under_workers(self, tmp_path, capsys):
+    def test_trace_out_writes_merged_timeline_under_workers(self, tmp_path, capsys):
+        from repro.obs import read_trace_jsonl
+
         trace = tmp_path / "trace.jsonl"
         assert main(["scenario", "bye-attack", "--workers", "2",
-                     "--trace-out", str(trace)]) == 2
-        err = capsys.readouterr().err
-        assert "single-engine" in err
-        assert not trace.exists()
+                     "--cluster-backend", "threads",
+                     "--trace-out", str(trace)]) == 0
+        assert "merged spans written" in capsys.readouterr().out
+        records = read_trace_jsonl(trace)
+        assert records
+        stages = {record["span"] for record in records}
+        assert {"route", "queue-wait", "distill", "match"} <= stages
+        # Every record carries its worker and trace id for the audit CLI.
+        assert all("worker" in record for record in records)
+        assert all(record.get("trace") for record in records)

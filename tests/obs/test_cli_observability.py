@@ -1,6 +1,9 @@
-"""CLI observability surface: --metrics-out / --trace-out and `stats`."""
+"""CLI observability surface: --metrics-out / --trace-out, `stats`,
+the `trace` frame-journey audit and the `profile` sampler."""
 
 from __future__ import annotations
+
+import pytest
 
 from repro.cli import main
 from repro.obs import current, parse_prometheus, read_trace_jsonl
@@ -54,6 +57,8 @@ def test_stats_table(capsys):
     assert "Per-rule activity" in out
     assert "distill" in out
     assert "BYE-001" in out
+    assert "spans recorded" in out
+    assert "spans dropped" in out
 
 
 def test_stats_prometheus_format(capsys):
@@ -69,9 +74,87 @@ def test_stats_json_format(capsys):
     payload = json.loads(capsys.readouterr().out)
     names = {m["name"] for m in payload["metrics"]}
     assert "scidive_alerts_total" in names
+    assert payload["spans"] > 0
+    assert payload["spans_dropped"] == 0
 
 
 def test_unknown_scenario_errors(capsys):
     assert main(["stats", "no-such-thing"]) == 2
     assert "unknown scenario" in capsys.readouterr().err
     assert current() is None
+
+
+def test_metrics_out_includes_build_info(tmp_path):
+    metrics = tmp_path / "metrics.txt"
+    assert main(["scenario", "bye-attack", "--seed", "7",
+                 "--metrics-out", str(metrics)]) == 0
+    families = parse_prometheus(metrics.read_text())
+    assert any('backend="engine"' in key
+               for key in families["scidive_build_info"])
+
+
+@pytest.fixture(scope="module")
+def cluster_trace_file(tmp_path_factory):
+    """One traced 2-worker run shared by the journey-audit tests."""
+    path = tmp_path_factory.mktemp("journey") / "trace.jsonl"
+    assert main(["scenario", "bye-attack", "--seed", "7", "--workers", "2",
+                 "--cluster-backend", "threads",
+                 "--trace-out", str(path)]) == 0
+    return path
+
+
+class TestTraceCommand:
+    def test_audit_by_call_id(self, cluster_trace_file, capsys):
+        assert main(["trace", "2-clientA@10.0.0.10",
+                     "--trace-file", str(cluster_trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "route" in out
+        assert "queue-wait" in out
+        assert "per-stage time:" in out
+
+    def test_audit_by_literal_trace_id(self, cluster_trace_file, capsys):
+        records = read_trace_jsonl(cluster_trace_file)
+        tid = records[0]["trace"]
+        assert main(["trace", tid, "--trace-file", str(cluster_trace_file),
+                     "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert tid in out
+        assert "showing last 5" in out
+
+    def test_unknown_id_lists_available_traces(self, cluster_trace_file, capsys):
+        assert main(["trace", "no-such-call",
+                     "--trace-file", str(cluster_trace_file)]) == 2
+        err = capsys.readouterr().err
+        assert "no spans for" in err
+        assert "trace id(s) available" in err
+
+    def test_missing_trace_file_is_a_hint_not_a_crash(self, tmp_path, capsys):
+        assert main(["trace", "x",
+                     "--trace-file", str(tmp_path / "absent.jsonl")]) == 2
+        assert "no trace file" in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    def test_profile_scenario_writes_collapsed_stacks(self, tmp_path, capsys):
+        out_file = tmp_path / "hot.collapsed"
+        assert main(["profile", "--scenario", "bye-attack", "--seed", "7",
+                     "--passes", "2", "--interval", "0.001",
+                     "--out", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "profiled 2 replay pass(es)" in out
+        assert "self%" in out
+        assert out_file.exists()
+
+    def test_profile_unknown_scenario_errors(self, capsys):
+        assert main(["profile", "--scenario", "nope", "--passes", "1"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_profile_out_attaches_worker_profilers(tmp_path, capsys):
+    profile_dir = tmp_path / "profiles"
+    assert main(["scenario", "bye-attack", "--seed", "7", "--workers", "2",
+                 "--cluster-backend", "threads",
+                 "--profile-out", str(profile_dir)]) == 0
+    assert "worker profiles" in capsys.readouterr().out
+    collapsed = sorted(p.name for p in profile_dir.glob("*.collapsed"))
+    assert collapsed == ["worker-0.collapsed", "worker-1.collapsed"]

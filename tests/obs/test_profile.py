@@ -1,0 +1,130 @@
+"""The sampling profilers: collapsed-stack aggregation and both drivers."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.obs.profile import (
+    SignalSampler,
+    StackSampler,
+    attach_profiler,
+    format_top,
+)
+
+
+def _burn(deadline: float) -> int:
+    total = 0
+    while time.monotonic() < deadline:
+        total += sum(range(500))
+    return total
+
+
+class TestStackSampler:
+    def test_samples_a_busy_loop(self):
+        sampler = StackSampler(interval=0.001).start()
+        try:
+            _burn(time.monotonic() + 0.3)
+        finally:
+            sampler.stop()
+        assert sampler.samples > 10
+        assert any("_burn" in key for key in sampler.counts)
+
+    def test_collapsed_format_is_root_first_with_counts(self, tmp_path):
+        sampler = StackSampler(interval=0.001).start()
+        try:
+            _burn(time.monotonic() + 0.2)
+        finally:
+            sampler.stop()
+        out = tmp_path / "prof.collapsed"
+        written = sampler.write_collapsed(out)
+        assert written == sampler.samples
+        for line in out.read_text().splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert stack and int(count) >= 1
+            assert ";" in stack or ":" in stack  # frame;frame;... chains
+        # Heaviest stack leads the file.
+        counts = [int(line.rsplit(" ", 1)[1])
+                  for line in out.read_text().splitlines()]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_can_target_another_thread(self):
+        stop = threading.Event()
+
+        def worker():
+            while not stop.is_set():
+                sum(range(200))
+
+        thread = threading.Thread(target=worker, daemon=True)
+        thread.start()
+        sampler = StackSampler(interval=0.001,
+                               target_thread_id=thread.ident).start()
+        time.sleep(0.25)
+        sampler.stop()
+        stop.set()
+        thread.join(timeout=2.0)
+        assert sampler.samples > 5
+        assert any("worker" in key for key in sampler.counts)
+
+    def test_stop_is_idempotent_and_start_once(self):
+        sampler = StackSampler(interval=0.001)
+        assert sampler.start() is sampler.start()
+        sampler.stop()
+        sampler.stop()
+        assert sampler._thread is None
+
+
+class TestTopAndFormat:
+    def test_top_splits_self_and_total(self):
+        sampler = StackSampler()
+        sampler.counts = {"a:f;b:g": 7, "a:f": 3, "a:f;c:h": 2}
+        sampler.samples = 12
+        rows = {label: (self_n, total_n)
+                for label, self_n, total_n in sampler.top(10)}
+        assert rows["b:g"] == (7, 7)
+        assert rows["a:f"] == (3, 12)  # on every stack, leaf on one
+        assert rows["c:h"] == (2, 2)
+
+    def test_format_top_renders_percentages(self):
+        sampler = StackSampler()
+        sampler.counts = {"x:y": 4}
+        sampler.samples = 4
+        text = format_top(sampler, 5)
+        assert "100.0%" in text
+        assert "x:y" in text
+
+    def test_format_top_empty_profile(self):
+        assert "(no samples)" in format_top(StackSampler(), 5)
+
+
+class TestSignalSampler:
+    def test_samples_cpu_time_on_main_thread(self):
+        sampler = SignalSampler(interval=0.001)
+        try:
+            sampler.start()
+        except (ValueError, OSError):  # platform without ITIMER_PROF
+            return
+        try:
+            _burn(time.monotonic() + 0.3)
+        finally:
+            sampler.stop()
+        assert sampler.samples > 0
+
+    def test_stop_restores_previous_handler(self):
+        import signal as _signal
+
+        before = _signal.getsignal(_signal.SIGPROF)
+        sampler = SignalSampler(interval=0.01)
+        try:
+            sampler.start()
+        except (ValueError, OSError):
+            return
+        sampler.stop()
+        assert _signal.getsignal(_signal.SIGPROF) == before
+
+
+def test_attach_profiler_context_manager():
+    with attach_profiler(interval=0.001) as sampler:
+        _burn(time.monotonic() + 0.15)
+    assert sampler.samples > 0
+    assert sampler._thread is None

@@ -120,3 +120,89 @@ class TestCluster:
             alerts = json.loads(body)
             assert {a["rule_id"] for a in alerts} == \
                 {a.rule_id for a in result.alerts}
+
+
+class TestTraceEndpoint:
+    def test_trace_serves_engine_spans(self):
+        ctx = obs.enable(trace=True)
+        try:
+            result = run_bye_attack(seed=7)
+        finally:
+            obs.disable()
+        with ObsServer(port=0) as server:
+            server.source.set_registry(ctx.registry)
+            server.source.set_engine(result.engine)
+            status, body = _get(server, "/trace?limit=25")
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["count"] > 0
+            assert len(payload["spans"]) <= 25
+            assert {"span", "t_sim", "dur_us"} <= set(payload["spans"][0])
+
+    def test_trace_serves_merged_cluster_spans_with_filter(self, bye_run):
+        result, _ = bye_run
+        trace = result.testbed.ids_tap.trace
+        cluster = ScidiveCluster(
+            workers=2, backend="threads",
+            vantage_ip=result.engine.vantage_ip,
+            trace_enabled=True, trace_sample_rate=1,
+        )
+        with ObsServer(port=0) as server:
+            server.source.set_cluster(cluster)
+            cluster.process_trace(trace)
+            status, body = _get(server, "/trace")
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["count"] > 0
+            assert payload["dropped"] == 0
+            assert payload["traces"]  # tid → span count index
+            tid = next(iter(payload["traces"]))
+            status, body = _get(server, f"/trace?trace={tid}")
+            filtered = json.loads(body)
+            assert filtered["count"] == payload["traces"][tid]
+            assert all(span["trace"] == tid for span in filtered["spans"])
+            # The sidecar's health view surfaces the tracing plane too.
+            status, body = _get(server, "/healthz")
+            assert json.loads(body)["cluster"]["tracing"]["sessions_sampled"] > 0
+
+    def test_trace_404_lists_the_endpoint(self):
+        with ObsServer(port=0) as server:
+            status, body = _get(server, "/nope")
+            assert status == 404
+            assert "/trace" in json.loads(body)["paths"]
+
+    def test_trace_without_any_tracer_is_empty(self):
+        with ObsServer(port=0) as server:
+            status, body = _get(server, "/trace")
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["count"] == 0
+            assert payload["spans"] == []
+
+
+class TestBuildInfo:
+    def test_engine_metrics_carry_build_info(self, bye_run):
+        _, ctx = bye_run
+        with ObsServer(port=0) as server:
+            server.source.set_registry(ctx.registry)
+            _, body = _get(server, "/metrics")
+        families = parse_prometheus(body)
+        info = families["scidive_build_info"]
+        key = next(iter(info))
+        assert 'backend="engine"' in key
+        assert 'pack="builtin"' in key
+        from repro import __version__
+
+        assert f'version="{__version__}"' in key
+        assert info[key] == 1
+
+    def test_cluster_merged_metrics_carry_build_info(self, bye_run):
+        result, _ = bye_run
+        cluster = ScidiveCluster(
+            workers=2, backend="serial",
+            vantage_ip=result.engine.vantage_ip, metrics_enabled=True,
+        )
+        merged = cluster.process_trace(result.testbed.ids_tap.trace)
+        families = parse_prometheus(merged.registry.render_prometheus())
+        info = families["scidive_build_info"]
+        assert any('backend="serial"' in key for key in info)

@@ -1,0 +1,125 @@
+"""Property tests for the tracing plane's deterministic primitives.
+
+Head-based sampling and trace-id derivation both hash the shard key's
+canonical string, so they must be pure functions of it — that is what
+makes a sampled session sampled *end-to-end* across serial, thread and
+process backends without any coordination.
+"""
+
+from __future__ import annotations
+
+import collections
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.sharding import PLANE_SIGNALLING, ShardKey, shard_index
+from repro.obs.tracing import (
+    STAGE_ORDER,
+    TraceContext,
+    sample_session,
+    session_trace_id,
+    sort_timeline,
+)
+
+call_ids = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-.", min_size=1, max_size=32
+)
+rates = st.integers(min_value=1, max_value=64)
+
+
+def _canon(call_id: str) -> str:
+    return ShardKey(PLANE_SIGNALLING, ("sip", call_id)).canon()
+
+
+class TestSampling:
+    @settings(max_examples=40, deadline=None)
+    @given(call_ids, rates)
+    def test_sampling_is_deterministic(self, call_id, rate):
+        canon = _canon(call_id)
+        first = sample_session(canon, rate)
+        assert all(sample_session(canon, rate) == first for _ in range(3))
+
+    @settings(max_examples=40, deadline=None)
+    @given(call_ids)
+    def test_rate_one_samples_everything(self, call_id):
+        assert sample_session(_canon(call_id), 1) is True
+
+    @settings(max_examples=40, deadline=None)
+    @given(call_ids, rates)
+    def test_context_matches_sampling_decision(self, call_id, rate):
+        canon = _canon(call_id)
+        context = TraceContext.for_session(canon, rate)
+        if sample_session(canon, rate):
+            assert context.sampled
+            assert context.trace_id == session_trace_id(canon)
+        else:
+            assert not context.sampled
+            assert context.trace_id == ""
+
+    @settings(max_examples=40, deadline=None)
+    @given(call_ids)
+    def test_trace_ids_are_short_stable_hex(self, call_id):
+        canon = _canon(call_id)
+        tid = session_trace_id(canon)
+        assert len(tid) == 16
+        assert set(tid) <= set("0123456789abcdef")
+        assert session_trace_id(canon) == tid
+
+    def test_sampling_does_not_correlate_with_worker_placement(self):
+        """The sampling hash is salted: within every shard bucket some
+        sessions sample in and some sample out, so 1-in-N tracing thins
+        every worker's load instead of blacking out whole workers."""
+        workers, rate = 4, 8
+        per_worker: dict[int, set] = collections.defaultdict(set)
+        for n in range(2000):
+            key = ShardKey(PLANE_SIGNALLING, ("sip", f"call-{n}@pbx"))
+            decision = sample_session(key.canon(), rate)
+            per_worker[shard_index(key, workers)].add(decision)
+        for worker in range(workers):
+            assert per_worker[worker] == {True, False}
+
+    def test_sampled_fraction_tracks_the_rate(self):
+        rate = 8
+        sampled = sum(
+            sample_session(_canon(f"call-{n}@pbx"), rate) for n in range(2000)
+        )
+        assert 2000 / rate * 0.6 < sampled < 2000 / rate * 1.4
+
+
+span_records = st.lists(
+    st.fixed_dictionaries({
+        "span": st.sampled_from(sorted(STAGE_ORDER) + ["match:extra"]),
+        "t_sim": st.floats(min_value=0.0, max_value=100.0,
+                           allow_nan=False, allow_infinity=False),
+        "frame": st.integers(min_value=0, max_value=10_000),
+        "dur_us": st.floats(min_value=0.0, max_value=1e6,
+                            allow_nan=False, allow_infinity=False),
+    }),
+    max_size=64,
+)
+
+
+class TestTimelineMerge:
+    @settings(max_examples=40, deadline=None)
+    @given(span_records)
+    def test_sort_is_a_permutation_in_pipeline_order(self, records):
+        merged = sort_timeline(records)
+        # Nothing invented, nothing lost.
+        freeze = lambda r: (r["span"], r["t_sim"], r["frame"], r["dur_us"])  # noqa: E731
+        assert collections.Counter(map(freeze, merged)) == collections.Counter(
+            map(freeze, records)
+        )
+        keys = [
+            (r["t_sim"],
+             STAGE_ORDER.get(r["span"].partition(":")[0], len(STAGE_ORDER)),
+             r["frame"])
+            for r in merged
+        ]
+        assert keys == sorted(keys)
+
+    @settings(max_examples=40, deadline=None)
+    @given(span_records)
+    def test_sort_is_idempotent(self, records):
+        merged = sort_timeline(records)
+        assert sort_timeline(merged) == merged
