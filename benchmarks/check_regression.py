@@ -5,7 +5,8 @@ from ``bench_dispatch.py``, ``BENCH_shards.json`` from
 ``bench_shard_scaling.py``, ``BENCH_forensics.json`` from
 ``bench_forensics.py``, ``BENCH_resilience.json`` from
 ``bench_resilience.py``, ``BENCH_obs.json`` from
-``bench_observability_overhead.py``).  The baselines are committed; CI re-runs the
+``bench_observability_overhead.py``, ``BENCH_overload.json`` from
+``bench_overload.py``).  The baselines are committed; CI re-runs the
 benches and calls this script to compare the headline metric against the
 baseline with a relative tolerance::
 
@@ -19,7 +20,9 @@ The headline metric is chosen by the ``bench`` field: ``speedup``
 scaling) or ``throughput_ratio`` (forensics on vs off; checkpointing
 on vs off for the resilience bench; summaries+cost-sampling on vs
 metrics-only for the observability bench; ``frames_per_second`` for the
-workload-generator bench).  A fresh value below ``baseline * (1 - tolerance)`` fails, as
+workload-generator bench; ``shed_precision`` — the adjudicated-heavy
+source's share of shed frames — for the overload bench).  A fresh
+value below ``baseline * (1 - tolerance)`` fails, as
 does a fresh run whose own equivalence checks failed.
 
 The script also gates detection *quality*: when the baseline JSON is a
@@ -44,6 +47,7 @@ HEADLINE = {
     "resilience": "throughput_ratio",
     "observability": "throughput_ratio",
     "workload": "frames_per_second",
+    "overload": "shed_precision",
 }
 
 # Detection-quality gate (QUALITY_baseline.json vs a fresh
@@ -178,6 +182,17 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
                 f"sampled cluster tracing throughput ratio {trace_ratio:.3f} "
                 f"< {CLUSTER_TRACE_RATIO_FLOOR:.2f} of the untraced cluster"
             )
+    if bench == "overload":
+        # Spelled out on top of the `equivalent` roll-up so a failure
+        # names the broken guarantee, not just "equivalence failed".
+        for flag, message in (
+            ("reached_shed", "controller never reached shed under the flood"),
+            ("recovered", "controller did not recover to normal after the flood"),
+            ("innocent_untouched", "an innocent plane or source was shed"),
+        ):
+            print(f"overload: {flag}={bool(fresh.get(flag, False))}")
+            if not fresh.get(flag, False):
+                failures.append(f"overload guarantee broken: {message}")
     return failures
 
 

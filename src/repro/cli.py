@@ -184,6 +184,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="skip worker crash injection (cluster mode)")
     chaos.add_argument("--mutation-rate", type=float, default=0.25,
                        help="probability a media frame spawns a mutated copy")
+    chaos.add_argument("--flood", type=int, default=0, metavar="N",
+                       help="interleave an N-frame INVITE/RTP flood from one "
+                            "attacker host and check the overload controller "
+                            "sheds it without losing the paper-attack alerts "
+                            "(with --workers > 0)")
     chaos.add_argument("--json", help="write the chaos report to this JSON file")
 
     stats = sub.add_parser(
@@ -359,6 +364,10 @@ def _add_workload_eval_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cluster-backend", default="threads",
                         choices=["process", "threads", "serial"],
                         help="cluster worker transport")
+    parser.add_argument("--overload", action="store_true",
+                        help="run the scored cluster with the adaptive "
+                             "overload controller enabled (the flood "
+                             "scenarios' degraded-mode configuration)")
     parser.add_argument("--sweeps", action="store_true",
                         help="include the threshold-sweep operating curves "
                              "(re-runs the engine per threshold)")
@@ -431,6 +440,10 @@ def _add_cluster_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cluster-backend", default="process",
                         choices=["process", "threads", "serial"],
                         help="worker transport (with --workers > 1)")
+    parser.add_argument("--overload", action="store_true",
+                        help="enable the adaptive overload controller: "
+                             "brownout/shed state machine with a per-source "
+                             "penalty box (cluster, or single-engine replay)")
 
 
 def _cluster_replay(trace, args: argparse.Namespace, vantage: str | None,
@@ -462,6 +475,7 @@ def _cluster_replay(trace, args: argparse.Namespace, vantage: str | None,
         trace_enabled=bool(trace_out),
         trace_sample_rate=max(1, getattr(args, "trace_sample", 1) or 1),
         profile_dir=profile_dir,
+        overload_enabled=getattr(args, "overload", False),
         **pack_fields,
     )
     if source is not None:
@@ -476,6 +490,23 @@ def _cluster_replay(trace, args: argparse.Namespace, vantage: str | None,
           f"{len(result.alerts)} alerts, "
           f"{result.cluster.batches_submitted} batches, "
           f"{result.cluster.worker_restarts} restarts")
+    status = cluster.overload_status()
+    if status is not None:
+        shed = result.cluster.frames_shed
+        shed_txt = ", ".join(
+            f"{plane}={count:,}" for plane, count in sorted(shed.items())
+        ) or "none"
+        print(f"overload: state={status['state']} "
+              f"transitions={status['transitions_total'] or '{}'} "
+              f"shed by plane: {shed_txt}")
+        heavy = sorted(
+            status.get("shed_by_source", {}).items(),
+            key=lambda kv: -kv[1],
+        )[:5]
+        if heavy:
+            print("  penalty box: " + "  ".join(
+                f"{ip}={count:,}" for ip, count in heavy
+            ))
     if trace_out:
         count = obs.write_spans_jsonl(trace_out, result.trace or [])
         dropped = result.cluster.spans_dropped
@@ -659,13 +690,27 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         engine = ScidiveEngine(vantage_ip=args.vantage, observability=ctx,
                                indexed_dispatch=not args.broadcast,
                                rulepack=args.rules)
+        overload = None
+        if getattr(args, "overload", False):
+            from repro.resilience import EngineOverload
+
+            overload = EngineOverload(engine)
+            # /healthz reads engine.overload; the attribute only exists
+            # on instrumented replays.
+            engine.overload = overload
         if server is not None:
             # Bind before the replay so /healthz and /metrics answer mid-run.
             if ctx is not None:
                 server.source.set_registry(ctx.registry)
             server.source.set_engine(engine)
         with _maybe_profile(args, "engine"):
-            engine.process_trace(trace)
+            if overload is not None:
+                for record in trace:
+                    engine.process_frame(record.frame, record.timestamp)
+                    overload.record_frame(record.timestamp)
+                engine.snapshot_gauges()
+            else:
+                engine.process_trace(trace)
         mode = "broadcast" if args.broadcast else "indexed"
         if engine.rulepack is not None:
             mode += f" dispatch, pack {engine.rulepack.label}"
@@ -674,6 +719,11 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         print(f"replayed {len(trace)} frames ({mode}): "
               f"{engine.stats.footprints} footprints, "
               f"{engine.stats.events} events, {len(engine.alerts)} alerts")
+        if overload is not None:
+            status = overload.as_dict()
+            print(f"overload: state={status['state']} "
+                  f"transitions={status['transitions_total'] or '{}'} "
+                  f"burn={status['burn_rate']:.2f}x")
         _print_alerts(engine.alerts)
         if args.json:
             count = write_alerts_jsonl(args.json, engine.alerts)
@@ -913,15 +963,23 @@ def _cmd_rules_reload(args: argparse.Namespace) -> int:
     import urllib.error
     import urllib.request
 
+    from repro.obs.retry import with_retries
+
     base = (args.url or f"http://{args.host}:{args.port}").rstrip("/")
     body = _json.dumps({"path": _os.path.abspath(args.pack)}).encode("utf-8")
     request = urllib.request.Request(
         f"{base}/rules/reload", data=body, method="POST",
         headers={"Content-Type": "application/json"},
     )
-    try:
+
+    def _post() -> dict:
         with urllib.request.urlopen(request, timeout=30.0) as response:
-            payload = _json.loads(response.read().decode("utf-8"))
+            return _json.loads(response.read().decode("utf-8"))
+
+    try:
+        # Transient connect failures get 3 jittered-backoff attempts; an
+        # HTTP error status (409 rejected pack) is final and not retried.
+        payload = with_retries(_post)
     except urllib.error.HTTPError as exc:
         try:
             detail = _json.loads(exc.read().decode("utf-8")).get("error", "")
@@ -951,6 +1009,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         "backend": args.cluster_backend,
         "inject_crashes": not args.no_crashes,
         "mutation_rate": args.mutation_rate,
+        "flood_frames": args.flood,
     }
     if args.attacks:
         overrides["attacks"] = tuple(args.attacks)
@@ -1032,12 +1091,18 @@ def _load_trace_spans(args: argparse.Namespace) -> list[dict] | None:
         import urllib.error
         import urllib.request
 
+        from repro.obs.retry import with_retries
+
         base = (args.url or f"http://{args.host}:{args.port}").rstrip("/")
-        try:
+
+        def _get() -> dict:
             with urllib.request.urlopen(
                 f"{base}/trace?limit=1000000", timeout=30.0
             ) as response:
-                payload = _json.loads(response.read().decode("utf-8"))
+                return _json.loads(response.read().decode("utf-8"))
+
+        try:
+            payload = with_retries(_get)
         except (urllib.error.URLError, OSError, ValueError) as exc:
             print(f"sidecar unreachable at {base}: {exc}", file=sys.stderr)
             return None
@@ -1223,6 +1288,8 @@ def _cmd_workload(args: argparse.Namespace) -> int:
 
 def _workload_spec(args: argparse.Namespace):
     """Resolve the scenario: spec file (or built-in default) + CLI overrides."""
+    import dataclasses as _dataclasses
+
     from repro.workload import ATTACK_KINDS, DEFAULT_SCENARIO, load_scenario
     from repro.workload.scenario import AttackMix
 
@@ -1249,13 +1316,14 @@ def _workload_spec(args: argparse.Namespace):
                 count = -1 if value == "auto" else int(value)
                 if count == 0:
                     attacks.pop(key, None)
-                else:
-                    spacing = attacks[key].spacing if key in attacks else None
-                    attacks[key] = (
-                        AttackMix(key, count, spacing)
-                        if spacing is not None
-                        else AttackMix(key, count)
+                elif key in attacks:
+                    # Keep the spec's spacing — and, for flood kinds,
+                    # its packets/pps — when only the count changes.
+                    attacks[key] = _dataclasses.replace(
+                        attacks[key], count=count
                     )
+                else:
+                    attacks[key] = AttackMix(key, count)
             else:
                 raise ValueError(
                     f"--mix key {key!r} is neither 'attacks' nor an attack "
@@ -1360,6 +1428,7 @@ def _evaluate_and_report(trace, truth, args: argparse.Namespace) -> int:
         systems=tuple(args.systems),
         workers=args.workers,
         cluster_backend=args.cluster_backend,
+        cluster_overload=getattr(args, "overload", False),
         sweeps=args.sweeps,
     )
     print(format_quality_report(report))

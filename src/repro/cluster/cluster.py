@@ -89,6 +89,14 @@ from repro.obs.tracing import (
     sort_timeline,
 )
 from repro.resilience.checkpoint import RulePackMismatch
+from repro.resilience.overload import (
+    STATE_VALUES,
+    OverloadConfig,
+    OverloadController,
+    SourceAccountant,
+    format_source,
+    shed_plan,
+)
 from repro.rulespec import RulePack, compile_pack, lint_text, load_pack, parse_pack
 from repro.sim.trace import Trace
 
@@ -142,6 +150,13 @@ class ClusterConfig:
     # When set, each queue-backed worker runs a sampling stack profiler
     # and writes worker-N.collapsed (flamegraph-ready) into this dir.
     profile_dir: str | None = None
+    # Closed-loop overload control (repro.resilience.overload): the
+    # router runs a per-tick hysteresis state machine (normal → brownout
+    # → shed → recovering) plus a count-min-sketch per-source penalty
+    # box, so floods shed the attacker's frames before an innocent
+    # subscriber's signalling.  None = OverloadConfig defaults.
+    overload_enabled: bool = False
+    overload_config: OverloadConfig | None = None
 
     def validate(self) -> "ClusterConfig":
         if self.workers < 1:
@@ -168,6 +183,11 @@ class ClusterConfig:
             raise ClusterError(
                 f"trace_max_spans must be >= 1 (got {self.trace_max_spans})"
             )
+        if self.overload_config is not None:
+            try:
+                self.overload_config.validate()
+            except ValueError as exc:
+                raise ClusterError(str(exc)) from exc
         if self.pack_text:
             # Fail on the router, at construction — not inside N workers.
             pack, _ = parse_pack(self.pack_text, self.pack_path or "<cluster-config>")
@@ -638,6 +658,10 @@ class ClusterStats:
     # by plane (media sheds before signalling), and shards abandoned
     # after max_restarts.  Shed frames also count in frames_dropped.
     frames_shed: dict = field(default_factory=dict)
+    # Penalty-box attribution: shed frames whose source was adjudicated
+    # a heavy hitter, keyed by dotted-quad (bounded by the accountant's
+    # candidate set, not by how many sources a flood spoofs).
+    shed_by_source: dict = field(default_factory=dict)
     workers_dead: int = 0
     rulepack_reloads: int = 0
     # Cross-process tracing: spans discarded at any tracer's max_spans
@@ -656,6 +680,7 @@ class ClusterStats:
             "frames_by_plane": dict(self.frames_by_plane),
             "fragments_expired": self.fragments_expired,
             "frames_shed": dict(self.frames_shed),
+            "shed_by_source": dict(self.shed_by_source),
             "workers_dead": self.workers_dead,
             "rulepack_reloads": self.rulepack_reloads,
             "spans_dropped": self.spans_dropped,
@@ -823,6 +848,23 @@ class ScidiveCluster:
         self._trace_ids: dict = {}
         self._worker_spans: list[dict] = []
         self._router_spans_dropped = 0
+        # Overload control plane (router half): the controller ticks in
+        # submit_frame, its transition alerts land in self_alerts, and
+        # the accountant's heavy-hitter verdicts guard every shed.
+        self.overload: OverloadController | None = None
+        self.accountant: SourceAccountant | None = None
+        if self.config.overload_enabled:
+            ocfg = self.config.overload_config or OverloadConfig()
+            self.overload = OverloadController(
+                config=ocfg, name="cluster", emit_alert=self.self_alerts.append
+            )
+            self.accountant = SourceAccountant(ocfg)
+        # Serial-backend brownout: saved (cost_sample_rate, summary_sample)
+        # per inline engine, restored when the controller heals to normal.
+        self._degraded_knobs: list[tuple] | None = None
+        # frames_dropped high-water at the last controller tick, so each
+        # tick sees only its own window's shed rate.
+        self._tick_dropped = 0
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -893,6 +935,26 @@ class ScidiveCluster:
         self._last_submit_monotonic = _time.monotonic()
         self._last_submit_ts = timestamp
         stats.frames_in += 1
+        overload = self.overload
+        if overload is not None:
+            source = bytes(frame[26:30]) if len(frame) >= 34 else b""
+            self.accountant.record(source)
+            if stats.frames_in % overload.config.tick_frames == 0:
+                self._overload_tick(timestamp)
+            if overload.shedding and self.accountant.is_heavy(source):
+                # Penalty box: in shed state an adjudicated-heavy source
+                # loses frames at the router door — every plane,
+                # signalling included, because a flooding source's
+                # INVITEs *are* the flood.  Innocent sources never take
+                # this path.
+                stats.frames_dropped += 1
+                stats.frames_shed["penalty-box"] = (
+                    stats.frames_shed.get("penalty-box", 0) + 1
+                )
+                ip = format_source(source)
+                stats.shed_by_source[ip] = stats.shed_by_source.get(ip, 0) + 1
+                stats.router_seconds += _time.thread_time() - t0
+                return
         n = self.config.workers
         tracer = self._tracer
         routed: list[tuple[str, str, int]] = []
@@ -926,6 +988,12 @@ class ScidiveCluster:
         """Cached head-based sampling decision for one shard key
         ("" = session not sampled)."""
         cached = self._trace_ids.get(key)
+        if self.overload is not None and self.overload.degraded:
+            # Brownout sheds optional work first: no *new* sessions start
+            # sampling while degraded (already-sampled sessions keep
+            # their spans; the un-cached decision is retaken after the
+            # controller heals).
+            return cached or ""
         if cached is None:
             cached = TraceContext.for_session(
                 key.canon(), self.config.trace_sample_rate
@@ -978,7 +1046,7 @@ class ScidiveCluster:
                 # Queue pressure: shed the media/other planes, then fight
                 # for the signalling remainder — a lost RTP packet costs
                 # one sample, a lost BYE silences a dialog's detection.
-                items = self._shed_non_signalling(items)
+                items = self._shed_under_pressure(worker, items)
                 if not items:
                     return
             else:
@@ -999,6 +1067,53 @@ class ScidiveCluster:
                 stats.frames_shed[plane] = stats.frames_shed.get(plane, 0) + 1
                 stats.frames_dropped += 1
         return kept
+
+    def _shed_under_pressure(self, worker, items: list) -> list:
+        """One queue-full shedding round; returns what must still be
+        delivered blocking (possibly empty if a retry landed).
+
+        Without the overload plane this is the legacy all-or-nothing
+        media shed.  With it, the penalty box stages the drops — heavy
+        non-signalling, then innocent non-signalling, then (only in
+        ``shed`` state) heavy signalling — retrying the queue between
+        stages so each escalation only happens if the previous one did
+        not relieve the pressure.  Innocent signalling is never staged.
+        """
+        stats = self.cluster_stats
+        if self.overload is None or self.accountant is None:
+            return self._shed_non_signalling(items)
+        accountant = self.accountant
+        stages, _protected = shed_plan(
+            items,
+            is_heavy=lambda item: accountant.is_heavy(bytes(item[0][26:30])),
+            is_signalling=lambda item: item[3] == PLANE_SIGNALLING,
+            allow_heavy_signalling=self.overload.shedding,
+        )
+        remaining = list(items)
+        for stage in stages:
+            if not stage:
+                continue
+            dropped = {id(item) for item in stage}
+            for item in stage:
+                plane = item[3]
+                stats.frames_shed[plane] = stats.frames_shed.get(plane, 0) + 1
+                stats.frames_dropped += 1
+                source = bytes(item[0][26:30])
+                if accountant.is_heavy(source):
+                    ip = format_source(source)
+                    stats.shed_by_source[ip] = (
+                        stats.shed_by_source.get(ip, 0) + 1
+                    )
+            remaining = [item for item in remaining if id(item) not in dropped]
+            if not remaining:
+                return []
+            try:
+                worker.in_q.put_nowait(self._wire(remaining))
+            except _queue.Full:
+                continue
+            stats.batches_submitted += 1
+            return []
+        return remaining
 
     def _deliver_blocking(self, worker, items: list) -> None:
         """Bounded-blocking put with failover: backpressure while the
@@ -1105,6 +1220,101 @@ class ScidiveCluster:
             raise ClusterError("serial backend has no workers to crash")
         worker = self._workers[worker_id]
         worker.in_q.put(("crash", exit_code))
+
+    # -- overload control -------------------------------------------------------
+
+    def _overload_tick(self, timestamp: float) -> None:
+        """One controller observation: worst queue fill across workers,
+        the budget burn rate where the engines are in-process, and the
+        tick window's shed rate (drops while shedding works must still
+        read as pressure — the penalty box keeps the queues empty)."""
+        dropped = self.cluster_stats.frames_dropped
+        shed_rate = (dropped - self._tick_dropped) / self.overload.config.tick_frames
+        self._tick_dropped = dropped
+        self.overload.observe(
+            timestamp,
+            queue_fill=self._queue_fill(),
+            burn_rate=self._inline_burn_rate(),
+            shed_rate=shed_rate,
+            top_sources=self.accountant.top_sources(),
+        )
+        self._apply_degradation()
+
+    def _queue_fill(self) -> float:
+        """Worst per-worker input-queue fill fraction (0..1)."""
+        depth = self.config.queue_depth
+        worst = 0
+        for worker in self._workers:
+            in_q = getattr(worker, "in_q", None)
+            if in_q is None:
+                continue
+            try:
+                size = in_q.qsize()
+            except NotImplementedError:  # pragma: no cover - macOS mp queues
+                continue
+            if size > worst:
+                worst = size
+        return min(1.0, worst / depth)
+
+    def _inline_burn_rate(self) -> float:
+        """Latency-budget burn where it is observable: the serial backend
+        runs engines in-process; queued backends drive on fill alone."""
+        if self.config.backend != "serial":
+            return 0.0
+        worst = 0.0
+        for worker in self._workers:
+            budget = getattr(worker.engine, "latency_budget", None)
+            if budget is not None and budget.burn_rate > worst:
+                worst = budget.burn_rate
+        return worst
+
+    def _apply_degradation(self) -> None:
+        """Brownout policy for in-process engines: floor the per-frame
+        optional work (rule cost sampling off, summary sketches widened)
+        while degraded, heal the saved rates on the return to normal.
+        Queued backends get the router-side half only (trace sampling
+        suppression in :meth:`_trace_id`)."""
+        if self.config.backend != "serial":
+            return
+        degraded = self.overload.degraded
+        if degraded and self._degraded_knobs is None:
+            saved = []
+            for worker in self._workers:
+                engine = worker.engine
+                ruleset = getattr(engine, "ruleset", None)
+                instr = getattr(engine, "_instr", None)
+                saved.append(
+                    (
+                        ruleset.cost_sample_rate if ruleset is not None else 0,
+                        instr.summary_sample if instr is not None else 1,
+                    )
+                )
+                if ruleset is not None:
+                    ruleset.cost_sample_rate = 0
+                if instr is not None:
+                    instr.summary_sample = max(instr.summary_sample, 64)
+            self._degraded_knobs = saved
+        elif not degraded and self._degraded_knobs is not None:
+            for worker, (cost_rate, summary) in zip(
+                self._workers, self._degraded_knobs
+            ):
+                engine = worker.engine
+                ruleset = getattr(engine, "ruleset", None)
+                instr = getattr(engine, "_instr", None)
+                if ruleset is not None:
+                    ruleset.cost_sample_rate = cost_rate
+                if instr is not None:
+                    instr.summary_sample = summary
+            self._degraded_knobs = None
+
+    def overload_status(self) -> dict | None:
+        """The /healthz and ``repro stats`` view (None = plane disabled)."""
+        if self.overload is None:
+            return None
+        view = self.overload.as_dict()
+        view["sources"] = self.accountant.as_dict()
+        view["shed_by_source"] = dict(self.cluster_stats.shed_by_source)
+        return view
 
     # -- rule-pack hot reload ---------------------------------------------------
 
@@ -1460,6 +1670,26 @@ class ScidiveCluster:
             "scidive_cluster_rulepack_reloads_total",
             "Hot rule-pack reloads coordinated by the router",
         ).inc(stats.rulepack_reloads)
+        if self.overload is not None:
+            registry.gauge(
+                "scidive_overload_state",
+                "Overload controller state "
+                "(0=normal 1=brownout 2=shed 3=recovering)",
+            ).set(STATE_VALUES[self.overload.state])
+            transitions = registry.counter(
+                "scidive_overload_transitions_total",
+                "Overload controller state transitions",
+                labelnames=("transition",),
+            )
+            for key, count in self.overload.transitions_total.items():
+                transitions.labels(transition=key).inc(count)
+            by_source = registry.counter(
+                "scidive_shed_by_source_total",
+                "Shed frames attributed to heavy-hitter sources",
+                labelnames=("source",),
+            )
+            for ip, count in stats.shed_by_source.items():
+                by_source.labels(source=ip).inc(count)
         if self._tracer is not None:
             # Same family/help as the workers' instrument counter, so a
             # merged scrape sums drops across the whole cluster; the
@@ -1514,10 +1744,13 @@ class ScidiveCluster:
             "workers_dead": stats.workers_dead,
             "worker_dead": [w.worker_id for w in self._workers if w.dead],
             "frames_shed": dict(stats.frames_shed),
+            "shed_by_source": dict(stats.shed_by_source),
             "checkpointing": bool(self.config.checkpoint_every),
             "rulepack": self.rulepack.info() if self.rulepack is not None else None,
             "rulepack_reloads": stats.rulepack_reloads,
         }
+        if self.overload is not None:
+            payload["overload"] = self.overload_status()
         if self._tracer is not None:
             payload["tracing"] = {
                 "sample_rate": self.config.trace_sample_rate,

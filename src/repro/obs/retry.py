@@ -1,0 +1,56 @@
+"""Bounded retry for the sidecar's HTTP clients.
+
+``repro rules reload``, ``repro trace`` and ``repro top --once`` all
+talk to the ``--serve-http`` sidecar over loopback HTTP.  The sidecar
+binds on a thread while the replay is starting, so the first probe of a
+freshly launched run can race the bind and see a connection refused —
+a transient, not an outage.  :func:`with_retries` gives such calls
+three attempts with full-jitter exponential backoff.
+
+An ``HTTPError`` is a *decision* from the sidecar (409 rejected reload,
+404 unknown path) and is re-raised immediately: retrying cannot change
+the server's mind, and a rejected rule pack must not be re-POSTed.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import urllib.error
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+DEFAULT_ATTEMPTS = 3
+DEFAULT_BASE_DELAY = 0.2
+
+
+def with_retries(
+    call: Callable[[], T],
+    attempts: int = DEFAULT_ATTEMPTS,
+    base_delay: float = DEFAULT_BASE_DELAY,
+    sleep: Callable[[float], None] = time.sleep,
+    rng: Callable[[], float] = random.random,
+) -> T:
+    """Run ``call`` with up to ``attempts`` tries on transient failures.
+
+    Retryable: connection refused/reset, timeouts, truncated payloads
+    (``URLError``/``OSError``/``ValueError``).  Backoff before attempt
+    ``n`` is uniform in ``[0, base_delay * 2**n)`` — full jitter, so
+    concurrent clients hammering one sidecar decorrelate.  The last
+    failure is re-raised unchanged for the caller's error reporting.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1 (got {attempts})")
+    last: Exception | None = None
+    for attempt in range(attempts):
+        try:
+            return call()
+        except urllib.error.HTTPError:
+            raise
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            last = exc
+            if attempt + 1 < attempts:
+                sleep(base_delay * (2**attempt) * rng())
+    assert last is not None
+    raise last

@@ -227,6 +227,9 @@ class StatusSource:
             budget = getattr(engine, "latency_budget", None)
             if budget is not None:
                 engine_view["latency_budget"] = budget.as_dict()
+            overload = getattr(engine, "overload", None)
+            if overload is not None:
+                engine_view["overload"] = overload.as_dict()
             obs = getattr(engine, "observability", None)
             tracer = getattr(obs, "tracer", None) if obs is not None else None
             if tracer is not None:
@@ -292,6 +295,9 @@ class StatusSource:
             totals["shed"] += health.get("frames_dropped", 0)
             extra["queue_depths"] = health.get("queue_depths", [])
             extra["worker_restarts"] = health.get("worker_restarts", 0)
+            overload = health.get("overload")
+            if overload:
+                extra["overload_state"] = overload.get("state")
             result = cluster.result
             if result is not None:
                 totals["events"] += result.stats.events

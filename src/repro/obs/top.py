@@ -27,6 +27,8 @@ import urllib.error
 import urllib.request
 from typing import Any
 
+from repro.obs.retry import with_retries
+
 DEFAULT_INTERVAL = 1.0
 DEFAULT_WINDOW = 10.0
 DEFAULT_TIMEOUT = 2.0
@@ -34,8 +36,13 @@ TOP_RULES = 5
 
 
 def fetch_json(url: str, timeout: float = DEFAULT_TIMEOUT) -> Any:
-    with urllib.request.urlopen(url, timeout=timeout) as resp:
-        return json.loads(resp.read().decode("utf-8"))
+    def _get() -> Any:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+
+    # A sidecar that is still binding (or briefly overloaded) gets three
+    # jittered-backoff attempts before the panel reports it unreachable.
+    return with_retries(_get)
 
 
 def gather(base_url: str, timeout: float = DEFAULT_TIMEOUT) -> dict[str, Any]:
@@ -84,6 +91,33 @@ def _quantile_row(label: str, view: dict[str, Any]) -> str:
         f"  {label:<12}{_ms(view.get('p50', 0.0))}{_ms(view.get('p90', 0.0))}"
         f"{_ms(view.get('p99', 0.0))}  n={view.get('count', 0)}"
     )
+
+
+def _overload_lines(view: dict[str, Any]) -> list[str]:
+    """The overload-controller panel (engine and cluster views alike)."""
+    state = view.get("state", "?")
+    banner = state if state == "normal" else str(state).upper()
+    lines = [
+        f"  overload: [{banner}]  "
+        f"fill {view.get('queue_fill', 0.0):.2f}  "
+        f"burn {view.get('burn_rate', 0.0):.2f}x  "
+        f"shed-rate {view.get('shed_rate', 0.0):.1%}"
+    ]
+    transitions = view.get("transitions_total") or {}
+    if transitions:
+        lines.append(
+            "    transitions: "
+            + "  ".join(f"{edge} x{n}" for edge, n in transitions.items())
+        )
+    heavy = sorted(
+        (view.get("shed_by_source") or {}).items(), key=lambda kv: -kv[1]
+    )[:TOP_RULES]
+    if heavy:
+        lines.append(
+            "    penalty box: "
+            + "  ".join(f"{ip}={count:,}" for ip, count in heavy)
+        )
+    return lines
 
 
 def render(status: dict[str, Any], window: float = DEFAULT_WINDOW) -> list[str]:
@@ -139,6 +173,9 @@ def render(status: dict[str, Any], window: float = DEFAULT_WINDOW) -> list[str]:
                 f"{budget.get('over_budget_fraction', 0.0):.1%} of frames  "
                 f"self-alerts {budget.get('alerts_emitted', 0)}"
             )
+        overload = engine.get("overload")
+        if overload:
+            lines.extend(_overload_lines(overload))
         frame_q = engine.get("frame_latency")
         stage_q = engine.get("stage_latency")
         if frame_q or stage_q:
@@ -190,6 +227,17 @@ def render(status: dict[str, Any], window: float = DEFAULT_WINDOW) -> list[str]:
             lines.append(
                 "  queue depths: " + " ".join(str(d) for d in depths)
             )
+        shed = cluster.get("frames_shed") or {}
+        if shed:
+            lines.append(
+                "  shed by plane: "
+                + "  ".join(
+                    f"{plane}={count:,}" for plane, count in sorted(shed.items())
+                )
+            )
+        overload = cluster.get("overload")
+        if overload:
+            lines.extend(_overload_lines(overload))
         dead = cluster.get("worker_dead", [])
         if dead:
             lines.append(f"  DEAD shards: {dead}")

@@ -24,6 +24,12 @@ away.  Three cooperating pieces:
   mutated frames, worker crashes and clock skew, then checks the
   invariants (no uncaught exception, bounded state, signalling-plane
   alerts preserved).
+
+* :mod:`repro.resilience.overload` — the closed-loop overload control
+  plane: a hysteresis state machine (normal → brownout → shed →
+  recovering) driven by queue fill and latency-budget burn, plus a
+  count-min-sketch per-source penalty box so volumetric floods shed the
+  attacker's frames before an innocent subscriber's signalling.
 """
 
 from repro.resilience.checkpoint import (
@@ -39,6 +45,20 @@ from repro.resilience.firewall import (
     STAGE_RULE,
     QUARANTINE_RULE_ID,
     StageFirewall,
+)
+from repro.resilience.overload import (
+    OVERLOAD_STATES,
+    STATE_BROWNOUT,
+    STATE_NORMAL,
+    STATE_RECOVERING,
+    STATE_SHED,
+    TRANSITION_RULE_PREFIX,
+    CountMinSketch,
+    EngineOverload,
+    OverloadConfig,
+    OverloadController,
+    SourceAccountant,
+    shed_plan,
 )
 
 _CHAOS_EXPORTS = {"ChaosConfig", "ChaosReport", "format_report", "run_chaos"}
@@ -71,4 +91,16 @@ __all__ = [
     "STAGE_RULE",
     "QUARANTINE_RULE_ID",
     "StageFirewall",
+    "OVERLOAD_STATES",
+    "STATE_BROWNOUT",
+    "STATE_NORMAL",
+    "STATE_RECOVERING",
+    "STATE_SHED",
+    "TRANSITION_RULE_PREFIX",
+    "CountMinSketch",
+    "EngineOverload",
+    "OverloadConfig",
+    "OverloadController",
+    "SourceAccountant",
+    "shed_plan",
 ]

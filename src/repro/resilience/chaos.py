@@ -18,7 +18,13 @@ produces:
   then back in the past, after the originals so state expiry cannot
   retroactively suppress alerts that already fired;
 * **worker crashes** — in cluster mode, ``inject_crash`` against
-  rotating workers with checkpointing on.
+  rotating workers with checkpointing on;
+* **volumetric flood** — a sustained INVITE/RTP burst from one flood
+  host interleaved through the replay (``flood_frames > 0``).  Cluster
+  mode runs with the overload control plane enabled and a deliberately
+  shallow queue, so the run exercises the penalty box for real: the
+  invariant is that the controller *reports shed* while the attack's
+  signalling alerts still fire.
 
 Invariants checked per attack (the definition of surviving the day):
 
@@ -61,6 +67,10 @@ _CHAOS_MAC = MacAddress("de:ad:be:ef:00:66")
 _PROXY_MAC = MacAddress("de:ad:be:ef:00:01")
 _CHAOS_IP = IPv4Address.parse("10.66.66.66")
 _PROXY_IP = IPv4Address.parse("10.0.0.1")
+# The flood host is distinct from the hostile-signalling host so the
+# penalty box's heavy-hitter verdict lands on the volume, not the noise.
+_FLOOD_MAC = MacAddress("de:ad:be:ef:00:99")
+_FLOOD_IP = IPv4Address.parse("10.66.66.99")
 
 _ETH_HEADER_LEN = 14
 
@@ -79,6 +89,7 @@ class ChaosConfig:
     synth_sip: int = 16              # hostile signalling frames per attack
     fragment_bombs: int = 32         # never-completing fragments per attack
     skew_frames: int = 20            # frames replayed under clock skew
+    flood_frames: int = 0            # sustained INVITE/RTP flood (0 = off)
     trail_bound: int = 10_000
     reassembly_bound: int = 4_096
 
@@ -92,6 +103,10 @@ class ChaosConfig:
             raise ValueError(f"workers must be >= 0 (got {self.workers})")
         if not 0.0 <= self.mutation_rate <= 1.0:
             raise ValueError(f"mutation_rate must be in [0, 1] (got {self.mutation_rate})")
+        if self.flood_frames < 0:
+            raise ValueError(
+                f"flood_frames must be >= 0 (got {self.flood_frames})"
+            )
         return self
 
 
@@ -103,6 +118,7 @@ class AttackOutcome:
     required_rule: str
     frames: int = 0
     mutants: int = 0
+    flood: int = 0
     alerts: int = 0
     detected: bool = False
     exceptions: list = field(default_factory=list)   # (stage, repr) pairs
@@ -110,6 +126,7 @@ class AttackOutcome:
     reassembly_pending: int = 0
     worker_restarts: int = 0
     checkpoints: int = 0
+    overload: dict = field(default_factory=dict)     # cluster flood runs only
     violations: list = field(default_factory=list)
 
     def as_dict(self) -> dict:
@@ -118,6 +135,7 @@ class AttackOutcome:
             "required_rule": self.required_rule,
             "frames": self.frames,
             "mutants": self.mutants,
+            "flood": self.flood,
             "alerts": self.alerts,
             "detected": self.detected,
             "exceptions": list(self.exceptions),
@@ -125,6 +143,7 @@ class AttackOutcome:
             "reassembly_pending": self.reassembly_pending,
             "worker_restarts": self.worker_restarts,
             "checkpoints": self.checkpoints,
+            "overload": dict(self.overload),
             "violations": list(self.violations),
         }
 
@@ -245,6 +264,42 @@ def _fragment_bombs(rng: random.Random, count: int) -> list:
     return frames
 
 
+def _flood_frames(rng: random.Random, count: int) -> list:
+    """A volumetric burst from one flood host: fresh-Call-ID INVITEs
+    (signalling broadcast — the expensive plane) alternating with RTP
+    datagrams at a media port.  One source address on purpose: the
+    penalty box must be able to name the flooder."""
+    frames = []
+    for n in range(count):
+        if n % 2 == 0:
+            payload = (
+                f"INVITE sip:victim@10.0.0.1 SIP/2.0\r\n"
+                f"Via: SIP/2.0/UDP 10.66.66.99:5060;branch=z9hG4bKfl{n:08x}\r\n"
+                f"Call-ID: flood-{n:08x}@evil\r\n"
+                f"From: <sip:flood@evil>;tag=f{n:x}\r\n"
+                f"To: <sip:victim@10.0.0.1>\r\n"
+                f"CSeq: 1 INVITE\r\nContent-Length: 0\r\n\r\n"
+            ).encode()
+            src_port, dst_port = 5060, 5060
+        else:
+            payload = (
+                b"\x80\x00"
+                + (n & 0xFFFF).to_bytes(2, "big")
+                + ((n * 160) & 0xFFFFFFFF).to_bytes(4, "big")
+                + b"\xf1\x00\xd9\x90"
+                + b"\x00" * 24
+            )
+            src_port, dst_port = 20066, 20000
+        frames.append(
+            build_udp_frame(
+                _FLOOD_MAC, _PROXY_MAC, _FLOOD_IP, _PROXY_IP,
+                src_port, dst_port, payload,
+                identification=rng.randrange(1 << 16),
+            )
+        )
+    return frames
+
+
 def _build_chaos_stream(rng: random.Random, records, config: ChaosConfig):
     """Interleave faults into one attack trace.
 
@@ -259,12 +314,21 @@ def _build_chaos_stream(rng: random.Random, records, config: ChaosConfig):
     bombs = _fragment_bombs(rng, config.fragment_bombs)
     extras = synth + bombs
     rng.shuffle(extras)
+    flood = _flood_frames(rng, config.flood_frames) if config.flood_frames else []
+    flood_sent = 0
     # Spread the injected frames across the replay.
     inject_every = max(1, len(records) // max(1, len(extras)))
     extra_iter = iter(extras)
     for index, record in enumerate(records):
         frame, ts = record.frame, record.timestamp
         stream.append((frame, ts))
+        # Flood frames interleave uniformly, so queue pressure is
+        # *sustained* across the replay rather than one terminal burst.
+        if flood:
+            quota = (index + 1) * len(flood) // len(records)
+            while flood_sent < quota:
+                stream.append((flood[flood_sent], ts))
+                flood_sent += 1
         # Media-plane frames spawn mutated twins; signalling stays clean
         # so the dialog evidence the rules need is never itself corrupted.
         if (
@@ -283,6 +347,9 @@ def _build_chaos_stream(rng: random.Random, records, config: ChaosConfig):
     for extra in extra_iter:
         stream.append((extra, records[-1].timestamp if records else 0.0))
         mutants += 1
+    while flood_sent < len(flood):
+        stream.append((flood[flood_sent], records[-1].timestamp if records else 0.0))
+        flood_sent += 1
     # Clock-skew tail: replay a slice one hour in the future (forcing
     # every expiry sweep at once), then back in the past.  Placed after
     # the originals so expiry cannot suppress alerts that already fired.
@@ -343,12 +410,30 @@ def _run_cluster(stream, outcome: AttackOutcome, config: ChaosConfig) -> None:
     from repro.cluster import ScidiveCluster
     from repro.voip.testbed import CLIENT_A_IP
 
+    extra = {}
+    if config.flood_frames:
+        # A flood run is an overload-control run: shallow *blocking*
+        # queues so the flood drives fill to 1.0 and the controller to
+        # shed, while every innocent frame is still delivered — the only
+        # shedding is the penalty box's door-drop of the heavy source,
+        # so the attack's evidence survives deterministically.
+        from repro.resilience.overload import OverloadConfig
+
+        extra = dict(
+            overload_enabled=True,
+            overload_config=OverloadConfig(
+                tick_frames=64, hot_min=32, dwell_ticks=2, recovery_ticks=2
+            ),
+            queue_depth=8,
+            overflow="block",
+        )
     cluster = ScidiveCluster(
         workers=config.workers,
         backend=config.backend,
         batch_size=16,
         vantage_ip=CLIENT_A_IP,
         checkpoint_every=1,
+        **extra,
     )
     cluster.start()
     crash_at = {len(stream) // 3: 0, (2 * len(stream)) // 3: 1}
@@ -371,6 +456,8 @@ def _run_cluster(stream, outcome: AttackOutcome, config: ChaosConfig) -> None:
     )
     outcome.worker_restarts = result.cluster.worker_restarts
     outcome.checkpoints = sum(worker.checkpoints for worker in result.workers)
+    if config.flood_frames:
+        outcome.overload = cluster.overload_status()
 
 
 def run_chaos(config: ChaosConfig | None = None, **overrides) -> ChaosReport:
@@ -395,6 +482,7 @@ def run_chaos(config: ChaosConfig | None = None, **overrides) -> ChaosReport:
             required_rule=REQUIRED_RULES[attack],
             frames=len(stream),
             mutants=mutants,
+            flood=config.flood_frames,
         )
         if config.workers:
             _run_cluster(stream, outcome, config)
@@ -415,6 +503,17 @@ def _judge(outcome: AttackOutcome, config: ChaosConfig) -> None:
         outcome.violations.append(
             f"required rule {outcome.required_rule} missing from alerts"
         )
+    if config.flood_frames and config.workers:
+        # The flood invariant pair: the controller must have escalated
+        # to shed (the flood was real pressure) *and* the attack's
+        # signalling alert must have survived the shedding (checked by
+        # the `detected` invariant above) — degraded-mode detection.
+        transitions = outcome.overload.get("transitions_total", {})
+        if not any(key.endswith("->shed") for key in transitions):
+            outcome.violations.append(
+                "flood never drove the overload controller to shed "
+                f"(transitions: {transitions or '{}'})"
+            )
     if not config.workers:  # worker engines are out of reach in cluster mode
         if outcome.live_trails > config.trail_bound:
             outcome.violations.append(
@@ -435,9 +534,10 @@ def format_report(report: ChaosReport) -> str:
         if config.workers
         else "single engine"
     )
+    flood = f"  flood={config.flood_frames}" if config.flood_frames else ""
     lines = [
         f"chaos run: seed={config.seed}  mode={mode}  "
-        f"mutation_rate={config.mutation_rate}",
+        f"mutation_rate={config.mutation_rate}{flood}",
         "",
         f"{'attack':<14} {'frames':>7} {'faults':>7} {'alerts':>7} "
         f"{'rule':<12} {'verdict'}",

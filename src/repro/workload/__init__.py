@@ -22,12 +22,14 @@ from repro.workload.generator import (
     WorkloadGenerator,
     WorkloadResult,
     WorkloadStats,
+    attack_deadline,
     generate_workload,
     trace_digest,
 )
 from repro.workload.labels import (
     ATTACK_KINDS,
     ATTACK_RULES,
+    FLOOD_KINDS,
     PAPER_ATTACKS,
     GroundTruth,
     SessionLabel,
@@ -59,6 +61,7 @@ __all__ = [
     "DEFAULT_SCENARIO",
     "DIURNAL_PROFILES",
     "DiurnalProfile",
+    "FLOOD_KINDS",
     "FrameForge",
     "GroundTruth",
     "PAPER_ATTACKS",
@@ -71,6 +74,7 @@ __all__ = [
     "WorkloadGenerator",
     "WorkloadResult",
     "WorkloadStats",
+    "attack_deadline",
     "generate_workload",
     "lint_path",
     "lint_text",

@@ -769,6 +769,126 @@ class FrameForge:
             frames.append(self._registrar_udp(t + 0.05, attacker, challenge))
         return frames, call_id, when
 
+    # -- volumetric flood ladders ---------------------------------------------
+    #
+    # Pressure workloads for the overload-control plane.  Each emits
+    # exactly ``packets`` attacker frames at ``pps`` and returns the same
+    # ``(frames, session, injection_time)`` shape as the attack ladders.
+    # ``session`` is "" — a flood spans thousands of Call-IDs (or none),
+    # so ground truth labels it by attacker address and time window.
+
+    def invite_flood(
+        self,
+        attacker: Subscriber,
+        victim: Subscriber,
+        when: float,
+        packets: int,
+        pps: float,
+    ) -> tuple[list[TimedFrame], str, float]:
+        """INVITE flood: fresh Call-ID per frame so every INVITE opens a
+        new dialog — the worst case for the signalling broadcast plane."""
+        interval = 1.0 / pps
+        to_addr = NameAddr(victim.uri)
+        frames: list[TimedFrame] = []
+        for i in range(packets):
+            from_addr = NameAddr(attacker.uri).with_tag(self._tag())
+            invite = self._request(
+                METHOD_INVITE,
+                victim.uri,
+                attacker,
+                from_addr,
+                to_addr,
+                self.new_call_id(),
+                1,
+            )
+            frames.append(
+                self._udp(
+                    when + i * interval, attacker, victim, SIP_PORT, SIP_PORT, invite
+                )
+            )
+        return frames, "", when
+
+    def register_flood_storm(
+        self,
+        attacker: Subscriber,
+        victim: Subscriber,
+        when: float,
+        packets: int,
+        pps: float,
+    ) -> tuple[list[TimedFrame], str, float]:
+        """Sustained unauthenticated REGISTER storm against one AoR.
+
+        A fresh Call-ID every 32 frames with CSeq climbing inside each —
+        the shape of a credential-stuffing registrar flood (the §3.3
+        register-dos ladder at volumetric rate, no 401s answered)."""
+        interval = 1.0 / pps
+        registrar_uri = SipUri(user="", host=self.domain)
+        to_addr = NameAddr(victim.uri)
+        frames: list[TimedFrame] = []
+        call_id = self.new_call_id()
+        from_addr = NameAddr(victim.uri).with_tag(self._tag())
+        for i in range(packets):
+            if i and i % 32 == 0:
+                call_id = self.new_call_id()
+                from_addr = NameAddr(victim.uri).with_tag(self._tag())
+            register = self._request(
+                METHOD_REGISTER,
+                registrar_uri,
+                attacker,
+                from_addr,
+                to_addr,
+                call_id,
+                (i % 32) + 1,
+            )
+            frames.append(
+                self._udp(
+                    when + i * interval,
+                    attacker,
+                    self._registrar_stub(),
+                    SIP_PORT,
+                    SIP_PORT,
+                    register,
+                )
+            )
+        return frames, "", when
+
+    def rtp_flood(
+        self,
+        attacker: Subscriber,
+        victim: Subscriber,
+        when: float,
+        packets: int,
+        pps: float,
+        rng,
+    ) -> tuple[list[TimedFrame], str, float]:
+        """RTP flood at a victim media port: valid-version RTP datagrams
+        from an unnegotiated source, saturating the media plane."""
+        interval = 1.0 / pps
+        attacker_port = self.next_media_port(attacker)
+        victim_port = self.next_media_port(victim)
+        ssrc = rng.getrandbits(32)
+        first_seq = rng.randrange(0, 0x8000)
+        frames: list[TimedFrame] = []
+        for i in range(packets):
+            packet = RtpPacket(
+                payload_type=0,
+                sequence=(first_seq + i) & 0xFFFF,
+                timestamp=(i * 160) & 0xFFFFFFFF,
+                ssrc=ssrc,
+                payload=b"\xad" * 24,
+            )
+            frames.append(
+                self._udp(
+                    when + i * interval,
+                    attacker,
+                    victim,
+                    attacker_port,
+                    victim_port,
+                    packet.encode(),
+                )
+            )
+        return frames, "", when
+
     # -- attack-carrier calls --------------------------------------------------
 
     def victim_call_with_overrun(

@@ -28,25 +28,43 @@ from repro.workload.labels import (
     ATTACK_BYE,
     ATTACK_FAKE_IM,
     ATTACK_HIJACK,
+    ATTACK_INVITE_FLOOD,
     ATTACK_REGISTER_DOS,
+    ATTACK_REGISTER_FLOOD,
     ATTACK_RTP,
+    ATTACK_RTP_FLOOD,
     ATTACK_RULES,
     BENIGN_CALL,
     BENIGN_IM,
     BENIGN_REGISTRATION,
+    FLOOD_KINDS,
     GroundTruth,
     SessionLabel,
 )
-from repro.workload.scenario import ScenarioSpec
+from repro.workload.scenario import AttackMix, ScenarioSpec
 
 # Alerts later than injection + deadline don't count as detections.
+# Flood kinds are pressure labels: their entry is *slack past the last
+# flood frame* (the window is injection + packets/pps + slack), wide
+# enough that shed-triggered side alerts attribute to the flood.
 ATTACK_DEADLINES: dict[str, float] = {
     ATTACK_BYE: 5.0,
     ATTACK_HIJACK: 5.0,
     ATTACK_FAKE_IM: 5.0,
     ATTACK_RTP: 5.0,
     ATTACK_REGISTER_DOS: 10.0,
+    ATTACK_INVITE_FLOOD: 10.0,
+    ATTACK_REGISTER_FLOOD: 10.0,
+    ATTACK_RTP_FLOOD: 10.0,
 }
+
+
+def attack_deadline(mix: AttackMix) -> float:
+    """Detection window length for one attack mix (seconds past injection)."""
+    base = ATTACK_DEADLINES[mix.kind]
+    if mix.kind in FLOOD_KINDS:
+        return mix.packets / mix.pps + base
+    return base
 
 # Keep attack injections away from the trace edges so victim sessions
 # fully set up and detection windows fully close.
@@ -244,7 +262,7 @@ class WorkloadGenerator:
 
     # -- attacks -----------------------------------------------------------------
 
-    def _resolve_attack_counts(self) -> list:
+    def _resolve_attack_counts(self) -> list[tuple[AttackMix, int]]:
         """Fixed counts pass through; ``auto`` counts split the attack
         ratio's session budget across the auto kinds."""
         mixes = list(self.spec.attacks)
@@ -263,11 +281,11 @@ class WorkloadGenerator:
                 if mix.count < 0:
                     position = auto.index(mix)
                     count = share + (1 if position < remainder else 0)
-                    resolved.append((mix.kind, max(1, count), mix.spacing))
+                    resolved.append((mix, max(1, count)))
                 else:
-                    resolved.append((mix.kind, mix.count, mix.spacing))
+                    resolved.append((mix, mix.count))
             return resolved
-        return [(m.kind, m.count, m.spacing) for m in mixes]
+        return [(m, m.count) for m in mixes]
 
     def _injection_times(
         self, count: int, spacing: float, deadline: float
@@ -312,16 +330,17 @@ class WorkloadGenerator:
         return caller, self._peer_for(caller_index)
 
     def _schedule_attacks(self) -> None:
-        for kind, count, spacing in self._resolve_attack_counts():
-            deadline = ATTACK_DEADLINES[kind]
+        for mix, count in self._resolve_attack_counts():
+            kind = mix.kind
+            deadline = attack_deadline(mix)
             injected = 0
-            for when in self._injection_times(count, spacing, deadline):
+            for when in self._injection_times(count, mix.spacing, deadline):
                 if when + deadline > self.spec.duration:
                     # Only reachable when the duration is shorter than the
                     # edge margins themselves; surfaced via stats rather
                     # than silently shrinking the requested count.
                     continue
-                self._inject(kind, when)
+                self._inject(mix, when, deadline)
                 injected += 1
             if injected:
                 self.stats.attack_sessions[kind] = (
@@ -332,7 +351,8 @@ class WorkloadGenerator:
                     self.stats.underdelivered.get(kind, 0) + count - injected
                 )
 
-    def _inject(self, kind: str, when: float) -> None:
+    def _inject(self, mix: AttackMix, when: float, deadline: float) -> None:
+        kind = mix.kind
         rng = self.rng
         forge = self.forge
         attacker = self._next_attacker()
@@ -402,6 +422,27 @@ class WorkloadGenerator:
             victim = forge.subscriber(victim_index)
             frames, session, injection = forge.register_flood(attacker, victim, when)
             aors = (victim.aor,)
+        elif kind == ATTACK_INVITE_FLOOD:
+            victim_index = self.rng.randrange(self.spec.subscribers)
+            victim = forge.subscriber(victim_index)
+            frames, session, injection = forge.invite_flood(
+                attacker, victim, when, mix.packets, mix.pps
+            )
+            aors = (victim.aor,)
+        elif kind == ATTACK_REGISTER_FLOOD:
+            victim_index = self.rng.randrange(self.spec.subscribers)
+            victim = forge.subscriber(victim_index)
+            frames, session, injection = forge.register_flood_storm(
+                attacker, victim, when, mix.packets, mix.pps
+            )
+            aors = (victim.aor,)
+        elif kind == ATTACK_RTP_FLOOD:
+            victim_index = self.rng.randrange(self.spec.subscribers)
+            victim = forge.subscriber(victim_index)
+            frames, session, injection = forge.rtp_flood(
+                attacker, victim, when, mix.packets, mix.pps, rng
+            )
+            aors = (victim.aor,)
         else:  # pragma: no cover - guarded by scenario lint
             raise ValueError(f"unknown attack kind: {kind}")
         expected, accept = ATTACK_RULES[kind]
@@ -421,7 +462,7 @@ class WorkloadGenerator:
                 end=max(f.time for f in frames),
                 subscribers=aors,
                 injection_time=injection,
-                deadline=injection + ATTACK_DEADLINES[kind],
+                deadline=injection + deadline,
                 expected_rules=expected,
                 accept_rules=accept,
                 attacker=str(attacker.ip),

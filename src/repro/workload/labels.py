@@ -32,13 +32,28 @@ ATTACK_FAKE_IM = "fake-im"
 ATTACK_RTP = "rtp"
 ATTACK_REGISTER_DOS = "register-dos"
 
+# Volumetric flood kinds (the overload-control stress workloads).  They
+# are *pressure labels*: expected_rules is empty, so the evaluator does
+# not score them as detections (no rule is contractually required to
+# fire on raw volume) — but their accept_rules still soak any alerts the
+# flood legitimately trips, keeping those out of the false-alarm column.
+ATTACK_INVITE_FLOOD = "invite-flood"
+ATTACK_REGISTER_FLOOD = "register-flood"
+ATTACK_RTP_FLOOD = "rtp-flood"
+
+FLOOD_KINDS: tuple[str, ...] = (
+    ATTACK_INVITE_FLOOD,
+    ATTACK_REGISTER_FLOOD,
+    ATTACK_RTP_FLOOD,
+)
+
 ATTACK_KINDS: tuple[str, ...] = (
     ATTACK_BYE,
     ATTACK_HIJACK,
     ATTACK_FAKE_IM,
     ATTACK_RTP,
     ATTACK_REGISTER_DOS,
-)
+) + FLOOD_KINDS
 
 # The four attacks demonstrated in the paper (Table 1); register-dos is
 # the §3.3 bonus scenario.
@@ -59,6 +74,10 @@ ATTACK_RULES: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
         ("RTP-001", "RTP-002", "RTP-003"),
     ),
     ATTACK_REGISTER_DOS: (("DOS-001",), ("DOS-001",)),
+    # Pressure labels: nothing expected, plausible side-alerts accepted.
+    ATTACK_INVITE_FLOOD: ((), ("DOS-001",)),
+    ATTACK_REGISTER_FLOOD: ((), ("DOS-001",)),
+    ATTACK_RTP_FLOOD: ((), ("RTP-001", "RTP-002", "RTP-003")),
 }
 
 

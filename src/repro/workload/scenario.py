@@ -44,7 +44,7 @@ import re
 from dataclasses import dataclass, field, replace
 
 from repro.rulespec.parser import LintIssue
-from repro.workload.labels import ATTACK_KINDS, PAPER_ATTACKS
+from repro.workload.labels import ATTACK_KINDS, FLOOD_KINDS, PAPER_ATTACKS
 from repro.workload.personas import (
     DEFAULT_PERSONAS,
     DIURNAL_PROFILES,
@@ -67,11 +67,16 @@ _WORKLOAD_KEYS = frozenset(
         "attack_ratio",
     }
 )
-_ATTACK_KEYS = frozenset({"count", "spacing"})
+_ATTACK_KEYS = frozenset({"count", "spacing", "packets", "pps"})
 
 # Spacing must clear the widest per-kind alert cooldown/threshold window
 # (RTP-003 shares a global 5 s cooldown; DOS-001 counts over 10 s).
 DEFAULT_ATTACK_SPACING = 12.0
+
+# Volumetric knobs for flood kinds only: how many frames one flood
+# injects and at what sustained rate.
+DEFAULT_FLOOD_PACKETS = 20_000
+DEFAULT_FLOOD_PPS = 1000.0
 
 
 class ScenarioError(ValueError):
@@ -89,6 +94,9 @@ class AttackMix:
     kind: str
     count: int  # -1 = auto (resolved from attack_ratio)
     spacing: float = DEFAULT_ATTACK_SPACING
+    # Flood kinds only: frames per flood and the sustained injection rate.
+    packets: int = DEFAULT_FLOOD_PACKETS
+    pps: float = DEFAULT_FLOOD_PPS
 
 
 @dataclass(frozen=True, slots=True)
@@ -341,10 +349,27 @@ def _parse_attack(section: _Section, issues: list[LintIssue]) -> AttackMix | Non
                 )
                 return None
     spacing = _want_float(section, "spacing", issues, minimum=1.0)
+    packets = _want_int(section, "packets", issues, minimum=1)
+    pps = _want_float(section, "pps", issues, minimum=1.0)
+    if kind not in FLOOD_KINDS:
+        for key in ("packets", "pps"):
+            entry = section.entries.get(key)
+            if entry is not None:
+                issues.append(
+                    LintIssue(
+                        entry[1],
+                        "bad-key",
+                        f"{key} only applies to flood kinds "
+                        f"({', '.join(FLOOD_KINDS)})",
+                    )
+                )
+                return None
     return AttackMix(
         kind=kind,
         count=count,
         spacing=spacing if spacing is not None else DEFAULT_ATTACK_SPACING,
+        packets=packets if packets is not None else DEFAULT_FLOOD_PACKETS,
+        pps=pps if pps is not None else DEFAULT_FLOOD_PPS,
     )
 
 
@@ -436,6 +461,24 @@ def parse_scenario(
         mix = _parse_attack(section, issues)
         if mix is not None:
             attacks[mix.kind] = mix
+            if mix.kind in FLOOD_KINDS:
+                # A flood must fit the injectable window (the generator
+                # keeps a 30 s edge margin on both sides) or its tail
+                # would be silently truncated at the sim horizon.
+                window = (
+                    duration if duration is not None else DEFAULT_SCENARIO.duration
+                ) - 60.0
+                span = mix.packets / mix.pps
+                if span > window:
+                    issues.append(
+                        LintIssue(
+                            section.line,
+                            "flood-overflow",
+                            f"flood of {mix.packets} packets at {mix.pps:g} pps "
+                            f"spans {span:.0f}s but only {window:.0f}s fit "
+                            "inside the duration's edge margins",
+                        )
+                    )
 
     if any(issue.severity == "error" for issue in issues):
         return None, [replace(issue, path=path) for issue in issues]

@@ -1,0 +1,77 @@
+"""Bounded retry for the sidecar's HTTP clients."""
+
+from __future__ import annotations
+
+import io
+import urllib.error
+
+import pytest
+
+from repro.obs.retry import with_retries
+
+
+def _http_error(code: int = 409) -> urllib.error.HTTPError:
+    return urllib.error.HTTPError(
+        "http://x/", code, "conflict", {}, io.BytesIO(b"{}")
+    )
+
+
+class TestWithRetries:
+    def test_transient_failures_retried(self):
+        calls: list[int] = []
+        slept: list[float] = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("connection refused")
+            return "ok"
+
+        assert with_retries(flaky, sleep=slept.append) == "ok"
+        assert len(calls) == 3
+        assert len(slept) == 2
+
+    def test_backoff_is_exponential_with_jitter(self):
+        slept: list[float] = []
+
+        def dead():
+            raise OSError("down")
+
+        with pytest.raises(OSError):
+            with_retries(
+                dead, attempts=4, base_delay=0.1,
+                sleep=slept.append, rng=lambda: 1.0,
+            )
+        # Full jitter with rng()=1.0 exposes the exponential envelope.
+        assert slept == [0.1, 0.2, 0.4]
+
+    def test_http_error_never_retried(self):
+        calls: list[int] = []
+
+        def reject():
+            calls.append(1)
+            raise _http_error()
+
+        with pytest.raises(urllib.error.HTTPError):
+            with_retries(reject, sleep=lambda s: None)
+        assert len(calls) == 1
+
+    def test_exhaustion_reraises_last_error(self):
+        calls: list[int] = []
+
+        def dead():
+            calls.append(1)
+            raise OSError(f"down #{len(calls)}")
+
+        with pytest.raises(OSError, match="down #3"):
+            with_retries(dead, sleep=lambda s: None)
+        assert len(calls) == 3
+
+    def test_success_never_sleeps(self):
+        slept: list[float] = []
+        assert with_retries(lambda: 42, sleep=slept.append) == 42
+        assert slept == []
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ValueError, match="attempts"):
+            with_retries(lambda: 1, attempts=0)

@@ -1,0 +1,146 @@
+"""Property tests (hypothesis) for the overload plane's penalty box.
+
+The headline invariant, as required by the degraded-mode guarantee:
+penalty-box shedding never drops a below-threshold (innocent) source's
+frame while an over-threshold (heavy) source still has queued frames of
+the same plane class — and innocent signalling is never dropped at all.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resilience.overload import (
+    CountMinSketch,
+    OverloadConfig,
+    SourceAccountant,
+    shed_plan,
+)
+
+PLANES = ("signalling", "media", "other", "fragment")
+
+items = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=7),       # source id
+        st.sampled_from(PLANES),                     # plane tag
+    ),
+    max_size=40,
+)
+heavy_sets = st.frozensets(st.integers(min_value=0, max_value=7), max_size=8)
+
+
+def _plan(queued, heavy, allow_heavy_signalling):
+    return shed_plan(
+        queued,
+        is_heavy=lambda item: item[0] in heavy,
+        is_signalling=lambda item: item[1] == "signalling",
+        allow_heavy_signalling=allow_heavy_signalling,
+    )
+
+
+class TestShedPlanProperties:
+    @given(items, heavy_sets, st.booleans())
+    def test_partition_is_lossless(self, queued, heavy, allow):
+        stages, protected = _plan(queued, heavy, allow)
+        assert sorted(sum(stages, []) + protected) == sorted(queued)
+
+    @given(items, heavy_sets, st.booleans())
+    def test_innocent_signalling_is_never_staged(self, queued, heavy, allow):
+        stages, protected = _plan(queued, heavy, allow)
+        staged = sum(stages, [])
+        for source, plane in staged:
+            assert not (plane == "signalling" and source not in heavy)
+        for source, plane in queued:
+            if plane == "signalling" and source not in heavy:
+                assert (source, plane) in protected
+
+    @given(items, heavy_sets)
+    def test_heavy_signalling_protected_outside_shed(self, queued, heavy):
+        stages, protected = _plan(queued, heavy, allow_heavy_signalling=False)
+        assert stages[2] == []
+        for source, plane in queued:
+            if plane == "signalling":
+                assert (source, plane) in protected
+
+    @given(items, heavy_sets, st.booleans())
+    def test_innocent_never_drops_while_heavy_queued(self, queued, heavy, allow):
+        """Simulate the staged drop: at every prefix of the drop order,
+        an innocent non-signalling frame may only have been dropped if
+        every heavy non-signalling frame was dropped before it."""
+        stages, _protected = _plan(queued, heavy, allow)
+        heavy_other = [
+            item for item in queued
+            if item[0] in heavy and item[1] != "signalling"
+        ]
+        dropped: list = []
+        for stage in stages:
+            for item in stage:
+                if item[0] not in heavy and item[1] != "signalling":
+                    # An innocent frame is being dropped: no heavy
+                    # non-signalling frame may still be queued.
+                    remaining_heavy = [
+                        h for h in heavy_other if h not in dropped
+                    ]
+                    assert not remaining_heavy, (item, remaining_heavy)
+                dropped.append(item)
+
+    @given(items, heavy_sets, st.booleans())
+    def test_signalling_never_drops_while_media_queued(self, queued, heavy, allow):
+        """The plane-ordering face of the same invariant: any dropped
+        signalling frame (necessarily heavy, in shed) comes after every
+        sheddable non-signalling frame."""
+        stages, _protected = _plan(queued, heavy, allow)
+        non_signalling = [item for item in queued if item[1] != "signalling"]
+        dropped: list = []
+        for stage in stages:
+            for item in stage:
+                if item[1] == "signalling":
+                    remaining_media = [
+                        m for m in non_signalling if m not in dropped
+                    ]
+                    assert not remaining_media, (item, remaining_media)
+                dropped.append(item)
+
+
+class TestSketchProperties:
+    @given(st.lists(st.binary(min_size=4, max_size=4), max_size=300))
+    @settings(max_examples=50)
+    def test_estimate_never_undercounts(self, keys):
+        sketch = CountMinSketch(width=64, depth=4)
+        truth: dict[bytes, int] = {}
+        for key in keys:
+            truth[key] = truth.get(key, 0) + 1
+            sketch.add(key)
+        for key, count in truth.items():
+            assert sketch.estimate(key) >= count
+
+
+class TestPenaltyBoxDoorDrop:
+    @given(
+        st.integers(min_value=1, max_value=5),     # innocent source count
+        st.integers(min_value=1, max_value=8),     # frames per innocent
+        st.integers(min_value=200, max_value=800),  # flood frames
+    )
+    @settings(max_examples=30)
+    def test_door_never_drops_a_below_threshold_source(
+        self, innocents, per_innocent, flood_count
+    ):
+        """End-to-end over the accountant: after any mixed arrival
+        pattern, the door-drop predicate (is_heavy) fires for the
+        flooding source and never for a source far below hot_min."""
+        config = OverloadConfig(hot_min=32, sketch_window=4096)
+        accountant = SourceAccountant(config)
+        flood = b"\x0a\x42\x42\x63"
+        innocent_keys = [
+            (0x0A640000 + i).to_bytes(4, "big") for i in range(innocents)
+        ]
+        # Interleave: innocents sprinkled through the flood.
+        arrivals = [flood] * flood_count
+        for key in innocent_keys:
+            arrivals.extend([key] * per_innocent)
+        for key in arrivals:
+            accountant.record(key)
+        assert accountant.is_heavy(flood)
+        for key in innocent_keys:
+            assert not accountant.is_heavy(key)

@@ -1,0 +1,151 @@
+"""Flood attack kinds in the workload layer: spec parsing, generation,
+pressure labels and the committed overload scenarios."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.workload import (
+    DEFAULT_SCENARIO,
+    FLOOD_KINDS,
+    AttackMix,
+    attack_deadline,
+    generate_workload,
+    lint_path,
+    parse_scenario,
+)
+from repro.workload.generator import ATTACK_DEADLINES
+from repro.workload.labels import (
+    ATTACK_BYE,
+    ATTACK_INVITE_FLOOD,
+    ATTACK_REGISTER_FLOOD,
+    ATTACK_RTP_FLOOD,
+)
+
+WORKLOADS_DIR = Path(__file__).resolve().parents[2] / "workloads"
+
+FLOOD_SPEC_TEXT = """
+[workload]
+name = flood-test
+subscribers = 12
+duration = 180
+seed = 99
+
+[attack bye]
+count = 1
+
+[attack invite-flood]
+count = 1
+packets = 3000
+pps = 50
+"""
+
+
+class TestFloodSpecParsing:
+    def test_packets_and_pps_parsed(self):
+        spec, issues = parse_scenario(FLOOD_SPEC_TEXT)
+        assert not [i for i in issues if i.severity == "error"]
+        flood = {m.kind: m for m in spec.attacks}[ATTACK_INVITE_FLOOD]
+        assert flood.packets == 3000
+        assert flood.pps == 50.0
+
+    def test_flood_keys_rejected_on_paper_attacks(self):
+        text = FLOOD_SPEC_TEXT.replace(
+            "[attack bye]\ncount = 1",
+            "[attack bye]\ncount = 1\npackets = 100",
+        )
+        spec, issues = parse_scenario(text)
+        assert any("packets" in issue.message for issue in issues
+                   if issue.severity == "error")
+
+    def test_overflowing_flood_linted(self):
+        # 60k frames at 50 pps = 1200 s of flood in a 180 s scenario.
+        text = FLOOD_SPEC_TEXT.replace("packets = 3000", "packets = 60000")
+        spec, issues = parse_scenario(text)
+        assert any(i.severity == "error" for i in issues)
+
+
+class TestAttackDeadline:
+    def test_flood_deadline_spans_the_flood(self):
+        mix = AttackMix(ATTACK_INVITE_FLOOD, 1, packets=3000, pps=50.0)
+        assert attack_deadline(mix) == pytest.approx(
+            3000 / 50.0 + ATTACK_DEADLINES[ATTACK_INVITE_FLOOD]
+        )
+
+    def test_paper_attack_deadline_is_static(self):
+        mix = AttackMix(ATTACK_BYE, 1)
+        assert attack_deadline(mix) == ATTACK_DEADLINES[ATTACK_BYE]
+
+    def test_every_flood_kind_has_a_deadline(self):
+        for kind in FLOOD_KINDS:
+            assert kind in ATTACK_DEADLINES
+
+
+@pytest.fixture(scope="module")
+def flood_workload():
+    spec = DEFAULT_SCENARIO.with_overrides(
+        name="flood-gen-test",
+        subscribers=12,
+        duration=180.0,
+        seed=99,
+        attacks=(
+            AttackMix(ATTACK_BYE, 1),
+            AttackMix(ATTACK_INVITE_FLOOD, 1, packets=3000, pps=50.0),
+        ),
+    )
+    return generate_workload(spec)
+
+
+class TestFloodGeneration:
+    def test_flood_is_a_pressure_label(self, flood_workload):
+        (label,) = [
+            lab for lab in flood_workload.truth.labels
+            if lab.kind == ATTACK_INVITE_FLOOD
+        ]
+        assert label.is_attack
+        assert label.expected_rules == ()
+        assert label.accept_rules          # side alerts soaked, not scored
+        assert label.session == ""         # floods span thousands of Call-IDs
+        assert label.attacker              # a single nameable source IP
+
+    def test_flood_frames_delivered_and_inside_trace(self, flood_workload):
+        (label,) = [
+            lab for lab in flood_workload.truth.labels
+            if lab.kind == ATTACK_INVITE_FLOOD
+        ]
+        flood_frames = sum(
+            1 for lid in flood_workload.truth.frame_labels
+            if lid == label.label_id
+        )
+        assert flood_frames == 3000
+        assert label.deadline <= 180.0
+
+    def test_paper_attack_rides_alongside(self, flood_workload):
+        kinds = {lab.kind for lab in flood_workload.truth.labels}
+        assert ATTACK_BYE in kinds
+
+
+class TestCommittedFloodScenarios:
+    @pytest.mark.parametrize("name", [
+        "flood-invite.workload",
+        "flood-register.workload",
+        "flood-rtp.workload",
+    ])
+    def test_lints_clean(self, name):
+        issues = lint_path(str(WORKLOADS_DIR / name))
+        assert not [i for i in issues if i.severity == "error"], issues
+
+    def test_each_carries_its_flood_and_all_paper_attacks(self):
+        for name, kind in [
+            ("flood-invite.workload", ATTACK_INVITE_FLOOD),
+            ("flood-register.workload", ATTACK_REGISTER_FLOOD),
+            ("flood-rtp.workload", ATTACK_RTP_FLOOD),
+        ]:
+            from repro.workload import load_scenario
+
+            spec = load_scenario(str(WORKLOADS_DIR / name))
+            kinds = {m.kind for m in spec.attacks}
+            assert kind in kinds
+            assert len(kinds) == 5  # four paper attacks + the flood

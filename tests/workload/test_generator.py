@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.workload import (
     ATTACK_KINDS,
+    FLOOD_KINDS,
     generate_workload,
     trace_digest,
 )
@@ -49,8 +50,13 @@ def test_every_attack_kind_labeled_once(small_workload):
     counts = small_workload.truth.attack_counts()
     assert counts == {kind: 1 for kind in ATTACK_KINDS}
     for label in small_workload.truth.attacks():
-        assert label.expected_rules, label.kind
-        assert set(label.expected_rules) <= set(label.accept_rules)
+        if label.kind in FLOOD_KINDS:
+            # Pressure labels: no rule is *required*, side alerts soak.
+            assert not label.expected_rules
+            assert label.accept_rules
+        else:
+            assert label.expected_rules, label.kind
+            assert set(label.expected_rules) <= set(label.accept_rules)
         assert label.injection_time is not None
         assert label.deadline is not None and label.deadline > label.injection_time
         assert label.attacker
